@@ -1,0 +1,44 @@
+//! Criterion benchmark of the end-to-end flows (Table 5's comparison at
+//! statistical rigor, on the smallest design so iteration stays cheap)
+//! and of one complete mGBA fit invocation.
+
+use bench::{build_engine, build_flow_engine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgba::{run_mgba, MgbaConfig, Solver};
+use netlist::DesignSpec;
+use optim::{run_flow, FlowConfig};
+use std::hint::black_box;
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow/d1");
+    group.sample_size(10);
+    group.bench_function("gba", |b| {
+        b.iter(|| {
+            let mut sta = build_flow_engine(DesignSpec::D1);
+            black_box(run_flow(&mut sta, &FlowConfig::gba()))
+        })
+    });
+    group.bench_function("mgba", |b| {
+        b.iter(|| {
+            let mut sta = build_flow_engine(DesignSpec::D1);
+            black_box(run_flow(
+                &mut sta,
+                &FlowConfig::mgba(MgbaConfig::default(), Solver::ScgRs),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_mgba_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow/fit");
+    group.sample_size(10);
+    group.bench_function("run_mgba_d1", |b| {
+        let mut sta = build_engine(DesignSpec::D1);
+        b.iter(|| black_box(run_mgba(&mut sta, &MgbaConfig::default(), Solver::ScgRs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows, bench_mgba_fit);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Internal calibration harness (not a paper table): prints problem
+//! statistics, solver traces and round-by-round RS behaviour to tune
+//! hyper-parameters.
+
+use bench::build_engine;
+use mgba::solver::{cgnr, gd, sampling, scg};
+use mgba::{FitProblem, MgbaConfig, SelectionScheme};
+use netlist::DesignSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = match std::env::args().nth(1).as_deref() {
+        Some("D2") => DesignSpec::D2,
+        Some("D3") => DesignSpec::D3,
+        Some("D8") => DesignSpec::D8,
+        _ => DesignSpec::D1,
+    };
+    let config = MgbaConfig::default();
+    let mut sta = build_engine(spec);
+    sta.clear_weights();
+    println!(
+        "design {spec}: {} cells, wns {:.1}, violating endpoints {}",
+        sta.netlist().num_cells(),
+        sta.wns(),
+        sta.violating_endpoints().len()
+    );
+    let selection = mgba::select_paths(
+        &sta,
+        SelectionScheme::PerEndpoint {
+            k: config.paths_per_endpoint,
+            max_total: config.max_paths,
+        },
+        true,
+    );
+    println!(
+        "selected {} paths covering {}/{} gates ({:.1}%)",
+        selection.paths.len(),
+        selection.covered_gates,
+        selection.total_gates,
+        100.0 * selection.coverage()
+    );
+    let p = FitProblem::build(&sta, &selection.paths, config.epsilon, config.penalty);
+    let x0 = vec![0.0; p.num_gates()];
+    println!(
+        "problem: {} x {} nnz {}  initial mse {:.4e} obj {:.4e}",
+        p.num_paths(),
+        p.num_gates(),
+        p.matrix().nnz(),
+        p.mse(&x0),
+        p.objective(&x0)
+    );
+
+    let r = cgnr::solve(&p, &config);
+    println!(
+        "CGNR : mse {:.4e} obj {:.4e} iters {} time {:.1}ms conv {}",
+        p.mse(&r.x),
+        r.objective,
+        r.iterations,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.converged
+    );
+    let r = gd::solve(&p, &config, &x0);
+    println!(
+        "GD   : mse {:.4e} obj {:.4e} iters {} time {:.1}ms conv {} rows {}",
+        p.mse(&r.x),
+        r.objective,
+        r.iterations,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.converged,
+        r.rows_touched
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let r = scg::solve(&p, &config, &x0, &mut rng);
+    println!(
+        "SCG  : mse {:.4e} obj {:.4e} iters {} time {:.1}ms conv {} rows {}",
+        p.mse(&r.x),
+        r.objective,
+        r.iterations,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.converged,
+        r.rows_touched
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (r, rounds) = sampling::solve_traced(&p, &config, &mut rng);
+    println!(
+        "SCGRS: mse {:.4e} obj {:.4e} iters {} time {:.1}ms conv {} rows {}",
+        p.mse(&r.x),
+        r.objective,
+        r.iterations,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.converged,
+        r.rows_touched
+    );
+    for rd in rounds {
+        println!(
+            "   round ratio {:.4} rows {} change {:.3} obj {:.3e} inner_iters {}",
+            rd.ratio, rd.rows, rd.change, rd.objective, rd.inner_iterations
+        );
+    }
+
+    // End-to-end accuracy breakdown: solver-space mse vs engine-realized
+    // mse (after clamping), plus the per-path error distribution.
+    let weights = p.to_cell_weights(&r.x, sta.netlist().num_cells());
+    let golden: Vec<f64> = selection
+        .paths
+        .iter()
+        .map(|pp| sta::pba_timing(&sta, pp).slack)
+        .collect();
+    sta.set_weights(&weights);
+    let after: Vec<f64> = selection
+        .paths
+        .iter()
+        .map(|pp| sta::gba_path_timing(&sta, pp).slack)
+        .collect();
+    let model = p.model_slacks(&r.x);
+    let mut clamp_diff = 0usize;
+    let mut errs: Vec<f64> = Vec::new();
+    let mut rel_errs: Vec<f64> = Vec::new();
+    for i in 0..golden.len() {
+        if (after[i] - model[i]).abs() > 1.0 {
+            clamp_diff += 1;
+        }
+        errs.push((after[i] - golden[i]).abs());
+        rel_errs.push((after[i] - golden[i]).abs() / golden[i].abs().max(1e-9));
+    }
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rel_errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |v: &Vec<f64>, f: f64| v[(f * (v.len() - 1) as f64) as usize];
+    println!(
+        "engine mse {:.3e}; paths where clamp shifted model >1ps: {}/{}",
+        mgba::metrics::mse(&after, &golden),
+        clamp_diff,
+        golden.len()
+    );
+    println!(
+        "abs err ps: p50 {:.1} p90 {:.1} p99 {:.1}; rel err: p50 {:.3} p90 {:.3}",
+        q(&errs, 0.5), q(&errs, 0.9), q(&errs, 0.99), q(&rel_errs, 0.5), q(&rel_errs, 0.9)
+    );
+    println!(
+        "golden slack: min {:.0} median {:.0} max {:.0}",
+        golden.iter().cloned().fold(f64::INFINITY, f64::min),
+        { let mut g = golden.clone(); g.sort_by(|a,b| a.partial_cmp(b).unwrap()); g[g.len()/2] },
+        golden.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    );
+
+    // Residual attribution on the CGNR (floor) solution: what do the
+    // worst-residual paths look like vs the best?
+    let r_ref = mgba::solver::cgnr::solve(&p, &config);
+    let model_ref = p.model_slacks(&r_ref.x);
+    let mut scored: Vec<(f64, usize)> = model_ref
+        .iter()
+        .zip(p.pba_slacks())
+        .map(|(m, g)| (m - g).abs())
+        .enumerate()
+        .map(|(i, e)| (e, i))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let describe = |idx: &[(f64, usize)], tag: &str| {
+        let n = idx.len() as f64;
+        let mean_err = idx.iter().map(|(e, _)| e).sum::<f64>() / n;
+        let mean_gates =
+            idx.iter().map(|(_, i)| selection.paths[*i].num_gates() as f64).sum::<f64>() / n;
+        let mean_depth_gap: f64 = idx
+            .iter()
+            .map(|(_, i)| {
+                let path = &selection.paths[*i];
+                let pd = path.num_gates() as f64;
+                let min_gate_depth = path.cells[1..path.cells.len() - 1]
+                    .iter()
+                    .filter_map(|&g| sta.depth_info().gba_depth(g))
+                    .map(|d| d as f64)
+                    .fold(f64::INFINITY, f64::min);
+                pd - min_gate_depth
+            })
+            .sum::<f64>()
+            / n;
+        let mean_crpr: f64 = idx
+            .iter()
+            .map(|(_, i)| {
+                let path = &selection.paths[*i];
+                sta.crpr_credit(path.startpoint(), path.endpoint)
+            })
+            .sum::<f64>()
+            / n;
+        println!(
+            "{tag}: |resid| {mean_err:.1}ps, gates {mean_gates:.1}, path-vs-mingate depth gap {mean_depth_gap:.1}, crpr {mean_crpr:.1}ps"
+        );
+    };
+    let k = scored.len() / 10;
+    describe(&scored[..k], "worst 10% residual");
+    describe(&scored[scored.len() - k..], "best 10% residual");
+}

@@ -1,0 +1,91 @@
+//! Regenerates **Fig. 3**: the distribution of the optimal solution `x*`.
+//!
+//! The paper's justification for row sampling is that the optimal weight
+//! vector is extremely sparse — ~96% of entries within `[-0.01, 0.01]`.
+//! This binary solves one design's fitting problem to high accuracy with
+//! the CGNR reference solver and prints a text histogram of `x*`.
+//!
+//! Run with `cargo run --release -p bench --bin fig3_sparsity [design]`.
+
+use bench::build_engine;
+use mgba::solver::cgnr;
+use mgba::{FitProblem, MgbaConfig, SelectionScheme};
+use netlist::DesignSpec;
+
+fn main() {
+    let spec = match std::env::args().nth(1).as_deref() {
+        Some("D2") => DesignSpec::D2,
+        Some("D8") => DesignSpec::D8,
+        _ => DesignSpec::D1,
+    };
+    let config = MgbaConfig::default();
+    let mut sta = build_engine(spec);
+    sta.clear_weights();
+    let selection = mgba::select_paths(
+        &sta,
+        SelectionScheme::PerEndpoint {
+            k: config.paths_per_endpoint,
+            max_total: config.max_paths,
+        },
+        true,
+    );
+    let problem = FitProblem::build(&sta, &selection.paths, config.epsilon, config.penalty);
+    let result = cgnr::solve(&problem, &config);
+    // The paper's x* has one entry per gate of the design (n gates);
+    // gates on no selected path keep their weight at exactly zero.
+    let cell_weights = problem.to_cell_weights(&result.x, sta.netlist().num_cells());
+    let x_all: Vec<f64> = sta
+        .netlist()
+        .cells()
+        .filter(|(_, c)| c.role == netlist::CellRole::Combinational)
+        .map(|(id, _)| cell_weights[id.index()])
+        .collect();
+
+    println!("Fig. 3: distribution of the optimal solution x* ({spec})");
+    println!(
+        "({} paths, n = {} gates of which {} lie on selected paths; CGNR objective {:.3e})\n",
+        problem.num_paths(),
+        x_all.len(),
+        problem.num_gates(),
+        result.objective
+    );
+
+    // Histogram over [-0.25, 0.05] in 0.01 buckets (the paper's x-range).
+    let lo = -0.25;
+    let hi = 0.05;
+    let buckets = 30usize;
+    let mut counts = vec![0usize; buckets];
+    let mut below = 0usize;
+    let mut above = 0usize;
+    for &x in &x_all {
+        if x < lo {
+            below += 1;
+        } else if x >= hi {
+            above += 1;
+        } else {
+            let b = ((x - lo) / (hi - lo) * buckets as f64) as usize;
+            counts[b.min(buckets - 1)] += 1;
+        }
+    }
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    if below > 0 {
+        println!("  < {lo:+.2} : {below}");
+    }
+    for (b, &c) in counts.iter().enumerate() {
+        let x0 = lo + (hi - lo) * b as f64 / buckets as f64;
+        let bar = "#".repeat((c * 60).div_ceil(max).min(60));
+        println!("  {x0:+.2} .. {:+.2} : {c:6} {bar}", x0 + 0.01);
+    }
+    if above > 0 {
+        println!("  >= {hi:+.2} : {above}");
+    }
+
+    let near_zero = x_all.iter().filter(|x| x.abs() <= 0.01).count();
+    println!(
+        "\nentries within [-0.01, 0.01]: {near_zero}/{} = {:.1}%",
+        x_all.len(),
+        100.0 * near_zero as f64 / x_all.len() as f64
+    );
+    println!("paper: 95.9% of x* entries within [-0.01, 0.01]");
+    println!("(the sparsity justifies Algorithm 1's uniform row sampling)");
+}

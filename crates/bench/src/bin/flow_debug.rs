@@ -1,0 +1,50 @@
+//! Internal flow diagnostics (not a paper table).
+
+use bench::build_flow_engine;
+use mgba::{MgbaConfig, Solver};
+use netlist::DesignSpec;
+use optim::{run_flow, FlowConfig};
+
+fn main() {
+    let spec = match std::env::args().nth(1).as_deref() {
+        Some("D2") => DesignSpec::D2,
+        Some("D8") => DesignSpec::D8,
+        _ => DesignSpec::D1,
+    };
+    for mode in ["gba", "mgba"] {
+        let mut sta = build_flow_engine(spec);
+        println!(
+            "{spec} [{mode}] initial: wns {:.0} tns {:.0} viol {} area {:.0}",
+            sta.wns(),
+            sta.tns(),
+            sta.violating_endpoints().len(),
+            sta.netlist().total_area()
+        );
+        let cfg = if mode == "gba" {
+            FlowConfig::gba()
+        } else {
+            FlowConfig::mgba(MgbaConfig::default(), Solver::ScgRs)
+        };
+        let r = run_flow(&mut sta, &cfg);
+        println!(
+            "  passes {} upsizes {} buffers {} closed {} elapsed {:.0}ms fit {:.0}ms",
+            r.passes,
+            r.counts.upsizes,
+            r.counts.buffers,
+            r.closed,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.mgba_time.as_secs_f64() * 1e3
+        );
+        println!(
+            "  final gba: wns {:.0} tns {:.0} viol {} | timer view viol {} | pba: wns {:.0} tns {:.0} viol {} area {:.0}",
+            r.qor_final.wns,
+            r.qor_final.tns,
+            r.qor_final.violating_endpoints,
+            r.qor_final_timer_view.violating_endpoints,
+            r.qor_final_pba.wns,
+            r.qor_final_pba.tns,
+            r.qor_final_pba.violating_endpoints,
+            r.qor_final.area
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Regenerates **Table 3**: pass-ratio comparison of GBA and mGBA against
+//! golden PBA on designs D1–D10.
+//!
+//! A path is "good" when its slack error vs. PBA is below 5% relative or
+//! 5 ps absolute (the paper's engineers' rule). The pass ratio is the
+//! fraction of good paths; mGBA should massively improve it and no design
+//! should get worse.
+//!
+//! Run with `cargo run --release -p bench --bin table3_pass_ratio`
+//! (add `-- --quick` for D1–D3 only).
+
+use bench::{build_engine, row};
+use mgba::{run_mgba, MgbaConfig, Solver};
+use netlist::DesignSpec;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let designs: Vec<DesignSpec> = if quick {
+        DesignSpec::all()[..3].to_vec()
+    } else {
+        DesignSpec::all().to_vec()
+    };
+
+    println!("Table 3: Pass ratio comparison of GBA and mGBA");
+    println!("(good path: |slack error| < 5% relative or < 5 ps absolute)\n");
+    let widths = [5usize, 10, 9, 9, 13];
+    println!(
+        "{}",
+        row(
+            &[
+                "".into(),
+                "paths".into(),
+                "GBA(%)".into(),
+                "mGBA(%)".into(),
+                "improve(%)".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut sum_before = 0.0;
+    let mut sum_after = 0.0;
+    let mut sum_paths = 0usize;
+    let mut worse = 0usize;
+    for &spec in &designs {
+        let mut sta = build_engine(spec);
+        let report = run_mgba(&mut sta, &MgbaConfig::default(), Solver::ScgRs);
+        let before = report.pass_before.percent();
+        let after = report.pass_after.percent();
+        if after < before {
+            worse += 1;
+        }
+        sum_before += before;
+        sum_after += after;
+        sum_paths += report.num_paths;
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.to_string(),
+                    format!("{}", report.num_paths),
+                    format!("{before:.2}"),
+                    format!("{after:.2}"),
+                    format!("{:.2}", after - before),
+                ],
+                &widths
+            )
+        );
+    }
+    let n = designs.len() as f64;
+    println!(
+        "{}",
+        row(
+            &[
+                "Avg.".into(),
+                format!("{}", sum_paths / designs.len()),
+                format!("{:.2}", sum_before / n),
+                format!("{:.2}", sum_after / n),
+                format!("{:.2}", (sum_after - sum_before) / n),
+            ],
+            &widths
+        )
+    );
+    println!("\ndesigns that got worse under mGBA: {worse} (paper: 0)");
+    println!("paper shape: avg GBA 51.6% → mGBA 95.4% (+43.8 points)");
+}

@@ -1,0 +1,168 @@
+//! Minimal argument parsing for `mgba-sta` (kept dependency-free on
+//! purpose: the workspace's external dependencies are limited to the
+//! numeric/test stack).
+
+/// A tiny positional + `--option value` argument reader.
+pub struct Args {
+    argv: Vec<String>,
+    consumed: Vec<bool>,
+}
+
+impl Args {
+    /// Wraps the raw argument vector (without the program name).
+    pub fn new(argv: &[String]) -> Self {
+        Self {
+            argv: argv.to_vec(),
+            consumed: vec![false; argv.len()],
+        }
+    }
+
+    /// Takes the next unconsumed positional (non `--`) argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming `what` if none remains.
+    pub fn positional(&mut self, what: &str) -> Result<String, String> {
+        for i in 0..self.argv.len() {
+            if self.consumed[i] || self.argv[i].starts_with("--") {
+                continue;
+            }
+            // A token right after an unconsumed `--flag` is that flag's
+            // value, not a positional (`report --period 1200 file.nl`).
+            if i > 0 && !self.consumed[i - 1] && self.argv[i - 1].starts_with("--") {
+                continue;
+            }
+            self.consumed[i] = true;
+            return Ok(self.argv[i].clone());
+        }
+        Err(format!("missing {what}"))
+    }
+
+    /// Takes `--name value` if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flag is present without a value.
+    pub fn option(&mut self, name: &str) -> Result<Option<String>, String> {
+        for i in 0..self.argv.len() {
+            if !self.consumed[i] && self.argv[i] == name {
+                self.consumed[i] = true;
+                let v = self
+                    .argv
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))?;
+                self.consumed[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Takes a bare `--name` flag if present (no value).
+    pub fn flag(&mut self, name: &str) -> bool {
+        for i in 0..self.argv.len() {
+            if !self.consumed[i] && self.argv[i] == name {
+                self.consumed[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Takes a required `--name value` parsed into `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if missing or unparsable.
+    pub fn required_option<T: std::str::FromStr>(&mut self, name: &str) -> Result<T, String> {
+        let v = self
+            .option(name)?
+            .ok_or_else(|| format!("missing required {name}"))?;
+        v.parse()
+            .map_err(|_| format!("bad value `{v}` for {name}"))
+    }
+
+    /// Fails if any argument was not consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first unrecognized argument.
+    pub fn finish(&mut self) -> Result<(), String> {
+        for (i, used) in self.consumed.iter().enumerate() {
+            if !used {
+                return Err(format!("unrecognized argument `{}`", self.argv[i]));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::new(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn positional_and_options_mix() {
+        let mut a = args(&["report", "file.nl", "--period", "1200", "--top", "5"]);
+        assert_eq!(a.positional("command").unwrap(), "report");
+        assert_eq!(a.positional("file").unwrap(), "file.nl");
+        let p: f64 = a.required_option("--period").unwrap();
+        assert_eq!(p, 1200.0);
+        assert_eq!(a.option("--top").unwrap(), Some("5".into()));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_positional_is_an_error() {
+        let mut a = args(&["--period", "10"]);
+        assert!(a.positional("command").is_err());
+    }
+
+    #[test]
+    fn options_before_positionals_are_skipped() {
+        let mut a = args(&["report", "--period", "1200", "file.nl"]);
+        assert_eq!(a.positional("command").unwrap(), "report");
+        assert_eq!(a.positional("file").unwrap(), "file.nl");
+        let p: f64 = a.required_option("--period").unwrap();
+        assert_eq!(p, 1200.0);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn option_without_value_is_an_error() {
+        let mut a = args(&["cmd", "--period"]);
+        let _ = a.positional("command");
+        assert!(a.required_option::<f64>("--period").is_err());
+    }
+
+    #[test]
+    fn unconsumed_arguments_rejected() {
+        let mut a = args(&["cmd", "extra"]);
+        let _ = a.positional("command");
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn flags_are_bare() {
+        let mut a = args(&["cmd", "--fit", "--out", "x.sdf"]);
+        let _ = a.positional("command");
+        assert!(a.flag("--fit"));
+        assert!(!a.flag("--fit"), "flag is consumed once");
+        assert_eq!(a.option("--out").unwrap(), Some("x.sdf".into()));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn absent_option_is_none() {
+        let mut a = args(&["cmd"]);
+        let _ = a.positional("command");
+        assert_eq!(a.option("--nope").unwrap(), None);
+        a.finish().unwrap();
+    }
+}

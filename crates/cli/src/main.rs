@@ -1,0 +1,306 @@
+//! `mgba-sta` — command-line front end for the mGBA framework.
+//!
+//! ```text
+//! mgba-sta generate <D1..D10|small:SEED> [--format text|verilog] [--out FILE]
+//! mgba-sta stats    <FILE>
+//! mgba-sta report   <FILE> --period PS [--top N]
+//! mgba-sta fit      <FILE> --period PS [--solver ...] [--out WEIGHTS]
+//! mgba-sta flow     <FILE> --period PS [--timer gba|mgba]
+//! mgba-sta holdfix  <FILE> --period PS [--guard PS]
+//! mgba-sta corners  <FILE> --period PS
+//! mgba-sta sdf      <FILE> --period PS [--fit] [--out FILE]
+//! ```
+//!
+//! Netlist files may be in the native text format (`.nl`) or the
+//! structural-Verilog subset (`.v`), auto-detected by content.
+
+use mgba::{run_mgba, MgbaConfig, Solver};
+use netlist::{DesignSpec, GeneratorConfig, Netlist};
+use optim::{run_flow, FlowConfig};
+use sta::{DerateSet, Sdc, Sta};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+/// Writes to stdout, treating a broken pipe (e.g. `mgba-sta ... | head`)
+/// as a clean exit instead of a panic.
+fn emit(text: &str) -> Result<(), String> {
+    match std::io::stdout().write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(format!("writing stdout: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  mgba-sta generate <D1..D10|small:SEED> [--format text|verilog] [--out FILE]
+  mgba-sta stats    <FILE>
+  mgba-sta report   <FILE> --period PS [--top N] [--weights WEIGHTS]
+  mgba-sta fit      <FILE> --period PS [--solver gd|scg|scgrs|cgnr] [--out WEIGHTS]
+  mgba-sta flow     <FILE> --period PS [--timer gba|mgba]
+  mgba-sta holdfix  <FILE> --period PS [--guard PS]
+  mgba-sta corners  <FILE> --period PS
+  mgba-sta sdf      <FILE> --period PS [--fit] [--out FILE]";
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::new(argv);
+    let command = args.positional("command")?;
+    match command.as_str() {
+        "generate" => cmd_generate(&mut args),
+        "stats" => cmd_stats(&mut args),
+        "report" => cmd_report(&mut args),
+        "fit" => cmd_fit(&mut args),
+        "flow" => cmd_flow(&mut args),
+        "holdfix" => cmd_holdfix(&mut args),
+        "corners" => cmd_corners(&mut args),
+        "sdf" => cmd_sdf(&mut args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_design(spec: &str) -> Result<Netlist, String> {
+    if let Some(seed) = spec.strip_prefix("small:") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("bad seed in `{spec}`"))?;
+        return Ok(GeneratorConfig::small(seed).generate());
+    }
+    DesignSpec::all()
+        .into_iter()
+        .find(|d| d.to_string() == spec)
+        .map(DesignSpec::generate)
+        .ok_or_else(|| format!("unknown design `{spec}` (want D1..D10 or small:SEED)"))
+}
+
+fn load_netlist(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if text.trim_start().starts_with("module") {
+        netlist::parse_verilog(&text).map_err(|e| format!("parsing {path}: {e}"))
+    } else {
+        netlist::parse_netlist(&text).map_err(|e| format!("parsing {path}: {e}"))
+    }
+}
+
+fn build_engine(netlist: Netlist, period: f64) -> Result<Sta, String> {
+    Sta::new(netlist, Sdc::with_period(period), DerateSet::standard())
+        .map_err(|e| format!("timing the design: {e}"))
+}
+
+fn cmd_generate(args: &mut Args) -> Result<(), String> {
+    let spec = args.positional("design")?;
+    let format = args.option("--format")?.unwrap_or_else(|| "text".into());
+    let out = args.option("--out")?;
+    args.finish()?;
+    let netlist = parse_design(&spec)?;
+    let text = match format.as_str() {
+        "text" => netlist::write_netlist(&netlist),
+        "verilog" => netlist::write_verilog(&netlist),
+        other => return Err(format!("unknown format `{other}`")),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} ({} cells, {} nets)",
+                path,
+                netlist.num_cells(),
+                netlist.num_nets()
+            );
+        }
+        None => emit(&text)?,
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &mut Args) -> Result<(), String> {
+    let file = args.positional("netlist file")?;
+    args.finish()?;
+    let netlist = load_netlist(&file)?;
+    emit(&netlist::DesignStats::collect(&netlist).to_string())?;
+    Ok(())
+}
+
+fn cmd_holdfix(args: &mut Args) -> Result<(), String> {
+    let file = args.positional("netlist file")?;
+    let period: f64 = args.required_option("--period")?;
+    let guard: f64 = args.option("--guard")?.map_or(Ok(0.0), |g| {
+        g.parse().map_err(|_| format!("bad --guard `{g}`"))
+    })?;
+    args.finish()?;
+    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    let report = optim::fix_hold_violations(&mut sta, guard);
+    println!(
+        "hold violations {} -> {}, {} pad buffers inserted, {} skipped for setup",
+        report.violations_before,
+        report.violations_after,
+        report.buffers_added,
+        report.skipped_for_setup
+    );
+    Ok(())
+}
+
+fn cmd_corners(args: &mut Args) -> Result<(), String> {
+    let file = args.positional("netlist file")?;
+    let period: f64 = args.required_option("--period")?;
+    args.finish()?;
+    let netlist = load_netlist(&file)?;
+    let mc = sta::MultiCornerSta::new(
+        &netlist,
+        &Sdc::with_period(period),
+        sta::Corner::signoff_set(),
+    )
+    .map_err(|e| format!("timing the design: {e}"))?;
+    emit(&mc.report())?;
+    Ok(())
+}
+
+fn cmd_sdf(args: &mut Args) -> Result<(), String> {
+    let file = args.positional("netlist file")?;
+    let period: f64 = args.required_option("--period")?;
+    let fit = args.flag("--fit");
+    let out = args.option("--out")?;
+    args.finish()?;
+    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    if fit {
+        let _ = run_mgba(&mut sta, &MgbaConfig::default(), Solver::ScgRs);
+    }
+    let sdf = sta::write_sdf(&sta);
+    match out {
+        Some(path) => std::fs::write(&path, sdf).map_err(|e| format!("writing {path}: {e}"))?,
+        None => emit(&sdf)?,
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &mut Args) -> Result<(), String> {
+    let file = args.positional("netlist file")?;
+    let period: f64 = args.required_option("--period")?;
+    let top: usize = args.option("--top")?.map_or(Ok(10), |t| {
+        t.parse().map_err(|_| format!("bad --top `{t}`"))
+    })?;
+    let weights_file = args.option("--weights")?;
+    args.finish()?;
+    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    if let Some(path) = weights_file {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let pairs = mgba::parse_weights(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        let weights = mgba::apply_weights(sta.netlist(), &pairs)
+            .map_err(|e| format!("applying {path}: {e}"))?;
+        sta.set_weights(&weights);
+        eprintln!("applied {} weights from {path}", pairs.len());
+    }
+    emit(&sta::timing_report(&sta, top))?;
+    Ok(())
+}
+
+fn parse_solver(name: &str) -> Result<Solver, String> {
+    Ok(match name {
+        "gd" => Solver::Gd,
+        "scg" => Solver::Scg,
+        "scgrs" => Solver::ScgRs,
+        "cgnr" => Solver::Cgnr,
+        other => return Err(format!("unknown solver `{other}`")),
+    })
+}
+
+fn cmd_fit(args: &mut Args) -> Result<(), String> {
+    let file = args.positional("netlist file")?;
+    let period: f64 = args.required_option("--period")?;
+    let solver = parse_solver(
+        &args.option("--solver")?.unwrap_or_else(|| "scgrs".into()),
+    )?;
+    let out = args.option("--out")?;
+    args.finish()?;
+    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    let report = run_mgba(&mut sta, &MgbaConfig::default(), solver);
+    if let Some(path) = &out {
+        let text = mgba::write_weights(sta.netlist(), &report.weights);
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote weights sidecar {path}");
+    }
+    println!("design {}: {}", report.design, report.solver_name);
+    println!(
+        "  {} paths fitted over {} weighted cells ({:.1}% gate coverage)",
+        report.num_paths,
+        report.num_gates,
+        100.0 * report.coverage
+    );
+    println!(
+        "  solve: {} iterations, {} row gradients, {:.1} ms, converged = {}",
+        report.iterations,
+        report.rows_touched,
+        report.solve_time.as_secs_f64() * 1e3,
+        report.converged
+    );
+    println!(
+        "  mse vs golden PBA: {:.3e} -> {:.3e}",
+        report.mse_before, report.mse_after
+    );
+    println!(
+        "  pass ratio: {:.2}% -> {:.2}%",
+        report.pass_before.percent(),
+        report.pass_after.percent()
+    );
+    println!(
+        "  corrected timing: WNS {:.1} ps, TNS {:.1} ps, {} violating endpoints",
+        sta.wns(),
+        sta.tns(),
+        sta.violating_endpoints().len()
+    );
+    Ok(())
+}
+
+fn cmd_flow(args: &mut Args) -> Result<(), String> {
+    let file = args.positional("netlist file")?;
+    let period: f64 = args.required_option("--period")?;
+    let timer = args.option("--timer")?.unwrap_or_else(|| "gba".into());
+    args.finish()?;
+    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    let cfg = match timer.as_str() {
+        "gba" => FlowConfig::gba(),
+        "mgba" => FlowConfig::mgba(MgbaConfig::default(), Solver::ScgRs),
+        other => return Err(format!("unknown timer `{other}`")),
+    };
+    let r = run_flow(&mut sta, &cfg);
+    println!("design {} [{} timer]", r.design, r.timer);
+    println!(
+        "  {} passes: {} upsizes, {} buffers, {} recovery downsizes; closed = {}",
+        r.passes, r.counts.upsizes, r.counts.buffers, r.counts.downsizes, r.closed
+    );
+    println!(
+        "  runtime {:.0} ms (mGBA fitting {:.0} ms)",
+        r.elapsed.as_secs_f64() * 1e3,
+        r.mgba_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  area {:.0} -> {:.0} um^2, leakage {:.0} -> {:.0} nW, buffers {} -> {}",
+        r.qor_initial.area,
+        r.qor_final.area,
+        r.qor_initial.leakage,
+        r.qor_final.leakage,
+        r.qor_initial.buffers,
+        r.qor_final.buffers
+    );
+    println!(
+        "  signoff PBA: WNS {:.1} ps, TNS {:.1} ps, {} violating endpoints",
+        r.qor_final_pba.wns, r.qor_final_pba.tns, r.qor_final_pba.violating_endpoints
+    );
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! End-to-end tests of the `mgba-sta` binary: every subcommand driven
+//! through a real process over real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mgba-sta"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mgba_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn generate_stats_report_pipeline() {
+    let nl = tmp("pipe.nl");
+    run_ok(bin().args(["generate", "small:33", "--out"]).arg(&nl));
+    let stats = run_ok(bin().arg("stats").arg(&nl));
+    assert!(stats.contains("design small_33"));
+    assert!(stats.contains("drive mix"));
+    let report = run_ok(bin().arg("report").arg(&nl).args(["--period", "1500"]));
+    assert!(report.contains("WNS"));
+    assert!(report.contains("slack distribution"));
+    let _ = std::fs::remove_file(&nl);
+}
+
+#[test]
+fn verilog_generation_parses_back() {
+    let v = tmp("pipe.v");
+    run_ok(
+        bin()
+            .args(["generate", "small:34", "--format", "verilog", "--out"])
+            .arg(&v),
+    );
+    let text = std::fs::read_to_string(&v).expect("file written");
+    assert!(text.starts_with("module"));
+    // The binary auto-detects Verilog input.
+    let stats = run_ok(bin().arg("stats").arg(&v));
+    assert!(stats.contains("design small_34"));
+    let _ = std::fs::remove_file(&v);
+}
+
+#[test]
+fn fit_writes_and_report_reads_weights() {
+    let nl = tmp("fit.nl");
+    let weights = tmp("fit.weights");
+    run_ok(bin().args(["generate", "small:35", "--out"]).arg(&nl));
+    // A period tight enough to violate (probing would need the library;
+    // small designs violate well below ~1000 ps).
+    let fit_out = run_ok(
+        bin()
+            .arg("fit")
+            .arg(&nl)
+            .args(["--period", "900", "--solver", "cgnr", "--out"])
+            .arg(&weights),
+    );
+    assert!(fit_out.contains("pass ratio"));
+    let sidecar = std::fs::read_to_string(&weights).expect("sidecar written");
+    assert!(sidecar.starts_with("# mgba weights v1"));
+    let report = run_ok(
+        bin()
+            .arg("report")
+            .arg(&nl)
+            .args(["--period", "900", "--weights"])
+            .arg(&weights),
+    );
+    assert!(report.contains("WNS"));
+    let _ = std::fs::remove_file(&nl);
+    let _ = std::fs::remove_file(&weights);
+}
+
+#[test]
+fn sdf_export_is_well_formed() {
+    let nl = tmp("sdf.nl");
+    let sdf = tmp("out.sdf");
+    run_ok(bin().args(["generate", "small:36", "--out"]).arg(&nl));
+    run_ok(
+        bin()
+            .arg("sdf")
+            .arg(&nl)
+            .args(["--period", "1200", "--fit", "--out"])
+            .arg(&sdf),
+    );
+    let text = std::fs::read_to_string(&sdf).expect("sdf written");
+    assert!(text.starts_with("(DELAYFILE"));
+    assert!(text.contains("IOPATH"));
+    let _ = std::fs::remove_file(&nl);
+    let _ = std::fs::remove_file(&sdf);
+}
+
+#[test]
+fn corners_and_flow_and_holdfix_run() {
+    let nl = tmp("flow.nl");
+    run_ok(bin().args(["generate", "small:37", "--out"]).arg(&nl));
+    let corners = run_ok(bin().arg("corners").arg(&nl).args(["--period", "1500"]));
+    assert!(corners.contains("signoff:"));
+    let flow = bin()
+        .arg("flow")
+        .arg(&nl)
+        .args(["--period", "1200", "--timer", "mgba"])
+        .output()
+        .expect("runs");
+    assert!(flow.status.success());
+    assert!(String::from_utf8_lossy(&flow.stdout).contains("signoff PBA"));
+    let hold = bin()
+        .arg("holdfix")
+        .arg(&nl)
+        .args(["--period", "1500"])
+        .output()
+        .expect("runs");
+    assert!(hold.status.success());
+    assert!(String::from_utf8_lossy(&hold.stdout).contains("hold violations"));
+    let _ = std::fs::remove_file(&nl);
+}
+
+#[test]
+fn bad_usage_fails_with_usage_text() {
+    let out = bin().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("usage:"));
+    let out = bin().args(["report", "/nonexistent.nl", "--period", "10"]).output().expect("runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,140 @@
+//! Accuracy metrics of the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative-error threshold for a "good" path (Table 3: 5%).
+pub const PASS_REL_TOL: f64 = 0.05;
+/// Absolute-error threshold for a "good" path (Table 3: 5 ps).
+pub const PASS_ABS_TOL: f64 = 5.0;
+
+/// Modelling squared error of Eq. (12):
+/// `‖model − golden‖₂² / ‖golden‖₂²`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn mse(model: &[f64], golden: &[f64]) -> f64 {
+    assert_eq!(model.len(), golden.len(), "mse: length mismatch");
+    let num: f64 = model
+        .iter()
+        .zip(golden)
+        .map(|(m, g)| (m - g) * (m - g))
+        .sum();
+    let den: f64 = golden.iter().map(|g| g * g).sum();
+    if den > 0.0 {
+        num / den
+    } else if num > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
+/// Relative error φ of Eq. (10): `sqrt(mse)`.
+pub fn phi(model: &[f64], golden: &[f64]) -> f64 {
+    mse(model, golden).sqrt()
+}
+
+/// Whether one path's slack is "good" per the paper's engineers' rule:
+/// relative error below 5% **or** absolute error below 5 ps.
+pub fn path_passes(model_slack: f64, golden_slack: f64) -> bool {
+    let abs_err = (model_slack - golden_slack).abs();
+    if abs_err < PASS_ABS_TOL {
+        return true;
+    }
+    if golden_slack.abs() > 0.0 {
+        abs_err / golden_slack.abs() < PASS_REL_TOL
+    } else {
+        false
+    }
+}
+
+/// Pass-ratio summary over a path population (Table 3's φ = n/N).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PassRatio {
+    /// Paths meeting the accuracy rule.
+    pub passing: usize,
+    /// Paths considered.
+    pub total: usize,
+}
+
+impl PassRatio {
+    /// Computes the ratio over matched model/golden slack pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn compute(model: &[f64], golden: &[f64]) -> Self {
+        assert_eq!(model.len(), golden.len(), "pass ratio: length mismatch");
+        let passing = model
+            .iter()
+            .zip(golden)
+            .filter(|(m, g)| path_passes(**m, **g))
+            .count();
+        Self {
+            passing,
+            total: model.len(),
+        }
+    }
+
+    /// The ratio in `[0, 1]`; `0` for an empty population.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.passing as f64 / self.total as f64
+        }
+    }
+
+    /// The ratio as a percentage.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_matches_formula() {
+        let golden = [3.0, 4.0];
+        let model = [3.0, 5.0];
+        assert!((mse(&model, &golden) - 1.0 / 25.0).abs() < 1e-12);
+        assert!((phi(&model, &golden) - 0.2).abs() < 1e-12);
+        assert_eq!(mse(&golden, &golden), 0.0);
+        assert_eq!(mse(&[1.0], &[0.0]), f64::INFINITY);
+        assert_eq!(mse(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn pass_rule_absolute_branch() {
+        // 4 ps absolute error always passes, even at tiny slack.
+        assert!(path_passes(4.0, 0.5));
+        assert!(path_passes(-102.0, -100.0));
+    }
+
+    #[test]
+    fn pass_rule_relative_branch() {
+        // 4% of a large slack passes; 6% fails.
+        assert!(path_passes(-1040.0, -1000.0));
+        assert!(!path_passes(-1060.0, -1000.0));
+    }
+
+    #[test]
+    fn pass_rule_zero_golden() {
+        assert!(path_passes(4.9, 0.0)); // absolute branch
+        assert!(!path_passes(5.1, 0.0)); // neither branch
+    }
+
+    #[test]
+    fn pass_ratio_aggregates() {
+        let golden = [-1000.0, -1000.0, 10.0];
+        let model = [-1040.0, -1200.0, 11.0];
+        let pr = PassRatio::compute(&model, &golden);
+        assert_eq!(pr.passing, 2);
+        assert_eq!(pr.total, 3);
+        assert!((pr.percent() - 66.666).abs() < 0.01);
+        assert_eq!(PassRatio { passing: 0, total: 0 }.ratio(), 0.0);
+    }
+}

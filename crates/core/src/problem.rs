@@ -1,0 +1,414 @@
+//! The mGBA fitting problem (Eq. (5)–(9) of the paper).
+//!
+//! # Formulation
+//!
+//! The paper attaches a weighting factor `x_j` to every gate and fits the
+//! weighted GBA path slacks to the golden PBA slacks. Written as the
+//! correction form (see DESIGN.md: the weights start at 0 and the optimal
+//! solution is sparse around 0, so `x_j` corrects the derate as
+//! `λ_j·(1 + x_j)`), the model slack of path `i` is
+//!
+//! ```text
+//! s_i(x)  =  s_gba,i − (A·x)_i ,      a_ij = δ_ij · d_j · λ_j
+//! ```
+//!
+//! and the fit is the constrained least squares of Eq. (5),
+//!
+//! ```text
+//! min ‖s(x) − s_pba‖₂   s.t.  s_i(x) ≤ s_pba,i + ε·|s_pba,i| ,
+//! ```
+//!
+//! which in terms of `r = A·x − b` with `b = s_gba − s_pba` reads
+//! `min ‖r‖₂` subject to `(A·x)_i ≥ b_i − ε·|s_pba,i|` — the fitted slack
+//! must stay on the pessimistic side of PBA (within tolerance). The
+//! constraints are folded into the objective with the one-sided quadratic
+//! penalty of Eq. (6).
+
+use crate::metrics;
+use netlist::{CellId, CellRole};
+use sparsela::{CsrBuilder, CsrMatrix};
+use sta::{gba_path_timing, pba_timing, Path, Sta};
+use std::collections::HashMap;
+
+/// The assembled least-squares-with-penalty problem.
+#[derive(Debug, Clone)]
+pub struct FitProblem {
+    a: CsrMatrix,
+    /// Right-hand side `b_i = s_gba,i − s_pba,i` (≤ 0 up to noise: GBA is
+    /// never less pessimistic than PBA).
+    b: Vec<f64>,
+    s_gba: Vec<f64>,
+    s_pba: Vec<f64>,
+    /// Per-row lower bound on `(A·x)_i` from the Eq. (5) constraint.
+    lower: Vec<f64>,
+    /// Column → netlist cell mapping.
+    columns: Vec<CellId>,
+    penalty: f64,
+}
+
+impl FitProblem {
+    /// Builds the problem from an engine (with **zero weights** — the
+    /// matrix encodes original-GBA derates) and a set of selected paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any selected path's gate carries a non-zero weight (the
+    /// problem must be assembled against original GBA).
+    pub fn build(sta: &Sta, paths: &[Path], epsilon: f64, penalty: f64) -> Self {
+        let mut col_of: HashMap<CellId, usize> = HashMap::new();
+        let mut columns: Vec<CellId> = Vec::new();
+        // First pass: discover the column space — combinational gates on
+        // the selected paths plus launching flip-flops (their clock-to-Q
+        // arc is a weighted delay unit too, which lets the fit absorb
+        // launch-specific CRPR pessimism).
+        for p in paths {
+            for &c in weighted_cells(p, sta) {
+                assert_eq!(
+                    sta.gate_weight(c),
+                    0.0,
+                    "FitProblem must be built against original GBA (zero weights)"
+                );
+                col_of.entry(c).or_insert_with(|| {
+                    columns.push(c);
+                    columns.len() - 1
+                });
+            }
+        }
+        let mut builder = CsrBuilder::new(columns.len());
+        let mut b = Vec::with_capacity(paths.len());
+        let mut s_gba = Vec::with_capacity(paths.len());
+        let mut s_pba = Vec::with_capacity(paths.len());
+        let mut lower = Vec::with_capacity(paths.len());
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        for p in paths {
+            row.clear();
+            for &c in weighted_cells(p, sta) {
+                let coeff = sta.gate_delay(c) * sta.gate_derate(c);
+                row.push((col_of[&c], coeff));
+            }
+            builder.push_row(&row);
+            let gba = gba_path_timing(sta, p).slack;
+            let pba = pba_timing(sta, p).slack;
+            b.push(gba - pba);
+            lower.push((gba - pba) - epsilon * pba.abs());
+            s_gba.push(gba);
+            s_pba.push(pba);
+        }
+        Self {
+            a: builder.build(),
+            b,
+            s_gba,
+            s_pba,
+            lower,
+            columns,
+            penalty,
+        }
+    }
+
+    /// Builds a problem from raw parts (testing and synthetic workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths disagree with the matrix shape.
+    pub fn from_parts(
+        a: CsrMatrix,
+        s_gba: Vec<f64>,
+        s_pba: Vec<f64>,
+        columns: Vec<CellId>,
+        epsilon: f64,
+        penalty: f64,
+    ) -> Self {
+        assert_eq!(a.num_rows(), s_gba.len());
+        assert_eq!(a.num_rows(), s_pba.len());
+        assert_eq!(a.num_cols(), columns.len());
+        let b: Vec<f64> = s_gba.iter().zip(&s_pba).map(|(g, p)| g - p).collect();
+        let lower: Vec<f64> = b
+            .iter()
+            .zip(&s_pba)
+            .map(|(bi, pi)| bi - epsilon * pi.abs())
+            .collect();
+        Self {
+            a,
+            b,
+            s_gba,
+            s_pba,
+            lower,
+            columns,
+            penalty,
+        }
+    }
+
+    /// The sparse path×gate matrix `A`.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.a
+    }
+
+    /// Number of path rows (`m` in the paper).
+    pub fn num_paths(&self) -> usize {
+        self.a.num_rows()
+    }
+
+    /// Number of gate columns (`n` in the paper).
+    pub fn num_gates(&self) -> usize {
+        self.a.num_cols()
+    }
+
+    /// Column → cell mapping.
+    pub fn columns(&self) -> &[CellId] {
+        &self.columns
+    }
+
+    /// Golden PBA slacks of the selected paths.
+    pub fn pba_slacks(&self) -> &[f64] {
+        &self.s_pba
+    }
+
+    /// Original GBA slacks of the selected paths.
+    pub fn gba_slacks(&self) -> &[f64] {
+        &self.s_gba
+    }
+
+    /// Model slack of path `i` under weights `x`: `s_gba,i − (A·x)_i`.
+    pub fn model_slack(&self, i: usize, x: &[f64]) -> f64 {
+        self.s_gba[i] - self.a.row_dot(i, x)
+    }
+
+    /// All model slacks under `x`.
+    pub fn model_slacks(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.num_paths())
+            .map(|i| self.model_slack(i, x))
+            .collect()
+    }
+
+    /// Penalized objective value of Eq. (6).
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        let mut f = 0.0;
+        for i in 0..self.num_paths() {
+            let ax = self.a.row_dot(i, x);
+            let r = ax - self.b[i];
+            f += r * r;
+            let v = ax - self.lower[i];
+            if v < 0.0 {
+                f += self.penalty * v * v;
+            }
+        }
+        f
+    }
+
+    /// Full gradient of the penalized objective.
+    pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; self.num_gates()];
+        for i in 0..self.num_paths() {
+            self.accumulate_row_gradient(i, x, &mut g);
+        }
+        g
+    }
+
+    /// Adds row `i`'s gradient contribution into `g` (the kernel of the
+    /// stochastic solver).
+    #[inline]
+    pub fn accumulate_row_gradient(&self, i: usize, x: &[f64], g: &mut [f64]) {
+        let ax = self.a.row_dot(i, x);
+        let mut coeff = 2.0 * (ax - self.b[i]);
+        let v = ax - self.lower[i];
+        if v < 0.0 {
+            coeff += 2.0 * self.penalty * v;
+        }
+        self.a.scatter_row(i, coeff, g);
+    }
+
+    /// Number of paths violating the Eq. (5) constraint under `x` (the
+    /// model is more optimistic than PBA beyond the `ε` tolerance).
+    pub fn violations(&self, x: &[f64]) -> usize {
+        (0..self.num_paths())
+            .filter(|&i| self.a.row_dot(i, x) < self.lower[i])
+            .count()
+    }
+
+    /// Modelling squared error of Eq. (12):
+    /// `‖s(x) − s_pba‖² / ‖s_pba‖²`.
+    pub fn mse(&self, x: &[f64]) -> f64 {
+        metrics::mse(&self.model_slacks(x), &self.s_pba)
+    }
+
+    /// Relative error φ of Eq. (10): `‖s(x) − s_pba‖ / ‖s_pba‖`.
+    pub fn phi(&self, x: &[f64]) -> f64 {
+        self.mse(x).sqrt()
+    }
+
+    /// The row-subset subproblem (same columns) used by Algorithm 1.
+    pub fn subproblem(&self, rows: &[usize]) -> FitProblem {
+        FitProblem {
+            a: self.a.select_rows(rows),
+            b: rows.iter().map(|&r| self.b[r]).collect(),
+            s_gba: rows.iter().map(|&r| self.s_gba[r]).collect(),
+            s_pba: rows.iter().map(|&r| self.s_pba[r]).collect(),
+            lower: rows.iter().map(|&r| self.lower[r]).collect(),
+            columns: self.columns.clone(),
+            penalty: self.penalty,
+        }
+    }
+
+    /// Expands a column-space solution into a per-cell weight vector of
+    /// length `num_cells` (gates not in the column space keep weight 0),
+    /// ready for [`Sta::set_weights`].
+    pub fn to_cell_weights(&self, x: &[f64], num_cells: usize) -> Vec<f64> {
+        assert_eq!(x.len(), self.num_gates(), "solution dimension mismatch");
+        let mut w = vec![0.0; num_cells];
+        for (j, &cell) in self.columns.iter().enumerate() {
+            w[cell.index()] = x[j];
+        }
+        w
+    }
+}
+
+fn middle(p: &Path) -> &[CellId] {
+    &p.cells[1..p.cells.len().saturating_sub(1).max(1)]
+}
+
+/// The cells of a path that carry fit weights: its combinational gates
+/// plus the launching flip-flop (if it launches from one).
+fn weighted_cells<'a>(p: &'a Path, sta: &'a Sta) -> impl Iterator<Item = &'a CellId> {
+    let launch_is_ff = sta.netlist().cell(p.startpoint()).role == CellRole::Sequential;
+    p.cells
+        .first()
+        .into_iter()
+        .filter(move |_| launch_is_ff)
+        .chain(middle(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GeneratorConfig;
+    use sta::{select_critical_paths, DerateSet, Sdc};
+
+    fn problem(seed: u64) -> (Sta, Vec<Path>, FitProblem) {
+        let n = GeneratorConfig::small(seed).generate();
+        let sta = Sta::new(n, Sdc::with_period(1200.0), DerateSet::standard()).unwrap();
+        let paths = select_critical_paths(&sta, 5, 400, false);
+        let p = FitProblem::build(&sta, &paths, 0.02, 4.0);
+        (sta, paths, p)
+    }
+
+    #[test]
+    fn zero_solution_reproduces_gba() {
+        let (_, _, p) = problem(91);
+        let x = vec![0.0; p.num_gates()];
+        let slacks = p.model_slacks(&x);
+        for (m, g) in slacks.iter().zip(p.gba_slacks()) {
+            assert!((m - g).abs() < 1e-9, "x = 0 must reproduce GBA slacks");
+        }
+        // No constraint violations at x = 0 (GBA ≤ PBA slack by
+        // construction).
+        assert_eq!(p.violations(&x), 0);
+    }
+
+    #[test]
+    fn rhs_is_nonpositive() {
+        let (_, _, p) = problem(92);
+        for (g, s) in p.gba_slacks().iter().zip(p.pba_slacks()) {
+            assert!(g <= &(s + 1e-9), "GBA slack must not exceed PBA slack");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (_, _, p) = problem(93);
+        let n = p.num_gates();
+        let x: Vec<f64> = (0..n).map(|j| -0.01 + 0.0003 * (j % 7) as f64).collect();
+        let g = p.gradient(&x);
+        let h = 1e-7;
+        for j in (0..n).step_by(n.max(13) / 13) {
+            let mut xp = x.clone();
+            xp[j] += h;
+            let mut xm = x.clone();
+            xm[j] -= h;
+            let fd = (p.objective(&xp) - p.objective(&xm)) / (2.0 * h);
+            assert!(
+                (g[j] - fd).abs() < 1e-3 * (1.0 + fd.abs()),
+                "col {j}: analytic {} vs fd {}",
+                g[j],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn objective_decreases_along_negative_gradient() {
+        let (_, _, p) = problem(94);
+        let x = vec![0.0; p.num_gates()];
+        let f0 = p.objective(&x);
+        let g = p.gradient(&x);
+        let gn: f64 = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(gn > 0.0, "x = 0 is not optimal (GBA has pessimism)");
+        let step = 1e-6 / gn;
+        let x1: Vec<f64> = x.iter().zip(&g).map(|(xi, gi)| xi - step * gi).collect();
+        assert!(p.objective(&x1) < f0);
+    }
+
+    #[test]
+    fn mse_zero_iff_perfect_fit() {
+        let (_, _, p) = problem(95);
+        let x0 = vec![0.0; p.num_gates()];
+        let m0 = p.mse(&x0);
+        assert!(m0 > 0.0, "GBA has nonzero error vs PBA");
+        assert!((p.phi(&x0) - m0.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subproblem_selects_rows() {
+        let (_, _, p) = problem(96);
+        let rows = vec![0, 2, 4];
+        let sub = p.subproblem(&rows);
+        assert_eq!(sub.num_paths(), 3);
+        assert_eq!(sub.num_gates(), p.num_gates());
+        let x = vec![0.01; p.num_gates()];
+        for (si, &orig) in rows.iter().enumerate() {
+            assert!((sub.model_slack(si, &x) - p.model_slack(orig, &x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cell_weights_expand_to_netlist_space() {
+        let (sta, _, p) = problem(97);
+        let x: Vec<f64> = (0..p.num_gates()).map(|j| -(j as f64) * 1e-4).collect();
+        let w = p.to_cell_weights(&x, sta.netlist().num_cells());
+        assert_eq!(w.len(), sta.netlist().num_cells());
+        for (j, &cell) in p.columns().iter().enumerate() {
+            assert_eq!(w[cell.index()], x[j]);
+        }
+        // All other entries are zero.
+        let nonzero = w.iter().filter(|v| **v != 0.0).count();
+        assert!(nonzero <= p.num_gates());
+    }
+
+    #[test]
+    fn violations_fire_when_too_optimistic() {
+        let (_, _, p) = problem(98);
+        // Hugely negative weights make the model far more optimistic than
+        // PBA: constraints must fire.
+        let x = vec![-0.9; p.num_gates()];
+        assert!(p.violations(&x) > 0);
+        // And the penalty makes that objective worse than a mild fit.
+        let mild = vec![-0.005; p.num_gates()];
+        assert!(p.objective(&x) > p.objective(&mild));
+    }
+
+    #[test]
+    fn coefficients_are_derated_delays() {
+        let (sta, paths, p) = problem(99);
+        // Row 0's coefficients must equal d_j·λ_j of its weighted cells
+        // (combinational gates plus the launch flip-flop, if any).
+        let path = &paths[0];
+        let (cols, vals) = p.matrix().row(0);
+        let launch_is_ff =
+            sta.netlist().cell(path.startpoint()).role == netlist::CellRole::Sequential;
+        assert_eq!(cols.len(), path.num_gates() + usize::from(launch_is_ff));
+        for (&c, &v) in cols.iter().zip(vals) {
+            let cell = p.columns()[c as usize];
+            let expect = sta.gate_delay(cell) * sta.gate_derate(cell);
+            assert!((v - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Optimization solvers for the mGBA fitting problem.
+//!
+//! Three solvers matching the paper's Table 4 comparison, plus a
+//! deterministic reference:
+//!
+//! | module       | paper name   | description |
+//! |--------------|--------------|-------------|
+//! | [`gd`]       | GD + w/o RS  | full-gradient descent over all rows |
+//! | [`scg`]      | SCG + w/o RS | Algorithm 2: stochastic conjugate gradient with randomized-Kaczmarz row draws |
+//! | [`sampling`] | SCG + RS     | Algorithm 1: uniform row sampling with doubling, SCG inner solver |
+//! | [`cgnr`]     | —            | conjugate gradient on the normal equations with an active-set penalty loop; the accuracy oracle used for Fig. 3/Fig. 4 |
+//! | [`ista`]     | —            | L1-regularized FISTA (extension): enforces the sparsity Fig. 3 observes |
+//!
+//! All stochastic solvers share the convergence rule: every
+//! `check_window` iterations the penalized objective is estimated on a
+//! fixed row subsample, and the solve stops when the relative improvement
+//! over the window falls below `inner_tolerance` (the practical analogue
+//! of the paper's relative-variation test, robust to stochastic noise).
+
+pub mod cgnr;
+pub mod gd;
+pub mod ista;
+pub mod sampling;
+pub mod scg;
+
+use crate::config::MgbaConfig;
+use crate::problem::FitProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which solver to run (the paper's Table 4 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Solver {
+    /// Gradient descent without row selection (`GD + w/o RS`).
+    Gd,
+    /// Stochastic conjugate gradient without row selection
+    /// (`SCG + w/o RS`).
+    Scg,
+    /// Uniform row sampling with SCG inner solves (`SCG + RS`).
+    ScgRs,
+    /// Deterministic conjugate-gradient reference (not in the paper's
+    /// comparison; used as the accuracy oracle).
+    Cgnr,
+}
+
+impl Solver {
+    /// Paper-style display name.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Solver::Gd => "GD + w/o RS",
+            Solver::Scg => "SCG + w/o RS",
+            Solver::ScgRs => "SCG + RS",
+            Solver::Cgnr => "CGNR (reference)",
+        }
+    }
+
+    /// Runs this solver on `problem` from a zero start.
+    pub fn solve(self, problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let x0 = vec![0.0; problem.num_gates()];
+        match self {
+            Solver::Gd => gd::solve(problem, config, &x0),
+            Solver::Scg => scg::solve(problem, config, &x0, &mut rng),
+            Solver::ScgRs => sampling::solve(problem, config, &mut rng),
+            Solver::Cgnr => cgnr::solve(problem, config),
+        }
+    }
+}
+
+impl std::fmt::Display for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Outcome of a solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResult {
+    /// The fitted weights in problem column space.
+    pub x: Vec<f64>,
+    /// Iterations performed (inner iterations summed for `ScgRs`).
+    pub iterations: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Final penalized objective value (exact, full rows).
+    pub objective: f64,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+    /// Total row-gradient evaluations — the hardware-independent work
+    /// measure used alongside wall time in the benches.
+    pub rows_touched: u64,
+}
+
+/// Objective estimator over a fixed row subset, shared by GD and SCG for
+/// their plateau-based convergence checks.
+pub(crate) struct ObjectiveProbe {
+    rows: Vec<usize>,
+}
+
+impl ObjectiveProbe {
+    /// Probe over at most `cap` evenly spaced rows.
+    pub(crate) fn new(problem: &FitProblem, cap: usize) -> Self {
+        let m = problem.num_paths();
+        let rows = if m <= cap {
+            (0..m).collect()
+        } else {
+            (0..cap).map(|i| i * m / cap).collect()
+        };
+        Self { rows }
+    }
+
+    /// Estimates the penalized objective on the probe rows.
+    pub(crate) fn estimate(&self, problem: &FitProblem, x: &[f64]) -> f64 {
+        let mut f = 0.0;
+        for &i in &self.rows {
+            let ax = problem.matrix().row_dot(i, x);
+            let r = ax - (problem.gba_slacks()[i] - problem.pba_slacks()[i]);
+            f += r * r;
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::problem::FitProblem;
+    use netlist::CellId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sparsela::CsrBuilder;
+
+    /// A synthetic sparse fitting problem with a planted sparse solution:
+    /// `s_pba = s_gba − A·x_true`, so the optimum of the unpenalized
+    /// objective is exactly `x_true` (residual 0) when rows ≥ columns with
+    /// full column coverage.
+    pub(crate) fn planted(
+        m: usize,
+        n: usize,
+        nnz_per_row: usize,
+        sparsity: f64,
+        seed: u64,
+    ) -> (FitProblem, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x_true = vec![0.0; n];
+        for xi in x_true.iter_mut() {
+            if rng.random_bool(1.0 - sparsity) {
+                *xi = rng.random_range(-0.25..-0.02);
+            }
+        }
+        let mut builder = CsrBuilder::new(n);
+        let mut s_gba = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut row = Vec::with_capacity(nnz_per_row);
+            // Guarantee column coverage: deterministic first column.
+            row.push((i % n, rng.random_range(50.0..150.0)));
+            for _ in 1..nnz_per_row {
+                row.push((rng.random_range(0..n), rng.random_range(50.0..150.0)));
+            }
+            builder.push_row(&row);
+            s_gba.push(-rng.random_range(50.0..500.0));
+        }
+        let a = builder.build();
+        let ax = a.matvec(&x_true);
+        let s_pba: Vec<f64> = s_gba.iter().zip(&ax).map(|(g, v)| g - v).collect();
+        let columns = (0..n).map(CellId::new).collect();
+        let p = FitProblem::from_parts(a, s_gba, s_pba, columns, 0.05, 4.0);
+        (p, x_true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_names() {
+        assert_eq!(Solver::Gd.paper_name(), "GD + w/o RS");
+        assert_eq!(Solver::ScgRs.to_string(), "SCG + RS");
+    }
+
+    #[test]
+    fn probe_covers_small_problems_fully() {
+        let (p, _) = testutil::planted(50, 10, 4, 0.9, 1);
+        let probe = ObjectiveProbe::new(&p, 100);
+        let x = vec![0.0; p.num_gates()];
+        // On a fully covered probe the estimate equals the unpenalized
+        // objective (no violations at x = 0).
+        assert!((probe.estimate(&p, &x) - p.objective(&x)).abs() < 1e-9);
+    }
+}

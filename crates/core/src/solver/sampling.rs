@@ -1,0 +1,181 @@
+//! Uniform row sampling with doubling — the paper's Algorithm 1
+//! (`SCG + RS`).
+//!
+//! The optimal weight vector is extremely sparse (Fig. 3: ~96% of entries
+//! near zero), so a small uniformly sampled subset of the path equations
+//! already pins it down. Algorithm 1 starts from a tiny row ratio `r₀`,
+//! solves the reduced problem with SCG (warm-started from the previous
+//! round), and doubles the ratio until the solution stops moving
+//! (relative change below `ε_u`).
+
+use crate::config::MgbaConfig;
+use crate::problem::FitProblem;
+use crate::solver::{scg, ObjectiveProbe, SolveResult};
+use rand::rngs::StdRng;
+use sparsela::sampling::UniformSampler;
+use sparsela::vecops;
+use std::time::Instant;
+
+/// One doubling round of Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingRound {
+    /// Row-selection ratio of this round.
+    pub ratio: f64,
+    /// Rows in the reduced problem.
+    pub rows: usize,
+    /// Relative solution change vs. the previous round (`∞` on the first).
+    pub change: f64,
+    /// Full-problem objective estimate after this round.
+    pub objective: f64,
+    /// Inner SCG iterations.
+    pub inner_iterations: usize,
+}
+
+/// Runs Algorithm 1 and also returns the per-round trace (used to
+/// regenerate the paper's Fig. 4 convergence plot).
+pub fn solve_traced(
+    problem: &FitProblem,
+    config: &MgbaConfig,
+    rng: &mut StdRng,
+) -> (SolveResult, Vec<SamplingRound>) {
+    let start = Instant::now();
+    let m = problem.num_paths();
+    let sampler = UniformSampler::new();
+    let probe = ObjectiveProbe::new(problem, 512);
+    let mut x = vec![0.0; problem.num_gates()];
+    let mut prev_obj = probe.estimate(problem, &x);
+    let mut ratio = config.initial_row_ratio.clamp(0.0, 1.0);
+    let mut rounds = Vec::new();
+    let mut iterations = 0usize;
+    let mut rows_touched = 0u64;
+    let converged;
+
+    loop {
+        // Lines 1/5: uniform row sample at the current ratio.
+        let rows = sampler.sample_ratio(rng, m, ratio);
+        let reduced = problem.subproblem(&rows);
+        // Line 3: solve the reduced problem. Warm start from the previous
+        // round's solution and continue the step-decay schedule across
+        // rounds, so each round refines rather than re-randomizes.
+        let inner = scg::solve_with_offset(&reduced, config, &x, iterations, rng);
+        iterations += inner.iterations;
+        rows_touched += inner.rows_touched;
+        // Line 2: relative solution variation, plus a full-problem
+        // objective plateau test. The stochastic inner solves leave noise
+        // on x, so the x-criterion alone can keep doubling long after the
+        // fit quality has saturated; the objective probe (uniform rows,
+        // fixed) measures the quantity the doubling is supposed to
+        // improve.
+        let change = vecops::relative_change(&inner.x, &x);
+        let obj = probe.estimate(problem, &inner.x);
+        rounds.push(SamplingRound {
+            ratio,
+            rows: rows.len(),
+            change,
+            objective: obj,
+            inner_iterations: inner.iterations,
+        });
+        // Keep the better iterate when a round regresses on the full
+        // problem (possible when its subsample was unrepresentative).
+        if obj <= prev_obj {
+            x = inner.x;
+            prev_obj = obj;
+        }
+        if change < config.outer_tolerance {
+            converged = true;
+            break;
+        }
+        if ratio >= 1.0 {
+            // All rows already in play; accept the full-problem solve.
+            converged = inner.converged;
+            break;
+        }
+        // Line 4: double the ratio.
+        ratio = (ratio * 2.0).min(1.0);
+    }
+
+    (
+        SolveResult {
+            objective: problem.objective(&x),
+            x,
+            iterations,
+            elapsed: start.elapsed(),
+            converged,
+            rows_touched,
+        },
+        rounds,
+    )
+}
+
+/// Runs Algorithm 1 (discarding the trace).
+pub fn solve(problem: &FitProblem, config: &MgbaConfig, rng: &mut StdRng) -> SolveResult {
+    solve_traced(problem, config, rng).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::testutil::planted;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rs_reduces_objective_substantially() {
+        let (p, _) = planted(2000, 60, 8, 0.9, 31);
+        let f0 = p.objective(&vec![0.0; p.num_gates()]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = solve(&p, &MgbaConfig::default(), &mut rng);
+        assert!(r.objective < 0.2 * f0, "{} !< 0.2·{}", r.objective, f0);
+    }
+
+    #[test]
+    fn rs_touches_fewer_rows_than_plain_scg() {
+        let (p, _) = planted(4000, 60, 8, 0.92, 32);
+        let x0 = vec![0.0; p.num_gates()];
+        let cfg = MgbaConfig::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        let full = scg::solve(&p, &cfg, &x0, &mut rng);
+        let mut rng = StdRng::seed_from_u64(8);
+        let rs = solve(&p, &cfg, &mut rng);
+        assert!(
+            rs.rows_touched < full.rows_touched,
+            "RS {} must touch fewer rows than full SCG {}",
+            rs.rows_touched,
+            full.rows_touched
+        );
+    }
+
+    #[test]
+    fn ratio_doubles_between_rounds() {
+        let (p, _) = planted(1000, 50, 6, 0.9, 33);
+        // Force several rounds by making the outer tolerance strict.
+        let cfg = MgbaConfig {
+            outer_tolerance: 1e-9,
+            max_iterations: 200,
+            ..MgbaConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let (_, rounds) = solve_traced(&p, &cfg, &mut rng);
+        assert!(rounds.len() >= 2);
+        for w in rounds.windows(2) {
+            assert!((w[1].ratio - (w[0].ratio * 2.0).min(1.0)).abs() < 1e-12);
+        }
+        // Terminates at full ratio despite the impossible tolerance.
+        assert_eq!(rounds.last().unwrap().ratio, 1.0);
+    }
+
+    #[test]
+    fn first_round_change_is_infinite_from_zero_start() {
+        let (p, _) = planted(500, 40, 5, 0.9, 34);
+        let mut rng = StdRng::seed_from_u64(10);
+        let (_, rounds) = solve_traced(&p, &MgbaConfig::default(), &mut rng);
+        assert!(rounds[0].change.is_infinite() || rounds[0].change > 1.0);
+    }
+
+    #[test]
+    fn rs_deterministic_given_seed() {
+        let (p, _) = planted(800, 40, 6, 0.9, 35);
+        let a = solve(&p, &MgbaConfig::default(), &mut StdRng::seed_from_u64(11));
+        let b = solve(&p, &MgbaConfig::default(), &mut StdRng::seed_from_u64(11));
+        assert_eq!(a.x, b.x);
+    }
+}

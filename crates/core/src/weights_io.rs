@@ -1,0 +1,190 @@
+//! Persisting fitted weights.
+//!
+//! A fitted correction is only useful if it can outlive the process that
+//! computed it: the optimization flow fits once and many later tool
+//! invocations (reports, what-if sizing, SDF export) want the corrected
+//! view. This module serializes weights as a line-oriented sidecar file
+//! keyed by *cell name* (robust to cell-id renumbering across
+//! sessions):
+//!
+//! ```text
+//! # mgba weights v1 design=D3
+//! g_0_2_14 -0.03125
+//! g_1_0_7 -0.00871
+//! ```
+//!
+//! Zero weights are omitted (the x* sparsity of Fig. 3 keeps these files
+//! small).
+
+use netlist::Netlist;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`parse_weights`] / [`apply_weights`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightsError {
+    /// A line was not `name value`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        reason: String,
+    },
+    /// A referenced cell does not exist in the netlist.
+    UnknownCell(String),
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightsError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            WeightsError::UnknownCell(c) => write!(f, "unknown cell `{c}`"),
+        }
+    }
+}
+
+impl Error for WeightsError {}
+
+/// Serializes per-cell weights (indexed by [`netlist::CellId`]) as the
+/// sidecar format. Cells with exactly-zero weight are omitted.
+pub fn write_weights(netlist: &Netlist, weights: &[f64]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# mgba weights v1 design={}", netlist.name());
+    for (id, cell) in netlist.cells() {
+        let w = weights.get(id.index()).copied().unwrap_or(0.0);
+        if w != 0.0 {
+            let _ = writeln!(out, "{} {}", cell.name, w);
+        }
+    }
+    out
+}
+
+/// Parses the sidecar format into `(cell name, weight)` pairs.
+///
+/// # Errors
+///
+/// Returns [`WeightsError::Malformed`] on bad lines.
+pub fn parse_weights(text: &str) -> Result<Vec<(String, f64)>, WeightsError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(char::is_whitespace) else {
+            return Err(WeightsError::Malformed {
+                line: i + 1,
+                reason: format!("expected `name value`, got `{line}`"),
+            });
+        };
+        let w: f64 = value.trim().parse().map_err(|_| WeightsError::Malformed {
+            line: i + 1,
+            reason: format!("bad weight `{}`", value.trim()),
+        })?;
+        out.push((name.to_owned(), w));
+    }
+    Ok(out)
+}
+
+/// Resolves parsed weights against `netlist` into a dense per-cell
+/// vector suitable for [`sta::Sta::set_weights`].
+///
+/// # Errors
+///
+/// Returns [`WeightsError::UnknownCell`] for names not in the netlist.
+pub fn apply_weights(
+    netlist: &Netlist,
+    pairs: &[(String, f64)],
+) -> Result<Vec<f64>, WeightsError> {
+    let mut weights = vec![0.0; netlist.num_cells()];
+    for (name, w) in pairs {
+        let id = netlist
+            .find_cell(name)
+            .ok_or_else(|| WeightsError::UnknownCell(name.clone()))?;
+        weights[id.index()] = *w;
+    }
+    Ok(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_mgba, MgbaConfig, Solver};
+    use netlist::GeneratorConfig;
+    use sta::{DerateSet, Sdc, Sta};
+
+    fn fitted_engine() -> (Sta, Vec<f64>) {
+        let n = GeneratorConfig::small(1201).generate();
+        let probe =
+            Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
+        let period = 10_000.0 - probe.wns() - 300.0;
+        let mut sta = Sta::new(n, Sdc::with_period(period), DerateSet::standard()).unwrap();
+        let report = run_mgba(&mut sta, &MgbaConfig::default(), Solver::Cgnr);
+        (sta, report.weights)
+    }
+
+    #[test]
+    fn round_trip_preserves_every_weight() {
+        let (sta, weights) = fitted_engine();
+        let text = write_weights(sta.netlist(), &weights);
+        let pairs = parse_weights(&text).unwrap();
+        let restored = apply_weights(sta.netlist(), &pairs).unwrap();
+        for (i, (a, b)) in weights.iter().zip(&restored).enumerate() {
+            assert_eq!(a, b, "weight {i}");
+        }
+    }
+
+    #[test]
+    fn restored_weights_reproduce_corrected_timing() {
+        let (sta, weights) = fitted_engine();
+        let text = write_weights(sta.netlist(), &weights);
+        // A fresh engine + restored weights = the same corrected WNS.
+        let mut fresh = Sta::new(
+            sta.netlist().clone(),
+            sta.sdc().clone(),
+            sta.derates().clone(),
+        )
+        .unwrap();
+        let pairs = parse_weights(&text).unwrap();
+        let restored = apply_weights(fresh.netlist(), &pairs).unwrap();
+        fresh.set_weights(&restored);
+        assert!((fresh.wns() - sta.wns()).abs() < 1e-9);
+        assert!((fresh.tns() - sta.tns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weights_are_omitted() {
+        let (sta, weights) = fitted_engine();
+        let text = write_weights(sta.netlist(), &weights);
+        let nonzero = weights.iter().filter(|w| **w != 0.0).count();
+        // header + one line per nonzero weight
+        assert_eq!(text.lines().count(), nonzero + 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(matches!(
+            parse_weights("just_a_name\n"),
+            Err(WeightsError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_weights("cell not_a_number\n"),
+            Err(WeightsError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_cells_are_rejected() {
+        let (sta, _) = fitted_engine();
+        let err =
+            apply_weights(sta.netlist(), &[("ghost".to_owned(), -0.1)]).unwrap_err();
+        assert_eq!(err, WeightsError::UnknownCell("ghost".to_owned()));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let pairs = parse_weights("# header\n\na -0.5\n").unwrap();
+        assert_eq!(pairs, vec![("a".to_owned(), -0.5)]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Cell instances.
+
+use crate::ids::{LibCellId, NetId};
+use crate::library::Function;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Structural role of a cell instance, derived from its library function.
+///
+/// Downstream analyses branch on the role constantly (ports anchor the
+/// timing graph, sequentials split it into launch/capture stages, clock
+/// cells are exempt from data-path transforms), so it is precomputed here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellRole {
+    /// Primary input port.
+    Input,
+    /// Primary output port.
+    Output,
+    /// Clock source port (an input port distributing the clock).
+    ClockSource,
+    /// Flip-flop.
+    Sequential,
+    /// Clock-tree buffer.
+    ClockBuffer,
+    /// Ordinary combinational gate.
+    Combinational,
+}
+
+impl CellRole {
+    /// Whether this cell launches or terminates data paths.
+    pub fn is_path_boundary(self) -> bool {
+        matches!(
+            self,
+            CellRole::Input | CellRole::Output | CellRole::Sequential
+        )
+    }
+
+    /// Whether this cell belongs to the clock network.
+    pub fn is_clock_network(self) -> bool {
+        matches!(self, CellRole::ClockSource | CellRole::ClockBuffer)
+    }
+}
+
+/// A cell instance in a [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// The characterized library cell implementing this instance.
+    pub lib_cell: LibCellId,
+    /// Structural role.
+    pub role: CellRole,
+    /// Placement location.
+    pub loc: Point,
+    /// Input nets, one per input pin in pin order. A slot may be `None`
+    /// while the netlist is under construction; [`NetlistBuilder::build`]
+    /// rejects unconnected pins.
+    ///
+    /// [`NetlistBuilder::build`]: crate::NetlistBuilder::build
+    pub inputs: Vec<Option<NetId>>,
+    /// The net driven by this cell's output pin, if it has one.
+    pub output: Option<NetId>,
+}
+
+impl Cell {
+    /// Creates an unconnected instance of `lib_cell` with `arity` input slots.
+    pub(crate) fn new(
+        name: String,
+        lib_cell: LibCellId,
+        function: Function,
+        role: CellRole,
+        loc: Point,
+    ) -> Self {
+        Self {
+            name,
+            lib_cell,
+            role,
+            loc,
+            inputs: vec![None; function.arity()],
+            output: None,
+        }
+    }
+
+    /// Iterates over the connected input nets (skipping unconnected slots).
+    pub fn input_nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.inputs.iter().filter_map(|n| *n)
+    }
+
+    /// Whether every input pin is connected and the output (if required)
+    /// drives a net.
+    pub fn fully_connected(&self, has_output: bool) -> bool {
+        self.inputs.iter().all(Option::is_some) && (!has_output || self.output.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_predicates() {
+        assert!(CellRole::Input.is_path_boundary());
+        assert!(CellRole::Sequential.is_path_boundary());
+        assert!(!CellRole::Combinational.is_path_boundary());
+        assert!(CellRole::ClockBuffer.is_clock_network());
+        assert!(CellRole::ClockSource.is_clock_network());
+        assert!(!CellRole::Sequential.is_clock_network());
+    }
+
+    #[test]
+    fn new_cell_has_empty_slots() {
+        let c = Cell::new(
+            "u1".to_owned(),
+            LibCellId::new(0),
+            Function::Nand2,
+            CellRole::Combinational,
+            Point::ORIGIN,
+        );
+        assert_eq!(c.inputs.len(), 2);
+        assert_eq!(c.input_nets().count(), 0);
+        assert!(!c.fully_connected(true));
+    }
+}

@@ -1,0 +1,348 @@
+//! Plain-text netlist interchange format.
+//!
+//! A deliberately simple, line-oriented format for persisting generated
+//! designs and inspecting them with ordinary text tools:
+//!
+//! ```text
+//! design tiny
+//! library std45
+//! cell ff0 DFF_X1 seq 10 0
+//! cell u_inv INV_X1 comb 20 5
+//! net ff0_out driver=ff0 sinks=u_inv:0
+//! end
+//! ```
+//!
+//! Roles: `input`, `output`, `clock`, `seq`, `clkbuf`, `comb`.
+//! Only designs mapped to the [`Library::standard`] library (`std45`) can
+//! be re-read, because the format stores library cell *names*, not
+//! characterization data.
+
+use crate::cell::{Cell, CellRole};
+use crate::ids::{CellId, NetId, PinIndex};
+use crate::library::Library;
+use crate::netlist::{Net, Netlist};
+use crate::point::Point;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors produced by [`parse_netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNetlistError {
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The file references a library other than `std45`.
+    UnsupportedLibrary(String),
+    /// The parsed netlist failed structural validation.
+    Invalid(String),
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseNetlistError::UnsupportedLibrary(l) => {
+                write!(f, "unsupported library `{l}` (only std45 can be re-read)")
+            }
+            ParseNetlistError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+fn role_token(role: CellRole) -> &'static str {
+    match role {
+        CellRole::Input => "input",
+        CellRole::Output => "output",
+        CellRole::ClockSource => "clock",
+        CellRole::Sequential => "seq",
+        CellRole::ClockBuffer => "clkbuf",
+        CellRole::Combinational => "comb",
+    }
+}
+
+fn parse_role(tok: &str) -> Option<CellRole> {
+    Some(match tok {
+        "input" => CellRole::Input,
+        "output" => CellRole::Output,
+        "clock" => CellRole::ClockSource,
+        "seq" => CellRole::Sequential,
+        "clkbuf" => CellRole::ClockBuffer,
+        "comb" => CellRole::Combinational,
+        _ => return None,
+    })
+}
+
+/// Serializes `netlist` to the text format.
+///
+/// The output is stable: cells and nets appear in id order, so diffs
+/// between two dumps of the same design are meaningful.
+pub fn write_netlist(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "design {}", netlist.name());
+    let _ = writeln!(out, "library {}", netlist.library().name());
+    for (_, cell) in netlist.cells() {
+        let lib = netlist.library().cell(cell.lib_cell);
+        // Default f64 formatting is the shortest string that round-trips
+        // exactly, so parsed placements (and therefore timing) are
+        // bit-identical.
+        let _ = writeln!(
+            out,
+            "cell {} {} {} {} {}",
+            cell.name,
+            lib.name,
+            role_token(cell.role),
+            cell.loc.x,
+            cell.loc.y
+        );
+    }
+    for (id, net) in netlist.nets() {
+        let driver = net
+            .driver
+            .map(|d| netlist.cell(d).name.clone())
+            .unwrap_or_else(|| "-".to_owned());
+        let sinks: Vec<String> = net
+            .sinks
+            .iter()
+            .map(|&(c, p)| format!("{}:{}", netlist.cell(c).name, p.0))
+            .collect();
+        let _ = writeln!(
+            out,
+            "net {} driver={} sinks={}",
+            net.name,
+            driver,
+            sinks.join(",")
+        );
+        let _ = id;
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses the text format back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on malformed lines, unknown library cells,
+/// libraries other than `std45`, or if the reconstructed netlist fails
+/// [`Netlist::validate`].
+pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let malformed = |line: usize, reason: &str| ParseNetlistError::Malformed {
+        line,
+        reason: reason.to_owned(),
+    };
+
+    let library = Library::standard();
+    let mut design_name = String::new();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut nets: Vec<Net> = Vec::new();
+    let mut cell_names: HashMap<String, CellId> = HashMap::new();
+    let mut net_names: HashMap<String, NetId> = HashMap::new();
+    let mut saw_end = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if saw_end {
+            return Err(malformed(lineno, "content after `end`"));
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("design") => {
+                design_name = toks
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing design name"))?
+                    .to_owned();
+            }
+            Some("library") => {
+                let name = toks
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing library name"))?;
+                if name != library.name() {
+                    return Err(ParseNetlistError::UnsupportedLibrary(name.to_owned()));
+                }
+            }
+            Some("cell") => {
+                let name = toks
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing cell name"))?;
+                let lib_name = toks
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing library cell"))?;
+                let role_tok = toks
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing role"))?;
+                let x: f64 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad x coordinate"))?;
+                let y: f64 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad y coordinate"))?;
+                let lib_cell = library
+                    .find(lib_name)
+                    .ok_or_else(|| malformed(lineno, &format!("unknown library cell `{lib_name}`")))?;
+                let role = parse_role(role_tok)
+                    .ok_or_else(|| malformed(lineno, &format!("unknown role `{role_tok}`")))?;
+                if cell_names.contains_key(name) {
+                    return Err(malformed(lineno, &format!("duplicate cell `{name}`")));
+                }
+                let function = library.cell(lib_cell).function;
+                let id = CellId::new(cells.len());
+                cell_names.insert(name.to_owned(), id);
+                cells.push(Cell::new(
+                    name.to_owned(),
+                    lib_cell,
+                    function,
+                    role,
+                    Point::new(x, y),
+                ));
+            }
+            Some("net") => {
+                let name = toks
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing net name"))?;
+                let driver_tok = toks
+                    .next()
+                    .and_then(|t| t.strip_prefix("driver="))
+                    .ok_or_else(|| malformed(lineno, "missing driver="))?;
+                let sinks_tok = toks
+                    .next()
+                    .and_then(|t| t.strip_prefix("sinks="))
+                    .ok_or_else(|| malformed(lineno, "missing sinks="))?;
+                let driver = if driver_tok == "-" {
+                    None
+                } else {
+                    Some(*cell_names.get(driver_tok).ok_or_else(|| {
+                        malformed(lineno, &format!("unknown driver `{driver_tok}`"))
+                    })?)
+                };
+                let mut sinks = Vec::new();
+                if !sinks_tok.is_empty() {
+                    for s in sinks_tok.split(',') {
+                        let (cname, pin) = s.split_once(':').ok_or_else(|| {
+                            malformed(lineno, &format!("bad sink `{s}` (want cell:pin)"))
+                        })?;
+                        let cid = *cell_names.get(cname).ok_or_else(|| {
+                            malformed(lineno, &format!("unknown sink `{cname}`"))
+                        })?;
+                        let pin: u8 = pin
+                            .parse()
+                            .map_err(|_| malformed(lineno, &format!("bad pin in `{s}`")))?;
+                        sinks.push((cid, PinIndex(pin)));
+                    }
+                }
+                let net_id = NetId::new(nets.len());
+                if net_names.contains_key(name) {
+                    return Err(malformed(lineno, &format!("duplicate net `{name}`")));
+                }
+                net_names.insert(name.to_owned(), net_id);
+                // Wire the referenced pins.
+                if let Some(d) = driver {
+                    cells[d.index()].output = Some(net_id);
+                }
+                for &(c, p) in &sinks {
+                    let slot = cells[c.index()]
+                        .inputs
+                        .get_mut(p.index())
+                        .ok_or_else(|| {
+                            malformed(lineno, &format!("pin {p} out of range on sink"))
+                        })?;
+                    *slot = Some(net_id);
+                }
+                nets.push(Net {
+                    name: name.to_owned(),
+                    driver,
+                    sinks,
+                });
+            }
+            Some("end") => saw_end = true,
+            Some(other) => {
+                return Err(malformed(lineno, &format!("unknown directive `{other}`")));
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+
+    let netlist = Netlist::from_parts(design_name, library, cells, nets, cell_names, net_names);
+    netlist
+        .validate()
+        .map_err(|e| ParseNetlistError::Invalid(e.to_string()))?;
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GeneratorConfig;
+
+    #[test]
+    fn round_trip_small_design() {
+        let original = GeneratorConfig::small(5).generate();
+        let text = write_netlist(&original);
+        let parsed = parse_netlist(&text).unwrap();
+        assert_eq!(parsed.name(), original.name());
+        assert_eq!(parsed.num_cells(), original.num_cells());
+        assert_eq!(parsed.num_nets(), original.num_nets());
+        assert_eq!(parsed.total_area(), original.total_area());
+        // Second dump is byte-identical (stable ordering).
+        assert_eq!(write_netlist(&parsed), text);
+    }
+
+    #[test]
+    fn rejects_unknown_library() {
+        let err = parse_netlist("design x\nlibrary exotic\nend\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::UnsupportedLibrary(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_cell_line() {
+        let err = parse_netlist("design x\nlibrary std45\ncell only_name\nend\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::Malformed { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_sink() {
+        let text = "design x\nlibrary std45\nnet n driver=- sinks=ghost:0\nend\n";
+        let err = parse_netlist(text).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn rejects_content_after_end() {
+        let err = parse_netlist("design x\nlibrary std45\nend\ncell a INV_X1 comb 0 0\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("after `end`"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let original = GeneratorConfig::small(9).generate();
+        let mut text = String::from("# header comment\n\n");
+        text.push_str(&write_netlist(&original));
+        let parsed = parse_netlist(&text).unwrap();
+        assert_eq!(parsed.num_cells(), original.num_cells());
+    }
+
+    #[test]
+    fn invalid_structure_is_reported() {
+        // A flip-flop with an unconnected D pin.
+        let text = "design x\nlibrary std45\ncell ff DFF_X1 seq 0 0\nend\n";
+        let err = parse_netlist(text).unwrap_err();
+        assert!(matches!(err, ParseNetlistError::Invalid(_)));
+    }
+}

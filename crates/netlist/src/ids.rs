@@ -1,0 +1,133 @@
+//! Strongly-typed identifiers for netlist entities.
+//!
+//! All identifiers are dense indices into the owning [`Netlist`]'s internal
+//! vectors, so lookups are O(1) and the ids double as array indices in
+//! downstream analyses (the STA engine keeps per-cell side tables keyed by
+//! `CellId::index`).
+//!
+//! [`Netlist`]: crate::Netlist
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "id index overflow");
+                Self(index as u32)
+            }
+
+            /// Returns the dense index backing this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+dense_id! {
+    /// Identifier of a cell instance within a [`Netlist`](crate::Netlist).
+    CellId, "c"
+}
+
+dense_id! {
+    /// Identifier of a net within a [`Netlist`](crate::Netlist).
+    NetId, "n"
+}
+
+dense_id! {
+    /// Identifier of a characterized cell within a [`Library`](crate::Library).
+    LibCellId, "L"
+}
+
+/// Index of an input pin on a cell instance (`0`-based, in declaration
+/// order; for flip-flops pin `0` is `D` and pin `1` is `CK`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PinIndex(pub u8);
+
+impl PinIndex {
+    /// The `D` data pin of a flip-flop.
+    pub const FF_D: PinIndex = PinIndex(0);
+    /// The `CK` clock pin of a flip-flop.
+    pub const FF_CK: PinIndex = PinIndex(1);
+
+    /// Returns the pin index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PinIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        let c = CellId::new(42);
+        assert_eq!(c.index(), 42);
+        assert_eq!(usize::from(c), 42);
+        let n = NetId::new(0);
+        assert_eq!(n.index(), 0);
+        let l = LibCellId::new(7);
+        assert_eq!(l.index(), 7);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(CellId::new(3).to_string(), "c3");
+        assert_eq!(NetId::new(9).to_string(), "n9");
+        assert_eq!(LibCellId::new(1).to_string(), "L1");
+        assert_eq!(PinIndex(2).to_string(), "p2");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(CellId::new(1) < CellId::new(2));
+        assert!(NetId::new(0) < NetId::new(10));
+    }
+
+    #[test]
+    fn pin_constants() {
+        assert_eq!(PinIndex::FF_D.index(), 0);
+        assert_eq!(PinIndex::FF_CK.index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflow")]
+    fn id_overflow_panics() {
+        let _ = CellId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,641 @@
+//! Liberty (`.lib`) cell-library format — a recognizable subset.
+//!
+//! Characterized libraries ship as Liberty files; this module reads and
+//! writes the subset this crate's [`Library`] models, in conventional
+//! Liberty syntax (brace groups, `attribute : value;` pairs):
+//!
+//! ```text
+//! library (std45) {
+//!   wire_load ("estimate") {
+//!     cap_per_um : 0.2;
+//!     delay_per_um : 0.05;
+//!     delay_per_um2 : 0.0009;
+//!   }
+//!   cell (INV_X1) {
+//!     function : inv;
+//!     drive_strength : X1;
+//!     area : 0.74;
+//!     cell_leakage_power : 8;
+//!     pin_capacitance : 1.54;
+//!     max_capacitance : 24;
+//!     timing () {
+//!       intrinsic : 15.52;
+//!       resistance : 4.6;
+//!       slew_sensitivity : 0.04;
+//!       slew_intrinsic : 18;
+//!       slew_resistance : 3;
+//!     }
+//!   }
+//!   cell (DFF_X1) {
+//!     ...
+//!     timing_check () {
+//!       setup : 32;
+//!       hold : 8;
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! The `function` attribute names one of this crate's [`Function`]s in
+//! lower case (`inv`, `nand2`, `dff`, `clkbuf`, …).
+
+use crate::library::{DriveStrength, Function, LibCell, Library};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`parse_liberty`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseLibertyError {
+    /// Lexical/syntactic problem with a description.
+    Syntax(String),
+    /// A cell is missing a required attribute.
+    MissingAttribute {
+        /// Cell name.
+        cell: String,
+        /// Attribute name.
+        attribute: &'static str,
+    },
+    /// An attribute value could not be interpreted.
+    BadValue {
+        /// Attribute name.
+        attribute: String,
+        /// Offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ParseLibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLibertyError::Syntax(m) => write!(f, "syntax error: {m}"),
+            ParseLibertyError::MissingAttribute { cell, attribute } => {
+                write!(f, "cell `{cell}` is missing `{attribute}`")
+            }
+            ParseLibertyError::BadValue { attribute, value } => {
+                write!(f, "bad value `{value}` for `{attribute}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseLibertyError {}
+
+/// A parsed Liberty group: `name (args) { attributes; subgroups }`.
+#[derive(Debug, Clone)]
+struct Group {
+    name: String,
+    args: Vec<String>,
+    attributes: Vec<(String, String)>,
+    subgroups: Vec<Group>,
+}
+
+impl Group {
+    fn attr(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn attr_f64(&self, key: &str) -> Result<Option<f64>, ParseLibertyError> {
+        match self.attr(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ParseLibertyError::BadValue {
+                    attribute: key.to_owned(),
+                    value: v.to_owned(),
+                }),
+        }
+    }
+
+    fn subgroup(&self, name: &str) -> Option<&Group> {
+        self.subgroups.iter().find(|g| g.name == name)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // /* ... */ comments
+            if self.pos + 1 < self.src.len()
+                && self.src[self.pos] == b'/'
+                && self.src[self.pos + 1] == b'*'
+            {
+                self.pos += 2;
+                while self.pos + 1 < self.src.len()
+                    && !(self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/')
+                {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 2).min(self.src.len());
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// Reads an identifier / number / quoted string token.
+    fn token(&mut self) -> Result<String, ParseLibertyError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.src.get(self.pos) == Some(&b'"') {
+            self.pos += 1;
+            let s = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                self.pos += 1;
+            }
+            let out = String::from_utf8_lossy(&self.src[s..self.pos]).into_owned();
+            self.pos += 1;
+            return Ok(out);
+        }
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b'-' | b'+') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(ParseLibertyError::Syntax(format!(
+                "expected a token at byte {start}"
+            )));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+}
+
+/// Parses one group starting at `name`.
+fn parse_group(lex: &mut Lexer<'_>) -> Result<Group, ParseLibertyError> {
+    let name = lex.token()?;
+    // (args)
+    if lex.peek() != Some(b'(') {
+        return Err(ParseLibertyError::Syntax(format!(
+            "group `{name}` missing `(`"
+        )));
+    }
+    lex.bump();
+    let mut args = Vec::new();
+    loop {
+        match lex.peek() {
+            Some(b')') => {
+                lex.bump();
+                break;
+            }
+            Some(b',') => {
+                lex.bump();
+            }
+            Some(_) => args.push(lex.token()?),
+            None => {
+                return Err(ParseLibertyError::Syntax(format!(
+                    "unterminated argument list in `{name}`"
+                )))
+            }
+        }
+    }
+    if lex.peek() != Some(b'{') {
+        return Err(ParseLibertyError::Syntax(format!(
+            "group `{name}` missing `{{`"
+        )));
+    }
+    lex.bump();
+    let mut attributes = Vec::new();
+    let mut subgroups = Vec::new();
+    loop {
+        match lex.peek() {
+            Some(b'}') => {
+                lex.bump();
+                break;
+            }
+            None => {
+                return Err(ParseLibertyError::Syntax(format!(
+                    "unterminated group `{name}`"
+                )))
+            }
+            Some(_) => {
+                let key = lex.token()?;
+                match lex.peek() {
+                    Some(b':') => {
+                        lex.bump();
+                        let value = lex.token()?;
+                        if lex.peek() == Some(b';') {
+                            lex.bump();
+                        }
+                        attributes.push((key, value));
+                    }
+                    Some(b'(') => {
+                        // Re-parse as a subgroup: rewind is awkward, so
+                        // inline the group parse with the known name.
+                        lex.bump();
+                        let mut sub_args = Vec::new();
+                        loop {
+                            match lex.peek() {
+                                Some(b')') => {
+                                    lex.bump();
+                                    break;
+                                }
+                                Some(b',') => {
+                                    lex.bump();
+                                }
+                                Some(_) => sub_args.push(lex.token()?),
+                                None => {
+                                    return Err(ParseLibertyError::Syntax(format!(
+                                        "unterminated argument list in `{key}`"
+                                    )))
+                                }
+                            }
+                        }
+                        if lex.peek() != Some(b'{') {
+                            return Err(ParseLibertyError::Syntax(format!(
+                                "group `{key}` missing `{{`"
+                            )));
+                        }
+                        lex.bump();
+                        let mut sub = Group {
+                            name: key,
+                            args: sub_args,
+                            attributes: Vec::new(),
+                            subgroups: Vec::new(),
+                        };
+                        parse_group_body(lex, &mut sub)?;
+                        subgroups.push(sub);
+                    }
+                    other => {
+                        return Err(ParseLibertyError::Syntax(format!(
+                            "after `{key}`: expected `:` or `(`, found {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(Group {
+        name,
+        args,
+        attributes,
+        subgroups,
+    })
+}
+
+/// Parses attributes/subgroups until the closing `}` (the `{` has been
+/// consumed).
+fn parse_group_body(lex: &mut Lexer<'_>, group: &mut Group) -> Result<(), ParseLibertyError> {
+    loop {
+        match lex.peek() {
+            Some(b'}') => {
+                lex.bump();
+                return Ok(());
+            }
+            None => {
+                return Err(ParseLibertyError::Syntax(format!(
+                    "unterminated group `{}`",
+                    group.name
+                )))
+            }
+            Some(_) => {
+                let key = lex.token()?;
+                match lex.peek() {
+                    Some(b':') => {
+                        lex.bump();
+                        let value = lex.token()?;
+                        if lex.peek() == Some(b';') {
+                            lex.bump();
+                        }
+                        group.attributes.push((key, value));
+                    }
+                    Some(b'(') => {
+                        lex.bump();
+                        let mut sub_args = Vec::new();
+                        loop {
+                            match lex.peek() {
+                                Some(b')') => {
+                                    lex.bump();
+                                    break;
+                                }
+                                Some(b',') => {
+                                    lex.bump();
+                                }
+                                Some(_) => sub_args.push(lex.token()?),
+                                None => {
+                                    return Err(ParseLibertyError::Syntax(format!(
+                                        "unterminated argument list in `{key}`"
+                                    )))
+                                }
+                            }
+                        }
+                        if lex.peek() != Some(b'{') {
+                            return Err(ParseLibertyError::Syntax(format!(
+                                "group `{key}` missing `{{`"
+                            )));
+                        }
+                        lex.bump();
+                        let mut sub = Group {
+                            name: key,
+                            args: sub_args,
+                            attributes: Vec::new(),
+                            subgroups: Vec::new(),
+                        };
+                        parse_group_body(lex, &mut sub)?;
+                        group.subgroups.push(sub);
+                    }
+                    other => {
+                        return Err(ParseLibertyError::Syntax(format!(
+                            "after `{key}`: expected `:` or `(`, found {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn parse_function(name: &str) -> Option<Function> {
+    Some(match name {
+        "input" => Function::Input,
+        "output" => Function::Output,
+        "buf" => Function::Buf,
+        "inv" => Function::Inv,
+        "nand2" => Function::Nand2,
+        "nor2" => Function::Nor2,
+        "and2" => Function::And2,
+        "or2" => Function::Or2,
+        "xor2" => Function::Xor2,
+        "mux2" => Function::Mux2,
+        "aoi21" => Function::Aoi21,
+        "dff" => Function::Dff,
+        "clkbuf" => Function::ClkBuf,
+        _ => return None,
+    })
+}
+
+fn function_keyword(f: Function) -> &'static str {
+    match f {
+        Function::Input => "input",
+        Function::Output => "output",
+        Function::Buf => "buf",
+        Function::Inv => "inv",
+        Function::Nand2 => "nand2",
+        Function::Nor2 => "nor2",
+        Function::And2 => "and2",
+        Function::Or2 => "or2",
+        Function::Xor2 => "xor2",
+        Function::Mux2 => "mux2",
+        Function::Aoi21 => "aoi21",
+        Function::Dff => "dff",
+        Function::ClkBuf => "clkbuf",
+    }
+}
+
+fn parse_drive(name: &str) -> Option<DriveStrength> {
+    Some(match name {
+        "X1" => DriveStrength::X1,
+        "X2" => DriveStrength::X2,
+        "X4" => DriveStrength::X4,
+        "X8" => DriveStrength::X8,
+        _ => return None,
+    })
+}
+
+/// Parses a Liberty-subset file into a [`Library`].
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] on any syntax or semantic problem.
+pub fn parse_liberty(src: &str) -> Result<Library, ParseLibertyError> {
+    let mut lex = Lexer::new(src);
+    let root = parse_group(&mut lex)?;
+    if root.name != "library" {
+        return Err(ParseLibertyError::Syntax(format!(
+            "expected `library`, found `{}`",
+            root.name
+        )));
+    }
+    let lib_name = root
+        .args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "unnamed".to_owned());
+    let mut library = Library::new(lib_name);
+
+    if let Some(wire) = root.subgroup("wire_load") {
+        if let Some(v) = wire.attr_f64("cap_per_um")? {
+            library.wire_cap_per_um = v;
+        }
+        if let Some(v) = wire.attr_f64("delay_per_um")? {
+            library.wire_delay_per_um = v;
+        }
+        if let Some(v) = wire.attr_f64("delay_per_um2")? {
+            library.wire_delay_per_um2 = v;
+        }
+    }
+
+    for cell in root.subgroups.iter().filter(|g| g.name == "cell") {
+        let cell_name = cell
+            .args
+            .first()
+            .cloned()
+            .ok_or_else(|| ParseLibertyError::Syntax("cell without a name".to_owned()))?;
+        let missing = |attribute: &'static str| ParseLibertyError::MissingAttribute {
+            cell: cell_name.clone(),
+            attribute,
+        };
+        let function_name = cell.attr("function").ok_or_else(|| missing("function"))?;
+        let function =
+            parse_function(function_name).ok_or_else(|| ParseLibertyError::BadValue {
+                attribute: "function".to_owned(),
+                value: function_name.to_owned(),
+            })?;
+        let drive_name = cell.attr("drive_strength").unwrap_or("X1");
+        let drive = parse_drive(drive_name).ok_or_else(|| ParseLibertyError::BadValue {
+            attribute: "drive_strength".to_owned(),
+            value: drive_name.to_owned(),
+        })?;
+        let timing = cell.subgroup("timing");
+        let check = cell.subgroup("timing_check");
+        let get = |g: Option<&Group>, key: &str| -> Result<f64, ParseLibertyError> {
+            match g {
+                Some(g) => Ok(g.attr_f64(key)?.unwrap_or(0.0)),
+                None => Ok(0.0),
+            }
+        };
+        library.add(LibCell {
+            name: cell_name.clone(),
+            function,
+            drive,
+            area: cell.attr_f64("area")?.unwrap_or(0.0),
+            leakage: cell.attr_f64("cell_leakage_power")?.unwrap_or(0.0),
+            input_cap: cell.attr_f64("pin_capacitance")?.unwrap_or(0.0),
+            max_load: cell
+                .attr_f64("max_capacitance")?
+                .unwrap_or(f64::INFINITY),
+            intrinsic: get(timing, "intrinsic")?,
+            drive_res: get(timing, "resistance")?,
+            slew_sens: get(timing, "slew_sensitivity")?,
+            slew_intrinsic: get(timing, "slew_intrinsic")?,
+            slew_res: get(timing, "slew_resistance")?,
+            setup: get(check, "setup")?,
+            hold: get(check, "hold")?,
+        });
+    }
+    Ok(library)
+}
+
+/// Writes a [`Library`] in the Liberty subset [`parse_liberty`] reads.
+pub fn write_liberty(library: &Library) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", library.name());
+    let _ = writeln!(out, "  wire_load (\"estimate\") {{");
+    let _ = writeln!(out, "    cap_per_um : {};", library.wire_cap_per_um);
+    let _ = writeln!(out, "    delay_per_um : {};", library.wire_delay_per_um);
+    let _ = writeln!(out, "    delay_per_um2 : {};", library.wire_delay_per_um2);
+    let _ = writeln!(out, "  }}");
+    for (_, cell) in library.iter() {
+        let _ = writeln!(out, "  cell ({}) {{", cell.name);
+        let _ = writeln!(out, "    function : {};", function_keyword(cell.function));
+        let _ = writeln!(out, "    drive_strength : {};", cell.drive);
+        let _ = writeln!(out, "    area : {};", cell.area);
+        let _ = writeln!(out, "    cell_leakage_power : {};", cell.leakage);
+        let _ = writeln!(out, "    pin_capacitance : {};", cell.input_cap);
+        if cell.max_load.is_finite() {
+            let _ = writeln!(out, "    max_capacitance : {};", cell.max_load);
+        }
+        let _ = writeln!(out, "    timing () {{");
+        let _ = writeln!(out, "      intrinsic : {};", cell.intrinsic);
+        let _ = writeln!(out, "      resistance : {};", cell.drive_res);
+        let _ = writeln!(out, "      slew_sensitivity : {};", cell.slew_sens);
+        let _ = writeln!(out, "      slew_intrinsic : {};", cell.slew_intrinsic);
+        let _ = writeln!(out, "      slew_resistance : {};", cell.slew_res);
+        let _ = writeln!(out, "    }}");
+        if cell.function == Function::Dff {
+            let _ = writeln!(out, "    timing_check () {{");
+            let _ = writeln!(out, "      setup : {};", cell.setup);
+            let _ = writeln!(out, "      hold : {};", cell.hold);
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_standard_library() {
+        let original = Library::standard();
+        let text = write_liberty(&original);
+        let parsed = parse_liberty(&text).unwrap();
+        assert_eq!(parsed.name(), original.name());
+        assert_eq!(parsed.len(), original.len());
+        assert_eq!(parsed.wire_cap_per_um, original.wire_cap_per_um);
+        for (_, cell) in original.iter() {
+            let id = parsed.find(&cell.name).expect("cell survives");
+            let p = parsed.cell(id);
+            assert_eq!(p.function, cell.function, "{}", cell.name);
+            assert_eq!(p.drive, cell.drive);
+            assert_eq!(p.intrinsic, cell.intrinsic);
+            assert_eq!(p.drive_res, cell.drive_res);
+            assert_eq!(p.setup, cell.setup);
+            assert_eq!(p.hold, cell.hold);
+            assert_eq!(p.area, cell.area);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_cell() {
+        let src = r#"
+library (mini) {
+  /* a comment */
+  wire_load ("estimate") { cap_per_um : 0.1; delay_per_um : 0.02; delay_per_um2 : 0.0005; }
+  cell (INV_X1) {
+    function : inv;
+    drive_strength : X1;
+    area : 0.7;
+    cell_leakage_power : 8;
+    pin_capacitance : 1.5;
+    max_capacitance : 20;
+    timing () { intrinsic : 15; resistance : 4.5; }
+  }
+}
+"#;
+        let lib = parse_liberty(src).unwrap();
+        assert_eq!(lib.name(), "mini");
+        assert_eq!(lib.wire_cap_per_um, 0.1);
+        let inv = lib.cell(lib.find("INV_X1").unwrap());
+        assert_eq!(inv.function, Function::Inv);
+        assert_eq!(inv.intrinsic, 15.0);
+        assert_eq!(inv.drive_res, 4.5);
+        assert_eq!(inv.slew_sens, 0.0); // unspecified attributes default
+        assert_eq!(inv.max_load, 20.0);
+    }
+
+    #[test]
+    fn missing_function_is_an_error() {
+        let src = "library (x) { cell (A) { area : 1; } }";
+        assert!(matches!(
+            parse_liberty(src),
+            Err(ParseLibertyError::MissingAttribute {
+                attribute: "function",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_function_is_an_error() {
+        let src = "library (x) { cell (A) { function : tribuf; } }";
+        assert!(matches!(
+            parse_liberty(src),
+            Err(ParseLibertyError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_group_is_an_error() {
+        let src = "library (x) { cell (A) { function : inv; ";
+        assert!(matches!(
+            parse_liberty(src),
+            Err(ParseLibertyError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn top_group_must_be_library() {
+        let src = "cell (x) { }";
+        let err = parse_liberty(src).unwrap_err();
+        assert!(err.to_string().contains("library"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Placement geometry.
+//!
+//! AOCV derating depends on the *distance* between the two endpoints of a
+//! timing path (Table 1 of the paper), so every cell instance carries a
+//! placement location. Distances are in micrometres.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A placement location in micrometres.
+///
+/// ```
+/// use netlist::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.manhattan(b), 7.0);
+/// assert_eq!(a.euclidean(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate in micrometres.
+    pub x: f64,
+    /// Y coordinate in micrometres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates in micrometres.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Manhattan (L1) distance to `other`, the metric used for wire-length
+    /// estimation.
+    #[inline]
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other`, the metric used for AOCV
+    /// bounding-box lookups.
+    #[inline]
+    pub fn euclidean(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Component-wise midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned bounding box, grown incrementally over a set of points.
+///
+/// GBA derating uses the *worst* (largest) bounding box of any path through
+/// a gate; [`BoundingBox`] accumulates that during graph traversal.
+///
+/// ```
+/// use netlist::point::BoundingBox;
+/// use netlist::Point;
+/// let mut bb = BoundingBox::empty();
+/// bb.include(Point::new(1.0, 2.0));
+/// bb.include(Point::new(4.0, 6.0));
+/// assert_eq!(bb.diagonal(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    min: Point,
+    max: Point,
+    empty: bool,
+}
+
+impl BoundingBox {
+    /// Creates an empty bounding box containing no points.
+    pub fn empty() -> Self {
+        Self {
+            min: Point::ORIGIN,
+            max: Point::ORIGIN,
+            empty: true,
+        }
+    }
+
+    /// Creates a bounding box containing a single point.
+    pub fn at(p: Point) -> Self {
+        Self {
+            min: p,
+            max: p,
+            empty: false,
+        }
+    }
+
+    /// Returns `true` if no point has been included yet.
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Grows the box to include `p`.
+    pub fn include(&mut self, p: Point) {
+        if self.empty {
+            *self = Self::at(p);
+            return;
+        }
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Grows the box to include every point of `other`.
+    pub fn union(&mut self, other: &BoundingBox) {
+        if other.empty {
+            return;
+        }
+        self.include(other.min);
+        self.include(other.max);
+    }
+
+    /// Diagonal length of the box in micrometres; `0` when empty.
+    ///
+    /// This is the "distance" fed to the AOCV derate table.
+    pub fn diagonal(&self) -> f64 {
+        if self.empty {
+            0.0
+        } else {
+            self.min.euclidean(self.max)
+        }
+    }
+
+    /// Lower-left corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is empty.
+    pub fn min(&self) -> Point {
+        assert!(!self.empty, "bounding box is empty");
+        self.min
+    }
+
+    /// Upper-right corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is empty.
+    pub fn max(&self) -> Point {
+        assert!(!self.empty, "bounding box is empty");
+        self.max
+    }
+}
+
+impl Default for BoundingBox {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl FromIterator<Point> for BoundingBox {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        let mut bb = BoundingBox::empty();
+        for p in iter {
+            bb.include(p);
+        }
+        bb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_and_euclidean() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert_eq!(a.manhattan(b), 7.0);
+        assert_eq!(a.euclidean(b), 5.0);
+        assert_eq!(a.manhattan(a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_and_ops() {
+        let a = Point::new(2.0, 0.0);
+        let b = Point::new(0.0, 2.0);
+        assert_eq!(a.midpoint(b), Point::new(1.0, 1.0));
+        assert_eq!(a + b, Point::new(2.0, 2.0));
+        assert_eq!(a - b, Point::new(2.0, -2.0));
+    }
+
+    #[test]
+    fn empty_bounding_box_has_zero_diagonal() {
+        let bb = BoundingBox::empty();
+        assert!(bb.is_empty());
+        assert_eq!(bb.diagonal(), 0.0);
+    }
+
+    #[test]
+    fn bounding_box_grows() {
+        let mut bb = BoundingBox::at(Point::new(5.0, 5.0));
+        assert_eq!(bb.diagonal(), 0.0);
+        bb.include(Point::new(2.0, 1.0));
+        bb.include(Point::new(8.0, 9.0));
+        assert_eq!(bb.min(), Point::new(2.0, 1.0));
+        assert_eq!(bb.max(), Point::new(8.0, 9.0));
+        assert_eq!(bb.diagonal(), 10.0);
+    }
+
+    #[test]
+    fn union_of_boxes() {
+        let mut a = BoundingBox::at(Point::new(0.0, 0.0));
+        let b = BoundingBox::at(Point::new(3.0, 4.0));
+        a.union(&b);
+        assert_eq!(a.diagonal(), 5.0);
+        let mut c = BoundingBox::empty();
+        c.union(&a);
+        assert_eq!(c.diagonal(), 5.0);
+        a.union(&BoundingBox::empty());
+        assert_eq!(a.diagonal(), 5.0);
+    }
+
+    #[test]
+    fn collect_points_into_box() {
+        let bb: BoundingBox = [Point::new(0.0, 0.0), Point::new(6.0, 8.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(bb.diagonal(), 10.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Quality-of-result metrics (the paper's Table 2 columns).
+
+use serde::{Deserialize, Serialize};
+use sta::{paths::worst_paths_to_endpoint, pba_timing, Sta};
+
+/// A snapshot of the design-quality metrics the paper's Table 2 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Qor {
+    /// Worst negative slack, ps (GBA view of the measuring engine).
+    pub wns: f64,
+    /// Total negative slack, ps.
+    pub tns: f64,
+    /// Endpoints with negative setup slack.
+    pub violating_endpoints: usize,
+    /// Total cell area, µm².
+    pub area: f64,
+    /// Total leakage power, nW.
+    pub leakage: f64,
+    /// Data-network buffers.
+    pub buffers: usize,
+}
+
+impl Qor {
+    /// Captures the metrics from an engine in its current timing view.
+    pub fn capture(sta: &Sta) -> Self {
+        Self {
+            wns: sta.wns(),
+            tns: sta.tns(),
+            violating_endpoints: sta.violating_endpoints().len(),
+            area: sta.netlist().total_area(),
+            leakage: sta.netlist().total_leakage(),
+            buffers: sta.netlist().buffer_count(),
+        }
+    }
+
+    /// Captures the metrics with WNS/TNS measured by **golden PBA** on
+    /// each endpoint's worst path — the signoff-grade view used to compare
+    /// flows fairly (a flow driven by a less pessimistic timer would look
+    /// artificially bad under the original GBA yardstick).
+    pub fn capture_pba(sta: &Sta) -> Self {
+        let mut wns = f64::INFINITY;
+        let mut tns = 0.0;
+        let mut violating = 0usize;
+        for e in sta.netlist().endpoints() {
+            let Some(path) = worst_paths_to_endpoint(sta, e, 1).into_iter().next() else {
+                continue;
+            };
+            let slack = pba_timing(sta, &path).slack;
+            if slack.is_finite() {
+                wns = wns.min(slack);
+                if slack < 0.0 {
+                    tns += slack;
+                    violating += 1;
+                }
+            }
+        }
+        Self {
+            wns,
+            tns,
+            violating_endpoints: violating,
+            area: sta.netlist().total_area(),
+            leakage: sta.netlist().total_leakage(),
+            buffers: sta.netlist().buffer_count(),
+        }
+    }
+
+    /// Relative improvement of `other` over `self` in percent, for a
+    /// smaller-is-better metric (`area`, `leakage`, `buffers`):
+    /// `(self − other) / self × 100`.
+    pub fn reduction_percent(base: f64, other: f64) -> f64 {
+        if base != 0.0 {
+            (base - other) / base * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Relative WNS/TNS improvement of `other` over `base` in percent:
+    /// positive when `other` is less negative (the paper's Table 2 sign
+    /// convention).
+    pub fn slack_improvement_percent(base: f64, other: f64) -> f64 {
+        if base.abs() > 0.0 {
+            (other - base) / base.abs() * 100.0
+        } else if other > base {
+            100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GeneratorConfig;
+    use sta::{DerateSet, Sdc};
+
+    #[test]
+    fn capture_reflects_engine() {
+        let n = GeneratorConfig::small(121).generate();
+        let sta = Sta::new(n, Sdc::with_period(900.0), DerateSet::standard()).unwrap();
+        let q = Qor::capture(&sta);
+        assert_eq!(q.wns, sta.wns());
+        assert_eq!(q.tns, sta.tns());
+        assert!(q.area > 0.0);
+        assert!(q.leakage > 0.0);
+        assert_eq!(q.buffers, sta.netlist().buffer_count());
+    }
+
+    #[test]
+    fn reduction_percent_signs() {
+        assert_eq!(Qor::reduction_percent(100.0, 90.0), 10.0);
+        assert_eq!(Qor::reduction_percent(100.0, 110.0), -10.0);
+        assert_eq!(Qor::reduction_percent(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn slack_improvement_signs() {
+        // WNS −100 → −50: 50% improvement.
+        assert_eq!(Qor::slack_improvement_percent(-100.0, -50.0), 50.0);
+        // WNS −100 → −120: −20% (degradation, like the paper's D2).
+        assert_eq!(Qor::slack_improvement_percent(-100.0, -120.0), -20.0);
+        assert_eq!(Qor::slack_improvement_percent(0.0, 5.0), 100.0);
+        assert_eq!(Qor::slack_improvement_percent(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Compressed sparse row matrices.
+
+use crate::vecops;
+use std::fmt;
+
+/// Incremental row-by-row builder for [`CsrMatrix`].
+///
+/// ```
+/// use sparsela::CsrBuilder;
+/// let mut b = CsrBuilder::new(3);
+/// b.push_row(&[(0, 1.0), (2, 2.0)]);
+/// b.push_row(&[(1, 3.0)]);
+/// let a = b.build();
+/// assert_eq!(a.shape(), (2, 3));
+/// assert_eq!(a.nnz(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    num_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// Starts a builder for a matrix with `num_cols` columns.
+    pub fn new(num_cols: usize) -> Self {
+        Self {
+            num_cols,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends one row given `(column, value)` pairs. Zero values are kept
+    /// (callers control sparsification). Duplicate columns within a row are
+    /// allowed and behave additively under matvec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of range.
+    pub fn push_row(&mut self, entries: &[(usize, f64)]) {
+        for &(c, v) in entries {
+            assert!(c < self.num_cols, "column {c} out of range");
+            self.col_idx.push(c as u32);
+            self.values.push(v);
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Number of rows pushed so far.
+    pub fn num_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Finalizes the matrix.
+    pub fn build(self) -> CsrMatrix {
+        CsrMatrix {
+            num_cols: self.num_cols,
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        }
+    }
+}
+
+/// An immutable sparse matrix in compressed sparse row format.
+#[derive(Clone, PartialEq)]
+pub struct CsrMatrix {
+    num_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// `(rows, cols)` shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.row_ptr.len() - 1, self.num_cols)
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(columns, values)` slices of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Sparse dot product of row `i` with dense `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_cols` or `i` is out of range.
+    #[inline]
+    pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_cols, "row_dot: dimension mismatch");
+        let (cols, vals) = self.row(i);
+        cols.iter()
+            .zip(vals)
+            .map(|(&c, &v)| v * x[c as usize])
+            .sum()
+    }
+
+    /// Squared Euclidean norm of row `i`.
+    #[inline]
+    pub fn row_norm_sq(&self, i: usize) -> f64 {
+        let (_, vals) = self.row(i);
+        vecops::norm2_sq(vals)
+    }
+
+    /// All squared row norms (the randomized-Kaczmarz sampling weights of
+    /// the paper's Eq. (11)).
+    pub fn row_norms_sq(&self) -> Vec<f64> {
+        (0..self.num_rows()).map(|i| self.row_norm_sq(i)).collect()
+    }
+
+    /// Dense matrix-vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.num_rows()).map(|i| self.row_dot(i, x)).collect()
+    }
+
+    /// Dense transposed product `z = Aᵀ·y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != num_rows`.
+    pub fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.num_rows(), "matvec_t: dimension mismatch");
+        let mut z = vec![0.0; self.num_cols];
+        for (i, &yi) in y.iter().enumerate() {
+            if yi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                z[c as usize] += v * yi;
+            }
+        }
+        z
+    }
+
+    /// Accumulates `alpha · rowᵢᵀ` into dense `z` (scattered axpy — the
+    /// inner operation of stochastic gradient steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != num_cols`.
+    #[inline]
+    pub fn scatter_row(&self, i: usize, alpha: f64, z: &mut [f64]) {
+        assert_eq!(z.len(), self.num_cols, "scatter_row: dimension mismatch");
+        let (cols, vals) = self.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            z[c as usize] += alpha * v;
+        }
+    }
+
+    /// Builds the submatrix of the given rows (in the given order),
+    /// together with nothing else — column count is preserved.
+    pub fn select_rows(&self, rows: &[usize]) -> CsrMatrix {
+        let mut b = CsrBuilder::new(self.num_cols);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for &r in rows {
+            let (cols, vals) = self.row(r);
+            scratch.clear();
+            scratch.extend(cols.iter().zip(vals).map(|(&c, &v)| (c as usize, v)));
+            b.push_row(&scratch);
+        }
+        b.build()
+    }
+
+    /// Column coverage: how many of the columns have at least one stored
+    /// entry. The paper's §3.2 gate-coverage argument is exactly this
+    /// statistic on the selected-path matrix.
+    pub fn covered_columns(&self) -> usize {
+        let mut seen = vec![false; self.num_cols];
+        for &c in &self.col_idx {
+            seen[c as usize] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix({}×{}, nnz={})",
+            self.num_rows(),
+            self.num_cols,
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 5 6]
+        let mut b = CsrBuilder::new(3);
+        b.push_row(&[(0, 1.0), (2, 2.0)]);
+        b.push_row(&[(1, 3.0)]);
+        b.push_row(&[(0, 4.0), (1, 5.0), (2, 6.0)]);
+        b.build()
+    }
+
+    #[test]
+    fn shape_and_rows() {
+        let a = small();
+        assert_eq!(a.shape(), (3, 3));
+        assert_eq!(a.nnz(), 6);
+        let (cols, vals) = a.row(2);
+        assert_eq!(cols, &[0, 1, 2]);
+        assert_eq!(vals, &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&x), vec![7.0, 6.0, 32.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_dense() {
+        let a = small();
+        let y = [1.0, 2.0, 3.0];
+        // Aᵀy = [1*1+4*3, 3*2+5*3, 2*1+6*3]
+        assert_eq!(a.matvec_t(&y), vec![13.0, 21.0, 20.0]);
+    }
+
+    #[test]
+    fn row_norms() {
+        let a = small();
+        assert_eq!(a.row_norm_sq(0), 5.0);
+        assert_eq!(a.row_norms_sq(), vec![5.0, 9.0, 77.0]);
+    }
+
+    #[test]
+    fn scatter_row_accumulates() {
+        let a = small();
+        let mut z = vec![0.0; 3];
+        a.scatter_row(2, 2.0, &mut z);
+        assert_eq!(z, vec![8.0, 10.0, 12.0]);
+        a.scatter_row(0, 1.0, &mut z);
+        assert_eq!(z, vec![9.0, 10.0, 14.0]);
+    }
+
+    #[test]
+    fn select_rows_preserves_content() {
+        let a = small();
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s.row(0).1, a.row(2).1);
+        assert_eq!(s.row(1).1, a.row(0).1);
+    }
+
+    #[test]
+    fn covered_columns_counts_nonempty() {
+        let a = small();
+        assert_eq!(a.covered_columns(), 3);
+        let s = a.select_rows(&[1]);
+        assert_eq!(s.covered_columns(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "column 5 out of range")]
+    fn out_of_range_column_panics() {
+        let mut b = CsrBuilder::new(3);
+        b.push_row(&[(5, 1.0)]);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", small()), "CsrMatrix(3×3, nnz=6)");
+    }
+
+    proptest! {
+        /// matvec agrees with a dense reference on random sparse matrices.
+        #[test]
+        fn prop_matvec_matches_dense_reference(
+            rows in prop::collection::vec(
+                prop::collection::vec((0usize..8, -10.0f64..10.0), 0..6),
+                1..10
+            ),
+            x in prop::collection::vec(-5.0f64..5.0, 8),
+        ) {
+            let mut b = CsrBuilder::new(8);
+            let mut dense = vec![vec![0.0; 8]; rows.len()];
+            for (i, row) in rows.iter().enumerate() {
+                b.push_row(row);
+                for &(c, v) in row {
+                    dense[i][c] += v;
+                }
+            }
+            let a = b.build();
+            let y = a.matvec(&x);
+            for (i, d) in dense.iter().enumerate() {
+                let expect: f64 = d.iter().zip(&x).map(|(m, xv)| m * xv).sum();
+                prop_assert!((y[i] - expect).abs() < 1e-9);
+            }
+        }
+
+        /// Aᵀ(A x) computed via matvec_t equals the dense normal-equation
+        /// product.
+        #[test]
+        fn prop_transpose_consistent(
+            rows in prop::collection::vec(
+                prop::collection::vec((0usize..6, -3.0f64..3.0), 1..5),
+                1..8
+            ),
+            x in prop::collection::vec(-2.0f64..2.0, 6),
+        ) {
+            let mut b = CsrBuilder::new(6);
+            for row in &rows {
+                b.push_row(row);
+            }
+            let a = b.build();
+            let ax = a.matvec(&x);
+            let atax = a.matvec_t(&ax);
+            // Reference: accumulate dense AᵀA x.
+            let mut dense = vec![vec![0.0; 6]; rows.len()];
+            for (i, row) in rows.iter().enumerate() {
+                for &(c, v) in row {
+                    dense[i][c] += v;
+                }
+            }
+            for j in 0..6 {
+                let mut expect = 0.0;
+                for d in &dense {
+                    let r: f64 = d.iter().zip(&x).map(|(m, xv)| m * xv).sum();
+                    expect += d[j] * r;
+                }
+                prop_assert!((atax[j] - expect).abs() < 1e-6);
+            }
+        }
+
+        /// Row selection preserves per-row dot products.
+        #[test]
+        fn prop_select_rows_consistent(
+            rows in prop::collection::vec(
+                prop::collection::vec((0usize..5, -3.0f64..3.0), 0..4),
+                2..8
+            ),
+            x in prop::collection::vec(-2.0f64..2.0, 5),
+            pick in prop::collection::vec(0usize..100, 1..6),
+        ) {
+            let mut b = CsrBuilder::new(5);
+            for row in &rows {
+                b.push_row(row);
+            }
+            let a = b.build();
+            let picks: Vec<usize> = pick.iter().map(|p| p % a.num_rows()).collect();
+            let s = a.select_rows(&picks);
+            for (si, &orig) in picks.iter().enumerate() {
+                prop_assert!((s.row_dot(si, &x) - a.row_dot(orig, &x)).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Row-sampling strategies.
+//!
+//! Two samplers back the paper's two levels of stochasticity:
+//!
+//! - [`UniformSampler`] — uniform row subsets for the *outer* problem
+//!   reduction (Algorithm 1). Uniform sampling is justified when the data
+//!   has low coherence (paper refs \[16\]\[17\]): computing true leverage
+//!   scores would be as expensive as solving the problem.
+//! - [`NormSampler`] — rows drawn with probability proportional to their
+//!   squared Euclidean norm (Eq. (11)), the randomized-Kaczmarz
+//!   distribution used by the *inner* stochastic CG solver.
+
+use rand::Rng;
+
+/// Uniform sampling of row subsets without replacement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformSampler;
+
+impl UniformSampler {
+    /// Creates a sampler.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Draws `k` distinct row indices from `0..m` uniformly at random
+    /// (partial Fisher–Yates). If `k ≥ m`, returns all rows in order.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, m: usize, k: usize) -> Vec<usize> {
+        if k >= m {
+            return (0..m).collect();
+        }
+        let mut pool: Vec<usize> = (0..m).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..m);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// Draws a `ratio` fraction of `0..m` (at least one row when `m > 0`).
+    pub fn sample_ratio<R: Rng + ?Sized>(&self, rng: &mut R, m: usize, ratio: f64) -> Vec<usize> {
+        if m == 0 {
+            return Vec::new();
+        }
+        let k = ((m as f64 * ratio).ceil() as usize).clamp(1, m);
+        self.sample(rng, m, k)
+    }
+}
+
+/// Sampling with probability proportional to fixed non-negative weights
+/// (squared row norms), with replacement, via an O(log n) CDF search.
+#[derive(Debug, Clone)]
+pub struct NormSampler {
+    cdf: Vec<f64>,
+    total: f64,
+}
+
+impl NormSampler {
+    /// Builds the sampler from squared row norms (Eq. (11) of the paper).
+    ///
+    /// Rows with zero weight are never drawn. Returns `None` if every
+    /// weight is zero (the system has no information).
+    pub fn new(weights_sq: &[f64]) -> Option<Self> {
+        let mut cdf = Vec::with_capacity(weights_sq.len());
+        let mut acc = 0.0;
+        for &w in weights_sq {
+            debug_assert!(w >= 0.0, "weights must be non-negative");
+            acc += w;
+            cdf.push(acc);
+        }
+        if acc <= 0.0 {
+            return None;
+        }
+        Some(Self { cdf, total: acc })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The probability of drawing row `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        (self.cdf[i] - lo) / self.total
+    }
+
+    /// Draws one row index.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random_range(0.0..self.total);
+        // partition_point: first index whose cdf exceeds u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    /// Draws `k` rows with replacement.
+    pub fn draw_many<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<usize> {
+        (0..k).map(|_| self.draw(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = UniformSampler::new();
+        let rows = s.sample(&mut rng, 100, 10);
+        assert_eq!(rows.len(), 10);
+        let set: HashSet<_> = rows.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(rows.iter().all(|&r| r < 100));
+    }
+
+    #[test]
+    fn uniform_sample_saturates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = UniformSampler::new();
+        assert_eq!(s.sample(&mut rng, 5, 10), vec![0, 1, 2, 3, 4]);
+        assert!(s.sample_ratio(&mut rng, 0, 0.5).is_empty());
+        // Tiny ratio still yields at least one row.
+        assert_eq!(s.sample_ratio(&mut rng, 1000, 1e-9).len(), 1);
+    }
+
+    #[test]
+    fn ratio_sampling_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = UniformSampler::new();
+        assert_eq!(s.sample_ratio(&mut rng, 1000, 0.1).len(), 100);
+    }
+
+    #[test]
+    fn norm_sampler_respects_probabilities() {
+        let sampler = NormSampler::new(&[1.0, 3.0, 0.0, 6.0]).unwrap();
+        assert_eq!(sampler.len(), 4);
+        assert!((sampler.probability(0) - 0.1).abs() < 1e-12);
+        assert!((sampler.probability(1) - 0.3).abs() < 1e-12);
+        assert_eq!(sampler.probability(2), 0.0);
+        assert!((sampler.probability(3) - 0.6).abs() < 1e-12);
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws = sampler.draw_many(&mut rng, 20_000);
+        let mut counts = [0usize; 4];
+        for d in draws {
+            counts[d] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight row must never be drawn");
+        let f1 = counts[1] as f64 / 20_000.0;
+        let f3 = counts[3] as f64 / 20_000.0;
+        assert!((f1 - 0.3).abs() < 0.02, "empirical {f1} vs 0.3");
+        assert!((f3 - 0.6).abs() < 0.02, "empirical {f3} vs 0.6");
+    }
+
+    #[test]
+    fn norm_sampler_rejects_all_zero() {
+        assert!(NormSampler::new(&[0.0, 0.0]).is_none());
+        assert!(NormSampler::new(&[]).is_none());
+    }
+
+    #[test]
+    fn uniform_sampling_is_seed_deterministic() {
+        let s = UniformSampler::new();
+        let a = s.sample(&mut StdRng::seed_from_u64(9), 50, 5);
+        let b = s.sample(&mut StdRng::seed_from_u64(9), 50, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,132 @@
+//! Dense vector operations.
+//!
+//! Small, allocation-free kernels over `&[f64]` used by every solver.
+//! Panics on length mismatch — all callers own both operands and a
+//! mismatch is a programming error, not a recoverable condition.
+
+/// Squared Euclidean norm `‖v‖₂²`.
+#[inline]
+pub fn norm2_sq(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean norm `‖v‖₂`.
+#[inline]
+pub fn norm2(v: &[f64]) -> f64 {
+    norm2_sq(v).sqrt()
+}
+
+/// Dot product `a·b`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `y ← y + alpha·x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place `v ← alpha·v`.
+#[inline]
+pub fn scale(alpha: f64, v: &mut [f64]) {
+    for vi in v.iter_mut() {
+        *vi *= alpha;
+    }
+}
+
+/// Normalizes `v` to unit Euclidean norm in place; leaves a zero vector
+/// untouched. Returns the original norm.
+#[inline]
+pub fn normalize(v: &mut [f64]) -> f64 {
+    let n = norm2(v);
+    if n > 0.0 {
+        scale(1.0 / n, v);
+    }
+    n
+}
+
+/// Relative change `‖a − b‖ / ‖b‖`, the convergence test of both paper
+/// algorithms (line 2 of Algorithms 1 and 2). Returns `∞` when `b` is the
+/// zero vector but `a` is not, and `0` when both are zero.
+pub fn relative_change(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "relative_change: length mismatch");
+    let diff: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    let nb = norm2(b);
+    if nb > 0.0 {
+        diff / nb
+    } else if diff > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_and_normalize() {
+        let mut v = vec![3.0, 4.0];
+        scale(2.0, &mut v);
+        assert_eq!(v, vec![6.0, 8.0]);
+        let n = normalize(&mut v);
+        assert_eq!(n, 10.0);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn relative_change_cases() {
+        assert_eq!(relative_change(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((relative_change(&[1.1, 0.0], &[1.0, 0.0]) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_change(&[1.0], &[0.0]), f64::INFINITY);
+        assert_eq!(relative_change(&[0.0], &[0.0]), 0.0);
+    }
+}

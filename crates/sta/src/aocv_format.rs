@@ -1,0 +1,286 @@
+//! AOCV derate-table file format (Synopsys-style subset).
+//!
+//! Foundries ship AOCV derating as text tables; this module reads and
+//! writes the conventional format the paper's Table 1 is drawn in:
+//!
+//! ```text
+//! version: 1.0
+//!
+//! object_type: design
+//! rf_type: rise fall
+//! delay_type: cell
+//! derate_type: late
+//! depth: 3 4 5 6
+//! distance: 500 1000 1500
+//! table: 1.30 1.25 1.20 1.15 \
+//!        1.32 1.27 1.23 1.18 \
+//!        1.35 1.31 1.28 1.25
+//! ```
+//!
+//! `table` is row-major over `distance × depth`, exactly the layout of
+//! [`DeratingTable`]. Only `derate_type: late`/`early` and the 2-D
+//! depth×distance form are supported (1-D depth-only tables read as a
+//! single-distance grid).
+
+use crate::aocv::{DeratingTable, TableError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`parse_aocv`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseAocvError {
+    /// A line was not `key: values`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        reason: String,
+    },
+    /// A required key is missing.
+    MissingKey(&'static str),
+    /// The table body failed validation.
+    BadTable(TableError),
+}
+
+impl fmt::Display for ParseAocvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAocvError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseAocvError::MissingKey(k) => write!(f, "missing `{k}:` entry"),
+            ParseAocvError::BadTable(e) => write!(f, "bad derate table: {e}"),
+        }
+    }
+}
+
+impl Error for ParseAocvError {}
+
+impl From<TableError> for ParseAocvError {
+    fn from(e: TableError) -> Self {
+        ParseAocvError::BadTable(e)
+    }
+}
+
+/// One parsed AOCV table with its metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AocvTable {
+    /// `late` or `early`.
+    pub derate_type: String,
+    /// `cell` or `net`.
+    pub delay_type: String,
+    /// The numeric table.
+    pub table: DeratingTable,
+}
+
+/// Parses one AOCV table from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseAocvError`] on malformed lines, missing keys, or an
+/// invalid table body.
+pub fn parse_aocv(src: &str) -> Result<AocvTable, ParseAocvError> {
+    let mut depth: Option<Vec<f64>> = None;
+    let mut distance: Option<Vec<f64>> = None;
+    let mut values: Option<Vec<f64>> = None;
+    let mut derate_type = String::new();
+    let mut delay_type = String::new();
+
+    // Join continuation lines (trailing backslash).
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("//") || line.starts_with('#') {
+            continue;
+        }
+        let (body, continues) = match line.strip_suffix('\\') {
+            Some(b) => (b.trim_end(), true),
+            None => (line, false),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(body);
+                if continues {
+                    pending = Some((start, acc));
+                } else {
+                    logical.push((start, acc));
+                }
+            }
+            None => {
+                if continues {
+                    pending = Some((i + 1, body.to_owned()));
+                } else {
+                    logical.push((i + 1, body.to_owned()));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical.push((start, acc));
+    }
+
+    for (lineno, line) in logical {
+        let Some((key, rest)) = line.split_once(':') else {
+            return Err(ParseAocvError::Malformed {
+                line: lineno,
+                reason: format!("expected `key: values`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let rest = rest.trim();
+        let parse_floats = |s: &str| -> Result<Vec<f64>, ParseAocvError> {
+            s.split_whitespace()
+                .map(|t| {
+                    t.parse::<f64>().map_err(|_| ParseAocvError::Malformed {
+                        line: lineno,
+                        reason: format!("bad number `{t}` in `{key}`"),
+                    })
+                })
+                .collect()
+        };
+        match key {
+            "depth" => depth = Some(parse_floats(rest)?),
+            "distance" => distance = Some(parse_floats(rest)?),
+            "table" => values = Some(parse_floats(rest)?),
+            "derate_type" => derate_type = rest.to_owned(),
+            "delay_type" => delay_type = rest.to_owned(),
+            // Metadata we accept and ignore.
+            "version" | "object_type" | "rf_type" | "object_spec" => {}
+            other => {
+                return Err(ParseAocvError::Malformed {
+                    line: lineno,
+                    reason: format!("unknown key `{other}`"),
+                })
+            }
+        }
+    }
+
+    let depth = depth.ok_or(ParseAocvError::MissingKey("depth"))?;
+    let values = values.ok_or(ParseAocvError::MissingKey("table"))?;
+    // Depth-only tables are a single-distance grid.
+    let distance = distance.unwrap_or_else(|| vec![1.0]);
+    let table = DeratingTable::new(depth, distance, values)?;
+    Ok(AocvTable {
+        derate_type,
+        delay_type,
+        table,
+    })
+}
+
+/// Writes a [`DeratingTable`] in the AOCV text format.
+pub fn write_aocv(table: &DeratingTable, derate_type: &str, delay_type: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "version: 1.0");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "object_type: design");
+    let _ = writeln!(out, "rf_type: rise fall");
+    let _ = writeln!(out, "delay_type: {delay_type}");
+    let _ = writeln!(out, "derate_type: {derate_type}");
+    let fmt_axis = |axis: &[f64]| {
+        axis.iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let _ = writeln!(out, "depth: {}", fmt_axis(table.depths()));
+    let _ = writeln!(out, "distance: {}", fmt_axis(table.distances()));
+    let nd = table.depths().len();
+    let _ = write!(out, "table:");
+    for (di, _) in table.distances().iter().enumerate() {
+        if di > 0 {
+            let _ = write!(out, " \\\n      ");
+        }
+        for (ki, _) in table.depths().iter().enumerate() {
+            let _ = write!(
+                out,
+                " {}",
+                table.lookup(table.depths()[ki], table.distances()[di])
+            );
+        }
+        let _ = nd;
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_TABLE: &str = r"
+version: 1.0
+
+object_type: design
+rf_type: rise fall
+delay_type: cell
+derate_type: late
+depth: 3 4 5 6
+distance: 500 1000 1500
+table: 1.30 1.25 1.20 1.15 \
+       1.32 1.27 1.23 1.18 \
+       1.35 1.31 1.28 1.25
+";
+
+    #[test]
+    fn parses_the_paper_table() {
+        let t = parse_aocv(PAPER_TABLE).unwrap();
+        assert_eq!(t.derate_type, "late");
+        assert_eq!(t.delay_type, "cell");
+        assert_eq!(t.table.lookup(3.0, 500.0), 1.30);
+        assert_eq!(t.table.lookup(6.0, 500.0), 1.15);
+        assert_eq!(t.table.lookup(5.0, 1000.0), 1.23);
+        assert_eq!(t.table.lookup(6.0, 1500.0), 1.25);
+    }
+
+    #[test]
+    fn depth_only_table_reads_as_single_distance() {
+        let src = "derate_type: late\ndepth: 1 2 4\ntable: 1.3 1.2 1.1\n";
+        let t = parse_aocv(src).unwrap();
+        assert_eq!(t.table.lookup(2.0, 9999.0), 1.2);
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let original = parse_aocv(PAPER_TABLE).unwrap();
+        let text = write_aocv(&original.table, "late", "cell");
+        let reparsed = parse_aocv(&text).unwrap();
+        assert_eq!(reparsed.table, original.table);
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        let err = parse_aocv("derate_type: late\ndepth: 1 2\n").unwrap_err();
+        assert_eq!(err, ParseAocvError::MissingKey("table"));
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let err = parse_aocv("depth: 1 banana\ntable: 1.0 1.0\n").unwrap_err();
+        assert!(matches!(err, ParseAocvError::Malformed { line: 1, .. }));
+        assert!(err.to_string().contains("banana"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let src = "depth: 1 2 3\ndistance: 10 20\ntable: 1.1 1.2 1.3\n";
+        assert!(matches!(
+            parse_aocv(src),
+            Err(ParseAocvError::BadTable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_key_rejected_with_position() {
+        let err = parse_aocv("wibble: 3\n").unwrap_err();
+        assert!(matches!(err, ParseAocvError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let src = "# comment\nderate_type: early\ndepth: 1 \\\n 2\ntable: 0.9 \\\n 0.95\n";
+        let t = parse_aocv(src).unwrap();
+        assert_eq!(t.derate_type, "early");
+        assert_eq!(t.table.lookup(1.0, 0.0), 0.9);
+    }
+}

@@ -1,0 +1,294 @@
+//! GBA cell-depth and bounding-box analysis.
+//!
+//! This module computes, for every combinational gate, the **worst** AOCV
+//! lookup coordinates GBA must assume (Fig. 2 of the paper):
+//!
+//! - `gba_depth(g)` — the *minimum* number of logic stages over all
+//!   startpoint→endpoint paths through `g`. Minimum depth means maximum
+//!   derate, hence design safety.
+//! - `gba_distance(g)` — the diagonal of the union of bounding boxes of
+//!   all paths through `g` (an upper bound on any single path's box, hence
+//!   again maximum derate).
+//!
+//! Both are two dynamic programs over the data DAG: a forward pass
+//! (prefix from startpoints) and a backward pass (suffix to endpoints),
+//! combined per gate as `prefix + suffix − 1`.
+
+use crate::graph::TimingGraph;
+use netlist::point::BoundingBox;
+use netlist::{CellId, CellRole, Netlist};
+
+/// Per-gate GBA depth/distance results.
+#[derive(Debug, Clone)]
+pub struct DepthInfo {
+    /// Minimum stage count from any startpoint *to and including* the cell;
+    /// `u32::MAX` when unreachable from a startpoint.
+    pub prefix: Vec<u32>,
+    /// Minimum stage count *from and including* the cell to any endpoint;
+    /// `u32::MAX` when no endpoint is reachable (dead logic).
+    pub suffix: Vec<u32>,
+    /// Worst path bounding-box diagonal through the cell, in µm.
+    pub distance: Vec<f64>,
+}
+
+const UNREACHED: u32 = u32::MAX;
+
+impl DepthInfo {
+    /// Runs the depth analysis on `netlist` with its `graph`.
+    pub fn compute(netlist: &Netlist, graph: &TimingGraph) -> Self {
+        let n = netlist.num_cells();
+        let mut prefix = vec![UNREACHED; n];
+        let mut suffix = vec![UNREACHED; n];
+        let mut pre_bb = vec![BoundingBox::empty(); n];
+        let mut suf_bb = vec![BoundingBox::empty(); n];
+
+        // Forward pass over topological order.
+        for &c in graph.topo() {
+            let cell = netlist.cell(c);
+            match cell.role {
+                CellRole::Input | CellRole::Sequential => {
+                    prefix[c.index()] = 0;
+                    pre_bb[c.index()] = BoundingBox::at(cell.loc);
+                }
+                CellRole::Combinational => {
+                    let mut best = UNREACHED;
+                    let mut bb = BoundingBox::empty();
+                    for e in graph.data_fanins(netlist, c) {
+                        let p = prefix[e.from.index()];
+                        if p != UNREACHED {
+                            best = best.min(p.saturating_add(1));
+                            bb.union(&pre_bb[e.from.index()]);
+                        }
+                    }
+                    if best != UNREACHED {
+                        bb.include(cell.loc);
+                        prefix[c.index()] = best;
+                        pre_bb[c.index()] = bb;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Backward pass over reverse topological order.
+        for &c in graph.topo().iter().rev() {
+            let cell = netlist.cell(c);
+            if !matches!(
+                cell.role,
+                CellRole::Combinational | CellRole::Input | CellRole::Sequential
+            ) {
+                continue;
+            }
+            let mut best = UNREACHED;
+            let mut bb = BoundingBox::empty();
+            for e in graph.data_fanouts(netlist, c) {
+                let to_role = netlist.cell(e.to).role;
+                match to_role {
+                    CellRole::Sequential | CellRole::Output => {
+                        best = best.min(1);
+                        bb.include(netlist.cell(e.to).loc);
+                    }
+                    CellRole::Combinational => {
+                        let s = suffix[e.to.index()];
+                        if s != UNREACHED {
+                            best = best.min(s.saturating_add(1));
+                            bb.union(&suf_bb[e.to.index()]);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match cell.role {
+                CellRole::Combinational if best != UNREACHED => {
+                    bb.include(cell.loc);
+                    // `suffix` counts the cell itself as one stage: a gate
+                    // feeding an endpoint directly has suffix 1.
+                    suffix[c.index()] = best;
+                    suf_bb[c.index()] = bb;
+                }
+                // Startpoints record reachability (suffix 0 = "a path
+                // starts here"), useful for the distance union below.
+                CellRole::Input | CellRole::Sequential if best != UNREACHED => {
+                    suffix[c.index()] = 0;
+                    bb.include(cell.loc);
+                    suf_bb[c.index()] = bb;
+                }
+                _ => {}
+            }
+        }
+
+        // Worst distance per gate: union of its prefix and suffix boxes.
+        let mut distance = vec![0.0; n];
+        for (i, d) in distance.iter_mut().enumerate() {
+            if prefix[i] != UNREACHED {
+                let mut bb = pre_bb[i];
+                bb.union(&suf_bb[i]);
+                *d = bb.diagonal();
+            }
+        }
+
+        Self {
+            prefix,
+            suffix,
+            distance,
+        }
+    }
+
+    /// GBA cell depth of `cell`: the minimum number of combinational
+    /// stages over any complete path through it. Returns `None` for cells
+    /// that lie on no complete startpoint→endpoint path.
+    pub fn gba_depth(&self, cell: CellId) -> Option<u32> {
+        let p = self.prefix[cell.index()];
+        let s = self.suffix[cell.index()];
+        if p == UNREACHED || s == UNREACHED {
+            return None;
+        }
+        // Both prefix and suffix count the cell itself; subtract the
+        // double count. Startpoints (prefix = suffix = 0) saturate to 0.
+        Some((p + s).saturating_sub(1))
+    }
+
+    /// Worst bounding-box diagonal of any path through `cell`, µm.
+    pub fn gba_distance(&self, cell: CellId) -> f64 {
+        self.distance[cell.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{GeneratorConfig, Library, NetlistBuilder, Point};
+
+    /// Builds the paper's Fig. 2 topology:
+    ///
+    /// ```text
+    /// FF1 → U1 → U2 → U3 → U4 ┬→ U5 → FF3      (5-gate path)
+    ///                          └→ U6 → U7 → FF4 (6-gate path)
+    /// ```
+    ///
+    /// As in the paper, U1 lies on a 5-gate path (to FF3) and a 6-gate
+    /// path (to FF4), so GBA assigns it the worst (minimum) depth 5.
+    fn fig2() -> (Netlist, TimingGraph, DepthInfo) {
+        let mut b = NetlistBuilder::new("fig2", Library::standard());
+        let clk = b.add_clock_port("clk", Point::ORIGIN);
+        let d = b.add_input("d", Point::ORIGIN);
+        let ff1 = b
+            .add_flip_flop("ff1", "DFF_X1", Point::new(0.0, 10.0), clk)
+            .unwrap();
+        b.connect_flip_flop_d_net(ff1, d);
+        let mut prev = b.cell_output(ff1);
+        let mut chain = Vec::new();
+        for i in 1..=4 {
+            let u = b
+                .add_gate(
+                    &format!("u{i}"),
+                    "BUF_X1",
+                    Point::new(10.0 * i as f64, 10.0),
+                    &[prev],
+                )
+                .unwrap();
+            prev = b.cell_output(u);
+            chain.push(u);
+        }
+        let u5 = b
+            .add_gate("u5", "BUF_X1", Point::new(50.0, 5.0), &[prev])
+            .unwrap();
+        let ff3 = b
+            .add_flip_flop("ff3", "DFF_X1", Point::new(60.0, 5.0), clk)
+            .unwrap();
+        b.connect_flip_flop_d(ff3, u5).unwrap();
+        let u6 = b
+            .add_gate("u6", "BUF_X1", Point::new(50.0, 15.0), &[prev])
+            .unwrap();
+        let u7 = b
+            .add_gate(
+                "u7",
+                "BUF_X1",
+                Point::new(55.0, 15.0),
+                &[b.cell_output(u6)],
+            )
+            .unwrap();
+        let ff4 = b
+            .add_flip_flop("ff4", "DFF_X1", Point::new(60.0, 15.0), clk)
+            .unwrap();
+        b.connect_flip_flop_d(ff4, u7).unwrap();
+        for (i, ff) in [ff1, ff3, ff4].iter().enumerate() {
+            let q = b.cell_output(*ff);
+            b.add_output(&format!("po{i}"), Point::new(70.0, 10.0), q)
+                .unwrap();
+        }
+        let n = b.build().unwrap();
+        let g = TimingGraph::new(&n).unwrap();
+        let d = DepthInfo::compute(&n, &g);
+        (n, g, d)
+    }
+
+    #[test]
+    fn fig2_gba_depth_is_min_over_paths() {
+        let (n, _, d) = fig2();
+        // U1–U4 lie on a 5-gate path (via U5) and a 6-gate path (via
+        // U6,U7): GBA picks 5.
+        for name in ["u1", "u2", "u3", "u4", "u5"] {
+            let c = n.find_cell(name).unwrap();
+            assert_eq!(d.gba_depth(c), Some(5), "{name}");
+        }
+        // U6, U7 lie only on the 6-gate path.
+        for name in ["u6", "u7"] {
+            let c = n.find_cell(name).unwrap();
+            assert_eq!(d.gba_depth(c), Some(6), "{name}");
+        }
+    }
+
+    #[test]
+    fn fig2_prefix_suffix_values() {
+        let (n, _, d) = fig2();
+        let u1 = n.find_cell("u1").unwrap();
+        assert_eq!(d.prefix[u1.index()], 1);
+        assert_eq!(d.suffix[u1.index()], 5); // u1,u2,u3,u4,u5 (counts u1 itself)
+        let u7 = n.find_cell("u7").unwrap();
+        assert_eq!(d.prefix[u7.index()], 6);
+        assert_eq!(d.suffix[u7.index()], 1) // feeds FF4 directly
+    }
+
+    #[test]
+    fn startpoints_have_zero_prefix() {
+        let (n, _, d) = fig2();
+        let ff1 = n.find_cell("ff1").unwrap();
+        assert_eq!(d.prefix[ff1.index()], 0);
+    }
+
+    #[test]
+    fn distance_covers_path_extent() {
+        let (n, _, d) = fig2();
+        let u1 = n.find_cell("u1").unwrap();
+        // Paths through u1 span x from ff1 (0) to ff3/ff4 (60), y 5..15.
+        let dist = d.gba_distance(u1);
+        assert!(dist >= 60.0, "distance {dist} must cover the path extent");
+    }
+
+    #[test]
+    fn generated_design_depths_are_complete() {
+        let n = GeneratorConfig::small(31).generate();
+        let g = TimingGraph::new(&n).unwrap();
+        let d = DepthInfo::compute(&n, &g);
+        for (id, cell) in n.cells() {
+            if cell.role == CellRole::Combinational {
+                assert!(
+                    d.gba_depth(id).is_some(),
+                    "gate {} lies on no complete path",
+                    cell.name
+                );
+                assert!(d.gba_distance(id) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gba_depth_le_any_path_depth() {
+        // On the shared prefix, gba depth (5) ≤ actual depth of the long
+        // path (6) — the invariant that makes GBA conservative.
+        let (n, _, d) = fig2();
+        let u3 = n.find_cell("u3").unwrap();
+        assert!(d.gba_depth(u3).unwrap() <= 6);
+    }
+}

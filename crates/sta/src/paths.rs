@@ -1,0 +1,323 @@
+//! Critical-path enumeration.
+//!
+//! GBA identifies candidate critical paths; PBA then re-times them
+//! path-by-path. This module enumerates, for each endpoint, the `k` worst
+//! paths by GBA arrival using a best-first backward search with an
+//! admissible bound (the classic lazy k-longest-path scheme): a partial
+//! suffix from some cell `c` to the endpoint has exact suffix delay `S`,
+//! and `arrival_late(c) + S` is an upper bound on any completion, so a
+//! max-heap pops complete paths in exactly descending arrival order.
+
+use crate::analysis::Sta;
+use netlist::{CellId, CellRole};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A complete timing path from a startpoint to an endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Cells on the path: `cells[0]` is the launching flip-flop or input
+    /// port, the middle cells are combinational gates, and the last cell
+    /// is the capturing flip-flop or output port.
+    pub cells: Vec<CellId>,
+    /// The endpoint cell (same as `cells.last()`).
+    pub endpoint: CellId,
+    /// GBA late arrival at the endpoint pin along this path, under the
+    /// engine's current effective derates, ps.
+    pub gba_arrival: f64,
+    /// GBA slack of this path (endpoint required − arrival), ps.
+    pub gba_slack: f64,
+}
+
+impl Path {
+    /// The launching cell.
+    pub fn startpoint(&self) -> CellId {
+        self.cells[0]
+    }
+
+    /// Number of combinational gates on the path (the PBA cell depth).
+    pub fn num_gates(&self) -> usize {
+        self.cells.len().saturating_sub(2)
+    }
+}
+
+/// Search state: a suffix of a path, from `cell`'s output to the endpoint.
+struct State {
+    /// Upper bound on the arrival of any completion of this suffix.
+    bound: f64,
+    cell: CellId,
+    /// Exact delay from `cell`'s output to the endpoint pin.
+    suffix_delay: f64,
+    /// Cells after `cell`, in reverse order (endpoint first).
+    suffix: Vec<CellId>,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Enumerates the `k` worst (largest GBA arrival) paths ending at
+/// `endpoint`, in descending arrival order.
+///
+/// Returns fewer than `k` paths if the endpoint's fanin cone contains
+/// fewer distinct paths.
+pub fn worst_paths_to_endpoint(sta: &Sta, endpoint: CellId, k: usize) -> Vec<Path> {
+    let netlist = sta.netlist();
+    let graph = sta.graph();
+    let role = netlist.cell(endpoint).role;
+    debug_assert!(
+        matches!(role, CellRole::Sequential | CellRole::Output),
+        "paths end at endpoints"
+    );
+    let required = sta.endpoint_required(endpoint);
+    let mut heap: BinaryHeap<State> = BinaryHeap::new();
+    for e in graph.data_fanins(netlist, endpoint) {
+        heap.push(State {
+            bound: sta.arrival_late(e.from) + e.wire_delay,
+            cell: e.from,
+            suffix_delay: e.wire_delay,
+            suffix: vec![endpoint],
+        });
+    }
+
+    let mut out = Vec::with_capacity(k);
+    while let Some(state) = heap.pop() {
+        if out.len() >= k {
+            break;
+        }
+        let role = netlist.cell(state.cell).role;
+        match role {
+            CellRole::Input | CellRole::Sequential => {
+                let arrival = sta.arrival_late(state.cell) + state.suffix_delay;
+                if !arrival.is_finite() {
+                    continue;
+                }
+                let mut cells = Vec::with_capacity(state.suffix.len() + 1);
+                cells.push(state.cell);
+                cells.extend(state.suffix.iter().rev());
+                out.push(Path {
+                    cells,
+                    endpoint,
+                    gba_arrival: arrival,
+                    gba_slack: required - arrival,
+                });
+            }
+            CellRole::Combinational => {
+                let contribution =
+                    sta.gate_delay(state.cell) * sta.effective_derate(state.cell);
+                for e in graph.data_fanins(netlist, state.cell) {
+                    let suffix_delay = state.suffix_delay + contribution + e.wire_delay;
+                    let bound = sta.arrival_late(e.from) + suffix_delay;
+                    if !bound.is_finite() {
+                        continue;
+                    }
+                    let mut suffix = state.suffix.clone();
+                    suffix.push(state.cell);
+                    heap.push(State {
+                        bound,
+                        cell: e.from,
+                        suffix_delay,
+                        suffix,
+                    });
+                }
+            }
+            // Clock cells never appear on data suffixes.
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Per-endpoint critical path selection over the whole design: the
+/// paper's §3.2 "second scheme". For every endpoint, takes the `k` worst
+/// paths; optionally keeps only paths with negative GBA slack; caps the
+/// total at `max_total` worst-first.
+pub fn select_critical_paths(
+    sta: &Sta,
+    k_per_endpoint: usize,
+    max_total: usize,
+    only_violating: bool,
+) -> Vec<Path> {
+    let mut all = Vec::new();
+    for e in sta.netlist().endpoints() {
+        let paths = worst_paths_to_endpoint(sta, e, k_per_endpoint);
+        for p in paths {
+            if !only_violating || p.gba_slack < 0.0 {
+                all.push(p);
+            }
+        }
+    }
+    all.sort_by(|a, b| {
+        a.gba_slack
+            .partial_cmp(&b.gba_slack)
+            .expect("slacks are finite")
+    });
+    all.truncate(max_total);
+    all
+}
+
+/// Global top-`m` path selection (the paper's strawman "first scheme"):
+/// sorts every enumerated path by GBA slack and keeps the worst `m`,
+/// ignoring endpoint coverage. Exists to reproduce the §3.2 comparison.
+pub fn select_top_global_paths(sta: &Sta, k_per_endpoint: usize, m: usize) -> Vec<Path> {
+    let mut all = Vec::new();
+    for e in sta.netlist().endpoints() {
+        all.extend(worst_paths_to_endpoint(sta, e, k_per_endpoint));
+    }
+    all.sort_by(|a, b| {
+        a.gba_slack
+            .partial_cmp(&b.gba_slack)
+            .expect("slacks are finite")
+    });
+    all.truncate(m);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aocv::DerateSet;
+    use crate::constraints::Sdc;
+    use netlist::GeneratorConfig;
+    use std::collections::HashSet;
+
+    fn engine(seed: u64) -> Sta {
+        let n = GeneratorConfig::small(seed).generate();
+        Sta::new(n, Sdc::with_period(1200.0), DerateSet::standard()).unwrap()
+    }
+
+    #[test]
+    fn worst_path_realizes_endpoint_arrival() {
+        let sta = engine(61);
+        for e in sta.netlist().endpoints() {
+            let paths = worst_paths_to_endpoint(&sta, e, 1);
+            if sta.endpoint_arrival(e).is_finite() {
+                assert_eq!(paths.len(), 1);
+                assert!(
+                    (paths[0].gba_arrival - sta.endpoint_arrival(e)).abs() < 1e-6,
+                    "worst path must realize the GBA endpoint arrival at {}",
+                    sta.netlist().cell(e).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_sorted_and_distinct() {
+        let sta = engine(62);
+        let e = sta.netlist().endpoints()[0];
+        let paths = worst_paths_to_endpoint(&sta, e, 10);
+        for w in paths.windows(2) {
+            assert!(w[0].gba_arrival >= w[1].gba_arrival - 1e-9);
+        }
+        let distinct: HashSet<Vec<CellId>> = paths.iter().map(|p| p.cells.clone()).collect();
+        assert_eq!(distinct.len(), paths.len(), "no duplicate paths");
+    }
+
+    #[test]
+    fn paths_start_and_end_correctly() {
+        let sta = engine(63);
+        for e in sta.netlist().endpoints().into_iter().take(5) {
+            for p in worst_paths_to_endpoint(&sta, e, 5) {
+                let start_role = sta.netlist().cell(p.startpoint()).role;
+                assert!(matches!(
+                    start_role,
+                    CellRole::Input | CellRole::Sequential
+                ));
+                assert_eq!(*p.cells.last().unwrap(), e);
+                // Middle cells are combinational.
+                for &c in &p.cells[1..p.cells.len() - 1] {
+                    assert_eq!(sta.netlist().cell(c).role, CellRole::Combinational);
+                }
+                // Consecutive cells are actually connected.
+                for w in p.cells.windows(2) {
+                    let connected = sta
+                        .graph()
+                        .fanins(w[1])
+                        .iter()
+                        .any(|edge| edge.from == w[0]);
+                    assert!(connected, "path cells must be wired in sequence");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_arrival_matches_manual_sum() {
+        let sta = engine(64);
+        let e = sta.netlist().endpoints()[0];
+        for p in worst_paths_to_endpoint(&sta, e, 3) {
+            let mut arr = sta.arrival_late(p.startpoint());
+            for w in p.cells.windows(2) {
+                let edge = sta
+                    .graph()
+                    .fanins(w[1])
+                    .iter()
+                    .find(|edge| edge.from == w[0])
+                    .expect("consecutive path cells are connected");
+                arr += edge.wire_delay;
+                if sta.netlist().cell(w[1]).role == CellRole::Combinational {
+                    arr += sta.gate_delay(w[1]) * sta.effective_derate(w[1]);
+                }
+            }
+            assert!((arr - p.gba_arrival).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn per_endpoint_selection_covers_endpoints() {
+        let sta = engine(65);
+        let paths = select_critical_paths(&sta, 3, usize::MAX, false);
+        let covered: HashSet<CellId> = paths.iter().map(|p| p.endpoint).collect();
+        let reachable = sta
+            .netlist()
+            .endpoints()
+            .into_iter()
+            .filter(|&e| sta.endpoint_arrival(e).is_finite())
+            .count();
+        assert_eq!(covered.len(), reachable);
+    }
+
+    #[test]
+    fn global_selection_truncates_worst_first() {
+        let sta = engine(66);
+        let global = select_top_global_paths(&sta, 5, 10);
+        assert!(global.len() <= 10);
+        for w in global.windows(2) {
+            assert!(w[0].gba_slack <= w[1].gba_slack + 1e-9);
+        }
+    }
+
+    #[test]
+    fn violating_filter_drops_positive_slack() {
+        let n = GeneratorConfig::small(67).generate();
+        // Very long period: nothing violates.
+        let sta = Sta::new(n, Sdc::with_period(100_000.0), DerateSet::standard()).unwrap();
+        let v = select_critical_paths(&sta, 3, usize::MAX, true);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn num_gates_counts_middles() {
+        let sta = engine(68);
+        let e = sta.netlist().endpoints()[0];
+        if let Some(p) = worst_paths_to_endpoint(&sta, e, 1).first() {
+            assert_eq!(p.num_gates(), p.cells.len() - 2);
+        }
+    }
+}

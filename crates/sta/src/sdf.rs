@@ -1,0 +1,224 @@
+//! SDF (Standard Delay Format) back-annotation writer.
+//!
+//! Dumps the engine's timing view as an SDF 3.0 subset — `IOPATH` cell
+//! delays as `(min::max)` triples spanning the early/late derated values,
+//! `INTERCONNECT` wire delays, and `SETUP`/`HOLD` timing checks — so the
+//! analysis can be cross-checked in any SDF-consuming simulator or
+//! timer. With mGBA weights installed, the max values are the corrected
+//! (pessimism-reduced) delays: the SDF is how the correction would ship
+//! to downstream tools that cannot run the fit themselves.
+
+use crate::analysis::Sta;
+use netlist::{CellRole, Function};
+use std::fmt::Write as _;
+
+/// Input pin names in pin-index order (mirrors the Verilog interchange).
+fn pin_name(function: Function, index: usize) -> &'static str {
+    match (function, index) {
+        (Function::Dff, 0) => "D",
+        (Function::Dff, 1) => "CK",
+        (_, 0) => "A",
+        (_, 1) => "B",
+        (_, 2) => "C",
+        _ => "?",
+    }
+}
+
+fn triple(min: f64, typ: f64, max: f64) -> String {
+    format!("({min:.1}:{typ:.1}:{max:.1})")
+}
+
+/// Serializes the engine's current timing as SDF 3.0.
+///
+/// Cell delays use the early derate for `min`, the underated delay for
+/// `typ`, and the **effective** (possibly mGBA-corrected) late derate for
+/// `max`. Interconnect delays are the graph's wire estimates.
+pub fn write_sdf(sta: &Sta) -> String {
+    let nl = sta.netlist();
+    let mut out = String::new();
+    let _ = writeln!(out, "(DELAYFILE");
+    let _ = writeln!(out, " (SDFVERSION \"3.0\")");
+    let _ = writeln!(out, " (DESIGN \"{}\")", nl.name());
+    let _ = writeln!(out, " (TIMESCALE 1ps)");
+
+    for (id, cell) in nl.cells() {
+        let lib = nl.library().cell(cell.lib_cell);
+        match cell.role {
+            CellRole::Combinational | CellRole::ClockBuffer | CellRole::Sequential => {}
+            _ => continue,
+        }
+        let _ = writeln!(out, " (CELL");
+        let _ = writeln!(out, "  (CELLTYPE \"{}\")", lib.name);
+        let _ = writeln!(out, "  (INSTANCE {})", cell.name);
+        let d = sta.gate_delay(id);
+        let (from_pins, to_pin): (Vec<&str>, &str) = match lib.function {
+            Function::Dff => (vec!["CK"], "Q"),
+            f => (
+                (0..f.arity()).map(|i| pin_name(f, i)).collect(),
+                "Y",
+            ),
+        };
+        let (early, late) = match cell.role {
+            CellRole::Sequential | CellRole::ClockBuffer => (
+                sta.derates().clock_early,
+                sta.effective_derate(id),
+            ),
+            _ => (
+                // Early data derate comes from the early AOCV table at
+                // the same worst-case coordinates.
+                {
+                    let dist = sta.depth_info().gba_distance(id);
+                    match sta.depth_info().gba_depth(id) {
+                        Some(k) => sta.derates().data_early.lookup(k as f64, dist),
+                        None => 1.0,
+                    }
+                },
+                sta.effective_derate(id),
+            ),
+        };
+        let _ = writeln!(out, "  (DELAY (ABSOLUTE");
+        for from in from_pins {
+            let _ = writeln!(
+                out,
+                "   (IOPATH {from} {to_pin} {t} {t})",
+                t = triple(d * early, d, d * late)
+            );
+        }
+        let _ = writeln!(out, "  ))");
+        if lib.function == Function::Dff {
+            let _ = writeln!(out, "  (TIMINGCHECK");
+            let _ = writeln!(out, "   (SETUP D (posedge CK) ({:.1}))", lib.setup);
+            let _ = writeln!(out, "   (HOLD D (posedge CK) ({:.1}))", lib.hold);
+            let _ = writeln!(out, "  )");
+        }
+        let _ = writeln!(out, " )");
+    }
+
+    // Interconnect delays, one per graph edge.
+    for (_, net) in nl.nets() {
+        let Some(driver) = net.driver else { continue };
+        let dcell = nl.cell(driver);
+        if matches!(dcell.role, CellRole::Input | CellRole::ClockSource) {
+            continue; // port-driven interconnect carries SDC delay instead
+        }
+        let from_pin = if nl.library().cell(dcell.lib_cell).function == Function::Dff {
+            "Q"
+        } else {
+            "Y"
+        };
+        for &(sink, pin) in &net.sinks {
+            let scell = nl.cell(sink);
+            if scell.role == CellRole::Output {
+                continue;
+            }
+            let func = nl.library().cell(scell.lib_cell).function;
+            let wire = nl.wire_delay(dcell.loc.manhattan(scell.loc));
+            let _ = writeln!(
+                out,
+                " (CELL (CELLTYPE \"interconnect\") (INSTANCE {})\n  (DELAY (ABSOLUTE (INTERCONNECT {}/{} {}/{} {t} {t}))))",
+                scell.name,
+                dcell.name,
+                from_pin,
+                scell.name,
+                pin_name(func, pin.index()),
+                t = triple(wire, wire, wire)
+            );
+        }
+    }
+    let _ = writeln!(out, ")");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aocv::DerateSet;
+    use crate::constraints::Sdc;
+    use netlist::GeneratorConfig;
+
+    fn engine(seed: u64) -> Sta {
+        let n = GeneratorConfig::small(seed).generate();
+        Sta::new(n, Sdc::with_period(1500.0), DerateSet::standard()).unwrap()
+    }
+
+    #[test]
+    fn sdf_is_paren_balanced() {
+        let sta = engine(1101);
+        let sdf = write_sdf(&sta);
+        let mut depth = 0i64;
+        for c in sdf.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced parens");
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn every_gate_and_flop_appears() {
+        let sta = engine(1102);
+        let sdf = write_sdf(&sta);
+        for (_, cell) in sta.netlist().cells() {
+            if matches!(
+                cell.role,
+                netlist::CellRole::Combinational | netlist::CellRole::Sequential
+            ) {
+                assert!(
+                    sdf.contains(&format!("(INSTANCE {})", cell.name)),
+                    "missing {}",
+                    cell.name
+                );
+            }
+        }
+        assert!(sdf.contains("TIMINGCHECK"));
+        assert!(sdf.contains("INTERCONNECT"));
+    }
+
+    #[test]
+    fn triples_are_ordered_min_typ_max() {
+        let sta = engine(1103);
+        let sdf = write_sdf(&sta);
+        for line in sdf.lines().filter(|l| l.contains("IOPATH")) {
+            let open = line.find('(').expect("has paren");
+            let triple = &line[open..];
+            let inner = triple
+                .split('(')
+                .nth(2)
+                .and_then(|s| s.split(')').next())
+                .expect("triple present");
+            let parts: Vec<f64> = inner
+                .split(':')
+                .map(|t| t.parse().expect("numeric triple"))
+                .collect();
+            assert_eq!(parts.len(), 3, "line {line}");
+            assert!(parts[0] <= parts[1] + 1e-9, "{line}");
+            assert!(parts[1] <= parts[2] + 1e-9, "{line}");
+        }
+    }
+
+    #[test]
+    fn weights_change_only_the_max_column() {
+        let mut sta = engine(1104);
+        let before = write_sdf(&sta);
+        sta.set_weights(&vec![-0.05; sta.netlist().num_cells()]);
+        let after = write_sdf(&sta);
+        assert_ne!(before, after, "corrected derates must show up");
+        // min/typ columns are weight-independent: compare a sample line.
+        let pick = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("IOPATH"))
+                .map(str::to_owned)
+                .expect("has IOPATH")
+        };
+        let a = pick(&before);
+        let b = pick(&after);
+        let head = |l: &str| {
+            let inner = l.split('(').nth(2).unwrap_or("");
+            inner.split(':').take(2).collect::<Vec<_>>().join(":")
+        };
+        assert_eq!(head(&a), head(&b), "min/typ must be unchanged");
+    }
+}

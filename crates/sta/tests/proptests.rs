@@ -1,0 +1,113 @@
+//! Property-based tests of the STA engine's analytical invariants.
+
+use netlist::GeneratorConfig;
+use proptest::prelude::*;
+use sta::{DerateSet, DeratingTable, Sdc, Sta};
+
+prop_compose! {
+    /// A random valid derating table with monotone structure: derates
+    /// decrease with depth and increase with distance (the AOCV law).
+    fn monotone_table()(base in 1.05f64..1.5, depth_gain in 0.01f64..0.2,
+                        dist_gain in 0.0f64..0.2, nd in 2usize..6, nk in 2usize..8)
+                       -> DeratingTable {
+        let depths: Vec<f64> = (0..nk).map(|i| (i as f64 + 1.0) * 3.0).collect();
+        let distances: Vec<f64> = (0..nd).map(|i| (i as f64 + 1.0) * 250.0).collect();
+        let mut values = Vec::new();
+        for (di, _) in distances.iter().enumerate() {
+            for (ki, _) in depths.iter().enumerate() {
+                let v = base - depth_gain * ki as f64 / nk as f64
+                    + dist_gain * di as f64 / nd as f64;
+                values.push(v.max(1.001));
+            }
+        }
+        DeratingTable::new(depths, distances, values).expect("constructed valid")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bilinear interpolation of a monotone table is monotone.
+    #[test]
+    fn lookup_is_monotone(table in monotone_table(),
+                          d1 in 1.0f64..40.0, d2 in 1.0f64..40.0,
+                          x1 in 0.0f64..2000.0, x2 in 0.0f64..2000.0) {
+        let (dlo, dhi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let (xlo, xhi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        // Deeper → smaller derate at fixed distance.
+        prop_assert!(table.lookup(dhi, xlo) <= table.lookup(dlo, xlo) + 1e-12);
+        // Farther → larger derate at fixed depth.
+        prop_assert!(table.lookup(dlo, xhi) >= table.lookup(dlo, xlo) - 1e-12);
+    }
+
+    /// Lookups are clamped to the table's value range.
+    #[test]
+    fn lookup_stays_in_range(table in monotone_table(),
+                             depth in -5.0f64..200.0, dist in -5.0f64..5000.0) {
+        let v = table.lookup(depth, dist);
+        // The extreme corners bound every interpolated value.
+        let min_corner = table.lookup(1e9, -1e9);
+        let max_corner = table.lookup(-1e9, 1e9);
+        prop_assert!(v >= min_corner - 1e-12);
+        prop_assert!(v <= max_corner + 1e-12);
+    }
+
+    /// Setup slack shifts exactly 1:1 with the clock period.
+    #[test]
+    fn slack_is_period_equivariant(seed in 0u64..50, t0 in 800.0f64..2000.0,
+                                   delta in 1.0f64..1000.0) {
+        let n = GeneratorConfig::small(seed).generate();
+        let a = Sta::new(n.clone(), Sdc::with_period(t0), DerateSet::standard())
+            .expect("valid design");
+        let b = Sta::new(n, Sdc::with_period(t0 + delta), DerateSet::standard())
+            .expect("valid design");
+        for e in a.netlist().endpoints().into_iter().take(8) {
+            let sa = a.setup_slack(e);
+            let sb = b.setup_slack(e);
+            if sa.is_finite() && sb.is_finite() {
+                prop_assert!((sb - sa - delta).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Uniformly more negative weights never increase any arrival.
+    #[test]
+    fn weights_are_monotone_in_arrivals(seed in 0u64..30,
+                                        w1 in -0.10f64..0.0, w2 in -0.10f64..0.0) {
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let n = GeneratorConfig::small(seed).generate();
+        let mut sta = Sta::new(n, Sdc::with_period(1500.0), DerateSet::standard())
+            .expect("valid design");
+        let cells = sta.netlist().num_cells();
+        sta.set_weights(&vec![hi; cells]);
+        let arr_hi: Vec<f64> = sta.netlist().endpoints().iter()
+            .map(|&e| sta.endpoint_arrival(e)).collect();
+        sta.set_weights(&vec![lo; cells]);
+        for (e, &ah) in sta.netlist().endpoints().iter().zip(&arr_hi) {
+            let al = sta.endpoint_arrival(*e);
+            if al.is_finite() && ah.is_finite() {
+                prop_assert!(al <= ah + 1e-9,
+                    "more negative weights must not slow paths: {al} > {ah}");
+            }
+        }
+    }
+
+    /// Hold slack never depends on the clock period (same-cycle check).
+    #[test]
+    fn hold_is_period_independent(seed in 0u64..30, t0 in 800.0f64..1500.0,
+                                  delta in 10.0f64..2000.0) {
+        let n = GeneratorConfig::small(seed).generate();
+        let a = Sta::new(n.clone(), Sdc::with_period(t0), DerateSet::standard())
+            .expect("valid design");
+        let b = Sta::new(n, Sdc::with_period(t0 + delta), DerateSet::standard())
+            .expect("valid design");
+        for e in a.netlist().endpoints().into_iter().take(8) {
+            match (a.hold_slack(e), b.hold_slack(e)) {
+                (Some(ha), Some(hb)) if ha.is_finite() && hb.is_finite() => {
+                    prop_assert!((ha - hb).abs() < 1e-9);
+                }
+                _ => {}
+            }
+        }
+    }
+}

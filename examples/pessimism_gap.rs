@@ -1,0 +1,110 @@
+//! The paper's Fig. 2 worked example, reproduced exactly: a shared
+//! logic prefix that reaches one capture flop through 5 gates and
+//! another through 6, timed with the paper's Table 1 derate table and
+//! idealized 100 ps gates.
+//!
+//! GBA assigns every shared gate the *minimum* depth over the two paths
+//! (depth 5 → derate 1.20 at the 0.5 distance row), so the 6-gate path
+//! is over-derated relative to PBA's uniform path derate (depth 6 →
+//! 1.15) — the delay gap the whole framework exists to remove.
+//!
+//! Run with `cargo run --release -p bench --example pessimism_gap`.
+
+use netlist::{
+    DriveStrength, Function, LibCell, Library, NetlistBuilder, Point,
+};
+use sta::{aocv::DeratingTable, DerateSet, Sdc, Sta};
+
+/// An idealized library: every gate is exactly 100 ps, no load or slew
+/// dependence, no wire delay — so the arithmetic matches the paper's.
+fn ideal_library() -> Library {
+    let mut lib = Library::new("std45"); // parser-compatible name
+    lib.wire_cap_per_um = 0.0;
+    lib.wire_delay_per_um = 0.0;
+    lib.wire_delay_per_um2 = 0.0;
+    let cell = |name: &str, function: Function, intrinsic: f64| LibCell {
+        name: name.to_owned(),
+        function,
+        drive: DriveStrength::X1,
+        area: 1.0,
+        leakage: 1.0,
+        input_cap: 0.0,
+        intrinsic,
+        drive_res: 0.0,
+        slew_sens: 0.0,
+        slew_intrinsic: 0.0,
+        slew_res: 0.0,
+        max_load: f64::INFINITY,
+        setup: 0.0,
+        hold: 0.0,
+    };
+    lib.add(cell("IN_PORT", Function::Input, 0.0));
+    lib.add(cell("OUT_PORT", Function::Output, 0.0));
+    lib.add(cell("BUF_X1", Function::Buf, 100.0));
+    lib.add(cell("DFF_X1", Function::Dff, 0.0));
+    lib
+}
+
+fn main() -> Result<(), netlist::BuildError> {
+    let mut b = NetlistBuilder::new("fig2", ideal_library());
+    let clk = b.add_clock_port("clk", Point::ORIGIN);
+    let d = b.add_input("d", Point::ORIGIN);
+    let ff1 = b.add_flip_flop("FF1", "DFF_X1", Point::ORIGIN, clk)?;
+    b.connect_flip_flop_d_net(ff1, d);
+    // Shared prefix U1–U4, then U5→FF3 (5 gates) or U6,U7→FF4 (6 gates).
+    let mut prev = b.cell_output(ff1);
+    for i in 1..=4 {
+        let u = b.add_gate(&format!("U{i}"), "BUF_X1", Point::ORIGIN, &[prev])?;
+        prev = b.cell_output(u);
+    }
+    let u5 = b.add_gate("U5", "BUF_X1", Point::ORIGIN, &[prev])?;
+    let ff3 = b.add_flip_flop("FF3", "DFF_X1", Point::ORIGIN, clk)?;
+    b.connect_flip_flop_d(ff3, u5)?;
+    let u6 = b.add_gate("U6", "BUF_X1", Point::ORIGIN, &[prev])?;
+    let u7 = b.add_gate("U7", "BUF_X1", Point::ORIGIN, &[b.cell_output(u6)])?;
+    let ff4 = b.add_flip_flop("FF4", "DFF_X1", Point::ORIGIN, clk)?;
+    b.connect_flip_flop_d(ff4, u7)?;
+    for (i, ff) in [ff1, ff3, ff4].into_iter().enumerate() {
+        let q = b.cell_output(ff);
+        b.add_output(&format!("po{i}"), Point::ORIGIN, q)?;
+    }
+    let netlist = b.build()?;
+
+    // Paper Table 1 derates; neutral clock derates so the gap is pure AOCV.
+    let derates = DerateSet {
+        data_late: DeratingTable::paper_table1(),
+        data_early: DeratingTable::flat(0.95),
+        clock_late: 1.0,
+        clock_early: 1.0,
+    };
+    let sta = Sta::new(netlist, Sdc::with_period(1000.0), derates)?;
+    let nl = sta.netlist();
+
+    println!("Fig. 2 reproduction: cell depths and derates (100 ps gates)\n");
+    println!("{:>5} {:>10} {:>8} {:>10}", "gate", "GBA depth", "derate", "delay(ps)");
+    for name in ["U1", "U2", "U3", "U4", "U5", "U6", "U7"] {
+        let c = nl.find_cell(name).expect("gate exists");
+        let depth = sta.depth_info().gba_depth(c).expect("on a path");
+        println!(
+            "{name:>5} {depth:>10} {:>8.2} {:>10.1}",
+            sta.gate_derate(c),
+            sta.gate_delay(c) * sta.gate_derate(c)
+        );
+    }
+
+    let ff4 = nl.find_cell("FF4").expect("FF4 exists");
+    let path = sta::paths::worst_paths_to_endpoint(&sta, ff4, 1)
+        .into_iter()
+        .next()
+        .expect("FF1→FF4 path exists");
+    let gba = sta::gba_path_timing(&sta, &path);
+    let pba = sta::pba_timing(&sta, &path);
+    println!("\nFF1 → FF4 data path (6 gates):");
+    println!("  d_gba = {:.0} ps   (paper: 740 ps with its gate depths)", gba.arrival);
+    println!(
+        "  d_pba = {:.0} ps = 100 ps x {:.2} x 6   (paper: 690 ps)",
+        pba.arrival, pba.derate
+    );
+    println!("  gap   = {:.0} ps of pure GBA pessimism", gba.arrival - pba.arrival);
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! End-to-end timing closure on benchmark design D1: the same violating
+//! snapshot optimized twice — once trusting original GBA, once with the
+//! mGBA-corrected timer — and the resulting quality of results compared
+//! (the paper's Table 2 story on one design).
+//!
+//! Run with `cargo run --release -p bench --example timing_closure`.
+
+use bench::build_flow_engine;
+use mgba::{MgbaConfig, Solver};
+use netlist::DesignSpec;
+use optim::{run_flow, FlowConfig, FlowResult};
+
+fn show(tag: &str, r: &FlowResult) {
+    println!("\n[{tag}] {} passes, {} upsizes, {} buffers, {} recovery downsizes",
+        r.passes, r.counts.upsizes, r.counts.buffers, r.counts.downsizes);
+    println!(
+        "  runtime {:.0} ms (of which mGBA fitting {:.0} ms), closed = {}",
+        r.elapsed.as_secs_f64() * 1e3,
+        r.mgba_time.as_secs_f64() * 1e3,
+        r.closed
+    );
+    println!(
+        "  area {:.0} -> {:.0} um^2, leakage {:.0} -> {:.0} nW, buffers {}",
+        r.qor_initial.area, r.qor_final.area, r.qor_initial.leakage, r.qor_final.leakage,
+        r.qor_final.buffers
+    );
+    println!(
+        "  signoff (golden PBA): WNS {:.1} ps, TNS {:.1} ps, {} violating endpoints",
+        r.qor_final_pba.wns, r.qor_final_pba.tns, r.qor_final_pba.violating_endpoints
+    );
+}
+
+fn main() {
+    let spec = DesignSpec::D1;
+    println!("timing closure on {spec} (same snapshot, two timers)");
+
+    let mut gba_sta = build_flow_engine(spec);
+    println!(
+        "initial: WNS {:.1} ps, TNS {:.1} ps, {} violating endpoints, area {:.0} um^2",
+        gba_sta.wns(),
+        gba_sta.tns(),
+        gba_sta.violating_endpoints().len(),
+        gba_sta.netlist().total_area()
+    );
+    let gba = run_flow(&mut gba_sta, &FlowConfig::gba());
+    show("GBA flow", &gba);
+
+    let mut mgba_sta = build_flow_engine(spec);
+    let mgba = run_flow(
+        &mut mgba_sta,
+        &FlowConfig::mgba(MgbaConfig::default(), Solver::ScgRs),
+    );
+    show("mGBA flow", &mgba);
+
+    println!(
+        "\nmGBA flow vs GBA flow: {:+.2}% area, {:+.2}% leakage, {:+} transforms",
+        100.0 * (gba.qor_final.area - mgba.qor_final.area) / gba.qor_final.area,
+        100.0 * (gba.qor_final.leakage - mgba.qor_final.leakage) / gba.qor_final.leakage,
+        gba.counts.total() as i64 - mgba.counts.total() as i64
+    );
+    println!("(positive = the corrected timer avoided over-design)");
+}

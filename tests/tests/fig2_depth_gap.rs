@@ -1,0 +1,121 @@
+//! The paper's Fig. 2 worked example as an executable test: exact cell
+//! depths, Table 1 derates, and the GBA-vs-PBA delay gap on idealized
+//! 100 ps gates.
+
+use netlist::{DriveStrength, Function, LibCell, Library, NetlistBuilder, Point};
+use sta::{aocv::DeratingTable, DerateSet, Sdc, Sta};
+
+fn ideal_library() -> Library {
+    let mut lib = Library::new("ideal");
+    lib.wire_cap_per_um = 0.0;
+    lib.wire_delay_per_um = 0.0;
+    lib.wire_delay_per_um2 = 0.0;
+    let cell = |name: &str, function: Function, intrinsic: f64| LibCell {
+        name: name.to_owned(),
+        function,
+        drive: DriveStrength::X1,
+        area: 1.0,
+        leakage: 1.0,
+        input_cap: 0.0,
+        intrinsic,
+        drive_res: 0.0,
+        slew_sens: 0.0,
+        slew_intrinsic: 0.0,
+        slew_res: 0.0,
+        max_load: f64::INFINITY,
+        setup: 0.0,
+        hold: 0.0,
+    };
+    lib.add(cell("IN_PORT", Function::Input, 0.0));
+    lib.add(cell("OUT_PORT", Function::Output, 0.0));
+    lib.add(cell("BUF_X1", Function::Buf, 100.0));
+    lib.add(cell("DFF_X1", Function::Dff, 0.0));
+    lib
+}
+
+fn fig2() -> Sta {
+    let mut b = NetlistBuilder::new("fig2", ideal_library());
+    let clk = b.add_clock_port("clk", Point::ORIGIN);
+    let d = b.add_input("d", Point::ORIGIN);
+    let ff1 = b.add_flip_flop("FF1", "DFF_X1", Point::ORIGIN, clk).unwrap();
+    b.connect_flip_flop_d_net(ff1, d);
+    let mut prev = b.cell_output(ff1);
+    for i in 1..=4 {
+        let u = b
+            .add_gate(&format!("U{i}"), "BUF_X1", Point::ORIGIN, &[prev])
+            .unwrap();
+        prev = b.cell_output(u);
+    }
+    let u5 = b.add_gate("U5", "BUF_X1", Point::ORIGIN, &[prev]).unwrap();
+    let ff3 = b.add_flip_flop("FF3", "DFF_X1", Point::ORIGIN, clk).unwrap();
+    b.connect_flip_flop_d(ff3, u5).unwrap();
+    let u6 = b.add_gate("U6", "BUF_X1", Point::ORIGIN, &[prev]).unwrap();
+    let u7 = b
+        .add_gate("U7", "BUF_X1", Point::ORIGIN, &[b.cell_output(u6)])
+        .unwrap();
+    let ff4 = b.add_flip_flop("FF4", "DFF_X1", Point::ORIGIN, clk).unwrap();
+    b.connect_flip_flop_d(ff4, u7).unwrap();
+    for (i, ff) in [ff1, ff3, ff4].into_iter().enumerate() {
+        let q = b.cell_output(ff);
+        b.add_output(&format!("po{i}"), Point::ORIGIN, q).unwrap();
+    }
+    let derates = DerateSet {
+        data_late: DeratingTable::paper_table1(),
+        data_early: DeratingTable::flat(0.95),
+        clock_late: 1.0,
+        clock_early: 1.0,
+    };
+    Sta::new(b.build().unwrap(), Sdc::with_period(1000.0), derates).unwrap()
+}
+
+#[test]
+fn shared_prefix_gets_worst_depth() {
+    let sta = fig2();
+    let nl = sta.netlist();
+    for name in ["U1", "U2", "U3", "U4", "U5"] {
+        let c = nl.find_cell(name).unwrap();
+        assert_eq!(sta.depth_info().gba_depth(c), Some(5), "{name}");
+        assert!((sta.gate_derate(c) - 1.20).abs() < 1e-12, "{name}");
+    }
+    for name in ["U6", "U7"] {
+        let c = nl.find_cell(name).unwrap();
+        assert_eq!(sta.depth_info().gba_depth(c), Some(6), "{name}");
+        assert!((sta.gate_derate(c) - 1.15).abs() < 1e-12, "{name}");
+    }
+}
+
+#[test]
+fn gba_pba_delay_gap_matches_arithmetic() {
+    let sta = fig2();
+    let ff4 = sta.netlist().find_cell("FF4").unwrap();
+    let path = sta::paths::worst_paths_to_endpoint(&sta, ff4, 1)
+        .into_iter()
+        .next()
+        .unwrap();
+    assert_eq!(path.num_gates(), 6);
+    let gba = sta::gba_path_timing(&sta, &path);
+    let pba = sta::pba_timing(&sta, &path);
+    // GBA: U1..U4 at depth-5 derate 1.20 (+U6, U7 at 1.15):
+    // 100·(4·1.20 + 2·1.15) = 710.
+    assert!((gba.arrival - 710.0).abs() < 1e-9, "gba {}", gba.arrival);
+    // PBA: path depth 6 at derate 1.15 → 100·6·1.15 = 690 (paper's Eq. 2).
+    assert!((pba.arrival - 690.0).abs() < 1e-9, "pba {}", pba.arrival);
+    assert!((pba.derate - 1.15).abs() < 1e-12);
+}
+
+#[test]
+fn five_gate_path_has_no_aocv_gap() {
+    // FF1→FF3 runs entirely at depth 5: GBA per-gate derates equal the
+    // path derate, so GBA and PBA agree exactly (no slew/CRPR here).
+    let sta = fig2();
+    let ff3 = sta.netlist().find_cell("FF3").unwrap();
+    let path = sta::paths::worst_paths_to_endpoint(&sta, ff3, 1)
+        .into_iter()
+        .next()
+        .unwrap();
+    assert_eq!(path.num_gates(), 5);
+    let gba = sta::gba_path_timing(&sta, &path);
+    let pba = sta::pba_timing(&sta, &path);
+    assert!((gba.arrival - 600.0).abs() < 1e-9); // 100·5·1.20
+    assert!((gba.arrival - pba.arrival).abs() < 1e-9);
+}

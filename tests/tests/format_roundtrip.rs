@@ -1,0 +1,60 @@
+//! The text interchange format round-trips generated designs with
+//! timing-exact fidelity.
+
+use netlist::{parse_netlist, write_netlist, DesignSpec, GeneratorConfig};
+use sta::{DerateSet, Sdc, Sta};
+
+#[test]
+fn roundtrip_preserves_timing_exactly() {
+    let original = GeneratorConfig::small(401).generate();
+    let text = write_netlist(&original);
+    let parsed = parse_netlist(&text).expect("round trip parses");
+
+    let sdc = Sdc::with_period(1500.0);
+    let a = Sta::new(original, sdc.clone(), DerateSet::standard()).unwrap();
+    let b = Sta::new(parsed, sdc, DerateSet::standard()).unwrap();
+    assert_eq!(a.netlist().num_cells(), b.netlist().num_cells());
+    assert_eq!(a.wns(), b.wns(), "WNS must be bit-identical");
+    assert_eq!(a.tns(), b.tns(), "TNS must be bit-identical");
+    for e in a.netlist().endpoints() {
+        let name = &a.netlist().cell(e).name;
+        let e_b = b.netlist().find_cell(name).expect("same cells by name");
+        assert_eq!(a.setup_slack(e), b.setup_slack(e_b), "slack at {name}");
+    }
+}
+
+#[test]
+fn roundtrip_of_benchmark_design() {
+    let original = DesignSpec::D1.generate();
+    let text = write_netlist(&original);
+    let parsed = parse_netlist(&text).expect("benchmark round trip parses");
+    assert_eq!(parsed.num_cells(), original.num_cells());
+    assert_eq!(parsed.num_nets(), original.num_nets());
+    assert_eq!(parsed.total_area(), original.total_area());
+    assert_eq!(parsed.buffer_count(), original.buffer_count());
+    // Dumps are stable.
+    assert_eq!(write_netlist(&parsed), text);
+}
+
+#[test]
+fn mutated_design_still_roundtrips() {
+    let mut n = GeneratorConfig::small(402).generate();
+    // Apply a structural edit (buffer insertion), then round trip.
+    let (gate, _) = n
+        .cells()
+        .find(|(_, c)| {
+            c.role == netlist::CellRole::Combinational && c.output.is_some()
+        })
+        .unwrap();
+    let net = n.cell(gate).output.unwrap();
+    let buf_lib = n
+        .library()
+        .variant(netlist::Function::Buf, netlist::DriveStrength::X2)
+        .unwrap();
+    n.insert_buffer(net, buf_lib, "rt_buf", &[]).unwrap();
+    n.validate().unwrap();
+    let text = write_netlist(&n);
+    let parsed = parse_netlist(&text).unwrap();
+    assert_eq!(parsed.num_cells(), n.num_cells());
+    assert!(parsed.find_cell("rt_buf").is_some());
+}

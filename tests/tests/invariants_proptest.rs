@@ -1,0 +1,111 @@
+//! Property-based cross-crate invariants, fuzzing the design generator's
+//! parameter space: for any generated design at any clock period, the
+//! structural and timing invariants that the mGBA framework relies on
+//! must hold.
+
+use netlist::{CellRole, GeneratorConfig};
+use proptest::prelude::*;
+use sta::{gba_path_timing, pba_timing, select_critical_paths, DerateSet, Sdc, Sta};
+
+prop_compose! {
+    fn config_strategy()(seed in 0u64..1000, stages in 1usize..4, ffs in 2usize..10,
+                         width in 2usize..8, depth_lo in 2usize..4, depth_extra in 0usize..4,
+                         skip in 0.0f64..0.5, clean in 0.0f64..1.0)
+                        -> GeneratorConfig {
+        GeneratorConfig {
+            name: format!("prop_{seed}"),
+            seed,
+            num_stages: stages,
+            ffs_per_stage: ffs,
+            cloud_width: width,
+            cloud_depth: (depth_lo, depth_lo + depth_extra),
+            skip_probability: skip,
+            clean_cloud_fraction: clean,
+            die_size: 200.0,
+            clock_levels: 2,
+            primary_inputs: 4,
+            x2_fraction: 0.3,
+            x4_fraction: 0.1,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_designs_always_validate(config in config_strategy()) {
+        let n = config.generate();
+        prop_assert!(n.validate().is_ok());
+        prop_assert!(n.topo_order().is_ok());
+    }
+
+    #[test]
+    fn pba_never_more_pessimistic_than_gba(config in config_strategy(),
+                                           period in 500.0f64..5000.0) {
+        let n = config.generate();
+        let sta = Sta::new(n, Sdc::with_period(period), DerateSet::standard())
+            .expect("valid design");
+        let paths = select_critical_paths(&sta, 3, 200, false);
+        for p in &paths {
+            let gba = gba_path_timing(&sta, p);
+            let pba = pba_timing(&sta, p);
+            prop_assert!(pba.slack >= gba.slack - 1e-9,
+                "PBA {} < GBA {}", pba.slack, gba.slack);
+        }
+    }
+
+    #[test]
+    fn endpoint_arrival_is_realized_by_worst_path(config in config_strategy()) {
+        let n = config.generate();
+        let sta = Sta::new(n, Sdc::with_period(2000.0), DerateSet::standard())
+            .expect("valid design");
+        for e in sta.netlist().endpoints().into_iter().take(10) {
+            let arr = sta.endpoint_arrival(e);
+            if !arr.is_finite() { continue; }
+            let paths = sta::paths::worst_paths_to_endpoint(&sta, e, 1);
+            prop_assert!(!paths.is_empty());
+            prop_assert!((paths[0].gba_arrival - arr).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn per_gate_depth_lower_bounds_path_depth(config in config_strategy()) {
+        let n = config.generate();
+        let sta = Sta::new(n, Sdc::with_period(2000.0), DerateSet::standard())
+            .expect("valid design");
+        let paths = select_critical_paths(&sta, 2, 100, false);
+        for p in &paths {
+            let path_depth = p.num_gates() as u32;
+            for &g in &p.cells[1..p.cells.len().saturating_sub(1)] {
+                if sta.netlist().cell(g).role == CellRole::Combinational {
+                    let d = sta.depth_info().gba_depth(g).expect("on a path");
+                    prop_assert!(d <= path_depth,
+                        "gate depth {d} exceeds its path depth {path_depth}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resize_incremental_equals_full(config in config_strategy(), pick in 0usize..50) {
+        let n = config.generate();
+        let mut sta = Sta::new(n, Sdc::with_period(1500.0), DerateSet::standard())
+            .expect("valid design");
+        let resizable: Vec<_> = sta.netlist().cells()
+            .filter(|(_, c)| c.role == CellRole::Combinational
+                && sta.netlist().library().upsized(c.lib_cell).is_some())
+            .map(|(id, _)| id)
+            .collect();
+        prop_assume!(!resizable.is_empty());
+        let victim = resizable[pick % resizable.len()];
+        let up = sta.netlist().library()
+            .upsized(sta.netlist().cell(victim).lib_cell).unwrap();
+        sta.resize_cell(victim, up).unwrap();
+        let fresh = Sta::new(sta.netlist().clone(), sta.sdc().clone(),
+                             sta.derates().clone()).unwrap();
+        for e in sta.netlist().endpoints() {
+            prop_assert!((sta.setup_slack(e) - fresh.setup_slack(e)).abs() < 1e-6);
+        }
+    }
+}
