@@ -1,0 +1,121 @@
+//! Criterion benchmarks for the parallel execution layer: 1-thread vs
+//! N-thread timings of the kernels the fitting flow spends its life in —
+//! batch PBA retiming, fit-matrix assembly, CSR matvec, and the full
+//! objective/gradient sweep. Every parallel kernel is bit-identical to
+//! its serial twin, so these measure pure speedup, not a different
+//! algorithm.
+
+use bench::build_engine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgba::{FitProblem, MgbaConfig};
+use netlist::DesignSpec;
+use parallel::Parallelism;
+use sta::paths::select_critical_paths;
+use sta::pba_timing_batch;
+use std::hint::black_box;
+
+/// Thread counts to sweep: serial baseline, then the machine width.
+fn widths() -> Vec<usize> {
+    let n = std::thread::available_parallelism().map_or(4, |c| c.get());
+    if n > 1 {
+        vec![1, n]
+    } else {
+        vec![1]
+    }
+}
+
+fn bench_pba_batch(c: &mut Criterion) {
+    let sta = build_engine(DesignSpec::D3);
+    // The acceptance target: a batch of >= 10k paths.
+    let paths = select_critical_paths(&sta, 40, usize::MAX, false);
+    let mut group = c.benchmark_group(format!("parallel/pba_batch_{}", paths.len()));
+    group.sample_size(10);
+    for threads in widths() {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let par = Parallelism::new(threads);
+            b.iter(|| black_box(pba_timing_batch(&sta, &paths, par)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_build(c: &mut Criterion) {
+    let sta = build_engine(DesignSpec::D3);
+    let cfg = MgbaConfig::default();
+    let paths = select_critical_paths(&sta, 20, usize::MAX, false);
+    let mut group = c.benchmark_group(format!("parallel/fit_build_{}", paths.len()));
+    group.sample_size(10);
+    for threads in widths() {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let par = Parallelism::new(threads);
+            b.iter(|| {
+                black_box(FitProblem::build_par(
+                    &sta,
+                    &paths,
+                    cfg.epsilon,
+                    cfg.penalty,
+                    par,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_kernels(c: &mut Criterion) {
+    let sta = build_engine(DesignSpec::D3);
+    let cfg = MgbaConfig::default();
+    let paths = select_critical_paths(&sta, 20, usize::MAX, false);
+    let p = FitProblem::build_par(&sta, &paths, cfg.epsilon, cfg.penalty, Parallelism::serial());
+    let a = p.matrix();
+    let x: Vec<f64> = (0..p.num_gates())
+        .map(|j| -0.02 + 0.0005 * (j % 13) as f64)
+        .collect();
+
+    let mut group = c.benchmark_group(format!(
+        "parallel/matvec_{}x{}",
+        a.num_rows(),
+        a.num_cols()
+    ));
+    group.sample_size(20);
+    for threads in widths() {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let par = Parallelism::new(threads);
+            b.iter(|| black_box(a.matvec_par(&x, par)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("parallel/gradient");
+    group.sample_size(20);
+    for threads in widths() {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let pp = p.clone().with_parallelism(Parallelism::new(threads));
+            let mut coeffs = Vec::new();
+            let mut g = Vec::new();
+            b.iter(|| {
+                pp.gradient_into(&x, &mut coeffs, &mut g);
+                black_box(g.last().copied())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("parallel/objective");
+    group.sample_size(20);
+    for threads in widths() {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let pp = p.clone().with_parallelism(Parallelism::new(threads));
+            b.iter(|| black_box(pp.objective(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pba_batch,
+    bench_fit_build,
+    bench_matrix_kernels
+);
+criterion_main!(benches);

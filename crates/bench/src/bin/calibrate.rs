@@ -102,16 +102,15 @@ fn main() {
     // End-to-end accuracy breakdown: solver-space mse vs engine-realized
     // mse (after clamping), plus the per-path error distribution.
     let weights = p.to_cell_weights(&r.x, sta.netlist().num_cells());
-    let golden: Vec<f64> = selection
-        .paths
+    let par = parallel::global();
+    let golden: Vec<f64> = sta::pba_timing_batch(&sta, &selection.paths, par)
         .iter()
-        .map(|pp| sta::pba_timing(&sta, pp).slack)
+        .map(|t| t.slack)
         .collect();
     sta.set_weights(&weights);
-    let after: Vec<f64> = selection
-        .paths
+    let after: Vec<f64> = sta::gba_path_timing_batch(&sta, &selection.paths, par)
         .iter()
-        .map(|pp| sta::gba_path_timing(&sta, pp).slack)
+        .map(|t| t.slack)
         .collect();
     let model = p.model_slacks(&r.x);
     let mut clamp_diff = 0usize;

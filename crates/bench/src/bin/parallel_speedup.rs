@@ -1,0 +1,142 @@
+//! Records a machine-local snapshot of the parallel-layer speedup to
+//! `results/parallel_speedup.json`: serial vs all-core wall time for the
+//! batch-PBA, fit-build, matvec and gradient kernels.
+//!
+//! The parallel kernels are bit-identical to their serial twins, so the
+//! ratio is pure speedup. On a single-core host every ratio is ~1.0 by
+//! construction (the layer falls back to the serial path); the `cores`
+//! field in the JSON says which regime the snapshot was taken in.
+
+use bench::build_engine;
+use mgba::{FitProblem, MgbaConfig};
+use netlist::DesignSpec;
+use parallel::Parallelism;
+use sta::paths::select_critical_paths;
+use sta::pba_timing_batch;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median-of-`reps` wall time of `f`, in seconds.
+fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    kernel: &'static str,
+    detail: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let serial = Parallelism::serial();
+    let wide = Parallelism::new(cores);
+    let reps = 5;
+
+    let sta = build_engine(DesignSpec::D3);
+    let cfg = MgbaConfig::default();
+
+    // Batch PBA on >= 10k paths (the acceptance workload).
+    let paths = select_critical_paths(&sta, 40, usize::MAX, false);
+    eprintln!("pba batch: {} paths on {} cores", paths.len(), cores);
+    let pba = Row {
+        kernel: "pba_batch",
+        detail: format!("{} paths", paths.len()),
+        serial_ms: 1e3 * time_median(reps, || pba_timing_batch(&sta, &paths, serial)),
+        parallel_ms: 1e3 * time_median(reps, || pba_timing_batch(&sta, &paths, wide)),
+    };
+
+    // Fit-matrix assembly.
+    let fit_paths = select_critical_paths(&sta, 20, usize::MAX, false);
+    let build = |par| FitProblem::build_par(&sta, &fit_paths, cfg.epsilon, cfg.penalty, par);
+    let fit = Row {
+        kernel: "fit_build",
+        detail: format!("{} paths", fit_paths.len()),
+        serial_ms: 1e3 * time_median(reps, || build(serial)),
+        parallel_ms: 1e3 * time_median(reps, || build(wide)),
+    };
+
+    // Full-matrix solver kernels on the assembled problem.
+    let p = build(serial);
+    let x: Vec<f64> = (0..p.num_gates())
+        .map(|j| -0.02 + 0.0005 * (j % 13) as f64)
+        .collect();
+    let a = p.matrix();
+    let matvec = Row {
+        kernel: "matvec",
+        detail: format!("{}x{}, nnz {}", a.num_rows(), a.num_cols(), a.nnz()),
+        serial_ms: 1e3 * time_median(reps, || a.matvec_par(&x, serial)),
+        parallel_ms: 1e3 * time_median(reps, || a.matvec_par(&x, wide)),
+    };
+    let ps = p.clone().with_parallelism(serial);
+    let pw = p.clone().with_parallelism(wide);
+    // Warm both transpose caches outside the timed region.
+    let _ = (ps.matrix_t(), pw.matrix_t());
+    let mut coeffs = Vec::new();
+    let mut g = Vec::new();
+    let gradient = Row {
+        kernel: "gradient",
+        detail: format!("{} rows, {} cols", p.num_paths(), p.num_gates()),
+        serial_ms: 1e3 * time_median(reps, || ps.gradient_into(&x, &mut coeffs, &mut g)),
+        parallel_ms: 1e3 * time_median(reps, || pw.gradient_into(&x, &mut coeffs, &mut g)),
+    };
+    let objective = Row {
+        kernel: "objective",
+        detail: format!("{} rows", p.num_paths()),
+        serial_ms: 1e3 * time_median(reps, || ps.objective(&x)),
+        parallel_ms: 1e3 * time_median(reps, || pw.objective(&x)),
+    };
+
+    let rows = [pba, fit, matvec, gradient, objective];
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"design\": \"D3\",\n");
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"detail\": \"{}\", \"serial_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.detail,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+        println!(
+            "{:<10} {:<28} serial {:>9.3} ms  x{} {:>9.3} ms  speedup {:.2}x",
+            r.kernel,
+            r.detail,
+            r.serial_ms,
+            cores,
+            r.parallel_ms,
+            r.speedup()
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/parallel_speedup.json", &json).expect("write snapshot");
+    eprintln!("wrote results/parallel_speedup.json");
+}

@@ -11,6 +11,11 @@
 //! mgba-sta sdf      <FILE> --period PS [--fit] [--out FILE]
 //! ```
 //!
+//! Every subcommand additionally accepts the global `--threads N` option
+//! (default: the `MGBA_THREADS` environment variable, else all cores),
+//! which pins the worker-thread count of the parallel PBA-retiming and
+//! fitting kernels. Results are bit-identical for every thread count.
+//!
 //! Netlist files may be in the native text format (`.nl`) or the
 //! structural-Verilog subset (`.v`), auto-detected by content.
 
@@ -56,10 +61,23 @@ usage:
   mgba-sta flow     <FILE> --period PS [--timer gba|mgba]
   mgba-sta holdfix  <FILE> --period PS [--guard PS]
   mgba-sta corners  <FILE> --period PS
-  mgba-sta sdf      <FILE> --period PS [--fit] [--out FILE]";
+  mgba-sta sdf      <FILE> --period PS [--fit] [--out FILE]
+
+global options:
+  --threads N   worker threads for PBA retiming / fitting kernels
+                (default: MGBA_THREADS env, else all cores; 1 = serial;
+                results are identical for every value)";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let mut args = Args::new(argv);
+    // Global flag, honored by every subcommand: pin the worker-thread
+    // count for the parallel timing/fitting kernels.
+    if let Some(t) = args.option("--threads")? {
+        let threads: usize = t
+            .parse()
+            .map_err(|_| format!("bad --threads `{t}` (want a non-negative integer)"))?;
+        parallel::set_global_threads(threads);
+    }
     let command = args.positional("command")?;
     match command.as_str() {
         "generate" => cmd_generate(&mut args),

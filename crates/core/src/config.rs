@@ -1,5 +1,6 @@
 //! Configuration of the mGBA fitting flow, with the paper's defaults.
 
+use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// All tunables of the mGBA flow. `Default` reproduces the paper's
@@ -43,6 +44,11 @@ pub struct MgbaConfig {
     pub max_iterations: usize,
     /// RNG seed for row sampling.
     pub seed: u64,
+    /// Worker threads for the batch PBA, matrix-assembly, and full-matrix
+    /// solver kernels. `0` defers to the process default (CLI
+    /// `--threads`, then `MGBA_THREADS`, then all cores); `1` is the
+    /// exact serial path. Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for MgbaConfig {
@@ -62,6 +68,7 @@ impl Default for MgbaConfig {
             check_window: 25,
             max_iterations: 20_000,
             seed: 0xD5A1,
+            threads: 0,
         }
     }
 }
@@ -71,6 +78,18 @@ impl MgbaConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Config with an explicit thread count (`0` = process default,
+    /// `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved [`Parallelism`] for this run.
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.threads)
     }
 }
 
@@ -93,5 +112,13 @@ mod tests {
     fn with_seed_overrides() {
         let c = MgbaConfig::default().with_seed(7);
         assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn threads_resolve_to_parallelism() {
+        assert_eq!(MgbaConfig::default().threads, 0);
+        let c = MgbaConfig::default().with_threads(3);
+        assert_eq!(c.parallelism().threads(), 3);
+        assert!(MgbaConfig::default().parallelism().threads() >= 1);
     }
 }

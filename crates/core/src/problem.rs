@@ -24,16 +24,20 @@
 //! constraints are folded into the objective with the one-sided quadratic
 //! penalty of Eq. (6).
 
-use crate::metrics;
 use netlist::{CellId, CellRole};
+use parallel::Parallelism;
 use sparsela::{CsrBuilder, CsrMatrix};
-use sta::{gba_path_timing, pba_timing, Path, Sta};
+use sta::{gba_path_timing_batch, pba_timing_batch, Path, Sta};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// The assembled least-squares-with-penalty problem.
 #[derive(Debug, Clone)]
 pub struct FitProblem {
     a: CsrMatrix,
+    /// Lazily cached transpose `Aᵀ` — the deterministic full-gradient
+    /// path is a column-parallel product with it.
+    at: OnceLock<CsrMatrix>,
     /// Right-hand side `b_i = s_gba,i − s_pba,i` (≤ 0 up to noise: GBA is
     /// never less pessimistic than PBA).
     b: Vec<f64>,
@@ -44,6 +48,10 @@ pub struct FitProblem {
     /// Column → netlist cell mapping.
     columns: Vec<CellId>,
     penalty: f64,
+    /// Thread width of the full-matrix kernels (`objective`, `gradient`,
+    /// `model_slacks`, …). Every kernel is bit-identical for every
+    /// value, so this only affects wall time.
+    par: Parallelism,
 }
 
 impl FitProblem {
@@ -55,6 +63,28 @@ impl FitProblem {
     /// Panics if any selected path's gate carries a non-zero weight (the
     /// problem must be assembled against original GBA).
     pub fn build(sta: &Sta, paths: &[Path], epsilon: f64, penalty: f64) -> Self {
+        Self::build_par(sta, paths, epsilon, penalty, parallel::global())
+    }
+
+    /// [`Self::build`] with an explicit thread width.
+    ///
+    /// Column discovery stays serial — insertion order defines the
+    /// column numbering. Row construction and the per-path GBA/PBA
+    /// retimes fan out over `par`; every per-path result is an
+    /// independent function of `(sta, path)` written to its own row, so
+    /// the assembled problem is identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any selected path's gate carries a non-zero weight (the
+    /// problem must be assembled against original GBA).
+    pub fn build_par(
+        sta: &Sta,
+        paths: &[Path],
+        epsilon: f64,
+        penalty: f64,
+        par: Parallelism,
+    ) -> Self {
         let mut col_of: HashMap<CellId, usize> = HashMap::new();
         let mut columns: Vec<CellId> = Vec::new();
         // First pass: discover the column space — combinational gates on
@@ -74,21 +104,22 @@ impl FitProblem {
                 });
             }
         }
+        let pba_t = pba_timing_batch(sta, paths, par);
+        let gba_t = gba_path_timing_batch(sta, paths, par);
+        let rows = parallel::par_map(par, paths, |p| {
+            weighted_cells(p, sta)
+                .map(|&c| (col_of[&c], sta.gate_delay(c) * sta.gate_derate(c)))
+                .collect::<Vec<(usize, f64)>>()
+        });
         let mut builder = CsrBuilder::new(columns.len());
         let mut b = Vec::with_capacity(paths.len());
         let mut s_gba = Vec::with_capacity(paths.len());
         let mut s_pba = Vec::with_capacity(paths.len());
         let mut lower = Vec::with_capacity(paths.len());
-        let mut row: Vec<(usize, f64)> = Vec::new();
-        for p in paths {
-            row.clear();
-            for &c in weighted_cells(p, sta) {
-                let coeff = sta.gate_delay(c) * sta.gate_derate(c);
-                row.push((col_of[&c], coeff));
-            }
-            builder.push_row(&row);
-            let gba = gba_path_timing(sta, p).slack;
-            let pba = pba_timing(sta, p).slack;
+        for ((row, gba_timing), pba_timing) in rows.iter().zip(&gba_t).zip(&pba_t) {
+            builder.push_row(row);
+            let gba = gba_timing.slack;
+            let pba = pba_timing.slack;
             b.push(gba - pba);
             lower.push((gba - pba) - epsilon * pba.abs());
             s_gba.push(gba);
@@ -96,12 +127,14 @@ impl FitProblem {
         }
         Self {
             a: builder.build(),
+            at: OnceLock::new(),
             b,
             s_gba,
             s_pba,
             lower,
             columns,
             penalty,
+            par,
         }
     }
 
@@ -129,18 +162,39 @@ impl FitProblem {
             .collect();
         Self {
             a,
+            at: OnceLock::new(),
             b,
             s_gba,
             s_pba,
             lower,
             columns,
             penalty,
+            par: parallel::global(),
         }
+    }
+
+    /// Sets the thread width used by the full-matrix kernels (results
+    /// are bit-identical for every width).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// The thread width used by the full-matrix kernels.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     /// The sparse path×gate matrix `A`.
     pub fn matrix(&self) -> &CsrMatrix {
         &self.a
+    }
+
+    /// The transpose `Aᵀ`, built on first use and cached. Iterative
+    /// full-matrix solvers use it for deterministic parallel `Aᵀ·y`
+    /// products (each output entry is one fixed-order column dot).
+    pub fn matrix_t(&self) -> &CsrMatrix {
+        self.at.get_or_init(|| self.a.transpose())
     }
 
     /// Number of path rows (`m` in the paper).
@@ -173,35 +227,59 @@ impl FitProblem {
         self.s_gba[i] - self.a.row_dot(i, x)
     }
 
-    /// All model slacks under `x`.
+    /// All model slacks under `x` (row-parallel, order-exact).
     pub fn model_slacks(&self, x: &[f64]) -> Vec<f64> {
-        (0..self.num_paths())
-            .map(|i| self.model_slack(i, x))
-            .collect()
+        let mut s = vec![0.0; self.num_paths()];
+        parallel::par_fill(self.par, &mut s, |i| self.model_slack(i, x));
+        s
     }
 
     /// Penalized objective value of Eq. (6).
+    ///
+    /// Summed over fixed-size row blocks folded in block order, so the
+    /// value is bit-identical for every thread count.
     pub fn objective(&self, x: &[f64]) -> f64 {
-        let mut f = 0.0;
-        for i in 0..self.num_paths() {
+        parallel::par_sum(self.par, self.num_paths(), |i| {
             let ax = self.a.row_dot(i, x);
             let r = ax - self.b[i];
-            f += r * r;
             let v = ax - self.lower[i];
-            if v < 0.0 {
-                f += self.penalty * v * v;
-            }
-        }
-        f
+            r * r + if v < 0.0 { self.penalty * v * v } else { 0.0 }
+        })
     }
 
     /// Full gradient of the penalized objective.
     pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
-        let mut g = vec![0.0; self.num_gates()];
-        for i in 0..self.num_paths() {
-            self.accumulate_row_gradient(i, x, &mut g);
-        }
+        let mut coeffs = Vec::new();
+        let mut g = Vec::new();
+        self.gradient_into(x, &mut coeffs, &mut g);
         g
+    }
+
+    /// Full gradient into caller-owned buffers (no per-call allocation
+    /// once the buffers have grown to size — the hot path of the
+    /// full-matrix iterative solvers).
+    ///
+    /// Two deterministic passes: per-row residual coefficients
+    /// `c_i = 2(aᵢ·x − b_i) + 2w·min(aᵢ·x − l_i, 0)` fan out over rows,
+    /// then `g = Aᵀ·c` fans out over columns of the cached transpose —
+    /// each output entry one fixed-order dot product, so the gradient is
+    /// bit-identical for every thread count.
+    pub fn gradient_into(&self, x: &[f64], coeffs: &mut Vec<f64>, g: &mut Vec<f64>) {
+        coeffs.clear();
+        coeffs.resize(self.num_paths(), 0.0);
+        parallel::par_fill(self.par, coeffs, |i| {
+            let ax = self.a.row_dot(i, x);
+            let mut c = 2.0 * (ax - self.b[i]);
+            let v = ax - self.lower[i];
+            if v < 0.0 {
+                c += 2.0 * self.penalty * v;
+            }
+            c
+        });
+        let at = self.matrix_t();
+        g.clear();
+        g.resize(self.num_gates(), 0.0);
+        parallel::par_fill(self.par, g, |j| at.row_dot(j, coeffs));
     }
 
     /// Adds row `i`'s gradient contribution into `g` (the kernel of the
@@ -220,15 +298,36 @@ impl FitProblem {
     /// Number of paths violating the Eq. (5) constraint under `x` (the
     /// model is more optimistic than PBA beyond the `ε` tolerance).
     pub fn violations(&self, x: &[f64]) -> usize {
-        (0..self.num_paths())
-            .filter(|&i| self.a.row_dot(i, x) < self.lower[i])
-            .count()
+        parallel::par_block_reduce(
+            self.par,
+            self.num_paths(),
+            parallel::REDUCE_BLOCK,
+            |range| {
+                range
+                    .filter(|&i| self.a.row_dot(i, x) < self.lower[i])
+                    .count()
+            },
+            |a, b| a + b,
+        )
     }
 
     /// Modelling squared error of Eq. (12):
-    /// `‖s(x) − s_pba‖² / ‖s_pba‖²`.
+    /// `‖s(x) − s_pba‖² / ‖s_pba‖²` (blocked sums, bit-identical for
+    /// every thread count; same semantics as `metrics::mse`).
     pub fn mse(&self, x: &[f64]) -> f64 {
-        metrics::mse(&self.model_slacks(x), &self.s_pba)
+        let m = self.num_paths();
+        let num = parallel::par_sum(self.par, m, |i| {
+            let d = self.model_slack(i, x) - self.s_pba[i];
+            d * d
+        });
+        let den = parallel::par_sum(self.par, m, |i| self.s_pba[i] * self.s_pba[i]);
+        if den > 0.0 {
+            num / den
+        } else if num > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
     }
 
     /// Relative error φ of Eq. (10): `‖s(x) − s_pba‖ / ‖s_pba‖`.
@@ -240,12 +339,14 @@ impl FitProblem {
     pub fn subproblem(&self, rows: &[usize]) -> FitProblem {
         FitProblem {
             a: self.a.select_rows(rows),
+            at: OnceLock::new(),
             b: rows.iter().map(|&r| self.b[r]).collect(),
             s_gba: rows.iter().map(|&r| self.s_gba[r]).collect(),
             s_pba: rows.iter().map(|&r| self.s_pba[r]).collect(),
             lower: rows.iter().map(|&r| self.lower[r]).collect(),
             columns: self.columns.clone(),
             penalty: self.penalty,
+            par: self.par,
         }
     }
 
@@ -393,6 +494,58 @@ mod tests {
         // And the penalty makes that objective worse than a mild fit.
         let mild = vec![-0.005; p.num_gates()];
         assert!(p.objective(&x) > p.objective(&mild));
+    }
+
+    #[test]
+    fn build_and_kernels_bit_identical_across_thread_counts() {
+        let n = GeneratorConfig::small(90).generate();
+        let sta = Sta::new(n, Sdc::with_period(1200.0), DerateSet::standard()).unwrap();
+        let paths = select_critical_paths(&sta, 20, usize::MAX, false);
+        assert!(paths.len() > 10);
+        let serial = FitProblem::build_par(&sta, &paths, 0.02, 4.0, Parallelism::serial());
+        let x: Vec<f64> = (0..serial.num_gates())
+            .map(|j| -0.03 + 0.001 * (j % 11) as f64)
+            .collect();
+        for threads in [2, 4] {
+            let par = FitProblem::build_par(&sta, &paths, 0.02, 4.0, Parallelism::new(threads));
+            assert_eq!(par.matrix(), serial.matrix(), "threads={threads}");
+            assert_eq!(par.gba_slacks(), serial.gba_slacks());
+            assert_eq!(par.pba_slacks(), serial.pba_slacks());
+            assert_eq!(par.columns(), serial.columns());
+            // Full-matrix kernels: bit-identical, not just close.
+            assert_eq!(
+                par.objective(&x).to_bits(),
+                serial.objective(&x).to_bits()
+            );
+            assert_eq!(par.gradient(&x), serial.gradient(&x));
+            assert_eq!(par.model_slacks(&x), serial.model_slacks(&x));
+            assert_eq!(par.mse(&x).to_bits(), serial.mse(&x).to_bits());
+            assert_eq!(par.violations(&x), serial.violations(&x));
+        }
+    }
+
+    #[test]
+    fn gradient_into_reuses_buffers_and_matches_gradient() {
+        let (_, _, p) = problem(89);
+        let x: Vec<f64> = (0..p.num_gates()).map(|j| -0.002 * (j % 5) as f64).collect();
+        let mut coeffs = Vec::new();
+        let mut g = Vec::new();
+        p.gradient_into(&x, &mut coeffs, &mut g);
+        assert_eq!(g, p.gradient(&x));
+        let cap_c = coeffs.capacity();
+        let cap_g = g.capacity();
+        p.gradient_into(&x, &mut coeffs, &mut g);
+        assert_eq!(coeffs.capacity(), cap_c, "no reallocation on reuse");
+        assert_eq!(g.capacity(), cap_g, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn transpose_cache_matches_fresh_transpose() {
+        let (_, _, p) = problem(88);
+        assert_eq!(*p.matrix_t(), p.matrix().transpose());
+        // Subproblems carry their own (consistent) cache.
+        let sub = p.subproblem(&[0, 1, 3]);
+        assert_eq!(*sub.matrix_t(), sub.matrix().transpose());
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
         };
     }
     let a = problem.matrix();
+    // The operator and RHS are transpose products `Aᵀ·(row coeffs)`;
+    // with the cached transpose each output entry is one fixed-order
+    // column dot, so the parallel products are bit-identical for every
+    // thread count.
+    let at = problem.matrix_t();
+    let par = problem.parallelism();
     let w = config.penalty;
     let b: Vec<f64> = problem
         .gba_slacks()
@@ -60,15 +66,18 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
         .map(|(bi, pi)| bi - config.epsilon * pi.abs())
         .collect();
 
-    let apply = |active: &[bool], v: &[f64], out: &mut Vec<f64>| {
-        out.iter_mut().for_each(|o| *o = 0.0);
-        for (i, &is_active) in active.iter().enumerate() {
+    // Row-space scratch shared by the operator and the RHS assembly.
+    let mut ym = vec![0.0; m];
+    let apply = |active: &[bool], v: &[f64], ym: &mut [f64], out: &mut [f64]| {
+        parallel::par_fill(par, ym, |i| {
             let ri = a.row_dot(i, v);
-            let coeff = if is_active { ri * (1.0 + w) } else { ri };
-            if coeff != 0.0 {
-                a.scatter_row(i, coeff, out);
+            if active[i] {
+                ri * (1.0 + w)
+            } else {
+                ri
             }
-        }
+        });
+        parallel::par_fill(par, out, |j| at.row_dot(j, ym));
     };
 
     let mut iterations = 0usize;
@@ -78,14 +87,18 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
 
     for _round in 0..MAX_ACTIVE_SET_ROUNDS {
         // RHS: Aᵀb + w·A_Vᵀ·l_V.
+        parallel::par_fill(par, &mut ym, |i| {
+            if active[i] {
+                b[i] + w * lower[i]
+            } else {
+                b[i]
+            }
+        });
         let mut rhs = vec![0.0; n];
-        for i in 0..m {
-            let c = if active[i] { b[i] + w * lower[i] } else { b[i] };
-            a.scatter_row(i, c, &mut rhs);
-        }
+        parallel::par_fill(par, &mut rhs, |j| at.row_dot(j, &ym));
         // CG on (AᵀA + w A_VᵀA_V) x = rhs from the current x.
         let mut ax = vec![0.0; n];
-        apply(&active, &x, &mut ax);
+        apply(&active, &x, &mut ym, &mut ax);
         let mut r: Vec<f64> = rhs.iter().zip(&ax).map(|(q, p)| q - p).collect();
         let mut p = r.clone();
         let rhs_norm = vecops::norm2(&rhs).max(1e-30);
@@ -96,7 +109,7 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
             if rs_old.sqrt() / rhs_norm < CG_TOL {
                 break;
             }
-            apply(&active, &p, &mut scratch);
+            apply(&active, &p, &mut ym, &mut scratch);
             rows_touched += 2 * m as u64;
             let denom = vecops::dot(&p, &scratch);
             if denom <= 0.0 {
@@ -113,14 +126,13 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
             rs_old = rs_new;
             iterations += 1;
         }
-        // Refresh the active set.
+        // Refresh the active set (row-parallel, exact booleans).
         let mut new_active = vec![false; m];
-        let mut changed = false;
-        for (i, slot) in new_active.iter_mut().enumerate() {
-            let v = a.row_dot(i, &x) < lower[i];
-            *slot = v;
-            changed |= v != active[i];
-        }
+        parallel::par_fill(par, &mut new_active, |i| a.row_dot(i, &x) < lower[i]);
+        let changed = new_active
+            .iter()
+            .zip(&active)
+            .any(|(new, old)| new != old);
         rows_touched += m as u64;
         active = new_active;
         if !changed {

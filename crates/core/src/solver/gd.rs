@@ -30,9 +30,14 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResu
     let mut stalled = 0usize;
     let mut iterations = 0;
     let mut rows_touched = 0u64;
+    // Reused across iterations: the full gradient is the hot path, and
+    // re-allocating its row/column buffers every step dominated small
+    // solves.
+    let mut g: Vec<f64> = Vec::new();
+    let mut coeffs: Vec<f64> = Vec::new();
 
     while !converged && iterations < config.max_iterations {
-        let mut g = problem.gradient(&x);
+        problem.gradient_into(&x, &mut coeffs, &mut g);
         rows_touched += m as u64;
         if vecops::normalize(&mut g) == 0.0 {
             converged = true;

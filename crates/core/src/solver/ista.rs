@@ -38,11 +38,13 @@ fn soft_threshold(v: f64, t: f64) -> f64 {
 fn lipschitz(problem: &FitProblem, penalty: f64, iters: usize) -> f64 {
     let n = problem.num_gates();
     let a = problem.matrix();
+    let at = problem.matrix_t();
+    let par = problem.parallelism();
     let mut v = vec![1.0 / (n as f64).sqrt(); n];
     let mut lambda = 1.0;
     for _ in 0..iters {
-        let av = a.matvec(&v);
-        let mut atav = a.matvec_t(&av);
+        let av = a.matvec_par(&v, par);
+        let mut atav = at.matvec_par(&av, par);
         lambda = vecops::norm2(&atav).max(1e-30);
         vecops::scale(1.0 / lambda, &mut atav);
         v = atav;
@@ -76,16 +78,17 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, mu: f64) -> SolveResult 
     let mut rows_touched = 12 * 2 * m as u64; // power iteration cost
     let mut converged = false;
     let mut prev_obj = f64::INFINITY;
+    // Buffers reused across iterations — the full gradient and the
+    // proximal iterate are the allocation hot spots of the FISTA loop.
+    let mut g: Vec<f64> = Vec::new();
+    let mut coeffs: Vec<f64> = Vec::new();
+    let mut x_new = vec![0.0; n];
 
     while iterations < config.max_iterations {
-        // Gradient of the smooth part at y.
-        let mut g = vec![0.0; n];
-        for i in 0..m {
-            problem.accumulate_row_gradient(i, &y, &mut g);
-        }
+        // Gradient of the smooth part at y (row-parallel two-pass).
+        problem.gradient_into(&y, &mut coeffs, &mut g);
         rows_touched += m as u64;
         // Proximal step with soft-thresholding.
-        let mut x_new = vec![0.0; n];
         for j in 0..n {
             x_new[j] = soft_threshold(y[j] - step * g[j], step * mu);
         }
@@ -94,7 +97,7 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, mu: f64) -> SolveResult 
         for j in 0..n {
             y[j] = x_new[j] + ((t - 1.0) / t_new) * (x_new[j] - x[j]);
         }
-        x = x_new;
+        std::mem::swap(&mut x, &mut x_new);
         t = t_new;
         iterations += 1;
 

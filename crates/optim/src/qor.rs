@@ -38,14 +38,21 @@ impl Qor {
     /// flows fairly (a flow driven by a less pessimistic timer would look
     /// artificially bad under the original GBA yardstick).
     pub fn capture_pba(sta: &Sta) -> Self {
+        // Path tracing + PBA retiming per endpoint is embarrassingly
+        // parallel; the reduction folds the per-endpoint slacks serially
+        // in endpoint order, so the result is bit-identical for every
+        // thread count.
+        let endpoints = sta.netlist().endpoints();
+        let slacks = parallel::par_map(parallel::global(), &endpoints, |&e| {
+            worst_paths_to_endpoint(sta, e, 1)
+                .into_iter()
+                .next()
+                .map(|path| pba_timing(sta, &path).slack)
+        });
         let mut wns = f64::INFINITY;
         let mut tns = 0.0;
         let mut violating = 0usize;
-        for e in sta.netlist().endpoints() {
-            let Some(path) = worst_paths_to_endpoint(sta, e, 1).into_iter().next() else {
-                continue;
-            };
-            let slack = pba_timing(sta, &path).slack;
+        for slack in slacks.into_iter().flatten() {
             if slack.is_finite() {
                 wns = wns.min(slack);
                 if slack < 0.0 {

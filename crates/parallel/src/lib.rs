@@ -1,0 +1,313 @@
+//! Deterministic parallel execution primitives for the mGBA workspace.
+//!
+//! The container this workspace builds in has no registry access, so the
+//! layer is built directly on [`std::thread::scope`] instead of rayon.
+//! Every primitive is **deterministic by construction**: results are
+//! bit-identical whether a call runs on one thread or many.
+//!
+//! Two rules make that hold:
+//!
+//! 1. **Order-preserving maps.** [`par_map`] / [`par_fill`] write each
+//!    element's result into its own indexed slot; which thread computes
+//!    an element never affects the value or its position.
+//! 2. **Blocked reductions.** [`par_block_reduce`] splits the index
+//!    space into fixed-size blocks whose boundaries depend only on the
+//!    problem size — never on the thread count — and folds the block
+//!    partials serially in block order. The serial path runs the exact
+//!    same blocked loop, so `threads = 1` and `threads = N` produce the
+//!    same floating-point rounding.
+//!
+//! The effective thread count is resolved per call site from a
+//! [`Parallelism`] value; `Parallelism::new(0)` defers to the process
+//! default (CLI `--threads`, then the `MGBA_THREADS` environment
+//! variable, then all available cores).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default block length for blocked reductions. A function of nothing —
+/// block boundaries must never depend on the thread count.
+pub const REDUCE_BLOCK: usize = 1024;
+
+/// Below this many items a map runs inline; spawning threads for tiny
+/// batches costs more than it saves.
+pub const PAR_MIN_ITEMS: usize = 64;
+
+/// Process-wide thread-count override (0 = unset). Set once by the CLI
+/// from `--threads`; read by every `Parallelism::new(0)` resolution.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide thread-count default (0 clears it back to
+/// environment/auto resolution).
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads, Ordering::SeqCst);
+}
+
+/// The process-wide [`Parallelism`], resolving the `--threads` override,
+/// then `MGBA_THREADS`, then all available cores.
+pub fn global() -> Parallelism {
+    Parallelism::new(0)
+}
+
+/// A resolved degree of parallelism (`threads >= 1`).
+///
+/// `threads == 1` runs every primitive inline on the calling thread via
+/// the identical code path, so it doubles as the exact-serial mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Resolves a requested thread count. `0` means "default": the
+    /// process-wide override installed by [`set_global_threads`], else
+    /// the `MGBA_THREADS` environment variable, else all available
+    /// cores.
+    pub fn new(threads: usize) -> Self {
+        let resolved = if threads > 0 {
+            threads
+        } else {
+            let global = GLOBAL_THREADS.load(Ordering::SeqCst);
+            if global > 0 {
+                global
+            } else {
+                from_env().unwrap_or_else(available)
+            }
+        };
+        Self {
+            threads: resolved.max(1),
+        }
+    }
+
+    /// Exactly one thread: the serial code path.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The resolved thread count (always >= 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether work runs inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Parses `MGBA_THREADS` (ignored when unset, empty, `0`, or invalid).
+fn from_env() -> Option<usize> {
+    std::env::var("MGBA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Number of cores the OS reports (1 if it cannot say).
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items`, preserving order. Result `i` lands in slot
+/// `i` no matter which thread computed it, so the output is identical
+/// to `items.iter().map(f).collect()` for any thread count.
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = par.threads().min(n);
+    if threads <= 1 || n < PAR_MIN_ITEMS {
+        return items.iter().map(&f).collect();
+    }
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    // Several chunks per thread so uneven items still balance; each job
+    // owns a disjoint window of the output, keeping the fill safe and
+    // position-exact without any unsafe code.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let jobs: Vec<(&[T], &mut [Option<R>])> =
+        items.chunks(chunk).zip(out.chunks_mut(chunk)).collect();
+    let queue = Mutex::new(jobs.into_iter());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("parallel job queue poisoned").next();
+                let Some((input, slots)) = job else { break };
+                for (slot, item) in slots.iter_mut().zip(input) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("all parallel map slots filled"))
+        .collect()
+}
+
+/// Overwrites `out[i] = f(i)` for every index, preserving order.
+/// Deterministic for the same reason as [`par_map`]; useful when the
+/// caller owns a reusable output buffer.
+pub fn par_fill<R, F>(par: Parallelism, out: &mut [R], f: F)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = out.len();
+    let threads = par.threads().min(n);
+    if threads <= 1 || n < PAR_MIN_ITEMS {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let jobs: Vec<(usize, &mut [R])> = out
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(j, window)| (j * chunk, window))
+        .collect();
+    let queue = Mutex::new(jobs.into_iter());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("parallel job queue poisoned").next();
+                let Some((start, window)) = job else { break };
+                for (offset, slot) in window.iter_mut().enumerate() {
+                    *slot = f(start + offset);
+                }
+            });
+        }
+    });
+}
+
+/// Fixed-size block decomposition of `0..n`: boundaries depend only on
+/// `n` and `block`, never on the thread count.
+fn blocks(n: usize, block: usize) -> Vec<Range<usize>> {
+    let block = block.max(1);
+    (0..n.div_ceil(block))
+        .map(|j| j * block..((j + 1) * block).min(n))
+        .collect()
+}
+
+/// Reduces `0..n` deterministically: `map` turns each fixed-size block
+/// into a partial, partials fold serially **in block order**. Both the
+/// serial and parallel paths run this exact structure, so results are
+/// bit-identical across thread counts.
+pub fn par_block_reduce<A, M, F>(par: Parallelism, n: usize, block: usize, map: M, fold: F) -> A
+where
+    A: Send + Default,
+    M: Fn(Range<usize>) -> A + Sync,
+    F: Fn(A, A) -> A,
+{
+    let partials = par_map(par, &blocks(n, block), |r| map(r.clone()));
+    partials.into_iter().fold(A::default(), fold)
+}
+
+/// Deterministic blocked sum of `f(i)` over `0..n` with the default
+/// block size. The common case of [`par_block_reduce`].
+pub fn par_sum<F>(par: Parallelism, n: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    par_block_reduce(
+        par,
+        n,
+        REDUCE_BLOCK,
+        |range| range.map(&f).sum::<f64>(),
+        |a, b| a + b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_resolves_explicit_and_floor() {
+        assert_eq!(Parallelism::new(3).threads(), 3);
+        assert!(Parallelism::serial().is_serial());
+        assert!(Parallelism::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn global_override_wins_and_clears() {
+        set_global_threads(5);
+        assert_eq!(global().threads(), 5);
+        set_global_threads(0);
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let serial = par_map(Parallelism::serial(), &items, |&x| x * x + 1);
+        for threads in [2, 3, 8] {
+            let parallel = par_map(Parallelism::new(threads), &items, |&x| x * x + 1);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_fill_matches_serial_fill() {
+        let mut serial = vec![0.0f64; 4097];
+        let mut parallel = vec![0.0f64; 4097];
+        par_fill(Parallelism::serial(), &mut serial, |i| (i as f64).sqrt());
+        par_fill(Parallelism::new(4), &mut parallel, |i| (i as f64).sqrt());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn blocked_sum_is_bit_identical_across_thread_counts() {
+        // Values chosen so naive reassociation would change the result.
+        let f = |i: usize| 1.0 / (i as f64 + 1.0) * if i.is_multiple_of(3) { 1e-9 } else { 1e9 };
+        let n = 50_001;
+        let serial = par_sum(Parallelism::serial(), n, f);
+        for threads in [2, 4, 7] {
+            let parallel = par_sum(Parallelism::new(threads), n, f);
+            assert_eq!(
+                serial.to_bits(),
+                parallel.to_bits(),
+                "threads={threads}: {serial} vs {parallel}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_decomposition_depends_only_on_n() {
+        let bs = blocks(2500, 1024);
+        assert_eq!(bs, vec![0..1024, 1024..2048, 2048..2500]);
+        assert!(blocks(0, 1024).is_empty());
+    }
+
+    #[test]
+    fn generic_block_reduce_folds_in_block_order() {
+        // Concatenate block labels: order-sensitive fold detects any
+        // reordering of partials.
+        let labels = par_block_reduce(
+            Parallelism::new(4),
+            10,
+            3,
+            |r| format!("[{}..{})", r.start, r.end),
+            |a, b| a + &b,
+        );
+        assert_eq!(labels, "[0..3)[3..6)[6..9)[9..10)");
+    }
+}

@@ -1,7 +1,12 @@
 //! Compressed sparse row matrices.
 
 use crate::vecops;
+use parallel::Parallelism;
 use std::fmt;
+
+/// Below this many rows the parallel kernels run serially: thread
+/// hand-off costs more than the row loop saves.
+pub const PAR_ROW_THRESHOLD: usize = 512;
 
 /// Incremental row-by-row builder for [`CsrMatrix`].
 ///
@@ -193,6 +198,95 @@ impl CsrMatrix {
         b.build()
     }
 
+    /// Parallel `y = A·x` over row blocks. Row `i` of the result is the
+    /// same fixed-order dot product regardless of which thread computes
+    /// it, so the output is bit-identical to [`Self::matvec`] for every
+    /// thread count. Falls back to the serial loop below
+    /// [`PAR_ROW_THRESHOLD`] rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_cols`.
+    pub fn matvec_par(&self, x: &[f64], par: Parallelism) -> Vec<f64> {
+        assert_eq!(x.len(), self.num_cols, "matvec_par: dimension mismatch");
+        let m = self.num_rows();
+        if par.is_serial() || m < PAR_ROW_THRESHOLD {
+            return self.matvec(x);
+        }
+        let mut y = vec![0.0; m];
+        parallel::par_fill(par, &mut y, |i| self.row_dot(i, x));
+        y
+    }
+
+    /// Parallel squared row norms; bit-identical to
+    /// [`Self::row_norms_sq`] for every thread count (same per-row
+    /// fixed-order sums, serial fallback below [`PAR_ROW_THRESHOLD`]).
+    pub fn row_norms_sq_par(&self, par: Parallelism) -> Vec<f64> {
+        let m = self.num_rows();
+        if par.is_serial() || m < PAR_ROW_THRESHOLD {
+            return self.row_norms_sq();
+        }
+        let mut norms = vec![0.0; m];
+        parallel::par_fill(par, &mut norms, |i| self.row_norm_sq(i));
+        norms
+    }
+
+    /// Parallel transposed product `z = Aᵀ·y` via [`Self::transpose`].
+    ///
+    /// Entry `z[j]` is a fixed-order dot product of transpose row `j`
+    /// (original rows ascending), so the result is bit-identical for
+    /// every thread count — including one. It can differ in final bits
+    /// from [`Self::matvec_t`], which accumulates in row-major scatter
+    /// order. Iterative solvers should cache [`Self::transpose`] once
+    /// and call [`Self::matvec_par`] on it instead of paying the
+    /// transposition on every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != num_rows`.
+    pub fn matvec_t_par(&self, y: &[f64], par: Parallelism) -> Vec<f64> {
+        assert_eq!(y.len(), self.num_rows(), "matvec_t_par: dimension mismatch");
+        self.transpose().matvec_par(y, par)
+    }
+
+    /// The transpose as a new CSR matrix (counting sort over columns,
+    /// `O(nnz + cols)`). Within each transpose row, entries keep the
+    /// original row order, making transpose-based products reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has more than `u32::MAX` rows (row indices
+    /// become the transpose's column indices).
+    pub fn transpose(&self) -> CsrMatrix {
+        let (m, n) = self.shape();
+        assert!(m <= u32::MAX as usize, "transpose: too many rows");
+        let mut row_ptr = vec![0usize; n + 1];
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for j in 0..n {
+            row_ptr[j + 1] += row_ptr[j];
+        }
+        let mut cursor = row_ptr[..n].to_vec();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for i in 0..m {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let dst = cursor[c as usize];
+                cursor[c as usize] += 1;
+                col_idx[dst] = i as u32;
+                values[dst] = v;
+            }
+        }
+        CsrMatrix {
+            num_cols: m,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Column coverage: how many of the columns have at least one stored
     /// entry. The paper's §3.2 gate-coverage argument is exactly this
     /// statistic on the selected-path matrix.
@@ -290,6 +384,77 @@ mod tests {
         assert_eq!(a.covered_columns(), 3);
         let s = a.select_rows(&[1]);
         assert_eq!(s.covered_columns(), 1);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = small();
+        let at = a.transpose();
+        assert_eq!(at.shape(), (3, 3));
+        // Column 0 of A held 1.0 (row 0) and 4.0 (row 2).
+        assert_eq!(at.row(0), (&[0u32, 2][..], &[1.0, 4.0][..]));
+        assert_eq!(at.transpose(), a);
+    }
+
+    #[test]
+    fn transpose_handles_empty_columns_and_rows() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row(&[]);
+        b.push_row(&[(2, 7.0)]);
+        let a = b.build();
+        let at = a.transpose();
+        assert_eq!(at.shape(), (4, 2));
+        assert_eq!(at.row(0), (&[][..], &[][..]));
+        assert_eq!(at.row(2), (&[1u32][..], &[7.0][..]));
+        assert_eq!(at.transpose(), a);
+    }
+
+    /// A random-ish matrix big enough to cross `PAR_ROW_THRESHOLD`.
+    fn large(m: usize, n: usize) -> CsrMatrix {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..m {
+            let c0 = i % n;
+            let c1 = (i * 7 + 3) % n;
+            let c2 = (i * 13 + 1) % n;
+            b.push_row(&[
+                (c0, (i % 17) as f64 * 0.37 - 2.0),
+                (c1, (i % 5) as f64 + 0.25),
+                (c2, 1.0 / (i + 1) as f64),
+            ]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_kernels_are_bit_identical_across_thread_counts() {
+        use parallel::Parallelism;
+        let a = large(3000, 200);
+        let x: Vec<f64> = (0..200).map(|j| (j as f64 * 0.11).sin()).collect();
+        let y: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.07).cos()).collect();
+        let serial = Parallelism::serial();
+        for threads in [2, 4] {
+            let par = Parallelism::new(threads);
+            assert_eq!(a.matvec_par(&x, serial), a.matvec_par(&x, par));
+            assert_eq!(a.row_norms_sq_par(serial), a.row_norms_sq_par(par));
+            assert_eq!(a.matvec_t_par(&y, serial), a.matvec_t_par(&y, par));
+        }
+        // The parallel row kernels reuse the per-row serial dots, so they
+        // also match the plain serial entry points exactly.
+        assert_eq!(a.matvec_par(&x, Parallelism::new(4)), a.matvec(&x));
+        assert_eq!(a.row_norms_sq_par(Parallelism::new(4)), a.row_norms_sq());
+    }
+
+    #[test]
+    fn matvec_t_par_matches_serial_scatter() {
+        use parallel::Parallelism;
+        let a = large(1000, 64);
+        let y: Vec<f64> = (0..1000).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let scatter = a.matvec_t(&y);
+        let par = a.matvec_t_par(&y, Parallelism::new(4));
+        assert_eq!(scatter.len(), par.len());
+        for (s, p) in scatter.iter().zip(&par) {
+            assert!((s - p).abs() < 1e-9, "{s} vs {p}");
+        }
     }
 
     #[test]

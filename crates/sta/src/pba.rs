@@ -20,6 +20,7 @@ use crate::analysis::Sta;
 use crate::paths::Path;
 use netlist::point::BoundingBox;
 use netlist::{CellId, CellRole};
+use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Timing of a single path under one analysis mode.
@@ -171,6 +172,32 @@ pub fn gba_path_timing(sta: &Sta, path: &Path) -> PathTiming {
     }
 }
 
+/// Evaluates a batch of paths under **PBA** rules, fanning the per-path
+/// retimes out over `par` threads.
+///
+/// Each path's timing is an independent function of `(sta, path)` and is
+/// written to its own output slot, so the result is identical to mapping
+/// [`pba_timing`] serially — element for element, bit for bit — for any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if any path is not a well-formed path of `sta`'s netlist.
+pub fn pba_timing_batch(sta: &Sta, paths: &[Path], par: Parallelism) -> Vec<PathTiming> {
+    parallel::par_map(par, paths, |p| pba_timing(sta, p))
+}
+
+/// Evaluates a batch of paths under **GBA** rules (see
+/// [`gba_path_timing`]), fanning out over `par` threads with the same
+/// order- and bit-exactness guarantee as [`pba_timing_batch`].
+///
+/// # Panics
+///
+/// Panics if any path is not a well-formed path of `sta`'s netlist.
+pub fn gba_path_timing_batch(sta: &Sta, paths: &[Path], par: Parallelism) -> Vec<PathTiming> {
+    parallel::par_map(par, paths, |p| gba_path_timing(sta, p))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +306,21 @@ mod tests {
         sta.set_weights(&vec![-0.04; sta.netlist().num_cells()]);
         let after = gba_path_timing(&sta, &p).slack;
         assert!(after > before);
+    }
+
+    #[test]
+    fn batch_timing_is_bit_identical_to_serial_maps() {
+        let sta = engine(78);
+        let paths = select_critical_paths(&sta, 10, usize::MAX, false);
+        assert!(paths.len() > 1);
+        let pba_serial: Vec<PathTiming> = paths.iter().map(|p| pba_timing(&sta, p)).collect();
+        let gba_serial: Vec<PathTiming> =
+            paths.iter().map(|p| gba_path_timing(&sta, p)).collect();
+        for threads in [1, 2, 4] {
+            let par = Parallelism::new(threads);
+            assert_eq!(pba_timing_batch(&sta, &paths, par), pba_serial);
+            assert_eq!(gba_path_timing_batch(&sta, &paths, par), gba_serial);
+        }
     }
 
     #[test]

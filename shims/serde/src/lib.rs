@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types as an API affordance; no in-tree code serializes anything. With
+//! no registry available, this shim supplies no-op derive macros under
+//! the same import paths so the annotations compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};

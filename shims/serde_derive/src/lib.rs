@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace annotates its public data types with serde derives for
+//! downstream consumers, but nothing in-tree performs serialization, so
+//! the derives expand to nothing. When a real registry is available the
+//! shim can be swapped back to upstream serde without touching any
+//! annotated type.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing — placeholder for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing — placeholder for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
