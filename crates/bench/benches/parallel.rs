@@ -66,17 +66,19 @@ fn bench_matrix_kernels(c: &mut Criterion) {
     let sta = build_engine(DesignSpec::D3);
     let cfg = MgbaConfig::default();
     let paths = select_critical_paths(&sta, 20, usize::MAX, false);
-    let p = FitProblem::build_par(&sta, &paths, cfg.epsilon, cfg.penalty, Parallelism::serial());
+    let p = FitProblem::build_par(
+        &sta,
+        &paths,
+        cfg.epsilon,
+        cfg.penalty,
+        Parallelism::serial(),
+    );
     let a = p.matrix();
     let x: Vec<f64> = (0..p.num_gates())
         .map(|j| -0.02 + 0.0005 * (j % 13) as f64)
         .collect();
 
-    let mut group = c.benchmark_group(format!(
-        "parallel/matvec_{}x{}",
-        a.num_rows(),
-        a.num_cols()
-    ));
+    let mut group = c.benchmark_group(format!("parallel/matvec_{}x{}", a.num_rows(), a.num_cols()));
     group.sample_size(20);
     for threads in widths() {
         group.bench_function(BenchmarkId::from_parameter(threads), |b| {

@@ -44,7 +44,10 @@ fn bench_step_decay_ablation(c: &mut Criterion) {
     let p = problem();
     let mut group = c.benchmark_group("ablation/step_decay");
     group.sample_size(10);
-    for (name, decay) in [("dynamic", MgbaConfig::default().step_decay), ("fixed", 0.0)] {
+    for (name, decay) in [
+        ("dynamic", MgbaConfig::default().step_decay),
+        ("fixed", 0.0),
+    ] {
         let config = MgbaConfig {
             step_decay: decay,
             ..MgbaConfig::default()

@@ -82,5 +82,10 @@ fn bench_pba(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_timing_updates, bench_path_enumeration, bench_pba);
+criterion_group!(
+    benches,
+    bench_timing_updates,
+    bench_path_enumeration,
+    bench_pba
+);
 criterion_main!(benches);

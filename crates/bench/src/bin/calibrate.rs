@@ -3,9 +3,8 @@
 //! hyper-parameters.
 
 use bench::build_engine;
+use mgba::prelude::*;
 use mgba::solver::{cgnr, gd, sampling, scg};
-use mgba::{FitProblem, MgbaConfig, SelectionScheme};
-use netlist::DesignSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -134,12 +133,20 @@ fn main() {
     );
     println!(
         "abs err ps: p50 {:.1} p90 {:.1} p99 {:.1}; rel err: p50 {:.3} p90 {:.3}",
-        q(&errs, 0.5), q(&errs, 0.9), q(&errs, 0.99), q(&rel_errs, 0.5), q(&rel_errs, 0.9)
+        q(&errs, 0.5),
+        q(&errs, 0.9),
+        q(&errs, 0.99),
+        q(&rel_errs, 0.5),
+        q(&rel_errs, 0.9)
     );
     println!(
         "golden slack: min {:.0} median {:.0} max {:.0}",
         golden.iter().cloned().fold(f64::INFINITY, f64::min),
-        { let mut g = golden.clone(); g.sort_by(|a,b| a.partial_cmp(b).unwrap()); g[g.len()/2] },
+        {
+            let mut g = golden.clone();
+            g.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            g[g.len() / 2]
+        },
         golden.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
     );
 
@@ -158,8 +165,11 @@ fn main() {
     let describe = |idx: &[(f64, usize)], tag: &str| {
         let n = idx.len() as f64;
         let mean_err = idx.iter().map(|(e, _)| e).sum::<f64>() / n;
-        let mean_gates =
-            idx.iter().map(|(_, i)| selection.paths[*i].num_gates() as f64).sum::<f64>() / n;
+        let mean_gates = idx
+            .iter()
+            .map(|(_, i)| selection.paths[*i].num_gates() as f64)
+            .sum::<f64>()
+            / n;
         let mean_depth_gap: f64 = idx
             .iter()
             .map(|(_, i)| {

@@ -8,9 +8,8 @@
 //! Run with `cargo run --release -p bench --bin fig3_sparsity [design]`.
 
 use bench::build_engine;
+use mgba::prelude::*;
 use mgba::solver::cgnr;
-use mgba::{FitProblem, MgbaConfig, SelectionScheme};
-use netlist::DesignSpec;
 
 fn main() {
     let spec = match std::env::args().nth(1).as_deref() {

@@ -10,9 +10,8 @@
 //! Run with `cargo run --release -p bench --bin fig4_row_convergence [design]`.
 
 use bench::build_engine;
+use mgba::prelude::*;
 use mgba::solver::cgnr;
-use mgba::{FitProblem, MgbaConfig, SelectionScheme};
-use netlist::DesignSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparsela::sampling::UniformSampler;

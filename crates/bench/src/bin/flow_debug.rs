@@ -1,9 +1,7 @@
 //! Internal flow diagnostics (not a paper table).
 
 use bench::build_flow_engine;
-use mgba::{MgbaConfig, Solver};
-use netlist::DesignSpec;
-use optim::{run_flow, FlowConfig};
+use optim::prelude::*;
 
 fn main() {
     let spec = match std::env::args().nth(1).as_deref() {

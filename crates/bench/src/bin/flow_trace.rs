@@ -6,9 +6,7 @@
 //! Run with `cargo run --release -p bench --bin flow_trace [design]`.
 
 use bench::build_flow_engine;
-use mgba::{MgbaConfig, Solver};
-use netlist::DesignSpec;
-use optim::{run_flow, FlowConfig};
+use optim::prelude::*;
 
 fn main() {
     let spec = match std::env::args().nth(1).as_deref() {
@@ -19,7 +17,10 @@ fn main() {
     println!("flow convergence on {spec} (per-pass, each flow's own timing view)\n");
     for (label, cfg) in [
         ("GBA", FlowConfig::gba()),
-        ("mGBA", FlowConfig::mgba(MgbaConfig::default(), Solver::ScgRs)),
+        (
+            "mGBA",
+            FlowConfig::mgba(MgbaConfig::default(), Solver::ScgRs),
+        ),
     ] {
         let mut sta = build_flow_engine(spec);
         println!(

@@ -8,8 +8,7 @@
 //! field in the JSON says which regime the snapshot was taken in.
 
 use bench::build_engine;
-use mgba::{FitProblem, MgbaConfig};
-use netlist::DesignSpec;
+use mgba::prelude::*;
 use parallel::Parallelism;
 use sta::paths::select_critical_paths;
 use sta::pba_timing_batch;

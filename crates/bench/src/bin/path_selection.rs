@@ -13,9 +13,8 @@
 //! Run with `cargo run --release -p bench --bin path_selection [design]`.
 
 use bench::build_engine;
+use mgba::prelude::*;
 use mgba::solver::cgnr;
-use mgba::{select_paths, FitProblem, MgbaConfig, SelectionScheme};
-use netlist::DesignSpec;
 use sta::Path;
 
 fn fit_and_measure(

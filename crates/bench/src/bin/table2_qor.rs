@@ -11,9 +11,7 @@
 //! (add `-- --quick` for D1–D3 only).
 
 use bench::{build_flow_engine, row};
-use mgba::{MgbaConfig, Solver};
-use netlist::DesignSpec;
-use optim::{run_flow, FlowConfig, Qor};
+use optim::prelude::*;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -60,10 +58,8 @@ fn main() {
         let tns = 100.0 * (mgba.qor_final_pba.tns - gba.qor_final_pba.tns) / period;
         let area = Qor::reduction_percent(gba.qor_final.area, mgba.qor_final.area);
         let leak = Qor::reduction_percent(gba.qor_final.leakage, mgba.qor_final.leakage);
-        let buf = Qor::reduction_percent(
-            gba.qor_final.buffers as f64,
-            mgba.qor_final.buffers as f64,
-        );
+        let buf =
+            Qor::reduction_percent(gba.qor_final.buffers as f64, mgba.qor_final.buffers as f64);
         for (s, v) in sums.iter_mut().zip([wns, tns, area, leak, buf]) {
             *s += v;
         }

@@ -10,8 +10,7 @@
 //! (add `-- --quick` for D1–D3 only).
 
 use bench::{build_engine, row};
-use mgba::{run_mgba, MgbaConfig, Solver};
-use netlist::DesignSpec;
+use mgba::prelude::*;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");

@@ -9,8 +9,7 @@
 //! (add `-- --quick` for D1–D3 only).
 
 use bench::{build_engine, geomean, row};
-use mgba::{FitProblem, MgbaConfig, SelectionScheme, Solver};
-use netlist::DesignSpec;
+use mgba::prelude::*;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");

@@ -11,9 +11,7 @@
 //! (add `-- --quick` for D1–D3 only).
 
 use bench::{build_flow_engine, row};
-use mgba::{MgbaConfig, Solver};
-use netlist::DesignSpec;
-use optim::{run_flow, FlowConfig};
+use optim::prelude::*;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");

@@ -1,6 +1,12 @@
 //! Minimal argument parsing for `mgba-sta` (kept dependency-free on
 //! purpose: the workspace's external dependencies are limited to the
-//! numeric/test stack).
+//! numeric/test stack). All failures surface as [`MgbaError::Usage`].
+
+use mgba::MgbaError;
+
+fn usage(message: impl Into<String>) -> MgbaError {
+    MgbaError::Usage(message.into())
+}
 
 /// A tiny positional + `--option value` argument reader.
 pub struct Args {
@@ -22,7 +28,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns an error naming `what` if none remains.
-    pub fn positional(&mut self, what: &str) -> Result<String, String> {
+    pub fn positional(&mut self, what: &str) -> Result<String, MgbaError> {
         for i in 0..self.argv.len() {
             if self.consumed[i] || self.argv[i].starts_with("--") {
                 continue;
@@ -35,7 +41,7 @@ impl Args {
             self.consumed[i] = true;
             return Ok(self.argv[i].clone());
         }
-        Err(format!("missing {what}"))
+        Err(usage(format!("missing {what}")))
     }
 
     /// Takes `--name value` if present.
@@ -43,7 +49,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns an error if the flag is present without a value.
-    pub fn option(&mut self, name: &str) -> Result<Option<String>, String> {
+    pub fn option(&mut self, name: &str) -> Result<Option<String>, MgbaError> {
         for i in 0..self.argv.len() {
             if !self.consumed[i] && self.argv[i] == name {
                 self.consumed[i] = true;
@@ -52,7 +58,7 @@ impl Args {
                     .get(i + 1)
                     .filter(|v| !v.starts_with("--"))
                     .cloned()
-                    .ok_or_else(|| format!("{name} requires a value"))?;
+                    .ok_or_else(|| usage(format!("{name} requires a value")))?;
                 self.consumed[i + 1] = true;
                 return Ok(Some(v));
             }
@@ -76,12 +82,12 @@ impl Args {
     /// # Errors
     ///
     /// Returns an error if missing or unparsable.
-    pub fn required_option<T: std::str::FromStr>(&mut self, name: &str) -> Result<T, String> {
+    pub fn required_option<T: std::str::FromStr>(&mut self, name: &str) -> Result<T, MgbaError> {
         let v = self
             .option(name)?
-            .ok_or_else(|| format!("missing required {name}"))?;
+            .ok_or_else(|| usage(format!("missing required {name}")))?;
         v.parse()
-            .map_err(|_| format!("bad value `{v}` for {name}"))
+            .map_err(|_| usage(format!("bad value `{v}` for {name}")))
     }
 
     /// Fails if any argument was not consumed.
@@ -89,10 +95,10 @@ impl Args {
     /// # Errors
     ///
     /// Returns an error naming the first unrecognized argument.
-    pub fn finish(&mut self) -> Result<(), String> {
+    pub fn finish(&mut self) -> Result<(), MgbaError> {
         for (i, used) in self.consumed.iter().enumerate() {
             if !used {
-                return Err(format!("unrecognized argument `{}`", self.argv[i]));
+                return Err(usage(format!("unrecognized argument `{}`", self.argv[i])));
             }
         }
         Ok(())
@@ -121,7 +127,7 @@ mod tests {
     #[test]
     fn missing_positional_is_an_error() {
         let mut a = args(&["--period", "10"]);
-        assert!(a.positional("command").is_err());
+        assert!(matches!(a.positional("command"), Err(MgbaError::Usage(_))));
     }
 
     #[test]
@@ -145,7 +151,7 @@ mod tests {
     fn unconsumed_arguments_rejected() {
         let mut a = args(&["cmd", "extra"]);
         let _ = a.positional("command");
-        assert!(a.finish().is_err());
+        assert!(matches!(a.finish(), Err(MgbaError::Usage(_))));
     }
 
     #[test]

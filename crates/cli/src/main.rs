@@ -1,29 +1,38 @@
 //! `mgba-sta` — command-line front end for the mGBA framework.
 //!
 //! ```text
-//! mgba-sta generate <D1..D10|small:SEED> [--format text|verilog] [--out FILE]
-//! mgba-sta stats    <FILE>
-//! mgba-sta report   <FILE> --period PS [--top N]
-//! mgba-sta fit      <FILE> --period PS [--solver ...] [--out WEIGHTS]
-//! mgba-sta flow     <FILE> --period PS [--timer gba|mgba]
-//! mgba-sta holdfix  <FILE> --period PS [--guard PS]
-//! mgba-sta corners  <FILE> --period PS
-//! mgba-sta sdf      <FILE> --period PS [--fit] [--out FILE]
+//! mgba-sta generate  <D1..D10|small:SEED> [--format text|verilog] [--out FILE]
+//! mgba-sta stats     <FILE>
+//! mgba-sta report    <FILE> --period PS [--top N]
+//! mgba-sta fit       <FILE> --period PS [--solver ...] [--out WEIGHTS]
+//! mgba-sta calibrate <D1..D10|small:SEED|FILE> [--period PS] [--solver ...] [--out WEIGHTS]
+//! mgba-sta flow      <FILE> --period PS [--timer gba|mgba]
+//! mgba-sta holdfix   <FILE> --period PS [--guard PS]
+//! mgba-sta corners   <FILE> --period PS
+//! mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
 //! ```
 //!
-//! Every subcommand additionally accepts the global `--threads N` option
-//! (default: the `MGBA_THREADS` environment variable, else all cores),
-//! which pins the worker-thread count of the parallel PBA-retiming and
-//! fitting kernels. Results are bit-identical for every thread count.
+//! Every subcommand additionally accepts the global options:
+//!
+//! - `--threads N` (default: the `MGBA_THREADS` environment variable,
+//!   else all cores) pins the worker-thread count of the parallel
+//!   PBA-retiming and fitting kernels. Results are bit-identical for
+//!   every thread count.
+//! - `--profile` / `--profile=json` enables the observability layer
+//!   (`obs`): hierarchical timed spans over load → select → build →
+//!   solve → fold-back, a metrics registry, and per-iteration solver
+//!   telemetry. `--profile` prints a pretty report to stderr;
+//!   `--profile=json` writes `results/profile_<command>.json`.
+//!   Instrumentation never changes results — outputs are bit-identical
+//!   with and without it.
 //!
 //! Netlist files may be in the native text format (`.nl`) or the
 //! structural-Verilog subset (`.v`), auto-detected by content.
 
-use mgba::{run_mgba, MgbaConfig, Solver};
-use netlist::{DesignSpec, GeneratorConfig, Netlist};
+use mgba::prelude::*;
 use optim::{run_flow, FlowConfig};
-use sta::{DerateSet, Sdc, Sta};
 use std::io::Write as _;
+use std::path::Path;
 use std::process::ExitCode;
 
 mod args;
@@ -31,11 +40,11 @@ use args::Args;
 
 /// Writes to stdout, treating a broken pipe (e.g. `mgba-sta ... | head`)
 /// as a clean exit instead of a panic.
-fn emit(text: &str) -> Result<(), String> {
+fn emit(text: &str) -> Result<(), MgbaError> {
     match std::io::stdout().write_all(text.as_bytes()) {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
-        Err(e) => Err(format!("writing stdout: {e}")),
+        Err(e) => Err(MgbaError::io("<stdout>", e)),
     }
 }
 
@@ -54,73 +63,164 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  mgba-sta generate <D1..D10|small:SEED> [--format text|verilog] [--out FILE]
-  mgba-sta stats    <FILE>
-  mgba-sta report   <FILE> --period PS [--top N] [--weights WEIGHTS]
-  mgba-sta fit      <FILE> --period PS [--solver gd|scg|scgrs|cgnr] [--out WEIGHTS]
-  mgba-sta flow     <FILE> --period PS [--timer gba|mgba]
-  mgba-sta holdfix  <FILE> --period PS [--guard PS]
-  mgba-sta corners  <FILE> --period PS
-  mgba-sta sdf      <FILE> --period PS [--fit] [--out FILE]
+  mgba-sta generate  <D1..D10|small:SEED> [--format text|verilog] [--out FILE]
+  mgba-sta stats     <FILE>
+  mgba-sta report    <FILE> --period PS [--top N] [--weights WEIGHTS]
+  mgba-sta fit       <FILE> --period PS [--solver gd|scg|scgrs|cgnr] [--out WEIGHTS]
+  mgba-sta calibrate <D1..D10|small:SEED|FILE> [--period PS] [--solver ...] [--out WEIGHTS]
+  mgba-sta flow      <FILE> --period PS [--timer gba|mgba]
+  mgba-sta holdfix   <FILE> --period PS [--guard PS]
+  mgba-sta corners   <FILE> --period PS
+  mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
 
 global options:
-  --threads N   worker threads for PBA retiming / fitting kernels
-                (default: MGBA_THREADS env, else all cores; 1 = serial;
-                results are identical for every value)";
+  --threads N       worker threads for PBA retiming / fitting kernels
+                    (default: MGBA_THREADS env, else all cores; 1 = serial;
+                    results are identical for every value)
+  --profile         print a span/metrics/solver-telemetry report to stderr
+  --profile=json    write the report to results/profile_<command>.json";
 
-fn run(argv: &[String]) -> Result<(), String> {
-    let mut args = Args::new(argv);
-    // Global flag, honored by every subcommand: pin the worker-thread
-    // count for the parallel timing/fitting kernels.
-    if let Some(t) = args.option("--threads")? {
-        let threads: usize = t
-            .parse()
-            .map_err(|_| format!("bad --threads `{t}` (want a non-negative integer)"))?;
-        parallel::set_global_threads(threads);
-    }
-    let command = args.positional("command")?;
-    match command.as_str() {
-        "generate" => cmd_generate(&mut args),
-        "stats" => cmd_stats(&mut args),
-        "report" => cmd_report(&mut args),
-        "fit" => cmd_fit(&mut args),
-        "flow" => cmd_flow(&mut args),
-        "holdfix" => cmd_holdfix(&mut args),
-        "corners" => cmd_corners(&mut args),
-        "sdf" => cmd_sdf(&mut args),
-        other => Err(format!("unknown command `{other}`")),
-    }
+/// Where the `--profile` report goes.
+#[derive(Clone, Copy, PartialEq)]
+enum ProfileFormat {
+    Text,
+    Json,
 }
 
-fn parse_design(spec: &str) -> Result<Netlist, String> {
+fn run(argv: &[String]) -> Result<(), MgbaError> {
+    let mut args = Args::new(argv);
+    // Global flags, honored by every subcommand. They must be consumed
+    // before the first positional read: `positional` treats the token
+    // after an unconsumed `--flag` as that flag's value.
+    if let Some(t) = args.option("--threads")? {
+        let threads: usize = t.parse().map_err(|_| {
+            MgbaError::Usage(format!("bad --threads `{t}` (want a non-negative integer)"))
+        })?;
+        parallel::set_global_threads(threads);
+    }
+    let profile = if args.flag("--profile=json") {
+        Some(ProfileFormat::Json)
+    } else if args.flag("--profile") {
+        Some(ProfileFormat::Text)
+    } else {
+        None
+    };
+    if profile.is_some() {
+        obs::set_enabled(true);
+    }
+    let command = args.positional("command")?;
+    let result = {
+        // Root span: the whole subcommand, named after it.
+        let _span = obs::span(&command);
+        match command.as_str() {
+            "generate" => cmd_generate(&mut args),
+            "stats" => cmd_stats(&mut args),
+            "report" => cmd_report(&mut args),
+            "fit" => cmd_fit(&mut args),
+            "calibrate" => cmd_calibrate(&mut args),
+            "flow" => cmd_flow(&mut args),
+            "holdfix" => cmd_holdfix(&mut args),
+            "corners" => cmd_corners(&mut args),
+            "sdf" => cmd_sdf(&mut args),
+            other => Err(MgbaError::Usage(format!("unknown command `{other}`"))),
+        }
+    };
+    if result.is_ok() {
+        if let Some(format) = profile {
+            obs::set_enabled(false);
+            write_profile(&command, format)?;
+        }
+    }
+    result
+}
+
+/// Emits the captured observability report in the requested format.
+fn write_profile(command: &str, format: ProfileFormat) -> Result<(), MgbaError> {
+    let report = obs::ProfileReport::capture();
+    match format {
+        ProfileFormat::Text => eprint!("{}", report.to_pretty()),
+        ProfileFormat::Json => {
+            let dir = Path::new("results");
+            std::fs::create_dir_all(dir).map_err(|e| MgbaError::io(dir, e))?;
+            let path = dir.join(format!("profile_{command}.json"));
+            std::fs::write(&path, report.to_json()).map_err(|e| MgbaError::io(&path, e))?;
+            eprintln!("wrote profile {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn parse_design(spec: &str) -> Result<Netlist, MgbaError> {
     if let Some(seed) = spec.strip_prefix("small:") {
         let seed: u64 = seed
             .parse()
-            .map_err(|_| format!("bad seed in `{spec}`"))?;
+            .map_err(|_| MgbaError::Usage(format!("bad seed in `{spec}`")))?;
         return Ok(GeneratorConfig::small(seed).generate());
     }
     DesignSpec::all()
         .into_iter()
         .find(|d| d.to_string() == spec)
         .map(DesignSpec::generate)
-        .ok_or_else(|| format!("unknown design `{spec}` (want D1..D10 or small:SEED)"))
+        .ok_or_else(|| {
+            MgbaError::Usage(format!(
+                "unknown design `{spec}` (want D1..D10 or small:SEED)"
+            ))
+        })
 }
 
-fn load_netlist(path: &str) -> Result<Netlist, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+fn load_netlist(path: &str) -> Result<Netlist, MgbaError> {
+    let _span = obs::span("load");
+    let text = std::fs::read_to_string(path).map_err(|e| MgbaError::io(path, e))?;
     if text.trim_start().starts_with("module") {
-        netlist::parse_verilog(&text).map_err(|e| format!("parsing {path}: {e}"))
+        Ok(netlist::parse_verilog(&text)?)
     } else {
-        netlist::parse_netlist(&text).map_err(|e| format!("parsing {path}: {e}"))
+        Ok(netlist::parse_netlist(&text)?)
     }
 }
 
-fn build_engine(netlist: Netlist, period: f64) -> Result<Sta, String> {
-    Sta::new(netlist, Sdc::with_period(period), DerateSet::standard())
-        .map_err(|e| format!("timing the design: {e}"))
+/// Accepts either a generator spec (`D3`, `small:7`) or a netlist file.
+fn load_design_or_file(spec: &str) -> Result<Netlist, MgbaError> {
+    let looks_like_spec =
+        spec.starts_with("small:") || DesignSpec::all().iter().any(|d| d.to_string() == spec);
+    if looks_like_spec {
+        let _span = obs::span("load");
+        parse_design(spec)
+    } else {
+        load_netlist(spec)
+    }
 }
 
-fn cmd_generate(args: &mut Args) -> Result<(), String> {
+fn build_engine(netlist: Netlist, period: f64) -> Result<Sta, MgbaError> {
+    let _span = obs::span("sta_build");
+    Ok(Sta::new(
+        netlist,
+        Sdc::with_period(period),
+        DerateSet::standard(),
+    )?)
+}
+
+/// Picks a clock period that leaves the design with moderate setup
+/// violations (so a calibration fit has paths to work with): probe WNS at
+/// a relaxed period — slack shifts 1:1 with the period — then tighten by
+/// a tenth of the worst data arrival.
+fn auto_period(netlist: &Netlist) -> Result<f64, MgbaError> {
+    let _span = obs::span("probe_period");
+    const RELAXED: f64 = 10_000.0;
+    let probe = Sta::new(
+        netlist.clone(),
+        Sdc::with_period(RELAXED),
+        DerateSet::standard(),
+    )?;
+    let max_arrival = netlist
+        .endpoints()
+        .iter()
+        .map(|&e| probe.endpoint_arrival(e))
+        .filter(|a| a.is_finite())
+        .fold(0.0, f64::max);
+    Ok(RELAXED - probe.wns() - 0.10 * max_arrival)
+}
+
+fn cmd_generate(args: &mut Args) -> Result<(), MgbaError> {
     let spec = args.positional("design")?;
     let format = args.option("--format")?.unwrap_or_else(|| "text".into());
     let out = args.option("--out")?;
@@ -129,11 +229,11 @@ fn cmd_generate(args: &mut Args) -> Result<(), String> {
     let text = match format.as_str() {
         "text" => netlist::write_netlist(&netlist),
         "verilog" => netlist::write_verilog(&netlist),
-        other => return Err(format!("unknown format `{other}`")),
+        other => return Err(MgbaError::Usage(format!("unknown format `{other}`"))),
     };
     match out {
         Some(path) => {
-            std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(&path, text).map_err(|e| MgbaError::io(&path, e))?;
             eprintln!(
                 "wrote {} ({} cells, {} nets)",
                 path,
@@ -146,7 +246,7 @@ fn cmd_generate(args: &mut Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &mut Args) -> Result<(), String> {
+fn cmd_stats(args: &mut Args) -> Result<(), MgbaError> {
     let file = args.positional("netlist file")?;
     args.finish()?;
     let netlist = load_netlist(&file)?;
@@ -154,11 +254,12 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_holdfix(args: &mut Args) -> Result<(), String> {
+fn cmd_holdfix(args: &mut Args) -> Result<(), MgbaError> {
     let file = args.positional("netlist file")?;
     let period: f64 = args.required_option("--period")?;
     let guard: f64 = args.option("--guard")?.map_or(Ok(0.0), |g| {
-        g.parse().map_err(|_| format!("bad --guard `{g}`"))
+        g.parse()
+            .map_err(|_| MgbaError::Usage(format!("bad --guard `{g}`")))
     })?;
     args.finish()?;
     let mut sta = build_engine(load_netlist(&file)?, period)?;
@@ -173,7 +274,7 @@ fn cmd_holdfix(args: &mut Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_corners(args: &mut Args) -> Result<(), String> {
+fn cmd_corners(args: &mut Args) -> Result<(), MgbaError> {
     let file = args.positional("netlist file")?;
     let period: f64 = args.required_option("--period")?;
     args.finish()?;
@@ -182,13 +283,12 @@ fn cmd_corners(args: &mut Args) -> Result<(), String> {
         &netlist,
         &Sdc::with_period(period),
         sta::Corner::signoff_set(),
-    )
-    .map_err(|e| format!("timing the design: {e}"))?;
+    )?;
     emit(&mc.report())?;
     Ok(())
 }
 
-fn cmd_sdf(args: &mut Args) -> Result<(), String> {
+fn cmd_sdf(args: &mut Args) -> Result<(), MgbaError> {
     let file = args.positional("netlist file")?;
     let period: f64 = args.required_option("--period")?;
     let fit = args.flag("--fit");
@@ -200,27 +300,26 @@ fn cmd_sdf(args: &mut Args) -> Result<(), String> {
     }
     let sdf = sta::write_sdf(&sta);
     match out {
-        Some(path) => std::fs::write(&path, sdf).map_err(|e| format!("writing {path}: {e}"))?,
+        Some(path) => std::fs::write(&path, sdf).map_err(|e| MgbaError::io(&path, e))?,
         None => emit(&sdf)?,
     }
     Ok(())
 }
 
-fn cmd_report(args: &mut Args) -> Result<(), String> {
+fn cmd_report(args: &mut Args) -> Result<(), MgbaError> {
     let file = args.positional("netlist file")?;
     let period: f64 = args.required_option("--period")?;
     let top: usize = args.option("--top")?.map_or(Ok(10), |t| {
-        t.parse().map_err(|_| format!("bad --top `{t}`"))
+        t.parse()
+            .map_err(|_| MgbaError::Usage(format!("bad --top `{t}`")))
     })?;
     let weights_file = args.option("--weights")?;
     args.finish()?;
     let mut sta = build_engine(load_netlist(&file)?, period)?;
     if let Some(path) = weights_file {
-        let text =
-            std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-        let pairs = mgba::parse_weights(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-        let weights = mgba::apply_weights(sta.netlist(), &pairs)
-            .map_err(|e| format!("applying {path}: {e}"))?;
+        let text = std::fs::read_to_string(&path).map_err(|e| MgbaError::io(&path, e))?;
+        let pairs = parse_weights(&text)?;
+        let weights = mgba::apply_weights(sta.netlist(), &pairs)?;
         sta.set_weights(&weights);
         eprintln!("applied {} weights from {path}", pairs.len());
     }
@@ -228,31 +327,18 @@ fn cmd_report(args: &mut Args) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_solver(name: &str) -> Result<Solver, String> {
+fn parse_solver(name: &str) -> Result<Solver, MgbaError> {
     Ok(match name {
         "gd" => Solver::Gd,
         "scg" => Solver::Scg,
         "scgrs" => Solver::ScgRs,
         "cgnr" => Solver::Cgnr,
-        other => return Err(format!("unknown solver `{other}`")),
+        other => return Err(MgbaError::Usage(format!("unknown solver `{other}`"))),
     })
 }
 
-fn cmd_fit(args: &mut Args) -> Result<(), String> {
-    let file = args.positional("netlist file")?;
-    let period: f64 = args.required_option("--period")?;
-    let solver = parse_solver(
-        &args.option("--solver")?.unwrap_or_else(|| "scgrs".into()),
-    )?;
-    let out = args.option("--out")?;
-    args.finish()?;
-    let mut sta = build_engine(load_netlist(&file)?, period)?;
-    let report = run_mgba(&mut sta, &MgbaConfig::default(), solver);
-    if let Some(path) = &out {
-        let text = mgba::write_weights(sta.netlist(), &report.weights);
-        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote weights sidecar {path}");
-    }
+/// Prints the post-fit summary shared by `fit` and `calibrate`.
+fn print_fit_report(report: &MgbaReport, sta: &Sta) {
     println!("design {}: {}", report.design, report.solver_name);
     println!(
         "  {} paths fitted over {} weighted cells ({:.1}% gate coverage)",
@@ -282,10 +368,65 @@ fn cmd_fit(args: &mut Args) -> Result<(), String> {
         sta.tns(),
         sta.violating_endpoints().len()
     );
+}
+
+fn cmd_fit(args: &mut Args) -> Result<(), MgbaError> {
+    let file = args.positional("netlist file")?;
+    let period: f64 = args.required_option("--period")?;
+    let solver = parse_solver(&args.option("--solver")?.unwrap_or_else(|| "scgrs".into()))?;
+    let out = args.option("--out")?;
+    args.finish()?;
+    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    let report = run_mgba(&mut sta, &MgbaConfig::default(), solver);
+    if let Some(path) = &out {
+        let text = write_weights(sta.netlist(), &report.weights);
+        std::fs::write(path, text).map_err(|e| MgbaError::io(path, e))?;
+        eprintln!("wrote weights sidecar {path}");
+    }
+    print_fit_report(&report, &sta);
     Ok(())
 }
 
-fn cmd_flow(args: &mut Args) -> Result<(), String> {
+/// Like `fit`, but accepts generator specs directly and derives a tight
+/// clock period when `--period` is omitted — the one-command way to
+/// exercise the full load → select → build → solve → fold-back pipeline
+/// (and, with `--profile`, to capture its span tree and solver
+/// telemetry).
+fn cmd_calibrate(args: &mut Args) -> Result<(), MgbaError> {
+    let spec = args.positional("design or netlist file")?;
+    let period: Option<f64> = match args.option("--period")? {
+        Some(p) => Some(
+            p.parse()
+                .map_err(|_| MgbaError::Usage(format!("bad value `{p}` for --period")))?,
+        ),
+        None => None,
+    };
+    let solver = parse_solver(&args.option("--solver")?.unwrap_or_else(|| "scgrs".into()))?;
+    let out = args.option("--out")?;
+    args.finish()?;
+    let netlist = load_design_or_file(&spec)?;
+    let period = match period {
+        Some(p) => p,
+        None => {
+            let p = auto_period(&netlist)?;
+            eprintln!("auto-derived clock period {p:.1} ps");
+            p
+        }
+    };
+    let mut sta = build_engine(netlist, period)?;
+    // Dogfood the validating builder (equivalent to `MgbaConfig::default`).
+    let config = MgbaConfig::builder().build()?;
+    let report = run_mgba(&mut sta, &config, solver);
+    if let Some(path) = &out {
+        let text = write_weights(sta.netlist(), &report.weights);
+        std::fs::write(path, text).map_err(|e| MgbaError::io(path, e))?;
+        eprintln!("wrote weights sidecar {path}");
+    }
+    print_fit_report(&report, &sta);
+    Ok(())
+}
+
+fn cmd_flow(args: &mut Args) -> Result<(), MgbaError> {
     let file = args.positional("netlist file")?;
     let period: f64 = args.required_option("--period")?;
     let timer = args.option("--timer")?.unwrap_or_else(|| "gba".into());
@@ -294,7 +435,7 @@ fn cmd_flow(args: &mut Args) -> Result<(), String> {
     let cfg = match timer.as_str() {
         "gba" => FlowConfig::gba(),
         "mgba" => FlowConfig::mgba(MgbaConfig::default(), Solver::ScgRs),
-        other => return Err(format!("unknown timer `{other}`")),
+        other => return Err(MgbaError::Usage(format!("unknown timer `{other}`"))),
     };
     let r = run_flow(&mut sta, &cfg);
     println!("design {} [{} timer]", r.design, r.timer);

@@ -128,12 +128,70 @@ fn corners_and_flow_and_holdfix_run() {
 }
 
 #[test]
+fn calibrate_profile_json_writes_span_tree() {
+    // `calibrate` takes generator specs directly and auto-derives a
+    // violating period; `--profile=json` drops the observability report
+    // in results/ under the working directory.
+    let dir = tmp("calibrate_profile");
+    std::fs::create_dir_all(&dir).expect("workdir");
+    let out = run_ok(
+        bin()
+            .current_dir(&dir)
+            .args(["calibrate", "small:38", "--profile=json"]),
+    );
+    assert!(out.contains("pass ratio"));
+    let profile = std::fs::read_to_string(dir.join("results/profile_calibrate.json"))
+        .expect("profile written");
+    assert!(profile.starts_with("{\"version\":1,"));
+    // The span tree covers the whole pipeline and the solver telemetry
+    // recorded Algorithm 1's rounds.
+    for span in [
+        "\"calibrate\"",
+        "\"load\"",
+        "\"sta_build\"",
+        "\"mgba\"",
+        "\"select\"",
+        "\"build\"",
+        "\"solve\"",
+        "\"fold_back\"",
+        "\"evaluate\"",
+    ] {
+        assert!(profile.contains(span), "missing span {span}");
+    }
+    assert!(profile.contains("\"SCG + RS\""));
+    assert!(profile.contains("\"rounds\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibrate_profile_text_goes_to_stderr() {
+    let nl = tmp("calib.nl");
+    run_ok(bin().args(["generate", "small:39", "--out"]).arg(&nl));
+    let out = bin()
+        .arg("calibrate")
+        .arg(&nl)
+        .args(["--period", "900", "--profile"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("spans:"));
+    assert!(err.contains("mgba"));
+    // stdout stays a clean fit summary.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pass ratio"));
+    let _ = std::fs::remove_file(&nl);
+}
+
+#[test]
 fn bad_usage_fails_with_usage_text() {
     let out = bin().arg("frobnicate").output().expect("runs");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown command"));
     assert!(err.contains("usage:"));
-    let out = bin().args(["report", "/nonexistent.nl", "--period", "10"]).output().expect("runs");
+    let out = bin()
+        .args(["report", "/nonexistent.nl", "--period", "10"])
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
 }

@@ -1,5 +1,6 @@
 //! Configuration of the mGBA fitting flow, with the paper's defaults.
 
+use crate::error::MgbaError;
 use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +75,16 @@ impl Default for MgbaConfig {
 }
 
 impl MgbaConfig {
+    /// A validating builder starting from the paper defaults.
+    ///
+    /// Struct-literal construction keeps working (every field is public);
+    /// the builder adds up-front validation so bad values surface as a
+    /// typed [`MgbaError::Config`] instead of a silent mis-fit deep in
+    /// the solver.
+    pub fn builder() -> MgbaConfigBuilder {
+        MgbaConfigBuilder::default()
+    }
+
     /// Config with a different seed (for repeated stochastic runs).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -90,6 +101,171 @@ impl MgbaConfig {
     /// The resolved [`Parallelism`] for this run.
     pub fn parallelism(&self) -> Parallelism {
         Parallelism::new(self.threads)
+    }
+
+    /// Checks every invariant the builder enforces. Useful for configs
+    /// assembled by struct literal or deserialized from disk.
+    pub fn validate(&self) -> Result<(), MgbaError> {
+        if self.paths_per_endpoint < 1 {
+            return Err(MgbaError::config(
+                "paths_per_endpoint",
+                "must be ≥ 1 (the fit needs at least one path per endpoint)",
+            ));
+        }
+        if self.epsilon < 0.0 || !self.epsilon.is_finite() {
+            return Err(MgbaError::config(
+                "epsilon",
+                format!("must be a finite value ≥ 0, got {}", self.epsilon),
+            ));
+        }
+        if self.penalty <= 0.0 || !self.penalty.is_finite() {
+            return Err(MgbaError::config(
+                "penalty",
+                format!("must be a finite value > 0, got {}", self.penalty),
+            ));
+        }
+        if !(self.initial_row_ratio > 0.0 && self.initial_row_ratio <= 1.0) {
+            return Err(MgbaError::config(
+                "initial_row_ratio",
+                format!("must be in (0, 1], got {}", self.initial_row_ratio),
+            ));
+        }
+        if !(self.row_fraction > 0.0 && self.row_fraction <= 1.0) {
+            return Err(MgbaError::config(
+                "row_fraction",
+                format!("must be in (0, 1], got {}", self.row_fraction),
+            ));
+        }
+        if self.step_size <= 0.0 || !self.step_size.is_finite() {
+            return Err(MgbaError::config(
+                "step_size",
+                format!("must be a finite value > 0, got {}", self.step_size),
+            ));
+        }
+        if self.check_window < 1 {
+            return Err(MgbaError::config("check_window", "must be ≥ 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`MgbaConfig`], created by
+/// [`MgbaConfig::builder`]. Unset fields keep the paper defaults;
+/// [`MgbaConfigBuilder::build`] rejects out-of-range values with
+/// [`MgbaError::Config`].
+///
+/// ```
+/// use mgba::MgbaConfig;
+///
+/// let config = MgbaConfig::builder()
+///     .epsilon(0.05)
+///     .paths_per_endpoint(10)
+///     .threads(1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.epsilon, 0.05);
+/// assert!(MgbaConfig::builder().penalty(-1.0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MgbaConfigBuilder {
+    config: MgbaConfig,
+}
+
+impl MgbaConfigBuilder {
+    /// Critical paths kept per endpoint (`k'`).
+    pub fn paths_per_endpoint(mut self, v: usize) -> Self {
+        self.config.paths_per_endpoint = v;
+        self
+    }
+
+    /// Cap on the total number of selected paths (`m'`).
+    pub fn max_paths(mut self, v: usize) -> Self {
+        self.config.max_paths = v;
+        self
+    }
+
+    /// Keep only timing-violated paths.
+    pub fn only_violating(mut self, v: bool) -> Self {
+        self.config.only_violating = v;
+        self
+    }
+
+    /// Constraint tolerance `ε` of Eq. (5).
+    pub fn epsilon(mut self, v: f64) -> Self {
+        self.config.epsilon = v;
+        self
+    }
+
+    /// Penalty weight `w` of Eq. (6).
+    pub fn penalty(mut self, v: f64) -> Self {
+        self.config.penalty = v;
+        self
+    }
+
+    /// Initial row-selection ratio `r₀` of Algorithm 1.
+    pub fn initial_row_ratio(mut self, v: f64) -> Self {
+        self.config.initial_row_ratio = v;
+        self
+    }
+
+    /// Outer convergence tolerance `ε_u` of Algorithm 1.
+    pub fn outer_tolerance(mut self, v: f64) -> Self {
+        self.config.outer_tolerance = v;
+        self
+    }
+
+    /// Fraction of rows sampled per stochastic gradient step (`k''`).
+    pub fn row_fraction(mut self, v: f64) -> Self {
+        self.config.row_fraction = v;
+        self
+    }
+
+    /// Inner convergence tolerance `ε_c` of Algorithm 2.
+    pub fn inner_tolerance(mut self, v: f64) -> Self {
+        self.config.inner_tolerance = v;
+        self
+    }
+
+    /// Base step size `s` of Algorithm 2.
+    pub fn step_size(mut self, v: f64) -> Self {
+        self.config.step_size = v;
+        self
+    }
+
+    /// Hyperbolic step decay rate.
+    pub fn step_decay(mut self, v: f64) -> Self {
+        self.config.step_decay = v;
+        self
+    }
+
+    /// Iterations between convergence checks.
+    pub fn check_window(mut self, v: usize) -> Self {
+        self.config.check_window = v;
+        self
+    }
+
+    /// Hard iteration cap per solve.
+    pub fn max_iterations(mut self, v: usize) -> Self {
+        self.config.max_iterations = v;
+        self
+    }
+
+    /// RNG seed for row sampling.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.config.seed = v;
+        self
+    }
+
+    /// Worker threads (`0` = process default, `1` = serial).
+    pub fn threads(mut self, v: usize) -> Self {
+        self.config.threads = v;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<MgbaConfig, MgbaError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -112,6 +288,76 @@ mod tests {
     fn with_seed_overrides() {
         let c = MgbaConfig::default().with_seed(7);
         assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn builder_defaults_match_struct_default() {
+        let built = MgbaConfig::builder().build().unwrap();
+        assert_eq!(built, MgbaConfig::default());
+    }
+
+    #[test]
+    fn builder_applies_setters() {
+        let c = MgbaConfig::builder()
+            .paths_per_endpoint(7)
+            .epsilon(0.1)
+            .penalty(2.0)
+            .initial_row_ratio(0.5)
+            .row_fraction(0.1)
+            .seed(42)
+            .threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.paths_per_endpoint, 7);
+        assert_eq!(c.epsilon, 0.1);
+        assert_eq!(c.penalty, 2.0);
+        assert_eq!(c.initial_row_ratio, 0.5);
+        assert_eq!(c.row_fraction, 0.1);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.threads, 2);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_values() {
+        use crate::error::MgbaError;
+        let cases: Vec<(&'static str, MgbaConfigBuilder)> = vec![
+            ("epsilon", MgbaConfig::builder().epsilon(-0.1)),
+            ("epsilon", MgbaConfig::builder().epsilon(f64::NAN)),
+            ("penalty", MgbaConfig::builder().penalty(0.0)),
+            ("penalty", MgbaConfig::builder().penalty(f64::INFINITY)),
+            (
+                "initial_row_ratio",
+                MgbaConfig::builder().initial_row_ratio(0.0),
+            ),
+            (
+                "initial_row_ratio",
+                MgbaConfig::builder().initial_row_ratio(1.5),
+            ),
+            ("row_fraction", MgbaConfig::builder().row_fraction(-0.2)),
+            ("row_fraction", MgbaConfig::builder().row_fraction(2.0)),
+            (
+                "paths_per_endpoint",
+                MgbaConfig::builder().paths_per_endpoint(0),
+            ),
+            ("step_size", MgbaConfig::builder().step_size(0.0)),
+            ("check_window", MgbaConfig::builder().check_window(0)),
+        ];
+        for (field, builder) in cases {
+            match builder.build() {
+                Err(MgbaError::Config { field: f, .. }) => {
+                    assert_eq!(f, field, "wrong field reported")
+                }
+                other => panic!("{field}: expected Config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_checks_struct_literals() {
+        let mut c = MgbaConfig::default();
+        assert!(c.validate().is_ok());
+        c.row_fraction = 0.0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

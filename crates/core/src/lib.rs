@@ -39,18 +39,40 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod metrics;
 pub mod problem;
 pub mod select;
 pub mod solver;
 pub mod weights_io;
 
-pub use config::MgbaConfig;
+pub use config::{MgbaConfig, MgbaConfigBuilder};
+pub use error::{MgbaError, ParseError};
 pub use metrics::{PassRatio, PASS_ABS_TOL, PASS_REL_TOL};
 pub use problem::FitProblem;
 pub use select::{select_paths, Selection, SelectionScheme};
 pub use solver::{SolveResult, Solver};
 pub use weights_io::{apply_weights, parse_weights, write_weights, WeightsError};
+
+/// One-import facade for the select → fit → solve → fold-back pipeline.
+///
+/// Brings in everything a typical calibration driver touches: the engine
+/// ([`Sta`]) and its inputs, the fit configuration and its
+/// builder, the solver stack, and the typed error. Flow-level types
+/// (`FlowConfig`, `run_flow`) live in `optim::prelude`, which re-exports
+/// this one.
+pub mod prelude {
+    pub use crate::config::{MgbaConfig, MgbaConfigBuilder};
+    pub use crate::error::{MgbaError, ParseError};
+    pub use crate::metrics::PassRatio;
+    pub use crate::problem::FitProblem;
+    pub use crate::select::{select_paths, Selection, SelectionScheme};
+    pub use crate::solver::{SolveResult, Solver};
+    pub use crate::weights_io::{parse_weights, write_weights};
+    pub use crate::{run_mgba, MgbaReport};
+    pub use netlist::{DesignSpec, GeneratorConfig, Netlist};
+    pub use sta::{DerateSet, Sdc, Sta};
+}
 
 use serde::{Deserialize, Serialize};
 use sta::{gba_path_timing_batch, pba_timing_batch, Sta};
@@ -98,15 +120,20 @@ pub struct MgbaReport {
 /// `only_violating` and nothing violates), the engine is left at original
 /// GBA and the report shows zero paths.
 pub fn run_mgba(sta: &mut Sta, config: &MgbaConfig, solver: Solver) -> MgbaReport {
+    let _span = obs::span("mgba");
     sta.clear_weights();
-    let selection = select_paths(
-        sta,
-        SelectionScheme::PerEndpoint {
-            k: config.paths_per_endpoint,
-            max_total: config.max_paths,
-        },
-        config.only_violating,
-    );
+    let selection = {
+        let _span = obs::span("select");
+        select_paths(
+            sta,
+            SelectionScheme::PerEndpoint {
+                k: config.paths_per_endpoint,
+                max_total: config.max_paths,
+            },
+            config.only_violating,
+        )
+    };
+    obs::counter_add("mgba.paths_selected", selection.paths.len() as u64);
     let design = sta.netlist().name().to_owned();
     if selection.paths.is_empty() {
         return MgbaReport {
@@ -134,32 +161,41 @@ pub fn run_mgba(sta: &mut Sta, config: &MgbaConfig, solver: Solver) -> MgbaRepor
     }
 
     let par = config.parallelism();
-    let fit = FitProblem::build_par(
-        sta,
-        &selection.paths,
-        config.epsilon,
-        config.penalty,
-        par,
-    );
-    let result = solver.solve(&fit, config);
-    let weights = fit.to_cell_weights(&result.x, sta.netlist().num_cells());
+    let fit = FitProblem::build_par(sta, &selection.paths, config.epsilon, config.penalty, par);
+    let result = {
+        let _span = obs::span("solve");
+        solver.solve(&fit, config)
+    };
+    let weights = {
+        let _span = obs::span("fold_back");
+        fit.to_cell_weights(&result.x, sta.netlist().num_cells())
+    };
 
     // Before/after accuracy, measured on the actual timing engine (the
     // non-negativity clamp on λ·(1+x) is part of mGBA, so the report
     // reflects it). The per-path retimes fan out over the configured
     // thread count; results are identical for every width.
-    let golden: Vec<f64> = pba_timing_batch(sta, &selection.paths, par)
-        .iter()
-        .map(|t| t.slack)
-        .collect();
+    let golden: Vec<f64> = {
+        let _span = obs::span("evaluate");
+        pba_timing_batch(sta, &selection.paths, par)
+            .iter()
+            .map(|t| t.slack)
+            .collect()
+    };
     let before: Vec<f64> = selection.paths.iter().map(|p| p.gba_slack).collect();
-    sta.set_weights(&weights);
-    let after: Vec<f64> = gba_path_timing_batch(sta, &selection.paths, par)
-        .iter()
-        .map(|t| t.slack)
-        .collect();
+    {
+        let _span = obs::span("fold_back");
+        sta.set_weights(&weights);
+    }
+    let after: Vec<f64> = {
+        let _span = obs::span("evaluate");
+        gba_path_timing_batch(sta, &selection.paths, par)
+            .iter()
+            .map(|t| t.slack)
+            .collect()
+    };
 
-    MgbaReport {
+    let report = MgbaReport {
         design,
         solver_name: solver.paper_name().to_owned(),
         num_paths: selection.paths.len(),
@@ -174,7 +210,13 @@ pub fn run_mgba(sta: &mut Sta, config: &MgbaConfig, solver: Solver) -> MgbaRepor
         rows_touched: result.rows_touched,
         converged: result.converged,
         weights,
-    }
+    };
+    obs::counter_add("mgba.fit.gates", report.num_gates as u64);
+    obs::gauge_set("mgba.mse_before", report.mse_before);
+    obs::gauge_set("mgba.mse_after", report.mse_after);
+    obs::gauge_set("mgba.pass_ratio_before", report.pass_before.ratio());
+    obs::gauge_set("mgba.pass_ratio_after", report.pass_after.ratio());
+    report
 }
 
 #[cfg(test)]
@@ -186,8 +228,7 @@ mod tests {
     /// An engine whose clock period guarantees setup violations.
     fn tight_engine(seed: u64) -> Sta {
         let n = GeneratorConfig::small(seed).generate();
-        let probe =
-            Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
+        let probe = Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
         let max_arrival = probe
             .netlist()
             .endpoints()
@@ -279,8 +320,7 @@ mod tests {
     #[test]
     fn no_violations_returns_identity() {
         let n = GeneratorConfig::small(115).generate();
-        let mut sta =
-            Sta::new(n, Sdc::with_period(1_000_000.0), DerateSet::standard()).unwrap();
+        let mut sta = Sta::new(n, Sdc::with_period(1_000_000.0), DerateSet::standard()).unwrap();
         let report = run_mgba(&mut sta, &MgbaConfig::default(), Solver::ScgRs);
         assert_eq!(report.num_paths, 0);
         assert!(report.weights.iter().all(|w| *w == 0.0));

@@ -135,6 +135,13 @@ mod tests {
         assert_eq!(pr.passing, 2);
         assert_eq!(pr.total, 3);
         assert!((pr.percent() - 66.666).abs() < 0.01);
-        assert_eq!(PassRatio { passing: 0, total: 0 }.ratio(), 0.0);
+        assert_eq!(
+            PassRatio {
+                passing: 0,
+                total: 0
+            }
+            .ratio(),
+            0.0
+        );
     }
 }

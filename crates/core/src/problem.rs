@@ -85,6 +85,7 @@ impl FitProblem {
         penalty: f64,
         par: Parallelism,
     ) -> Self {
+        let _span = obs::span("build");
         let mut col_of: HashMap<CellId, usize> = HashMap::new();
         let mut columns: Vec<CellId> = Vec::new();
         // First pass: discover the column space — combinational gates on
@@ -111,6 +112,7 @@ impl FitProblem {
                 .map(|&c| (col_of[&c], sta.gate_delay(c) * sta.gate_derate(c)))
                 .collect::<Vec<(usize, f64)>>()
         });
+        let _assemble_span = obs::span("assemble");
         let mut builder = CsrBuilder::new(columns.len());
         let mut b = Vec::with_capacity(paths.len());
         let mut s_gba = Vec::with_capacity(paths.len());
@@ -125,8 +127,11 @@ impl FitProblem {
             s_gba.push(gba);
             s_pba.push(pba);
         }
+        let a = builder.build();
+        obs::counter_add("mgba.fit.rows", a.num_rows() as u64);
+        obs::counter_add("mgba.fit.nnz", a.nnz() as u64);
         Self {
-            a: builder.build(),
+            a,
             at: OnceLock::new(),
             b,
             s_gba,
@@ -513,10 +518,7 @@ mod tests {
             assert_eq!(par.pba_slacks(), serial.pba_slacks());
             assert_eq!(par.columns(), serial.columns());
             // Full-matrix kernels: bit-identical, not just close.
-            assert_eq!(
-                par.objective(&x).to_bits(),
-                serial.objective(&x).to_bits()
-            );
+            assert_eq!(par.objective(&x).to_bits(), serial.objective(&x).to_bits());
             assert_eq!(par.gradient(&x), serial.gradient(&x));
             assert_eq!(par.model_slacks(&x), serial.model_slacks(&x));
             assert_eq!(par.mse(&x).to_bits(), serial.mse(&x).to_bits());
@@ -527,7 +529,9 @@ mod tests {
     #[test]
     fn gradient_into_reuses_buffers_and_matches_gradient() {
         let (_, _, p) = problem(89);
-        let x: Vec<f64> = (0..p.num_gates()).map(|j| -0.002 * (j % 5) as f64).collect();
+        let x: Vec<f64> = (0..p.num_gates())
+            .map(|j| -0.002 * (j % 5) as f64)
+            .collect();
         let mut coeffs = Vec::new();
         let mut g = Vec::new();
         p.gradient_into(&x, &mut coeffs, &mut g);

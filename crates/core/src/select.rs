@@ -108,8 +108,7 @@ mod tests {
     fn tight_engine(seed: u64) -> Sta {
         let n = GeneratorConfig::small(seed).generate();
         // Pick a period that produces violations: run once, then tighten.
-        let probe = Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard())
-            .unwrap();
+        let probe = Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
         let max_arrival = probe
             .netlist()
             .endpoints()

@@ -32,13 +32,17 @@ const CG_TOL: f64 = 1e-10;
 
 /// Solves the penalized least squares to high accuracy.
 pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
+    let _span = obs::span("cgnr");
+    obs::telemetry::solve_begin("CGNR");
     let start = Instant::now();
     let m = problem.num_paths();
     let n = problem.num_gates();
     let mut x = vec![0.0; n];
     if m == 0 || n == 0 {
+        let objective = problem.objective(&x);
+        obs::telemetry::solve_end(true, 0, 0, Some(objective));
         return SolveResult {
-            objective: problem.objective(&x),
+            objective,
             x,
             iterations: 0,
             elapsed: start.elapsed(),
@@ -123,16 +127,20 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
             for j in 0..n {
                 p[j] = r[j] + beta * p[j];
             }
+            obs::telemetry::record_iteration(
+                iterations as u64,
+                None,
+                rs_old.sqrt(),
+                alpha,
+                2 * m as u64,
+            );
             rs_old = rs_new;
             iterations += 1;
         }
         // Refresh the active set (row-parallel, exact booleans).
         let mut new_active = vec![false; m];
         parallel::par_fill(par, &mut new_active, |i| a.row_dot(i, &x) < lower[i]);
-        let changed = new_active
-            .iter()
-            .zip(&active)
-            .any(|(new, old)| new != old);
+        let changed = new_active.iter().zip(&active).any(|(new, old)| new != old);
         rows_touched += m as u64;
         active = new_active;
         if !changed {
@@ -141,8 +149,10 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
         }
     }
 
+    let objective = problem.objective(&x);
+    obs::telemetry::solve_end(converged, iterations as u64, rows_touched, Some(objective));
     SolveResult {
-        objective: problem.objective(&x),
+        objective,
         x,
         iterations,
         elapsed: start.elapsed(),

@@ -14,6 +14,8 @@ use std::time::Instant;
 
 /// Runs gradient descent from `x0`.
 pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResult {
+    let _span = obs::span("gd");
+    obs::telemetry::solve_begin("GD + w/o RS");
     let start = Instant::now();
     let mut x = x0.to_vec();
     let m = problem.num_paths();
@@ -39,7 +41,9 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResu
     while !converged && iterations < config.max_iterations {
         problem.gradient_into(&x, &mut coeffs, &mut g);
         rows_touched += m as u64;
-        if vecops::normalize(&mut g) == 0.0 {
+        let gnorm = vecops::normalize(&mut g);
+        if gnorm == 0.0 {
+            obs::telemetry::record_iteration(iterations as u64, None, 0.0, 0.0, m as u64);
             converged = true;
             break;
         }
@@ -47,30 +51,39 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResu
         vecops::axpy(-step, &g, &mut x);
         iterations += 1;
 
+        let mut window_obj = None;
         if iterations.is_multiple_of(config.check_window) {
             let obj = probe.estimate(problem, &x);
+            window_obj = Some(obj);
             if obj <= floor {
                 converged = true;
-                break;
-            }
-            // Stall-based plateau: stop once the best objective seen stops
-            // improving by the tolerance for two consecutive windows
-            // (robust to the oscillation of normalized-step descent).
-            if obj < best_obj * (1.0 - config.inner_tolerance) {
+            } else if obj < best_obj * (1.0 - config.inner_tolerance) {
+                // Stall-based plateau: stop once the best objective seen
+                // stops improving by the tolerance for two consecutive
+                // windows (robust to the oscillation of normalized-step
+                // descent).
                 best_obj = obj;
                 stalled = 0;
             } else {
                 stalled += 1;
                 if stalled >= 2 {
                     converged = true;
-                    break;
                 }
             }
         }
+        obs::telemetry::record_iteration(
+            (iterations - 1) as u64,
+            window_obj,
+            gnorm,
+            step,
+            m as u64,
+        );
     }
 
+    let objective = problem.objective(&x);
+    obs::telemetry::solve_end(converged, iterations as u64, rows_touched, Some(objective));
     SolveResult {
-        objective: problem.objective(&x),
+        objective,
         x,
         iterations,
         elapsed: start.elapsed(),

@@ -55,13 +55,17 @@ fn lipschitz(problem: &FitProblem, penalty: f64, iters: usize) -> f64 {
 /// Runs FISTA on the L1-regularized problem. `mu` is the L1 weight; with
 /// `mu = 0` this is plain accelerated gradient on the Eq. (6) objective.
 pub fn solve(problem: &FitProblem, config: &MgbaConfig, mu: f64) -> SolveResult {
+    let _span = obs::span("fista");
+    obs::telemetry::solve_begin("FISTA");
     let start = Instant::now();
     let m = problem.num_paths();
     let n = problem.num_gates();
     let mut x = vec![0.0; n];
     if m == 0 || n == 0 {
+        let objective = problem.objective(&x);
+        obs::telemetry::solve_end(true, 0, 0, Some(objective));
         return SolveResult {
-            objective: problem.objective(&x),
+            objective,
             x,
             iterations: 0,
             elapsed: start.elapsed(),
@@ -101,21 +105,41 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, mu: f64) -> SolveResult 
         t = t_new;
         iterations += 1;
 
+        let mut window_obj = None;
         if iterations.is_multiple_of(config.check_window) {
             let obj = problem.objective(&x) + mu * x.iter().map(|v| v.abs()).sum::<f64>();
             rows_touched += m as u64;
+            window_obj = Some(obj);
             if prev_obj.is_finite()
                 && (prev_obj - obj).abs() <= config.inner_tolerance * prev_obj.abs().max(1e-30)
             {
                 converged = true;
-                break;
             }
             prev_obj = obj;
         }
+        // FISTA never needs the gradient norm itself — compute it only
+        // when telemetry is live.
+        let gnorm = if obs::enabled() {
+            vecops::norm2(&g)
+        } else {
+            0.0
+        };
+        obs::telemetry::record_iteration(
+            (iterations - 1) as u64,
+            window_obj,
+            gnorm,
+            step,
+            m as u64,
+        );
+        if converged {
+            break;
+        }
     }
 
+    let objective = problem.objective(&x);
+    obs::telemetry::solve_end(converged, iterations as u64, rows_touched, Some(objective));
     SolveResult {
-        objective: problem.objective(&x),
+        objective,
         x,
         iterations,
         elapsed: start.elapsed(),

@@ -38,6 +38,8 @@ pub fn solve_traced(
     config: &MgbaConfig,
     rng: &mut StdRng,
 ) -> (SolveResult, Vec<SamplingRound>) {
+    let _span = obs::span("scg_rs");
+    obs::telemetry::solve_begin("SCG + RS");
     let start = Instant::now();
     let m = problem.num_paths();
     let sampler = UniformSampler::new();
@@ -75,6 +77,13 @@ pub fn solve_traced(
             objective: obj,
             inner_iterations: inner.iterations,
         });
+        obs::telemetry::record_round(
+            ratio,
+            rows.len() as u64,
+            change,
+            obj,
+            inner.iterations as u64,
+        );
         // Keep the better iterate when a round regresses on the full
         // problem (possible when its subsample was unrepresentative).
         if obj <= prev_obj {
@@ -100,9 +109,11 @@ pub fn solve_traced(
         ratio = (ratio * 2.0).min(1.0);
     }
 
+    let objective = problem.objective(&x);
+    obs::telemetry::solve_end(converged, iterations as u64, rows_touched, Some(objective));
     (
         SolveResult {
-            objective: problem.objective(&x),
+            objective,
             x,
             iterations,
             elapsed: start.elapsed(),

@@ -41,13 +41,17 @@ pub fn solve_with_offset(
     step_offset: usize,
     rng: &mut StdRng,
 ) -> SolveResult {
+    let _span = obs::span("scg");
+    obs::telemetry::solve_begin("SCG + w/o RS");
     let start = Instant::now();
     let m = problem.num_paths();
     let n = problem.num_gates();
     let mut x = x0.to_vec();
     if m == 0 || n == 0 {
+        let objective = problem.objective(&x);
+        obs::telemetry::solve_end(true, 0, 0, Some(objective));
         return SolveResult {
-            objective: problem.objective(&x),
+            objective,
             x,
             iterations: 0,
             elapsed: start.elapsed(),
@@ -61,8 +65,10 @@ pub fn solve_with_offset(
     let norms = problem.matrix().row_norms_sq();
     let Some(sampler) = NormSampler::new(&norms) else {
         // All-zero matrix (paths with no gates): nothing to fit.
+        let objective = problem.objective(&x);
+        obs::telemetry::solve_end(true, 0, 0, Some(objective));
         return SolveResult {
-            objective: problem.objective(&x),
+            objective,
             x,
             iterations: 0,
             elapsed: start.elapsed(),
@@ -78,8 +84,10 @@ pub fn solve_with_offset(
     // relative to the problem scale, the system is solved.
     let floor = 1e-12 * vecops::norm2_sq(problem.pba_slacks()).max(1e-30);
     if best_obj <= floor {
+        let objective = problem.objective(&x);
+        obs::telemetry::solve_end(true, 0, 0, Some(objective));
         return SolveResult {
-            objective: problem.objective(&x),
+            objective,
             x,
             iterations: 0,
             elapsed: start.elapsed(),
@@ -108,16 +116,29 @@ pub fn solve_with_offset(
         // optimality (the drawn rows may simply have zero residual) —
         // skip the step; the windowed objective check handles genuine
         // convergence.
-        if vecops::normalize(&mut g) == 0.0 {
+        let gnorm = vecops::normalize(&mut g);
+        if gnorm == 0.0 {
             iterations += 1;
             have_prev = false;
+            let mut window_obj = None;
             if iterations.is_multiple_of(config.check_window) {
                 let obj = probe.estimate(problem, &x);
+                window_obj = Some(obj);
                 if obj <= floor || obj >= best_obj * (1.0 - config.inner_tolerance) {
                     converged = true;
-                    break;
+                } else {
+                    best_obj = obj;
                 }
-                best_obj = obj;
+            }
+            obs::telemetry::record_iteration(
+                (iterations - 1) as u64,
+                window_obj,
+                0.0,
+                0.0,
+                k as u64,
+            );
+            if converged {
+                break;
             }
             continue;
         }
@@ -139,6 +160,7 @@ pub fn solve_with_offset(
         // Line 9: dynamic step size with hyperbolic decay.
         let d_norm = vecops::norm2(&d);
         if d_norm == 0.0 {
+            obs::telemetry::record_iteration(iterations as u64, None, gnorm, 0.0, k as u64);
             converged = true;
             break;
         }
@@ -152,27 +174,38 @@ pub fn solve_with_offset(
 
         // Line 2's relative-variation test, applied to the objective
         // estimate over a window to de-noise the stochastic steps.
+        let mut window_obj = None;
         if iterations.is_multiple_of(config.check_window) {
             let obj = probe.estimate(problem, &x);
+            window_obj = Some(obj);
             if obj <= floor {
                 converged = true;
-                break;
-            }
-            if obj < best_obj * (1.0 - config.inner_tolerance) {
+            } else if obj < best_obj * (1.0 - config.inner_tolerance) {
                 best_obj = obj;
                 stalled = 0;
             } else {
                 stalled += 1;
                 if stalled >= 2 {
                     converged = true;
-                    break;
                 }
             }
         }
+        obs::telemetry::record_iteration(
+            (iterations - 1) as u64,
+            window_obj,
+            gnorm,
+            alpha,
+            k as u64,
+        );
+        if converged {
+            break;
+        }
     }
 
+    let objective = problem.objective(&x);
+    obs::telemetry::solve_end(converged, iterations as u64, rows_touched, Some(objective));
     SolveResult {
-        objective: problem.objective(&x),
+        objective,
         x,
         iterations,
         elapsed: start.elapsed(),
@@ -211,8 +244,18 @@ mod tests {
     fn scg_deterministic_given_seed() {
         let (p, _) = planted(300, 40, 6, 0.9, 23);
         let x0 = vec![0.0; p.num_gates()];
-        let a = solve(&p, &MgbaConfig::default(), &x0, &mut StdRng::seed_from_u64(3));
-        let b = solve(&p, &MgbaConfig::default(), &x0, &mut StdRng::seed_from_u64(3));
+        let a = solve(
+            &p,
+            &MgbaConfig::default(),
+            &x0,
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = solve(
+            &p,
+            &MgbaConfig::default(),
+            &x0,
+            &mut StdRng::seed_from_u64(3),
+        );
         assert_eq!(a.x, b.x);
         assert_eq!(a.iterations, b.iterations);
     }

@@ -93,10 +93,7 @@ pub fn parse_weights(text: &str) -> Result<Vec<(String, f64)>, WeightsError> {
 /// # Errors
 ///
 /// Returns [`WeightsError::UnknownCell`] for names not in the netlist.
-pub fn apply_weights(
-    netlist: &Netlist,
-    pairs: &[(String, f64)],
-) -> Result<Vec<f64>, WeightsError> {
+pub fn apply_weights(netlist: &Netlist, pairs: &[(String, f64)]) -> Result<Vec<f64>, WeightsError> {
     let mut weights = vec![0.0; netlist.num_cells()];
     for (name, w) in pairs {
         let id = netlist
@@ -116,8 +113,7 @@ mod tests {
 
     fn fitted_engine() -> (Sta, Vec<f64>) {
         let n = GeneratorConfig::small(1201).generate();
-        let probe =
-            Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
+        let probe = Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
         let period = 10_000.0 - probe.wns() - 300.0;
         let mut sta = Sta::new(n, Sdc::with_period(period), DerateSet::standard()).unwrap();
         let report = run_mgba(&mut sta, &MgbaConfig::default(), Solver::Cgnr);
@@ -177,8 +173,7 @@ mod tests {
     #[test]
     fn unknown_cells_are_rejected() {
         let (sta, _) = fitted_engine();
-        let err =
-            apply_weights(sta.netlist(), &[("ghost".to_owned(), -0.1)]).unwrap_err();
+        let err = apply_weights(sta.netlist(), &[("ghost".to_owned(), -0.1)]).unwrap_err();
         assert_eq!(err, WeightsError::UnknownCell("ghost".to_owned()));
     }
 

@@ -193,9 +193,9 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| malformed(lineno, "bad y coordinate"))?;
-                let lib_cell = library
-                    .find(lib_name)
-                    .ok_or_else(|| malformed(lineno, &format!("unknown library cell `{lib_name}`")))?;
+                let lib_cell = library.find(lib_name).ok_or_else(|| {
+                    malformed(lineno, &format!("unknown library cell `{lib_name}`"))
+                })?;
                 let role = parse_role(role_tok)
                     .ok_or_else(|| malformed(lineno, &format!("unknown role `{role_tok}`")))?;
                 if cell_names.contains_key(name) {
@@ -237,9 +237,9 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
                         let (cname, pin) = s.split_once(':').ok_or_else(|| {
                             malformed(lineno, &format!("bad sink `{s}` (want cell:pin)"))
                         })?;
-                        let cid = *cell_names.get(cname).ok_or_else(|| {
-                            malformed(lineno, &format!("unknown sink `{cname}`"))
-                        })?;
+                        let cid = *cell_names
+                            .get(cname)
+                            .ok_or_else(|| malformed(lineno, &format!("unknown sink `{cname}`")))?;
                         let pin: u8 = pin
                             .parse()
                             .map_err(|_| malformed(lineno, &format!("bad pin in `{s}`")))?;
@@ -256,12 +256,9 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
                     cells[d.index()].output = Some(net_id);
                 }
                 for &(c, p) in &sinks {
-                    let slot = cells[c.index()]
-                        .inputs
-                        .get_mut(p.index())
-                        .ok_or_else(|| {
-                            malformed(lineno, &format!("pin {p} out of range on sink"))
-                        })?;
+                    let slot = cells[c.index()].inputs.get_mut(p.index()).ok_or_else(|| {
+                        malformed(lineno, &format!("pin {p} out of range on sink"))
+                    })?;
                     *slot = Some(net_id);
                 }
                 nets.push(Net {
@@ -324,8 +321,8 @@ mod tests {
 
     #[test]
     fn rejects_content_after_end() {
-        let err = parse_netlist("design x\nlibrary std45\nend\ncell a INV_X1 comb 0 0\n")
-            .unwrap_err();
+        let err =
+            parse_netlist("design x\nlibrary std45\nend\ncell a INV_X1 comb 0 0\n").unwrap_err();
         assert!(err.to_string().contains("after `end`"));
     }
 

@@ -332,8 +332,8 @@ pub fn generate(config: &GeneratorConfig) -> Netlist {
         let x = bank as f64 * stage_w + 0.05 * stage_w;
         let mut ffs = Vec::with_capacity(config.ffs_per_stage);
         for i in 0..config.ffs_per_stage {
-            let y = (i as f64 + 0.5) / config.ffs_per_stage as f64 * die
-                + rng.random_range(-2.0..2.0);
+            let y =
+                (i as f64 + 0.5) / config.ffs_per_stage as f64 * die + rng.random_range(-2.0..2.0);
             let loc = Point::new(x, y.clamp(0.0, die));
             let clk = nearest_leaf(loc, &leaves);
             let drive = pick_drive(&mut rng, config.x2_fraction, config.x4_fraction);
@@ -409,9 +409,7 @@ pub fn generate(config: &GeneratorConfig) -> Netlist {
                         // Skip connection: reach back to a uniformly random
                         // earlier level (including the launch bank).
                         let lvl = rng.random_range(0..levels.len().saturating_sub(1));
-                        *levels[lvl]
-                            .choose(&mut rng)
-                            .expect("every level has nets")
+                        *levels[lvl].choose(&mut rng).expect("every level has nets")
                     } else {
                         *prev.choose(&mut rng).expect("previous level has nets")
                     };

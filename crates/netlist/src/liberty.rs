@@ -495,9 +495,7 @@ pub fn parse_liberty(src: &str) -> Result<Library, ParseLibertyError> {
             area: cell.attr_f64("area")?.unwrap_or(0.0),
             leakage: cell.attr_f64("cell_leakage_power")?.unwrap_or(0.0),
             input_cap: cell.attr_f64("pin_capacitance")?.unwrap_or(0.0),
-            max_load: cell
-                .attr_f64("max_capacitance")?
-                .unwrap_or(f64::INFINITY),
+            max_load: cell.attr_f64("max_capacitance")?.unwrap_or(f64::INFINITY),
             intrinsic: get(timing, "intrinsic")?,
             drive_res: get(timing, "resistance")?,
             slew_sens: get(timing, "slew_sensitivity")?,

@@ -60,9 +60,7 @@ impl Function {
         match self {
             Function::Input => 0,
             Function::Output | Function::Buf | Function::Inv | Function::ClkBuf => 1,
-            Function::Nand2 | Function::Nor2 | Function::And2 | Function::Or2 | Function::Xor2 => {
-                2
-            }
+            Function::Nand2 | Function::Nor2 | Function::And2 | Function::Or2 | Function::Xor2 => 2,
             Function::Mux2 | Function::Aoi21 => 3,
             Function::Dff => 2, // D, CK
         }
@@ -469,7 +467,9 @@ mod tests {
         let lib = Library::standard();
         for &f in Function::all_characterized() {
             for &d in DriveStrength::ladder() {
-                let id = lib.variant(f, d).unwrap_or_else(|| panic!("missing {f}_{d}"));
+                let id = lib
+                    .variant(f, d)
+                    .unwrap_or_else(|| panic!("missing {f}_{d}"));
                 assert_eq!(lib.cell(id).function, f);
                 assert_eq!(lib.cell(id).drive, d);
             }

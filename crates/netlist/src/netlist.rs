@@ -270,8 +270,7 @@ impl Netlist {
     /// Estimated wire delay for a run of `length` µm: linear plus
     /// distributed-RC quadratic term.
     pub fn wire_delay(&self, length: f64) -> f64 {
-        self.library.wire_delay_per_um * length
-            + self.library.wire_delay_per_um2 * length * length
+        self.library.wire_delay_per_um * length + self.library.wire_delay_per_um2 * length * length
     }
 
     /// Total capacitive load on `net` in fF: sink pin caps plus wire cap.
@@ -423,9 +422,7 @@ impl Netlist {
 
         // Re-home the moved sinks.
         let old_net = &mut self.nets[net.index()];
-        old_net
-            .sinks
-            .retain(|s| !moved.iter().any(|m| m == s));
+        old_net.sinks.retain(|s| !moved.iter().any(|m| m == s));
         old_net.sinks.push((buf_id, PinIndex(0)));
         for &(cell, pin) in &moved {
             self.cells[cell.index()].inputs[pin.index()] = Some(new_net_id);
@@ -598,7 +595,9 @@ impl NetlistBuilder {
         let id = self
             .add_cell(name, lib, CellRole::Input, loc)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.inner.cells[id.index()].output.expect("port drives a net")
+        self.inner.cells[id.index()]
+            .output
+            .expect("port drives a net")
     }
 
     /// Adds a clock source port and returns the clock net it drives.
@@ -615,7 +614,9 @@ impl NetlistBuilder {
         let id = self
             .add_cell(name, lib, CellRole::ClockSource, loc)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.inner.cells[id.index()].output.expect("port drives a net")
+        self.inner.cells[id.index()]
+            .output
+            .expect("port drives a net")
     }
 
     /// Adds a primary output port fed by `net`.
@@ -763,9 +764,9 @@ impl NetlistBuilder {
     ///
     /// Returns [`BuildError::MissingOutput`] if `driver` drives no net.
     pub fn connect_flip_flop_d(&mut self, ff: CellId, driver: CellId) -> Result<(), BuildError> {
-        let net = self.inner.cells[driver.index()]
-            .output
-            .ok_or_else(|| BuildError::MissingOutput(self.inner.cells[driver.index()].name.clone()))?;
+        let net = self.inner.cells[driver.index()].output.ok_or_else(|| {
+            BuildError::MissingOutput(self.inner.cells[driver.index()].name.clone())
+        })?;
         self.connect(net, ff, PinIndex::FF_D);
         Ok(())
     }
@@ -871,8 +872,7 @@ mod tests {
         let n = tiny();
         let order = n.topo_order().unwrap();
         assert_eq!(order.len(), n.num_cells());
-        let pos: HashMap<CellId, usize> =
-            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let pos: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let ff0 = n.find_cell("ff0").unwrap();
         let inv = n.find_cell("u_inv").unwrap();
         let nand = n.find_cell("u_nand").unwrap();
@@ -900,7 +900,11 @@ mod tests {
         let load = n.net_load(out);
         let nand_cap = n
             .library()
-            .cell(n.library().variant(Function::Nand2, DriveStrength::X1).unwrap())
+            .cell(
+                n.library()
+                    .variant(Function::Nand2, DriveStrength::X1)
+                    .unwrap(),
+            )
             .input_cap;
         assert!((load - (nand_cap + n.library().wire_cap_per_um * 15.0)).abs() < 1e-9);
     }
@@ -909,11 +913,17 @@ mod tests {
     fn sizing_swaps_variant() {
         let mut n = tiny();
         let inv = n.find_cell("u_inv").unwrap();
-        let x4 = n.library().variant(Function::Inv, DriveStrength::X4).unwrap();
+        let x4 = n
+            .library()
+            .variant(Function::Inv, DriveStrength::X4)
+            .unwrap();
         n.set_lib_cell(inv, x4).unwrap();
         assert_eq!(n.cell(inv).lib_cell, x4);
         // Swapping to a different function is rejected.
-        let buf = n.library().variant(Function::Buf, DriveStrength::X1).unwrap();
+        let buf = n
+            .library()
+            .variant(Function::Buf, DriveStrength::X1)
+            .unwrap();
         assert!(n.set_lib_cell(inv, buf).is_err());
         n.validate().unwrap();
     }
@@ -923,7 +933,10 @@ mod tests {
         let mut n = tiny();
         let inv = n.find_cell("u_inv").unwrap();
         let out = n.cell(inv).output.unwrap();
-        let buf_lib = n.library().variant(Function::Buf, DriveStrength::X2).unwrap();
+        let buf_lib = n
+            .library()
+            .variant(Function::Buf, DriveStrength::X2)
+            .unwrap();
         let before_sinks = n.net(out).sinks.clone();
         let buf = n.insert_buffer(out, buf_lib, "rbuf0", &[]).unwrap();
         // Old net now drives only the buffer.
@@ -941,7 +954,10 @@ mod tests {
         let mut n = tiny();
         let inv = n.find_cell("u_inv").unwrap();
         let out = n.cell(inv).output.unwrap();
-        let inv_lib = n.library().variant(Function::Inv, DriveStrength::X1).unwrap();
+        let inv_lib = n
+            .library()
+            .variant(Function::Inv, DriveStrength::X1)
+            .unwrap();
         assert!(matches!(
             n.insert_buffer(out, inv_lib, "b", &[]),
             Err(BuildError::WrongFunction { .. })
@@ -952,9 +968,7 @@ mod tests {
     fn duplicate_cell_name_rejected() {
         let mut b = NetlistBuilder::new("dup", Library::standard());
         let clk = b.add_clock_port("clk", Point::ORIGIN);
-        let _ff = b
-            .add_flip_flop("ff", "DFF_X1", Point::ORIGIN, clk)
-            .unwrap();
+        let _ff = b.add_flip_flop("ff", "DFF_X1", Point::ORIGIN, clk).unwrap();
         assert!(matches!(
             b.add_flip_flop("ff", "DFF_X1", Point::ORIGIN, clk),
             Err(BuildError::DuplicateName(_))
@@ -986,14 +1000,13 @@ mod tests {
         let mut b = NetlistBuilder::new("bad", Library::standard());
         let data = b.add_input("d", Point::ORIGIN);
         // Clock pin tied to a data input, not a clock source.
-        let ff = b.add_flip_flop("ff", "DFF_X1", Point::ORIGIN, data).unwrap();
+        let ff = b
+            .add_flip_flop("ff", "DFF_X1", Point::ORIGIN, data)
+            .unwrap();
         let q = b.cell_output(ff);
         b.add_output("y", Point::ORIGIN, q).unwrap();
         b.connect_flip_flop_d_net(ff, data);
-        assert!(matches!(
-            b.build(),
-            Err(BuildError::UnclockedFlipFlop(_))
-        ));
+        assert!(matches!(b.build(), Err(BuildError::UnclockedFlipFlop(_))));
     }
 
     #[test]
@@ -1031,7 +1044,10 @@ mod tests {
         let q = b.cell_output(ff);
         b.add_output("y", Point::new(20.0, 0.0), q).unwrap();
         let n = b.build().unwrap();
-        assert_eq!(n.cell(n.find_cell("cb0").unwrap()).role, CellRole::ClockBuffer);
+        assert_eq!(
+            n.cell(n.find_cell("cb0").unwrap()).role,
+            CellRole::ClockBuffer
+        );
     }
 
     #[test]
@@ -1042,6 +1058,8 @@ mod tests {
             got: 3,
         };
         assert!(e.to_string().contains("u1"));
-        assert!(BuildError::UnknownLibCell("Z".into()).to_string().contains('Z'));
+        assert!(BuildError::UnknownLibCell("Z".into())
+            .to_string()
+            .contains('Z'));
     }
 }

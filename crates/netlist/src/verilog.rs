@@ -78,11 +78,9 @@ fn input_pin_names(function: Function) -> &'static [&'static str] {
     match function {
         Function::Dff => &["D", "CK"],
         Function::Buf | Function::Inv | Function::ClkBuf | Function::Output => &["A"],
-        Function::Nand2
-        | Function::Nor2
-        | Function::And2
-        | Function::Or2
-        | Function::Xor2 => &["A", "B"],
+        Function::Nand2 | Function::Nor2 | Function::And2 | Function::Or2 | Function::Xor2 => {
+            &["A", "B"]
+        }
         Function::Mux2 | Function::Aoi21 => &["A", "B", "C"],
         Function::Input => &[],
     }
@@ -387,11 +385,7 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, ParseVerilogError> {
                 });
                 pending_loc = Point::ORIGIN;
             }
-            None => {
-                return Err(ParseVerilogError::Syntax(
-                    "missing `endmodule`".to_owned(),
-                ))
-            }
+            None => return Err(ParseVerilogError::Syntax("missing `endmodule`".to_owned())),
             Some(other) => {
                 return Err(ParseVerilogError::Syntax(format!(
                     "unexpected token {other:?}"
@@ -605,9 +599,10 @@ pub fn write_verilog(netlist: &Netlist) -> String {
             }
             _ => {
                 // If this net feeds an output port, use the port net name.
-                let port_sink = net.sinks.iter().find(|(c, _)| {
-                    nl.cell(*c).role == CellRole::Output
-                });
+                let port_sink = net
+                    .sinks
+                    .iter()
+                    .find(|(c, _)| nl.cell(*c).role == CellRole::Output);
                 match port_sink {
                     Some((c, _)) => format!("{}_net", nl.cell(*c).name),
                     None => format!("w_{}", id.index()),
@@ -688,10 +683,7 @@ endmodule
         assert_eq!(n.cell(ff0).role, CellRole::Sequential);
         assert_eq!(n.cell(ff0).loc, Point::new(10.0, 0.0));
         let u0 = n.find_cell("u0").unwrap();
-        assert_eq!(
-            n.library().cell(n.cell(u0).lib_cell).name,
-            "INV_X2"
-        );
+        assert_eq!(n.library().cell(n.cell(u0).lib_cell).name, "INV_X2");
         // clk classified as a clock source, d0 as a data input.
         assert_eq!(
             n.cell(n.find_cell("clk").unwrap()).role,
@@ -722,7 +714,8 @@ endmodule
 
     #[test]
     fn rejects_unknown_cell_type() {
-        let src = "module m (a, y);\n input a;\n output y;\n NAND9_X1 u (.A(a), .Y(y));\nendmodule\n";
+        let src =
+            "module m (a, y);\n input a;\n output y;\n NAND9_X1 u (.A(a), .Y(y));\nendmodule\n";
         assert!(matches!(
             parse_verilog(src),
             Err(ParseVerilogError::UnknownCellType(_))

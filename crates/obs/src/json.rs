@@ -1,0 +1,172 @@
+//! Hand-rolled JSON emission (the crate is deliberately dependency-free;
+//! the workspace's serde shim is not pulled in here).
+
+/// Minimal JSON string builder. The caller drives structure; the
+/// builder handles commas, escaping, and number validity.
+pub(crate) struct JsonWriter {
+    out: String,
+    /// Whether the current container already has an element (one flag
+    /// per open container).
+    first: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub(crate) fn new() -> Self {
+        Self {
+            out: String::new(),
+            first: vec![true],
+        }
+    }
+
+    fn sep(&mut self) {
+        if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+    }
+
+    pub(crate) fn begin_obj(&mut self) {
+        self.sep();
+        self.out.push('{');
+        self.first.push(true);
+    }
+
+    pub(crate) fn end_obj(&mut self) {
+        self.out.push('}');
+        self.first.pop();
+    }
+
+    pub(crate) fn begin_arr(&mut self) {
+        self.sep();
+        self.out.push('[');
+        self.first.push(true);
+    }
+
+    pub(crate) fn end_arr(&mut self) {
+        self.out.push(']');
+        self.first.pop();
+    }
+
+    /// Writes `"key":` (must be inside an object, before a value call).
+    pub(crate) fn key(&mut self, k: &str) {
+        self.sep();
+        self.out.push('"');
+        escape_into(k, &mut self.out);
+        self.out.push_str("\":");
+        // The upcoming value must not emit a separator of its own.
+        if let Some(first) = self.first.last_mut() {
+            *first = true;
+        }
+    }
+
+    pub(crate) fn str(&mut self, v: &str) {
+        self.sep();
+        self.out.push('"');
+        escape_into(v, &mut self.out);
+        self.out.push('"');
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.sep();
+        self.out.push_str(&v.to_string());
+    }
+
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.sep();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    pub(crate) fn null(&mut self) {
+        self.sep();
+        self.out.push_str("null");
+    }
+
+    /// Finite floats as shortest round-trip decimals; non-finite as
+    /// `null` (JSON has no NaN/Infinity).
+    pub(crate) fn f64(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.null();
+            return;
+        }
+        self.sep();
+        self.out.push_str(&format!("{v:?}"));
+    }
+
+    /// Optional float: `null` when absent or non-finite.
+    pub(crate) fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => self.f64(x),
+            None => self.null(),
+        }
+    }
+
+    pub(crate) fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structures() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("name");
+        w.str("a\"b");
+        w.key("vals");
+        w.begin_arr();
+        w.u64(1);
+        w.f64(2.5);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.null();
+        w.end_arr();
+        w.key("obj");
+        w.begin_obj();
+        w.key("n");
+        w.opt_f64(None);
+        w.end_obj();
+        w.end_obj();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"a\"b","vals":[1,2.5,null,true,null],"obj":{"n":null}}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut w = JsonWriter::new();
+        w.str("line\nbreak\u{1}");
+        assert_eq!(w.finish(), "\"line\\nbreak\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        let mut w = JsonWriter::new();
+        w.begin_arr();
+        w.f64(0.02);
+        w.f64(1e-5);
+        w.f64(-3.0);
+        w.end_arr();
+        assert_eq!(w.finish(), "[0.02,1e-5,-3.0]");
+    }
+}

@@ -1,0 +1,267 @@
+//! Named metrics: counters, gauges, and log₂-bucket histograms.
+//!
+//! The registry is a flat name → metric map. Names are dotted paths by
+//! convention (`"sta.pba.paths"`); the first operation on a name fixes
+//! its kind, and later operations of a different kind are ignored (they
+//! must not panic inside instrumented library code).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of histogram buckets. Bucket `i` counts values in
+/// `(2^(i-1+HIST_MIN_EXP), 2^(i+HIST_MIN_EXP)]`; the first bucket also
+/// absorbs every value ≤ its upper bound (including zero and negatives).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Exponent of the first bucket's upper bound: bucket 0 is
+/// `(-∞, 2^HIST_MIN_EXP]`. With 64 buckets the top covers up to 2⁴⁷ —
+/// wide enough for nanosecond durations and row counts alike.
+pub const HIST_MIN_EXP: i32 = -16;
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// Fixed log₂ bucketing: values ≤ 2^HIST_MIN_EXP land in bucket 0,
+/// values beyond the last boundary in the last bucket.
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let exp = v.log2().ceil() as i64;
+    (exp - HIST_MIN_EXP as i64).clamp(0, HIST_BUCKETS as i64 - 1) as usize
+}
+
+/// Upper bound (`le`) of bucket `i`. The last bucket is the overflow
+/// bucket with an infinite bound (serialized as `null` in JSON).
+fn bucket_le(i: usize) -> f64 {
+    if i == HIST_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        (2.0f64).powi(HIST_MIN_EXP + i as i32)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Hist(Histogram),
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+/// Adds `by` to the counter `name`. No-op when recording is disabled or
+/// `name` is already a different metric kind.
+pub fn counter_add(name: &str, by: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    if let Metric::Counter(c) = reg.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
+        *c += by;
+    }
+}
+
+/// Sets the gauge `name` to `v` (last write wins). No-op when recording
+/// is disabled or `name` is already a different metric kind.
+pub fn gauge_set(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    if let Metric::Gauge(g) = reg.entry(name.to_owned()).or_insert(Metric::Gauge(v)) {
+        *g = v;
+    }
+}
+
+/// Records `v` into the histogram `name`. No-op when recording is
+/// disabled or `name` is already a different metric kind.
+pub fn observe(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    if let Metric::Hist(h) = reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Hist(Histogram::new()))
+    {
+        h.observe(v);
+    }
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (`+∞` when empty).
+    pub min: f64,
+    /// Largest observed value (`-∞` when empty).
+    pub max: f64,
+    /// Non-empty buckets as `(upper_bound, count)` in ascending order.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// Snapshot of the whole metrics registry, names sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Captures the registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = MetricsSnapshot::default();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => out.counters.push((name.clone(), *c)),
+            Metric::Gauge(g) => out.gauges.push((name.clone(), *g)),
+            Metric::Hist(h) => out.histograms.push(HistogramSnapshot {
+                name: name.clone(),
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (bucket_le(i), c))
+                    .collect(),
+            }),
+        }
+    }
+    out
+}
+
+/// Clears the registry.
+pub(crate) fn reset() {
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        // 1.0 = 2^0 → le boundary 2^0 → bucket index -HIST_MIN_EXP.
+        assert_eq!(bucket_index(1.0), (-HIST_MIN_EXP) as usize);
+        assert_eq!(bucket_index(1.5), (-HIST_MIN_EXP) as usize + 1);
+        assert_eq!(bucket_index(2.0), (-HIST_MIN_EXP) as usize + 1);
+        assert_eq!(bucket_index(f64::MAX), HIST_BUCKETS - 1);
+        // Every value lands at or below its bucket's upper bound.
+        for v in [1e-9, 0.02, 1.0, 3.7, 1e6, 1e30] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_le(i), "{v} > le {}", bucket_le(i));
+            if i > 0 {
+                assert!(v > bucket_le(i - 1), "{v} ≤ prior le {}", bucket_le(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn counters_gauges_histograms_record_and_snapshot() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        counter_add("c.x", 2);
+        counter_add("c.x", 3);
+        gauge_set("g.y", 1.5);
+        gauge_set("g.y", 2.5);
+        observe("h.z", 1.0);
+        observe("h.z", 100.0);
+        crate::set_enabled(false);
+        let s = snapshot();
+        assert_eq!(s.counter("c.x"), Some(5));
+        assert_eq!(s.gauge("g.y"), Some(2.5));
+        let h = s.histogram("h.z").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 101.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert_eq!(h.buckets.iter().map(|(_, c)| c).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn kind_mismatch_is_ignored_not_fatal() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        counter_add("mixed", 1);
+        gauge_set("mixed", 9.0);
+        observe("mixed", 9.0);
+        crate::set_enabled(false);
+        let s = snapshot();
+        assert_eq!(s.counter("mixed"), Some(1));
+        assert_eq!(s.gauge("mixed"), None);
+        assert!(s.histogram("mixed").is_none());
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = testlock::hold();
+        counter_add("off", 1);
+        observe("off.h", 1.0);
+        assert!(snapshot().counters.is_empty());
+        assert!(snapshot().histograms.is_empty());
+    }
+}

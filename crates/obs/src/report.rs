@@ -1,0 +1,354 @@
+//! Snapshot + rendering: span tree, metrics, and solver traces as one
+//! report, exportable as JSON (machines) or indented text (humans).
+//!
+//! # JSON schema (version 1)
+//!
+//! ```text
+//! {
+//!   "version": 1,
+//!   "spans": [SPAN...],            // root spans, in first-opened order
+//!   "metrics": {
+//!     "counters":   {"name": u64, ...},
+//!     "gauges":     {"name": f64, ...},
+//!     "histograms": {"name": {"count","sum","min","max",
+//!                             "buckets":[{"le": f64, "count": u64}]}, ...}
+//!   },
+//!   "solves": [{"solver","converged","iterations_total","rows_touched",
+//!               "final_objective","dropped_samples",
+//!               "iterations":[{"i","objective","grad_norm","step","rows"}],
+//!               "rounds":[{"round","ratio","rows","change","objective",
+//!                          "inner_iterations"}]}]
+//! }
+//! SPAN = {"name","calls","total_ns","min_ns","max_ns","children":[SPAN...]}
+//! ```
+//!
+//! Non-finite floats serialize as `null`.
+
+use crate::json::JsonWriter;
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanSnapshot;
+use crate::telemetry::SolveTrace;
+use std::fmt::Write as _;
+
+/// JSON schema version emitted by [`ProfileReport::to_json`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One captured profile: everything recorded since the last reset.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Root spans in first-opened order.
+    pub spans: Vec<SpanSnapshot>,
+    /// Metrics registry snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Solver traces in begin order.
+    pub solves: Vec<SolveTrace>,
+}
+
+impl ProfileReport {
+    /// Captures the current state of all three stores.
+    pub fn capture() -> Self {
+        Self {
+            spans: crate::span::snapshot(),
+            metrics: crate::metrics::snapshot(),
+            solves: crate::telemetry::snapshot(),
+        }
+    }
+
+    /// Depth-first search across all root spans.
+    pub fn find_span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Renders the version-1 JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("version");
+        w.u64(SCHEMA_VERSION);
+        w.key("spans");
+        w.begin_arr();
+        for s in &self.spans {
+            write_span(&mut w, s);
+        }
+        w.end_arr();
+        w.key("metrics");
+        w.begin_obj();
+        w.key("counters");
+        w.begin_obj();
+        for (name, v) in &self.metrics.counters {
+            w.key(name);
+            w.u64(*v);
+        }
+        w.end_obj();
+        w.key("gauges");
+        w.begin_obj();
+        for (name, v) in &self.metrics.gauges {
+            w.key(name);
+            w.f64(*v);
+        }
+        w.end_obj();
+        w.key("histograms");
+        w.begin_obj();
+        for h in &self.metrics.histograms {
+            w.key(&h.name);
+            w.begin_obj();
+            w.key("count");
+            w.u64(h.count);
+            w.key("sum");
+            w.f64(h.sum);
+            w.key("min");
+            w.f64(h.min);
+            w.key("max");
+            w.f64(h.max);
+            w.key("buckets");
+            w.begin_arr();
+            for (le, count) in &h.buckets {
+                w.begin_obj();
+                w.key("le");
+                w.f64(*le);
+                w.key("count");
+                w.u64(*count);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+        w.end_obj();
+        w.end_obj();
+        w.key("solves");
+        w.begin_arr();
+        for t in &self.solves {
+            w.begin_obj();
+            w.key("solver");
+            w.str(&t.solver);
+            w.key("converged");
+            match t.converged {
+                Some(c) => w.bool(c),
+                None => w.null(),
+            }
+            w.key("iterations_total");
+            w.u64(t.total_iterations);
+            w.key("rows_touched");
+            w.u64(t.rows_touched);
+            w.key("final_objective");
+            w.opt_f64(t.final_objective);
+            w.key("dropped_samples");
+            w.u64(t.dropped_samples);
+            w.key("iterations");
+            w.begin_arr();
+            for s in &t.iterations {
+                w.begin_obj();
+                w.key("i");
+                w.u64(s.iteration);
+                w.key("objective");
+                w.opt_f64(s.objective);
+                w.key("grad_norm");
+                w.f64(s.grad_norm);
+                w.key("step");
+                w.f64(s.step);
+                w.key("rows");
+                w.u64(s.rows);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.key("rounds");
+            w.begin_arr();
+            for r in &t.rounds {
+                w.begin_obj();
+                w.key("round");
+                w.u64(r.round);
+                w.key("ratio");
+                w.f64(r.ratio);
+                w.key("rows");
+                w.u64(r.rows);
+                w.key("change");
+                w.f64(r.change);
+                w.key("objective");
+                w.f64(r.objective);
+                w.key("inner_iterations");
+                w.u64(r.inner_iterations);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Renders an indented human-readable profile.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str("profile\n=======\nspans:\n");
+        if self.spans.is_empty() {
+            out.push_str("  (none recorded)\n");
+        }
+        for s in &self.spans {
+            pretty_span(&mut out, s, 1);
+        }
+        if !self.metrics.counters.is_empty()
+            || !self.metrics.gauges.is_empty()
+            || !self.metrics.histograms.is_empty()
+        {
+            out.push_str("metrics:\n");
+            for (name, v) in &self.metrics.counters {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+            for (name, v) in &self.metrics.gauges {
+                let _ = writeln!(out, "  {name} = {v:.4}");
+            }
+            for h in &self.metrics.histograms {
+                let mean = if h.count > 0 {
+                    h.sum / h.count as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {} : n={} mean={:.4} min={:.4} max={:.4} ({} buckets)",
+                    h.name,
+                    h.count,
+                    mean,
+                    h.min,
+                    h.max,
+                    h.buckets.len()
+                );
+            }
+        }
+        if !self.solves.is_empty() {
+            out.push_str("solves:\n");
+            for t in &self.solves {
+                let _ = writeln!(
+                    out,
+                    "  {} : iters={} rows={} converged={} obj={}",
+                    t.solver,
+                    t.total_iterations,
+                    t.rows_touched,
+                    t.converged.map_or("?".into(), |c| c.to_string()),
+                    t.final_objective.map_or("?".into(), |o| format!("{o:.4e}")),
+                );
+                for r in &t.rounds {
+                    let _ = writeln!(
+                        out,
+                        "    round {}: ratio={:.5} rows={} change={:.3} obj={:.4e} inner={}",
+                        r.round, r.ratio, r.rows, r.change, r.objective, r.inner_iterations
+                    );
+                }
+                if t.dropped_samples > 0 {
+                    let _ = writeln!(
+                        out,
+                        "    ({} iteration samples dropped past cap)",
+                        t.dropped_samples
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn write_span(w: &mut JsonWriter, s: &SpanSnapshot) {
+    w.begin_obj();
+    w.key("name");
+    w.str(&s.name);
+    w.key("calls");
+    w.u64(s.calls);
+    w.key("total_ns");
+    w.u64(s.total_ns);
+    w.key("min_ns");
+    w.u64(s.min_ns);
+    w.key("max_ns");
+    w.u64(s.max_ns);
+    w.key("children");
+    w.begin_arr();
+    for c in &s.children {
+        write_span(w, c);
+    }
+    w.end_arr();
+    w.end_obj();
+}
+
+fn pretty_span(out: &mut String, s: &SpanSnapshot, depth: usize) {
+    let ms = s.total_ns as f64 / 1e6;
+    let _ = writeln!(
+        out,
+        "{:indent$}{} : {:.3} ms over {} call{}",
+        "",
+        s.name,
+        ms,
+        s.calls,
+        if s.calls == 1 { "" } else { "s" },
+        indent = depth * 2
+    );
+    for c in &s.children {
+        pretty_span(out, c, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock;
+
+    fn record_fixture() {
+        crate::set_enabled(true);
+        {
+            let _root = crate::span("mgba");
+            let _sel = crate::span("select");
+        }
+        crate::counter_add("paths", 7);
+        crate::gauge_set("wns_ps", -120.5);
+        crate::observe("slack_ps", 33.0);
+        crate::telemetry::solve_begin("SCG + RS");
+        crate::telemetry::record_iteration(0, Some(9.0), 1.0, 0.02, 20);
+        crate::telemetry::record_round(0.01, 10, f64::INFINITY, 9.0, 1);
+        crate::telemetry::solve_end(true, 1, 20, Some(9.0));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let _l = testlock::hold();
+        record_fixture();
+        let json = ProfileReport::capture().to_json();
+        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.contains("\"name\":\"mgba\""));
+        assert!(json.contains("\"name\":\"select\""));
+        assert!(json.contains("\"paths\":7"));
+        assert!(json.contains("\"wns_ps\":-120.5"));
+        assert!(json.contains("\"slack_ps\":{\"count\":1"));
+        assert!(json.contains("\"solver\":\"SCG + RS\""));
+        // Non-finite round change serializes as null, not Infinity.
+        assert!(json.contains("\"change\":null"));
+        assert!(!json.contains("inf"));
+        // Balanced braces/brackets (cheap well-formedness check; the
+        // string contains no braces outside structure).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn pretty_lists_spans_metrics_solves() {
+        let _l = testlock::hold();
+        record_fixture();
+        let text = ProfileReport::capture().to_pretty();
+        assert!(text.contains("mgba"));
+        assert!(text.contains("  paths = 7"));
+        assert!(text.contains("SCG + RS"));
+        assert!(text.contains("round 0"));
+    }
+
+    #[test]
+    fn find_span_descends() {
+        let _l = testlock::hold();
+        record_fixture();
+        let r = ProfileReport::capture();
+        assert!(r.find_span("select").is_some());
+        assert!(r.find_span("missing").is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! Hierarchical timed spans.
+//!
+//! A span is opened with [`span`] and closed when the returned guard
+//! drops. Spans aggregate by `(parent, name)`: re-entering a span under
+//! the same parent accumulates into one node (calls, total, min, max)
+//! instead of growing the tree, so per-pass and per-round spans stay
+//! bounded. Parentage is tracked per thread via a thread-local stack.
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One aggregated node of the span tree.
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    children: Vec<usize>,
+    calls: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Default)]
+struct Tree {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+}
+
+impl Tree {
+    /// Finds or creates the child of `parent` (or root) named `name`.
+    fn intern(&mut self, parent: Option<usize>, name: &str) -> usize {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&i| self.nodes[i].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            children: Vec::new(),
+            calls: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+}
+
+static TREE: Mutex<Tree> = Mutex::new(Tree {
+    nodes: Vec::new(),
+    roots: Vec::new(),
+});
+
+thread_local! {
+    /// This thread's stack of open span node indices.
+    static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a timed span named `name` under the thread's innermost open
+/// span. Returns a guard that records the elapsed time on drop. When
+/// recording is disabled this is a no-op costing one atomic load.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard(None);
+    }
+    let parent = STACK.with(|s| s.borrow().last().copied());
+    let idx = {
+        let mut tree = TREE.lock().unwrap_or_else(|p| p.into_inner());
+        // A reset while this thread held open spans leaves stale indices
+        // on its stack; treat those as roots instead of indexing into
+        // the rebuilt arena.
+        let parent = parent.filter(|&p| p < tree.nodes.len());
+        tree.intern(parent, name)
+    };
+    STACK.with(|s| s.borrow_mut().push(idx));
+    SpanGuard(Some(OpenSpan {
+        node: idx,
+        started: Instant::now(),
+    }))
+}
+
+struct OpenSpan {
+    node: usize,
+    started: Instant,
+}
+
+/// Guard for an open span; records the elapsed wall time when dropped.
+pub struct SpanGuard(Option<OpenSpan>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.0.take() else { return };
+        let elapsed = open.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Normally the top of the stack; tolerate out-of-order drops.
+            if let Some(pos) = stack.iter().rposition(|&i| i == open.node) {
+                stack.remove(pos);
+            }
+        });
+        let mut tree = TREE.lock().unwrap_or_else(|p| p.into_inner());
+        // A reset between open and close invalidates the index; drop the
+        // sample rather than attributing it to an unrelated node.
+        let Some(node) = tree.nodes.get_mut(open.node) else {
+            return;
+        };
+        node.calls += 1;
+        node.total_ns += elapsed;
+        node.min_ns = node.min_ns.min(elapsed);
+        node.max_ns = node.max_ns.max(elapsed);
+    }
+}
+
+/// Immutable snapshot of one span-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// Completed calls aggregated into this node.
+    pub calls: u64,
+    /// Total wall time across calls, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single call, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single call, nanoseconds.
+    pub max_ns: u64,
+    /// Child spans in first-opened order.
+    pub children: Vec<SpanSnapshot>,
+}
+
+impl SpanSnapshot {
+    /// Finds a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Depth-first search for a descendant (or self) by name.
+    pub fn find(&self, name: &str) -> Option<&SpanSnapshot> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+fn snapshot_node(tree: &Tree, idx: usize) -> SpanSnapshot {
+    let n = &tree.nodes[idx];
+    SpanSnapshot {
+        name: n.name.clone(),
+        calls: n.calls,
+        total_ns: n.total_ns,
+        min_ns: if n.calls == 0 { 0 } else { n.min_ns },
+        max_ns: n.max_ns,
+        children: n.children.iter().map(|&c| snapshot_node(tree, c)).collect(),
+    }
+}
+
+/// Snapshot of the whole span forest (one tree per root span). Nodes
+/// with zero completed calls (still open) are included with their
+/// children so partial captures stay structurally truthful.
+pub fn snapshot() -> Vec<SpanSnapshot> {
+    let tree = TREE.lock().unwrap_or_else(|p| p.into_inner());
+    tree.roots
+        .iter()
+        .map(|&r| snapshot_node(&tree, r))
+        .collect()
+}
+
+/// Clears the span tree (open guards of the old tree become no-ops).
+pub(crate) fn reset() {
+    let mut tree = TREE.lock().unwrap_or_else(|p| p.into_inner());
+    tree.nodes.clear();
+    tree.roots.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock;
+
+    #[test]
+    fn nesting_and_aggregation() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        for _ in 0..3 {
+            let _a = span("outer");
+            let _b = span("inner");
+        }
+        crate::set_enabled(false);
+        let roots = snapshot();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "outer");
+        assert_eq!(roots[0].calls, 3);
+        assert_eq!(roots[0].children.len(), 1);
+        assert_eq!(roots[0].children[0].name, "inner");
+        assert_eq!(roots[0].children[0].calls, 3);
+        assert!(roots[0].min_ns <= roots[0].max_ns);
+        assert!(roots[0].total_ns >= roots[0].children[0].total_ns);
+    }
+
+    #[test]
+    fn siblings_do_not_merge_across_parents() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        {
+            let _a = span("a");
+            let _x = span("x");
+        }
+        {
+            let _b = span("b");
+            let _x = span("x");
+        }
+        crate::set_enabled(false);
+        let roots = snapshot();
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].child("x").unwrap().calls, 1);
+        assert_eq!(roots[1].child("x").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn find_descends_depth_first() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        {
+            let _a = span("root");
+            let _b = span("mid");
+            let _c = span("leaf");
+        }
+        crate::set_enabled(false);
+        let roots = snapshot();
+        assert_eq!(roots[0].find("leaf").unwrap().calls, 1);
+        assert!(roots[0].find("absent").is_none());
+    }
+
+    #[test]
+    fn guard_survives_reset_between_open_and_close() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        let g = span("doomed");
+        reset();
+        drop(g); // must not panic or corrupt the fresh tree
+        crate::set_enabled(false);
+        assert!(snapshot().is_empty());
+    }
+}

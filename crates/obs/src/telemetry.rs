@@ -1,0 +1,266 @@
+//! Per-solve telemetry: iteration traces and Algorithm 1 rounds.
+//!
+//! Each solver run opens a trace with [`solve_begin`], streams
+//! [`record_iteration`] / [`record_round`] samples into it, and closes
+//! it with [`solve_end`]. Traces nest: Algorithm 1's outer trace stays
+//! open while each doubling round's inner SCG solve records its own
+//! trace (a per-thread stack tracks the innermost open trace, mirroring
+//! how spans nest).
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+/// Cap on stored per-iteration samples per trace. Beyond it samples are
+/// counted in [`SolveTrace::dropped_samples`] instead of stored — never
+/// silently: the report surfaces the drop count.
+pub const MAX_ITERATION_SAMPLES: usize = 65_536;
+
+/// One solver iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationSample {
+    /// Iteration number within the solve (0-based).
+    pub iteration: u64,
+    /// Exact or probe objective, when the solver computed one this
+    /// iteration (solvers only evaluate it at check windows).
+    pub objective: Option<f64>,
+    /// Norm of the (sampled or full) gradient / residual driving the step.
+    pub grad_norm: f64,
+    /// Step size taken.
+    pub step: f64,
+    /// Row-gradient evaluations consumed by this iteration.
+    pub rows: u64,
+}
+
+/// One ratio-doubling round of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundSample {
+    /// Round number (0-based).
+    pub round: u64,
+    /// Row-selection ratio.
+    pub ratio: f64,
+    /// Rows in the reduced problem.
+    pub rows: u64,
+    /// Relative solution change vs. the previous round.
+    pub change: f64,
+    /// Full-problem objective estimate after the round.
+    pub objective: f64,
+    /// Inner SCG iterations.
+    pub inner_iterations: u64,
+}
+
+/// Telemetry of one solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveTrace {
+    /// Solver display name (paper naming: `"SCG + RS"`, …).
+    pub solver: String,
+    /// Per-iteration samples (capped at [`MAX_ITERATION_SAMPLES`]).
+    pub iterations: Vec<IterationSample>,
+    /// Algorithm 1 doubling rounds (empty for inner/plain solvers).
+    pub rounds: Vec<RoundSample>,
+    /// Samples not stored because the cap was hit.
+    pub dropped_samples: u64,
+    /// Whether the solver reported convergence (`None` while open).
+    pub converged: Option<bool>,
+    /// Total iterations reported at close.
+    pub total_iterations: u64,
+    /// Total row-gradient evaluations reported at close.
+    pub rows_touched: u64,
+    /// Final objective reported at close.
+    pub final_objective: Option<f64>,
+}
+
+static STORE: Mutex<Vec<SolveTrace>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Indices of this thread's open traces, innermost last.
+    static ACTIVE: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a trace for a solver run. No-op when recording is disabled.
+pub fn solve_begin(solver: &str) {
+    if !crate::enabled() {
+        return;
+    }
+    let idx = {
+        let mut store = STORE.lock().unwrap_or_else(|p| p.into_inner());
+        store.push(SolveTrace {
+            solver: solver.to_owned(),
+            iterations: Vec::new(),
+            rounds: Vec::new(),
+            dropped_samples: 0,
+            converged: None,
+            total_iterations: 0,
+            rows_touched: 0,
+            final_objective: None,
+        });
+        store.len() - 1
+    };
+    ACTIVE.with(|a| a.borrow_mut().push(idx));
+}
+
+/// Runs `f` on the innermost open trace, if recording is live and a
+/// trace is open on this thread.
+fn with_current(f: impl FnOnce(&mut SolveTrace)) {
+    if !crate::enabled() {
+        return;
+    }
+    let Some(idx) = ACTIVE.with(|a| a.borrow().last().copied()) else {
+        return;
+    };
+    let mut store = STORE.lock().unwrap_or_else(|p| p.into_inner());
+    // A reset between begin and end invalidates the index.
+    if let Some(trace) = store.get_mut(idx) {
+        f(trace);
+    }
+}
+
+/// Streams one iteration sample into the innermost open trace.
+pub fn record_iteration(
+    iteration: u64,
+    objective: Option<f64>,
+    grad_norm: f64,
+    step: f64,
+    rows: u64,
+) {
+    with_current(|t| {
+        if t.iterations.len() >= MAX_ITERATION_SAMPLES {
+            t.dropped_samples += 1;
+            return;
+        }
+        t.iterations.push(IterationSample {
+            iteration,
+            objective,
+            grad_norm,
+            step,
+            rows,
+        });
+    });
+}
+
+/// Streams one Algorithm 1 doubling-round sample into the innermost
+/// open trace.
+pub fn record_round(ratio: f64, rows: u64, change: f64, objective: f64, inner_iterations: u64) {
+    with_current(|t| {
+        let round = t.rounds.len() as u64;
+        t.rounds.push(RoundSample {
+            round,
+            ratio,
+            rows,
+            change,
+            objective,
+            inner_iterations,
+        });
+    });
+}
+
+/// Closes the innermost open trace with the solve's summary. Must pair
+/// with [`solve_begin`]; unbalanced calls are ignored.
+pub fn solve_end(
+    converged: bool,
+    total_iterations: u64,
+    rows_touched: u64,
+    objective: Option<f64>,
+) {
+    if !crate::enabled() {
+        // Still pop the stack if a trace was opened while enabled, so a
+        // disable mid-solve cannot leave the stack unbalanced.
+        ACTIVE.with(|a| {
+            a.borrow_mut().pop();
+        });
+        return;
+    }
+    let Some(idx) = ACTIVE.with(|a| a.borrow_mut().pop()) else {
+        return;
+    };
+    let mut store = STORE.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(trace) = store.get_mut(idx) {
+        trace.converged = Some(converged);
+        trace.total_iterations = total_iterations;
+        trace.rows_touched = rows_touched;
+        trace.final_objective = objective;
+    }
+}
+
+/// Snapshot of every recorded solver trace, in begin order.
+pub fn snapshot() -> Vec<SolveTrace> {
+    STORE.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Clears all traces (open handles of the old store become no-ops).
+pub(crate) fn reset() {
+    STORE.lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock;
+
+    #[test]
+    fn trace_records_iterations_and_summary() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        solve_begin("GD + w/o RS");
+        record_iteration(0, None, 3.0, 0.02, 400);
+        record_iteration(1, Some(12.5), 2.0, 0.019, 400);
+        solve_end(true, 2, 800, Some(12.5));
+        crate::set_enabled(false);
+        let traces = snapshot();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.solver, "GD + w/o RS");
+        assert_eq!(t.iterations.len(), 2);
+        assert_eq!(t.iterations[0].objective, None);
+        assert_eq!(t.iterations[1].objective, Some(12.5));
+        assert_eq!(t.converged, Some(true));
+        assert_eq!(t.rows_touched, 800);
+    }
+
+    #[test]
+    fn traces_nest_like_algorithm_1() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        solve_begin("SCG + RS");
+        for round in 0..2u64 {
+            solve_begin("SCG + w/o RS");
+            record_iteration(0, None, 1.0, 0.02, 4);
+            solve_end(true, 1, 4, Some(1.0));
+            record_round(0.01 * 2f64.powi(round as i32), 10, 0.5, 1.0, 1);
+        }
+        solve_end(true, 2, 8, Some(1.0));
+        crate::set_enabled(false);
+        let traces = snapshot();
+        assert_eq!(traces.len(), 3);
+        // Outer trace opened first, rounds landed on it, not the inners.
+        assert_eq!(traces[0].solver, "SCG + RS");
+        assert_eq!(traces[0].rounds.len(), 2);
+        assert_eq!(traces[0].rounds[1].round, 1);
+        assert!(traces[1].rounds.is_empty());
+        assert_eq!(traces[1].iterations.len(), 1);
+    }
+
+    #[test]
+    fn sample_cap_counts_drops() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        solve_begin("S");
+        for i in 0..(MAX_ITERATION_SAMPLES as u64 + 10) {
+            record_iteration(i, None, 1.0, 0.1, 1);
+        }
+        solve_end(false, MAX_ITERATION_SAMPLES as u64 + 10, 0, None);
+        crate::set_enabled(false);
+        let t = &snapshot()[0];
+        assert_eq!(t.iterations.len(), MAX_ITERATION_SAMPLES);
+        assert_eq!(t.dropped_samples, 10);
+    }
+
+    #[test]
+    fn unbalanced_end_is_ignored() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        solve_end(true, 0, 0, None);
+        record_iteration(0, None, 1.0, 0.1, 1);
+        crate::set_enabled(false);
+        assert!(snapshot().is_empty());
+    }
+}

@@ -164,6 +164,7 @@ pub struct FlowResult {
 /// Runs the timing-closure flow on `sta` (which must be freshly built,
 /// i.e. with zero weights).
 pub fn run_flow(sta: &mut Sta, config: &FlowConfig) -> FlowResult {
+    let _span = obs::span("flow");
     let start = Instant::now();
     let mut mgba_time = Duration::ZERO;
     let qor_initial = Qor::capture(sta);
@@ -184,6 +185,7 @@ pub fn run_flow(sta: &mut Sta, config: &FlowConfig) -> FlowResult {
         } = &config.timer
         {
             if passes.is_multiple_of((*refresh_every).max(1)) {
+                let _span = obs::span("refresh_fit");
                 let t = Instant::now();
                 let _report = run_mgba(sta, mgba_cfg, *solver);
                 mgba_time += t.elapsed();
@@ -200,14 +202,14 @@ pub fn run_flow(sta: &mut Sta, config: &FlowConfig) -> FlowResult {
             break;
         }
 
+        let _repair_span = obs::span("repair");
         let mut applied = 0usize;
         for &endpoint in violating.iter().take(config.endpoints_per_pass) {
             // Earlier repairs this pass may have fixed this endpoint.
             if sta.setup_slack(endpoint) >= 0.0 {
                 continue;
             }
-            let Some(path) = worst_paths_to_endpoint(sta, endpoint, 1).into_iter().next()
-            else {
+            let Some(path) = worst_paths_to_endpoint(sta, endpoint, 1).into_iter().next() else {
                 continue;
             };
             let t = repair_path(sta, &path, &mut buffer_seq);
@@ -247,6 +249,7 @@ pub fn run_flow(sta: &mut Sta, config: &FlowConfig) -> FlowResult {
     // the flow's timing view stays clean. The timer's pessimism directly
     // limits how much can be reclaimed here.
     if config.recovery {
+        let _span = obs::span("recovery");
         // Recovery probes *positive*-slack paths, which the repair-phase
         // fit (violating paths only) never constrained — so the recovery
         // correction must be fitted over every endpoint's near-critical
@@ -326,6 +329,7 @@ pub fn run_flow(sta: &mut Sta, config: &FlowConfig) -> FlowResult {
 
     // Optional hold-fixing phase (setup-guarded padding).
     if let Some(guard) = config.fix_hold {
+        let _span = obs::span("hold_fix");
         let report = crate::hold::fix_hold_violations(sta, guard);
         counts.buffers += report.buffers_added as u64;
     }
@@ -336,6 +340,18 @@ pub fn run_flow(sta: &mut Sta, config: &FlowConfig) -> FlowResult {
     let qor_final = Qor::capture(sta);
     let qor_final_pba = Qor::capture_pba(sta);
 
+    obs::gauge_set("flow.passes", passes as f64);
+    obs::gauge_set("flow.transforms", counts.total() as f64);
+    obs::gauge_set("flow.qor.tns_final", qor_final.tns);
+    obs::gauge_set("flow.qor.area_final", qor_final.area);
+    obs::gauge_set(
+        "flow.sta.incremental_updates",
+        sta.stats.incremental_updates as f64,
+    );
+    obs::gauge_set(
+        "flow.sta.cells_propagated",
+        sta.stats.cells_propagated as f64,
+    );
     FlowResult {
         design: sta.netlist().name().to_owned(),
         timer: config.timer.name().to_owned(),
@@ -363,8 +379,7 @@ mod tests {
     /// because slack shifts 1:1 with the period).
     fn tight_design(seed: u64, frac: f64) -> Sta {
         let n = GeneratorConfig::small(seed).generate();
-        let probe =
-            Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
+        let probe = Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
         let max_arrival = probe
             .netlist()
             .endpoints()
@@ -481,8 +496,7 @@ mod tests {
     #[test]
     fn no_violations_needs_no_repair() {
         let n = GeneratorConfig::small(145).generate();
-        let mut sta =
-            Sta::new(n, Sdc::with_period(100_000.0), DerateSet::standard()).unwrap();
+        let mut sta = Sta::new(n, Sdc::with_period(100_000.0), DerateSet::standard()).unwrap();
         let mut cfg = FlowConfig::gba();
         cfg.recovery = false;
         let r = run_flow(&mut sta, &cfg);

@@ -142,12 +142,7 @@ mod tests {
             )
             .unwrap();
         let ff_c = b
-            .add_flip_flop(
-                "ff_c",
-                "DFF_X1",
-                Point::new(15.0, 10.0),
-                b.cell_output(cb2),
-            )
+            .add_flip_flop("ff_c", "DFF_X1", Point::new(15.0, 10.0), b.cell_output(cb2))
             .unwrap();
         b.connect_flip_flop_d(ff_c, g).unwrap();
         let q = b.cell_output(ff_c);

@@ -32,3 +32,14 @@ pub use flow::{run_flow, FlowConfig, FlowResult, TimerMode};
 pub use hold::{fix_hold_violations, hold_violations, HoldFixReport};
 pub use qor::Qor;
 pub use transforms::{repair_path, Transform, TransformCounts};
+
+/// One-import facade for flow-level drivers: everything in
+/// [`mgba::prelude`] (engine, fit config, solvers, typed error) plus the
+/// optimization-flow types. `optim` depends on `mgba`, so the flow types
+/// cannot live in `mgba::prelude` itself — import this one from code
+/// that runs the full fit-then-optimize pipeline.
+pub mod prelude {
+    pub use crate::flow::{run_flow, FlowConfig, FlowResult, PassTrace, TimerMode};
+    pub use crate::qor::Qor;
+    pub use mgba::prelude::*;
+}

@@ -147,8 +147,7 @@ mod tests {
 
     fn tight_engine(seed: u64) -> Sta {
         let n = GeneratorConfig::small(seed).generate();
-        let probe =
-            Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
+        let probe = Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
         let max_arrival = probe
             .netlist()
             .endpoints()
@@ -222,7 +221,10 @@ mod tests {
             .map(|(id, _)| id)
             .collect();
         for c in cells {
-            while let Some(up) = sta.netlist().library().upsized(sta.netlist().cell(c).lib_cell)
+            while let Some(up) = sta
+                .netlist()
+                .library()
+                .upsized(sta.netlist().cell(c).lib_cell)
             {
                 sta.resize_cell(c, up).unwrap();
             }

@@ -93,5 +93,11 @@ fn bench_kaczmarz(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matvec, bench_row_ops, bench_sampling, bench_kaczmarz);
+criterion_group!(
+    benches,
+    bench_matvec,
+    bench_row_ops,
+    bench_sampling,
+    bench_kaczmarz
+);
 criterion_main!(benches);

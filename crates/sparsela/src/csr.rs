@@ -146,6 +146,8 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != num_cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        obs::counter_add("sparsela.matvec.calls", 1);
+        obs::counter_add("sparsela.matvec.rows", self.num_rows() as u64);
         (0..self.num_rows()).map(|i| self.row_dot(i, x)).collect()
     }
 
@@ -156,6 +158,8 @@ impl CsrMatrix {
     /// Panics if `y.len() != num_rows`.
     pub fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.num_rows(), "matvec_t: dimension mismatch");
+        obs::counter_add("sparsela.matvec.calls", 1);
+        obs::counter_add("sparsela.matvec.rows", self.num_rows() as u64);
         let mut z = vec![0.0; self.num_cols];
         for (i, &yi) in y.iter().enumerate() {
             if yi == 0.0 {
@@ -213,6 +217,8 @@ impl CsrMatrix {
         if par.is_serial() || m < PAR_ROW_THRESHOLD {
             return self.matvec(x);
         }
+        obs::counter_add("sparsela.matvec.calls", 1);
+        obs::counter_add("sparsela.matvec.rows", m as u64);
         let mut y = vec![0.0; m];
         parallel::par_fill(par, &mut y, |i| self.row_dot(i, x));
         y

@@ -151,13 +151,7 @@ mod tests {
         bld.push_row(&[(0, 1.0)]);
         bld.push_row(&[(0, 1.0)]);
         let a = bld.build();
-        let r = randomized_kaczmarz(
-            &a,
-            &[0.0, 1.0],
-            1e-12,
-            500,
-            &mut StdRng::seed_from_u64(8),
-        );
+        let r = randomized_kaczmarz(&a, &[0.0, 1.0], 1e-12, 500, &mut StdRng::seed_from_u64(8));
         assert!(!r.converged);
         assert_eq!(r.iterations, 500);
         assert!(r.residual > 0.0);

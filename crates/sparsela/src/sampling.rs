@@ -94,7 +94,9 @@ impl NormSampler {
     pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random_range(0.0..self.total);
         // partition_point: first index whose cdf exceeds u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 
     /// Draws `k` rows with replacement.

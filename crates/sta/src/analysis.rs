@@ -12,8 +12,8 @@ use crate::constraints::Sdc;
 use crate::depth::DepthInfo;
 use crate::graph::TimingGraph;
 use netlist::{BuildError, CellId, CellRole, LibCellId, NetId, Netlist, PinIndex};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Counters describing how much work timing updates performed; used by the
 /// benchmark harness to demonstrate the value of incremental update.
@@ -270,10 +270,7 @@ impl Sta {
             return None;
         }
         let lib = self.netlist.library().cell(cell.lib_cell);
-        Some(
-            self.endpoint_arrival_early(endpoint)
-                - (self.clk_late[endpoint.index()] + lib.hold),
-        )
+        Some(self.endpoint_arrival_early(endpoint) - (self.clk_late[endpoint.index()] + lib.hold))
     }
 
     /// Worst (most negative) setup slack over all endpoints, ps.
@@ -325,8 +322,8 @@ impl Sta {
             if x != y {
                 break;
             }
-            credit += self.gba_delay[x.index()]
-                * (self.derates.clock_late - self.derates.clock_early);
+            credit +=
+                self.gba_delay[x.index()] * (self.derates.clock_late - self.derates.clock_early);
         }
         credit
     }
@@ -402,7 +399,9 @@ impl Sta {
         name: &str,
         moved_sinks: &[(CellId, PinIndex)],
     ) -> Result<CellId, BuildError> {
-        let buf = self.netlist.insert_buffer(net, buf_lib, name, moved_sinks)?;
+        let buf = self
+            .netlist
+            .insert_buffer(net, buf_lib, name, moved_sinks)?;
         self.rebuild_structure()?;
         Ok(buf)
     }
@@ -591,11 +590,7 @@ impl Sta {
             return false;
         }
         let mut req = f64::INFINITY;
-        let fanouts: Vec<_> = self
-            .graph
-            .data_fanouts(&self.netlist, c)
-            .copied()
-            .collect();
+        let fanouts: Vec<_> = self.graph.data_fanouts(&self.netlist, c).copied().collect();
         for e in fanouts {
             let to_role = self.netlist.cell(e.to).role;
             let r = match to_role {
@@ -623,7 +618,14 @@ impl Sta {
     }
 
     fn propagate_required_full(&mut self) {
-        for &c in &self.graph.topo().to_vec().into_iter().rev().collect::<Vec<_>>() {
+        for &c in &self
+            .graph
+            .topo()
+            .to_vec()
+            .into_iter()
+            .rev()
+            .collect::<Vec<_>>()
+        {
             self.evaluate_required(c);
         }
     }
@@ -631,6 +633,7 @@ impl Sta {
     /// Full timing update: characterize and derate every cell, then
     /// propagate arrivals forward and required times backward.
     pub fn full_update(&mut self) {
+        let _span = obs::span("sta_full_update");
         for i in 0..self.netlist.num_cells() {
             let c = CellId::new(i);
             self.characterize(c);
@@ -640,6 +643,7 @@ impl Sta {
         self.propagate_arrivals_full();
         self.propagate_required_full();
         self.stats.full_updates += 1;
+        obs::counter_add("sta.update.full", 1);
     }
 
     fn compute_clock_paths(&mut self) {
@@ -666,6 +670,7 @@ impl Sta {
     /// (already re-characterized). Propagates arrivals forward, then
     /// required times backward from everything that changed.
     fn incremental_update(&mut self, seeds: &[CellId]) {
+        let cells_before = self.stats.cells_propagated;
         // Forward pass: min-heap on topological position guarantees each
         // cell is evaluated after all its changed predecessors.
         let mut heap: BinaryHeap<Reverse<(usize, u32)>> = BinaryHeap::new();
@@ -698,9 +703,9 @@ impl Sta {
         let mut bheap: BinaryHeap<(usize, u32)> = BinaryHeap::new();
         let mut bqueued = vec![false; self.netlist.num_cells()];
         let push_back = |heap: &mut BinaryHeap<(usize, u32)>,
-                             bqueued: &mut Vec<bool>,
-                             graph: &TimingGraph,
-                             c: CellId| {
+                         bqueued: &mut Vec<bool>,
+                         graph: &TimingGraph,
+                         c: CellId| {
             if !bqueued[c.index()] {
                 bqueued[c.index()] = true;
                 heap.push((graph.topo_pos(c), c.index() as u32));
@@ -726,6 +731,11 @@ impl Sta {
             }
         }
         self.stats.incremental_updates += 1;
+        obs::counter_add("sta.update.incremental", 1);
+        obs::counter_add(
+            "sta.update.cells_propagated",
+            self.stats.cells_propagated - cells_before,
+        );
     }
 }
 
@@ -769,7 +779,10 @@ mod tests {
             assert!(late.is_finite(), "endpoint must be reached");
             let early = sta.endpoint_arrival_early(e);
             assert!(early.is_finite());
-            assert!(early <= late + EPS, "early {early} must not exceed late {late}");
+            assert!(
+                early <= late + EPS,
+                "early {early} must not exceed late {late}"
+            );
         }
     }
 
@@ -778,9 +791,7 @@ mod tests {
         let sta = engine(42, 1500.0);
         for e in sta.netlist().endpoints() {
             let s = sta.setup_slack(e);
-            assert!(
-                (s - (sta.endpoint_required(e) - sta.endpoint_arrival(e))).abs() < 1e-9
-            );
+            assert!((s - (sta.endpoint_required(e) - sta.endpoint_arrival(e))).abs() < 1e-9);
         }
     }
 

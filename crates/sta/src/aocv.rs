@@ -39,7 +39,9 @@ impl fmt::Display for TableError {
             TableError::BadShape { expected, got } => {
                 write!(f, "expected {expected} derate values, got {got}")
             }
-            TableError::BadValue(v) => write!(f, "derate value {v} is not a positive finite number"),
+            TableError::BadValue(v) => {
+                write!(f, "derate value {v} is not a positive finite number")
+            }
         }
     }
 }
@@ -152,8 +154,10 @@ impl DeratingTable {
     /// depth as `1 + a(dist)/sqrt(depth)` — the statistical cancellation
     /// law AOCV tables encode.
     pub fn standard_late() -> Self {
-        let depths: Vec<f64> = [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0]
-            .to_vec();
+        let depths: Vec<f64> = [
+            1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0,
+        ]
+        .to_vec();
         let distances: Vec<f64> = vec![50.0, 200.0, 500.0, 1000.0, 2000.0];
         let mut values = Vec::with_capacity(depths.len() * distances.len());
         for &dist in &distances {
@@ -329,7 +333,10 @@ mod tests {
     fn bad_shape_and_values_rejected() {
         assert!(matches!(
             DeratingTable::new(vec![1.0, 2.0], vec![1.0], vec![1.1]),
-            Err(TableError::BadShape { expected: 2, got: 1 })
+            Err(TableError::BadShape {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             DeratingTable::new(vec![1.0], vec![1.0], vec![-0.5]),

@@ -264,10 +264,7 @@ table: 1.30 1.25 1.20 1.15 \
     #[test]
     fn shape_mismatch_is_rejected() {
         let src = "depth: 1 2 3\ndistance: 10 20\ntable: 1.1 1.2 1.3\n";
-        assert!(matches!(
-            parse_aocv(src),
-            Err(ParseAocvError::BadTable(_))
-        ));
+        assert!(matches!(parse_aocv(src), Err(ParseAocvError::BadTable(_))));
     }
 
     #[test]

@@ -233,7 +233,14 @@ mod tests {
     #[test]
     fn merged_slack_is_min_over_corners() {
         let mc = multi(1003, 1500.0);
-        for e in mc.corner("typical").unwrap().netlist().endpoints().into_iter().take(10) {
+        for e in mc
+            .corner("typical")
+            .unwrap()
+            .netlist()
+            .endpoints()
+            .into_iter()
+            .take(10)
+        {
             let merged = mc.merged_setup_slack(e);
             for c in ["slow", "typical", "fast"] {
                 assert!(merged <= mc.corner(c).unwrap().setup_slack(e) + 1e-9);
@@ -244,12 +251,7 @@ mod tests {
     #[test]
     fn delay_scaling_is_proportional() {
         let n = GeneratorConfig::small(1004).generate();
-        let base = Sta::new(
-            n.clone(),
-            Sdc::with_period(1500.0),
-            DerateSet::standard(),
-        )
-        .unwrap();
+        let base = Sta::new(n.clone(), Sdc::with_period(1500.0), DerateSet::standard()).unwrap();
         let scaled = Sta::new(
             n.with_scaled_delays(2.0),
             Sdc::with_period(1500.0),

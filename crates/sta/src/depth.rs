@@ -201,12 +201,7 @@ mod tests {
             .add_gate("u6", "BUF_X1", Point::new(50.0, 15.0), &[prev])
             .unwrap();
         let u7 = b
-            .add_gate(
-                "u7",
-                "BUF_X1",
-                Point::new(55.0, 15.0),
-                &[b.cell_output(u6)],
-            )
+            .add_gate("u7", "BUF_X1", Point::new(55.0, 15.0), &[b.cell_output(u6)])
             .unwrap();
         let ff4 = b
             .add_flip_flop("ff4", "DFF_X1", Point::new(60.0, 15.0), clk)

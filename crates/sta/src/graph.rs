@@ -54,8 +54,7 @@ impl TimingGraph {
             let Some(driver) = net.driver else { continue };
             let from_loc = netlist.cell(driver).loc;
             for &(sink, pin) in &net.sinks {
-                let wire_delay =
-                    netlist.wire_delay(from_loc.manhattan(netlist.cell(sink).loc));
+                let wire_delay = netlist.wire_delay(from_loc.manhattan(netlist.cell(sink).loc));
                 fanins[sink.index()].push(FaninEdge {
                     from: driver,
                     pin,
@@ -162,9 +161,7 @@ impl TimingGraph {
     /// The clock fanin of a flip-flop (its `CK` edge), if present.
     pub fn clock_fanin(&self, netlist: &Netlist, ff: CellId) -> Option<&FaninEdge> {
         debug_assert_eq!(netlist.cell(ff).role, CellRole::Sequential);
-        self.fanins(ff)
-            .iter()
-            .find(|e| e.pin == PinIndex::FF_CK)
+        self.fanins(ff).iter().find(|e| e.pin == PinIndex::FF_CK)
     }
 }
 
@@ -213,10 +210,7 @@ mod tests {
         let marked = (0..n.num_cells())
             .filter(|&i| g.in_clock_network(CellId::new(i)))
             .count();
-        let expect = n
-            .cells()
-            .filter(|(_, c)| c.role.is_clock_network())
-            .count();
+        let expect = n.cells().filter(|(_, c)| c.role.is_clock_network()).count();
         assert_eq!(marked, expect);
         assert!(marked > 0);
     }

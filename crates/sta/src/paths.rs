@@ -118,8 +118,7 @@ pub fn worst_paths_to_endpoint(sta: &Sta, endpoint: CellId, k: usize) -> Vec<Pat
                 });
             }
             CellRole::Combinational => {
-                let contribution =
-                    sta.gate_delay(state.cell) * sta.effective_derate(state.cell);
+                let contribution = sta.gate_delay(state.cell) * sta.effective_derate(state.cell);
                 for e in graph.data_fanins(netlist, state.cell) {
                     let suffix_delay = state.suffix_delay + contribution + e.wire_delay;
                     let bound = sta.arrival_late(e.from) + suffix_delay;
@@ -235,10 +234,7 @@ mod tests {
         for e in sta.netlist().endpoints().into_iter().take(5) {
             for p in worst_paths_to_endpoint(&sta, e, 5) {
                 let start_role = sta.netlist().cell(p.startpoint()).role;
-                assert!(matches!(
-                    start_role,
-                    CellRole::Input | CellRole::Sequential
-                ));
+                assert!(matches!(start_role, CellRole::Input | CellRole::Sequential));
                 assert_eq!(*p.cells.last().unwrap(), e);
                 // Middle cells are combinational.
                 for &c in &p.cells[1..p.cells.len() - 1] {

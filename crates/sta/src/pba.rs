@@ -65,8 +65,7 @@ fn launch_arrival_gba(sta: &Sta, launch: CellId) -> f64 {
 fn launch_arrival_pba(sta: &Sta, launch: CellId) -> f64 {
     match sta.netlist().cell(launch).role {
         CellRole::Sequential => {
-            sta.clock_arrival_late(launch)
-                + sta.gate_delay(launch) * sta.derates().clock_late
+            sta.clock_arrival_late(launch) + sta.gate_delay(launch) * sta.derates().clock_late
         }
         CellRole::Input => sta.arrival_late(launch),
         _ => panic!("paths launch from flip-flops or input ports"),
@@ -103,10 +102,7 @@ fn path_coordinates(sta: &Sta, path: &Path) -> (usize, f64) {
 /// (consecutive cells must be connected).
 pub fn pba_timing(sta: &Sta, path: &Path) -> PathTiming {
     let (depth, distance) = path_coordinates(sta, path);
-    let derate = sta
-        .derates()
-        .data_late
-        .lookup(depth as f64, distance);
+    let derate = sta.derates().data_late.lookup(depth as f64, distance);
 
     let launch = path.startpoint();
     let mut arrival = launch_arrival_pba(sta, launch);
@@ -184,6 +180,8 @@ pub fn gba_path_timing(sta: &Sta, path: &Path) -> PathTiming {
 ///
 /// Panics if any path is not a well-formed path of `sta`'s netlist.
 pub fn pba_timing_batch(sta: &Sta, paths: &[Path], par: Parallelism) -> Vec<PathTiming> {
+    let _span = obs::span("pba_batch");
+    obs::counter_add("sta.pba.paths_retimed", paths.len() as u64);
     parallel::par_map(par, paths, |p| pba_timing(sta, p))
 }
 
@@ -195,6 +193,8 @@ pub fn pba_timing_batch(sta: &Sta, paths: &[Path], par: Parallelism) -> Vec<Path
 ///
 /// Panics if any path is not a well-formed path of `sta`'s netlist.
 pub fn gba_path_timing_batch(sta: &Sta, paths: &[Path], par: Parallelism) -> Vec<PathTiming> {
+    let _span = obs::span("gba_batch");
+    obs::counter_add("sta.gba.paths_retimed", paths.len() as u64);
     parallel::par_map(par, paths, |p| gba_path_timing(sta, p))
 }
 
@@ -314,8 +314,7 @@ mod tests {
         let paths = select_critical_paths(&sta, 10, usize::MAX, false);
         assert!(paths.len() > 1);
         let pba_serial: Vec<PathTiming> = paths.iter().map(|p| pba_timing(&sta, p)).collect();
-        let gba_serial: Vec<PathTiming> =
-            paths.iter().map(|p| gba_path_timing(&sta, p)).collect();
+        let gba_serial: Vec<PathTiming> = paths.iter().map(|p| gba_path_timing(&sta, p)).collect();
         for threads in [1, 2, 4] {
             let par = Parallelism::new(threads);
             assert_eq!(pba_timing_batch(&sta, &paths, par), pba_serial);
@@ -329,12 +328,7 @@ mod tests {
         // component of the GBA/PBA delay gap vanishes; remaining gap comes
         // only from slew and CRPR. Verify the gap shrinks vs. AOCV tables.
         let n = GeneratorConfig::small(77).generate();
-        let aocv = Sta::new(
-            n.clone(),
-            Sdc::with_period(1200.0),
-            DerateSet::standard(),
-        )
-        .unwrap();
+        let aocv = Sta::new(n.clone(), Sdc::with_period(1200.0), DerateSet::standard()).unwrap();
         // Flat data tables but identical clock derates, so the CRPR
         // contribution to the gap is held constant.
         let mut flat_set = DerateSet::standard();

@@ -225,8 +225,7 @@ mod tests {
 
     fn engine() -> Sta {
         let n = GeneratorConfig::small(501).generate();
-        let probe =
-            Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
+        let probe = Sta::new(n.clone(), Sdc::with_period(10_000.0), DerateSet::standard()).unwrap();
         let period = 10_000.0 - probe.wns() - 200.0;
         Sta::new(n, Sdc::with_period(period), DerateSet::standard()).unwrap()
     }

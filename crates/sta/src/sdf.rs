@@ -53,16 +53,12 @@ pub fn write_sdf(sta: &Sta) -> String {
         let d = sta.gate_delay(id);
         let (from_pins, to_pin): (Vec<&str>, &str) = match lib.function {
             Function::Dff => (vec!["CK"], "Q"),
-            f => (
-                (0..f.arity()).map(|i| pin_name(f, i)).collect(),
-                "Y",
-            ),
+            f => ((0..f.arity()).map(|i| pin_name(f, i)).collect(), "Y"),
         };
         let (early, late) = match cell.role {
-            CellRole::Sequential | CellRole::ClockBuffer => (
-                sta.derates().clock_early,
-                sta.effective_derate(id),
-            ),
+            CellRole::Sequential | CellRole::ClockBuffer => {
+                (sta.derates().clock_early, sta.effective_derate(id))
+            }
             _ => (
                 // Early data derate comes from the early AOCV table at
                 // the same worst-case coordinates.

@@ -5,9 +5,8 @@
 //!
 //! Run with `cargo run --release -p bench --example multi_corner`.
 
-use mgba::{run_mgba, MgbaConfig, Solver};
-use netlist::GeneratorConfig;
-use sta::{Corner, MultiCornerSta, Sdc, Sta};
+use mgba::prelude::*;
+use sta::{Corner, MultiCornerSta};
 
 fn main() -> Result<(), netlist::BuildError> {
     let design = GeneratorConfig::small(42).generate();

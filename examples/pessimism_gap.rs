@@ -10,10 +10,9 @@
 //!
 //! Run with `cargo run --release -p bench --example pessimism_gap`.
 
-use netlist::{
-    DriveStrength, Function, LibCell, Library, NetlistBuilder, Point,
-};
-use sta::{aocv::DeratingTable, DerateSet, Sdc, Sta};
+use mgba::prelude::*;
+use netlist::{DriveStrength, Function, LibCell, Library, NetlistBuilder, Point};
+use sta::aocv::DeratingTable;
 
 /// An idealized library: every gate is exactly 100 ps, no load or slew
 /// dependence, no wire delay — so the arithmetic matches the paper's.
@@ -81,7 +80,10 @@ fn main() -> Result<(), netlist::BuildError> {
     let nl = sta.netlist();
 
     println!("Fig. 2 reproduction: cell depths and derates (100 ps gates)\n");
-    println!("{:>5} {:>10} {:>8} {:>10}", "gate", "GBA depth", "derate", "delay(ps)");
+    println!(
+        "{:>5} {:>10} {:>8} {:>10}",
+        "gate", "GBA depth", "derate", "delay(ps)"
+    );
     for name in ["U1", "U2", "U3", "U4", "U5", "U6", "U7"] {
         let c = nl.find_cell(name).expect("gate exists");
         let depth = sta.depth_info().gba_depth(c).expect("on a path");
@@ -100,11 +102,17 @@ fn main() -> Result<(), netlist::BuildError> {
     let gba = sta::gba_path_timing(&sta, &path);
     let pba = sta::pba_timing(&sta, &path);
     println!("\nFF1 → FF4 data path (6 gates):");
-    println!("  d_gba = {:.0} ps   (paper: 740 ps with its gate depths)", gba.arrival);
+    println!(
+        "  d_gba = {:.0} ps   (paper: 740 ps with its gate depths)",
+        gba.arrival
+    );
     println!(
         "  d_pba = {:.0} ps = 100 ps x {:.2} x 6   (paper: 690 ps)",
         pba.arrival, pba.derate
     );
-    println!("  gap   = {:.0} ps of pure GBA pessimism", gba.arrival - pba.arrival);
+    println!(
+        "  gap   = {:.0} ps of pure GBA pessimism",
+        gba.arrival - pba.arrival
+    );
     Ok(())
 }

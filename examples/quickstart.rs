@@ -4,9 +4,8 @@
 //!
 //! Run with `cargo run --release -p bench --example quickstart`.
 
-use mgba::{run_mgba, MgbaConfig, Solver};
-use netlist::GeneratorConfig;
-use sta::{gba_path_timing, paths::worst_paths_to_endpoint, pba_timing, DerateSet, Sdc, Sta};
+use mgba::prelude::*;
+use sta::{gba_path_timing, paths::worst_paths_to_endpoint, pba_timing};
 
 fn main() -> Result<(), netlist::BuildError> {
     // 1. A synthetic placed design: 3 pipeline stages, ~250 cells.
@@ -19,7 +18,11 @@ fn main() -> Result<(), netlist::BuildError> {
     );
 
     // 2. Time it. Pick a period that leaves the worst endpoint violating.
-    let probe = Sta::new(design.clone(), Sdc::with_period(10_000.0), DerateSet::standard())?;
+    let probe = Sta::new(
+        design.clone(),
+        Sdc::with_period(10_000.0),
+        DerateSet::standard(),
+    )?;
     let period = 10_000.0 - probe.wns() - 250.0;
     let mut sta = Sta::new(design, Sdc::with_period(period), DerateSet::standard())?;
     println!(
@@ -43,8 +46,14 @@ fn main() -> Result<(), netlist::BuildError> {
         path.num_gates(),
         pba.distance
     );
-    println!("  GBA slack  {:>9.1} ps   (per-gate worst-depth derates)", gba.slack);
-    println!("  PBA slack  {:>9.1} ps   (path derate {:.4}, with CRPR)", pba.slack, pba.derate);
+    println!(
+        "  GBA slack  {:>9.1} ps   (per-gate worst-depth derates)",
+        gba.slack
+    );
+    println!(
+        "  PBA slack  {:>9.1} ps   (path derate {:.4}, with CRPR)",
+        pba.slack, pba.derate
+    );
     println!("  pessimism  {:>9.1} ps", pba.slack - gba.slack);
 
     // 4. Fit the mGBA correction and re-inspect the same path.
@@ -57,7 +66,10 @@ fn main() -> Result<(), netlist::BuildError> {
         report.solve_time.as_secs_f64() * 1e3,
         report.iterations
     );
-    println!("  mGBA slack {:>9.1} ps   (graph-based speed, path-based accuracy)", corrected.slack);
+    println!(
+        "  mGBA slack {:>9.1} ps   (graph-based speed, path-based accuracy)",
+        corrected.slack
+    );
     println!(
         "  pass ratio: GBA {:.1}% -> mGBA {:.1}%  (good = <5% or <5 ps error vs PBA)",
         report.pass_before.percent(),

@@ -6,8 +6,7 @@
 //! Run with `cargo run --release -p bench --example solver_race [D1|D2|D8]`.
 
 use bench::build_engine;
-use mgba::{FitProblem, MgbaConfig, SelectionScheme, Solver};
-use netlist::DesignSpec;
+use mgba::prelude::*;
 
 fn main() {
     let spec = match std::env::args().nth(1).as_deref() {

@@ -6,13 +6,13 @@
 //! Run with `cargo run --release -p bench --example timing_closure`.
 
 use bench::build_flow_engine;
-use mgba::{MgbaConfig, Solver};
-use netlist::DesignSpec;
-use optim::{run_flow, FlowConfig, FlowResult};
+use optim::prelude::*;
 
 fn show(tag: &str, r: &FlowResult) {
-    println!("\n[{tag}] {} passes, {} upsizes, {} buffers, {} recovery downsizes",
-        r.passes, r.counts.upsizes, r.counts.buffers, r.counts.downsizes);
+    println!(
+        "\n[{tag}] {} passes, {} upsizes, {} buffers, {} recovery downsizes",
+        r.passes, r.counts.upsizes, r.counts.buffers, r.counts.downsizes
+    );
     println!(
         "  runtime {:.0} ms (of which mGBA fitting {:.0} ms), closed = {}",
         r.elapsed.as_secs_f64() * 1e3,
@@ -21,7 +21,10 @@ fn show(tag: &str, r: &FlowResult) {
     );
     println!(
         "  area {:.0} -> {:.0} um^2, leakage {:.0} -> {:.0} nW, buffers {}",
-        r.qor_initial.area, r.qor_final.area, r.qor_initial.leakage, r.qor_final.leakage,
+        r.qor_initial.area,
+        r.qor_final.area,
+        r.qor_initial.leakage,
+        r.qor_final.leakage,
         r.qor_final.buffers
     );
     println!(

@@ -161,7 +161,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Lengths accepted by [`vec`]: a fixed size or a half-open range.
+        /// Lengths accepted by [`vec()`]: a fixed size or a half-open range.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,

@@ -37,7 +37,9 @@ fn fig2() -> Sta {
     let mut b = NetlistBuilder::new("fig2", ideal_library());
     let clk = b.add_clock_port("clk", Point::ORIGIN);
     let d = b.add_input("d", Point::ORIGIN);
-    let ff1 = b.add_flip_flop("FF1", "DFF_X1", Point::ORIGIN, clk).unwrap();
+    let ff1 = b
+        .add_flip_flop("FF1", "DFF_X1", Point::ORIGIN, clk)
+        .unwrap();
     b.connect_flip_flop_d_net(ff1, d);
     let mut prev = b.cell_output(ff1);
     for i in 1..=4 {
@@ -47,13 +49,17 @@ fn fig2() -> Sta {
         prev = b.cell_output(u);
     }
     let u5 = b.add_gate("U5", "BUF_X1", Point::ORIGIN, &[prev]).unwrap();
-    let ff3 = b.add_flip_flop("FF3", "DFF_X1", Point::ORIGIN, clk).unwrap();
+    let ff3 = b
+        .add_flip_flop("FF3", "DFF_X1", Point::ORIGIN, clk)
+        .unwrap();
     b.connect_flip_flop_d(ff3, u5).unwrap();
     let u6 = b.add_gate("U6", "BUF_X1", Point::ORIGIN, &[prev]).unwrap();
     let u7 = b
         .add_gate("U7", "BUF_X1", Point::ORIGIN, &[b.cell_output(u6)])
         .unwrap();
-    let ff4 = b.add_flip_flop("FF4", "DFF_X1", Point::ORIGIN, clk).unwrap();
+    let ff4 = b
+        .add_flip_flop("FF4", "DFF_X1", Point::ORIGIN, clk)
+        .unwrap();
     b.connect_flip_flop_d(ff4, u7).unwrap();
     for (i, ff) in [ff1, ff3, ff4].into_iter().enumerate() {
         let q = b.cell_output(ff);

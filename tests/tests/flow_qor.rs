@@ -59,8 +59,7 @@ fn mgba_flow_never_does_more_repair_work() {
             &FlowConfig::mgba(MgbaConfig::default(), Solver::ScgRs),
         );
         assert!(
-            mgba.counts.upsizes + mgba.counts.buffers
-                <= gba.counts.upsizes + gba.counts.buffers,
+            mgba.counts.upsizes + mgba.counts.buffers <= gba.counts.upsizes + gba.counts.buffers,
             "seed {seed}: mGBA repair work {} must not exceed GBA {}",
             mgba.counts.upsizes + mgba.counts.buffers,
             gba.counts.upsizes + gba.counts.buffers

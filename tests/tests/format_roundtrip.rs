@@ -42,9 +42,7 @@ fn mutated_design_still_roundtrips() {
     // Apply a structural edit (buffer insertion), then round trip.
     let (gate, _) = n
         .cells()
-        .find(|(_, c)| {
-            c.role == netlist::CellRole::Combinational && c.output.is_some()
-        })
+        .find(|(_, c)| c.role == netlist::CellRole::Combinational && c.output.is_some())
         .unwrap();
     let net = n.cell(gate).output.unwrap();
     let buf_lib = n

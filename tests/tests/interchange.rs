@@ -74,9 +74,7 @@ fn aocv_export_matches_live_tables() {
         }
     }
     // Interpolated points agree too (same grid → same bilinear surface).
-    assert!(
-        (parsed.table.lookup(5.5, 333.0) - live.lookup(5.5, 333.0)).abs() < 1e-12
-    );
+    assert!((parsed.table.lookup(5.5, 333.0) - live.lookup(5.5, 333.0)).abs() < 1e-12);
 }
 
 #[test]

@@ -45,8 +45,13 @@ fn objective_and_gradient_are_bit_identical_across_thread_counts() {
     let sta = tight_engine(2002);
     let paths = select_critical_paths(&sta, 10, 3000, false);
     let cfg = MgbaConfig::default();
-    let serial =
-        FitProblem::build_par(&sta, &paths, cfg.epsilon, cfg.penalty, Parallelism::serial());
+    let serial = FitProblem::build_par(
+        &sta,
+        &paths,
+        cfg.epsilon,
+        cfg.penalty,
+        Parallelism::serial(),
+    );
     let x: Vec<f64> = (0..serial.num_gates())
         .map(|j| -0.05 + 0.002 * (j % 17) as f64)
         .collect();
