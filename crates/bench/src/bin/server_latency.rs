@@ -1,0 +1,181 @@
+//! Records a machine-local snapshot of mgba-server throughput and
+//! per-command latency to `results/server_latency.json`.
+//!
+//! Two passes over the same workload (load → calibrate → a query/what-if
+//! mix), so the numbers separate protocol cost from transport cost:
+//!
+//! - **stream**: the in-process stdio engine (`serve_stream`) — parse +
+//!   dispatch + execute, no sockets;
+//! - **tcp**: a real localhost server with a pipelining client — adds
+//!   loopback, connection threads, and the bounded admission queue.
+//!
+//! Both passes size the queue to hold the entire pipelined script: this
+//! measures service latency, not backpressure (the rejection path has
+//! its own integration tests).
+//!
+//! Per-command p50/p99 come from the server's own `stats` command (the
+//! same log₂ histograms `--profile=json` reports), spliced verbatim
+//! into the snapshot.
+
+use server::{serve_stream, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// The steady-state query mix, `reps` rounds after one load+calibrate.
+fn workload(design: &str, reps: usize) -> String {
+    let mut script = String::new();
+    script.push_str(&format!(
+        "{{\"id\":1,\"cmd\":\"load\",\"design\":\"{design}\"}}\n"
+    ));
+    script.push_str("{\"id\":2,\"cmd\":\"calibrate\",\"solver\":\"scgrs\"}\n");
+    let mut id = 3u64;
+    for round in 0..reps {
+        for req in [
+            "\"cmd\":\"wns\"".to_owned(),
+            "\"cmd\":\"tns\"".to_owned(),
+            "\"cmd\":\"slack\",\"top\":10".to_owned(),
+            "\"cmd\":\"path\",\"pba\":true".to_owned(),
+            format!(
+                "\"cmd\":\"whatif_resize\",\"cell\":\"g_1_{}_0\",\"to\":\"up\"",
+                round % 4
+            ),
+        ] {
+            script.push_str(&format!("{{\"id\":{id},{req}}}\n"));
+            id += 1;
+        }
+    }
+    script.push_str(&format!("{{\"id\":{id},\"cmd\":\"stats\"}}\n"));
+    script
+}
+
+/// Pulls the `"commands":{...}` object out of a `stats` response line.
+fn commands_json(stats_line: &str) -> String {
+    let start = stats_line.find("\"commands\":").map(|i| i + 11);
+    let Some(start) = start else {
+        return "{}".into();
+    };
+    // The commands object runs to the closing brace of the result
+    // object: strip the trailing `}}` of `"result":{...}}`.
+    let tail = &stats_line[start..];
+    let end = tail.len().saturating_sub(2);
+    tail[..end].to_owned()
+}
+
+struct Pass {
+    transport: &'static str,
+    requests: usize,
+    elapsed_ms: f64,
+    commands: String,
+}
+
+impl Pass {
+    fn throughput_rps(&self) -> f64 {
+        if self.elapsed_ms > 0.0 {
+            self.requests as f64 / (self.elapsed_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A queue deep enough that the fully-pipelined script is admitted
+/// without overload rejections.
+fn bench_config(script: &str) -> ServerConfig {
+    ServerConfig {
+        queue_depth: script.lines().count() + 1,
+        default_deadline_ms: None,
+    }
+}
+
+fn run_stream(script: &str) -> Pass {
+    let requests = script.lines().count();
+    let t = Instant::now();
+    let out = serve_stream(&bench_config(script), script.as_bytes(), Vec::<u8>::new())
+        .expect("stream pass");
+    let elapsed_ms = 1e3 * t.elapsed().as_secs_f64();
+    let text = String::from_utf8(out).expect("utf8 responses");
+    let stats_line = text.lines().last().expect("stats response");
+    Pass {
+        transport: "stream",
+        requests,
+        elapsed_ms,
+        commands: commands_json(stats_line),
+    }
+}
+
+fn run_tcp(script: &str) -> Pass {
+    let srv = Server::bind("127.0.0.1:0", bench_config(script)).expect("bind");
+    let addr = srv.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || srv.run().expect("run"));
+    let requests = script.lines().count();
+
+    let t = Instant::now();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    w.write_all(script.as_bytes()).expect("send");
+    w.flush().expect("flush");
+    let responses: Vec<String> = BufReader::new(stream)
+        .lines()
+        .take(requests)
+        .map(|l| l.expect("response"))
+        .collect();
+    let elapsed_ms = 1e3 * t.elapsed().as_secs_f64();
+
+    let stats_line = responses.last().expect("stats response").clone();
+    let bye = TcpStream::connect(addr).expect("connect for shutdown");
+    let mut bw = bye.try_clone().expect("clone");
+    writeln!(bw, "{{\"cmd\":\"shutdown\"}}").expect("send shutdown");
+    bw.flush().expect("flush shutdown");
+    let _ = BufReader::new(bye).lines().next();
+    handle.join().expect("clean server exit");
+
+    Pass {
+        transport: "tcp",
+        requests,
+        elapsed_ms,
+        commands: commands_json(&stats_line),
+    }
+}
+
+fn main() {
+    let design = "small:5";
+    let reps = 40;
+    let script = workload(design, reps);
+    eprintln!(
+        "server latency: {} requests over {design}, stream + tcp passes",
+        script.lines().count()
+    );
+
+    let passes = [run_stream(&script), run_tcp(&script)];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"design\": \"{design}\",\n"));
+    json.push_str(&format!("  \"query_rounds\": {reps},\n"));
+    json.push_str("  \"passes\": [\n");
+    for (i, p) in passes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"requests\": {}, \"elapsed_ms\": {:.3}, \
+             \"throughput_rps\": {:.1}, \"commands\": {}}}{}\n",
+            p.transport,
+            p.requests,
+            p.elapsed_ms,
+            p.throughput_rps(),
+            p.commands,
+            if i + 1 < passes.len() { "," } else { "" }
+        ));
+        println!(
+            "{:<8} {:>5} requests in {:>8.2} ms  ({:>8.1} req/s)",
+            p.transport,
+            p.requests,
+            p.elapsed_ms,
+            p.throughput_rps()
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/server_latency.json", &json).expect("write snapshot");
+    eprintln!("wrote results/server_latency.json");
+}

@@ -10,6 +10,8 @@
 //! mgba-sta holdfix   <FILE> --period PS [--guard PS]
 //! mgba-sta corners   <FILE> --period PS
 //! mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
+//! mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
+//! mgba-sta query     --connect ADDR [REQUEST...]
 //! ```
 //!
 //! Every subcommand additionally accepts the global options:
@@ -72,6 +74,8 @@ usage:
   mgba-sta holdfix   <FILE> --period PS [--guard PS]
   mgba-sta corners   <FILE> --period PS
   mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
+  mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
+  mgba-sta query     --connect ADDR [REQUEST...]   (reads stdin when no REQUEST)
 
 global options:
   --threads N       worker threads for PBA retiming / fitting kernels
@@ -122,6 +126,8 @@ fn run(argv: &[String]) -> Result<(), MgbaError> {
             "holdfix" => cmd_holdfix(&mut args),
             "corners" => cmd_corners(&mut args),
             "sdf" => cmd_sdf(&mut args),
+            "serve" => cmd_serve(&mut args),
+            "query" => cmd_query(&mut args),
             other => Err(MgbaError::Usage(format!("unknown command `{other}`"))),
         }
     };
@@ -148,76 +154,6 @@ fn write_profile(command: &str, format: ProfileFormat) -> Result<(), MgbaError> 
         }
     }
     Ok(())
-}
-
-fn parse_design(spec: &str) -> Result<Netlist, MgbaError> {
-    if let Some(seed) = spec.strip_prefix("small:") {
-        let seed: u64 = seed
-            .parse()
-            .map_err(|_| MgbaError::Usage(format!("bad seed in `{spec}`")))?;
-        return Ok(GeneratorConfig::small(seed).generate());
-    }
-    DesignSpec::all()
-        .into_iter()
-        .find(|d| d.to_string() == spec)
-        .map(DesignSpec::generate)
-        .ok_or_else(|| {
-            MgbaError::Usage(format!(
-                "unknown design `{spec}` (want D1..D10 or small:SEED)"
-            ))
-        })
-}
-
-fn load_netlist(path: &str) -> Result<Netlist, MgbaError> {
-    let _span = obs::span("load");
-    let text = std::fs::read_to_string(path).map_err(|e| MgbaError::io(path, e))?;
-    if text.trim_start().starts_with("module") {
-        Ok(netlist::parse_verilog(&text)?)
-    } else {
-        Ok(netlist::parse_netlist(&text)?)
-    }
-}
-
-/// Accepts either a generator spec (`D3`, `small:7`) or a netlist file.
-fn load_design_or_file(spec: &str) -> Result<Netlist, MgbaError> {
-    let looks_like_spec =
-        spec.starts_with("small:") || DesignSpec::all().iter().any(|d| d.to_string() == spec);
-    if looks_like_spec {
-        let _span = obs::span("load");
-        parse_design(spec)
-    } else {
-        load_netlist(spec)
-    }
-}
-
-fn build_engine(netlist: Netlist, period: f64) -> Result<Sta, MgbaError> {
-    let _span = obs::span("sta_build");
-    Ok(Sta::new(
-        netlist,
-        Sdc::with_period(period),
-        DerateSet::standard(),
-    )?)
-}
-
-/// Picks a clock period that leaves the design with moderate setup
-/// violations (so a calibration fit has paths to work with): probe WNS at
-/// a relaxed period — slack shifts 1:1 with the period — then tighten by
-/// a tenth of the worst data arrival.
-fn auto_period(netlist: &Netlist) -> Result<f64, MgbaError> {
-    let _span = obs::span("probe_period");
-    const RELAXED: f64 = 10_000.0;
-    let probe = Sta::new(
-        netlist.clone(),
-        Sdc::with_period(RELAXED),
-        DerateSet::standard(),
-    )?;
-    let max_arrival = netlist
-        .endpoints()
-        .iter()
-        .map(|&e| probe.endpoint_arrival(e))
-        .filter(|a| a.is_finite())
-        .fold(0.0, f64::max);
-    Ok(RELAXED - probe.wns() - 0.10 * max_arrival)
 }
 
 fn cmd_generate(args: &mut Args) -> Result<(), MgbaError> {
@@ -249,7 +185,7 @@ fn cmd_generate(args: &mut Args) -> Result<(), MgbaError> {
 fn cmd_stats(args: &mut Args) -> Result<(), MgbaError> {
     let file = args.positional("netlist file")?;
     args.finish()?;
-    let netlist = load_netlist(&file)?;
+    let netlist = load_netlist_file(&file)?;
     emit(&netlist::DesignStats::collect(&netlist).to_string())?;
     Ok(())
 }
@@ -262,7 +198,7 @@ fn cmd_holdfix(args: &mut Args) -> Result<(), MgbaError> {
             .map_err(|_| MgbaError::Usage(format!("bad --guard `{g}`")))
     })?;
     args.finish()?;
-    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    let mut sta = build_engine(load_netlist_file(&file)?, period)?;
     let report = optim::fix_hold_violations(&mut sta, guard);
     println!(
         "hold violations {} -> {}, {} pad buffers inserted, {} skipped for setup",
@@ -278,7 +214,7 @@ fn cmd_corners(args: &mut Args) -> Result<(), MgbaError> {
     let file = args.positional("netlist file")?;
     let period: f64 = args.required_option("--period")?;
     args.finish()?;
-    let netlist = load_netlist(&file)?;
+    let netlist = load_netlist_file(&file)?;
     let mc = sta::MultiCornerSta::new(
         &netlist,
         &Sdc::with_period(period),
@@ -294,7 +230,7 @@ fn cmd_sdf(args: &mut Args) -> Result<(), MgbaError> {
     let fit = args.flag("--fit");
     let out = args.option("--out")?;
     args.finish()?;
-    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    let mut sta = build_engine(load_netlist_file(&file)?, period)?;
     if fit {
         let _ = run_mgba(&mut sta, &MgbaConfig::default(), Solver::ScgRs);
     }
@@ -315,7 +251,7 @@ fn cmd_report(args: &mut Args) -> Result<(), MgbaError> {
     })?;
     let weights_file = args.option("--weights")?;
     args.finish()?;
-    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    let mut sta = build_engine(load_netlist_file(&file)?, period)?;
     if let Some(path) = weights_file {
         let text = std::fs::read_to_string(&path).map_err(|e| MgbaError::io(&path, e))?;
         let pairs = parse_weights(&text)?;
@@ -376,7 +312,7 @@ fn cmd_fit(args: &mut Args) -> Result<(), MgbaError> {
     let solver = parse_solver(&args.option("--solver")?.unwrap_or_else(|| "scgrs".into()))?;
     let out = args.option("--out")?;
     args.finish()?;
-    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    let mut sta = build_engine(load_netlist_file(&file)?, period)?;
     let report = run_mgba(&mut sta, &MgbaConfig::default(), solver);
     if let Some(path) = &out {
         let text = write_weights(sta.netlist(), &report.weights);
@@ -431,7 +367,7 @@ fn cmd_flow(args: &mut Args) -> Result<(), MgbaError> {
     let period: f64 = args.required_option("--period")?;
     let timer = args.option("--timer")?.unwrap_or_else(|| "gba".into());
     args.finish()?;
-    let mut sta = build_engine(load_netlist(&file)?, period)?;
+    let mut sta = build_engine(load_netlist_file(&file)?, period)?;
     let cfg = match timer.as_str() {
         "gba" => FlowConfig::gba(),
         "mgba" => FlowConfig::mgba(MgbaConfig::default(), Solver::ScgRs),
@@ -461,5 +397,95 @@ fn cmd_flow(args: &mut Args) -> Result<(), MgbaError> {
         "  signoff PBA: WNS {:.1} ps, TNS {:.1} ps, {} violating endpoints",
         r.qor_final_pba.wns, r.qor_final_pba.tns, r.qor_final_pba.violating_endpoints
     );
+    Ok(())
+}
+
+/// Runs the JSON-lines timing-query daemon (see `DESIGN.md` §9 for the
+/// protocol). With `--listen` the server accepts TCP connections until a
+/// `shutdown` request drains the queue; with `--stdio` it serves one
+/// request stream on stdin/stdout and exits on EOF or `shutdown` —
+/// ideal for pipelines and smoke tests.
+fn cmd_serve(args: &mut Args) -> Result<(), MgbaError> {
+    let stdio = args.flag("--stdio");
+    let listen = args.option("--listen")?;
+    let queue_depth: usize = args.option("--queue")?.map_or(Ok(64), |q| {
+        q.parse()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| MgbaError::Usage(format!("bad --queue `{q}` (want a positive integer)")))
+    })?;
+    let default_deadline_ms: Option<u64> = match args.option("--deadline-ms")? {
+        Some(d) => Some(
+            d.parse()
+                .map_err(|_| MgbaError::Usage(format!("bad --deadline-ms `{d}`")))?,
+        ),
+        None => None,
+    };
+    args.finish()?;
+    let config = server::ServerConfig {
+        queue_depth,
+        default_deadline_ms,
+    };
+    if stdio {
+        if listen.is_some() {
+            return Err(MgbaError::Usage(
+                "--stdio and --listen are mutually exclusive".into(),
+            ));
+        }
+        return server::serve_stdio(&config);
+    }
+    let addr = listen.unwrap_or_else(|| "127.0.0.1:7878".into());
+    let srv = server::Server::bind(&addr, config)?;
+    eprintln!("mgba-server listening on {}", srv.local_addr()?);
+    srv.run()
+}
+
+/// Batch client for a running `serve` daemon: sends each REQUEST line
+/// (or, with none given, every non-blank stdin line), then prints the
+/// servers responses in order, one JSON object per line.
+fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
+    use std::io::{BufRead as _, BufReader, BufWriter};
+
+    let connect: String = args.required_option("--connect")?;
+    let mut requests = Vec::new();
+    while let Ok(r) = args.positional("request") {
+        requests.push(r);
+    }
+    args.finish()?;
+    if requests.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| MgbaError::io("<stdin>", e))?;
+            if !line.trim().is_empty() {
+                requests.push(line);
+            }
+        }
+    }
+    let stream = std::net::TcpStream::connect(&connect).map_err(|e| MgbaError::io(&connect, e))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| MgbaError::io(&connect, e))?);
+    let reader = BufReader::new(stream);
+    for request in &requests {
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| MgbaError::io(&connect, e))?;
+    }
+    writer.flush().map_err(|e| MgbaError::io(&connect, e))?;
+    // The protocol answers every request line with exactly one response
+    // line, so read back precisely as many as were sent.
+    let mut lines = reader.lines();
+    for _ in 0..requests.len() {
+        match lines.next() {
+            Some(Ok(response)) => {
+                emit(&response)?;
+                emit("\n")?;
+            }
+            Some(Err(e)) => return Err(MgbaError::io(&connect, e)),
+            None => {
+                return Err(MgbaError::Usage(
+                    "server closed the connection before answering".into(),
+                ))
+            }
+        }
+    }
     Ok(())
 }

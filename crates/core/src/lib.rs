@@ -40,6 +40,7 @@
 
 pub mod config;
 pub mod error;
+pub mod load;
 pub mod metrics;
 pub mod problem;
 pub mod select;
@@ -48,11 +49,15 @@ pub mod weights_io;
 
 pub use config::{MgbaConfig, MgbaConfigBuilder};
 pub use error::{MgbaError, ParseError};
+pub use load::{auto_period, build_engine, load_design_or_file, load_netlist_file, parse_design};
 pub use metrics::{PassRatio, PASS_ABS_TOL, PASS_REL_TOL};
 pub use problem::FitProblem;
 pub use select::{select_paths, Selection, SelectionScheme};
 pub use solver::{SolveResult, Solver};
-pub use weights_io::{apply_weights, parse_weights, write_weights, WeightsError};
+pub use weights_io::{
+    apply_weights, parse_weights, read_weights_file, write_weights, write_weights_file,
+    WeightsError,
+};
 
 /// One-import facade for the select → fit → solve → fold-back pipeline.
 ///
@@ -64,11 +69,16 @@ pub use weights_io::{apply_weights, parse_weights, write_weights, WeightsError};
 pub mod prelude {
     pub use crate::config::{MgbaConfig, MgbaConfigBuilder};
     pub use crate::error::{MgbaError, ParseError};
+    pub use crate::load::{
+        auto_period, build_engine, load_design_or_file, load_netlist_file, parse_design,
+    };
     pub use crate::metrics::PassRatio;
     pub use crate::problem::FitProblem;
     pub use crate::select::{select_paths, Selection, SelectionScheme};
     pub use crate::solver::{SolveResult, Solver};
-    pub use crate::weights_io::{parse_weights, write_weights};
+    pub use crate::weights_io::{
+        parse_weights, read_weights_file, write_weights, write_weights_file,
+    };
     pub use crate::{run_mgba, MgbaReport};
     pub use netlist::{DesignSpec, GeneratorConfig, Netlist};
     pub use sta::{DerateSet, Sdc, Sta};

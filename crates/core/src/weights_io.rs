@@ -16,9 +16,11 @@
 //! Zero weights are omitted (the x* sparsity of Fig. 3 keeps these files
 //! small).
 
+use crate::error::MgbaError;
 use netlist::Netlist;
 use std::error::Error;
 use std::fmt;
+use std::path::Path;
 
 /// Errors from [`parse_weights`] / [`apply_weights`].
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +106,37 @@ pub fn apply_weights(netlist: &Netlist, pairs: &[(String, f64)]) -> Result<Vec<f
     Ok(weights)
 }
 
+/// Writes the weights sidecar for `netlist` to `path`.
+///
+/// # Errors
+///
+/// Returns [`MgbaError::Io`] when the file cannot be written.
+pub fn write_weights_file(
+    path: impl AsRef<Path>,
+    netlist: &Netlist,
+    weights: &[f64],
+) -> Result<(), MgbaError> {
+    let path = path.as_ref();
+    std::fs::write(path, write_weights(netlist, weights)).map_err(|e| MgbaError::io(path, e))
+}
+
+/// Reads a weights sidecar from `path` and resolves it against `netlist`
+/// into a dense per-cell vector.
+///
+/// This is the daemon-safe loading path: a missing file surfaces as
+/// [`MgbaError::Io`] and a malformed or mismatched file as
+/// [`MgbaError::Parse`] — never a panic.
+///
+/// # Errors
+///
+/// Returns [`MgbaError::Io`] or [`MgbaError::Parse`] as above.
+pub fn read_weights_file(path: impl AsRef<Path>, netlist: &Netlist) -> Result<Vec<f64>, MgbaError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| MgbaError::io(path, e))?;
+    let pairs = parse_weights(&text)?;
+    Ok(apply_weights(netlist, &pairs)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +151,53 @@ mod tests {
         let mut sta = Sta::new(n, Sdc::with_period(period), DerateSet::standard()).unwrap();
         let report = run_mgba(&mut sta, &MgbaConfig::default(), Solver::Cgnr);
         (sta, report.weights)
+    }
+
+    #[test]
+    fn file_round_trip_is_bit_identical() {
+        let dir = std::env::temp_dir().join("mgba_weights_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.weights");
+        let (sta, weights) = fitted_engine();
+        write_weights_file(&path, sta.netlist(), &weights).unwrap();
+        let restored = read_weights_file(&path, sta.netlist()).unwrap();
+        // Bit-identical, not approximately equal: the sidecar must
+        // reproduce the fitted engine exactly on warm restart.
+        assert_eq!(weights.len(), restored.len());
+        for (a, b) in weights.iter().zip(&restored) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A second write of the restored vector is byte-identical too.
+        let path2 = dir.join("w2.weights");
+        write_weights_file(&path2, sta.netlist(), &restored).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            std::fs::read_to_string(&path2).unwrap()
+        );
+    }
+
+    #[test]
+    fn missing_weights_file_is_io_error() {
+        let (sta, _) = fitted_engine();
+        let err = read_weights_file("/nonexistent/x.weights", sta.netlist()).unwrap_err();
+        assert!(matches!(err, MgbaError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn malformed_weights_file_is_parse_error_not_panic() {
+        let dir = std::env::temp_dir().join("mgba_weights_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (sta, _) = fitted_engine();
+        for (name, content) in [
+            ("nopair.weights", "just_a_name\n"),
+            ("badnum.weights", "g_0_0_0 not_a_number\n"),
+            ("ghost.weights", "no_such_cell -0.5\n"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            let err = read_weights_file(&path, sta.netlist()).unwrap_err();
+            assert!(matches!(err, MgbaError::Parse(_)), "{name}: {err}");
+        }
     }
 
     #[test]

@@ -185,13 +185,17 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
                 let role_tok = toks
                     .next()
                     .ok_or_else(|| malformed(lineno, "missing role"))?;
+                // Non-finite coordinates would silently poison every
+                // downstream wire length and slack, so reject them here.
                 let x: f64 = toks
                     .next()
                     .and_then(|t| t.parse().ok())
+                    .filter(|v: &f64| v.is_finite())
                     .ok_or_else(|| malformed(lineno, "bad x coordinate"))?;
                 let y: f64 = toks
                     .next()
                     .and_then(|t| t.parse().ok())
+                    .filter(|v: &f64| v.is_finite())
                     .ok_or_else(|| malformed(lineno, "bad y coordinate"))?;
                 let lib_cell = library.find(lib_name).ok_or_else(|| {
                     malformed(lineno, &format!("unknown library cell `{lib_name}`"))
@@ -310,6 +314,18 @@ mod tests {
     fn rejects_malformed_cell_line() {
         let err = parse_netlist("design x\nlibrary std45\ncell only_name\nend\n").unwrap_err();
         assert!(matches!(err, ParseNetlistError::Malformed { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_non_finite_coordinates() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!("design x\nlibrary std45\ncell a INV_X1 comb {bad} 0\nend\n");
+            let err = parse_netlist(&text).unwrap_err();
+            assert!(
+                matches!(err, ParseNetlistError::Malformed { line: 3, .. }),
+                "{bad}: {err}"
+            );
+        }
     }
 
     #[test]

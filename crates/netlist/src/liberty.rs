@@ -100,10 +100,14 @@ impl Group {
     fn attr_f64(&self, key: &str) -> Result<Option<f64>, ParseLibertyError> {
         match self.attr(key) {
             None => Ok(None),
+            // Reject non-finite values: an unbounded attribute (e.g.
+            // max_load) is expressed by omitting it, never by `inf`.
             Some(v) => v
                 .parse()
+                .ok()
+                .filter(|x: &f64| x.is_finite())
                 .map(Some)
-                .map_err(|_| ParseLibertyError::BadValue {
+                .ok_or_else(|| ParseLibertyError::BadValue {
                     attribute: key.to_owned(),
                     value: v.to_owned(),
                 }),
@@ -569,6 +573,21 @@ mod tests {
             assert_eq!(p.setup, cell.setup);
             assert_eq!(p.hold, cell.hold);
             assert_eq!(p.area, cell.area);
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_attribute_values() {
+        for bad in ["nan", "inf", "-inf"] {
+            let src = format!(
+                "library (mini) {{\n  cell (INV_X1) {{\n    function : inv;\n    \
+                 drive_strength : X1;\n    area : {bad};\n  }}\n}}\n"
+            );
+            let err = parse_liberty(&src).unwrap_err();
+            assert!(
+                matches!(err, ParseLibertyError::BadValue { .. }),
+                "{bad}: {err}"
+            );
         }
     }
 

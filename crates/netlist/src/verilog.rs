@@ -315,12 +315,24 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, ParseVerilogError> {
                 let (x, y) = s
                     .split_once(',')
                     .ok_or_else(|| ParseVerilogError::Syntax(format!("bad loc `{s}`")))?;
-                let x: f64 = x.trim().parse().map_err(|_| {
-                    ParseVerilogError::Syntax(format!("bad x coordinate in loc `{s}`"))
-                })?;
-                let y: f64 = y.trim().parse().map_err(|_| {
-                    ParseVerilogError::Syntax(format!("bad y coordinate in loc `{s}`"))
-                })?;
+                // Reject non-finite coordinates: NaN/inf placements
+                // would poison wire lengths and every derived slack.
+                let x: f64 = x
+                    .trim()
+                    .parse()
+                    .ok()
+                    .filter(|v: &f64| v.is_finite())
+                    .ok_or_else(|| {
+                        ParseVerilogError::Syntax(format!("bad x coordinate in loc `{s}`"))
+                    })?;
+                let y: f64 = y
+                    .trim()
+                    .parse()
+                    .ok()
+                    .filter(|v: &f64| v.is_finite())
+                    .ok_or_else(|| {
+                        ParseVerilogError::Syntax(format!("bad y coordinate in loc `{s}`"))
+                    })?;
                 pending_loc = Point::new(x, y);
             }
             Some(Tok::Ident(kw)) if kw == "input" => {
@@ -674,6 +686,15 @@ module sample (clk, d0, y);
   DFF_X1 ff1 (.D(n2), .CK(clk), .Q(y));
 endmodule
 "#;
+
+    #[test]
+    fn rejects_non_finite_loc() {
+        for bad in ["NaN,0", "10,inf", "-inf,3"] {
+            let text = SAMPLE.replace("10,0", bad);
+            let err = parse_verilog(&text).unwrap_err();
+            assert!(err.to_string().contains("coordinate"), "{bad}: {err}");
+        }
+    }
 
     #[test]
     fn parses_sample_module() {

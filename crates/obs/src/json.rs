@@ -1,17 +1,29 @@
 //! Hand-rolled JSON emission (the crate is deliberately dependency-free;
 //! the workspace's serde shim is not pulled in here).
+//!
+//! [`JsonWriter`] is public because other dependency-free layers (most
+//! notably the `server` crate's request/response protocol) emit the same
+//! dialect: shortest-round-trip floats, non-finite numbers as `null`,
+//! and full control-character escaping.
 
 /// Minimal JSON string builder. The caller drives structure; the
 /// builder handles commas, escaping, and number validity.
-pub(crate) struct JsonWriter {
+pub struct JsonWriter {
     out: String,
     /// Whether the current container already has an element (one flag
     /// per open container).
     first: Vec<bool>,
 }
 
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl JsonWriter {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
         Self {
             out: String::new(),
             first: vec![true],
@@ -28,30 +40,34 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn begin_obj(&mut self) {
+    /// Opens an object (`{`).
+    pub fn begin_obj(&mut self) {
         self.sep();
         self.out.push('{');
         self.first.push(true);
     }
 
-    pub(crate) fn end_obj(&mut self) {
+    /// Closes the innermost object (`}`).
+    pub fn end_obj(&mut self) {
         self.out.push('}');
         self.first.pop();
     }
 
-    pub(crate) fn begin_arr(&mut self) {
+    /// Opens an array (`[`).
+    pub fn begin_arr(&mut self) {
         self.sep();
         self.out.push('[');
         self.first.push(true);
     }
 
-    pub(crate) fn end_arr(&mut self) {
+    /// Closes the innermost array (`]`).
+    pub fn end_arr(&mut self) {
         self.out.push(']');
         self.first.pop();
     }
 
     /// Writes `"key":` (must be inside an object, before a value call).
-    pub(crate) fn key(&mut self, k: &str) {
+    pub fn key(&mut self, k: &str) {
         self.sep();
         self.out.push('"');
         escape_into(k, &mut self.out);
@@ -62,31 +78,35 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn str(&mut self, v: &str) {
+    /// Writes a string value.
+    pub fn str(&mut self, v: &str) {
         self.sep();
         self.out.push('"');
         escape_into(v, &mut self.out);
         self.out.push('"');
     }
 
-    pub(crate) fn u64(&mut self, v: u64) {
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
         self.sep();
         self.out.push_str(&v.to_string());
     }
 
-    pub(crate) fn bool(&mut self, v: bool) {
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
         self.sep();
         self.out.push_str(if v { "true" } else { "false" });
     }
 
-    pub(crate) fn null(&mut self) {
+    /// Writes a `null` value.
+    pub fn null(&mut self) {
         self.sep();
         self.out.push_str("null");
     }
 
     /// Finite floats as shortest round-trip decimals; non-finite as
     /// `null` (JSON has no NaN/Infinity).
-    pub(crate) fn f64(&mut self, v: f64) {
+    pub fn f64(&mut self, v: f64) {
         if !v.is_finite() {
             self.null();
             return;
@@ -96,14 +116,23 @@ impl JsonWriter {
     }
 
     /// Optional float: `null` when absent or non-finite.
-    pub(crate) fn opt_f64(&mut self, v: Option<f64>) {
+    pub fn opt_f64(&mut self, v: Option<f64>) {
         match v {
             Some(x) => self.f64(x),
             None => self.null(),
         }
     }
 
-    pub(crate) fn finish(self) -> String {
+    /// Splices pre-rendered JSON in as one value. The caller guarantees
+    /// `json` is a single well-formed JSON value; the writer only
+    /// handles the surrounding separator.
+    pub fn raw(&mut self, json: &str) {
+        self.sep();
+        self.out.push_str(json);
+    }
+
+    /// Consumes the writer and returns the rendered document.
+    pub fn finish(self) -> String {
         self.out
     }
 }
@@ -168,5 +197,17 @@ mod tests {
         w.f64(-3.0);
         w.end_arr();
         assert_eq!(w.finish(), "[0.02,1e-5,-3.0]");
+    }
+
+    #[test]
+    fn raw_splices_with_separators() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("a");
+        w.raw("{\"x\":1}");
+        w.key("b");
+        w.u64(2);
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"a":{"x":1},"b":2}"#);
     }
 }

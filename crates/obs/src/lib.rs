@@ -53,12 +53,11 @@
 //! obs::reset();
 //! ```
 
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
 pub mod telemetry;
-
-mod json;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

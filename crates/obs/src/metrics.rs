@@ -143,6 +143,31 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSnapshot>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets:
+    /// the upper bound of the first bucket whose cumulative count reaches
+    /// `q · count`, clamped to the observed `[min, max]` range. Returns
+    /// `None` for an empty histogram.
+    ///
+    /// The estimate is bucket-resolution coarse (a factor-of-two bound),
+    /// which is exactly what latency reporting needs: p50/p99 within one
+    /// power of two, with the true extremes preserved by the clamp.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(le, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return Some(le.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
 impl MetricsSnapshot {
     /// Looks up a counter by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -254,6 +279,29 @@ mod tests {
         assert_eq!(s.counter("mixed"), Some(1));
         assert_eq!(s.gauge("mixed"), None);
         assert!(s.histogram("mixed").is_none());
+    }
+
+    #[test]
+    fn quantiles_track_bucket_bounds() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        // 99 fast observations and one slow outlier: p50 stays in the
+        // fast band, p99 reaches the outlier's bucket.
+        for _ in 0..99 {
+            observe("q", 10.0);
+        }
+        observe("q", 5000.0);
+        crate::set_enabled(false);
+        let s = snapshot();
+        let h = s.histogram("q").unwrap();
+        let p50 = h.quantile(0.50).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((10.0..=16.0).contains(&p50), "p50 = {p50}");
+        assert!(p50 <= p99);
+        assert!((10.0..=5000.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), Some(5000.0));
+        // Empty histogram has no quantiles.
+        assert!(s.histogram("absent").is_none());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   "metrics": {
 //!     "counters":   {"name": u64, ...},
 //!     "gauges":     {"name": f64, ...},
-//!     "histograms": {"name": {"count","sum","min","max",
+//!     "histograms": {"name": {"count","sum","min","max","p50","p99",
 //!                             "buckets":[{"le": f64, "count": u64}]}, ...}
 //!   },
 //!   "solves": [{"solver","converged","iterations_total","rows_touched",
@@ -100,6 +100,10 @@ impl ProfileReport {
             w.f64(h.min);
             w.key("max");
             w.f64(h.max);
+            w.key("p50");
+            w.opt_f64(h.quantile(0.50));
+            w.key("p99");
+            w.opt_f64(h.quantile(0.99));
             w.key("buckets");
             w.begin_arr();
             for (le, count) in &h.buckets {
@@ -206,11 +210,13 @@ impl ProfileReport {
                 };
                 let _ = writeln!(
                     out,
-                    "  {} : n={} mean={:.4} min={:.4} max={:.4} ({} buckets)",
+                    "  {} : n={} mean={:.4} min={:.4} p50~{:.4} p99~{:.4} max={:.4} ({} buckets)",
                     h.name,
                     h.count,
                     mean,
                     h.min,
+                    h.quantile(0.50).unwrap_or(0.0),
+                    h.quantile(0.99).unwrap_or(0.0),
                     h.max,
                     h.buckets.len()
                 );

@@ -1,0 +1,33 @@
+//! mgba-server: a long-running timing-query daemon.
+//!
+//! Loading a netlist, building the STA graph, and fitting mGBA weights
+//! are the expensive steps of the paper's flow; a batch CLI pays them on
+//! every invocation. This crate keeps a calibrated [`session::Session`]
+//! resident and serves cheap queries (`slack`, `wns`, `tns`, `path`) and
+//! incremental what-if experiments (`whatif_resize`) against it over a
+//! JSON-lines protocol — std::net TCP or stdio, no external
+//! dependencies.
+//!
+//! Layout:
+//!
+//! - [`json`] — strict JSON parser for request lines (emission reuses
+//!   [`obs::json::JsonWriter`]).
+//! - [`proto`] — request/command grammar and response envelopes; all
+//!   failures route through [`mgba::MgbaError`].
+//! - [`session`] — the resident design + engine + weights, and every
+//!   command handler.
+//! - [`server`] — bounded-queue admission, single-worker execution,
+//!   deadlines, graceful drain, TCP/stdio front-ends.
+//! - [`stats`] — always-on per-command latency histograms behind the
+//!   `stats` command.
+//!
+//! Protocol reference lives in `DESIGN.md` §9; CLI usage in `README.md`.
+
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use server::{serve_stdio, serve_stream, Server, ServerConfig};
+pub use session::{ServerInfo, Session};

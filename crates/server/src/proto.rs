@@ -1,0 +1,377 @@
+//! Wire protocol: JSON-lines requests and responses.
+//!
+//! One request per line, one response per line. Every request is an
+//! object with a `cmd` string, an optional numeric `id` (echoed back),
+//! and an optional `deadline_ms` admission deadline. Responses are
+//! `{"id":…,"ok":true,"result":{…}}` on success and
+//! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}` on failure.
+//!
+//! Error kinds for [`mgba::MgbaError`] variants are `"parse"`,
+//! `"config"`, `"solver"`, `"io"`, and `"usage"`; the server layer adds
+//! `"overload"` (bounded queue full), `"deadline"` (admission deadline
+//! expired while queued), and `"shutdown"` (received while draining).
+//! Malformed JSON and unknown commands surface as `"usage"` — they are
+//! routed through [`MgbaError::Usage`] like any bad CLI invocation.
+
+use crate::json::{self, Value};
+use mgba::MgbaError;
+use obs::json::JsonWriter;
+
+/// One admission-controlled request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed into the response.
+    pub id: Option<u64>,
+    /// The decoded command.
+    pub cmd: Command,
+    /// Admission deadline: if the request waits in the queue longer
+    /// than this, it is rejected without execution.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Every operation the daemon serves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// Load a design (generator spec or netlist file) and build the
+    /// timing engine. `period` defaults to the auto-derived tight clock.
+    Load {
+        /// Generator spec (`D3`, `small:7`) or netlist file path.
+        spec: String,
+        /// Clock period in ps; auto-derived when absent.
+        period: Option<f64>,
+    },
+    /// Run the mGBA fit and fold the weights back into the engine.
+    Calibrate {
+        /// Solver name (`gd|scg|scgrs|cgnr`), default `scgrs`.
+        solver: Option<String>,
+    },
+    /// Setup slack of one endpoint, or the worst `top` endpoints.
+    Slack {
+        /// Endpoint cell name; worst endpoints when absent.
+        endpoint: Option<String>,
+        /// How many worst endpoints to report (default 10).
+        top: usize,
+    },
+    /// Worst negative slack over all endpoints.
+    Wns,
+    /// Total negative slack over all endpoints.
+    Tns,
+    /// Worst path to an endpoint (the worst endpoint when absent),
+    /// optionally re-timed with golden PBA.
+    PathQuery {
+        /// Endpoint cell name; the worst endpoint when absent.
+        endpoint: Option<String>,
+        /// Also report the path's golden PBA slack.
+        pba: bool,
+    },
+    /// Trial-resize a gate, report the timing delta, and roll back —
+    /// the incremental-update what-if of the paper's §4 sizing loop.
+    WhatIfResize {
+        /// Cell instance name.
+        cell: String,
+        /// `up`, `down`, or an explicit library cell name.
+        to: String,
+    },
+    /// Apply a resize permanently (same arguments as `whatif_resize`).
+    Commit {
+        /// Cell instance name.
+        cell: String,
+        /// `up`, `down`, or an explicit library cell name.
+        to: String,
+    },
+    /// Serialize the session (design spec, period, fitted weights) for
+    /// warm restart.
+    Snapshot {
+        /// Destination file path.
+        file: String,
+    },
+    /// Rebuild the session from a snapshot file.
+    Restore {
+        /// Snapshot file path.
+        file: String,
+    },
+    /// Server and engine statistics (non-deterministic: latencies).
+    Stats,
+    /// Hold the worker busy (testing aid for backpressure/deadlines).
+    Sleep {
+        /// How long to block the worker, in milliseconds (capped at
+        /// 10 000 so a stray request cannot wedge the daemon).
+        ms: u64,
+    },
+    /// Stop accepting, drain the queue, and exit.
+    Shutdown,
+}
+
+impl Command {
+    /// Stable command name (used for spans, metrics, and `stats`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Ping => "ping",
+            Command::Load { .. } => "load",
+            Command::Calibrate { .. } => "calibrate",
+            Command::Slack { .. } => "slack",
+            Command::Wns => "wns",
+            Command::Tns => "tns",
+            Command::PathQuery { .. } => "path",
+            Command::WhatIfResize { .. } => "whatif_resize",
+            Command::Commit { .. } => "commit",
+            Command::Snapshot { .. } => "snapshot",
+            Command::Restore { .. } => "restore",
+            Command::Stats => "stats",
+            Command::Sleep { .. } => "sleep",
+            Command::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn usage(msg: impl Into<String>) -> MgbaError {
+    MgbaError::Usage(msg.into())
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, MgbaError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(usage(format!("`{key}` must be a string"))),
+    }
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, MgbaError> {
+    opt_str(v, key)?.ok_or_else(|| usage(format!("missing required `{key}`")))
+}
+
+fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, MgbaError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(usage(format!("`{key}` must be a number"))),
+    }
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, MgbaError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(n @ Value::Num(_)) => n
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| usage(format!("`{key}` must be a non-negative integer"))),
+        Some(_) => Err(usage(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn opt_bool(v: &Value, key: &str) -> Result<bool, MgbaError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(usage(format!("`{key}` must be a boolean"))),
+    }
+}
+
+/// Parses one request line. On failure the request `id` is still
+/// recovered when the line was an object with a numeric `id`, so the
+/// error response can be correlated.
+///
+/// # Errors
+///
+/// Returns `(recovered id, MgbaError)` for malformed JSON, a missing or
+/// unknown `cmd`, or bad argument types.
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, MgbaError)> {
+    let v = json::parse(line).map_err(|e| (None, usage(format!("malformed request: {e}"))))?;
+    let id = v.get("id").and_then(Value::as_u64);
+    parse_request_value(&v, id).map_err(|e| (id, e))
+}
+
+fn parse_request_value(v: &Value, id: Option<u64>) -> Result<Request, MgbaError> {
+    if !matches!(v, Value::Obj(_)) {
+        return Err(usage("request must be a JSON object"));
+    }
+    let cmd_name = req_str(v, "cmd")?;
+    let deadline_ms = opt_u64(v, "deadline_ms")?;
+    let cmd = match cmd_name.as_str() {
+        "ping" => Command::Ping,
+        "load" => {
+            let spec = opt_str(v, "design")?
+                .or(opt_str(v, "file")?)
+                .ok_or_else(|| usage("load needs `design` (spec) or `file` (netlist path)"))?;
+            Command::Load {
+                spec,
+                period: opt_f64(v, "period")?,
+            }
+        }
+        "calibrate" => Command::Calibrate {
+            solver: opt_str(v, "solver")?,
+        },
+        "slack" => Command::Slack {
+            endpoint: opt_str(v, "endpoint")?,
+            top: opt_u64(v, "top")?.unwrap_or(10).min(10_000) as usize,
+        },
+        "wns" => Command::Wns,
+        "tns" => Command::Tns,
+        "path" => Command::PathQuery {
+            endpoint: opt_str(v, "endpoint")?,
+            pba: opt_bool(v, "pba")?,
+        },
+        "whatif_resize" => Command::WhatIfResize {
+            cell: req_str(v, "cell")?,
+            to: req_str(v, "to")?,
+        },
+        "commit" => Command::Commit {
+            cell: req_str(v, "cell")?,
+            to: req_str(v, "to")?,
+        },
+        "snapshot" => Command::Snapshot {
+            file: req_str(v, "file")?,
+        },
+        "restore" => Command::Restore {
+            file: req_str(v, "file")?,
+        },
+        "stats" => Command::Stats,
+        "sleep" => Command::Sleep {
+            ms: opt_u64(v, "ms")?.unwrap_or(0).min(10_000),
+        },
+        "shutdown" => Command::Shutdown,
+        other => return Err(usage(format!("unknown command `{other}`"))),
+    };
+    Ok(Request {
+        id,
+        cmd,
+        deadline_ms,
+    })
+}
+
+/// Maps an [`MgbaError`] variant onto its wire `kind`.
+pub fn error_kind(e: &MgbaError) -> &'static str {
+    match e {
+        MgbaError::Parse(_) => "parse",
+        MgbaError::Config { .. } => "config",
+        MgbaError::Solver { .. } => "solver",
+        MgbaError::Io { .. } => "io",
+        MgbaError::Usage(_) => "usage",
+    }
+}
+
+fn id_field(w: &mut JsonWriter, id: Option<u64>) {
+    w.key("id");
+    match id {
+        Some(i) => w.u64(i),
+        None => w.null(),
+    }
+}
+
+/// Renders a success envelope around a pre-rendered `result` object.
+pub fn ok_envelope(id: Option<u64>, result_json: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    id_field(&mut w, id);
+    w.key("ok");
+    w.bool(true);
+    w.key("result");
+    w.raw(result_json);
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders an error envelope with an explicit kind.
+pub fn error_envelope(id: Option<u64>, kind: &str, message: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    id_field(&mut w, id);
+    w.key("ok");
+    w.bool(false);
+    w.key("error");
+    w.begin_obj();
+    w.key("kind");
+    w.str(kind);
+    w.key("message");
+    w.str(message);
+    w.end_obj();
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders the error envelope for an [`MgbaError`].
+pub fn mgba_error_envelope(id: Option<u64>, e: &MgbaError) -> String {
+    error_envelope(id, error_kind(e), &e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        let cases: &[(&str, &str)] = &[
+            (r#"{"cmd":"ping"}"#, "ping"),
+            (r#"{"cmd":"load","design":"small:7","period":900}"#, "load"),
+            (r#"{"cmd":"load","file":"d.nl"}"#, "load"),
+            (r#"{"cmd":"calibrate","solver":"cgnr"}"#, "calibrate"),
+            (r#"{"cmd":"slack","top":3}"#, "slack"),
+            (r#"{"cmd":"wns"}"#, "wns"),
+            (r#"{"cmd":"tns"}"#, "tns"),
+            (r#"{"cmd":"path","pba":true}"#, "path"),
+            (
+                r#"{"cmd":"whatif_resize","cell":"g1","to":"up"}"#,
+                "whatif_resize",
+            ),
+            (r#"{"cmd":"commit","cell":"g1","to":"down"}"#, "commit"),
+            (r#"{"cmd":"snapshot","file":"s.mgba"}"#, "snapshot"),
+            (r#"{"cmd":"restore","file":"s.mgba"}"#, "restore"),
+            (r#"{"cmd":"stats"}"#, "stats"),
+            (r#"{"cmd":"sleep","ms":5}"#, "sleep"),
+            (r#"{"cmd":"shutdown"}"#, "shutdown"),
+        ];
+        for (line, name) in cases {
+            let r = parse_request(line).unwrap();
+            assert_eq!(r.cmd.name(), *name, "{line}");
+        }
+    }
+
+    #[test]
+    fn id_and_deadline_are_recovered() {
+        let r = parse_request(r#"{"id":42,"cmd":"ping","deadline_ms":5}"#).unwrap();
+        assert_eq!(r.id, Some(42));
+        assert_eq!(r.deadline_ms, Some(5));
+
+        // Unknown command: the id still comes back for correlation.
+        let (id, e) = parse_request(r#"{"id":7,"cmd":"nope"}"#).unwrap_err();
+        assert_eq!(id, Some(7));
+        assert!(matches!(e, MgbaError::Usage(_)));
+    }
+
+    #[test]
+    fn malformed_requests_are_usage_errors() {
+        for bad in [
+            "not json",
+            "[1,2,3]",
+            r#"{"cmd":5}"#,
+            r#"{"cmd":"load"}"#,
+            r#"{"cmd":"slack","top":-1}"#,
+            r#"{"cmd":"whatif_resize","cell":"g1"}"#,
+        ] {
+            let (_, e) = parse_request(bad).unwrap_err();
+            assert!(matches!(e, MgbaError::Usage(_)), "`{bad}`: {e}");
+        }
+    }
+
+    #[test]
+    fn envelopes_are_well_formed() {
+        assert_eq!(
+            ok_envelope(Some(1), r#"{"pong":true}"#),
+            r#"{"id":1,"ok":true,"result":{"pong":true}}"#
+        );
+        assert_eq!(
+            error_envelope(None, "overload", "queue full"),
+            r#"{"id":null,"ok":false,"error":{"kind":"overload","message":"queue full"}}"#
+        );
+        let e = MgbaError::Usage("bad".into());
+        assert!(mgba_error_envelope(Some(2), &e).contains(r#""kind":"usage""#));
+    }
+
+    #[test]
+    fn sleep_is_capped() {
+        let r = parse_request(r#"{"cmd":"sleep","ms":999999}"#).unwrap();
+        assert_eq!(r.cmd, Command::Sleep { ms: 10_000 });
+    }
+}

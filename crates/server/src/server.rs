@@ -1,0 +1,493 @@
+//! The daemon: bounded admission queue, single worker thread, TCP and
+//! stdio front-ends.
+//!
+//! # Threading model
+//!
+//! Exactly **one worker thread** owns the [`Session`] and executes
+//! requests strictly in admission order. That single decision buys the
+//! protocol's determinism guarantee for free: responses depend only on
+//! the request sequence, never on connection interleaving or the
+//! `--threads` setting (the engine's parallel kernels are themselves
+//! bit-identical across thread counts).
+//!
+//! Each TCP connection gets a reader thread (parse + admit) and a
+//! writer thread (serialize responses); replies travel over a
+//! per-connection channel so the worker never blocks on a slow client.
+//!
+//! # Backpressure
+//!
+//! Admission goes through a bounded [`mpsc::sync_channel`]. When the queue is
+//! full the reader does **not** block — it immediately answers with an
+//! `"overload"` error envelope. A saturated server therefore stays
+//! responsive: clients always get an answer, just sometimes "try later".
+//!
+//! # Deadlines
+//!
+//! `deadline_ms` (per request, or `--deadline-ms` server default) is
+//! checked when the worker *dequeues* the request: work that already
+//! missed its deadline while queued is rejected with a `"deadline"`
+//! envelope instead of being executed. Deadlines are admission control,
+//! not preemption — a request that starts executing runs to completion.
+//!
+//! # Shutdown
+//!
+//! `shutdown` answers `{"draining":true}`, then the worker drains every
+//! request admitted before it and exits; late arrivals get a
+//! `"shutdown"` envelope. On TCP the accept loop notices the flag within
+//! one poll interval and `run` returns.
+
+use crate::proto::{self, Command, Request};
+use crate::session::{ServerInfo, Session};
+use mgba::MgbaError;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How long the worker keeps draining after shutdown before closing the
+/// queue. Covers the race where a reader passed the shutting-down check
+/// just before the flag was set.
+const DRAIN_GRACE: Duration = Duration::from_millis(50);
+
+/// Tunables for a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bounded request-queue depth; admissions beyond this are rejected
+    /// with an `"overload"` envelope.
+    pub queue_depth: usize,
+    /// Default per-request deadline applied when a request carries none.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 64,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Counters shared between readers, worker, and accept loop.
+struct Shared {
+    shutting_down: AtomicBool,
+    served: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_deadline: AtomicU64,
+    queue_depth: usize,
+}
+
+impl Shared {
+    fn new(queue_depth: usize) -> Self {
+        Self {
+            shutting_down: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            queue_depth,
+        }
+    }
+
+    fn info(&self) -> ServerInfo {
+        ServerInfo {
+            queue_depth: self.queue_depth,
+            served: self.served.load(Ordering::SeqCst),
+            rejected_overload: self.rejected_overload.load(Ordering::SeqCst),
+            rejected_deadline: self.rejected_deadline.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// What the worker should do with an admitted line.
+enum Work {
+    /// A well-formed request to execute.
+    Exec(Request),
+    /// A line that failed to parse. It still flows through the queue so
+    /// its error envelope is emitted **in admission order** — answering
+    /// from the reader thread would let the error race ahead of earlier
+    /// requests' responses and break stream determinism.
+    Malformed { id: Option<u64>, error: MgbaError },
+}
+
+/// One admitted request waiting for the worker.
+struct Job {
+    work: Work,
+    reply: mpsc::Sender<String>,
+    enqueued: Instant,
+}
+
+/// Executes one job on the worker thread; returns `true` on a served
+/// `shutdown`.
+fn process(job: Job, session: &mut Session, shared: &Shared) -> bool {
+    let request = match job.work {
+        Work::Exec(request) => request,
+        Work::Malformed { id, error } => {
+            obs::counter_add("server.requests.malformed", 1);
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            let _ = job.reply.send(proto::mgba_error_envelope(id, &error));
+            return false;
+        }
+    };
+    let Request {
+        id,
+        cmd,
+        deadline_ms,
+    } = request;
+    if let Some(limit) = deadline_ms {
+        let waited = job.enqueued.elapsed();
+        if waited > Duration::from_millis(limit) {
+            shared.rejected_deadline.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add("server.rejected.deadline", 1);
+            let _ = job.reply.send(proto::error_envelope(
+                id,
+                "deadline",
+                &format!("deadline of {limit} ms expired while queued"),
+            ));
+            return false;
+        }
+    }
+    let name = cmd.name();
+    let info = shared.info();
+    let start = Instant::now();
+    let result = {
+        let _span = obs::span(name);
+        session.handle(&cmd, &info)
+    };
+    let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    session.latency.record(name, us);
+    obs::observe(&format!("server.latency_us.{name}"), us as f64);
+    obs::counter_add(&format!("server.requests.{name}"), 1);
+    shared.served.fetch_add(1, Ordering::SeqCst);
+    let shutdown = matches!(cmd, Command::Shutdown) && result.is_ok();
+    let envelope = match &result {
+        Ok(json) => proto::ok_envelope(id, json),
+        Err(e) => proto::mgba_error_envelope(id, e),
+    };
+    let _ = job.reply.send(envelope);
+    shutdown
+}
+
+/// The worker loop: owns the session, executes jobs in admission order,
+/// drains on shutdown.
+fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
+    let mut session = Session::new();
+    while let Ok(job) = rx.recv() {
+        if process(job, &mut session, &shared) {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+    // Drain-then-exit: serve everything admitted before (or racing with)
+    // the shutdown flag, then close the queue so late readers see
+    // `Disconnected` and answer with a "shutdown" envelope themselves.
+    while let Ok(job) = rx.recv_timeout(DRAIN_GRACE) {
+        process(job, &mut session, &shared);
+    }
+}
+
+/// Reads request lines, admits them to the bounded queue, and answers
+/// rejects inline. Shared by TCP connections and stdio mode.
+fn serve_lines(
+    reader: impl BufRead,
+    reply_tx: mpsc::Sender<String>,
+    tx: SyncSender<Job>,
+    shared: &Shared,
+    default_deadline_ms: Option<u64>,
+) {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Malformed input is answered, never dropped — and the
+        // connection keeps serving. The error rides the queue like any
+        // request so responses stay in admission order.
+        let (id, is_shutdown, work) = match proto::parse_request(&line) {
+            Ok(mut request) => {
+                if request.deadline_ms.is_none() {
+                    request.deadline_ms = default_deadline_ms;
+                }
+                let is_shutdown = matches!(request.cmd, Command::Shutdown);
+                (request.id, is_shutdown, Work::Exec(request))
+            }
+            Err((id, error)) => (id, false, Work::Malformed { id, error }),
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = reply_tx.send(proto::error_envelope(id, "shutdown", "server is draining"));
+            continue;
+        }
+        let job = Job {
+            work,
+            reply: reply_tx.clone(),
+            enqueued: Instant::now(),
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                if is_shutdown {
+                    // Stop reading: this connection asked us to exit.
+                    break;
+                }
+            }
+            Err(TrySendError::Full(_)) => {
+                shared.rejected_overload.fetch_add(1, Ordering::SeqCst);
+                obs::counter_add("server.rejected.overload", 1);
+                let _ = reply_tx.send(proto::error_envelope(
+                    id,
+                    "overload",
+                    &format!(
+                        "request queue full ({} deep); retry later",
+                        shared.queue_depth
+                    ),
+                ));
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                let _ = reply_tx.send(proto::error_envelope(id, "shutdown", "server is draining"));
+                break;
+            }
+        }
+    }
+}
+
+/// One TCP connection: a reader (this thread) plus a writer thread fed
+/// by the per-connection reply channel.
+fn connection(
+    stream: TcpStream,
+    tx: SyncSender<Job>,
+    shared: Arc<Shared>,
+    default_deadline_ms: Option<u64>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = thread::spawn(move || {
+        let mut w = BufWriter::new(write_half);
+        for line in reply_rx {
+            if w.write_all(line.as_bytes()).is_err()
+                || w.write_all(b"\n").is_err()
+                || w.flush().is_err()
+            {
+                break;
+            }
+        }
+    });
+    serve_lines(
+        BufReader::new(stream),
+        reply_tx,
+        tx,
+        &shared,
+        default_deadline_ms,
+    );
+    // Reader done; the writer exits once every queued job's reply clone
+    // is dropped (i.e. all admitted requests have been answered).
+    let _ = writer.join();
+}
+
+/// A bound TCP server, ready to `run`.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7400`; port 0 picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgbaError::Io`] when the address cannot be bound.
+    pub fn bind(addr: &str, config: ServerConfig) -> Result<Self, MgbaError> {
+        let listener = TcpListener::bind(addr).map_err(|e| MgbaError::io(addr, e))?;
+        Ok(Self { listener, config })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgbaError::Io`] when the socket refuses to report it.
+    pub fn local_addr(&self) -> Result<SocketAddr, MgbaError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| MgbaError::io("listener", e))
+    }
+
+    /// Serves connections until a `shutdown` request drains the queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgbaError::Io`] when the listener cannot be switched to
+    /// non-blocking mode (required for graceful exit).
+    pub fn run(self) -> Result<(), MgbaError> {
+        let _span = obs::span("server.run");
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| MgbaError::io("listener", e))?;
+        let shared = Arc::new(Shared::new(self.config.queue_depth));
+        let (tx, rx) = mpsc::sync_channel::<Job>(self.config.queue_depth);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || worker_loop(rx, shared))
+        };
+        while !shared.shutting_down.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    obs::counter_add("server.connections", 1);
+                    let tx = tx.clone();
+                    let shared = Arc::clone(&shared);
+                    let deadline = self.config.default_deadline_ms;
+                    thread::spawn(move || connection(stream, tx, shared, deadline));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => {
+                    // Transient accept failure; keep serving.
+                    thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+        drop(tx);
+        let _ = worker.join();
+        Ok(())
+    }
+}
+
+/// Serves one request stream to one response sink (no TCP). This is the
+/// `--stdio` engine and the deterministic unit-test entry: responses
+/// come back in admission order on the returned writer.
+///
+/// Exits when the input ends or a `shutdown` request is served; either
+/// way the queue drains before the writer is returned.
+///
+/// # Errors
+///
+/// Currently infallible at this layer (I/O failures terminate the
+/// stream, matching a disconnecting client); the `Result` keeps the
+/// signature stable for front-ends that must report bind-style errors.
+pub fn serve_stream<R, W>(config: &ServerConfig, reader: R, writer: W) -> Result<W, MgbaError>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let shared = Arc::new(Shared::new(config.queue_depth));
+    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+    let worker = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || worker_loop(rx, shared))
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer_thread = thread::spawn(move || {
+        let mut w = writer;
+        for line in reply_rx {
+            if w.write_all(line.as_bytes()).is_err()
+                || w.write_all(b"\n").is_err()
+                || w.flush().is_err()
+            {
+                break;
+            }
+        }
+        w
+    });
+    serve_lines(reader, reply_tx, tx, &shared, config.default_deadline_ms);
+    let _ = worker.join();
+    let writer = writer_thread
+        .join()
+        .unwrap_or_else(|_| panic!("writer thread panicked"));
+    Ok(writer)
+}
+
+/// Runs the daemon over stdin/stdout (`serve --stdio`).
+///
+/// # Errors
+///
+/// Propagates [`serve_stream`] errors.
+pub fn serve_stdio(config: &ServerConfig) -> Result<(), MgbaError> {
+    let stdin = std::io::stdin();
+    serve_stream(config, stdin.lock(), std::io::stdout())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_session(config: &ServerConfig, script: &str) -> Vec<String> {
+        let out = serve_stream(config, script.as_bytes(), Vec::<u8>::new()).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn stream_serves_in_order_and_drains_on_eof() {
+        let script = "{\"id\":1,\"cmd\":\"ping\"}\n{\"id\":2,\"cmd\":\"ping\"}\n";
+        let lines = run_session(&ServerConfig::default(), script);
+        assert_eq!(
+            lines,
+            vec![
+                "{\"id\":1,\"ok\":true,\"result\":{\"pong\":true}}",
+                "{\"id\":2,\"ok\":true,\"result\":{\"pong\":true}}",
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_line_gets_error_and_serving_continues() {
+        let script = "this is not json\n{\"id\":7,\"cmd\":\"ping\"}\n";
+        let lines = run_session(&ServerConfig::default(), script);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ok\":false"));
+        assert!(lines[0].contains("\"kind\":\"usage\""));
+        assert!(lines[1].contains("\"id\":7"));
+        assert!(lines[1].contains("\"pong\":true"));
+    }
+
+    #[test]
+    fn shutdown_stops_reading_further_input() {
+        let script = "{\"id\":1,\"cmd\":\"shutdown\"}\n{\"id\":2,\"cmd\":\"ping\"}\n";
+        let lines = run_session(&ServerConfig::default(), script);
+        // The ping after shutdown is never read: exactly one response.
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"draining\":true"));
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_at_dequeue() {
+        // sleep(30) occupies the worker while the deadline_ms:1 ping
+        // waits in the queue past its deadline.
+        let script = "{\"id\":1,\"cmd\":\"sleep\",\"ms\":30}\n\
+                      {\"id\":2,\"cmd\":\"ping\",\"deadline_ms\":1}\n\
+                      {\"id\":3,\"cmd\":\"ping\"}\n";
+        let lines = run_session(&ServerConfig::default(), script);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"slept_ms\":30"));
+        assert!(
+            lines[1].contains("\"kind\":\"deadline\""),
+            "got {}",
+            lines[1]
+        );
+        assert!(lines[2].contains("\"pong\":true"));
+    }
+
+    #[test]
+    fn default_deadline_applies_when_request_has_none() {
+        let config = ServerConfig {
+            queue_depth: 64,
+            default_deadline_ms: Some(1),
+        };
+        let script = "{\"id\":1,\"cmd\":\"sleep\",\"ms\":30}\n{\"id\":2,\"cmd\":\"ping\"}\n";
+        let lines = run_session(&config, script);
+        // The sleep itself is admitted instantly (no queue wait), so it
+        // runs; the ping queued behind it exceeds the default deadline.
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"kind\":\"deadline\""), "{}", lines[1]);
+    }
+}

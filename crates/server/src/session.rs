@@ -1,0 +1,743 @@
+//! One resident timing session: a loaded design + engine + fitted
+//! weights, executing protocol commands sequentially on the worker
+//! thread.
+//!
+//! The session is where the paper's economics pay off: the expensive
+//! steps (netlist load, full STA build, weight fitting) happen once per
+//! `load`/`calibrate`, after which `slack`/`wns`/`path` queries read the
+//! already-propagated graph and `whatif_resize` rides [`Sta`]'s
+//! incremental update — resize, measure the delta, roll back — without
+//! ever paying a full re-propagation.
+//!
+//! Every handler returns either a rendered JSON `result` object or an
+//! [`MgbaError`]; nothing here panics on bad input, because a panic
+//! would take the daemon (and every other client) down with it.
+//!
+//! Responses deliberately contain **no wall-clock fields**: they must be
+//! bit-identical across `--threads` settings and repeated runs. Latency
+//! lives in the `stats` command and the `obs` profile instead.
+
+use crate::proto::Command;
+use crate::stats::CommandStats;
+use mgba::{run_mgba, MgbaConfig, MgbaError, Solver};
+use netlist::{CellId, LibCellId};
+use obs::json::JsonWriter;
+use sta::{paths::worst_paths_to_endpoint, pba_timing, Sta};
+use std::fmt::Write as _;
+
+/// Server-level counters handed to [`Session::handle`] so the `stats`
+/// command can report them alongside engine and latency data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerInfo {
+    /// Configured bounded-queue depth.
+    pub queue_depth: usize,
+    /// Requests executed to completion.
+    pub served: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected_overload: u64,
+    /// Requests rejected because their admission deadline expired.
+    pub rejected_deadline: u64,
+}
+
+/// A design loaded into the session.
+struct Loaded {
+    /// The spec string `load`/`restore` used (generator spec or file
+    /// path) — recorded into snapshots for warm restart.
+    spec: String,
+    /// Clock period, ps.
+    period: f64,
+    /// The resident timing engine.
+    sta: Sta,
+    /// Solver name when the session has been calibrated.
+    calibrated: Option<String>,
+}
+
+/// The daemon's per-process state: at most one loaded design, plus
+/// always-on latency accounting.
+#[derive(Default)]
+pub struct Session {
+    loaded: Option<Loaded>,
+    /// Per-command latency histograms (recorded by the worker loop).
+    pub latency: CommandStats,
+}
+
+fn usage(msg: impl Into<String>) -> MgbaError {
+    MgbaError::Usage(msg.into())
+}
+
+fn parse_solver(name: &str) -> Result<Solver, MgbaError> {
+    Ok(match name {
+        "gd" => Solver::Gd,
+        "scg" => Solver::Scg,
+        "scgrs" => Solver::ScgRs,
+        "cgnr" => Solver::Cgnr,
+        other => return Err(usage(format!("unknown solver `{other}`"))),
+    })
+}
+
+/// Endpoints with finite setup slack, worst first (ties broken by cell
+/// id so the order — and therefore the response bytes — are stable).
+fn worst_endpoints(sta: &Sta, top: usize) -> Vec<(CellId, f64)> {
+    let mut v: Vec<(CellId, f64)> = sta
+        .netlist()
+        .endpoints()
+        .into_iter()
+        .map(|e| (e, sta.setup_slack(e)))
+        .filter(|(_, s)| s.is_finite())
+        .collect();
+    v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.index().cmp(&b.0.index())));
+    v.truncate(top);
+    v
+}
+
+impl Session {
+    /// Creates an empty session (no design loaded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn require_loaded(&mut self) -> Result<&mut Loaded, MgbaError> {
+        self.loaded
+            .as_mut()
+            .ok_or_else(|| usage("no design loaded (send `load` first)"))
+    }
+
+    /// Executes one command and renders its `result` object.
+    ///
+    /// # Errors
+    ///
+    /// Returns the command's [`MgbaError`]; the caller wraps it into a
+    /// structured error response. The session survives every error.
+    pub fn handle(&mut self, cmd: &Command, server: &ServerInfo) -> Result<String, MgbaError> {
+        match cmd {
+            Command::Ping => {
+                let mut w = JsonWriter::new();
+                w.begin_obj();
+                w.key("pong");
+                w.bool(true);
+                w.end_obj();
+                Ok(w.finish())
+            }
+            Command::Load { spec, period } => self.load(spec, *period),
+            Command::Calibrate { solver } => self.calibrate(solver.as_deref()),
+            Command::Slack { endpoint, top } => self.slack(endpoint.as_deref(), *top),
+            Command::Wns => self.summary(true),
+            Command::Tns => self.summary(false),
+            Command::PathQuery { endpoint, pba } => self.path(endpoint.as_deref(), *pba),
+            Command::WhatIfResize { cell, to } => self.resize(cell, to, false),
+            Command::Commit { cell, to } => self.resize(cell, to, true),
+            Command::Snapshot { file } => self.snapshot(file),
+            Command::Restore { file } => self.restore(file),
+            Command::Stats => self.stats(server),
+            Command::Sleep { ms } => {
+                std::thread::sleep(std::time::Duration::from_millis(*ms));
+                let mut w = JsonWriter::new();
+                w.begin_obj();
+                w.key("slept_ms");
+                w.u64(*ms);
+                w.end_obj();
+                Ok(w.finish())
+            }
+            Command::Shutdown => {
+                let mut w = JsonWriter::new();
+                w.begin_obj();
+                w.key("draining");
+                w.bool(true);
+                w.end_obj();
+                Ok(w.finish())
+            }
+        }
+    }
+
+    fn load(&mut self, spec: &str, period: Option<f64>) -> Result<String, MgbaError> {
+        let netlist = mgba::load_design_or_file(spec)?;
+        let period = match period {
+            Some(p) if p > 0.0 && p.is_finite() => p,
+            Some(p) => return Err(usage(format!("bad period {p}"))),
+            None => mgba::auto_period(&netlist)?,
+        };
+        let sta = mgba::build_engine(netlist, period)?;
+        let loaded = Loaded {
+            spec: spec.to_owned(),
+            period,
+            sta,
+            calibrated: None,
+        };
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("design");
+        w.str(loaded.sta.netlist().name());
+        w.key("cells");
+        w.u64(loaded.sta.netlist().num_cells() as u64);
+        w.key("nets");
+        w.u64(loaded.sta.netlist().num_nets() as u64);
+        w.key("period");
+        w.f64(loaded.period);
+        w.key("wns");
+        w.f64(loaded.sta.wns());
+        w.key("tns");
+        w.f64(loaded.sta.tns());
+        w.key("violating");
+        w.u64(loaded.sta.violating_endpoints().len() as u64);
+        w.end_obj();
+        self.loaded = Some(loaded);
+        Ok(w.finish())
+    }
+
+    fn calibrate(&mut self, solver: Option<&str>) -> Result<String, MgbaError> {
+        let solver = parse_solver(solver.unwrap_or("scgrs"))?;
+        let loaded = self.require_loaded()?;
+        let config = MgbaConfig::default();
+        let report = run_mgba(&mut loaded.sta, &config, solver);
+        loaded.calibrated = Some(report.solver_name.clone());
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("design");
+        w.str(&report.design);
+        w.key("solver");
+        w.str(&report.solver_name);
+        w.key("paths");
+        w.u64(report.num_paths as u64);
+        w.key("gates");
+        w.u64(report.num_gates as u64);
+        w.key("coverage");
+        w.f64(report.coverage);
+        w.key("iterations");
+        w.u64(report.iterations as u64);
+        w.key("rows_touched");
+        w.u64(report.rows_touched);
+        w.key("converged");
+        w.bool(report.converged);
+        w.key("mse_before");
+        w.f64(report.mse_before);
+        w.key("mse_after");
+        w.f64(report.mse_after);
+        w.key("pass_before");
+        w.f64(report.pass_before.ratio());
+        w.key("pass_after");
+        w.f64(report.pass_after.ratio());
+        w.key("wns");
+        w.f64(loaded.sta.wns());
+        w.key("tns");
+        w.f64(loaded.sta.tns());
+        w.end_obj();
+        Ok(w.finish())
+    }
+
+    fn slack(&mut self, endpoint: Option<&str>, top: usize) -> Result<String, MgbaError> {
+        let loaded = self.require_loaded()?;
+        let sta = &loaded.sta;
+        let mut w = JsonWriter::new();
+        match endpoint {
+            Some(name) => {
+                let cell = sta
+                    .netlist()
+                    .find_cell(name)
+                    .ok_or_else(|| usage(format!("unknown cell `{name}`")))?;
+                if !sta.netlist().endpoints().contains(&cell) {
+                    return Err(usage(format!("cell `{name}` is not a timing endpoint")));
+                }
+                w.begin_obj();
+                w.key("endpoint");
+                w.str(name);
+                w.key("slack");
+                w.f64(sta.setup_slack(cell));
+                w.end_obj();
+            }
+            None => {
+                let worst = worst_endpoints(sta, top);
+                w.begin_obj();
+                w.key("wns");
+                w.f64(sta.wns());
+                w.key("endpoints");
+                w.begin_arr();
+                for (cell, slack) in &worst {
+                    w.begin_obj();
+                    w.key("endpoint");
+                    w.str(&sta.netlist().cell(*cell).name);
+                    w.key("slack");
+                    w.f64(*slack);
+                    w.end_obj();
+                }
+                w.end_arr();
+                w.end_obj();
+            }
+        }
+        Ok(w.finish())
+    }
+
+    fn summary(&mut self, wns: bool) -> Result<String, MgbaError> {
+        let loaded = self.require_loaded()?;
+        let sta = &loaded.sta;
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        if wns {
+            w.key("wns");
+            w.f64(sta.wns());
+        } else {
+            w.key("tns");
+            w.f64(sta.tns());
+        }
+        w.key("violating");
+        w.u64(sta.violating_endpoints().len() as u64);
+        w.end_obj();
+        Ok(w.finish())
+    }
+
+    fn path(&mut self, endpoint: Option<&str>, pba: bool) -> Result<String, MgbaError> {
+        let loaded = self.require_loaded()?;
+        let sta = &loaded.sta;
+        let cell = match endpoint {
+            Some(name) => sta
+                .netlist()
+                .find_cell(name)
+                .ok_or_else(|| usage(format!("unknown cell `{name}`")))?,
+            None => {
+                worst_endpoints(sta, 1)
+                    .first()
+                    .ok_or_else(|| usage("design has no constrained endpoints"))?
+                    .0
+            }
+        };
+        let paths = worst_paths_to_endpoint(sta, cell, 1);
+        let path = paths
+            .first()
+            .ok_or_else(|| usage("no data path reaches that endpoint"))?;
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("endpoint");
+        w.str(&sta.netlist().cell(path.endpoint).name);
+        w.key("slack");
+        w.f64(path.gba_slack);
+        w.key("arrival");
+        w.f64(path.gba_arrival);
+        w.key("gates");
+        w.u64(path.num_gates() as u64);
+        if pba {
+            w.key("pba_slack");
+            w.f64(pba_timing(sta, path).slack);
+        }
+        w.key("cells");
+        w.begin_arr();
+        for c in &path.cells {
+            w.str(&sta.netlist().cell(*c).name);
+        }
+        w.end_arr();
+        w.end_obj();
+        Ok(w.finish())
+    }
+
+    /// Resolves a resize request to (cell, current lib, target lib).
+    fn resolve_resize(
+        sta: &Sta,
+        cell_name: &str,
+        to: &str,
+    ) -> Result<(CellId, LibCellId, LibCellId), MgbaError> {
+        let cell = sta
+            .netlist()
+            .find_cell(cell_name)
+            .ok_or_else(|| usage(format!("unknown cell `{cell_name}`")))?;
+        let lib = sta.netlist().library();
+        let current = sta.netlist().cell(cell).lib_cell;
+        let target = match to {
+            "up" => lib
+                .upsized(current)
+                .ok_or_else(|| usage(format!("`{cell_name}` has no stronger drive")))?,
+            "down" => lib
+                .downsized(current)
+                .ok_or_else(|| usage(format!("`{cell_name}` has no weaker drive")))?,
+            name => lib
+                .find(name)
+                .ok_or_else(|| usage(format!("unknown library cell `{name}`")))?,
+        };
+        Ok((cell, current, target))
+    }
+
+    fn resize(&mut self, cell_name: &str, to: &str, commit: bool) -> Result<String, MgbaError> {
+        let loaded = self.require_loaded()?;
+        let sta = &mut loaded.sta;
+        let (cell, current, target) = Self::resolve_resize(sta, cell_name, to)?;
+        if current == target {
+            return Err(usage(format!("`{cell_name}` is already that size")));
+        }
+        let lib = sta.netlist().library();
+        let from_name = lib.cell(current).name.clone();
+        let to_name = lib.cell(target).name.clone();
+        let wns_before = sta.wns();
+        let tns_before = sta.tns();
+        let touched_before = sta.stats.cells_propagated;
+        sta.resize_cell(cell, target)?;
+        let wns_after = sta.wns();
+        let tns_after = sta.tns();
+        if !commit {
+            // Roll back: the original library cell was legal a moment
+            // ago, so this cannot fail structurally — but if it ever
+            // does, surface it instead of serving from a corrupt state.
+            sta.resize_cell(cell, current)
+                .map_err(|e| MgbaError::Solver {
+                    solver: "whatif".into(),
+                    message: format!("rollback of `{cell_name}` failed: {e}"),
+                })?;
+        }
+        let touched = sta.stats.cells_propagated - touched_before;
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("cell");
+        w.str(cell_name);
+        w.key("from");
+        w.str(&from_name);
+        w.key("to");
+        w.str(&to_name);
+        w.key("committed");
+        w.bool(commit);
+        w.key("wns_before");
+        w.f64(wns_before);
+        w.key("wns_after");
+        w.f64(wns_after);
+        w.key("delta_wns");
+        w.f64(wns_after - wns_before);
+        w.key("tns_before");
+        w.f64(tns_before);
+        w.key("tns_after");
+        w.f64(tns_after);
+        w.key("delta_tns");
+        w.f64(tns_after - tns_before);
+        w.key("cells_propagated");
+        w.u64(touched);
+        w.end_obj();
+        Ok(w.finish())
+    }
+
+    fn snapshot(&mut self, file: &str) -> Result<String, MgbaError> {
+        let loaded = self.require_loaded()?;
+        let sta = &loaded.sta;
+        let n = sta.netlist().num_cells();
+        let weights: Vec<f64> = (0..n).map(|i| sta.gate_weight(CellId::new(i))).collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "# mgba snapshot v1 design={}", sta.netlist().name());
+        let _ = writeln!(out, "spec {}", loaded.spec);
+        let _ = writeln!(out, "period {:?}", loaded.period);
+        let _ = writeln!(
+            out,
+            "calibrated {}",
+            loaded.calibrated.as_deref().unwrap_or("-")
+        );
+        let _ = writeln!(out, "weights");
+        out.push_str(&mgba::write_weights(sta.netlist(), &weights));
+        std::fs::write(file, &out).map_err(|e| MgbaError::io(file, e))?;
+        let nonzero = weights.iter().filter(|w| **w != 0.0).count();
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("file");
+        w.str(file);
+        w.key("design");
+        w.str(sta.netlist().name());
+        w.key("weights_written");
+        w.u64(nonzero as u64);
+        w.end_obj();
+        Ok(w.finish())
+    }
+
+    fn restore(&mut self, file: &str) -> Result<String, MgbaError> {
+        let text = std::fs::read_to_string(file).map_err(|e| MgbaError::io(file, e))?;
+        let malformed = |line: usize, reason: String| {
+            MgbaError::from(mgba::WeightsError::Malformed { line, reason })
+        };
+        if !text.starts_with("# mgba snapshot v1") {
+            return Err(malformed(
+                1,
+                "not a snapshot (missing `# mgba snapshot v1` header)".into(),
+            ));
+        }
+        let mut spec: Option<&str> = None;
+        let mut period: Option<f64> = None;
+        let mut calibrated: Option<String> = None;
+        let mut weights_text = String::new();
+        let mut in_weights = false;
+        for (i, line) in text.lines().enumerate().skip(1) {
+            if in_weights {
+                weights_text.push_str(line);
+                weights_text.push('\n');
+                continue;
+            }
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            if t == "weights" {
+                in_weights = true;
+                continue;
+            }
+            let (key, value) = t
+                .split_once(' ')
+                .ok_or_else(|| malformed(i + 1, format!("expected `key value`, got `{t}`")))?;
+            match key {
+                "spec" => spec = Some(value),
+                "period" => {
+                    period = Some(
+                        value
+                            .parse()
+                            .map_err(|_| malformed(i + 1, format!("bad period `{value}`")))?,
+                    )
+                }
+                "calibrated" => calibrated = (value != "-").then(|| value.to_owned()),
+                other => return Err(malformed(i + 1, format!("unknown key `{other}`"))),
+            }
+        }
+        let spec = spec.ok_or_else(|| malformed(1, "snapshot missing `spec`".into()))?;
+        let period = period.ok_or_else(|| malformed(1, "snapshot missing `period`".into()))?;
+        let netlist = mgba::load_design_or_file(spec)?;
+        let mut sta = mgba::build_engine(netlist, period)?;
+        let pairs = mgba::parse_weights(&weights_text)?;
+        let dense = mgba::apply_weights(sta.netlist(), &pairs)?;
+        sta.set_weights(&dense);
+        let applied = pairs.len();
+        let loaded = Loaded {
+            spec: spec.to_owned(),
+            period,
+            sta,
+            calibrated,
+        };
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("design");
+        w.str(loaded.sta.netlist().name());
+        w.key("period");
+        w.f64(loaded.period);
+        w.key("weights_applied");
+        w.u64(applied as u64);
+        w.key("calibrated");
+        match &loaded.calibrated {
+            Some(s) => w.str(s),
+            None => w.null(),
+        }
+        w.key("wns");
+        w.f64(loaded.sta.wns());
+        w.key("tns");
+        w.f64(loaded.sta.tns());
+        w.end_obj();
+        self.loaded = Some(loaded);
+        Ok(w.finish())
+    }
+
+    fn stats(&mut self, server: &ServerInfo) -> Result<String, MgbaError> {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("server");
+        w.begin_obj();
+        w.key("queue_depth");
+        w.u64(server.queue_depth as u64);
+        w.key("served");
+        w.u64(server.served);
+        w.key("rejected_overload");
+        w.u64(server.rejected_overload);
+        w.key("rejected_deadline");
+        w.u64(server.rejected_deadline);
+        w.key("threads");
+        w.u64(parallel::global().threads() as u64);
+        w.end_obj();
+        w.key("engine");
+        match &self.loaded {
+            Some(l) => {
+                w.begin_obj();
+                w.key("design");
+                w.str(l.sta.netlist().name());
+                w.key("period");
+                w.f64(l.period);
+                w.key("calibrated");
+                w.bool(l.calibrated.is_some());
+                w.key("full_updates");
+                w.u64(l.sta.stats.full_updates);
+                w.key("incremental_updates");
+                w.u64(l.sta.stats.incremental_updates);
+                w.key("cells_propagated");
+                w.u64(l.sta.stats.cells_propagated);
+                w.end_obj();
+            }
+            None => w.null(),
+        }
+        w.key("commands");
+        self.latency.write_json(&mut w);
+        w.end_obj();
+        Ok(w.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn handle(s: &mut Session, line: &str) -> Result<String, MgbaError> {
+        let req = crate::proto::parse_request(line)
+            .map_err(|(_, e)| e)
+            .unwrap();
+        s.handle(&req.cmd, &ServerInfo::default())
+    }
+
+    fn obj(json: &str) -> Value {
+        parse(json).unwrap()
+    }
+
+    #[test]
+    fn queries_before_load_are_usage_errors() {
+        let mut s = Session::new();
+        for cmd in [
+            r#"{"cmd":"wns"}"#,
+            r#"{"cmd":"calibrate"}"#,
+            r#"{"cmd":"slack"}"#,
+            r#"{"cmd":"snapshot","file":"x"}"#,
+        ] {
+            assert!(
+                matches!(handle(&mut s, cmd), Err(MgbaError::Usage(_))),
+                "{cmd}"
+            );
+        }
+        // The session still works afterwards.
+        assert!(handle(&mut s, r#"{"cmd":"ping"}"#).is_ok());
+    }
+
+    #[test]
+    fn load_then_query_then_whatif_roundtrip() {
+        let mut s = Session::new();
+        let r = obj(&handle(&mut s, r#"{"cmd":"load","design":"small:7"}"#).unwrap());
+        assert!(r.get("cells").and_then(Value::as_u64).unwrap() > 0);
+        let wns0 = r.get("wns").and_then(Value::as_f64).unwrap();
+        assert!(wns0 < 0.0, "auto period must leave violations");
+
+        // Worst path names a mid-path combinational cell we can resize.
+        let p = obj(&handle(&mut s, r#"{"cmd":"path","pba":true}"#).unwrap());
+        let cells: Vec<String> = match p.get("cells").unwrap() {
+            Value::Arr(a) => a.iter().map(|v| v.as_str().unwrap().to_owned()).collect(),
+            other => panic!("{other:?}"),
+        };
+        assert!(cells.len() >= 3);
+        assert!(
+            p.get("pba_slack").and_then(Value::as_f64).unwrap()
+                >= p.get("slack").and_then(Value::as_f64).unwrap()
+        );
+
+        let mid = &cells[cells.len() / 2];
+        let whatif = format!(r#"{{"cmd":"whatif_resize","cell":"{mid}","to":"up"}}"#);
+        match handle(&mut s, &whatif) {
+            Ok(resp) => {
+                let r = obj(&resp);
+                assert_eq!(r.get("committed"), Some(&Value::Bool(false)));
+                // Rolled back: engine timing is unchanged.
+                let now = obj(&handle(&mut s, r#"{"cmd":"wns"}"#).unwrap());
+                let wns1 = now.get("wns").and_then(Value::as_f64).unwrap();
+                assert!((wns1 - wns0).abs() < 1e-6, "{wns0} vs {wns1}");
+            }
+            // Mid-path cell may be a flip-flop or at max drive — the
+            // error path is equally valid for this seed.
+            Err(MgbaError::Usage(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn calibrate_improves_and_snapshot_restores() {
+        let dir = std::env::temp_dir().join("mgba_server_session_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("s.mgba");
+        let snap_str = snap.to_str().unwrap();
+
+        let mut s = Session::new();
+        handle(&mut s, r#"{"cmd":"load","design":"small:11","period":-1}"#).unwrap_err();
+        handle(&mut s, r#"{"cmd":"load","design":"small:11"}"#).unwrap();
+        let c = obj(&handle(&mut s, r#"{"cmd":"calibrate","solver":"cgnr"}"#).unwrap());
+        assert!(c.get("paths").and_then(Value::as_u64).unwrap() > 0);
+        let mse_b = c.get("mse_before").and_then(Value::as_f64).unwrap();
+        let mse_a = c.get("mse_after").and_then(Value::as_f64).unwrap();
+        assert!(mse_a < mse_b);
+        let wns = obj(&handle(&mut s, r#"{"cmd":"wns"}"#).unwrap());
+        let wns_cal = wns.get("wns").and_then(Value::as_f64).unwrap();
+
+        let snap_req = format!(r#"{{"cmd":"snapshot","file":"{snap_str}"}}"#);
+        let sn = obj(&handle(&mut s, &snap_req).unwrap());
+        assert!(sn.get("weights_written").and_then(Value::as_u64).unwrap() > 0);
+
+        // A fresh session restores to the identical corrected timing.
+        let mut s2 = Session::new();
+        let restore_req = format!(r#"{{"cmd":"restore","file":"{snap_str}"}}"#);
+        let r = obj(&handle(&mut s2, &restore_req).unwrap());
+        assert_eq!(r.get("wns").and_then(Value::as_f64), Some(wns_cal));
+        assert_eq!(
+            r.get("calibrated").and_then(Value::as_str),
+            Some("CGNR (reference)")
+        );
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let dir = std::env::temp_dir().join("mgba_server_session_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = Session::new();
+        for (name, content) in [
+            ("empty.mgba", ""),
+            ("notsnap.mgba", "hello\n"),
+            ("nospec.mgba", "# mgba snapshot v1 design=x\nperiod 900\n"),
+            (
+                "badperiod.mgba",
+                "# mgba snapshot v1 design=x\nspec small:1\nperiod zzz\n",
+            ),
+            (
+                "badweights.mgba",
+                "# mgba snapshot v1 design=x\nspec small:1\nperiod 900.0\nweights\nnot_a_pair\n",
+            ),
+        ] {
+            let p = dir.join(name);
+            std::fs::write(&p, content).unwrap();
+            let req = format!(r#"{{"cmd":"restore","file":"{}"}}"#, p.to_str().unwrap());
+            let e = handle(&mut s, &req).unwrap_err();
+            assert!(matches!(e, MgbaError::Parse(_)), "{name}: {e}");
+        }
+        // Missing file is an I/O error, not a panic.
+        let e = handle(&mut s, r#"{"cmd":"restore","file":"/nonexistent/s.mgba"}"#).unwrap_err();
+        assert!(matches!(e, MgbaError::Io { .. }));
+    }
+
+    #[test]
+    fn commit_changes_timing_state() {
+        let mut s = Session::new();
+        handle(&mut s, r#"{"cmd":"load","design":"small:13"}"#).unwrap();
+        let p = obj(&handle(&mut s, r#"{"cmd":"path"}"#).unwrap());
+        let cells: Vec<String> = match p.get("cells").unwrap() {
+            Value::Arr(a) => a.iter().map(|v| v.as_str().unwrap().to_owned()).collect(),
+            other => panic!("{other:?}"),
+        };
+        // Find a resizable cell along the path.
+        for name in &cells {
+            let req = format!(r#"{{"cmd":"commit","cell":"{name}","to":"up"}}"#);
+            if let Ok(resp) = handle(&mut s, &req) {
+                let r = obj(&resp);
+                assert_eq!(r.get("committed"), Some(&Value::Bool(true)));
+                let d = r.get("delta_wns").and_then(Value::as_f64).unwrap();
+                let wns_b = r.get("wns_before").and_then(Value::as_f64).unwrap();
+                let wns_a = r.get("wns_after").and_then(Value::as_f64).unwrap();
+                assert!((wns_a - wns_b - d).abs() < 1e-9);
+                // Incremental, not full, update served the commit.
+                let st = obj(&handle(&mut s, r#"{"cmd":"stats"}"#).unwrap());
+                let eng = st.get("engine").unwrap();
+                assert!(
+                    eng.get("incremental_updates")
+                        .and_then(Value::as_u64)
+                        .unwrap()
+                        > 0
+                );
+                return;
+            }
+        }
+        panic!("no resizable cell on the worst path");
+    }
+
+    #[test]
+    fn stats_reports_latency_and_engine() {
+        let mut s = Session::new();
+        s.latency.record("ping", 12);
+        let st = obj(&handle(&mut s, r#"{"cmd":"stats"}"#).unwrap());
+        assert_eq!(st.get("engine"), Some(&Value::Null));
+        let cmds = st.get("commands").unwrap();
+        assert!(cmds.get("ping").is_some());
+    }
+}

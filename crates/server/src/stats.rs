@@ -1,0 +1,167 @@
+//! Always-on per-command latency accounting.
+//!
+//! The `obs` registry only records while profiling is enabled; a
+//! resident daemon wants its `stats` command to answer regardless, so
+//! the session keeps its own compact log₂ histograms here (one per
+//! command name, microsecond scale). Quantiles are bucket-resolution
+//! estimates, same policy as [`obs::metrics::HistogramSnapshot`].
+
+use obs::json::JsonWriter;
+use std::collections::BTreeMap;
+
+/// Buckets cover `(2^(i-1), 2^i]` µs; 40 buckets reach ~2⁴⁰ µs ≈ 12 days.
+const BUCKETS: usize = 40;
+
+/// One command's latency histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyHist {
+    /// Requests recorded.
+    pub count: u64,
+    /// Total microseconds.
+    pub sum_us: u64,
+    /// Slowest request, µs.
+    pub max_us: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        0
+    } else {
+        (63 - (us - 1).leading_zeros() as usize + 1).min(BUCKETS - 1)
+    }
+}
+
+impl LatencyHist {
+    /// Records one request latency.
+    pub fn record(&mut self, us: u64) {
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+        self.buckets[bucket_index(us)] += 1;
+    }
+
+    /// Estimated `q`-quantile in µs (upper bucket bound, clamped to the
+    /// observed max). `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((1u64 << i).min(self.max_us));
+            }
+        }
+        Some(self.max_us)
+    }
+}
+
+/// Per-command latency registry.
+#[derive(Debug, Clone, Default)]
+pub struct CommandStats {
+    by_command: BTreeMap<&'static str, LatencyHist>,
+}
+
+impl CommandStats {
+    /// Records one handled request.
+    pub fn record(&mut self, command: &'static str, us: u64) {
+        self.by_command.entry(command).or_default().record(us);
+    }
+
+    /// Looks up one command's histogram.
+    pub fn get(&self, command: &str) -> Option<&LatencyHist> {
+        self.by_command.get(command)
+    }
+
+    /// Total requests recorded across all commands.
+    pub fn total(&self) -> u64 {
+        self.by_command.values().map(|h| h.count).sum()
+    }
+
+    /// Emits the `{"command": {count,p50_us,p99_us,max_us,mean_us}}`
+    /// object into an open JSON writer (as one value).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        for (name, h) in &self.by_command {
+            w.key(name);
+            w.begin_obj();
+            w.key("count");
+            w.u64(h.count);
+            w.key("mean_us");
+            w.f64(if h.count > 0 {
+                h.sum_us as f64 / h.count as f64
+            } else {
+                0.0
+            });
+            w.key("p50_us");
+            w.u64(h.quantile_us(0.50).unwrap_or(0));
+            w.key("p99_us");
+            w.u64(h.quantile_us(0.99).unwrap_or(0));
+            w.key("max_us");
+            w.u64(h.max_us);
+            w.end_obj();
+        }
+        w.end_obj();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_observations() {
+        let mut h = LatencyHist::default();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(90_000);
+        let p50 = h.quantile_us(0.50).unwrap();
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!((100..=128).contains(&p50), "p50 = {p50}");
+        assert!(p50 <= p99);
+        assert_eq!(h.quantile_us(1.0), Some(90_000));
+        assert_eq!(h.max_us, 90_000);
+    }
+
+    #[test]
+    fn registry_renders_json() {
+        let mut s = CommandStats::default();
+        s.record("ping", 3);
+        s.record("ping", 5);
+        s.record("wns", 40);
+        assert_eq!(s.total(), 3);
+        let mut w = JsonWriter::new();
+        s.write_json(&mut w);
+        let text = w.finish();
+        assert!(text.contains("\"ping\":{\"count\":2"));
+        assert!(text.contains("\"wns\":{\"count\":1"));
+        let parsed = crate::json::parse(&text).unwrap();
+        assert!(parsed.get("ping").is_some());
+    }
+}

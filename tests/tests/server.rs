@@ -1,0 +1,259 @@
+//! Integration tests for the mgba-server daemon: a real TCP server on
+//! localhost, plus the stdio stream engine for determinism checks.
+//!
+//! Protocol invariants exercised here:
+//!
+//! - the full command flow (load → calibrate → query → what-if → commit
+//!   → snapshot → restore → stats → shutdown) works over TCP;
+//! - responses are byte-identical under `--threads 1` and `--threads 4`;
+//! - malformed requests get structured error envelopes and the server
+//!   keeps serving;
+//! - overload is an explicit rejection, not a hang: every request is
+//!   answered even when the bounded queue is full;
+//! - expired deadlines are rejected at dequeue;
+//! - `shutdown` drains and the server process (thread) exits cleanly.
+
+use server::{serve_stream, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn start(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let srv = Server::bind("127.0.0.1:0", config).expect("bind localhost");
+    let addr = srv.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || srv.run().expect("server run"));
+    (addr, handle)
+}
+
+/// Pipelines `requests` over one connection and reads one response per
+/// request, in order.
+fn transact(addr: SocketAddr, requests: &[&str]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    for r in requests {
+        writeln!(w, "{r}").expect("send");
+    }
+    w.flush().expect("flush");
+    BufReader::new(stream)
+        .lines()
+        .take(requests.len())
+        .map(|l| l.expect("read response"))
+        .collect()
+}
+
+fn ok(line: &str) -> bool {
+    line.contains("\"ok\":true")
+}
+
+#[test]
+fn full_command_flow_over_tcp() {
+    let dir = std::env::temp_dir().join("mgba_server_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("flow.snapshot");
+    let snap_str = snap.to_str().unwrap();
+
+    let (addr, handle) = start(ServerConfig::default());
+    let snapshot_req = format!(r#"{{"id":9,"cmd":"snapshot","file":"{snap_str}"}}"#);
+    let restore_req = format!(r#"{{"id":10,"cmd":"restore","file":"{snap_str}"}}"#);
+    let requests = [
+        r#"{"id":1,"cmd":"ping"}"#,
+        r#"{"id":2,"cmd":"load","design":"small:5"}"#,
+        r#"{"id":3,"cmd":"calibrate","solver":"scgrs"}"#,
+        r#"{"id":4,"cmd":"slack","top":5}"#,
+        r#"{"id":5,"cmd":"wns"}"#,
+        r#"{"id":6,"cmd":"tns"}"#,
+        r#"{"id":7,"cmd":"path","pba":true}"#,
+        r#"{"id":8,"cmd":"stats"}"#,
+        &snapshot_req,
+        &restore_req,
+        r#"{"id":11,"cmd":"wns"}"#,
+        r#"{"id":12,"cmd":"shutdown"}"#,
+    ];
+    let responses = transact(addr, &requests);
+    assert_eq!(responses.len(), requests.len());
+    for (req, resp) in requests.iter().zip(&responses) {
+        assert!(ok(resp), "request {req} failed: {resp}");
+    }
+    // Calibration actually installed weights…
+    assert!(
+        responses[2].contains("\"converged\":true"),
+        "{}",
+        responses[2]
+    );
+    // …and the restore reproduced the calibrated WNS bit-for-bit: the
+    // wns queries before snapshot and after restore match.
+    let wns_field = |line: &str| {
+        let start = line.find("\"wns\":").expect("wns field") + 6;
+        line[start..]
+            .split(&[',', '}'][..])
+            .next()
+            .unwrap()
+            .to_owned()
+    };
+    assert_eq!(wns_field(&responses[4]), wns_field(&responses[10]));
+    assert!(responses[11].contains("\"draining\":true"));
+    // Graceful drain-then-exit: run() returns, the thread joins.
+    handle.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn responses_are_bit_identical_across_thread_counts() {
+    // The worker serializes execution and responses carry no wall-clock
+    // fields, so the entire response stream must be byte-identical no
+    // matter how many threads the engine's parallel kernels use.
+    let script = concat!(
+        r#"{"id":1,"cmd":"load","design":"small:7"}"#,
+        "\n",
+        r#"{"id":2,"cmd":"calibrate","solver":"scgrs"}"#,
+        "\n",
+        r#"{"id":3,"cmd":"slack","top":10}"#,
+        "\n",
+        r#"{"id":4,"cmd":"path","pba":true}"#,
+        "\n",
+        r#"{"id":5,"cmd":"whatif_resize","cell":"g_1_0_0","to":"up"}"#,
+        "\n",
+        r#"{"id":6,"cmd":"wns"}"#,
+        "\n",
+        r#"{"id":7,"cmd":"tns"}"#,
+        "\n",
+        "this line is not json\n",
+        r#"{"id":8,"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let run_with = |threads: usize| -> Vec<u8> {
+        parallel::set_global_threads(threads);
+        serve_stream(
+            &ServerConfig::default(),
+            script.as_bytes(),
+            Vec::<u8>::new(),
+        )
+        .expect("stream run")
+    };
+    let serial = run_with(1);
+    let parallel_run = run_with(4);
+    parallel::set_global_threads(1);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        String::from_utf8(serial).unwrap(),
+        String::from_utf8(parallel_run).unwrap(),
+        "threads=1 and threads=4 must produce identical response bytes"
+    );
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_and_serving_continues() {
+    let (addr, handle) = start(ServerConfig::default());
+    let requests = [
+        r#"{"id":1,"cmd":"ping"}"#,
+        r#"{"truncated": "#,
+        r#"{"id":2,"cmd":"no_such_command"}"#,
+        r#"{"id":3,"cmd":"slack"}"#,
+        r#"[1,2,3]"#,
+        r#"{"id":4,"cmd":"ping"}"#,
+        r#"{"id":5,"cmd":"shutdown"}"#,
+    ];
+    let responses = transact(addr, &requests);
+    assert_eq!(responses.len(), requests.len());
+    assert!(ok(&responses[0]));
+    assert!(
+        responses[1].contains("\"kind\":\"usage\""),
+        "{}",
+        responses[1]
+    );
+    // Unknown command recovers the request id into the envelope.
+    assert!(responses[2].contains("\"id\":2"), "{}", responses[2]);
+    assert!(responses[2].contains("\"kind\":\"usage\""));
+    // slack before load: a domain error, also structured.
+    assert!(responses[3].contains("\"kind\":\"usage\""));
+    assert!(responses[3].contains("no design loaded"));
+    assert!(responses[4].contains("\"kind\":\"usage\""));
+    // The server is still alive and answers normal requests.
+    assert!(ok(&responses[5]), "{}", responses[5]);
+    assert!(responses[6].contains("\"draining\":true"));
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn overload_is_an_explicit_rejection_not_a_hang() {
+    // Queue depth 1: while the worker executes sleep(300), at most one
+    // request can wait; the rest of the burst must be rejected with an
+    // explicit overload envelope — and every request must be answered.
+    let (addr, handle) = start(ServerConfig {
+        queue_depth: 1,
+        default_deadline_ms: None,
+    });
+    let mut requests = vec![r#"{"id":0,"cmd":"sleep","ms":300}"#.to_owned()];
+    for i in 1..=8 {
+        requests.push(format!(r#"{{"id":{i},"cmd":"ping"}}"#));
+    }
+    let refs: Vec<&str> = requests.iter().map(String::as_str).collect();
+    let responses = transact(addr, &refs);
+    assert_eq!(responses.len(), requests.len(), "every request is answered");
+    // Overload rejections are answered by the connection's reader
+    // thread immediately, so they may arrive ahead of the responses of
+    // admitted requests — match by id, not position.
+    let overloads = responses
+        .iter()
+        .filter(|r| r.contains("\"kind\":\"overload\""))
+        .count();
+    assert!(overloads >= 1, "burst must trip the bounded queue");
+    assert!(
+        responses
+            .iter()
+            .any(|r| r.contains("\"slept_ms\":300") && ok(r)),
+        "the sleep itself completes: {responses:?}"
+    );
+    // Cleanup.
+    let bye = transact(addr, &[r#"{"id":99,"cmd":"shutdown"}"#]);
+    assert!(bye[0].contains("\"draining\":true"));
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn expired_deadlines_are_rejected_at_dequeue() {
+    let (addr, handle) = start(ServerConfig::default());
+    let requests = [
+        r#"{"id":1,"cmd":"sleep","ms":60}"#,
+        r#"{"id":2,"cmd":"ping","deadline_ms":1}"#,
+        r#"{"id":3,"cmd":"ping","deadline_ms":60000}"#,
+        r#"{"id":4,"cmd":"shutdown"}"#,
+    ];
+    let responses = transact(addr, &requests);
+    assert!(ok(&responses[0]));
+    assert!(
+        responses[1].contains("\"kind\":\"deadline\""),
+        "{}",
+        responses[1]
+    );
+    assert!(
+        ok(&responses[2]),
+        "generous deadline passes: {}",
+        responses[2]
+    );
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn stdio_stream_supports_the_smoke_flow() {
+    // The same engine the CLI's `serve --stdio` uses, driven directly.
+    let script = concat!(
+        r#"{"id":1,"cmd":"load","design":"small:3"}"#,
+        "\n",
+        r#"{"id":2,"cmd":"calibrate"}"#,
+        "\n",
+        r#"{"id":3,"cmd":"slack","top":3}"#,
+        "\n",
+        r#"{"id":4,"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let out = serve_stream(
+        &ServerConfig::default(),
+        script.as_bytes(),
+        Vec::<u8>::new(),
+    )
+    .expect("stream run");
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4);
+    assert!(lines.iter().all(|l| ok(l)), "{text}");
+    assert!(lines[3].contains("\"draining\":true"));
+}
