@@ -1,0 +1,136 @@
+//! The standing PR benchmark: runs the calibrate / solver / server
+//! scenarios and writes the schema'd `BENCH_PR.json` consumed by
+//! `bench_compare` (and the CI `bench-gate` job).
+//!
+//! ```text
+//! bench_all [--out PATH]          # default BENCH_PR.json
+//! ```
+//!
+//! Scenario set (all deterministic apart from wall time and RSS):
+//!
+//! - `calibrate_scgrs` / `calibrate_cgnr` / `calibrate_gd`: the full
+//!   mGBA pipeline on the same seeded small design, one scenario per
+//!   solver, with the accuracy dashboard's QoR metrics attached;
+//! - `server_query_mix`: load + calibrate + a steady-state query mix
+//!   through the in-process stream transport;
+//! - `whatif_burst`: incremental what-if resizes against a calibrated
+//!   session.
+
+use bench::harness::{commit_sha, run_scenario, write_report, ScenarioResult};
+use mgba::prelude::*;
+use server::{serve_stream, ServerConfig};
+
+/// Design shared by the calibrate scenarios: the paper's D1 is big
+/// enough that the solvers separate on wall time, small enough for a
+/// CI-friendly run.
+const CALIBRATE_DESIGN: &str = "D1";
+
+/// Design for the server scenarios (matches the latency snapshot bin).
+const SERVER_DESIGN: &str = "small:5";
+
+fn calibrate_scenario(name: &str, solver: Solver) -> ScenarioResult {
+    run_scenario(name, || {
+        let netlist = parse_design(CALIBRATE_DESIGN).expect("known design");
+        let period = auto_period(&netlist).expect("probe");
+        let mut sta = build_engine(netlist, period).expect("engine");
+        let config = MgbaConfig::default();
+        let (report, accuracy) = run_mgba_with_accuracy(&mut sta, &config, solver);
+        vec![
+            ("paths".into(), report.num_paths as f64),
+            ("gates".into(), report.num_gates as f64),
+            ("mse_before".into(), report.mse_before),
+            ("mse_after".into(), report.mse_after),
+            ("pass_ratio_after".into(), report.pass_after.ratio()),
+            ("iterations".into(), report.iterations as f64),
+            ("rows_touched".into(), report.rows_touched as f64),
+            ("mean_abs_err_after".into(), accuracy.mean_abs_err_after),
+            ("wns_mgba".into(), accuracy.wns.2),
+            ("tns_mgba".into(), accuracy.tns.2),
+            ("weight_sparsity_pct".into(), accuracy.sparsity_pct()),
+        ]
+    })
+}
+
+/// Runs `script` through the stream transport and counts response lines.
+fn stream_responses(script: &str) -> f64 {
+    let config = ServerConfig {
+        queue_depth: script.lines().count() + 1,
+        default_deadline_ms: None,
+    };
+    let out = serve_stream(&config, script.as_bytes(), Vec::<u8>::new()).expect("stream transport");
+    let text = String::from_utf8(out).expect("utf8 responses");
+    assert!(
+        !text.contains("\"error\""),
+        "benchmark script must not error: {text}"
+    );
+    text.lines().count() as f64
+}
+
+fn server_query_mix() -> ScenarioResult {
+    run_scenario("server_query_mix", || {
+        let mut script = format!("{{\"cmd\":\"load\",\"design\":\"{SERVER_DESIGN}\"}}\n");
+        script.push_str("{\"cmd\":\"calibrate\",\"solver\":\"scgrs\"}\n");
+        for _ in 0..100 {
+            script.push_str("{\"cmd\":\"wns\"}\n");
+            script.push_str("{\"cmd\":\"tns\"}\n");
+            script.push_str("{\"cmd\":\"slack\",\"top\":10}\n");
+            script.push_str("{\"cmd\":\"path\",\"pba\":true}\n");
+        }
+        vec![("responses".into(), stream_responses(&script))]
+    })
+}
+
+fn whatif_burst() -> ScenarioResult {
+    run_scenario("whatif_burst", || {
+        let mut script = format!("{{\"cmd\":\"load\",\"design\":\"{SERVER_DESIGN}\"}}\n");
+        script.push_str("{\"cmd\":\"calibrate\",\"solver\":\"scgrs\"}\n");
+        for round in 0..150 {
+            script.push_str(&format!(
+                "{{\"cmd\":\"whatif_resize\",\"cell\":\"g_1_{}_0\",\"to\":\"up\"}}\n",
+                round % 4
+            ));
+        }
+        script.push_str("{\"cmd\":\"wns\"}\n");
+        vec![("responses".into(), stream_responses(&script))]
+    })
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("usage: bench_all [--out PATH] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scenarios = vec![
+        calibrate_scenario("calibrate_scgrs", Solver::ScgRs),
+        calibrate_scenario("calibrate_cgnr", Solver::Cgnr),
+        calibrate_scenario("calibrate_gd", Solver::Gd),
+        server_query_mix(),
+        whatif_burst(),
+    ];
+    for s in &scenarios {
+        println!(
+            "{:<18} {:>9.2} ms  rss {:>8} kB  {} qor metrics",
+            s.name,
+            s.wall_ms,
+            s.peak_rss_kb,
+            s.qor.len()
+        );
+    }
+    let threads = parallel::global().threads();
+    write_report(
+        std::path::Path::new(&out_path),
+        &commit_sha(),
+        threads,
+        &scenarios,
+    )
+    .expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,86 @@
+//! CI regression gate: diffs a current `BENCH_PR.json` against the
+//! committed baseline and exits nonzero when any threshold is breached.
+//!
+//! ```text
+//! bench_compare BASELINE CURRENT [--wall-factor F] [--rss-factor F]
+//!               [--qor-tol T]
+//! ```
+//!
+//! Wall/RSS headroom is multiplicative with an absolute floor (see
+//! [`bench::compare::Thresholds`]); QoR metrics are deterministic and
+//! held to a tight relative tolerance — a deliberate QoR change means
+//! regenerating the baseline in the same PR.
+
+use bench::compare::{compare, exit_code, parse_report, Thresholds};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare BASELINE CURRENT [--wall-factor F] [--rss-factor F] [--qor-tol T]"
+    );
+    std::process::exit(2);
+}
+
+fn read_report(path: &str) -> bench::compare::BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_report(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_f64(flag: &str, v: Option<String>) -> f64 {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("bench_compare: {flag} needs a number");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut positional = Vec::new();
+    let mut th = Thresholds::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--wall-factor" => th.wall_factor = parse_f64("--wall-factor", args.next()),
+            "--rss-factor" => th.rss_factor = parse_f64("--rss-factor", args.next()),
+            "--qor-tol" => th.qor_rel_tol = parse_f64("--qor-tol", args.next()),
+            _ if a.starts_with("--") => usage(),
+            _ => positional.push(a),
+        }
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        usage();
+    };
+    let baseline = read_report(baseline_path);
+    let current = read_report(current_path);
+
+    println!(
+        "baseline {} ({} scenarios)  vs  current {} ({} scenarios)",
+        baseline.commit,
+        baseline.scenarios.len(),
+        current.commit,
+        current.scenarios.len()
+    );
+    for base in &baseline.scenarios {
+        if let Some(cur) = current.scenarios.iter().find(|s| s.name == base.name) {
+            println!(
+                "{:<18} wall {:>9.2} -> {:>9.2} ms   rss {:>8} -> {:>8} kB",
+                base.name, base.wall_ms, cur.wall_ms, base.peak_rss_kb, cur.peak_rss_kb
+            );
+        }
+    }
+
+    let violations = compare(&baseline, &current, &th);
+    if violations.is_empty() {
+        println!("bench gate: PASS");
+    } else {
+        eprintln!("bench gate: FAIL ({} violations)", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+    }
+    std::process::exit(exit_code(&violations));
+}

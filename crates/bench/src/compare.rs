@@ -1,0 +1,355 @@
+//! Regression comparator for `BENCH_PR.json` reports: joins a current
+//! report against the committed baseline scenario-by-scenario and lists
+//! every threshold violation. The `bench_compare` binary maps a
+//! non-empty violation list to a nonzero exit status, which is what the
+//! CI `bench-gate` job keys on.
+//!
+//! Two metric classes, two disciplines:
+//!
+//! - **Machine facts** (`wall_ms`, `peak_rss_kb`) are noisy, so they get
+//!   multiplicative headroom plus an absolute floor that keeps
+//!   millisecond-scale scenarios from tripping on scheduler jitter.
+//! - **QoR metrics** are deterministic; any drift beyond a tight
+//!   relative tolerance means the fit changed and the baseline must be
+//!   regenerated deliberately (with the change explained in the PR).
+
+use crate::harness::ScenarioResult;
+use server::json::{parse, Value};
+
+/// Gate thresholds; [`Thresholds::default`] matches the CI defaults
+/// except for the wall factor, which CI widens on shared runners.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Current wall time may be at most `baseline * wall_factor +
+    /// wall_floor_ms`.
+    pub wall_factor: f64,
+    /// Absolute wall-time headroom (ms) added on top of the factor.
+    pub wall_floor_ms: f64,
+    /// Current peak RSS may be at most `baseline * rss_factor +
+    /// rss_floor_kb`.
+    pub rss_factor: f64,
+    /// Absolute RSS headroom (kB) added on top of the factor.
+    pub rss_floor_kb: f64,
+    /// Relative tolerance for QoR metrics: `|cur - base|` must stay
+    /// within `qor_rel_tol * max(|base|, 1e-12)`.
+    pub qor_rel_tol: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            wall_factor: 1.75,
+            wall_floor_ms: 5.0,
+            rss_factor: 1.5,
+            rss_floor_kb: 16_384.0,
+            qor_rel_tol: 1e-2,
+        }
+    }
+}
+
+/// One threshold breach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Scenario the breach occurred in.
+    pub scenario: String,
+    /// Metric name (`wall_ms`, `peak_rss_kb`, or a QoR key).
+    pub metric: String,
+    /// Baseline value (0 when the metric is simply missing).
+    pub baseline: f64,
+    /// Current value (0 when the scenario/metric is missing).
+    pub current: f64,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} (baseline {:.4}, current {:.4})",
+            self.scenario, self.metric, self.detail, self.baseline, self.current
+        )
+    }
+}
+
+/// A parsed `BENCH_PR.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Commit sha recorded by the producing run.
+    pub commit: String,
+    /// Thread-pool width of the producing run.
+    pub threads: u64,
+    /// Scenarios in file order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    fn scenario(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+/// Parses a version-1 report document.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (bad JSON,
+/// wrong version, missing fields).
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let v = parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = v
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or("missing `version`")?;
+    if version != crate::harness::BENCH_SCHEMA_VERSION {
+        return Err(format!("unsupported report version {version}"));
+    }
+    let commit = v
+        .get("commit")
+        .and_then(Value::as_str)
+        .ok_or("missing `commit`")?
+        .to_owned();
+    let threads = v
+        .get("threads")
+        .and_then(Value::as_u64)
+        .ok_or("missing `threads`")?;
+    let Some(Value::Arr(entries)) = v.get("scenarios") else {
+        return Err("missing `scenarios` array".into());
+    };
+    let mut scenarios = Vec::with_capacity(entries.len());
+    for e in entries {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("scenario missing `name`")?
+            .to_owned();
+        let wall_ms = e
+            .get("wall_ms")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("scenario `{name}` missing `wall_ms`"))?;
+        let peak_rss_kb = e
+            .get("peak_rss_kb")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("scenario `{name}` missing `peak_rss_kb`"))?;
+        let Some(Value::Obj(qor_obj)) = e.get("qor") else {
+            return Err(format!("scenario `{name}` missing `qor` object"));
+        };
+        let mut qor = Vec::with_capacity(qor_obj.len());
+        for (k, val) in qor_obj {
+            let num = val
+                .as_f64()
+                .ok_or_else(|| format!("scenario `{name}` qor `{k}` is not a number"))?;
+            qor.push((k.clone(), num));
+        }
+        scenarios.push(ScenarioResult {
+            name,
+            wall_ms,
+            peak_rss_kb,
+            qor,
+        });
+    }
+    Ok(BenchReport {
+        commit,
+        threads,
+        scenarios,
+    })
+}
+
+/// Compares `current` against `baseline`, returning every violation
+/// (empty means the gate passes). Scenarios present only in `current`
+/// are new coverage and never violations; scenarios missing from
+/// `current` are.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, th: &Thresholds) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for base in &baseline.scenarios {
+        let Some(cur) = current.scenario(&base.name) else {
+            out.push(Violation {
+                scenario: base.name.clone(),
+                metric: "scenario".into(),
+                baseline: 1.0,
+                current: 0.0,
+                detail: "scenario missing from current report".into(),
+            });
+            continue;
+        };
+        let wall_allowed = base.wall_ms * th.wall_factor + th.wall_floor_ms;
+        if cur.wall_ms > wall_allowed {
+            out.push(Violation {
+                scenario: base.name.clone(),
+                metric: "wall_ms".into(),
+                baseline: base.wall_ms,
+                current: cur.wall_ms,
+                detail: format!("wall time exceeds allowed {wall_allowed:.2} ms"),
+            });
+        }
+        if base.peak_rss_kb > 0 && cur.peak_rss_kb > 0 {
+            let rss_allowed = base.peak_rss_kb as f64 * th.rss_factor + th.rss_floor_kb;
+            if cur.peak_rss_kb as f64 > rss_allowed {
+                out.push(Violation {
+                    scenario: base.name.clone(),
+                    metric: "peak_rss_kb".into(),
+                    baseline: base.peak_rss_kb as f64,
+                    current: cur.peak_rss_kb as f64,
+                    detail: format!("peak RSS exceeds allowed {rss_allowed:.0} kB"),
+                });
+            }
+        }
+        for (key, base_val) in &base.qor {
+            let Some((_, cur_val)) = cur.qor.iter().find(|(k, _)| k == key) else {
+                out.push(Violation {
+                    scenario: base.name.clone(),
+                    metric: key.clone(),
+                    baseline: *base_val,
+                    current: 0.0,
+                    detail: "QoR metric missing from current report".into(),
+                });
+                continue;
+            };
+            let tol = th.qor_rel_tol * base_val.abs().max(1e-12);
+            if (cur_val - base_val).abs() > tol {
+                out.push(Violation {
+                    scenario: base.name.clone(),
+                    metric: key.clone(),
+                    baseline: *base_val,
+                    current: *cur_val,
+                    detail: format!(
+                        "QoR drifted beyond ±{:.3}% of baseline",
+                        th.qor_rel_tol * 100.0
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Exit status for a violation list: 0 clean, 1 gated.
+pub fn exit_code(violations: &[Violation]) -> i32 {
+    i32::from(!violations.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(scenarios: Vec<ScenarioResult>) -> BenchReport {
+        BenchReport {
+            commit: "test".into(),
+            threads: 1,
+            scenarios,
+        }
+    }
+
+    fn scenario(name: &str, wall_ms: f64, rss: u64, qor: &[(&str, f64)]) -> ScenarioResult {
+        ScenarioResult {
+            name: name.into(),
+            wall_ms,
+            peak_rss_kb: rss,
+            qor: qor.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report(vec![scenario(
+            "calibrate",
+            120.0,
+            80_000,
+            &[("mse_after", 2.5e-3)],
+        )]);
+        assert!(compare(&base, &base, &Thresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails_the_gate() {
+        // The acceptance criterion: a 2x wall-time regression must trip
+        // the default thresholds and produce a nonzero exit.
+        let base = report(vec![scenario(
+            "calibrate_scgrs",
+            100.0,
+            80_000,
+            &[("mse_after", 2.5e-3)],
+        )]);
+        let mut slow = base.clone();
+        slow.scenarios[0].wall_ms *= 2.0;
+        let violations = compare(&base, &slow, &Thresholds::default());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "wall_ms");
+        assert_eq!(exit_code(&violations), 1);
+    }
+
+    #[test]
+    fn jitter_on_tiny_scenarios_is_absorbed_by_the_floor() {
+        // 2 ms -> 4 ms is a 2x "slowdown" but pure noise at this scale;
+        // the absolute floor keeps it green.
+        let base = report(vec![scenario("query_mix", 2.0, 80_000, &[])]);
+        let mut cur = base.clone();
+        cur.scenarios[0].wall_ms = 4.0;
+        assert!(compare(&base, &cur, &Thresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn qor_drift_and_missing_metric_fail() {
+        let base = report(vec![scenario(
+            "calibrate_scgrs",
+            100.0,
+            80_000,
+            &[("mse_after", 2.0e-3), ("paths", 840.0)],
+        )]);
+        let cur = report(vec![scenario(
+            "calibrate_scgrs",
+            100.0,
+            80_000,
+            &[("mse_after", 2.1e-3)],
+        )]);
+        let violations = compare(&base, &cur, &Thresholds::default());
+        let metrics: Vec<&str> = violations.iter().map(|v| v.metric.as_str()).collect();
+        assert!(metrics.contains(&"mse_after"), "5% mse drift must fail");
+        assert!(metrics.contains(&"paths"), "missing metric must fail");
+    }
+
+    #[test]
+    fn missing_scenario_fails_but_new_scenario_passes() {
+        let base = report(vec![scenario("a", 10.0, 1000, &[])]);
+        let cur = report(vec![scenario("b", 10.0, 1000, &[])]);
+        let violations = compare(&base, &cur, &Thresholds::default());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "scenario");
+        // Reversed: current has extra coverage, nothing to flag.
+        assert!(compare(
+            &cur,
+            &report(vec![
+                scenario("b", 10.0, 1000, &[]),
+                scenario("a", 10.0, 1000, &[]),
+            ]),
+            &Thresholds::default()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn rss_regression_fails_beyond_headroom() {
+        let base = report(vec![scenario("a", 10.0, 100_000, &[])]);
+        let mut cur = base.clone();
+        cur.scenarios[0].peak_rss_kb = 400_000;
+        let violations = compare(&base, &cur, &Thresholds::default());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "peak_rss_kb");
+    }
+
+    #[test]
+    fn round_trip_parse_matches_render() {
+        let base = report(vec![scenario(
+            "calibrate_scgrs",
+            12.5,
+            4096,
+            &[("mse_after", 1.5e-3)],
+        )]);
+        let text = crate::harness::render_report("abc", 1, &base.scenarios);
+        let parsed = parse_report(&text).expect("round trip");
+        assert_eq!(parsed.scenarios, base.scenarios);
+        assert_eq!(parsed.commit, "abc");
+        assert!(parse_report("{\"version\":99}").is_err());
+        assert!(parse_report("not json").is_err());
+    }
+}

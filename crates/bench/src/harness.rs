@@ -1,0 +1,202 @@
+//! The standing bench harness: named scenarios measured into one
+//! schema'd `BENCH_PR.json`, consumed by the comparator ([`crate::compare`])
+//! as a CI regression gate.
+//!
+//! # `BENCH_PR.json` schema (version 1)
+//!
+//! ```text
+//! {
+//!   "version": 1,
+//!   "commit": str,          // git HEAD sha, "unknown" outside a checkout
+//!   "threads": u64,         // parallel pool width the run used
+//!   "scenarios": [
+//!     {"name": str,
+//!      "wall_ms": f64,      // scenario wall time
+//!      "peak_rss_kb": u64,  // process VmHWM after the scenario (monotonic
+//!                           // high-water mark, not a per-scenario delta)
+//!      "qor": {str: f64, ...}}  // deterministic quality metrics
+//!   ]
+//! }
+//! ```
+//!
+//! Wall time and RSS are noisy machine facts; everything under `qor`
+//! is deterministic (fit MSE, pass ratios, response counts) and is held
+//! to a much tighter comparison tolerance than the timings.
+
+use obs::json::JsonWriter;
+use std::time::Instant;
+
+/// Schema version of [`write_report`].
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One measured scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Stable scenario name (the comparator joins on it).
+    pub name: String,
+    /// Wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Process peak RSS (VmHWM) after the scenario, kilobytes; 0 when
+    /// the platform does not expose it.
+    pub peak_rss_kb: u64,
+    /// Deterministic QoR metrics, in insertion order.
+    pub qor: Vec<(String, f64)>,
+}
+
+/// Times `body` and packages its QoR metrics as one scenario.
+pub fn run_scenario(name: &str, body: impl FnOnce() -> Vec<(String, f64)>) -> ScenarioResult {
+    let start = Instant::now();
+    let qor = body();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    ScenarioResult {
+        name: name.to_owned(),
+        wall_ms,
+        peak_rss_kb: peak_rss_kb(),
+        qor,
+    }
+}
+
+/// Process peak resident set size in kB, from `/proc/self/status`
+/// (`VmHWM`). Returns 0 where procfs is unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// `git rev-parse HEAD` of the working directory, or `"unknown"`.
+pub fn commit_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Renders the version-1 report document.
+pub fn render_report(commit: &str, threads: usize, scenarios: &[ScenarioResult]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("version");
+    w.u64(BENCH_SCHEMA_VERSION);
+    w.key("commit");
+    w.str(commit);
+    w.key("threads");
+    w.u64(threads as u64);
+    w.key("scenarios");
+    w.begin_arr();
+    for s in scenarios {
+        w.begin_obj();
+        w.key("name");
+        w.str(&s.name);
+        w.key("wall_ms");
+        w.f64(s.wall_ms);
+        w.key("peak_rss_kb");
+        w.u64(s.peak_rss_kb);
+        w.key("qor");
+        w.begin_obj();
+        for (k, v) in &s.qor {
+            w.key(k);
+            w.f64(*v);
+        }
+        w.end_obj();
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+/// Writes the report to `path` (creating parent directories).
+///
+/// # Errors
+///
+/// Returns the I/O error from directory creation or the write.
+pub fn write_report(
+    path: &std::path::Path,
+    commit: &str,
+    threads: usize,
+    scenarios: &[ScenarioResult],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, render_report(commit, threads, scenarios))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use server::json::{parse, Value};
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let scenarios = vec![
+            ScenarioResult {
+                name: "calibrate_scgrs".into(),
+                wall_ms: 12.5,
+                peak_rss_kb: 4096,
+                qor: vec![("mse_after".into(), 1.5e-3), ("paths".into(), 840.0)],
+            },
+            ScenarioResult {
+                name: "server_query_mix".into(),
+                wall_ms: 3.25,
+                peak_rss_kb: 4096,
+                qor: vec![("responses".into(), 24.0)],
+            },
+        ];
+        let text = render_report("abc123", 4, &scenarios);
+        let v = parse(&text).expect("valid JSON");
+        assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("commit").and_then(Value::as_str), Some("abc123"));
+        assert_eq!(v.get("threads").and_then(Value::as_u64), Some(4));
+        let Some(Value::Arr(arr)) = v.get("scenarios") else {
+            panic!("scenarios must be an array");
+        };
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].get("name").and_then(Value::as_str),
+            Some("calibrate_scgrs")
+        );
+        assert_eq!(
+            arr[0]
+                .get("qor")
+                .unwrap()
+                .get("paths")
+                .and_then(Value::as_f64),
+            Some(840.0)
+        );
+    }
+
+    #[test]
+    fn run_scenario_measures_and_tags() {
+        let s = run_scenario("demo", || vec![("answer".into(), 42.0)]);
+        assert_eq!(s.name, "demo");
+        assert!(s.wall_ms >= 0.0);
+        assert_eq!(s.qor, vec![("answer".into(), 42.0)]);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+
+    #[test]
+    fn commit_sha_never_panics() {
+        let sha = commit_sha();
+        assert!(!sha.is_empty());
+    }
+}

@@ -8,6 +8,9 @@
 //! depth, guaranteeing a realistic population of violating paths (the
 //! paper's designs are all pre-closure post-route snapshots).
 
+pub mod compare;
+pub mod harness;
+
 use netlist::DesignSpec;
 use sta::{DerateSet, Sdc, Sta};
 

@@ -27,6 +27,11 @@
 //!   `--profile=json` writes `results/profile_<command>.json`.
 //!   Instrumentation never changes results — outputs are bit-identical
 //!   with and without it.
+//! - `--trace FILE` records every span as a Chrome `trace_event` and
+//!   writes the timeline JSON to FILE on success — load it in
+//!   `chrome://tracing` or Perfetto. Independent of `--profile`; under
+//!   `serve` each request's handler appears as its own span. The same
+//!   bit-identity guarantee applies.
 //!
 //! Netlist files may be in the native text format (`.nl`) or the
 //! structural-Verilog subset (`.v`), auto-detected by content.
@@ -70,19 +75,23 @@ usage:
   mgba-sta report    <FILE> --period PS [--top N] [--weights WEIGHTS]
   mgba-sta fit       <FILE> --period PS [--solver gd|scg|scgrs|cgnr] [--out WEIGHTS]
   mgba-sta calibrate <D1..D10|small:SEED|FILE> [--period PS] [--solver ...] [--out WEIGHTS]
+                     [--qor FILE]   (write the QoR accuracy dashboard JSON)
   mgba-sta flow      <FILE> --period PS [--timer gba|mgba]
   mgba-sta holdfix   <FILE> --period PS [--guard PS]
   mgba-sta corners   <FILE> --period PS
   mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
   mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
-  mgba-sta query     --connect ADDR [REQUEST...]   (reads stdin when no REQUEST)
+  mgba-sta query     --connect ADDR [REQUEST...]   (reads stdin when no REQUEST;
+                     a bare word like `wns` or `metrics` means {\"cmd\":\"...\"};
+                     a bare `metrics` prints the raw Prometheus exposition)
 
 global options:
   --threads N       worker threads for PBA retiming / fitting kernels
                     (default: MGBA_THREADS env, else all cores; 1 = serial;
                     results are identical for every value)
   --profile         print a span/metrics/solver-telemetry report to stderr
-  --profile=json    write the report to results/profile_<command>.json";
+  --profile=json    write the report to results/profile_<command>.json
+  --trace FILE      write a Chrome trace_event timeline (chrome://tracing)";
 
 /// Where the `--profile` report goes.
 #[derive(Clone, Copy, PartialEq)]
@@ -112,6 +121,10 @@ fn run(argv: &[String]) -> Result<(), MgbaError> {
     if profile.is_some() {
         obs::set_enabled(true);
     }
+    let trace_path = args.option("--trace")?;
+    if trace_path.is_some() {
+        obs::set_trace_enabled(true);
+    }
     let command = args.positional("command")?;
     let result = {
         // Root span: the whole subcommand, named after it.
@@ -132,12 +145,26 @@ fn run(argv: &[String]) -> Result<(), MgbaError> {
         }
     };
     if result.is_ok() {
+        if let Some(path) = &trace_path {
+            obs::set_trace_enabled(false);
+            write_trace(path)?;
+        }
         if let Some(format) = profile {
             obs::set_enabled(false);
             write_profile(&command, format)?;
         }
     }
     result
+}
+
+/// Writes the collected Chrome trace_event timeline.
+fn write_trace(path: &str) -> Result<(), MgbaError> {
+    std::fs::write(path, obs::trace::export_json()).map_err(|e| MgbaError::io(path, e))?;
+    match obs::trace::dropped_events() {
+        0 => eprintln!("wrote trace {path}"),
+        n => eprintln!("wrote trace {path} ({n} events dropped past cap)"),
+    }
+    Ok(())
 }
 
 /// Emits the captured observability report in the requested format.
@@ -339,6 +366,7 @@ fn cmd_calibrate(args: &mut Args) -> Result<(), MgbaError> {
     };
     let solver = parse_solver(&args.option("--solver")?.unwrap_or_else(|| "scgrs".into()))?;
     let out = args.option("--out")?;
+    let qor = args.option("--qor")?;
     args.finish()?;
     let netlist = load_design_or_file(&spec)?;
     let period = match period {
@@ -352,7 +380,15 @@ fn cmd_calibrate(args: &mut Args) -> Result<(), MgbaError> {
     let mut sta = build_engine(netlist, period)?;
     // Dogfood the validating builder (equivalent to `MgbaConfig::default`).
     let config = MgbaConfig::builder().build()?;
-    let report = run_mgba(&mut sta, &config, solver);
+    let report = match &qor {
+        Some(path) => {
+            let (report, accuracy) = run_mgba_with_accuracy(&mut sta, &config, solver);
+            std::fs::write(path, accuracy.to_json()).map_err(|e| MgbaError::io(path, e))?;
+            eprintln!("wrote QoR accuracy report {path}");
+            report
+        }
+        None => run_mgba(&mut sta, &config, solver),
+    };
     if let Some(path) = &out {
         let text = write_weights(sta.netlist(), &report.weights);
         std::fs::write(path, text).map_err(|e| MgbaError::io(path, e))?;
@@ -440,26 +476,45 @@ fn cmd_serve(args: &mut Args) -> Result<(), MgbaError> {
     srv.run()
 }
 
+/// Bare-word request sugar: `wns` → `{"cmd":"wns"}`. Anything that
+/// isn't a plain identifier passes through untouched.
+fn desugar_request(line: &str) -> String {
+    let t = line.trim();
+    if !t.is_empty()
+        && !t.starts_with('{')
+        && t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        format!("{{\"cmd\":\"{t}\"}}")
+    } else {
+        line.to_owned()
+    }
+}
+
 /// Batch client for a running `serve` daemon: sends each REQUEST line
 /// (or, with none given, every non-blank stdin line), then prints the
-/// servers responses in order, one JSON object per line.
+/// servers responses in order, one JSON object per line. Requests may
+/// be bare command words ([`desugar_request`]); a bare `metrics`
+/// request prints its Prometheus exposition as raw text instead of the
+/// JSON envelope, so `mgba-sta query --connect HOST metrics` pipes
+/// straight into Prometheus tooling.
 fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
     use std::io::{BufRead as _, BufReader, BufWriter};
 
     let connect: String = args.required_option("--connect")?;
-    let mut requests = Vec::new();
+    let mut raw_requests = Vec::new();
     while let Ok(r) = args.positional("request") {
-        requests.push(r);
+        raw_requests.push(r);
     }
     args.finish()?;
-    if requests.is_empty() {
+    if raw_requests.is_empty() {
         for line in std::io::stdin().lock().lines() {
             let line = line.map_err(|e| MgbaError::io("<stdin>", e))?;
             if !line.trim().is_empty() {
-                requests.push(line);
+                raw_requests.push(line);
             }
         }
     }
+    let requests: Vec<String> = raw_requests.iter().map(|r| desugar_request(r)).collect();
     let stream = std::net::TcpStream::connect(&connect).map_err(|e| MgbaError::io(&connect, e))?;
     let mut writer = BufWriter::new(stream.try_clone().map_err(|e| MgbaError::io(&connect, e))?);
     let reader = BufReader::new(stream);
@@ -473,9 +528,15 @@ fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
     // The protocol answers every request line with exactly one response
     // line, so read back precisely as many as were sent.
     let mut lines = reader.lines();
-    for _ in 0..requests.len() {
+    for raw in &raw_requests {
         match lines.next() {
             Some(Ok(response)) => {
+                if raw.trim() == "metrics" {
+                    if let Some(exposition) = extract_exposition(&response) {
+                        emit(&exposition)?;
+                        continue;
+                    }
+                }
                 emit(&response)?;
                 emit("\n")?;
             }
@@ -488,4 +549,14 @@ fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
         }
     }
     Ok(())
+}
+
+/// Pulls `result.exposition` out of a successful `metrics` response.
+/// Returns `None` for error envelopes (the caller prints them as-is).
+fn extract_exposition(response: &str) -> Option<String> {
+    let v = server::json::parse(response).ok()?;
+    v.get("result")?
+        .get("exposition")?
+        .as_str()
+        .map(str::to_owned)
 }

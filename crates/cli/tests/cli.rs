@@ -142,7 +142,7 @@ fn calibrate_profile_json_writes_span_tree() {
     assert!(out.contains("pass ratio"));
     let profile = std::fs::read_to_string(dir.join("results/profile_calibrate.json"))
         .expect("profile written");
-    assert!(profile.starts_with("{\"version\":1,"));
+    assert!(profile.starts_with("{\"version\":2,"));
     // The span tree covers the whole pipeline and the solver telemetry
     // recorded Algorithm 1's rounds.
     for span in [
@@ -161,6 +161,70 @@ fn calibrate_profile_json_writes_span_tree() {
     assert!(profile.contains("\"SCG + RS\""));
     assert!(profile.contains("\"rounds\""));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibrate_trace_writes_chrome_trace() {
+    use server::json::{parse, Value};
+
+    let trace = tmp("calibrate_trace.json");
+    run_ok(bin().args(["calibrate", "small:40", "--trace"]).arg(&trace));
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let Value::Arr(events) = parse(&text).expect("valid JSON") else {
+        panic!("trace must be a JSON array");
+    };
+    assert!(!events.is_empty(), "calibrate must emit span events");
+    // Every event is a B/E/X duration event; per tid, ts never goes
+    // backwards; B and E counts balance.
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
+    let (mut begins, mut ends) = (0u64, 0u64);
+    for e in &events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+        assert!(matches!(ph, "B" | "E" | "X"), "bad phase {ph}");
+        match ph {
+            "B" => {
+                begins += 1;
+                assert!(e.get("name").and_then(Value::as_str).is_some());
+            }
+            "E" => ends += 1,
+            _ => {}
+        }
+        let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+        let tid = e.get("tid").and_then(Value::as_u64).expect("tid");
+        assert_eq!(e.get("pid").and_then(Value::as_u64), Some(1));
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        assert!(ts >= *prev, "tid {tid} timestamp went backwards");
+        *prev = ts;
+    }
+    assert_eq!(begins, ends, "B/E events must balance");
+    // The pipeline's spans are on the timeline.
+    for name in ["\"calibrate\"", "\"mgba\"", "\"solve\""] {
+        assert!(text.contains(name), "missing {name}");
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn calibrate_qor_writes_accuracy_dashboard() {
+    use server::json::{parse, Value};
+
+    let qor = tmp("calibrate_qor.json");
+    run_ok(bin().args(["calibrate", "small:41", "--qor"]).arg(&qor));
+    let text = std::fs::read_to_string(&qor).expect("dashboard written");
+    let v = parse(&text).expect("valid JSON");
+    assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+    assert!(v.get("paths").and_then(Value::as_u64).unwrap() > 0);
+    let after = v.get("abs_err_after").unwrap();
+    let before = v.get("abs_err_before").unwrap();
+    assert!(
+        after.get("mean").and_then(Value::as_f64).unwrap()
+            < before.get("mean").and_then(Value::as_f64).unwrap(),
+        "dashboard must show the pessimism reduction"
+    );
+    for key in ["wns", "tns", "constraint", "weights", "endpoints", "stages"] {
+        assert!(v.get(key).is_some(), "missing {key}");
+    }
+    let _ = std::fs::remove_file(&qor);
 }
 
 #[test]

@@ -43,6 +43,7 @@ pub mod error;
 pub mod load;
 pub mod metrics;
 pub mod problem;
+pub mod report;
 pub mod select;
 pub mod solver;
 pub mod weights_io;
@@ -52,6 +53,7 @@ pub use error::{MgbaError, ParseError};
 pub use load::{auto_period, build_engine, load_design_or_file, load_netlist_file, parse_design};
 pub use metrics::{PassRatio, PASS_ABS_TOL, PASS_REL_TOL};
 pub use problem::FitProblem;
+pub use report::{AccuracyReport, EndpointAccuracy, StageAccuracy};
 pub use select::{select_paths, Selection, SelectionScheme};
 pub use solver::{SolveResult, Solver};
 pub use weights_io::{
@@ -74,12 +76,13 @@ pub mod prelude {
     };
     pub use crate::metrics::PassRatio;
     pub use crate::problem::FitProblem;
+    pub use crate::report::AccuracyReport;
     pub use crate::select::{select_paths, Selection, SelectionScheme};
     pub use crate::solver::{SolveResult, Solver};
     pub use crate::weights_io::{
         parse_weights, read_weights_file, write_weights, write_weights_file,
     };
-    pub use crate::{run_mgba, MgbaReport};
+    pub use crate::{run_mgba, run_mgba_with_accuracy, MgbaReport};
     pub use netlist::{DesignSpec, GeneratorConfig, Netlist};
     pub use sta::{DerateSet, Sdc, Sta};
 }
@@ -130,6 +133,43 @@ pub struct MgbaReport {
 /// `only_violating` and nothing violates), the engine is left at original
 /// GBA and the report shows zero paths.
 pub fn run_mgba(sta: &mut Sta, config: &MgbaConfig, solver: Solver) -> MgbaReport {
+    run_mgba_inner(sta, config, solver).0
+}
+
+/// Like [`run_mgba`], but also computes the per-endpoint/per-stage
+/// accuracy dashboard ([`AccuracyReport`]) from the same per-path slack
+/// vectors the summary metrics are built from — no extra PBA retimes.
+pub fn run_mgba_with_accuracy(
+    sta: &mut Sta,
+    config: &MgbaConfig,
+    solver: Solver,
+) -> (MgbaReport, AccuracyReport) {
+    let (report, samples) = run_mgba_inner(sta, config, solver);
+    let accuracy = AccuracyReport::compute(sta, &report, config, &samples);
+    (report, accuracy)
+}
+
+/// One fitted path's slack under the three timing views, plus the
+/// grouping keys the accuracy dashboard aggregates by.
+#[derive(Debug, Clone)]
+pub(crate) struct PathSample {
+    /// Endpoint cell id of the path.
+    pub endpoint: netlist::CellId,
+    /// Gates (stages) on the path.
+    pub gates: usize,
+    /// Original GBA slack.
+    pub gba: f64,
+    /// Golden PBA slack.
+    pub pba: f64,
+    /// Corrected (weights-applied) mGBA slack.
+    pub mgba: f64,
+}
+
+fn run_mgba_inner(
+    sta: &mut Sta,
+    config: &MgbaConfig,
+    solver: Solver,
+) -> (MgbaReport, Vec<PathSample>) {
     let _span = obs::span("mgba");
     sta.clear_weights();
     let selection = {
@@ -146,7 +186,7 @@ pub fn run_mgba(sta: &mut Sta, config: &MgbaConfig, solver: Solver) -> MgbaRepor
     obs::counter_add("mgba.paths_selected", selection.paths.len() as u64);
     let design = sta.netlist().name().to_owned();
     if selection.paths.is_empty() {
-        return MgbaReport {
+        let report = MgbaReport {
             design,
             solver_name: solver.paper_name().to_owned(),
             num_paths: 0,
@@ -168,6 +208,7 @@ pub fn run_mgba(sta: &mut Sta, config: &MgbaConfig, solver: Solver) -> MgbaRepor
             converged: true,
             weights: vec![0.0; sta.netlist().num_cells()],
         };
+        return (report, Vec::new());
     }
 
     let par = config.parallelism();
@@ -226,7 +267,19 @@ pub fn run_mgba(sta: &mut Sta, config: &MgbaConfig, solver: Solver) -> MgbaRepor
     obs::gauge_set("mgba.mse_after", report.mse_after);
     obs::gauge_set("mgba.pass_ratio_before", report.pass_before.ratio());
     obs::gauge_set("mgba.pass_ratio_after", report.pass_after.ratio());
-    report
+    let samples = selection
+        .paths
+        .iter()
+        .zip(before.iter().zip(golden.iter().zip(after.iter())))
+        .map(|(p, (&gba, (&pba, &mgba)))| PathSample {
+            endpoint: p.endpoint,
+            gates: p.num_gates(),
+            gba,
+            pba,
+            mgba,
+        })
+        .collect();
+    (report, samples)
 }
 
 #[cfg(test)]

@@ -55,15 +55,18 @@
 
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod report;
 pub mod span;
 pub mod telemetry;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use metrics::{counter_add, gauge_set, observe, MetricsSnapshot};
 pub use report::ProfileReport;
 pub use span::{span, SpanGuard, SpanSnapshot};
+pub use trace::{set_trace_enabled, trace_enabled};
 
 /// Process-wide master switch. Relaxed loads keep the disabled path to a
 /// single uncontended atomic read.
@@ -81,12 +84,13 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::SeqCst);
 }
 
-/// Clears every collected span, metric, and solver trace. Does not
-/// change the enabled flag.
+/// Clears every collected span, metric, solver trace, and trace event.
+/// Does not change the enabled flags.
 pub fn reset() {
     span::reset();
     metrics::reset();
     telemetry::reset();
+    trace::reset();
 }
 
 #[cfg(test)]
@@ -101,6 +105,7 @@ pub(crate) mod testlock {
     pub fn hold() -> MutexGuard<'static, ()> {
         let guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
         crate::set_enabled(false);
+        crate::set_trace_enabled(false);
         crate::reset();
         guard
     }

@@ -128,7 +128,13 @@ pub struct HistogramSnapshot {
     pub min: f64,
     /// Largest observed value (`-∞` when empty).
     pub max: f64,
-    /// Non-empty buckets as `(upper_bound, count)` in ascending order.
+    /// Buckets as `(upper_bound, count)` in ascending order, covering
+    /// the **contiguous** range from the first to the last non-empty
+    /// bucket. Interior empty buckets are included (count 0); only
+    /// leading and trailing empty buckets are trimmed. Every renderer —
+    /// JSON, pretty text, Prometheus exposition — consumes this same
+    /// range, so bucket counts agree across formats (pinned by a golden
+    /// test).
     pub buckets: Vec<(f64, u64)>,
 }
 
@@ -202,13 +208,17 @@ pub fn snapshot() -> MetricsSnapshot {
                 sum: h.sum,
                 min: h.min,
                 max: h.max,
-                buckets: h
-                    .buckets
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &c)| c > 0)
-                    .map(|(i, &c)| (bucket_le(i), c))
-                    .collect(),
+                // Trim leading/trailing empty buckets only; keep the
+                // interior contiguous so every renderer sees one range.
+                buckets: match (
+                    h.buckets.iter().position(|&c| c > 0),
+                    h.buckets.iter().rposition(|&c| c > 0),
+                ) {
+                    (Some(first), Some(last)) => (first..=last)
+                        .map(|i| (bucket_le(i), h.buckets[i]))
+                        .collect(),
+                    _ => Vec::new(),
+                },
             }),
         }
     }
@@ -302,6 +312,27 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(5000.0));
         // Empty histogram has no quantiles.
         assert!(s.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn bucket_trimming_keeps_contiguous_interior() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        // 1.0 lands at le=1 (bucket 16), 5.0 at le=8 (bucket 19): the
+        // snapshot must keep the empty le=2 and le=4 buckets between
+        // them, and trim everything outside [le=1, le=8].
+        observe("golden", 1.0);
+        observe("golden", 5.0);
+        crate::set_enabled(false);
+        let s = snapshot();
+        let h = s.histogram("golden").unwrap();
+        assert_eq!(
+            h.buckets,
+            vec![(1.0, 1), (2.0, 0), (4.0, 0), (8.0, 1)],
+            "contiguous range from first to last non-empty bucket"
+        );
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 6.0);
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Snapshot + rendering: span tree, metrics, and solver traces as one
 //! report, exportable as JSON (machines) or indented text (humans).
 //!
-//! # JSON schema (version 1)
+//! # JSON schema (version 2)
 //!
 //! ```text
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "spans": [SPAN...],            // root spans, in first-opened order
 //!   "metrics": {
 //!     "counters":   {"name": u64, ...},
@@ -23,6 +23,12 @@
 //! ```
 //!
 //! Non-finite floats serialize as `null`.
+//!
+//! Version history: v1 histograms dropped *all* empty buckets, so the
+//! JSON bucket list could disagree with the text renderer's bucket
+//! count. v2 buckets are the contiguous first-to-last non-empty range
+//! (interior zeros included) shared by every renderer — see
+//! [`crate::metrics::HistogramSnapshot::buckets`].
 
 use crate::json::JsonWriter;
 use crate::metrics::MetricsSnapshot;
@@ -31,7 +37,7 @@ use crate::telemetry::SolveTrace;
 use std::fmt::Write as _;
 
 /// JSON schema version emitted by [`ProfileReport::to_json`].
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One captured profile: everything recorded since the last reset.
 #[derive(Debug, Clone)]
@@ -59,7 +65,7 @@ impl ProfileReport {
         self.spans.iter().find_map(|s| s.find(name))
     }
 
-    /// Renders the version-1 JSON document.
+    /// Renders the version-2 JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_obj();
@@ -318,7 +324,7 @@ mod tests {
         let _l = testlock::hold();
         record_fixture();
         let json = ProfileReport::capture().to_json();
-        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.starts_with("{\"version\":2,"));
         assert!(json.contains("\"name\":\"mgba\""));
         assert!(json.contains("\"name\":\"select\""));
         assert!(json.contains("\"paths\":7"));
@@ -347,6 +353,32 @@ mod tests {
         assert!(text.contains("  paths = 7"));
         assert!(text.contains("SCG + RS"));
         assert!(text.contains("round 0"));
+    }
+
+    #[test]
+    fn renderers_agree_on_histogram_buckets() {
+        let _l = testlock::hold();
+        crate::set_enabled(true);
+        // Same fixture as the metrics golden test: a gap between two
+        // occupied buckets. Both renderers must show the contiguous
+        // 4-bucket range — v1 dropped the two interior zeros from JSON
+        // while the text renderer counted them.
+        crate::observe("gap", 1.0);
+        crate::observe("gap", 5.0);
+        crate::set_enabled(false);
+        let r = ProfileReport::capture();
+        let json = r.to_json();
+        assert!(
+            json.contains(
+                "\"buckets\":[{\"le\":1.0,\"count\":1},{\"le\":2.0,\"count\":0},\
+                 {\"le\":4.0,\"count\":0},{\"le\":8.0,\"count\":1}]"
+            ),
+            "JSON bucket list must be the contiguous range: {json}"
+        );
+        assert!(
+            r.to_pretty().contains("(4 buckets)"),
+            "text renderer must count the same 4 buckets"
+        );
     }
 
     #[test]

@@ -65,31 +65,49 @@ thread_local! {
 }
 
 /// Opens a timed span named `name` under the thread's innermost open
-/// span. Returns a guard that records the elapsed time on drop. When
-/// recording is disabled this is a no-op costing one atomic load.
+/// span. Returns a guard that records the elapsed time on drop. The
+/// span feeds two stores independently: the aggregated tree when
+/// profiling is enabled ([`crate::enabled`]) and the Chrome trace-event
+/// timeline when collection is on ([`crate::trace::trace_enabled`]).
+/// With both off this is a no-op costing two relaxed atomic loads.
 #[must_use = "a span records on drop; binding it to `_` drops it immediately"]
 pub fn span(name: &str) -> SpanGuard {
-    if !crate::enabled() {
+    let profiling = crate::enabled();
+    let tracing = crate::trace::trace_enabled();
+    if !profiling && !tracing {
         return SpanGuard(None);
     }
-    let parent = STACK.with(|s| s.borrow().last().copied());
-    let idx = {
-        let mut tree = TREE.lock().unwrap_or_else(|p| p.into_inner());
-        // A reset while this thread held open spans leaves stale indices
-        // on its stack; treat those as roots instead of indexing into
-        // the rebuilt arena.
-        let parent = parent.filter(|&p| p < tree.nodes.len());
-        tree.intern(parent, name)
+    if tracing {
+        crate::trace::emit_begin(name);
+    }
+    let node = if profiling {
+        let parent = STACK.with(|s| s.borrow().last().copied());
+        let idx = {
+            let mut tree = TREE.lock().unwrap_or_else(|p| p.into_inner());
+            // A reset while this thread held open spans leaves stale indices
+            // on its stack; treat those as roots instead of indexing into
+            // the rebuilt arena.
+            let parent = parent.filter(|&p| p < tree.nodes.len());
+            tree.intern(parent, name)
+        };
+        STACK.with(|s| s.borrow_mut().push(idx));
+        Some(idx)
+    } else {
+        None
     };
-    STACK.with(|s| s.borrow_mut().push(idx));
     SpanGuard(Some(OpenSpan {
-        node: idx,
+        node,
+        traced_name: if tracing { Some(name.to_owned()) } else { None },
         started: Instant::now(),
     }))
 }
 
 struct OpenSpan {
-    node: usize,
+    /// Aggregated-tree node, when profiling was on at open.
+    node: Option<usize>,
+    /// Span name, kept only when the open emitted a trace `B` event so
+    /// the drop can emit the matching `E`.
+    traced_name: Option<String>,
     started: Instant,
 }
 
@@ -100,17 +118,23 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(open) = self.0.take() else { return };
         let elapsed = open.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(name) = &open.traced_name {
+            // Balanced with the `B` from open even if collection was
+            // toggled meanwhile (the store drops it once cleared).
+            crate::trace::emit_end(name);
+        }
+        let Some(open_node) = open.node else { return };
         STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // Normally the top of the stack; tolerate out-of-order drops.
-            if let Some(pos) = stack.iter().rposition(|&i| i == open.node) {
+            if let Some(pos) = stack.iter().rposition(|&i| i == open_node) {
                 stack.remove(pos);
             }
         });
         let mut tree = TREE.lock().unwrap_or_else(|p| p.into_inner());
         // A reset between open and close invalidates the index; drop the
         // sample rather than attributing it to an unrelated node.
-        let Some(node) = tree.nodes.get_mut(open.node) else {
+        let Some(node) = tree.nodes.get_mut(open_node) else {
             return;
         };
         node.calls += 1;

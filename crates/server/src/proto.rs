@@ -94,6 +94,10 @@ pub enum Command {
     },
     /// Server and engine statistics (non-deterministic: latencies).
     Stats,
+    /// Prometheus text exposition of server counters, per-command
+    /// latency histograms, and the `obs` metrics registry
+    /// (non-deterministic: latencies).
+    Metrics,
     /// Hold the worker busy (testing aid for backpressure/deadlines).
     Sleep {
         /// How long to block the worker, in milliseconds (capped at
@@ -120,6 +124,7 @@ impl Command {
             Command::Snapshot { .. } => "snapshot",
             Command::Restore { .. } => "restore",
             Command::Stats => "stats",
+            Command::Metrics => "metrics",
             Command::Sleep { .. } => "sleep",
             Command::Shutdown => "shutdown",
         }
@@ -228,6 +233,7 @@ fn parse_request_value(v: &Value, id: Option<u64>) -> Result<Request, MgbaError>
             file: req_str(v, "file")?,
         },
         "stats" => Command::Stats,
+        "metrics" => Command::Metrics,
         "sleep" => Command::Sleep {
             ms: opt_u64(v, "ms")?.unwrap_or(0).min(10_000),
         },
@@ -319,6 +325,7 @@ mod tests {
             (r#"{"cmd":"snapshot","file":"s.mgba"}"#, "snapshot"),
             (r#"{"cmd":"restore","file":"s.mgba"}"#, "restore"),
             (r#"{"cmd":"stats"}"#, "stats"),
+            (r#"{"cmd":"metrics"}"#, "metrics"),
             (r#"{"cmd":"sleep","ms":5}"#, "sleep"),
             (r#"{"cmd":"shutdown"}"#, "shutdown"),
         ];

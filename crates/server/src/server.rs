@@ -460,6 +460,22 @@ mod tests {
     }
 
     #[test]
+    fn metrics_command_lands_in_stats_latency_set() {
+        // `metrics` is itself a command: the worker loop records its
+        // latency like any other, so the following `stats` reports it.
+        let script = "{\"id\":1,\"cmd\":\"metrics\"}\n{\"id\":2,\"cmd\":\"stats\"}\n";
+        let lines = run_session(&ServerConfig::default(), script);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"exposition\""), "{}", lines[0]);
+        assert!(lines[0].contains("mgba_server_queue_depth"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"metrics\":{\"count\":1"),
+            "stats must include the metrics command: {}",
+            lines[1]
+        );
+    }
+
+    #[test]
     fn expired_deadline_is_rejected_at_dequeue() {
         // sleep(30) occupies the worker while the deadline_ms:1 ping
         // waits in the queue past its deadline.

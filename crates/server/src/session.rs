@@ -129,6 +129,7 @@ impl Session {
             Command::Snapshot { file } => self.snapshot(file),
             Command::Restore { file } => self.restore(file),
             Command::Stats => self.stats(server),
+            Command::Metrics => Ok(self.metrics(server)),
             Command::Sleep { ms } => {
                 std::thread::sleep(std::time::Duration::from_millis(*ms));
                 let mut w = JsonWriter::new();
@@ -520,6 +521,94 @@ impl Session {
         Ok(w.finish())
     }
 
+    /// Renders the full Prometheus exposition: server counters, engine
+    /// gauges, the always-on per-command latency histograms (one
+    /// `{cmd="…"}` series each), and whatever the `obs` registry holds
+    /// (empty unless `--profile` is on). Like `stats`, the output is
+    /// non-deterministic (latencies), so it is excluded from the
+    /// byte-identity protocol tests.
+    fn exposition(&self, server: &ServerInfo) -> String {
+        use obs::prom::PromWriter;
+        let mut p = PromWriter::new();
+        p.gauge(
+            "mgba_server_queue_depth",
+            "configured bounded-queue depth",
+            server.queue_depth as f64,
+        );
+        p.gauge(
+            "mgba_server_threads",
+            "worker pool size",
+            parallel::global().threads() as f64,
+        );
+        p.counter(
+            "mgba_server_served_total",
+            "requests executed to completion",
+            server.served,
+        );
+        p.counter(
+            "mgba_server_rejected_overload_total",
+            "requests rejected with a full queue",
+            server.rejected_overload,
+        );
+        p.counter(
+            "mgba_server_rejected_deadline_total",
+            "requests whose admission deadline expired while queued",
+            server.rejected_deadline,
+        );
+        if let Some(l) = &self.loaded {
+            p.gauge("mgba_engine_wns", "worst negative slack, ps", l.sta.wns());
+            p.gauge("mgba_engine_tns", "total negative slack, ps", l.sta.tns());
+            p.gauge(
+                "mgba_engine_calibrated",
+                "1 when mGBA weights are fitted",
+                if l.calibrated.is_some() { 1.0 } else { 0.0 },
+            );
+            p.counter(
+                "mgba_engine_full_updates_total",
+                "full timing propagations",
+                l.sta.stats.full_updates,
+            );
+            p.counter(
+                "mgba_engine_incremental_updates_total",
+                "incremental timing propagations",
+                l.sta.stats.incremental_updates,
+            );
+            p.counter(
+                "mgba_engine_cells_propagated_total",
+                "cells touched by timing propagation",
+                l.sta.stats.cells_propagated,
+            );
+        }
+        p.histogram_family(
+            "mgba_server_command_latency_us",
+            "per-command request latency, microseconds",
+        );
+        for (name, h) in self.latency.iter() {
+            p.histogram_series(
+                "mgba_server_command_latency_us",
+                Some(("cmd", name)),
+                &h.buckets(),
+                h.count,
+                h.sum_us as f64,
+            );
+        }
+        let mut text = p.finish();
+        // The obs registry rides along when profiling is enabled.
+        text.push_str(&obs::prom::encode(&obs::metrics::snapshot()));
+        text
+    }
+
+    fn metrics(&self, server: &ServerInfo) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("content_type");
+        w.str(obs::prom::CONTENT_TYPE);
+        w.key("exposition");
+        w.str(&self.exposition(server));
+        w.end_obj();
+        w.finish()
+    }
+
     fn stats(&mut self, server: &ServerInfo) -> Result<String, MgbaError> {
         let mut w = JsonWriter::new();
         w.begin_obj();
@@ -739,5 +828,36 @@ mod tests {
         assert_eq!(st.get("engine"), Some(&Value::Null));
         let cmds = st.get("commands").unwrap();
         assert!(cmds.get("ping").is_some());
+    }
+
+    #[test]
+    fn metrics_exposition_is_conformant() {
+        let mut s = Session::new();
+        handle(&mut s, r#"{"cmd":"load","design":"small:7"}"#).unwrap();
+        s.latency.record("load", 950);
+        s.latency.record("wns", 4);
+        s.latency.record("wns", 70_000);
+        let info = ServerInfo {
+            queue_depth: 16,
+            served: 3,
+            rejected_overload: 1,
+            rejected_deadline: 0,
+        };
+        let req = crate::proto::parse_request(r#"{"cmd":"metrics"}"#)
+            .map_err(|(_, e)| e)
+            .unwrap();
+        let r = obj(&s.handle(&req.cmd, &info).unwrap());
+        assert_eq!(
+            r.get("content_type").and_then(Value::as_str),
+            Some(obs::prom::CONTENT_TYPE)
+        );
+        let text = r.get("exposition").and_then(Value::as_str).unwrap();
+        obs::prom::validate(text).expect("conformant exposition");
+        assert!(text.contains("mgba_server_served_total 3"));
+        assert!(text.contains("mgba_server_rejected_overload_total 1"));
+        assert!(text.contains("# TYPE mgba_server_command_latency_us histogram"));
+        assert!(text.contains("mgba_server_command_latency_us_count{cmd=\"wns\"} 2"));
+        assert!(text.contains("mgba_server_command_latency_us_bucket{cmd=\"wns\",le=\"+Inf\"} 2"));
+        assert!(text.contains("# TYPE mgba_engine_wns gauge"));
     }
 }

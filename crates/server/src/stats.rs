@@ -52,6 +52,28 @@ impl LatencyHist {
         self.buckets[bucket_index(us)] += 1;
     }
 
+    /// Buckets as `(upper_bound_us, count)` over the contiguous range
+    /// from the first to the last non-empty bucket — the same trimming
+    /// contract as [`obs::metrics::HistogramSnapshot::buckets`], so the
+    /// Prometheus encoder consumes both identically. The overflow
+    /// bucket's bound is `+∞`.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let le = |i: usize| {
+            if i == BUCKETS - 1 {
+                f64::INFINITY
+            } else {
+                (1u64 << i) as f64
+            }
+        };
+        match (
+            self.buckets.iter().position(|&c| c > 0),
+            self.buckets.iter().rposition(|&c| c > 0),
+        ) {
+            (Some(first), Some(last)) => (first..=last).map(|i| (le(i), self.buckets[i])).collect(),
+            _ => Vec::new(),
+        }
+    }
+
     /// Estimated `q`-quantile in µs (upper bucket bound, clamped to the
     /// observed max). `None` when empty.
     pub fn quantile_us(&self, q: f64) -> Option<u64> {
@@ -85,6 +107,11 @@ impl CommandStats {
     /// Looks up one command's histogram.
     pub fn get(&self, command: &str) -> Option<&LatencyHist> {
         self.by_command.get(command)
+    }
+
+    /// Iterates `(command, histogram)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &LatencyHist)> {
+        self.by_command.iter().map(|(n, h)| (*n, h))
     }
 
     /// Total requests recorded across all commands.
@@ -147,6 +174,20 @@ mod tests {
         assert!(p50 <= p99);
         assert_eq!(h.quantile_us(1.0), Some(90_000));
         assert_eq!(h.max_us, 90_000);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_trimmed() {
+        let mut h = LatencyHist::default();
+        h.record(1); // bucket 0 (le=1)
+        h.record(7); // bucket 3 (le=8)
+        let b = h.buckets();
+        assert_eq!(b, vec![(1.0, 1), (2.0, 0), (4.0, 0), (8.0, 1)]);
+        assert!(LatencyHist::default().buckets().is_empty());
+        // Overflow bucket reports an infinite bound.
+        let mut o = LatencyHist::default();
+        o.record(u64::MAX);
+        assert_eq!(o.buckets(), vec![(f64::INFINITY, 1)]);
     }
 
     #[test]

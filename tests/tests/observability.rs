@@ -161,26 +161,39 @@ fn solver_telemetry_records_sampling_rounds() {
     // JSON export round-trips the same structure without panicking.
     let json = profile.to_json();
     assert!(json.contains("\"SCG + RS\""));
-    assert!(json.starts_with("{\"version\":1,"));
+    assert!(json.starts_with("{\"version\":2,"));
 }
 
 #[test]
 fn instrumentation_never_changes_results() {
     let _l = obs_test();
     // Bit-for-bit: every weight and both MSE scalars must match across
-    // {disabled, enabled} × {1 thread, 4 threads}.
+    // {off, profiling, profiling + trace exporter} × {1 thread,
+    // 4 threads}. The traced runs also drive both export encoders so
+    // "enabling an exporter" is the thing proven inert, not just the
+    // collection flags.
     let mut outcomes = Vec::new();
     for threads in [1usize, 4] {
         parallel::set_global_threads(threads);
-        for instrumented in [false, true] {
+        for (instrumented, traced) in [(false, false), (true, false), (true, true)] {
             obs::reset();
             obs::set_enabled(instrumented);
+            obs::set_trace_enabled(traced);
             let (report, weights) = calibrate(304, Solver::ScgRs);
             obs::set_enabled(false);
+            obs::set_trace_enabled(false);
+            if traced {
+                assert!(
+                    obs::trace::export_json().contains("\"mgba\""),
+                    "trace exporter captured the run"
+                );
+                obs::prom::validate(&obs::prom::encode(&obs::metrics::snapshot()))
+                    .expect("Prometheus encoding conforms");
+            }
             let bits: Vec<u64> = weights.iter().map(|w| w.to_bits()).collect();
             outcomes.push((
                 threads,
-                instrumented,
+                (instrumented, traced),
                 bits,
                 report.mse_before.to_bits(),
                 report.mse_after.to_bits(),
@@ -190,11 +203,60 @@ fn instrumentation_never_changes_results() {
     }
     parallel::set_global_threads(1);
     let (_, _, bits0, before0, after0, iters0) = outcomes[0].clone();
-    for (threads, instrumented, bits, before, after, iters) in &outcomes[1..] {
+    for (threads, mode, bits, before, after, iters) in &outcomes[1..] {
         assert_eq!(
             (bits, before, after, iters),
             (&bits0, &before0, &after0, &iters0),
-            "threads={threads} instrumented={instrumented} diverged"
+            "threads={threads} (profiling, trace)={mode:?} diverged"
+        );
+    }
+}
+
+/// Trace timeline reduced to its deterministic part: (phase, span name).
+type EventSeq = Vec<(String, Option<String>)>;
+
+#[test]
+fn solver_traces_identical_across_thread_counts() {
+    let _l = obs_test();
+    // The solver telemetry is recorded on the calling thread while the
+    // fit-matrix build and path retimes fan out over the worker pool:
+    // every sample (iterations, rounds, objectives) and the span
+    // timeline's event sequence must be identical for every pool width.
+    let mut captured: Vec<(usize, Vec<obs::telemetry::SolveTrace>, EventSeq)> = Vec::new();
+    for threads in [1usize, 4] {
+        parallel::set_global_threads(threads);
+        obs::reset();
+        obs::set_enabled(true);
+        obs::set_trace_enabled(true);
+        let (report, _) = calibrate(305, Solver::ScgRs);
+        obs::set_enabled(false);
+        obs::set_trace_enabled(false);
+        assert!(report.num_paths > 0);
+        let solves = obs::ProfileReport::capture().solves;
+        let timeline: EventSeq = obs::trace::snapshot()
+            .iter()
+            .map(|e| (format!("{:?}", e.phase), e.name.clone()))
+            .collect();
+        assert!(
+            !timeline.is_empty(),
+            "trace collected under {threads} threads"
+        );
+        captured.push((threads, solves, timeline));
+    }
+    parallel::set_global_threads(1);
+    let (_, solves0, timeline0) = &captured[0];
+    assert!(
+        solves0.iter().any(|s| s.solver == "SCG + RS"),
+        "telemetry recorded the outer solve"
+    );
+    for (threads, solves, timeline) in &captured[1..] {
+        assert_eq!(
+            solves, solves0,
+            "solver telemetry diverged at {threads} threads"
+        );
+        assert_eq!(
+            timeline, timeline0,
+            "trace event sequence diverged at {threads} threads"
         );
     }
 }
