@@ -11,7 +11,8 @@
 //! mgba-sta corners   <FILE> --period PS
 //! mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
 //! mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
-//! mgba-sta query     --connect ADDR [REQUEST...]
+//! mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N]
+//!                    [--backoff-ms MS] [REQUEST...]
 //! ```
 //!
 //! Every subcommand additionally accepts the global options:
@@ -61,8 +62,13 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            // The usage wall helps when the command line was wrong; for
+            // runtime failures (I/O, timeouts, solver faults) it buries
+            // the actual error.
+            if matches!(e, MgbaError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -81,9 +87,12 @@ usage:
   mgba-sta corners   <FILE> --period PS
   mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
   mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
-  mgba-sta query     --connect ADDR [REQUEST...]   (reads stdin when no REQUEST;
+  mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N] [--backoff-ms MS]
+                     [REQUEST...]   (reads stdin when no REQUEST;
                      a bare word like `wns` or `metrics` means {\"cmd\":\"...\"};
-                     a bare `metrics` prints the raw Prometheus exposition)
+                     a bare `metrics` prints the raw Prometheus exposition;
+                     --timeout-ms bounds socket reads/writes, default 30000,
+                     0 disables; connect retries back off exponentially)
 
 global options:
   --threads N       worker threads for PBA retiming / fitting kernels
@@ -343,7 +352,7 @@ fn cmd_fit(args: &mut Args) -> Result<(), MgbaError> {
     let report = run_mgba(&mut sta, &MgbaConfig::default(), solver);
     if let Some(path) = &out {
         let text = write_weights(sta.netlist(), &report.weights);
-        std::fs::write(path, text).map_err(|e| MgbaError::io(path, e))?;
+        atomic_write_text(path, &text)?;
         eprintln!("wrote weights sidecar {path}");
     }
     print_fit_report(&report, &sta);
@@ -391,7 +400,7 @@ fn cmd_calibrate(args: &mut Args) -> Result<(), MgbaError> {
     };
     if let Some(path) = &out {
         let text = write_weights(sta.netlist(), &report.weights);
-        std::fs::write(path, text).map_err(|e| MgbaError::io(path, e))?;
+        atomic_write_text(path, &text)?;
         eprintln!("wrote weights sidecar {path}");
     }
     print_fit_report(&report, &sta);
@@ -490,6 +499,60 @@ fn desugar_request(line: &str) -> String {
     }
 }
 
+/// Maps a socket error onto the wire-appropriate typed error: an
+/// expired read/write timeout becomes [`MgbaError::Timeout`] (nonzero
+/// exit, distinguishable from connection refusal); everything else
+/// stays an I/O error.
+fn io_or_timeout(addr: &str, timeout_ms: u64, e: std::io::Error) -> MgbaError {
+    use std::io::ErrorKind;
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        MgbaError::timeout(format!("waiting for {addr}"), timeout_ms)
+    } else {
+        MgbaError::io(addr, e)
+    }
+}
+
+/// Connects with up to `retries` additional attempts under exponential
+/// backoff — a daemon that is still binding its socket (or briefly
+/// drowning in a restart) answers on a later attempt instead of failing
+/// the whole batch.
+fn connect_with_retry(
+    addr: &str,
+    timeout_ms: u64,
+    retries: u32,
+    backoff_ms: u64,
+) -> Result<std::net::TcpStream, MgbaError> {
+    use std::net::{TcpStream, ToSocketAddrs as _};
+    use std::time::Duration;
+
+    let connect_once = || -> std::io::Result<TcpStream> {
+        if timeout_ms == 0 {
+            return TcpStream::connect(addr);
+        }
+        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
+        })?;
+        TcpStream::connect_timeout(&sock, Duration::from_millis(timeout_ms))
+    };
+    let mut delay = Duration::from_millis(backoff_ms.max(1));
+    let mut attempt = 0;
+    loop {
+        match connect_once() {
+            Ok(stream) => return Ok(stream),
+            Err(e) if attempt < retries => {
+                attempt += 1;
+                eprintln!(
+                    "connect to {addr} failed ({e}); retry {attempt}/{retries} in {} ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(e) => return Err(io_or_timeout(addr, timeout_ms, e)),
+        }
+    }
+}
+
 /// Batch client for a running `serve` daemon: sends each REQUEST line
 /// (or, with none given, every non-blank stdin line), then prints the
 /// servers responses in order, one JSON object per line. Requests may
@@ -497,10 +560,28 @@ fn desugar_request(line: &str) -> String {
 /// request prints its Prometheus exposition as raw text instead of the
 /// JSON envelope, so `mgba-sta query --connect HOST metrics` pipes
 /// straight into Prometheus tooling.
+///
+/// The socket carries read/write timeouts (`--timeout-ms`, default
+/// 30 000; 0 disables) so a wedged daemon surfaces as a typed timeout
+/// error with a nonzero exit instead of a hang; the initial connect
+/// retries with exponential backoff (`--retries`, `--backoff-ms`).
 fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
     use std::io::{BufRead as _, BufReader, BufWriter};
+    use std::time::Duration;
 
     let connect: String = args.required_option("--connect")?;
+    let timeout_ms: u64 = args.option("--timeout-ms")?.map_or(Ok(30_000), |t| {
+        t.parse()
+            .map_err(|_| MgbaError::Usage(format!("bad --timeout-ms `{t}` (want milliseconds)")))
+    })?;
+    let retries: u32 = args.option("--retries")?.map_or(Ok(2), |r| {
+        r.parse()
+            .map_err(|_| MgbaError::Usage(format!("bad --retries `{r}` (want a count)")))
+    })?;
+    let backoff_ms: u64 = args.option("--backoff-ms")?.map_or(Ok(50), |b| {
+        b.parse()
+            .map_err(|_| MgbaError::Usage(format!("bad --backoff-ms `{b}` (want milliseconds)")))
+    })?;
     let mut raw_requests = Vec::new();
     while let Ok(r) = args.positional("request") {
         raw_requests.push(r);
@@ -515,16 +596,23 @@ fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
         }
     }
     let requests: Vec<String> = raw_requests.iter().map(|r| desugar_request(r)).collect();
-    let stream = std::net::TcpStream::connect(&connect).map_err(|e| MgbaError::io(&connect, e))?;
+    let stream = connect_with_retry(&connect, timeout_ms, retries, backoff_ms)?;
+    let timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
+    stream
+        .set_read_timeout(timeout)
+        .and_then(|()| stream.set_write_timeout(timeout))
+        .map_err(|e| MgbaError::io(&connect, e))?;
     let mut writer = BufWriter::new(stream.try_clone().map_err(|e| MgbaError::io(&connect, e))?);
     let reader = BufReader::new(stream);
     for request in &requests {
         writer
             .write_all(request.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
-            .map_err(|e| MgbaError::io(&connect, e))?;
+            .map_err(|e| io_or_timeout(&connect, timeout_ms, e))?;
     }
-    writer.flush().map_err(|e| MgbaError::io(&connect, e))?;
+    writer
+        .flush()
+        .map_err(|e| io_or_timeout(&connect, timeout_ms, e))?;
     // The protocol answers every request line with exactly one response
     // line, so read back precisely as many as were sent.
     let mut lines = reader.lines();
@@ -540,7 +628,7 @@ fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
                 emit(&response)?;
                 emit("\n")?;
             }
-            Some(Err(e)) => return Err(MgbaError::io(&connect, e)),
+            Some(Err(e)) => return Err(io_or_timeout(&connect, timeout_ms, e)),
             None => {
                 return Err(MgbaError::Usage(
                     "server closed the connection before answering".into(),

@@ -247,6 +247,58 @@ fn calibrate_profile_text_goes_to_stderr() {
 }
 
 #[test]
+fn query_times_out_against_a_wedged_server() {
+    use std::net::TcpListener;
+
+    // A listener that accepts the connection and then never answers: the
+    // client's read timeout must fire and surface as a typed timeout
+    // error with a nonzero exit instead of hanging forever.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let wedged = std::thread::spawn(move || {
+        let conn = listener.accept().ok();
+        std::thread::sleep(std::time::Duration::from_millis(2_000));
+        drop(conn);
+    });
+    let out = bin()
+        .args(["query", "--connect", &addr, "--timeout-ms", "200", "ping"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "a wedged server must not exit 0");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("timed out after 200 ms"), "stderr: {err}");
+    wedged.join().expect("listener thread");
+}
+
+#[test]
+fn query_connect_failure_reports_after_retries() {
+    // Nothing listens on this freshly-bound-then-dropped port; the
+    // client should retry with backoff and then fail cleanly.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let out = bin()
+        .args([
+            "query",
+            "--connect",
+            &addr,
+            "--timeout-ms",
+            "200",
+            "--retries",
+            "1",
+            "--backoff-ms",
+            "10",
+            "ping",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("retry 1/1"), "stderr: {err}");
+}
+
+#[test]
 fn bad_usage_fails_with_usage_text() {
     let out = bin().arg("frobnicate").output().expect("runs");
     assert!(!out.status.success());

@@ -50,6 +50,24 @@ pub struct MgbaConfig {
     /// `--threads`, then `MGBA_THREADS`, then all cores); `1` is the
     /// exact serial path. Results are bit-identical for every value.
     pub threads: usize,
+    /// Wall-clock budget per solver stage in milliseconds; `0` disables
+    /// the deadline (the default, keeping default runs fully
+    /// deterministic). When exceeded the guard aborts the stage and the
+    /// fallback ladder demotes it.
+    pub solver_timeout_ms: u64,
+    /// Divergence guard: a windowed objective estimate exceeding
+    /// `divergence_factor ×` the starting objective aborts the stage
+    /// (the objective of a normalized-step descent must never grow past
+    /// its starting point by orders of magnitude).
+    pub divergence_factor: f64,
+    /// Divergence guard: this many *consecutive* windows with a growing
+    /// objective abort the stage.
+    pub divergence_streak: usize,
+    /// Staged solver fallback (requested solver → CGNR → GD → identity
+    /// weights). When `false` a failed solve skips the intermediate
+    /// stages and drops straight to identity weights (x = 0, raw GBA) —
+    /// an unusable iterate is never returned either way.
+    pub fallback: bool,
 }
 
 impl Default for MgbaConfig {
@@ -70,6 +88,10 @@ impl Default for MgbaConfig {
             max_iterations: 20_000,
             seed: 0xD5A1,
             threads: 0,
+            solver_timeout_ms: 0,
+            divergence_factor: 1e3,
+            divergence_streak: 4,
+            fallback: true,
         }
     }
 }
@@ -144,6 +166,15 @@ impl MgbaConfig {
         }
         if self.check_window < 1 {
             return Err(MgbaError::config("check_window", "must be ≥ 1"));
+        }
+        if self.divergence_factor <= 1.0 || !self.divergence_factor.is_finite() {
+            return Err(MgbaError::config(
+                "divergence_factor",
+                format!("must be a finite value > 1, got {}", self.divergence_factor),
+            ));
+        }
+        if self.divergence_streak < 1 {
+            return Err(MgbaError::config("divergence_streak", "must be ≥ 1"));
         }
         Ok(())
     }
@@ -262,6 +293,31 @@ impl MgbaConfigBuilder {
         self
     }
 
+    /// Wall-clock budget per solver stage in milliseconds (`0` = no
+    /// deadline).
+    pub fn solver_timeout_ms(mut self, v: u64) -> Self {
+        self.config.solver_timeout_ms = v;
+        self
+    }
+
+    /// Divergence guard: objective growth factor that aborts a stage.
+    pub fn divergence_factor(mut self, v: f64) -> Self {
+        self.config.divergence_factor = v;
+        self
+    }
+
+    /// Divergence guard: consecutive growing windows that abort a stage.
+    pub fn divergence_streak(mut self, v: usize) -> Self {
+        self.config.divergence_streak = v;
+        self
+    }
+
+    /// Enables/disables the staged solver fallback ladder.
+    pub fn fallback(mut self, v: bool) -> Self {
+        self.config.fallback = v;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<MgbaConfig, MgbaError> {
         self.config.validate()?;
@@ -341,6 +397,18 @@ mod tests {
             ),
             ("step_size", MgbaConfig::builder().step_size(0.0)),
             ("check_window", MgbaConfig::builder().check_window(0)),
+            (
+                "divergence_factor",
+                MgbaConfig::builder().divergence_factor(1.0),
+            ),
+            (
+                "divergence_factor",
+                MgbaConfig::builder().divergence_factor(f64::NAN),
+            ),
+            (
+                "divergence_streak",
+                MgbaConfig::builder().divergence_streak(0),
+            ),
         ];
         for (field, builder) in cases {
             match builder.build() {
@@ -358,6 +426,24 @@ mod tests {
         assert!(c.validate().is_ok());
         c.row_fraction = 0.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn guard_defaults_are_inert_and_settable() {
+        let c = MgbaConfig::default();
+        assert_eq!(c.solver_timeout_ms, 0, "no deadline by default");
+        assert!(c.fallback);
+        let c = MgbaConfig::builder()
+            .solver_timeout_ms(250)
+            .divergence_factor(50.0)
+            .divergence_streak(2)
+            .fallback(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.solver_timeout_ms, 250);
+        assert_eq!(c.divergence_factor, 50.0);
+        assert_eq!(c.divergence_streak, 2);
+        assert!(!c.fallback);
     }
 
     #[test]

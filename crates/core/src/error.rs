@@ -80,6 +80,17 @@ pub enum MgbaError {
     },
     /// Bad command-line usage.
     Usage(String),
+    /// An operation exceeded its time budget (socket read/write, solver
+    /// wall clock).
+    Timeout {
+        /// What was being waited for.
+        what: String,
+        /// The budget that was exceeded, in milliseconds.
+        ms: u64,
+    },
+    /// An unexpected internal failure that was contained (e.g. a request
+    /// handler panic caught at the server boundary).
+    Internal(String),
 }
 
 impl MgbaError {
@@ -98,6 +109,15 @@ impl MgbaError {
             source,
         }
     }
+
+    /// Constructs a [`MgbaError::Timeout`] for `what` after `ms`
+    /// milliseconds.
+    pub fn timeout(what: impl Into<String>, ms: u64) -> Self {
+        MgbaError::Timeout {
+            what: what.into(),
+            ms,
+        }
+    }
 }
 
 impl fmt::Display for MgbaError {
@@ -114,6 +134,10 @@ impl fmt::Display for MgbaError {
                 write!(f, "{}: {source}", path.display())
             }
             MgbaError::Usage(msg) => f.write_str(msg),
+            MgbaError::Timeout { what, ms } => {
+                write!(f, "timed out after {ms} ms: {what}")
+            }
+            MgbaError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -123,7 +147,11 @@ impl Error for MgbaError {
         match self {
             MgbaError::Parse(e) => Some(e.inner()),
             MgbaError::Io { source, .. } => Some(source),
-            MgbaError::Config { .. } | MgbaError::Solver { .. } | MgbaError::Usage(_) => None,
+            MgbaError::Config { .. }
+            | MgbaError::Solver { .. }
+            | MgbaError::Usage(_)
+            | MgbaError::Timeout { .. }
+            | MgbaError::Internal(_) => None,
         }
     }
 }

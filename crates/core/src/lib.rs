@@ -55,10 +55,10 @@ pub use metrics::{PassRatio, PASS_ABS_TOL, PASS_REL_TOL};
 pub use problem::FitProblem;
 pub use report::{AccuracyReport, EndpointAccuracy, StageAccuracy};
 pub use select::{select_paths, Selection, SelectionScheme};
-pub use solver::{SolveResult, Solver};
+pub use solver::{solve_with_fallback, FallbackStage, SolveResult, Solver};
 pub use weights_io::{
-    apply_weights, parse_weights, read_weights_file, write_weights, write_weights_file,
-    WeightsError,
+    apply_weights, atomic_write_text, parse_weights, read_weights_file, write_weights,
+    write_weights_file, WeightsError,
 };
 
 /// One-import facade for the select → fit → solve → fold-back pipeline.
@@ -78,9 +78,9 @@ pub mod prelude {
     pub use crate::problem::FitProblem;
     pub use crate::report::AccuracyReport;
     pub use crate::select::{select_paths, Selection, SelectionScheme};
-    pub use crate::solver::{SolveResult, Solver};
+    pub use crate::solver::{FallbackStage, SolveResult, Solver};
     pub use crate::weights_io::{
-        parse_weights, read_weights_file, write_weights, write_weights_file,
+        atomic_write_text, parse_weights, read_weights_file, write_weights, write_weights_file,
     };
     pub use crate::{run_mgba, run_mgba_with_accuracy, MgbaReport};
     pub use netlist::{DesignSpec, GeneratorConfig, Netlist};
@@ -120,6 +120,12 @@ pub struct MgbaReport {
     pub rows_touched: u64,
     /// Whether the solver reported convergence.
     pub converged: bool,
+    /// Which rung of the degradation ladder produced the weights
+    /// ([`FallbackStage::Primary`] on a healthy run).
+    pub fallback: FallbackStage,
+    /// Why solver stages were demoted, when any were (`None` on a
+    /// healthy run).
+    pub solver_fault: Option<String>,
     /// The fitted per-cell weights (netlist cell space).
     pub weights: Vec<f64>,
 }
@@ -206,16 +212,49 @@ fn run_mgba_inner(
             solve_time: Duration::ZERO,
             rows_touched: 0,
             converged: true,
+            fallback: FallbackStage::Primary,
+            solver_fault: None,
             weights: vec![0.0; sta.netlist().num_cells()],
         };
         return (report, Vec::new());
     }
 
+    if let Some(fault) = faultinject::fire("fit.build") {
+        // An injected fit-matrix failure degrades to identity weights
+        // (raw GBA) instead of erroring: this is the "recovery + recorded
+        // fallback stage" path of the fault model.
+        obs::counter_add("mgba.fallback.identity", 1);
+        let report = MgbaReport {
+            design,
+            solver_name: solver.paper_name().to_owned(),
+            num_paths: selection.paths.len(),
+            num_gates: 0,
+            coverage: selection.coverage(),
+            mse_before: 0.0,
+            mse_after: 0.0,
+            pass_before: PassRatio {
+                passing: 0,
+                total: 0,
+            },
+            pass_after: PassRatio {
+                passing: 0,
+                total: 0,
+            },
+            iterations: 0,
+            solve_time: Duration::ZERO,
+            rows_touched: 0,
+            converged: false,
+            fallback: FallbackStage::Identity,
+            solver_fault: Some(format!("failpoint `fit.build`: injected {fault:?}")),
+            weights: vec![0.0; sta.netlist().num_cells()],
+        };
+        return (report, Vec::new());
+    }
     let par = config.parallelism();
     let fit = FitProblem::build_par(sta, &selection.paths, config.epsilon, config.penalty, par);
-    let result = {
+    let (result, fallback) = {
         let _span = obs::span("solve");
-        solver.solve(&fit, config)
+        solver::solve_with_fallback(solver, &fit, config)
     };
     let weights = {
         let _span = obs::span("fold_back");
@@ -260,9 +299,19 @@ fn run_mgba_inner(
         solve_time: result.elapsed,
         rows_touched: result.rows_touched,
         converged: result.converged,
+        fallback,
+        solver_fault: result.fault,
         weights,
     };
     obs::counter_add("mgba.fit.gates", report.num_gates as u64);
+    obs::gauge_set(
+        "mgba.fallback.degraded",
+        if report.fallback.is_degraded() {
+            1.0
+        } else {
+            0.0
+        },
+    );
     obs::gauge_set("mgba.mse_before", report.mse_before);
     obs::gauge_set("mgba.mse_after", report.mse_after);
     obs::gauge_set("mgba.pass_ratio_before", report.pass_before.ratio());

@@ -43,6 +43,11 @@ pub fn parse_design(spec: &str) -> Result<Netlist, MgbaError> {
 /// [`MgbaError::Parse`] when it does not parse.
 pub fn load_netlist_file(path: &str) -> Result<Netlist, MgbaError> {
     let _span = obs::span("load");
+    if faultinject::fire("load.netlist").is_some() {
+        return Err(MgbaError::Internal(format!(
+            "failpoint `load.netlist`: injected failure loading `{path}`"
+        )));
+    }
     let text = std::fs::read_to_string(path).map_err(|e| MgbaError::io(path, e))?;
     if text.trim_start().starts_with("module") {
         Ok(netlist::parse_verilog(&text)?)

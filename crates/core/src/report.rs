@@ -23,7 +23,7 @@
 //! ```text
 //! {
 //!   "version": 1, "design": str, "solver": str,
-//!   "paths": u64, "epsilon": f64,
+//!   "fallback_stage": str, "paths": u64, "epsilon": f64,
 //!   "mse": {"before": f64, "after": f64},
 //!   "abs_err_before": {"mean": f64, "max": f64},
 //!   "abs_err_after":  {"mean": f64, "max": f64},
@@ -97,6 +97,10 @@ pub struct AccuracyReport {
     pub design: String,
     /// Solver used for the fit.
     pub solver: String,
+    /// Degradation-ladder rung that produced the weights
+    /// ([`crate::FallbackStage::name`]; `"primary"` on a healthy run,
+    /// `"identity"` when the calibration degraded to raw GBA).
+    pub fallback_stage: String,
     /// Fitted paths.
     pub paths: usize,
     /// Eq. 7 relative tolerance the fit was run with.
@@ -232,6 +236,7 @@ impl AccuracyReport {
         Self {
             design: report.design.clone(),
             solver: report.solver_name.clone(),
+            fallback_stage: report.fallback.name().to_owned(),
             paths: n,
             epsilon: config.epsilon,
             mse_before: report.mse_before,
@@ -261,6 +266,8 @@ impl AccuracyReport {
         w.str(&self.design);
         w.key("solver");
         w.str(&self.solver);
+        w.key("fallback_stage");
+        w.str(&self.fallback_stage);
         w.key("paths");
         w.u64(self.paths as u64);
         w.key("epsilon");
@@ -423,6 +430,7 @@ mod tests {
         let (_, acc) = run_mgba_with_accuracy(&mut sta, &MgbaConfig::default(), Solver::Scg);
         let json = acc.to_json();
         assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.contains("\"fallback_stage\":\"primary\""), "{json}");
         for key in [
             "\"mse\":{",
             "\"abs_err_before\":{",

@@ -21,6 +21,7 @@
 
 use crate::config::MgbaConfig;
 use crate::problem::FitProblem;
+use crate::solver::guard::SolveGuard;
 use crate::solver::SolveResult;
 use sparsela::vecops;
 use std::time::Instant;
@@ -48,6 +49,7 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
             elapsed: start.elapsed(),
             converged: true,
             rows_touched: 0,
+            fault: None,
         };
     }
     let a = problem.matrix();
@@ -88,8 +90,12 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
     let mut rows_touched = 0u64;
     let mut active = vec![false; m];
     let mut converged = false;
+    // check_window is never called here (CG needs no probe); the guard
+    // provides the deadline and finiteness checks.
+    let guard = SolveGuard::new(config, 0.0);
+    let mut fault: Option<String> = None;
 
-    for _round in 0..MAX_ACTIVE_SET_ROUNDS {
+    'rounds: for _round in 0..MAX_ACTIVE_SET_ROUNDS {
         // RHS: Aᵀb + w·A_Vᵀ·l_V.
         parallel::par_fill(par, &mut ym, |i| {
             if active[i] {
@@ -110,6 +116,18 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
         let max_cg = 4 * n + 100;
         let mut scratch = vec![0.0; n];
         for _ in 0..max_cg {
+            match faultinject::fire("solver.iter") {
+                Some(faultinject::Fault::Nan) => {
+                    if let Some(x0) = x.first_mut() {
+                        *x0 = f64::NAN;
+                    }
+                }
+                Some(faultinject::Fault::Error) => {
+                    fault = Some("failpoint `solver.iter`: injected error".into());
+                    break 'rounds;
+                }
+                None => {}
+            }
             if rs_old.sqrt() / rhs_norm < CG_TOL {
                 break;
             }
@@ -123,6 +141,14 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
             vecops::axpy(alpha, &p, &mut x);
             vecops::axpy(-alpha, &scratch, &mut r);
             let rs_new = vecops::norm2_sq(&r);
+            if let Err(e) = guard.check_value("CG residual", rs_new) {
+                fault = Some(e);
+                break 'rounds;
+            }
+            if let Err(e) = guard.check_deadline() {
+                fault = Some(e);
+                break 'rounds;
+            }
             let beta = rs_new / rs_old;
             for j in 0..n {
                 p[j] = r[j] + beta * p[j];
@@ -136,6 +162,12 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
             );
             rs_old = rs_new;
             iterations += 1;
+        }
+        // A poisoned iterate keeps the CG residuals finite (they track r,
+        // not x), so check x itself once per round.
+        if x.iter().any(|v| !v.is_finite()) {
+            fault = Some("iterate became non-finite".into());
+            break;
         }
         // Refresh the active set (row-parallel, exact booleans).
         let mut new_active = vec![false; m];
@@ -158,6 +190,7 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
         elapsed: start.elapsed(),
         converged,
         rows_touched,
+        fault,
     }
 }
 

@@ -8,6 +8,7 @@
 
 use crate::config::MgbaConfig;
 use crate::problem::FitProblem;
+use crate::solver::guard::SolveGuard;
 use crate::solver::{ObjectiveProbe, SolveResult};
 use sparsela::vecops;
 use std::time::Instant;
@@ -29,6 +30,8 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResu
             .sum::<f64>()
             .max(1e-30);
     let mut converged = best_obj <= floor;
+    let mut guard = SolveGuard::new(config, best_obj);
+    let mut fault: Option<String> = None;
     let mut stalled = 0usize;
     let mut iterations = 0;
     let mut rows_touched = 0u64;
@@ -39,9 +42,30 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResu
     let mut coeffs: Vec<f64> = Vec::new();
 
     while !converged && iterations < config.max_iterations {
+        // Free when no deadline is configured (a single Option match).
+        if let Err(e) = guard.check_deadline() {
+            fault = Some(e);
+            break;
+        }
+        match faultinject::fire("solver.iter") {
+            Some(faultinject::Fault::Nan) => {
+                if let Some(x0) = x.first_mut() {
+                    *x0 = f64::NAN;
+                }
+            }
+            Some(faultinject::Fault::Error) => {
+                fault = Some("failpoint `solver.iter`: injected error".into());
+                break;
+            }
+            None => {}
+        }
         problem.gradient_into(&x, &mut coeffs, &mut g);
         rows_touched += m as u64;
         let gnorm = vecops::normalize(&mut g);
+        if let Err(e) = guard.check_value("gradient norm", gnorm) {
+            fault = Some(e);
+            break;
+        }
         if gnorm == 0.0 {
             obs::telemetry::record_iteration(iterations as u64, None, 0.0, 0.0, m as u64);
             converged = true;
@@ -55,7 +79,9 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResu
         if iterations.is_multiple_of(config.check_window) {
             let obj = probe.estimate(problem, &x);
             window_obj = Some(obj);
-            if obj <= floor {
+            if let Err(e) = guard.check_window(obj, vecops::norm2_sq(&x)) {
+                fault = Some(e);
+            } else if obj <= floor {
                 converged = true;
             } else if obj < best_obj * (1.0 - config.inner_tolerance) {
                 // Stall-based plateau: stop once the best objective seen
@@ -78,6 +104,9 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResu
             step,
             m as u64,
         );
+        if fault.is_some() {
+            break;
+        }
     }
 
     let objective = problem.objective(&x);
@@ -89,6 +118,7 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResu
         elapsed: start.elapsed(),
         converged,
         rows_touched,
+        fault,
     }
 }
 

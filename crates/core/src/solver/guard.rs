@@ -1,0 +1,181 @@
+//! Per-iteration solver guardrails.
+//!
+//! Every iterative solver threads a [`SolveGuard`] through its
+//! convergence-check windows. The guard watches for the three ways a
+//! stochastic descent can go wrong without ever "failing":
+//!
+//! 1. **non-finite state** — a NaN/inf objective, gradient norm, or
+//!    iterate norm (e.g. from a corrupted derate upstream) would
+//!    otherwise satisfy no comparison and let the stall logic declare
+//!    convergence on garbage;
+//! 2. **divergence** — the windowed objective climbing past
+//!    `divergence_factor ×` its starting value, or growing for
+//!    `divergence_streak` consecutive windows (‖x‖ blow-up surfaces
+//!    here too: an exploding iterate explodes the objective, and its
+//!    norm is checked for finiteness directly);
+//! 3. **wall-clock overrun** — `solver_timeout_ms` exceeded (disabled
+//!    by default so unconfigured runs stay deterministic).
+//!
+//! A trip aborts the stage with `SolveResult::fault = Some(reason)`;
+//! [`super::solve_with_fallback`] then demotes to the next ladder stage.
+//! All checks are read-only when nothing trips, so guarded and unguarded
+//! solves produce bit-identical iterates.
+
+use crate::config::MgbaConfig;
+use std::time::Instant;
+
+/// Watchdog for one solver stage. See the module docs.
+pub(crate) struct SolveGuard {
+    baseline: f64,
+    prev_obj: f64,
+    growth_streak: usize,
+    streak_limit: usize,
+    factor: f64,
+    deadline: Option<Instant>,
+    timeout_ms: u64,
+}
+
+impl SolveGuard {
+    /// Starts the watchdog from the stage's initial objective estimate.
+    pub(crate) fn new(config: &MgbaConfig, baseline: f64) -> Self {
+        Self {
+            baseline,
+            prev_obj: baseline,
+            growth_streak: 0,
+            streak_limit: config.divergence_streak.max(1),
+            factor: config.divergence_factor,
+            deadline: (config.solver_timeout_ms > 0).then(|| {
+                Instant::now() + std::time::Duration::from_millis(config.solver_timeout_ms)
+            }),
+            timeout_ms: config.solver_timeout_ms,
+        }
+    }
+
+    /// Checks a per-iteration scalar (gradient norm, CG residual) for
+    /// finiteness.
+    pub(crate) fn check_value(&self, what: &str, v: f64) -> Result<(), String> {
+        if v.is_finite() {
+            Ok(())
+        } else {
+            Err(format!("{what} became non-finite ({v})"))
+        }
+    }
+
+    /// Checks the wall-clock deadline (no-op when `solver_timeout_ms`
+    /// is 0).
+    pub(crate) fn check_deadline(&self) -> Result<(), String> {
+        match self.deadline {
+            Some(d) if Instant::now() > d => Err(format!(
+                "wall-clock budget of {} ms exceeded",
+                self.timeout_ms
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Full windowed check: finiteness of the objective estimate and
+    /// iterate norm, divergence (factor and streak), and the deadline.
+    pub(crate) fn check_window(&mut self, obj: f64, x_norm_sq: f64) -> Result<(), String> {
+        if !obj.is_finite() {
+            return Err(format!("objective estimate became non-finite ({obj})"));
+        }
+        if !x_norm_sq.is_finite() {
+            return Err(format!("iterate norm became non-finite ({x_norm_sq})"));
+        }
+        if self.baseline.is_finite() && obj > self.baseline * self.factor {
+            return Err(format!(
+                "diverging: objective {obj:.3e} exceeded {}× its starting value {:.3e}",
+                self.factor, self.baseline
+            ));
+        }
+        if obj > self.prev_obj {
+            self.growth_streak += 1;
+            if self.growth_streak >= self.streak_limit {
+                return Err(format!(
+                    "diverging: objective grew for {} consecutive windows",
+                    self.growth_streak
+                ));
+            }
+        } else {
+            self.growth_streak = 0;
+        }
+        self.prev_obj = obj;
+        self.check_deadline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MgbaConfig {
+        MgbaConfig::default()
+    }
+
+    #[test]
+    fn healthy_descent_never_trips() {
+        let mut g = SolveGuard::new(&cfg(), 100.0);
+        for i in 0..50 {
+            let obj = 100.0 / (i + 1) as f64;
+            assert!(g.check_window(obj, obj).is_ok());
+        }
+        assert!(g.check_value("gnorm", 1.0).is_ok());
+    }
+
+    #[test]
+    fn non_finite_objective_trips() {
+        let mut g = SolveGuard::new(&cfg(), 100.0);
+        let err = g.check_window(f64::NAN, 1.0).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        let mut g = SolveGuard::new(&cfg(), 100.0);
+        assert!(g.check_window(1.0, f64::INFINITY).is_err());
+        assert!(g.check_value("gnorm", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn nan_baseline_still_trips_on_nan_windows() {
+        // A NaN starting objective (corrupt inputs) must not disable the
+        // guard: the windowed estimates are NaN too and trip finiteness.
+        let mut g = SolveGuard::new(&cfg(), f64::NAN);
+        assert!(g.check_window(f64::NAN, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn factor_blowup_trips() {
+        let mut g = SolveGuard::new(&cfg(), 1.0);
+        assert!(g.check_window(2.0, 1.0).is_ok());
+        let err = g.check_window(2e3, 1.0).unwrap_err();
+        assert!(err.contains("diverging"), "{err}");
+    }
+
+    #[test]
+    fn growth_streak_trips_and_resets() {
+        let c = MgbaConfig {
+            divergence_streak: 3,
+            ..cfg()
+        };
+        let mut g = SolveGuard::new(&c, 1.0);
+        assert!(g.check_window(1.1, 1.0).is_ok());
+        assert!(g.check_window(1.2, 1.0).is_ok());
+        // An improving window resets the streak.
+        assert!(g.check_window(0.9, 1.0).is_ok());
+        assert!(g.check_window(1.0, 1.0).is_ok());
+        assert!(g.check_window(1.1, 1.0).is_ok());
+        let err = g.check_window(1.2, 1.0).unwrap_err();
+        assert!(err.contains("consecutive windows"), "{err}");
+    }
+
+    #[test]
+    fn deadline_disabled_by_default_and_trips_when_set() {
+        let g = SolveGuard::new(&cfg(), 1.0);
+        assert!(g.check_deadline().is_ok());
+        let c = MgbaConfig {
+            solver_timeout_ms: 1,
+            ..cfg()
+        };
+        let g = SolveGuard::new(&c, 1.0);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let err = g.check_deadline().unwrap_err();
+        assert!(err.contains("wall-clock"), "{err}");
+    }
+}

@@ -71,6 +71,7 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, mu: f64) -> SolveResult 
             elapsed: start.elapsed(),
             converged: true,
             rows_touched: 0,
+            fault: None,
         };
     }
 
@@ -145,6 +146,7 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, mu: f64) -> SolveResult 
         elapsed: start.elapsed(),
         converged,
         rows_touched,
+        fault: None,
     }
 }
 

@@ -19,6 +19,7 @@
 
 pub mod cgnr;
 pub mod gd;
+pub(crate) mod guard;
 pub mod ista;
 pub mod sampling;
 pub mod scg;
@@ -28,7 +29,7 @@ use crate::problem::FitProblem;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which solver to run (the paper's Table 4 columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -91,6 +92,119 @@ pub struct SolveResult {
     /// Total row-gradient evaluations — the hardware-independent work
     /// measure used alongside wall time in the benches.
     pub rows_touched: u64,
+    /// Why the stage was aborted by its guard (or a fault injection),
+    /// `None` on a clean run. A faulted result must not be used; the
+    /// fallback ladder demotes it.
+    pub fault: Option<String>,
+}
+
+/// Which rung of the degradation ladder produced the accepted weights.
+///
+/// A failed solve demotes `requested solver → CGNR → GD → identity
+/// weights`; identity (x = 0) leaves GBA slacks untouched, which is
+/// always safe because GBA is pessimistic by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FallbackStage {
+    /// The requested solver's result was accepted.
+    Primary,
+    /// Demoted to the deterministic CGNR reference.
+    Cgnr,
+    /// Demoted to full gradient descent.
+    Gd,
+    /// All solvers failed; identity weights (x = 0, raw GBA slacks).
+    Identity,
+}
+
+impl FallbackStage {
+    /// Stable lowercase name used in reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackStage::Primary => "primary",
+            FallbackStage::Cgnr => "cgnr",
+            FallbackStage::Gd => "gd",
+            FallbackStage::Identity => "identity",
+        }
+    }
+
+    /// Whether this stage means the calibration is serving raw GBA.
+    pub fn is_degraded(self) -> bool {
+        matches!(self, FallbackStage::Identity)
+    }
+}
+
+impl std::fmt::Display for FallbackStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Accepts a stage result only when it is strictly usable: no guard
+/// fault, a fully finite iterate, and an objective no worse than the
+/// zero-weight starting point `f0` (a solver must never *add*
+/// pessimism-correction error).
+fn acceptable(r: &SolveResult, f0: f64) -> bool {
+    r.fault.is_none()
+        && r.objective.is_finite()
+        && r.x.iter().all(|v| v.is_finite())
+        && f0.is_finite()
+        && r.objective <= f0 + f0.abs() * 1e-9 + 1e-12
+}
+
+/// Runs `solver` with the staged fallback ladder.
+///
+/// Stages are tried in order (requested solver, then [`Solver::Cgnr`],
+/// then [`Solver::Gd`], skipping duplicates) until one passes the
+/// acceptance check (no fault, finite iterate, objective no worse than
+/// x = 0); otherwise identity weights (x = 0) are returned,
+/// which reproduce raw GBA slacks. With `config.fallback == false` the
+/// intermediate stages are skipped: the requested solver either passes
+/// or the result drops straight to identity.
+pub fn solve_with_fallback(
+    solver: Solver,
+    problem: &FitProblem,
+    config: &MgbaConfig,
+) -> (SolveResult, FallbackStage) {
+    let start = Instant::now();
+    let f0 = problem.objective(&vec![0.0; problem.num_gates()]);
+    let mut ladder: Vec<(Solver, FallbackStage)> = vec![(solver, FallbackStage::Primary)];
+    if config.fallback {
+        if solver != Solver::Cgnr {
+            ladder.push((Solver::Cgnr, FallbackStage::Cgnr));
+        }
+        if solver != Solver::Gd {
+            ladder.push((Solver::Gd, FallbackStage::Gd));
+        }
+    }
+    let mut last_fault = None;
+    for (stage_solver, stage) in ladder {
+        let result = stage_solver.solve(problem, config);
+        if acceptable(&result, f0) {
+            if stage != FallbackStage::Primary {
+                obs::counter_add(&format!("mgba.fallback.{}", stage.name()), 1);
+            }
+            return (result, stage);
+        }
+        let reason = result
+            .fault
+            .clone()
+            .unwrap_or_else(|| format!("unusable result (objective {})", result.objective));
+        obs::counter_add("mgba.solver.stage_failed", 1);
+        last_fault = Some(format!("{}: {reason}", stage_solver.paper_name()));
+    }
+    obs::counter_add("mgba.fallback.identity", 1);
+    let n = problem.num_gates();
+    (
+        SolveResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            elapsed: start.elapsed(),
+            objective: f0,
+            converged: false,
+            rows_touched: 0,
+            fault: last_fault,
+        },
+        FallbackStage::Identity,
+    )
 }
 
 /// Objective estimator over a fixed row subset, shared by GD and SCG for
@@ -168,6 +282,24 @@ pub(crate) mod testutil {
         let p = FitProblem::from_parts(a, s_gba, s_pba, columns, 0.05, 4.0);
         (p, x_true)
     }
+
+    /// A problem whose golden (PBA) slacks are all NaN — what a corrupted
+    /// derate table upstream would produce. No solver stage can yield a
+    /// finite objective on it, so the fallback ladder must bottom out at
+    /// identity weights.
+    pub(crate) fn poisoned(m: usize, n: usize, seed: u64) -> FitProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = CsrBuilder::new(n);
+        let mut s_gba = Vec::with_capacity(m);
+        for i in 0..m {
+            builder.push_row(&[(i % n, rng.random_range(50.0..150.0))]);
+            s_gba.push(-rng.random_range(50.0..500.0));
+        }
+        let a = builder.build();
+        let s_pba = vec![f64::NAN; m];
+        let columns = (0..n).map(CellId::new).collect();
+        FitProblem::from_parts(a, s_gba, s_pba, columns, 0.05, 4.0)
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +320,78 @@ mod tests {
         // On a fully covered probe the estimate equals the unpenalized
         // objective (no violations at x = 0).
         assert!((probe.estimate(&p, &x) - p.objective(&x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fallback_stage_names_are_stable() {
+        assert_eq!(FallbackStage::Primary.name(), "primary");
+        assert_eq!(FallbackStage::Cgnr.name(), "cgnr");
+        assert_eq!(FallbackStage::Gd.name(), "gd");
+        assert_eq!(FallbackStage::Identity.to_string(), "identity");
+        assert!(FallbackStage::Identity.is_degraded());
+        assert!(!FallbackStage::Cgnr.is_degraded());
+    }
+
+    #[test]
+    fn fallback_stays_primary_on_healthy_problems() {
+        let (p, _) = testutil::planted(300, 40, 6, 0.9, 71);
+        for solver in [Solver::Gd, Solver::Scg, Solver::ScgRs, Solver::Cgnr] {
+            let (r, stage) = solve_with_fallback(solver, &p, &MgbaConfig::default());
+            assert_eq!(stage, FallbackStage::Primary, "{solver}");
+            assert!(r.fault.is_none(), "{solver}: {:?}", r.fault);
+        }
+    }
+
+    #[test]
+    fn fallback_is_bit_identical_to_direct_solve_when_healthy() {
+        // The ladder must be a pure wrapper on the happy path: same
+        // iterate, bit for bit, as calling the solver directly.
+        let (p, _) = testutil::planted(300, 40, 6, 0.9, 72);
+        let cfg = MgbaConfig::default();
+        let direct = Solver::Scg.solve(&p, &cfg);
+        let (laddered, _) = solve_with_fallback(Solver::Scg, &p, &cfg);
+        assert_eq!(direct.x, laddered.x);
+        assert_eq!(direct.iterations, laddered.iterations);
+    }
+
+    #[test]
+    fn nan_golden_slacks_fall_back_to_identity() {
+        let p = testutil::poisoned(100, 20, 73);
+        for solver in [Solver::Gd, Solver::Scg, Solver::ScgRs, Solver::Cgnr] {
+            let (r, stage) = solve_with_fallback(solver, &p, &MgbaConfig::default());
+            assert_eq!(stage, FallbackStage::Identity, "{solver}");
+            assert!(stage.is_degraded());
+            assert!(r.x.iter().all(|v| *v == 0.0), "{solver}: x must be zero");
+            assert!(r.fault.is_some(), "{solver}: demotion reason recorded");
+        }
+    }
+
+    #[test]
+    fn fallback_disabled_still_never_returns_poisoned_weights() {
+        let p = testutil::poisoned(60, 10, 74);
+        let cfg = MgbaConfig {
+            fallback: false,
+            ..MgbaConfig::default()
+        };
+        let (r, stage) = solve_with_fallback(Solver::Scg, &p, &cfg);
+        assert_eq!(stage, FallbackStage::Identity);
+        assert!(r.x.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn wall_clock_timeout_demotes_the_primary_stage() {
+        // An effectively unreachable iteration cap plus a 1 ms budget: the
+        // per-iteration deadline check must abort SCG long before the cap.
+        let (p, _) = testutil::planted(4000, 200, 8, 0.95, 75);
+        let cfg = MgbaConfig {
+            solver_timeout_ms: 1,
+            max_iterations: 100_000_000,
+            inner_tolerance: 0.0,
+            ..MgbaConfig::default()
+        };
+        let (r, stage) = solve_with_fallback(Solver::Scg, &p, &cfg);
+        assert_ne!(stage, FallbackStage::Primary);
+        // Whatever rung accepted, the result is usable: fully finite.
+        assert!(r.x.iter().all(|v| v.is_finite()));
     }
 }

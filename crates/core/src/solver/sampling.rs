@@ -50,6 +50,7 @@ pub fn solve_traced(
     let mut rounds = Vec::new();
     let mut iterations = 0usize;
     let mut rows_touched = 0u64;
+    let mut fault: Option<String> = None;
     let converged;
 
     loop {
@@ -62,6 +63,14 @@ pub fn solve_traced(
         let inner = scg::solve_with_offset(&reduced, config, &x, iterations, rng);
         iterations += inner.iterations;
         rows_touched += inner.rows_touched;
+        // A guard trip in the inner solve poisons the whole round
+        // schedule: abort the doubling and report the fault (the last
+        // accepted x is kept, but the ladder will judge the result).
+        if inner.fault.is_some() {
+            fault = inner.fault;
+            converged = false;
+            break;
+        }
         // Line 2: relative solution variation, plus a full-problem
         // objective plateau test. The stochastic inner solves leave noise
         // on x, so the x-criterion alone can keep doubling long after the
@@ -119,6 +128,7 @@ pub fn solve_traced(
             elapsed: start.elapsed(),
             converged,
             rows_touched,
+            fault,
         },
         rounds,
     )

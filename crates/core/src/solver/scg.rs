@@ -14,6 +14,7 @@
 
 use crate::config::MgbaConfig;
 use crate::problem::FitProblem;
+use crate::solver::guard::SolveGuard;
 use crate::solver::{ObjectiveProbe, SolveResult};
 use rand::rngs::StdRng;
 use sparsela::sampling::NormSampler;
@@ -57,6 +58,7 @@ pub fn solve_with_offset(
             elapsed: start.elapsed(),
             converged: true,
             rows_touched: 0,
+            fault: None,
         };
     }
 
@@ -74,6 +76,7 @@ pub fn solve_with_offset(
             elapsed: start.elapsed(),
             converged: true,
             rows_touched: 0,
+            fault: None,
         };
     };
     let k = ((m as f64 * config.row_fraction).ceil() as usize).clamp(1, m);
@@ -93,8 +96,11 @@ pub fn solve_with_offset(
             elapsed: start.elapsed(),
             converged: true,
             rows_touched: 0,
+            fault: None,
         };
     }
+    let mut guard = SolveGuard::new(config, best_obj);
+    let mut fault: Option<String> = None;
     let mut g_prev: Vec<f64> = vec![0.0; n];
     let mut d: Vec<f64> = vec![0.0; n];
     let mut have_prev = false;
@@ -105,6 +111,25 @@ pub fn solve_with_offset(
     let mut rows_touched = 0u64;
 
     while iterations < config.max_iterations {
+        // Free when no deadline is configured (a single Option match).
+        if let Err(e) = guard.check_deadline() {
+            fault = Some(e);
+            break;
+        }
+        match faultinject::fire("solver.iter") {
+            Some(faultinject::Fault::Nan) => {
+                // Poison the iterate the way a corrupt upstream derate
+                // would: the guard must catch it at the next window.
+                if let Some(x0) = x.first_mut() {
+                    *x0 = f64::NAN;
+                }
+            }
+            Some(faultinject::Fault::Error) => {
+                fault = Some("failpoint `solver.iter`: injected error".into());
+                break;
+            }
+            None => {}
+        }
         // Lines 4–5: sample k'' rows, accumulate their gradient.
         g.fill(0.0);
         for _ in 0..k {
@@ -117,6 +142,10 @@ pub fn solve_with_offset(
         // skip the step; the windowed objective check handles genuine
         // convergence.
         let gnorm = vecops::normalize(&mut g);
+        if let Err(e) = guard.check_value("gradient norm", gnorm) {
+            fault = Some(e);
+            break;
+        }
         if gnorm == 0.0 {
             iterations += 1;
             have_prev = false;
@@ -124,7 +153,9 @@ pub fn solve_with_offset(
             if iterations.is_multiple_of(config.check_window) {
                 let obj = probe.estimate(problem, &x);
                 window_obj = Some(obj);
-                if obj <= floor || obj >= best_obj * (1.0 - config.inner_tolerance) {
+                if let Err(e) = guard.check_window(obj, vecops::norm2_sq(&x)) {
+                    fault = Some(e);
+                } else if obj <= floor || obj >= best_obj * (1.0 - config.inner_tolerance) {
                     converged = true;
                 } else {
                     best_obj = obj;
@@ -137,7 +168,7 @@ pub fn solve_with_offset(
                 0.0,
                 k as u64,
             );
-            if converged {
+            if converged || fault.is_some() {
                 break;
             }
             continue;
@@ -178,7 +209,9 @@ pub fn solve_with_offset(
         if iterations.is_multiple_of(config.check_window) {
             let obj = probe.estimate(problem, &x);
             window_obj = Some(obj);
-            if obj <= floor {
+            if let Err(e) = guard.check_window(obj, vecops::norm2_sq(&x)) {
+                fault = Some(e);
+            } else if obj <= floor {
                 converged = true;
             } else if obj < best_obj * (1.0 - config.inner_tolerance) {
                 best_obj = obj;
@@ -197,7 +230,7 @@ pub fn solve_with_offset(
             alpha,
             k as u64,
         );
-        if converged {
+        if converged || fault.is_some() {
             break;
         }
     }
@@ -211,6 +244,7 @@ pub fn solve_with_offset(
         elapsed: start.elapsed(),
         converged,
         rows_touched,
+        fault,
     }
 }
 

@@ -106,7 +106,48 @@ pub fn apply_weights(netlist: &Netlist, pairs: &[(String, f64)]) -> Result<Vec<f
     Ok(weights)
 }
 
-/// Writes the weights sidecar for `netlist` to `path`.
+/// Writes `text` to `path` atomically: the content lands in a `.tmp`
+/// sibling first, is fsynced, and only then renamed over the target.
+/// A crash (or the `weights.write` failpoint) mid-write leaves the
+/// previous file intact — readers never observe a torn sidecar.
+///
+/// # Errors
+///
+/// Returns [`MgbaError::Io`] when any step fails; the partially written
+/// temp file is removed on the error path.
+pub fn atomic_write_text(path: impl AsRef<Path>, text: &str) -> Result<(), MgbaError> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write_all = |tmp: &Path| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(tmp)?;
+        f.write_all(text.as_bytes())?;
+        if faultinject::fire("weights.write").is_some() {
+            // Simulated torn write: half the payload made it to disk and
+            // the process "died" before the rename. The target file must
+            // be untouched.
+            f.set_len((text.len() / 2) as u64)?;
+            return Err(std::io::Error::other(
+                "failpoint `weights.write`: injected crash before rename",
+            ));
+        }
+        f.sync_all()?;
+        Ok(())
+    };
+    if let Err(e) = write_all(&tmp) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(MgbaError::io(path, e));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        MgbaError::io(path, e)
+    })
+}
+
+/// Writes the weights sidecar for `netlist` to `path` (atomically, via
+/// [`atomic_write_text`]).
 ///
 /// # Errors
 ///
@@ -116,8 +157,7 @@ pub fn write_weights_file(
     netlist: &Netlist,
     weights: &[f64],
 ) -> Result<(), MgbaError> {
-    let path = path.as_ref();
-    std::fs::write(path, write_weights(netlist, weights)).map_err(|e| MgbaError::io(path, e))
+    atomic_write_text(path, &write_weights(netlist, weights))
 }
 
 /// Reads a weights sidecar from `path` and resolves it against `netlist`
@@ -255,6 +295,36 @@ mod tests {
         let (sta, _) = fitted_engine();
         let err = apply_weights(sta.netlist(), &[("ghost".to_owned(), -0.1)]).unwrap_err();
         assert_eq!(err, WeightsError::UnknownCell("ghost".to_owned()));
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content() {
+        let dir = std::env::temp_dir().join("mgba_weights_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.weights");
+        atomic_write_text(&path, "old content\n").unwrap();
+        atomic_write_text(&path, "new content\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new content\n");
+        // No temp file left behind.
+        assert!(!dir.join("atomic.weights.tmp").exists());
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn torn_write_failpoint_leaves_previous_file_intact() {
+        let dir = std::env::temp_dir().join("mgba_weights_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.weights");
+        atomic_write_text(&path, "good content\n").unwrap();
+
+        let _fp = faultinject::scoped("weights.write=error");
+        let err = atomic_write_text(&path, "replacement that dies mid-write\n").unwrap_err();
+        assert!(matches!(err, MgbaError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("weights.write"), "{err}");
+        // The target still holds the previous generation, bit for bit,
+        // and the torn temp file was cleaned up.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "good content\n");
+        assert!(!dir.join("torn.weights.tmp").exists());
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Deterministic named failpoints, compiled out by default.
+//!
+//! A *failpoint* is a named hook (`faultinject::fire("solver.iter")`)
+//! placed at a fault-prone site. In normal builds the hook compiles to an
+//! inline no-op. When the crate is built with `--features failpoints` the
+//! hook consults a process-wide registry and can be armed to inject a
+//! fault the next time the site executes:
+//!
+//! - `panic` — unwind at the site (exercises crash isolation),
+//! - `error` — make the site report a synthetic typed error,
+//! - `nan`   — make the site produce a non-finite value (exercises
+//!   numerical guardrails),
+//! - `delay:MS` — sleep `MS` milliseconds before continuing (exercises
+//!   timeouts).
+//!
+//! Failpoints are armed either from the environment at first use
+//! (`MGBA_FAILPOINTS="solver.iter=nan;weights.write=error*1"`) or
+//! programmatically via [`arm_spec`]. An action may carry a `*N` suffix:
+//! it fires `N` times and then disarms itself, which lets a chaos test
+//! inject exactly one panic and then assert recovery.
+//!
+//! The registry is global. Tests that arm failpoints must serialize: take
+//! `exclusive()` (or use `scoped()`, which takes it for you and clears
+//! the registry on drop — both exist only with the feature on) so
+//! concurrently running tests never observe each other's armed faults.
+
+use std::fmt;
+
+/// What an armed failpoint injects at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Unwind (`panic!`) at the site.
+    Panic,
+    /// Make the site report a synthetic typed error.
+    Error,
+    /// Make the site produce a non-finite value.
+    Nan,
+    /// Sleep this many milliseconds, then continue normally.
+    Delay(u64),
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Panic => f.write_str("panic"),
+            Action::Error => f.write_str("error"),
+            Action::Nan => f.write_str("nan"),
+            Action::Delay(ms) => write!(f, "delay:{ms}"),
+        }
+    }
+}
+
+/// The fault a firing failpoint asks its site to manifest.
+///
+/// `Panic` and `Delay` never reach the site (they happen inside
+/// [`fire`]); the site only has to handle "report an error" and "produce
+/// a NaN".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Report a synthetic typed error.
+    Error,
+    /// Produce a non-finite value.
+    Nan,
+}
+
+/// Parses a single `action[*count]` token (`panic`, `error*1`,
+/// `delay:25`, ...). `count` of zero is rejected.
+#[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+fn parse_action(token: &str) -> Result<(Action, Option<u64>), String> {
+    let (action, count) = match token.split_once('*') {
+        Some((a, n)) => {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| format!("bad failpoint count `{n}`"))?;
+            if n == 0 {
+                return Err("failpoint count must be >= 1".into());
+            }
+            (a, Some(n))
+        }
+        None => (token, None),
+    };
+    let action = match action {
+        "panic" => Action::Panic,
+        "error" => Action::Error,
+        "nan" => Action::Nan,
+        // Plain `off` is consumed by the spec parser before this point;
+        // `off*N` is nonsense.
+        "off" => return Err("`off` takes no `*N` count".into()),
+        _ => match action.strip_prefix("delay:") {
+            Some(ms) => Action::Delay(
+                ms.parse()
+                    .map_err(|_| format!("bad delay milliseconds `{ms}`"))?,
+            ),
+            None => {
+                return Err(format!(
+                    "unknown failpoint action `{action}` (want panic|error|nan|delay:MS|off)"
+                ))
+            }
+        },
+    };
+    Ok((action, count))
+}
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use super::{parse_action, Action, Fault};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct Armed {
+        action: Action,
+        /// `None` = fire forever; `Some(n)` = fire `n` more times.
+        remaining: Option<u64>,
+    }
+
+    fn table() -> &'static Mutex<HashMap<String, Armed>> {
+        static TABLE: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("MGBA_FAILPOINTS") {
+                // Env arming is best-effort: a typo must not take the
+                // process down before main() even runs.
+                let _ = arm_into(&mut map, &spec);
+            }
+            Mutex::new(map)
+        })
+    }
+
+    fn arm_into(map: &mut HashMap<String, Armed>, spec: &str) -> Result<usize, String> {
+        let mut armed = 0;
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (name, token) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("bad failpoint clause `{clause}` (want name=action)"))?;
+            let (name, token) = (name.trim(), token.trim());
+            if name.is_empty() {
+                return Err(format!("empty failpoint name in `{clause}`"));
+            }
+            if token == "off" {
+                map.remove(name);
+                armed += 1;
+                continue;
+            }
+            let (action, remaining) = parse_action(token)?;
+            map.insert(name.to_string(), Armed { action, remaining });
+            armed += 1;
+        }
+        Ok(armed)
+    }
+
+    pub fn arm_spec(spec: &str) -> Result<usize, String> {
+        let mut map = table().lock().unwrap();
+        arm_into(&mut map, spec)
+    }
+
+    pub fn clear() {
+        table().lock().unwrap().clear();
+    }
+
+    pub fn armed_names() -> Vec<String> {
+        let mut names: Vec<String> = table().lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn fire(name: &str) -> Option<Fault> {
+        // Decide under the lock, act after releasing it: a panic while
+        // holding the mutex would poison the registry for every later
+        // request, defeating one-shot recovery tests.
+        let action = {
+            let mut map = table().lock().unwrap();
+            let armed = map.get_mut(name)?;
+            let action = armed.action;
+            if let Some(n) = &mut armed.remaining {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(name);
+                }
+            }
+            action
+        };
+        match action {
+            Action::Panic => panic!("failpoint `{name}`: injected panic"),
+            Action::Error => Some(Fault::Error),
+            Action::Nan => Some(Fault::Nan),
+            Action::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+        }
+    }
+
+    pub fn exclusive() -> MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Fires the failpoint `name`.
+///
+/// Returns `Some(fault)` when the site must manifest an injected fault
+/// ([`Fault::Error`] or [`Fault::Nan`]); panics here when armed with
+/// `panic`; sleeps and returns `None` for `delay`. With the `failpoints`
+/// feature off this is an inline no-op returning `None`.
+#[inline(always)]
+pub fn fire(name: &str) -> Option<Fault> {
+    #[cfg(feature = "failpoints")]
+    {
+        registry::fire(name)
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = name;
+        None
+    }
+}
+
+/// Arms failpoints from a spec string: `name=action[;name=action...]`
+/// where `action` is `panic|error|nan|delay:MS`, optionally suffixed
+/// `*N` to fire only `N` times, or `off` to disarm that name.
+///
+/// Returns the number of clauses applied, or an error when the spec is
+/// malformed — or when the binary was built without `--features
+/// failpoints`, so a chaos run against a production build fails loudly
+/// instead of silently injecting nothing.
+pub fn arm_spec(spec: &str) -> Result<usize, String> {
+    #[cfg(feature = "failpoints")]
+    {
+        registry::arm_spec(spec)
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = spec;
+        Err("failpoints support not compiled in (build with --features failpoints)".into())
+    }
+}
+
+/// Disarms every failpoint. No-op when the feature is off.
+pub fn clear() {
+    #[cfg(feature = "failpoints")]
+    registry::clear();
+}
+
+/// Sorted names of currently armed failpoints (empty when the feature is
+/// off).
+pub fn armed_names() -> Vec<String> {
+    #[cfg(feature = "failpoints")]
+    {
+        registry::armed_names()
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Whether failpoint support is compiled into this build.
+pub const fn compiled_in() -> bool {
+    cfg!(feature = "failpoints")
+}
+
+/// Serializes tests that arm failpoints. The registry is process-global,
+/// so two tests arming concurrently (or one arming while another runs a
+/// solver) would interfere; every arming test must hold this guard.
+#[cfg(feature = "failpoints")]
+pub fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    registry::exclusive()
+}
+
+/// RAII failpoint arming for tests: takes the [`exclusive`] lock, clears
+/// any stale state, applies `spec`, and clears again on drop.
+#[cfg(feature = "failpoints")]
+pub struct Scoped {
+    _guard: std::sync::MutexGuard<'static, ()>,
+}
+
+#[cfg(feature = "failpoints")]
+impl Drop for Scoped {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Arms `spec` under the test lock; disarms everything when the returned
+/// guard drops. Panics on a malformed spec (test-only convenience).
+#[cfg(feature = "failpoints")]
+pub fn scoped(spec: &str) -> Scoped {
+    let guard = exclusive();
+    clear();
+    arm_spec(spec).expect("valid failpoint spec");
+    Scoped { _guard: guard }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parser_rejects_garbage() {
+        for bad in [
+            "no-equals",
+            "x=explode",
+            "x=delay:abc",
+            "x=panic*0",
+            "x=panic*many",
+            "=panic",
+        ] {
+            assert!(parse_bad(bad), "`{bad}` should be rejected");
+        }
+    }
+
+    fn parse_bad(spec: &str) -> bool {
+        // Route through the public API when compiled in; otherwise the
+        // pure parser.
+        #[cfg(feature = "failpoints")]
+        {
+            let _g = exclusive();
+            clear();
+            let bad = arm_spec(spec).is_err();
+            clear();
+            bad
+        }
+        #[cfg(not(feature = "failpoints"))]
+        {
+            spec.split_once('=')
+                .map(|(n, t)| n.is_empty() || parse_action(t).is_err())
+                .unwrap_or(true)
+        }
+    }
+
+    #[test]
+    fn action_parser_accepts_catalog() {
+        assert_eq!(parse_action("panic").unwrap(), (Action::Panic, None));
+        assert_eq!(parse_action("error*3").unwrap(), (Action::Error, Some(3)));
+        assert_eq!(parse_action("nan").unwrap(), (Action::Nan, None));
+        assert_eq!(parse_action("delay:25").unwrap(), (Action::Delay(25), None));
+    }
+
+    #[cfg(not(feature = "failpoints"))]
+    #[test]
+    fn disabled_build_is_inert() {
+        assert!(!compiled_in());
+        assert_eq!(fire("anything"), None);
+        assert!(arm_spec("anything=panic").is_err());
+        assert!(armed_names().is_empty());
+    }
+
+    #[cfg(feature = "failpoints")]
+    mod armed {
+        use super::super::*;
+
+        #[test]
+        fn error_and_nan_fire_until_disarmed() {
+            let _s = scoped("a=error;b=nan");
+            assert_eq!(fire("a"), Some(Fault::Error));
+            assert_eq!(fire("a"), Some(Fault::Error));
+            assert_eq!(fire("b"), Some(Fault::Nan));
+            assert_eq!(fire("unarmed"), None);
+            arm_spec("a=off").unwrap();
+            assert_eq!(fire("a"), None);
+        }
+
+        #[test]
+        fn counted_faults_self_disarm() {
+            let _s = scoped("once=error*1;twice=nan*2");
+            assert_eq!(fire("once"), Some(Fault::Error));
+            assert_eq!(fire("once"), None);
+            assert_eq!(fire("twice"), Some(Fault::Nan));
+            assert_eq!(fire("twice"), Some(Fault::Nan));
+            assert_eq!(fire("twice"), None);
+            assert!(armed_names().is_empty());
+        }
+
+        #[test]
+        fn panic_action_unwinds_and_registry_survives() {
+            let _s = scoped("boom=panic*1");
+            let caught = std::panic::catch_unwind(|| fire("boom"));
+            assert!(caught.is_err());
+            // The one-shot decremented before unwinding and the mutex is
+            // not poisoned: later fires still work.
+            assert_eq!(fire("boom"), None);
+            arm_spec("boom=error").unwrap();
+            assert_eq!(fire("boom"), Some(Fault::Error));
+        }
+
+        #[test]
+        fn delay_sleeps_then_continues() {
+            let _s = scoped("slow=delay:20");
+            let t0 = std::time::Instant::now();
+            assert_eq!(fire("slow"), None);
+            assert!(t0.elapsed() >= std::time::Duration::from_millis(15));
+        }
+    }
+}

@@ -308,9 +308,14 @@ impl Parser<'_> {
             }
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-        s.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| format!("bad number `{s}` at byte {start}"))
+        match s.parse::<f64>() {
+            // Reject overflow to ±inf (e.g. `1e999999`): a non-finite
+            // number would silently corrupt downstream arithmetic, and
+            // the emitting side writes non-finite as `null` anyway.
+            Ok(n) if n.is_finite() => Ok(Value::Num(n)),
+            Ok(_) => Err(format!("number `{s}` out of range at byte {start}")),
+            Err(_) => Err(format!("bad number `{s}` at byte {start}")),
+        }
     }
 }
 
@@ -355,6 +360,47 @@ mod tests {
             "{} extra",
             r#"{"a":1,"a":2}"#,
             "\"raw\ncontrol\"",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_request_errors_cleanly() {
+        // Property-style sweep: chopping a well-formed request at any
+        // byte boundary must produce a clean parse error (or, for a few
+        // lucky prefixes, a shorter valid document) — never a panic.
+        let doc = r#"{"id":42,"cmd":"load","design":"small:7","period":9.5e2,"flags":[true,null,"aé\n"]}"#;
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = parse(&doc[..cut]);
+            let _ = parse(&doc[cut..]);
+        }
+        assert!(parse(doc).is_ok());
+    }
+
+    #[test]
+    fn huge_and_overflowing_numbers_are_rejected() {
+        assert!(parse("1e999999").is_err(), "overflow to +inf");
+        assert!(parse("-1e999999").is_err(), "overflow to -inf");
+        // Underflow to zero and large-but-finite values are fine.
+        assert_eq!(parse("1e-999999").unwrap(), Value::Num(0.0));
+        assert_eq!(parse("1e308").unwrap(), Value::Num(1e308));
+        let digits = "9".repeat(4096);
+        assert!(parse(&digits).is_err(), "4096 nines overflow f64");
+    }
+
+    #[test]
+    fn invalid_unicode_escapes_are_rejected() {
+        for bad in [
+            r#""\u""#,
+            r#""\u12""#,
+            r#""\uzzzz""#,
+            r#""\ud800A""#,
+            r#""\ud800\udb00""#,
+            r#""\x41""#,
         ] {
             assert!(parse(bad).is_err(), "`{bad}` should fail");
         }

@@ -7,11 +7,18 @@
 //! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}` on failure.
 //!
 //! Error kinds for [`mgba::MgbaError`] variants are `"parse"`,
-//! `"config"`, `"solver"`, `"io"`, and `"usage"`; the server layer adds
-//! `"overload"` (bounded queue full), `"deadline"` (admission deadline
-//! expired while queued), and `"shutdown"` (received while draining).
-//! Malformed JSON and unknown commands surface as `"usage"` — they are
-//! routed through [`MgbaError::Usage`] like any bad CLI invocation.
+//! `"config"`, `"solver"`, `"io"`, `"usage"`, `"timeout"`, and
+//! `"internal"` (a request handler panicked; the session was restored
+//! from its last good state); the server layer adds `"overload"`
+//! (bounded queue full), `"deadline"` (admission deadline expired while
+//! queued), and `"shutdown"` (received while draining). Malformed JSON
+//! and unknown commands surface as `"usage"` — they are routed through
+//! [`MgbaError::Usage`] like any bad CLI invocation.
+//!
+//! Success envelopes carry a `"degraded":true` field **only** while the
+//! session is serving from a fault-recovered state without calibration
+//! (raw-GBA answers, safe but pessimistic); healthy responses omit the
+//! key entirely so response bytes are unchanged from pre-fault runs.
 
 use crate::json::{self, Value};
 use mgba::MgbaError;
@@ -98,6 +105,14 @@ pub enum Command {
     /// latency histograms, and the `obs` metrics registry
     /// (non-deterministic: latencies).
     Metrics,
+    /// Arm or disarm fault-injection points at runtime (chaos testing
+    /// aid; rejected unless the server was built with `--features
+    /// failpoints`).
+    Failpoint {
+        /// Failpoint spec, e.g. `server.handle=panic*1` or
+        /// `solver.iter=off`.
+        spec: String,
+    },
     /// Hold the worker busy (testing aid for backpressure/deadlines).
     Sleep {
         /// How long to block the worker, in milliseconds (capped at
@@ -125,6 +140,7 @@ impl Command {
             Command::Restore { .. } => "restore",
             Command::Stats => "stats",
             Command::Metrics => "metrics",
+            Command::Failpoint { .. } => "failpoint",
             Command::Sleep { .. } => "sleep",
             Command::Shutdown => "shutdown",
         }
@@ -234,6 +250,9 @@ fn parse_request_value(v: &Value, id: Option<u64>) -> Result<Request, MgbaError>
         },
         "stats" => Command::Stats,
         "metrics" => Command::Metrics,
+        "failpoint" => Command::Failpoint {
+            spec: req_str(v, "spec")?,
+        },
         "sleep" => Command::Sleep {
             ms: opt_u64(v, "ms")?.unwrap_or(0).min(10_000),
         },
@@ -255,6 +274,8 @@ pub fn error_kind(e: &MgbaError) -> &'static str {
         MgbaError::Solver { .. } => "solver",
         MgbaError::Io { .. } => "io",
         MgbaError::Usage(_) => "usage",
+        MgbaError::Timeout { .. } => "timeout",
+        MgbaError::Internal(_) => "internal",
     }
 }
 
@@ -267,12 +288,19 @@ fn id_field(w: &mut JsonWriter, id: Option<u64>) {
 }
 
 /// Renders a success envelope around a pre-rendered `result` object.
-pub fn ok_envelope(id: Option<u64>, result_json: &str) -> String {
+///
+/// `degraded` adds `"degraded":true` — only when set, so healthy
+/// response bytes are identical to builds that predate the field.
+pub fn ok_envelope(id: Option<u64>, degraded: bool, result_json: &str) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
     id_field(&mut w, id);
     w.key("ok");
     w.bool(true);
+    if degraded {
+        w.key("degraded");
+        w.bool(true);
+    }
     w.key("result");
     w.raw(result_json);
     w.end_obj();
@@ -326,6 +354,10 @@ mod tests {
             (r#"{"cmd":"restore","file":"s.mgba"}"#, "restore"),
             (r#"{"cmd":"stats"}"#, "stats"),
             (r#"{"cmd":"metrics"}"#, "metrics"),
+            (
+                r#"{"cmd":"failpoint","spec":"server.handle=panic*1"}"#,
+                "failpoint",
+            ),
             (r#"{"cmd":"sleep","ms":5}"#, "sleep"),
             (r#"{"cmd":"shutdown"}"#, "shutdown"),
         ];
@@ -365,8 +397,14 @@ mod tests {
     #[test]
     fn envelopes_are_well_formed() {
         assert_eq!(
-            ok_envelope(Some(1), r#"{"pong":true}"#),
+            ok_envelope(Some(1), false, r#"{"pong":true}"#),
             r#"{"id":1,"ok":true,"result":{"pong":true}}"#
+        );
+        // Degraded mode is an explicit extra field; healthy envelopes
+        // must not carry it at all (byte-identity across runs).
+        assert_eq!(
+            ok_envelope(Some(1), true, r#"{"pong":true}"#),
+            r#"{"id":1,"ok":true,"degraded":true,"result":{"pong":true}}"#
         );
         assert_eq!(
             error_envelope(None, "overload", "queue full"),
@@ -374,6 +412,10 @@ mod tests {
         );
         let e = MgbaError::Usage("bad".into());
         assert!(mgba_error_envelope(Some(2), &e).contains(r#""kind":"usage""#));
+        let e = MgbaError::timeout("connect", 250);
+        assert!(mgba_error_envelope(None, &e).contains(r#""kind":"timeout""#));
+        let e = MgbaError::Internal("handler panicked".into());
+        assert!(mgba_error_envelope(None, &e).contains(r#""kind":"internal""#));
     }
 
     #[test]

@@ -80,6 +80,7 @@ struct Shared {
     served: AtomicU64,
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
+    panicked: AtomicU64,
     queue_depth: usize,
 }
 
@@ -90,6 +91,7 @@ impl Shared {
             served: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
             queue_depth,
         }
     }
@@ -100,8 +102,18 @@ impl Shared {
             served: self.served.load(Ordering::SeqCst),
             rejected_overload: self.rejected_overload.load(Ordering::SeqCst),
             rejected_deadline: self.rejected_deadline.load(Ordering::SeqCst),
+            panics: self.panicked.load(Ordering::SeqCst),
         }
     }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
 }
 
 /// What the worker should do with an admitted line.
@@ -155,9 +167,27 @@ fn process(job: Job, session: &mut Session, shared: &Shared) -> bool {
     let name = cmd.name();
     let info = shared.info();
     let start = Instant::now();
-    let result = {
+    // Crash isolation: a panic in one request must not take the daemon
+    // (and every other client) down. The worker catches the unwind,
+    // restores the session from its last good checkpoint, and answers
+    // with a typed "internal" error. AssertUnwindSafe is justified
+    // because the possibly half-mutated session state is discarded
+    // wholesale by `recover()` — nothing broken is ever observed.
+    let caught = {
         let _span = obs::span(name);
-        session.handle(&cmd, &info)
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.handle(&cmd, &info)))
+    };
+    let result = match caught {
+        Ok(result) => result,
+        Err(payload) => {
+            shared.panicked.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add("server.requests.panicked", 1);
+            let msg = panic_message(payload.as_ref());
+            session.recover();
+            Err(MgbaError::Internal(format!(
+                "request `{name}` panicked: {msg}; session restored from last good state"
+            )))
+        }
     };
     let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     session.latency.record(name, us);
@@ -166,7 +196,7 @@ fn process(job: Job, session: &mut Session, shared: &Shared) -> bool {
     shared.served.fetch_add(1, Ordering::SeqCst);
     let shutdown = matches!(cmd, Command::Shutdown) && result.is_ok();
     let envelope = match &result {
-        Ok(json) => proto::ok_envelope(id, json),
+        Ok(json) => proto::ok_envelope(id, session.is_degraded(), json),
         Err(e) => proto::mgba_error_envelope(id, e),
     };
     let _ = job.reply.send(envelope);
@@ -491,6 +521,101 @@ mod tests {
             lines[1]
         );
         assert!(lines[2].contains("\"pong\":true"));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_panic_is_isolated_and_state_auto_restores() {
+        // Serialize against other failpoint-arming tests; arming happens
+        // over the protocol, so take the lock manually instead of
+        // `scoped`.
+        let _lock = faultinject::exclusive();
+        faultinject::clear();
+        let script = concat!(
+            r#"{"id":1,"cmd":"load","design":"small:3"}"#,
+            "\n",
+            r#"{"id":2,"cmd":"calibrate","solver":"cgnr"}"#,
+            "\n",
+            r#"{"id":3,"cmd":"wns"}"#,
+            "\n",
+            r#"{"id":4,"cmd":"failpoint","spec":"server.handle=panic*1"}"#,
+            "\n",
+            r#"{"id":5,"cmd":"wns"}"#,
+            "\n",
+            r#"{"id":6,"cmd":"wns"}"#,
+            "\n",
+            r#"{"id":7,"cmd":"stats"}"#,
+            "\n",
+        );
+        let out = serve_stream(
+            &ServerConfig::default(),
+            script.as_bytes(),
+            Vec::<u8>::new(),
+        )
+        .unwrap();
+        faultinject::clear();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7, "{text}");
+        // The arming request itself succeeds (it arms *after* the hook).
+        assert!(lines[3].contains("\"applied\":1"), "{}", lines[3]);
+        // The next request hits the one-shot panic: typed internal error.
+        assert!(lines[4].contains("\"ok\":false"), "{}", lines[4]);
+        assert!(lines[4].contains("\"kind\":\"internal\""), "{}", lines[4]);
+        assert!(lines[4].contains("restored"), "{}", lines[4]);
+        // The request after that is served from the auto-restored
+        // calibrated state: same wns bytes as before the crash, and NOT
+        // degraded (the checkpoint carried the calibration).
+        assert!(lines[5].contains("\"ok\":true"), "{}", lines[5]);
+        assert!(!lines[5].contains("degraded"), "{}", lines[5]);
+        let wns_field = |line: &str| {
+            let start = line.find("\"wns\":").expect("wns field") + 6;
+            line[start..]
+                .split(&[',', '}'][..])
+                .next()
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(wns_field(lines[2]), wns_field(lines[5]));
+        assert!(lines[6].contains("\"panics\":1"), "{}", lines[6]);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn panic_before_calibration_degrades_until_recalibrated() {
+        let _lock = faultinject::exclusive();
+        faultinject::clear();
+        let script = concat!(
+            r#"{"id":1,"cmd":"load","design":"small:5"}"#,
+            "\n",
+            r#"{"id":2,"cmd":"failpoint","spec":"server.handle=panic*1"}"#,
+            "\n",
+            r#"{"id":3,"cmd":"wns"}"#,
+            "\n",
+            r#"{"id":4,"cmd":"wns"}"#,
+            "\n",
+            r#"{"id":5,"cmd":"calibrate","solver":"cgnr"}"#,
+            "\n",
+            r#"{"id":6,"cmd":"wns"}"#,
+            "\n",
+        );
+        let out = serve_stream(
+            &ServerConfig::default(),
+            script.as_bytes(),
+            Vec::<u8>::new(),
+        )
+        .unwrap();
+        faultinject::clear();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6, "{text}");
+        assert!(lines[2].contains("\"kind\":\"internal\""), "{}", lines[2]);
+        // Restored state has no calibration: served, but flagged.
+        assert!(lines[3].contains("\"ok\":true"), "{}", lines[3]);
+        assert!(lines[3].contains("\"degraded\":true"), "{}", lines[3]);
+        // A successful calibrate clears the flag.
+        assert!(lines[4].contains("\"ok\":true"), "{}", lines[4]);
+        assert!(!lines[5].contains("degraded"), "{}", lines[5]);
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub struct ServerInfo {
     pub rejected_overload: u64,
     /// Requests rejected because their admission deadline expired.
     pub rejected_deadline: u64,
+    /// Request handlers that panicked and were crash-isolated.
+    pub panics: u64,
 }
 
 /// A design loaded into the session.
@@ -50,6 +52,22 @@ struct Loaded {
     sta: Sta,
     /// Solver name when the session has been calibrated.
     calibrated: Option<String>,
+    /// Committed resizes since load, in order, as (cell name, resolved
+    /// library-cell name) — replayed verbatim by crash recovery.
+    resizes: Vec<(String, String)>,
+}
+
+/// Everything needed to rebuild [`Loaded`] from scratch after a caught
+/// panic: the engine itself may be mid-mutation when a handler unwinds,
+/// so recovery never reuses it — it replays this record instead.
+#[derive(Clone)]
+struct MemSnapshot {
+    spec: String,
+    period: f64,
+    calibrated: Option<String>,
+    resizes: Vec<(String, String)>,
+    /// Nonzero fitted weights keyed by cell name.
+    weights: Vec<(String, f64)>,
 }
 
 /// The daemon's per-process state: at most one loaded design, plus
@@ -57,6 +75,12 @@ struct Loaded {
 #[derive(Default)]
 pub struct Session {
     loaded: Option<Loaded>,
+    /// In-memory checkpoint taken after every successful state-changing
+    /// command; [`Session::recover`] restores from it.
+    last_good: Option<MemSnapshot>,
+    /// True while serving from a fault-recovered state whose calibration
+    /// is unavailable (answers are raw GBA: safe but pessimistic).
+    degraded: bool,
     /// Per-command latency histograms (recorded by the worker loop).
     pub latency: CommandStats,
 }
@@ -102,6 +126,13 @@ impl Session {
             .ok_or_else(|| usage("no design loaded (send `load` first)"))
     }
 
+    /// True while the session serves fault-recovered state without
+    /// calibration; the server stamps `degraded:true` into success
+    /// envelopes while this holds.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Executes one command and renders its `result` object.
     ///
     /// # Errors
@@ -109,6 +140,36 @@ impl Session {
     /// Returns the command's [`MgbaError`]; the caller wraps it into a
     /// structured error response. The session survives every error.
     pub fn handle(&mut self, cmd: &Command, server: &ServerInfo) -> Result<String, MgbaError> {
+        // Chaos hook for the crash-isolation layer: `panic` here unwinds
+        // exactly like a handler bug would (the worker catches it and
+        // restores the last good state); `error`/`nan` surface as a
+        // typed internal error. The `failpoint` command that arms this
+        // is itself unaffected — arming happens in its handler, after
+        // this check.
+        if let Some(fault) = faultinject::fire("server.handle") {
+            return Err(MgbaError::Internal(format!(
+                "failpoint `server.handle`: injected {fault:?}"
+            )));
+        }
+        let result = self.dispatch(cmd, server);
+        if result.is_ok()
+            && matches!(
+                cmd,
+                Command::Load { .. }
+                    | Command::Calibrate { .. }
+                    | Command::Commit { .. }
+                    | Command::Restore { .. }
+            )
+        {
+            // Checkpoint only at successful state-changing command
+            // boundaries: a later panic rolls back to exactly the state
+            // the client last saw acknowledged.
+            self.checkpoint();
+        }
+        result
+    }
+
+    fn dispatch(&mut self, cmd: &Command, server: &ServerInfo) -> Result<String, MgbaError> {
         match cmd {
             Command::Ping => {
                 let mut w = JsonWriter::new();
@@ -130,6 +191,21 @@ impl Session {
             Command::Restore { file } => self.restore(file),
             Command::Stats => self.stats(server),
             Command::Metrics => Ok(self.metrics(server)),
+            Command::Failpoint { spec } => {
+                let applied = faultinject::arm_spec(spec).map_err(MgbaError::Usage)?;
+                let mut w = JsonWriter::new();
+                w.begin_obj();
+                w.key("applied");
+                w.u64(applied as u64);
+                w.key("armed");
+                w.begin_arr();
+                for name in faultinject::armed_names() {
+                    w.str(&name);
+                }
+                w.end_arr();
+                w.end_obj();
+                Ok(w.finish())
+            }
             Command::Sleep { ms } => {
                 std::thread::sleep(std::time::Duration::from_millis(*ms));
                 let mut w = JsonWriter::new();
@@ -163,6 +239,7 @@ impl Session {
             period,
             sta,
             calibrated: None,
+            resizes: Vec::new(),
         };
         let mut w = JsonWriter::new();
         w.begin_obj();
@@ -182,6 +259,9 @@ impl Session {
         w.u64(loaded.sta.violating_endpoints().len() as u64);
         w.end_obj();
         self.loaded = Some(loaded);
+        // An explicit load is the client choosing a new baseline; any
+        // fault-degradation of the previous state is moot.
+        self.degraded = false;
         Ok(w.finish())
     }
 
@@ -191,12 +271,18 @@ impl Session {
         let config = MgbaConfig::default();
         let report = run_mgba(&mut loaded.sta, &config, solver);
         loaded.calibrated = Some(report.solver_name.clone());
+        // A fit that bottomed out at identity weights is raw GBA: the
+        // session keeps serving, but flagged as degraded until a later
+        // calibrate lands on a real stage.
+        let degraded = report.fallback.is_degraded();
         let mut w = JsonWriter::new();
         w.begin_obj();
         w.key("design");
         w.str(&report.design);
         w.key("solver");
         w.str(&report.solver_name);
+        w.key("fallback_stage");
+        w.str(report.fallback.name());
         w.key("paths");
         w.u64(report.num_paths as u64);
         w.key("gates");
@@ -222,6 +308,7 @@ impl Session {
         w.key("tns");
         w.f64(loaded.sta.tns());
         w.end_obj();
+        self.degraded = degraded;
         Ok(w.finish())
     }
 
@@ -381,6 +468,11 @@ impl Session {
                 })?;
         }
         let touched = sta.stats.cells_propagated - touched_before;
+        if commit {
+            // Record the resolved target (not `up`/`down`) so recovery
+            // replays the exact same library cell.
+            loaded.resizes.push((cell_name.to_owned(), to_name.clone()));
+        }
         let mut w = JsonWriter::new();
         w.begin_obj();
         w.key("cell");
@@ -498,6 +590,7 @@ impl Session {
             period,
             sta,
             calibrated,
+            resizes: Vec::new(),
         };
         let mut w = JsonWriter::new();
         w.begin_obj();
@@ -518,7 +611,89 @@ impl Session {
         w.f64(loaded.sta.tns());
         w.end_obj();
         self.loaded = Some(loaded);
+        // Like `load`: an explicit restore sets a new client-chosen
+        // baseline, clearing any fault degradation.
+        self.degraded = false;
         Ok(w.finish())
+    }
+
+    /// Records the current state as the crash-recovery baseline.
+    fn checkpoint(&mut self) {
+        self.last_good = self.loaded.as_ref().map(|l| {
+            let weights = (0..l.sta.netlist().num_cells())
+                .map(CellId::new)
+                .filter_map(|id| {
+                    let w = l.sta.gate_weight(id);
+                    (w != 0.0).then(|| (l.sta.netlist().cell(id).name.clone(), w))
+                })
+                .collect();
+            MemSnapshot {
+                spec: l.spec.clone(),
+                period: l.period,
+                calibrated: l.calibrated.clone(),
+                resizes: l.resizes.clone(),
+                weights,
+            }
+        });
+    }
+
+    /// Rebuilds a [`Loaded`] from a checkpoint: reload the design,
+    /// replay committed resizes, reapply fitted weights.
+    fn rebuild(snap: &MemSnapshot) -> Result<Loaded, MgbaError> {
+        let netlist = mgba::load_design_or_file(&snap.spec)?;
+        let mut sta = mgba::build_engine(netlist, snap.period)?;
+        for (cell, to) in &snap.resizes {
+            let id = sta.netlist().find_cell(cell).ok_or_else(|| {
+                MgbaError::Internal(format!("checkpoint resize names unknown cell `{cell}`"))
+            })?;
+            let target = sta.netlist().library().find(to).ok_or_else(|| {
+                MgbaError::Internal(format!(
+                    "checkpoint resize names unknown library cell `{to}`"
+                ))
+            })?;
+            sta.resize_cell(id, target)?;
+        }
+        if !snap.weights.is_empty() {
+            let dense = mgba::apply_weights(sta.netlist(), &snap.weights)?;
+            sta.set_weights(&dense);
+        }
+        Ok(Loaded {
+            spec: snap.spec.clone(),
+            period: snap.period,
+            sta,
+            calibrated: snap.calibrated.clone(),
+            resizes: snap.resizes.clone(),
+        })
+    }
+
+    /// Restores the session after a caught handler panic. The possibly
+    /// half-mutated engine is discarded unconditionally; state comes
+    /// back from the last good checkpoint. The session is left degraded
+    /// when the restored state has no calibration (raw-GBA answers) or
+    /// when the rebuild itself fails (no design loaded at all).
+    pub fn recover(&mut self) {
+        self.loaded = None;
+        let Some(snap) = self.last_good.clone() else {
+            // Nothing was ever acknowledged as loaded: the empty state
+            // IS the last good state, and it is fully restored.
+            self.degraded = false;
+            return;
+        };
+        match Self::rebuild(&snap) {
+            Ok(loaded) => {
+                self.degraded = loaded.calibrated.is_none();
+                self.loaded = Some(loaded);
+                obs::counter_add("server.session.restored", 1);
+            }
+            Err(e) => {
+                // Catastrophic: even the checkpoint will not rebuild
+                // (e.g. the netlist file vanished). Serve as an empty,
+                // explicitly degraded session rather than crash.
+                self.degraded = true;
+                obs::counter_add("server.session.restore_failed", 1);
+                eprintln!("mgba-server: session restore failed: {e}");
+            }
+        }
     }
 
     /// Renders the full Prometheus exposition: server counters, engine
@@ -554,6 +729,16 @@ impl Session {
             "mgba_server_rejected_deadline_total",
             "requests whose admission deadline expired while queued",
             server.rejected_deadline,
+        );
+        p.counter(
+            "mgba_server_panics_total",
+            "request handlers that panicked and were crash-isolated",
+            server.panics,
+        );
+        p.gauge(
+            "mgba_session_degraded",
+            "1 while serving fault-recovered state without calibration",
+            if self.degraded { 1.0 } else { 0.0 },
         );
         if let Some(l) = &self.loaded {
             p.gauge("mgba_engine_wns", "worst negative slack, ps", l.sta.wns());
@@ -622,6 +807,10 @@ impl Session {
         w.u64(server.rejected_overload);
         w.key("rejected_deadline");
         w.u64(server.rejected_deadline);
+        w.key("panics");
+        w.u64(server.panics);
+        w.key("degraded");
+        w.bool(self.degraded);
         w.key("threads");
         w.u64(parallel::global().threads() as u64);
         w.end_obj();
@@ -820,6 +1009,78 @@ mod tests {
         panic!("no resizable cell on the worst path");
     }
 
+    fn wns_of(s: &mut Session) -> f64 {
+        obj(&handle(s, r#"{"cmd":"wns"}"#).unwrap())
+            .get("wns")
+            .and_then(Value::as_f64)
+            .unwrap()
+    }
+
+    #[test]
+    fn recover_restores_calibrated_state_bit_for_bit() {
+        let mut s = Session::new();
+        handle(&mut s, r#"{"cmd":"load","design":"small:11"}"#).unwrap();
+        handle(&mut s, r#"{"cmd":"calibrate","solver":"cgnr"}"#).unwrap();
+        let wns_cal = wns_of(&mut s);
+        // Simulate the worker catching a panic mid-request: the engine
+        // is discarded and rebuilt from the last checkpoint.
+        s.recover();
+        assert!(!s.is_degraded(), "full checkpoint restores calibration");
+        assert_eq!(wns_of(&mut s).to_bits(), wns_cal.to_bits());
+    }
+
+    #[test]
+    fn recover_without_calibration_is_degraded_until_recalibrated() {
+        let mut s = Session::new();
+        handle(&mut s, r#"{"cmd":"load","design":"small:7"}"#).unwrap();
+        let wns0 = wns_of(&mut s);
+        s.recover();
+        assert!(s.is_degraded(), "post-fault uncalibrated state is degraded");
+        // Still serving — raw GBA answers, identical to the pre-fault load.
+        assert_eq!(wns_of(&mut s).to_bits(), wns0.to_bits());
+        handle(&mut s, r#"{"cmd":"calibrate","solver":"cgnr"}"#).unwrap();
+        assert!(!s.is_degraded(), "successful calibrate clears degradation");
+    }
+
+    #[test]
+    fn recover_with_no_checkpoint_serves_empty_session() {
+        let mut s = Session::new();
+        s.recover();
+        assert!(!s.is_degraded(), "empty state is fully restored");
+        assert!(matches!(
+            handle(&mut s, r#"{"cmd":"wns"}"#),
+            Err(MgbaError::Usage(_))
+        ));
+        assert!(handle(&mut s, r#"{"cmd":"ping"}"#).is_ok());
+    }
+
+    #[test]
+    fn recover_replays_committed_resizes() {
+        let mut s = Session::new();
+        handle(&mut s, r#"{"cmd":"load","design":"small:13"}"#).unwrap();
+        let p = obj(&handle(&mut s, r#"{"cmd":"path"}"#).unwrap());
+        let cells: Vec<String> = match p.get("cells").unwrap() {
+            Value::Arr(a) => a.iter().map(|v| v.as_str().unwrap().to_owned()).collect(),
+            other => panic!("{other:?}"),
+        };
+        let mut committed = false;
+        for name in &cells {
+            let req = format!(r#"{{"cmd":"commit","cell":"{name}","to":"up"}}"#);
+            if handle(&mut s, &req).is_ok() {
+                committed = true;
+                break;
+            }
+        }
+        assert!(committed, "no resizable cell on the worst path");
+        let wns_after_commit = wns_of(&mut s);
+        s.recover();
+        assert_eq!(
+            wns_of(&mut s).to_bits(),
+            wns_after_commit.to_bits(),
+            "recovery must replay the committed resize"
+        );
+    }
+
     #[test]
     fn stats_reports_latency_and_engine() {
         let mut s = Session::new();
@@ -842,6 +1103,7 @@ mod tests {
             served: 3,
             rejected_overload: 1,
             rejected_deadline: 0,
+            panics: 2,
         };
         let req = crate::proto::parse_request(r#"{"cmd":"metrics"}"#)
             .map_err(|(_, e)| e)
@@ -855,6 +1117,8 @@ mod tests {
         obs::prom::validate(text).expect("conformant exposition");
         assert!(text.contains("mgba_server_served_total 3"));
         assert!(text.contains("mgba_server_rejected_overload_total 1"));
+        assert!(text.contains("mgba_server_panics_total 2"));
+        assert!(text.contains("mgba_session_degraded 0"));
         assert!(text.contains("# TYPE mgba_server_command_latency_us histogram"));
         assert!(text.contains("mgba_server_command_latency_us_count{cmd=\"wns\"} 2"));
         assert!(text.contains("mgba_server_command_latency_us_bucket{cmd=\"wns\",le=\"+Inf\"} 2"));

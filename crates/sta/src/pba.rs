@@ -102,6 +102,20 @@ fn path_coordinates(sta: &Sta, path: &Path) -> (usize, f64) {
 /// (consecutive cells must be connected).
 pub fn pba_timing(sta: &Sta, path: &Path) -> PathTiming {
     let (depth, distance) = path_coordinates(sta, path);
+    if faultinject::fire("pba.retime").is_some() {
+        // Both `error` and `nan` manifest as a corrupted (non-finite)
+        // golden retime — PBA has no error channel, and the point of this
+        // failpoint is proving the downstream solver guards catch bad
+        // golden data instead of fitting to it.
+        return PathTiming {
+            arrival: f64::NAN,
+            required: f64::NAN,
+            slack: f64::NAN,
+            depth,
+            distance,
+            derate: f64::NAN,
+        };
+    }
     let derate = sta.derates().data_late.lookup(depth as f64, distance);
 
     let launch = path.startpoint();

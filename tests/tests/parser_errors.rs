@@ -1,0 +1,155 @@
+//! Error-path coverage for every text format the tools ingest: native
+//! netlists, structural Verilog, and Liberty libraries. Malformed input —
+//! including every truncation of a valid document — must produce a typed
+//! error with useful context (line numbers, offending names), never a
+//! panic and never a silently wrong netlist.
+
+use mgba::MgbaError;
+use netlist::{
+    parse_liberty, parse_netlist, parse_verilog, write_liberty, write_netlist, write_verilog,
+    GeneratorConfig, Library, ParseNetlistError,
+};
+
+fn small_text() -> String {
+    write_netlist(&GeneratorConfig::small(1).generate())
+}
+
+#[test]
+fn every_truncation_of_a_native_netlist_errors_cleanly() {
+    let text = small_text();
+    assert!(parse_netlist(&text).is_ok(), "fixture must be valid");
+    // Every line-boundary prefix, plus every byte prefix of the head of
+    // the document (where the grammar's directives live).
+    let mut cuts: Vec<usize> = text
+        .char_indices()
+        .filter(|&(i, c)| c == '\n' || i < 220)
+        .map(|(i, _)| i)
+        .collect();
+    cuts.push(text.len().saturating_sub(1));
+    for cut in cuts {
+        let prefix = &text[..cut];
+        if let Err(e) = parse_netlist(prefix) {
+            assert!(!e.to_string().is_empty(), "error must describe itself");
+        }
+    }
+}
+
+#[test]
+fn malformed_line_is_reported_with_its_line_number() {
+    let err = parse_netlist("design x\nlibrary std45\ncell broken\nend\n").unwrap_err();
+    assert!(
+        matches!(err, ParseNetlistError::Malformed { line: 3, .. }),
+        "{err:?}"
+    );
+    assert!(err.to_string().starts_with("line 3:"), "{err}");
+}
+
+#[test]
+fn duplicate_cell_and_net_names_are_rejected_with_location() {
+    let dup_cell = "design x\nlibrary std45\n\
+                    cell a INV_X1 comb 0 0\n\
+                    cell a INV_X1 comb 1 0\n\
+                    end\n";
+    let err = parse_netlist(dup_cell).unwrap_err();
+    assert!(
+        matches!(err, ParseNetlistError::Malformed { line: 4, .. }),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("duplicate cell `a`"), "{err}");
+
+    let dup_net = "design x\nlibrary std45\n\
+                   cell a INV_X1 comb 0 0\n\
+                   cell b INV_X1 comb 1 0\n\
+                   net n driver=a sinks=b:0\n\
+                   net n driver=b sinks=a:0\n\
+                   end\n";
+    let err = parse_netlist(dup_net).unwrap_err();
+    assert!(
+        matches!(err, ParseNetlistError::Malformed { line: 6, .. }),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("duplicate net `n`"), "{err}");
+}
+
+#[test]
+fn combinational_loop_is_rejected_by_validation() {
+    let loopy = "design loopy\nlibrary std45\n\
+                 cell a INV_X1 comb 0 0\n\
+                 cell b INV_X1 comb 1 0\n\
+                 net na driver=a sinks=b:0\n\
+                 net nb driver=b sinks=a:0\n\
+                 end\n";
+    let err = parse_netlist(loopy).unwrap_err();
+    assert!(matches!(err, ParseNetlistError::Invalid(_)), "{err:?}");
+    assert!(
+        err.to_string().contains("combinational cycle through cell"),
+        "{err}"
+    );
+}
+
+#[test]
+fn truncated_file_surfaces_as_typed_parse_error_with_context() {
+    // Through the shared loader the CLI and server use: the typed error
+    // keeps the parser's line context.
+    let dir = std::env::temp_dir().join(format!("mgba_parser_errors_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("truncated.nl");
+    let text = small_text();
+    let cut = text[..text.len() / 2]
+        .rfind(' ')
+        .expect("fixture has spaces");
+    std::fs::write(&path, &text[..cut]).unwrap();
+    let err = mgba::load_netlist_file(path.to_str().unwrap()).unwrap_err();
+    assert!(matches!(err, MgbaError::Parse(_)), "{err:?}");
+    assert!(err.to_string().contains("line "), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_truncation_of_a_verilog_module_errors_cleanly() {
+    let text = write_verilog(&GeneratorConfig::small(2).generate());
+    assert!(parse_verilog(&text).is_ok(), "fixture must be valid");
+    for (i, _) in text.char_indices().filter(|&(i, _)| i % 3 == 0) {
+        if let Err(e) = parse_verilog(&text[..i]) {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+    // A cut mid-module is an unambiguous syntax error, not a success.
+    let cut = text.len() / 2;
+    let cut = (cut..text.len())
+        .find(|&i| text.is_char_boundary(i))
+        .unwrap();
+    assert!(parse_verilog(&text[..cut]).is_err());
+}
+
+#[test]
+fn unknown_verilog_cell_type_is_named_in_the_error() {
+    // Swap one valid instantiation's cell type for a nonexistent one.
+    let text = write_verilog(&GeneratorConfig::small(2).generate());
+    let corrupted = text.replacen("DFF_X", "FROB_X", 1);
+    assert_ne!(corrupted, text, "fixture must contain a flip-flop");
+    let err = parse_verilog(&corrupted).unwrap_err();
+    assert!(err.to_string().contains("FROB_X"), "{err}");
+}
+
+#[test]
+fn every_truncation_of_a_liberty_library_errors_cleanly() {
+    let text = write_liberty(&Library::standard());
+    assert!(parse_liberty(&text).is_ok(), "fixture must be valid");
+    for (i, _) in text.char_indices().filter(|&(i, _)| i % 7 == 0) {
+        if let Err(e) = parse_liberty(&text[..i]) {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+#[test]
+fn liberty_bad_attribute_value_is_rejected() {
+    let text = write_liberty(&Library::standard());
+    // Corrupt one numeric attribute value in an otherwise valid document.
+    let needle = "cap_per_um : ";
+    let start = text.find(needle).expect("fixture has attributes") + needle.len();
+    let end = start + text[start..].find(';').expect("attribute terminated");
+    let corrupted = format!("{}banana{}", &text[..start], &text[end..]);
+    assert!(parse_liberty(&corrupted).is_err());
+}
