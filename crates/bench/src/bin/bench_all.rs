@@ -14,11 +14,17 @@
 //! - `server_query_mix`: load + calibrate + a steady-state query mix
 //!   through the in-process stream transport;
 //! - `whatif_burst`: incremental what-if resizes against a calibrated
-//!   session.
+//!   session;
+//! - `warm_vs_cold`: one committed resize, then a warm (dirty-rows +
+//!   warm-started solve) recalibration timed against a cold full re-run.
+//!   The per-leg timings ride along as `wall_`-prefixed QoR keys, which
+//!   the comparator exempts from the drift gate; CI pins the speedup
+//!   floor with `--require-min warm_vs_cold:wall_speedup:1.0`.
 
 use bench::harness::{commit_sha, run_scenario, write_report, ScenarioResult};
 use mgba::prelude::*;
 use server::{serve_stream, ServerConfig};
+use std::time::Instant;
 
 /// Design shared by the calibrate scenarios: the paper's D1 is big
 /// enough that the solvers separate on wall time, small enough for a
@@ -95,6 +101,81 @@ fn whatif_burst() -> ScenarioResult {
     })
 }
 
+fn warm_vs_cold() -> ScenarioResult {
+    run_scenario("warm_vs_cold", || {
+        let netlist = parse_design(CALIBRATE_DESIGN).expect("known design");
+        let period = auto_period(&netlist).expect("probe");
+        let mut sta = build_engine(netlist, period).expect("engine");
+        let config = MgbaConfig::default();
+        let solver = Solver::ScgRs;
+        let (_, cache) = run_mgba_cached(&mut sta, &config, solver);
+        let mut cache = cache.expect("D1 has violating paths");
+
+        // Commit one upsizing of a fitted combinational gate — the same
+        // edit the server's `commit` applies before auto-recalibrating.
+        // Walk the path back-to-front: a gate near the endpoint has a
+        // small fanout cone, so the dirty-row set stays a strict subset
+        // and the patch path (not just the warm solve) is exercised.
+        let (victim, up) = cache
+            .paths
+            .iter()
+            .flat_map(|p| p.cells.iter().rev())
+            .find_map(|&c| {
+                let cell = sta.netlist().cell(c);
+                if cell.role == netlist::CellRole::Combinational {
+                    sta.netlist()
+                        .library()
+                        .upsized(cell.lib_cell)
+                        .map(|u| (c, u))
+                } else {
+                    None
+                }
+            })
+            .expect("a resizable fitted gate");
+        sta.resize_cell(victim, up)
+            .expect("library accepts the upsize");
+        let dirty = sta.last_touched().to_vec();
+
+        let t = Instant::now();
+        let re = recalibrate_warm(&mut sta, &config, solver, &mut cache, &dirty);
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+        let (wns_warm, tns_warm) = (sta.wns(), sta.tns());
+
+        // Cold leg on the same edited design: full path re-selection,
+        // fresh problem assembly, solve from zero.
+        let t = Instant::now();
+        let (cold, _) = run_mgba_cached(&mut sta, &config, solver);
+        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+        let (wns_cold, tns_cold) = (sta.wns(), sta.tns());
+
+        // The warm refit keeps the calibration-time path set while the
+        // cold run re-selects; after one gate resize both must land on
+        // the same corrected timing (±1%).
+        assert!(
+            (wns_warm - wns_cold).abs() <= wns_cold.abs() * 0.01 + 1.0,
+            "warm wns {wns_warm} vs cold {wns_cold}"
+        );
+        assert!(
+            (tns_warm - tns_cold).abs() <= tns_cold.abs() * 0.01 + 10.0,
+            "warm tns {tns_warm} vs cold {tns_cold}"
+        );
+
+        vec![
+            ("rows".into(), re.total_rows as f64),
+            ("dirty_rows".into(), re.dirty_rows as f64),
+            ("iterations_warm".into(), re.iterations as f64),
+            ("iterations_cold".into(), cold.iterations as f64),
+            ("wns_warm".into(), wns_warm),
+            ("wns_cold".into(), wns_cold),
+            ("tns_warm".into(), tns_warm),
+            ("tns_cold".into(), tns_cold),
+            ("wall_warm_ms".into(), warm_ms),
+            ("wall_cold_ms".into(), cold_ms),
+            ("wall_speedup".into(), cold_ms / warm_ms.max(1e-9)),
+        ]
+    })
+}
+
 fn main() {
     let mut out_path = "BENCH_PR.json".to_owned();
     let mut args = std::env::args().skip(1);
@@ -114,6 +195,7 @@ fn main() {
         calibrate_scenario("calibrate_gd", Solver::Gd),
         server_query_mix(),
         whatif_burst(),
+        warm_vs_cold(),
     ];
     for s in &scenarios {
         println!(

@@ -3,19 +3,26 @@
 //!
 //! ```text
 //! bench_compare BASELINE CURRENT [--wall-factor F] [--rss-factor F]
-//!               [--qor-tol T]
+//!               [--qor-tol T] [--require-min SCENARIO:KEY:MIN]...
 //! ```
 //!
 //! Wall/RSS headroom is multiplicative with an absolute floor (see
 //! [`bench::compare::Thresholds`]); QoR metrics are deterministic and
 //! held to a tight relative tolerance — a deliberate QoR change means
-//! regenerating the baseline in the same PR.
+//! regenerating the baseline in the same PR. `--require-min` adds
+//! absolute floors judged on the current report alone (e.g. the
+//! warm-vs-cold refit speedup must stay at or above 1.0x); `wall_`-
+//! prefixed QoR keys are exempt from the drift gate and only checked
+//! through such floors.
 
-use bench::compare::{compare, exit_code, parse_report, Thresholds};
+use bench::compare::{
+    check_minimums, compare, exit_code, parse_minimum, parse_report, Minimum, Thresholds,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_compare BASELINE CURRENT [--wall-factor F] [--rss-factor F] [--qor-tol T]"
+        "usage: bench_compare BASELINE CURRENT [--wall-factor F] [--rss-factor F] [--qor-tol T] \
+         [--require-min SCENARIO:KEY:MIN]..."
     );
     std::process::exit(2);
 }
@@ -41,12 +48,23 @@ fn parse_f64(flag: &str, v: Option<String>) -> f64 {
 fn main() {
     let mut positional = Vec::new();
     let mut th = Thresholds::default();
+    let mut minimums: Vec<Minimum> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--wall-factor" => th.wall_factor = parse_f64("--wall-factor", args.next()),
             "--rss-factor" => th.rss_factor = parse_f64("--rss-factor", args.next()),
             "--qor-tol" => th.qor_rel_tol = parse_f64("--qor-tol", args.next()),
+            "--require-min" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_compare: --require-min needs SCENARIO:KEY:MIN");
+                    std::process::exit(2);
+                });
+                minimums.push(parse_minimum(&spec).unwrap_or_else(|e| {
+                    eprintln!("bench_compare: --require-min: {e}");
+                    std::process::exit(2);
+                }));
+            }
             _ if a.starts_with("--") => usage(),
             _ => positional.push(a),
         }
@@ -73,7 +91,8 @@ fn main() {
         }
     }
 
-    let violations = compare(&baseline, &current, &th);
+    let mut violations = compare(&baseline, &current, &th);
+    violations.extend(check_minimums(&current, &minimums));
     if violations.is_empty() {
         println!("bench gate: PASS");
     } else {

@@ -138,6 +138,79 @@ fn run_tcp(script: &str) -> Pass {
     }
 }
 
+/// One strict request/response round trip.
+fn ask(w: &mut TcpStream, r: &mut impl BufRead, req: &str) -> String {
+    writeln!(w, "{req}").expect("send");
+    w.flush().expect("flush");
+    let mut line = String::new();
+    r.read_line(&mut line).expect("response");
+    line
+}
+
+/// Evaluates the same `n` resize candidates twice against a calibrated
+/// TCP session — as `n` strict `whatif_resize` round trips, then as one
+/// `whatif_batch` request — and returns `(sequential_ms, batch_ms)`.
+/// The batch pays the per-request framing, parse, dispatch, and loopback
+/// cost once instead of `n` times, which is the case for its existence.
+fn run_batch_comparison(design: &str, n: usize) -> (f64, f64) {
+    let config = ServerConfig {
+        queue_depth: n + 8,
+        default_deadline_ms: None,
+    };
+    let srv = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = srv.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || srv.run().expect("run"));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut w = stream.try_clone().expect("clone");
+    let mut r = BufReader::new(stream);
+    ask(
+        &mut w,
+        &mut r,
+        &format!("{{\"cmd\":\"load\",\"design\":\"{design}\"}}"),
+    );
+    ask(
+        &mut w,
+        &mut r,
+        "{\"cmd\":\"calibrate\",\"solver\":\"scgrs\"}",
+    );
+
+    let cells: Vec<String> = (0..n).map(|i| format!("g_1_{}_0", i % 4)).collect();
+    let t = Instant::now();
+    for c in &cells {
+        let resp = ask(
+            &mut w,
+            &mut r,
+            &format!("{{\"cmd\":\"whatif_resize\",\"cell\":\"{c}\",\"to\":\"up\"}}"),
+        );
+        assert!(!resp.contains("\"error\""), "sequential what-if: {resp}");
+    }
+    let sequential_ms = 1e3 * t.elapsed().as_secs_f64();
+
+    let candidates: Vec<String> = cells
+        .iter()
+        .map(|c| format!("{{\"cell\":\"{c}\",\"to\":\"up\"}}"))
+        .collect();
+    let batch_req = format!(
+        "{{\"cmd\":\"whatif_batch\",\"resizes\":[{}]}}",
+        candidates.join(",")
+    );
+    let t = Instant::now();
+    let resp = ask(&mut w, &mut r, &batch_req);
+    let batch_ms = 1e3 * t.elapsed().as_secs_f64();
+    assert!(!resp.contains("\"error\""), "batch what-if: {resp}");
+
+    let bye = TcpStream::connect(addr).expect("connect for shutdown");
+    let mut bw = bye.try_clone().expect("clone");
+    writeln!(bw, "{{\"cmd\":\"shutdown\"}}").expect("send shutdown");
+    bw.flush().expect("flush shutdown");
+    let _ = BufReader::new(bye).lines().next();
+    handle.join().expect("clean server exit");
+
+    (sequential_ms, batch_ms)
+}
+
 fn main() {
     let design = "small:5";
     let reps = 40;
@@ -173,7 +246,29 @@ fn main() {
             p.throughput_rps()
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    let batch_n = 32;
+    let (sequential_ms, batch_ms) = run_batch_comparison(design, batch_n);
+    let speedup = if batch_ms > 0.0 {
+        sequential_ms / batch_ms
+    } else {
+        0.0
+    };
+    println!(
+        "whatif   {batch_n:>5} candidates: sequential {sequential_ms:>8.2} ms, \
+         batch {batch_ms:>8.2} ms  ({speedup:>5.1}x)"
+    );
+    assert!(
+        batch_ms < sequential_ms,
+        "one whatif_batch ({batch_ms:.2} ms) must beat {batch_n} sequential \
+         round trips ({sequential_ms:.2} ms)"
+    );
+    json.push_str(&format!(
+        "  \"whatif_batch\": {{\"candidates\": {batch_n}, \"sequential_ms\": {sequential_ms:.3}, \
+         \"batch_ms\": {batch_ms:.3}, \"speedup\": {speedup:.2}}}\n"
+    ));
+    json.push_str("}\n");
 
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/server_latency.json", &json).expect("write snapshot");

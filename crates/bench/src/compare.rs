@@ -195,6 +195,14 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, th: &Thresholds) -
             }
         }
         for (key, base_val) in &base.qor {
+            // `wall_`-prefixed QoR keys are wall-clock-derived machine
+            // facts a scenario wants in its report (per-leg timings, the
+            // warm-vs-cold speedup). They are too noisy for the drift
+            // gate; CI pins them with explicit `--require-min` floors
+            // instead.
+            if key.starts_with("wall_") {
+                continue;
+            }
             let Some((_, cur_val)) = cur.qor.iter().find(|(k, _)| k == key) else {
                 out.push(Violation {
                     scenario: base.name.clone(),
@@ -218,6 +226,84 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, th: &Thresholds) -
                     ),
                 });
             }
+        }
+    }
+    out
+}
+
+/// An absolute floor on a current-report metric, from a
+/// `--require-min SCENARIO:KEY:MIN` flag. Unlike the baseline diff,
+/// floors judge the current report alone — they express requirements
+/// ("warm refits must not be slower than cold") rather than drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Scenario the floor applies to.
+    pub scenario: String,
+    /// QoR key inside that scenario (`wall_`-prefixed keys allowed —
+    /// that is the main use).
+    pub metric: String,
+    /// Smallest acceptable value, inclusive.
+    pub min: f64,
+}
+
+/// Parses a `SCENARIO:KEY:MIN` spec.
+///
+/// # Errors
+///
+/// Returns a description when the spec does not split into three
+/// `:`-separated fields or the minimum is not a number.
+pub fn parse_minimum(spec: &str) -> Result<Minimum, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [scenario, metric, min] = parts.as_slice() else {
+        return Err(format!("`{spec}` is not SCENARIO:KEY:MIN"));
+    };
+    let min: f64 = min
+        .parse()
+        .map_err(|_| format!("`{min}` in `{spec}` is not a number"))?;
+    if scenario.is_empty() || metric.is_empty() {
+        return Err(format!("`{spec}` has an empty scenario or key"));
+    }
+    Ok(Minimum {
+        scenario: (*scenario).to_owned(),
+        metric: (*metric).to_owned(),
+        min,
+    })
+}
+
+/// Checks `--require-min` floors against `current`. A missing scenario
+/// or metric is itself a violation: a floor that silently stops being
+/// measured is a gate that silently stops gating.
+pub fn check_minimums(current: &BenchReport, minimums: &[Minimum]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for m in minimums {
+        let Some(s) = current.scenario(&m.scenario) else {
+            out.push(Violation {
+                scenario: m.scenario.clone(),
+                metric: m.metric.clone(),
+                baseline: m.min,
+                current: 0.0,
+                detail: "scenario with a required minimum is missing".into(),
+            });
+            continue;
+        };
+        let Some((_, val)) = s.qor.iter().find(|(k, _)| k == &m.metric) else {
+            out.push(Violation {
+                scenario: m.scenario.clone(),
+                metric: m.metric.clone(),
+                baseline: m.min,
+                current: 0.0,
+                detail: "QoR metric with a required minimum is missing".into(),
+            });
+            continue;
+        };
+        if *val < m.min {
+            out.push(Violation {
+                scenario: m.scenario.clone(),
+                metric: m.metric.clone(),
+                baseline: m.min,
+                current: *val,
+                detail: format!("below required minimum {}", m.min),
+            });
         }
     }
     out
@@ -325,6 +411,74 @@ mod tests {
             &Thresholds::default()
         )
         .is_empty());
+    }
+
+    #[test]
+    fn wall_prefixed_qor_keys_escape_the_drift_gate() {
+        // A 10x swing on `wall_speedup` is machine noise, not QoR drift;
+        // the deterministic keys still gate.
+        let base = report(vec![scenario(
+            "warm_vs_cold",
+            50.0,
+            80_000,
+            &[("wall_speedup", 4.0), ("iterations_warm", 12.0)],
+        )]);
+        let mut cur = base.clone();
+        cur.scenarios[0].qor[0].1 = 0.4;
+        assert!(compare(&base, &cur, &Thresholds::default()).is_empty());
+        cur.scenarios[0].qor[1].1 = 40.0;
+        let violations = compare(&base, &cur, &Thresholds::default());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "iterations_warm");
+    }
+
+    #[test]
+    fn minimums_gate_the_current_report_alone() {
+        let cur = report(vec![scenario(
+            "warm_vs_cold",
+            50.0,
+            80_000,
+            &[("wall_speedup", 2.5)],
+        )]);
+        let floor = |min| Minimum {
+            scenario: "warm_vs_cold".into(),
+            metric: "wall_speedup".into(),
+            min,
+        };
+        assert!(check_minimums(&cur, &[floor(1.0)]).is_empty());
+        let violations = check_minimums(&cur, &[floor(3.0)]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].detail.contains("below required minimum"));
+        // Missing metric and missing scenario both gate.
+        let missing_metric = check_minimums(
+            &cur,
+            &[Minimum {
+                scenario: "warm_vs_cold".into(),
+                metric: "nope".into(),
+                min: 1.0,
+            }],
+        );
+        assert_eq!(missing_metric.len(), 1);
+        let missing_scenario = check_minimums(
+            &cur,
+            &[Minimum {
+                scenario: "nope".into(),
+                metric: "wall_speedup".into(),
+                min: 1.0,
+            }],
+        );
+        assert_eq!(missing_scenario.len(), 1);
+    }
+
+    #[test]
+    fn minimum_specs_parse_and_reject() {
+        let m = parse_minimum("warm_vs_cold:wall_speedup:1.0").unwrap();
+        assert_eq!(m.scenario, "warm_vs_cold");
+        assert_eq!(m.metric, "wall_speedup");
+        assert_eq!(m.min, 1.0);
+        assert!(parse_minimum("only_two:parts").is_err());
+        assert!(parse_minimum("a:b:not_a_number").is_err());
+        assert!(parse_minimum(":b:1.0").is_err());
     }
 
     #[test]

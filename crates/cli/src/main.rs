@@ -538,7 +538,12 @@ fn connect_with_retry(
     let mut attempt = 0;
     loop {
         match connect_once() {
-            Ok(stream) => return Ok(stream),
+            Ok(stream) => {
+                // Small JSON-line writes: without NODELAY every strict
+                // request/response exchange stalls on delayed ACKs.
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
             Err(e) if attempt < retries => {
                 attempt += 1;
                 eprintln!(

@@ -55,7 +55,9 @@ pub use metrics::{PassRatio, PASS_ABS_TOL, PASS_REL_TOL};
 pub use problem::FitProblem;
 pub use report::{AccuracyReport, EndpointAccuracy, StageAccuracy};
 pub use select::{select_paths, Selection, SelectionScheme};
-pub use solver::{solve_with_fallback, FallbackStage, SolveResult, Solver};
+pub use solver::{
+    solve_with_fallback, solve_with_fallback_from, FallbackStage, SolveResult, Solver, WarmStart,
+};
 pub use weights_io::{
     apply_weights, atomic_write_text, parse_weights, read_weights_file, write_weights,
     write_weights_file, WeightsError,
@@ -78,17 +80,21 @@ pub mod prelude {
     pub use crate::problem::FitProblem;
     pub use crate::report::AccuracyReport;
     pub use crate::select::{select_paths, Selection, SelectionScheme};
-    pub use crate::solver::{FallbackStage, SolveResult, Solver};
+    pub use crate::solver::{FallbackStage, SolveResult, Solver, WarmStart};
     pub use crate::weights_io::{
         atomic_write_text, parse_weights, read_weights_file, write_weights, write_weights_file,
     };
-    pub use crate::{run_mgba, run_mgba_with_accuracy, MgbaReport};
+    pub use crate::{
+        recalibrate_warm, run_mgba, run_mgba_cached, run_mgba_with_accuracy, CalibrationCache,
+        MgbaReport, RecalibrateReport,
+    };
     pub use netlist::{DesignSpec, GeneratorConfig, Netlist};
     pub use sta::{DerateSet, Sdc, Sta};
 }
 
+use netlist::CellId;
 use serde::{Deserialize, Serialize};
-use sta::{gba_path_timing_batch, pba_timing_batch, Sta};
+use sta::{gba_path_timing_batch, pba_timing_batch, Path, Sta};
 use std::time::Duration;
 
 /// Summary of one end-to-end mGBA run.
@@ -150,9 +156,134 @@ pub fn run_mgba_with_accuracy(
     config: &MgbaConfig,
     solver: Solver,
 ) -> (MgbaReport, AccuracyReport) {
-    let (report, samples) = run_mgba_inner(sta, config, solver);
+    let (report, samples, _) = run_mgba_inner(sta, config, solver);
     let accuracy = AccuracyReport::compute(sta, &report, config, &samples);
     (report, accuracy)
+}
+
+/// Like [`run_mgba`], but also hands back the calibration state an
+/// incremental driver needs for warm refits ([`recalibrate_warm`]):
+/// the selected paths, the assembled fit problem (with its cached
+/// transpose), and the fitted solution `x*`.
+///
+/// `None` when there was nothing to calibrate (no candidate paths) or
+/// the fit-matrix build was fault-injected away — a driver must fall
+/// back to a cold [`run_mgba`] on the next change in that case.
+pub fn run_mgba_cached(
+    sta: &mut Sta,
+    config: &MgbaConfig,
+    solver: Solver,
+) -> (MgbaReport, Option<CalibrationCache>) {
+    let (report, _, cache) = run_mgba_inner(sta, config, solver);
+    (report, cache)
+}
+
+/// Reusable state of a completed calibration, for warm incremental
+/// refits after committed netlist edits.
+#[derive(Debug, Clone)]
+pub struct CalibrationCache {
+    /// The selected paths; row `i` of `fit` models `paths[i]`. The path
+    /// set is frozen at calibration time — a warm refit re-times these
+    /// paths on the edited design rather than re-selecting (the `full`
+    /// escape hatch exists for edits large enough to change criticality).
+    pub paths: Vec<Path>,
+    /// The assembled fit problem, patched in place by warm refits.
+    pub fit: FitProblem,
+    /// The fitted column-space solution `x*` of the most recent solve.
+    pub x: Vec<f64>,
+    /// Cumulative solver iterations behind `x` — warm refits resume the
+    /// stochastic solvers' step-decay schedule here, so a near-optimal
+    /// start is refined with converged-scale steps instead of being
+    /// knocked away by fresh full-size ones.
+    pub step_offset: usize,
+}
+
+/// Summary of one incremental warm recalibration ([`recalibrate_warm`]).
+///
+/// Deliberately carries no wall-clock field: everything here is a
+/// deterministic function of the design and the config, so it is safe to
+/// embed in reproducible server responses and bench baselines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecalibrateReport {
+    /// Rows whose coefficients/slacks were rebuilt.
+    pub dirty_rows: usize,
+    /// Total rows in the fit problem.
+    pub total_rows: usize,
+    /// Solver iterations of the warm solve.
+    pub iterations: usize,
+    /// Row-gradient evaluations of the warm solve.
+    pub rows_touched: u64,
+    /// Whether the warm solve reported convergence.
+    pub converged: bool,
+    /// Which rung of the degradation ladder produced the weights.
+    pub fallback: FallbackStage,
+    /// Why solver stages were demoted, when any were.
+    pub solver_fault: Option<String>,
+    /// Fit-space modelling error of the stale `x*` on the patched
+    /// problem, before the warm solve.
+    pub mse_before: f64,
+    /// Fit-space modelling error after the warm solve.
+    pub mse_after: f64,
+}
+
+/// Incrementally recalibrates after committed netlist edits: patches only
+/// the fit-problem rows invalidated by `dirty_cells`, warm-starts the
+/// solver from the cached `x*`, and installs the refreshed weights.
+///
+/// `dirty_cells` is the union of [`Sta::last_touched`] captured
+/// *immediately after each committed edit* (weight installs clear it).
+/// The capture may run with weights still applied: the forward pass
+/// re-evaluates a superset of the cells whose weight-independent
+/// quantities moved — slews change only at re-characterized seeds, gate
+/// delays only at seeds and their fanout, and clock arrivals are
+/// weight-independent — so the set is conservative for the zero-weight
+/// fit this function runs.
+///
+/// The objective is convex, so the warm solve converges to the same
+/// optimum a cold solve would (within solver tolerance) — just in fewer
+/// iterations when the edit was local. The fallback ladder still judges
+/// the warm result against the zero vector, so a pathological warm start
+/// can only demote, never regress below identity.
+pub fn recalibrate_warm(
+    sta: &mut Sta,
+    config: &MgbaConfig,
+    solver: Solver,
+    cache: &mut CalibrationCache,
+    dirty_cells: &[CellId],
+) -> RecalibrateReport {
+    let _span = obs::span("recalibrate");
+    // The fit always runs against original GBA.
+    sta.clear_weights();
+    let rows = cache.fit.dirty_rows(sta, &cache.paths, dirty_cells);
+    cache.fit.patch_rows(sta, &cache.paths, &rows);
+    obs::counter_add("mgba.recalibrate.warm", 1);
+    obs::counter_add("mgba.recalibrate.dirty_rows", rows.len() as u64);
+    let mse_before = cache.fit.mse(&cache.x);
+    let (result, fallback) = {
+        let _span = obs::span("solve");
+        let warm = solver::WarmStart::resumed(&cache.x, cache.step_offset);
+        solver::solve_with_fallback_from(solver, &cache.fit, config, Some(warm))
+    };
+    cache.x = result.x;
+    cache.step_offset = cache.step_offset.saturating_add(result.iterations);
+    let weights = {
+        let _span = obs::span("fold_back");
+        cache
+            .fit
+            .to_cell_weights(&cache.x, sta.netlist().num_cells())
+    };
+    sta.set_weights(&weights);
+    RecalibrateReport {
+        dirty_rows: rows.len(),
+        total_rows: cache.fit.num_paths(),
+        iterations: result.iterations,
+        rows_touched: result.rows_touched,
+        converged: result.converged,
+        fallback,
+        solver_fault: result.fault,
+        mse_before,
+        mse_after: cache.fit.mse(&cache.x),
+    }
 }
 
 /// One fitted path's slack under the three timing views, plus the
@@ -175,7 +306,7 @@ fn run_mgba_inner(
     sta: &mut Sta,
     config: &MgbaConfig,
     solver: Solver,
-) -> (MgbaReport, Vec<PathSample>) {
+) -> (MgbaReport, Vec<PathSample>, Option<CalibrationCache>) {
     let _span = obs::span("mgba");
     sta.clear_weights();
     let selection = {
@@ -216,7 +347,7 @@ fn run_mgba_inner(
             solver_fault: None,
             weights: vec![0.0; sta.netlist().num_cells()],
         };
-        return (report, Vec::new());
+        return (report, Vec::new(), None);
     }
 
     if let Some(fault) = faultinject::fire("fit.build") {
@@ -248,7 +379,7 @@ fn run_mgba_inner(
             solver_fault: Some(format!("failpoint `fit.build`: injected {fault:?}")),
             weights: vec![0.0; sta.netlist().num_cells()],
         };
-        return (report, Vec::new());
+        return (report, Vec::new(), None);
     }
     let par = config.parallelism();
     let fit = FitProblem::build_par(sta, &selection.paths, config.epsilon, config.penalty, par);
@@ -328,7 +459,13 @@ fn run_mgba_inner(
             mgba,
         })
         .collect();
-    (report, samples)
+    let cache = CalibrationCache {
+        paths: selection.paths,
+        fit,
+        x: result.x,
+        step_offset: report.iterations,
+    };
+    (report, samples, Some(cache))
 }
 
 #[cfg(test)]
@@ -436,6 +573,173 @@ mod tests {
         let report = run_mgba(&mut sta, &MgbaConfig::default(), Solver::ScgRs);
         assert_eq!(report.num_paths, 0);
         assert!(report.weights.iter().all(|w| *w == 0.0));
+    }
+
+    /// First combinational gate on a cached path that the library can
+    /// upsize, with its upsized variant.
+    fn resizable_on_paths(sta: &Sta, paths: &[Path]) -> (CellId, netlist::LibCellId) {
+        paths
+            .iter()
+            .flat_map(|p| p.cells.iter())
+            .find_map(|&c| {
+                let cell = sta.netlist().cell(c);
+                if cell.role == netlist::CellRole::Combinational {
+                    sta.netlist()
+                        .library()
+                        .upsized(cell.lib_cell)
+                        .map(|up| (c, up))
+                } else {
+                    None
+                }
+            })
+            .expect("a resizable fitted gate exists")
+    }
+
+    #[test]
+    fn warm_recalibration_tracks_a_cold_refit() {
+        let mut sta = tight_engine(117);
+        let config = MgbaConfig::default();
+        let (report, cache) = run_mgba_cached(&mut sta, &config, Solver::Cgnr);
+        assert!(report.num_paths > 0);
+        let mut cache = cache.expect("violating design yields a cache");
+
+        let (victim, up) = resizable_on_paths(&sta, &cache.paths);
+        sta.resize_cell(victim, up).unwrap();
+        let dirty = sta.last_touched().to_vec();
+        assert!(!dirty.is_empty());
+
+        let re = recalibrate_warm(&mut sta, &config, Solver::Cgnr, &mut cache, &dirty);
+        assert!(re.dirty_rows > 0, "a fitted gate was resized");
+        assert!(re.dirty_rows <= re.total_rows);
+        assert_eq!(re.total_rows, report.num_paths);
+        assert!(
+            re.mse_after <= re.mse_before + 1e-12,
+            "refit must not regress: {} -> {}",
+            re.mse_before,
+            re.mse_after
+        );
+        // Weights are reinstalled on the engine.
+        let installed = (0..sta.netlist().num_cells())
+            .filter(|&i| sta.gate_weight(CellId::new(i)) != 0.0)
+            .count();
+        assert!(installed > 0);
+
+        // Cold oracle: rebuild the problem from scratch over the SAME
+        // paths on the edited design and solve from zero. The objective
+        // is convex, so warm and cold land on the same optimum.
+        sta.clear_weights();
+        let fresh = FitProblem::build_par(
+            &sta,
+            &cache.paths,
+            config.epsilon,
+            config.penalty,
+            config.parallelism(),
+        );
+        let (cold, _) = solve_with_fallback(Solver::Cgnr, &fresh, &config);
+        let warm_obj = fresh.objective(&cache.x);
+        let slack = cold.objective.abs() * 0.05 + 1e-6;
+        assert!(
+            (warm_obj - cold.objective).abs() <= slack,
+            "warm {} vs cold {} objective",
+            warm_obj,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn recalibrate_with_no_dirty_cells_patches_nothing() {
+        let mut sta = tight_engine(118);
+        let config = MgbaConfig::default();
+        let (_, cache) = run_mgba_cached(&mut sta, &config, Solver::Cgnr);
+        let mut cache = cache.expect("violating design yields a cache");
+        let x_before = cache.x.clone();
+        let re = recalibrate_warm(&mut sta, &config, Solver::Cgnr, &mut cache, &[]);
+        assert_eq!(re.dirty_rows, 0);
+        assert!(re.mse_after <= re.mse_before + 1e-12);
+        // The problem is unchanged and the warm start already optimal, so
+        // the refit stays at (or within tolerance of) the same solution.
+        let drift: f64 = cache
+            .x
+            .iter()
+            .zip(&x_before)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(drift <= 1e-6, "no-op refit drifted x by {drift}");
+    }
+
+    #[test]
+    fn cache_is_absent_when_nothing_was_calibrated() {
+        let n = GeneratorConfig::small(119).generate();
+        let mut sta = Sta::new(n, Sdc::with_period(1_000_000.0), DerateSet::standard()).unwrap();
+        let config = MgbaConfig {
+            only_violating: true,
+            ..MgbaConfig::default()
+        };
+        let (report, cache) = run_mgba_cached(&mut sta, &config, Solver::Cgnr);
+        assert_eq!(report.num_paths, 0);
+        assert!(cache.is_none());
+    }
+
+    #[test]
+    fn warm_refit_is_identical_across_thread_counts() {
+        // Calibrate, resize, and warm-refit the same seeded design under
+        // two pool widths; every kernel in the chain (batch retimers,
+        // fit assembly, solver reductions) is bit-identical at any
+        // width, so x* and the installed weights must match exactly.
+        let run = |threads: usize| {
+            let mut sta = tight_engine(120);
+            let config = MgbaConfig {
+                threads,
+                ..MgbaConfig::default()
+            };
+            let (_, cache) = run_mgba_cached(&mut sta, &config, Solver::ScgRs);
+            let mut cache = cache.expect("violating design yields a cache");
+            let (victim, up) = resizable_on_paths(&sta, &cache.paths);
+            sta.resize_cell(victim, up).unwrap();
+            let dirty = sta.last_touched().to_vec();
+            let re = recalibrate_warm(&mut sta, &config, Solver::ScgRs, &mut cache, &dirty);
+            assert!(re.dirty_rows > 0);
+            let x_bits: Vec<u64> = cache.x.iter().map(|v| v.to_bits()).collect();
+            let w_bits: Vec<u64> = (0..sta.netlist().num_cells())
+                .map(|i| sta.gate_weight(CellId::new(i)).to_bits())
+                .collect();
+            (x_bits, w_bits)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn warm_and_cold_reach_the_same_optimum_across_seeds() {
+        // The fit objective is convex, so a warm start changes the route
+        // to the optimum, never the optimum itself. Check the invariant
+        // across several independent designs.
+        for seed in [121u64, 122, 123] {
+            let mut sta = tight_engine(seed);
+            let config = MgbaConfig::default();
+            let (_, cache) = run_mgba_cached(&mut sta, &config, Solver::Cgnr);
+            let mut cache = cache.expect("violating design yields a cache");
+            let (victim, up) = resizable_on_paths(&sta, &cache.paths);
+            sta.resize_cell(victim, up).unwrap();
+            let dirty = sta.last_touched().to_vec();
+            recalibrate_warm(&mut sta, &config, Solver::Cgnr, &mut cache, &dirty);
+
+            sta.clear_weights();
+            let fresh = FitProblem::build_par(
+                &sta,
+                &cache.paths,
+                config.epsilon,
+                config.penalty,
+                config.parallelism(),
+            );
+            let (cold, _) = solve_with_fallback(Solver::Cgnr, &fresh, &config);
+            let warm_obj = fresh.objective(&cache.x);
+            let slack = cold.objective.abs() * 0.05 + 1e-6;
+            assert!(
+                (warm_obj - cold.objective).abs() <= slack,
+                "seed {seed}: warm {warm_obj} vs cold {} objective",
+                cold.objective
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct FitProblem {
     lower: Vec<f64>,
     /// Column → netlist cell mapping.
     columns: Vec<CellId>,
+    /// Constraint tolerance `ε` of Eq. (5); kept so dirty-row patching
+    /// can recompute `lower` exactly as construction did.
+    epsilon: f64,
     penalty: f64,
     /// Thread width of the full-matrix kernels (`objective`, `gradient`,
     /// `model_slacks`, …). Every kernel is bit-identical for every
@@ -138,6 +141,7 @@ impl FitProblem {
             s_pba,
             lower,
             columns,
+            epsilon,
             penalty,
             par,
         }
@@ -173,6 +177,7 @@ impl FitProblem {
             s_pba,
             lower,
             columns,
+            epsilon,
             penalty,
             par: parallel::global(),
         }
@@ -350,9 +355,118 @@ impl FitProblem {
             s_pba: rows.iter().map(|&r| self.s_pba[r]).collect(),
             lower: rows.iter().map(|&r| self.lower[r]).collect(),
             columns: self.columns.clone(),
+            epsilon: self.epsilon,
             penalty: self.penalty,
             par: self.par,
         }
+    }
+
+    /// Row indices whose fit coefficients or slacks may have moved after
+    /// an incremental STA update that re-evaluated `dirty_cells`
+    /// ([`Sta::last_touched`]).
+    ///
+    /// Row `i` is dirty iff its invalidation set — `paths[i].cells` plus
+    /// the launch and capture clock paths — intersects `dirty_cells`.
+    /// The rule is exact because path timing ([`pba_timing_batch`] /
+    /// [`gba_path_timing_batch`]) reads only per-cell cached quantities
+    /// of those cells: gate delays, slews, and clock arrivals of the
+    /// path's own cells, plus clock-network gate delays through the CRPR
+    /// credit. `paths` must be the set the problem was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths.len()` differs from the built row count.
+    pub fn dirty_rows(&self, sta: &Sta, paths: &[Path], dirty_cells: &[CellId]) -> Vec<usize> {
+        assert_eq!(
+            paths.len(),
+            self.num_paths(),
+            "dirty_rows: path set must match the built problem"
+        );
+        let mut mask = vec![false; sta.netlist().num_cells()];
+        for &c in dirty_cells {
+            mask[c.index()] = true;
+        }
+        let hit = |c: &CellId| mask[c.index()];
+        (0..paths.len())
+            .filter(|&i| {
+                let p = &paths[i];
+                p.cells.iter().any(hit)
+                    || sta.clock_path(p.startpoint()).iter().any(hit)
+                    || sta.clock_path(p.endpoint).iter().any(hit)
+            })
+            .collect()
+    }
+
+    /// Rebuilds only the given rows in place after an incremental STA
+    /// update, leaving every other row — and the cached transpose entries
+    /// of every unchanged row — untouched. The dirty paths are retimed
+    /// (GBA and PBA) and their coefficients recomputed with the same
+    /// expressions as [`Self::build_par`], so a patched problem is
+    /// bit-identical to rebuilding from scratch over the same paths.
+    ///
+    /// The sparsity pattern is structural (path → weighted cells) and a
+    /// resize never alters it; the pattern is asserted unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` differs from the built path set, if any patched
+    /// row's weighted cell carries a non-zero weight (patching, like
+    /// building, runs against original GBA), or if a row's sparsity
+    /// pattern changed.
+    pub fn patch_rows(&mut self, sta: &Sta, paths: &[Path], rows: &[usize]) {
+        let _span = obs::span("patch");
+        assert_eq!(
+            paths.len(),
+            self.num_paths(),
+            "patch_rows: path set must match the built problem"
+        );
+        if rows.is_empty() {
+            return;
+        }
+        let col_of: HashMap<CellId, usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| (c, j))
+            .collect();
+        let dirty_paths: Vec<Path> = rows.iter().map(|&r| paths[r].clone()).collect();
+        for p in &dirty_paths {
+            for &c in weighted_cells(p, sta) {
+                assert_eq!(
+                    sta.gate_weight(c),
+                    0.0,
+                    "FitProblem must be patched against original GBA (zero weights)"
+                );
+            }
+        }
+        let pba_t = pba_timing_batch(sta, &dirty_paths, self.par);
+        let gba_t = gba_path_timing_batch(sta, &dirty_paths, self.par);
+        let new_rows = parallel::par_map(self.par, &dirty_paths, |p| {
+            weighted_cells(p, sta)
+                .map(|&c| (col_of[&c] as u32, sta.gate_delay(c) * sta.gate_derate(c)))
+                .collect::<Vec<(u32, f64)>>()
+        });
+        for (k, &r) in rows.iter().enumerate() {
+            let new = &new_rows[k];
+            let (cols, _) = self.a.row(r);
+            assert!(
+                cols.len() == new.len() && cols.iter().zip(new).all(|(s, (c, _))| s == c),
+                "patch_rows: sparsity pattern changed on row {r}"
+            );
+            let cols = cols.to_vec();
+            let vals: Vec<f64> = new.iter().map(|&(_, v)| v).collect();
+            self.a.set_row_values(r, &vals);
+            if let Some(at) = self.at.get_mut() {
+                at.patch_transposed_row(r, &cols, &vals);
+            }
+            let gba = gba_t[k].slack;
+            let pba = pba_t[k].slack;
+            self.b[r] = gba - pba;
+            self.lower[r] = (gba - pba) - self.epsilon * pba.abs();
+            self.s_gba[r] = gba;
+            self.s_pba[r] = pba;
+        }
+        obs::counter_add("mgba.fit.rows_patched", rows.len() as u64);
     }
 
     /// Expands a column-space solution into a per-cell weight vector of
@@ -550,6 +664,114 @@ mod tests {
         // Subproblems carry their own (consistent) cache.
         let sub = p.subproblem(&[0, 1, 3]);
         assert_eq!(*sub.matrix_t(), sub.matrix().transpose());
+    }
+
+    /// First combinational gate on a selected path that the library can
+    /// upsize, together with the upsized variant.
+    fn resizable_on_path(sta: &Sta, paths: &[Path]) -> (CellId, netlist::LibCellId) {
+        paths
+            .iter()
+            .flat_map(|p| p.cells.iter())
+            .find_map(|&c| {
+                let cell = sta.netlist().cell(c);
+                if cell.role == CellRole::Combinational {
+                    sta.netlist()
+                        .library()
+                        .upsized(cell.lib_cell)
+                        .map(|up| (c, up))
+                } else {
+                    None
+                }
+            })
+            .expect("a resizable path gate exists")
+    }
+
+    #[test]
+    fn patched_rows_equal_fresh_rebuild_bit_for_bit() {
+        let (mut sta, paths, mut p) = problem(85);
+        // Materialize the transpose cache *before* patching so the patch
+        // has to keep it valid entry-by-entry rather than rebuilding it.
+        let _ = p.matrix_t();
+        let (victim, up) = resizable_on_path(&sta, &paths);
+        sta.resize_cell(victim, up).unwrap();
+        let touched = sta.last_touched().to_vec();
+        let dirty = p.dirty_rows(&sta, &paths, &touched);
+        assert!(
+            !dirty.is_empty(),
+            "resizing a path gate must dirty the rows through it"
+        );
+        assert!(
+            dirty.len() < paths.len(),
+            "a single resize must not invalidate every row"
+        );
+        p.patch_rows(&sta, &paths, &dirty);
+
+        let fresh = FitProblem::build(&sta, &paths, 0.02, 4.0);
+        assert_eq!(p.matrix(), fresh.matrix());
+        assert_eq!(*p.matrix_t(), fresh.matrix().transpose());
+        assert_eq!(p.gba_slacks(), fresh.gba_slacks());
+        assert_eq!(p.pba_slacks(), fresh.pba_slacks());
+        assert_eq!(p.columns(), fresh.columns());
+        // b/lower agree too: the objective folds both, compare its bits
+        // at a point with active constraint violations.
+        let x: Vec<f64> = (0..p.num_gates())
+            .map(|j| -0.2 + 0.01 * (j % 9) as f64)
+            .collect();
+        assert!(
+            p.violations(&x) > 0,
+            "probe point must exercise the penalty"
+        );
+        assert_eq!(p.objective(&x).to_bits(), fresh.objective(&x).to_bits());
+        assert_eq!(p.gradient(&x), fresh.gradient(&x));
+    }
+
+    #[test]
+    fn dirty_rows_empty_when_no_path_cell_is_touched() {
+        let (sta, paths, p) = problem(86);
+        assert!(p.dirty_rows(&sta, &paths, &[]).is_empty());
+        let on_some_path = |c: CellId| {
+            paths.iter().any(|pa| {
+                pa.cells.contains(&c)
+                    || sta.clock_path(pa.startpoint()).contains(&c)
+                    || sta.clock_path(pa.endpoint).contains(&c)
+            })
+        };
+        let off = sta
+            .netlist()
+            .cells()
+            .map(|(id, _)| id)
+            .find(|&id| !on_some_path(id))
+            .expect("an off-path cell exists");
+        assert!(p.dirty_rows(&sta, &paths, &[off]).is_empty());
+        // And patching nothing is a no-op.
+        let mut q = p.clone();
+        q.patch_rows(&sta, &paths, &[]);
+        assert_eq!(q.matrix(), p.matrix());
+    }
+
+    #[test]
+    fn clock_path_cells_dirty_their_rows() {
+        let (sta, paths, p) = problem(87);
+        // A clock buffer never appears in `path.cells`, yet its gate
+        // delay feeds the CRPR credit and the capture clock arrival: rows
+        // whose launch or capture clock path runs through it are dirty.
+        let buf = paths
+            .iter()
+            .find_map(|pa| {
+                sta.clock_path(pa.startpoint())
+                    .iter()
+                    .copied()
+                    .find(|&c| sta.netlist().cell(c).role == CellRole::ClockBuffer)
+            })
+            .expect("a clock buffer feeds some selected launch flip-flop");
+        let dirty = p.dirty_rows(&sta, &paths, &[buf]);
+        assert!(!dirty.is_empty());
+        for (i, pa) in paths.iter().enumerate() {
+            let hit = pa.cells.contains(&buf)
+                || sta.clock_path(pa.startpoint()).contains(&buf)
+                || sta.clock_path(pa.endpoint).contains(&buf);
+            assert_eq!(dirty.contains(&i), hit, "row {i}");
+        }
     }
 
     #[test]

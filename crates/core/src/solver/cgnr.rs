@@ -31,14 +31,26 @@ const MAX_ACTIVE_SET_ROUNDS: usize = 8;
 /// CG tolerance on the normal-equation residual (relative).
 const CG_TOL: f64 = 1e-10;
 
-/// Solves the penalized least squares to high accuracy.
+/// Solves the penalized least squares to high accuracy from a zero start.
 pub fn solve(problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
+    solve_from(problem, config, &vec![0.0; problem.num_gates()])
+}
+
+/// Solves the penalized least squares to high accuracy, starting CG from
+/// `x0`. The objective is convex, so any finite start converges to the
+/// same optimum; a good warm start only shortens the residual descent.
+///
+/// # Panics
+///
+/// Panics if `x0.len() != num_gates`.
+pub fn solve_from(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResult {
     let _span = obs::span("cgnr");
     obs::telemetry::solve_begin("CGNR");
     let start = Instant::now();
     let m = problem.num_paths();
     let n = problem.num_gates();
-    let mut x = vec![0.0; n];
+    assert_eq!(x0.len(), n, "warm start: dimension mismatch");
+    let mut x = x0.to_vec();
     if m == 0 || n == 0 {
         let objective = problem.objective(&x);
         obs::telemetry::solve_end(true, 0, 0, Some(objective));

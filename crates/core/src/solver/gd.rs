@@ -15,6 +15,19 @@ use std::time::Instant;
 
 /// Runs gradient descent from `x0`.
 pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResult {
+    solve_with_offset(problem, config, x0, 0)
+}
+
+/// Runs gradient descent from `x0`, resuming the hyperbolic step-decay
+/// schedule `step_offset` iterations in — a warm start near the optimum
+/// wants the small steps the previous solve had decayed to, not a fresh
+/// full-size step that knocks the iterate away.
+pub fn solve_with_offset(
+    problem: &FitProblem,
+    config: &MgbaConfig,
+    x0: &[f64],
+    step_offset: usize,
+) -> SolveResult {
     let _span = obs::span("gd");
     obs::telemetry::solve_begin("GD + w/o RS");
     let start = Instant::now();
@@ -71,7 +84,7 @@ pub fn solve(problem: &FitProblem, config: &MgbaConfig, x0: &[f64]) -> SolveResu
             converged = true;
             break;
         }
-        let step = config.step_size / (1.0 + config.step_decay * iterations as f64);
+        let step = config.step_size / (1.0 + config.step_decay * (step_offset + iterations) as f64);
         vecops::axpy(-step, &g, &mut x);
         iterations += 1;
 

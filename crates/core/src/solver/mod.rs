@@ -59,14 +59,77 @@ impl Solver {
 
     /// Runs this solver on `problem` from a zero start.
     pub fn solve(self, problem: &FitProblem, config: &MgbaConfig) -> SolveResult {
+        self.solve_from(problem, config, None)
+    }
+
+    /// Runs this solver on `problem`, starting from `warm_start` when
+    /// given (a previous fit's `x*` plus the decay offset to resume at)
+    /// and from zero otherwise. With `warm_start: None` this is
+    /// bit-identical to [`Solver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warm vector's length differs from
+    /// `problem.num_gates()` — callers decide the miss policy (the
+    /// server falls back to a cold start) before reaching the solver.
+    pub fn solve_from(
+        self,
+        problem: &FitProblem,
+        config: &MgbaConfig,
+        warm_start: Option<WarmStart<'_>>,
+    ) -> SolveResult {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let x0 = vec![0.0; problem.num_gates()];
+        let offset = warm_start.map_or(0, |w| w.step_offset);
+        let x0: Vec<f64> = match warm_start {
+            Some(w) => {
+                assert_eq!(
+                    w.x.len(),
+                    problem.num_gates(),
+                    "warm start: dimension mismatch"
+                );
+                w.x.to_vec()
+            }
+            None => vec![0.0; problem.num_gates()],
+        };
         match self {
-            Solver::Gd => gd::solve(problem, config, &x0),
-            Solver::Scg => scg::solve(problem, config, &x0, &mut rng),
-            Solver::ScgRs => sampling::solve(problem, config, &mut rng),
-            Solver::Cgnr => cgnr::solve(problem, config),
+            Solver::Gd => gd::solve_with_offset(problem, config, &x0, offset),
+            Solver::Scg => scg::solve_with_offset(problem, config, &x0, offset, &mut rng),
+            Solver::ScgRs => sampling::solve_from(problem, config, &x0, offset, &mut rng),
+            Solver::Cgnr => cgnr::solve_from(problem, config, &x0),
         }
+    }
+}
+
+/// A warm start for [`Solver::solve_from`]: the previous fit's solution
+/// and how far into the hyperbolic step-decay schedule to resume.
+///
+/// The offset is what makes warm starts *fast*, not just correct: the
+/// stochastic solvers take steps `α ∝ 1/(1 + decay·t)`, and restarting
+/// at `t = 0` means the first steps are large enough to knock a
+/// near-optimal iterate away from the optimum it starts at — the solve
+/// then spends its budget re-converging. Resuming at the previous
+/// solve's cumulative iteration count continues the schedule as if the
+/// perturbed rows had changed mid-run, so a near-optimal start stalls
+/// (converges) within a couple of check windows. CGNR derives its step
+/// from line search and ignores the offset.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStart<'a> {
+    /// Starting iterate (a previous solve's `x*`).
+    pub x: &'a [f64],
+    /// Iterations already "spent" on the decay schedule.
+    pub step_offset: usize,
+}
+
+impl<'a> WarmStart<'a> {
+    /// Warm start from `x` at the top of the decay schedule.
+    pub fn new(x: &'a [f64]) -> Self {
+        WarmStart { x, step_offset: 0 }
+    }
+
+    /// Warm start from `x`, resuming the decay `step_offset` iterations
+    /// in (typically the previous solve's iteration count).
+    pub fn resumed(x: &'a [f64], step_offset: usize) -> Self {
+        WarmStart { x, step_offset }
     }
 }
 
@@ -164,6 +227,24 @@ pub fn solve_with_fallback(
     problem: &FitProblem,
     config: &MgbaConfig,
 ) -> (SolveResult, FallbackStage) {
+    solve_with_fallback_from(solver, problem, config, None)
+}
+
+/// [`solve_with_fallback`] with an optional warm start.
+///
+/// The warm vector is threaded through *every* rung of the ladder — a
+/// demotion (requested → CGNR → GD) resumes from the same `x0` rather
+/// than re-deriving a cold start. Acceptance is still judged against the
+/// zero-weight objective `f0`: a warm start that somehow lands worse
+/// than identity weights is demoted all the way to identity, so a stale
+/// or misleading `x0` can never make the served calibration worse than
+/// raw GBA.
+pub fn solve_with_fallback_from(
+    solver: Solver,
+    problem: &FitProblem,
+    config: &MgbaConfig,
+    warm_start: Option<WarmStart<'_>>,
+) -> (SolveResult, FallbackStage) {
     let start = Instant::now();
     let f0 = problem.objective(&vec![0.0; problem.num_gates()]);
     let mut ladder: Vec<(Solver, FallbackStage)> = vec![(solver, FallbackStage::Primary)];
@@ -177,7 +258,7 @@ pub fn solve_with_fallback(
     }
     let mut last_fault = None;
     for (stage_solver, stage) in ladder {
-        let result = stage_solver.solve(problem, config);
+        let result = stage_solver.solve_from(problem, config, warm_start);
         if acceptable(&result, f0) {
             if stage != FallbackStage::Primary {
                 obs::counter_add(&format!("mgba.fallback.{}", stage.name()), 1);
@@ -352,6 +433,86 @@ mod tests {
         let (laddered, _) = solve_with_fallback(Solver::Scg, &p, &cfg);
         assert_eq!(direct.x, laddered.x);
         assert_eq!(direct.iterations, laddered.iterations);
+    }
+
+    #[test]
+    fn solve_from_none_is_bit_identical_to_cold_solve() {
+        let (p, _) = testutil::planted(300, 40, 6, 0.9, 76);
+        let cfg = MgbaConfig::default();
+        for solver in [Solver::Gd, Solver::Scg, Solver::ScgRs, Solver::Cgnr] {
+            let cold = solver.solve(&p, &cfg);
+            let via = solver.solve_from(&p, &cfg, None);
+            assert_eq!(cold.x, via.x, "{solver}");
+            assert_eq!(cold.iterations, via.iterations, "{solver}");
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_to_the_cold_optimum() {
+        // Warm and cold starts must agree: the objective is convex, so
+        // every solver lands at (or provably no worse than) the same
+        // optimum when resumed from a previous solution.
+        let (p, _) = testutil::planted(600, 50, 6, 0.9, 77);
+        let cfg = MgbaConfig::default();
+        let oracle = cgnr::solve(&p, &cfg);
+        for solver in [Solver::Gd, Solver::Scg, Solver::ScgRs, Solver::Cgnr] {
+            let warm = solver.solve_from(&p, &cfg, Some(WarmStart::new(&oracle.x)));
+            let slack = oracle.objective.abs() * 0.05 + 1e-6;
+            assert!(
+                warm.objective <= oracle.objective + slack,
+                "{solver}: warm {} vs oracle {}",
+                warm.objective,
+                oracle.objective
+            );
+        }
+    }
+
+    #[test]
+    fn warm_ladder_is_bit_identical_to_direct_warm_solve_when_healthy() {
+        // Same wrapper-purity pin as the cold variant: on the happy path
+        // the ladder with a warm start returns exactly what the primary
+        // solver returns from that start.
+        let (p, _) = testutil::planted(300, 40, 6, 0.9, 78);
+        let cfg = MgbaConfig::default();
+        let seed_fit = cgnr::solve(&p, &cfg);
+        let direct = Solver::Scg.solve_from(&p, &cfg, Some(WarmStart::new(&seed_fit.x)));
+        let (laddered, stage) =
+            solve_with_fallback_from(Solver::Scg, &p, &cfg, Some(WarmStart::new(&seed_fit.x)));
+        assert_eq!(stage, FallbackStage::Primary);
+        assert_eq!(direct.x, laddered.x);
+        assert_eq!(direct.iterations, laddered.iterations);
+    }
+
+    #[test]
+    fn unusable_warm_start_demotes_to_identity_not_worse() {
+        // A hostile warm vector must never make the served weights worse
+        // than identity: with the ladder disabled and an iteration budget
+        // of zero, the primary solver returns the warm iterate unchanged,
+        // its objective exceeds f0, and acceptance drops to identity.
+        let (p, _) = testutil::planted(200, 30, 5, 0.9, 79);
+        let cfg = MgbaConfig {
+            fallback: false,
+            max_iterations: 0,
+            ..MgbaConfig::default()
+        };
+        let bad = vec![1e6; p.num_gates()];
+        let (r, stage) = solve_with_fallback_from(Solver::Gd, &p, &cfg, Some(WarmStart::new(&bad)));
+        assert_eq!(stage, FallbackStage::Identity);
+        assert!(r.x.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn warm_start_poisoned_problem_still_bottoms_out_at_identity() {
+        let p = testutil::poisoned(100, 20, 80);
+        let warm = vec![-0.1; p.num_gates()];
+        let (r, stage) = solve_with_fallback_from(
+            Solver::ScgRs,
+            &p,
+            &MgbaConfig::default(),
+            Some(WarmStart::new(&warm)),
+        );
+        assert_eq!(stage, FallbackStage::Identity);
+        assert!(r.x.iter().all(|v| *v == 0.0));
     }
 
     #[test]

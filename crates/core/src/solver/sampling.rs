@@ -38,13 +38,43 @@ pub fn solve_traced(
     config: &MgbaConfig,
     rng: &mut StdRng,
 ) -> (SolveResult, Vec<SamplingRound>) {
+    let x0 = vec![0.0; problem.num_gates()];
+    solve_traced_from(problem, config, &x0, 0, rng)
+}
+
+/// Runs Algorithm 1 starting the doubling loop from `x0` instead of the
+/// zero vector. The reduced-problem rounds already warm-start from the
+/// previous round internally; this extends the same continuation to the
+/// outer call, so an incremental recalibration resumes from the prior
+/// fit's `x*`. `step_offset` continues the inner step-decay schedule
+/// that many iterations in (pass the previous solve's iteration count
+/// so a near-optimal `x0` is refined with small steps rather than
+/// knocked away by full-size ones). The ratio schedule is unchanged —
+/// the keep-better-iterate rule guarantees the result is never worse
+/// (on the probe) than `x0`.
+///
+/// # Panics
+///
+/// Panics if `x0.len() != num_gates`.
+pub fn solve_traced_from(
+    problem: &FitProblem,
+    config: &MgbaConfig,
+    x0: &[f64],
+    step_offset: usize,
+    rng: &mut StdRng,
+) -> (SolveResult, Vec<SamplingRound>) {
     let _span = obs::span("scg_rs");
     obs::telemetry::solve_begin("SCG + RS");
     let start = Instant::now();
     let m = problem.num_paths();
+    assert_eq!(
+        x0.len(),
+        problem.num_gates(),
+        "warm start: dimension mismatch"
+    );
     let sampler = UniformSampler::new();
     let probe = ObjectiveProbe::new(problem, 512);
-    let mut x = vec![0.0; problem.num_gates()];
+    let mut x = x0.to_vec();
     let mut prev_obj = probe.estimate(problem, &x);
     let mut ratio = config.initial_row_ratio.clamp(0.0, 1.0);
     let mut rounds = Vec::new();
@@ -60,7 +90,7 @@ pub fn solve_traced(
         // Line 3: solve the reduced problem. Warm start from the previous
         // round's solution and continue the step-decay schedule across
         // rounds, so each round refines rather than re-randomizes.
-        let inner = scg::solve_with_offset(&reduced, config, &x, iterations, rng);
+        let inner = scg::solve_with_offset(&reduced, config, &x, step_offset + iterations, rng);
         iterations += inner.iterations;
         rows_touched += inner.rows_touched;
         // A guard trip in the inner solve poisons the whole round
@@ -137,6 +167,17 @@ pub fn solve_traced(
 /// Runs Algorithm 1 (discarding the trace).
 pub fn solve(problem: &FitProblem, config: &MgbaConfig, rng: &mut StdRng) -> SolveResult {
     solve_traced(problem, config, rng).0
+}
+
+/// Runs Algorithm 1 from `x0` (discarding the trace).
+pub fn solve_from(
+    problem: &FitProblem,
+    config: &MgbaConfig,
+    x0: &[f64],
+    step_offset: usize,
+    rng: &mut StdRng,
+) -> SolveResult {
+    solve_traced_from(problem, config, x0, step_offset, rng).0
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ pub mod proto;
 pub mod server;
 pub mod session;
 pub mod stats;
+pub mod suggest;
 
 pub use server::{serve_stdio, serve_stream, Server, ServerConfig};
 pub use session::{ServerInfo, Session};

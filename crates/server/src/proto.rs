@@ -24,6 +24,11 @@ use crate::json::{self, Value};
 use mgba::MgbaError;
 use obs::json::JsonWriter;
 
+/// Largest accepted `whatif_batch` candidate list. One request holds the
+/// worker for the whole batch, so the cap bounds worst-case queue delay
+/// the same way the `sleep` cap does.
+pub const MAX_WHATIF_BATCH: usize = 256;
+
 /// One admission-controlled request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -82,11 +87,40 @@ pub enum Command {
         to: String,
     },
     /// Apply a resize permanently (same arguments as `whatif_resize`).
+    /// On a calibrated session the commit triggers an incremental
+    /// recalibration: dirty fit-matrix rows are patched and the solver
+    /// warm-starts from the previous `x*`.
     Commit {
         /// Cell instance name.
         cell: String,
         /// `up`, `down`, or an explicit library cell name.
         to: String,
+        /// Escape hatch: force a full cold recalibration (re-select
+        /// paths, rebuild the fit matrix, solve from zero) instead of
+        /// the warm incremental refit.
+        full: bool,
+    },
+    /// Re-run calibration on the current design: warm and incremental
+    /// when the session holds a calibration cache, cold otherwise (or
+    /// when `full` is set).
+    Recalibrate {
+        /// Solver name (`gd|scg|scgrs|cgnr`); defaults to the solver of
+        /// the previous calibration.
+        solver: Option<String>,
+        /// Force a full cold recalibration.
+        full: bool,
+    },
+    /// Evaluate up to [`MAX_WHATIF_BATCH`] candidate resizes in one
+    /// request: each candidate is trial-applied, measured (engine
+    /// WNS/TNS plus batch-retimed slacks over the calibrated path set),
+    /// and rolled back. One round trip instead of N.
+    WhatIfBatch {
+        /// Candidates as `(cell instance name, target)` pairs, where the
+        /// target is `up`, `down`, or an explicit library cell name.
+        resizes: Vec<(String, String)>,
+        /// Also report each candidate's golden-PBA worst slack over the
+        /// calibrated path set (slower: N PBA batch retimes).
+        pba: bool,
     },
     /// Serialize the session (design spec, period, fitted weights) for
     /// warm restart.
@@ -135,7 +169,9 @@ impl Command {
             Command::Tns => "tns",
             Command::PathQuery { .. } => "path",
             Command::WhatIfResize { .. } => "whatif_resize",
+            Command::WhatIfBatch { .. } => "whatif_batch",
             Command::Commit { .. } => "commit",
+            Command::Recalibrate { .. } => "recalibrate",
             Command::Snapshot { .. } => "snapshot",
             Command::Restore { .. } => "restore",
             Command::Stats => "stats",
@@ -241,7 +277,43 @@ fn parse_request_value(v: &Value, id: Option<u64>) -> Result<Request, MgbaError>
         "commit" => Command::Commit {
             cell: req_str(v, "cell")?,
             to: req_str(v, "to")?,
+            full: opt_bool(v, "full")?,
         },
+        "recalibrate" => Command::Recalibrate {
+            solver: opt_str(v, "solver")?,
+            full: opt_bool(v, "full")?,
+        },
+        "whatif_batch" => {
+            let items = match v.get("resizes") {
+                Some(Value::Arr(items)) => items,
+                Some(_) => return Err(usage("`resizes` must be an array")),
+                None => return Err(usage("missing required `resizes`")),
+            };
+            if items.is_empty() {
+                return Err(usage("`resizes` must not be empty"));
+            }
+            if items.len() > MAX_WHATIF_BATCH {
+                return Err(usage(format!(
+                    "`resizes` holds {} candidates (max {MAX_WHATIF_BATCH})",
+                    items.len()
+                )));
+            }
+            let mut resizes = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                if !matches!(item, Value::Obj(_)) {
+                    return Err(usage(format!("`resizes[{i}]` must be an object")));
+                }
+                let cell = req_str(item, "cell")
+                    .map_err(|_| usage(format!("`resizes[{i}]` needs a string `cell`")))?;
+                let to = req_str(item, "to")
+                    .map_err(|_| usage(format!("`resizes[{i}]` needs a string `to`")))?;
+                resizes.push((cell, to));
+            }
+            Command::WhatIfBatch {
+                resizes,
+                pba: opt_bool(v, "pba")?,
+            }
+        }
         "snapshot" => Command::Snapshot {
             file: req_str(v, "file")?,
         },
@@ -350,6 +422,19 @@ mod tests {
                 "whatif_resize",
             ),
             (r#"{"cmd":"commit","cell":"g1","to":"down"}"#, "commit"),
+            (
+                r#"{"cmd":"commit","cell":"g1","to":"down","full":true}"#,
+                "commit",
+            ),
+            (r#"{"cmd":"recalibrate"}"#, "recalibrate"),
+            (
+                r#"{"cmd":"recalibrate","solver":"cgnr","full":true}"#,
+                "recalibrate",
+            ),
+            (
+                r#"{"cmd":"whatif_batch","resizes":[{"cell":"g1","to":"up"},{"cell":"g2","to":"down"}],"pba":true}"#,
+                "whatif_batch",
+            ),
             (r#"{"cmd":"snapshot","file":"s.mgba"}"#, "snapshot"),
             (r#"{"cmd":"restore","file":"s.mgba"}"#, "restore"),
             (r#"{"cmd":"stats"}"#, "stats"),
@@ -416,6 +501,45 @@ mod tests {
         assert!(mgba_error_envelope(None, &e).contains(r#""kind":"timeout""#));
         let e = MgbaError::Internal("handler panicked".into());
         assert!(mgba_error_envelope(None, &e).contains(r#""kind":"internal""#));
+    }
+
+    #[test]
+    fn whatif_batch_decodes_pairs_and_rejects_bad_shapes() {
+        let r = parse_request(
+            r#"{"cmd":"whatif_batch","resizes":[{"cell":"a","to":"up"},{"cell":"b","to":"INV_X4"}]}"#,
+        )
+        .unwrap();
+        match r.cmd {
+            Command::WhatIfBatch { resizes, pba } => {
+                assert_eq!(
+                    resizes,
+                    vec![
+                        ("a".to_owned(), "up".to_owned()),
+                        ("b".to_owned(), "INV_X4".to_owned())
+                    ]
+                );
+                assert!(!pba);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            r#"{"cmd":"whatif_batch"}"#,
+            r#"{"cmd":"whatif_batch","resizes":"up"}"#,
+            r#"{"cmd":"whatif_batch","resizes":[]}"#,
+            r#"{"cmd":"whatif_batch","resizes":["g1"]}"#,
+            r#"{"cmd":"whatif_batch","resizes":[{"cell":"g1"}]}"#,
+            r#"{"cmd":"whatif_batch","resizes":[{"to":"up"}]}"#,
+        ] {
+            let (_, e) = parse_request(bad).unwrap_err();
+            assert!(matches!(e, MgbaError::Usage(_)), "`{bad}`: {e}");
+        }
+        // Over-cap batches are rejected at parse time, before queueing.
+        let many: Vec<String> = (0..=MAX_WHATIF_BATCH)
+            .map(|i| format!(r#"{{"cell":"g{i}","to":"up"}}"#))
+            .collect();
+        let line = format!(r#"{{"cmd":"whatif_batch","resizes":[{}]}}"#, many.join(","));
+        let (_, e) = parse_request(&line).unwrap_err();
+        assert!(e.to_string().contains("max 256"), "{e}");
     }
 
     #[test]

@@ -367,6 +367,11 @@ impl Server {
         while !shared.shutting_down.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    // Request/response JSON lines are small writes; with
+                    // Nagle on, every strict (non-pipelined) round trip
+                    // stalls on the peer's delayed ACK (~40 ms). Latency
+                    // is the product here — trade the batching away.
+                    let _ = stream.set_nodelay(true);
                     obs::counter_add("server.connections", 1);
                     let tx = tx.clone();
                     let shared = Arc::clone(&shared);

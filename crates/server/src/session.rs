@@ -18,11 +18,14 @@
 //! lives in the `stats` command and the `obs` profile instead.
 
 use crate::proto::Command;
-use crate::stats::CommandStats;
-use mgba::{run_mgba, MgbaConfig, MgbaError, Solver};
+use crate::stats::{CommandStats, LatencyHist};
+use crate::suggest;
+use mgba::{recalibrate_warm, run_mgba_cached, CalibrationCache, MgbaConfig, MgbaError, Solver};
 use netlist::{CellId, LibCellId};
 use obs::json::JsonWriter;
-use sta::{paths::worst_paths_to_endpoint, pba_timing, Sta};
+use sta::{
+    gba_path_timing_batch, paths::worst_paths_to_endpoint, pba_timing, pba_timing_batch, Path, Sta,
+};
 use std::fmt::Write as _;
 
 /// Server-level counters handed to [`Session::handle`] so the `stats`
@@ -52,9 +55,40 @@ struct Loaded {
     sta: Sta,
     /// Solver name when the session has been calibrated.
     calibrated: Option<String>,
+    /// Solver of the most recent successful calibration, reused by
+    /// commit-triggered recalibrations.
+    solver: Option<Solver>,
+    /// Warm-refit state of the most recent calibration: the frozen path
+    /// set, the fit problem (patched in place per commit), and `x*`.
+    /// `None` until calibrated, and dropped by crash recovery — the next
+    /// recalibration then falls back to a cold fit.
+    cache: Option<CalibrationCache>,
+    /// Union of cells invalidated by committed resizes since the last
+    /// recalibration ([`Sta::last_touched`] captured right after each
+    /// commit, before weight installs clear it), canonically sorted.
+    dirty: Vec<CellId>,
     /// Committed resizes since load, in order, as (cell name, resolved
     /// library-cell name) — replayed verbatim by crash recovery.
     resizes: Vec<(String, String)>,
+}
+
+/// What one recalibration did — rendered into `commit`/`recalibrate`
+/// responses and folded into session counters.
+struct RecalOutcome {
+    /// `"warm"` (dirty rows patched, solver warm-started) or `"cold"`
+    /// (full re-select + re-fit).
+    mode: &'static str,
+    solver_name: String,
+    fallback_name: &'static str,
+    dirty_rows: u64,
+    total_rows: u64,
+    iterations: u64,
+    converged: bool,
+    mse_before: f64,
+    mse_after: f64,
+    wns: f64,
+    tns: f64,
+    degraded: bool,
 }
 
 /// Everything needed to rebuild [`Loaded`] from scratch after a caught
@@ -81,6 +115,14 @@ pub struct Session {
     /// True while serving from a fault-recovered state whose calibration
     /// is unavailable (answers are raw GBA: safe but pessimistic).
     degraded: bool,
+    /// Warm (incremental, dirty-rows-only) recalibrations served.
+    recalib_warm: u64,
+    /// Cold (full re-select + re-fit) recalibrations served — explicit
+    /// `full:true`, or the warm cache was unavailable.
+    recalib_cold: u64,
+    /// Histogram of `whatif_batch` candidate counts (log₂ buckets; the
+    /// recorded unit is candidates, not microseconds).
+    whatif_batch_sizes: LatencyHist,
     /// Per-command latency histograms (recorded by the worker loop).
     pub latency: CommandStats,
 }
@@ -158,6 +200,7 @@ impl Session {
                 Command::Load { .. }
                     | Command::Calibrate { .. }
                     | Command::Commit { .. }
+                    | Command::Recalibrate { .. }
                     | Command::Restore { .. }
             )
         {
@@ -185,8 +228,10 @@ impl Session {
             Command::Wns => self.summary(true),
             Command::Tns => self.summary(false),
             Command::PathQuery { endpoint, pba } => self.path(endpoint.as_deref(), *pba),
-            Command::WhatIfResize { cell, to } => self.resize(cell, to, false),
-            Command::Commit { cell, to } => self.resize(cell, to, true),
+            Command::WhatIfResize { cell, to } => self.resize(cell, to, false, false),
+            Command::WhatIfBatch { resizes, pba } => self.whatif_batch(resizes, *pba),
+            Command::Commit { cell, to, full } => self.resize(cell, to, true, *full),
+            Command::Recalibrate { solver, full } => self.recalibrate(solver.as_deref(), *full),
             Command::Snapshot { file } => self.snapshot(file),
             Command::Restore { file } => self.restore(file),
             Command::Stats => self.stats(server),
@@ -239,6 +284,9 @@ impl Session {
             period,
             sta,
             calibrated: None,
+            solver: None,
+            cache: None,
+            dirty: Vec::new(),
             resizes: Vec::new(),
         };
         let mut w = JsonWriter::new();
@@ -269,8 +317,11 @@ impl Session {
         let solver = parse_solver(solver.unwrap_or("scgrs"))?;
         let loaded = self.require_loaded()?;
         let config = MgbaConfig::default();
-        let report = run_mgba(&mut loaded.sta, &config, solver);
+        let (report, cache) = run_mgba_cached(&mut loaded.sta, &config, solver);
         loaded.calibrated = Some(report.solver_name.clone());
+        loaded.solver = Some(solver);
+        loaded.cache = cache;
+        loaded.dirty.clear();
         // A fit that bottomed out at identity weights is raw GBA: the
         // session keeps serving, but flagged as degraded until a later
         // calibrate lands on a real stage.
@@ -416,15 +467,22 @@ impl Session {
     }
 
     /// Resolves a resize request to (cell, current lib, target lib).
+    /// Unknown names are reported with their nearest known names
+    /// (edit-distance suggestions, netlist-parser diagnostics style).
     fn resolve_resize(
         sta: &Sta,
         cell_name: &str,
         to: &str,
     ) -> Result<(CellId, LibCellId, LibCellId), MgbaError> {
-        let cell = sta
-            .netlist()
-            .find_cell(cell_name)
-            .ok_or_else(|| usage(format!("unknown cell `{cell_name}`")))?;
+        let cell = sta.netlist().find_cell(cell_name).ok_or_else(|| {
+            usage(format!(
+                "unknown cell `{cell_name}`{}",
+                suggest::nearest_note(
+                    cell_name,
+                    sta.netlist().cells().map(|(_, c)| c.name.as_str())
+                )
+            ))
+        })?;
         let lib = sta.netlist().library();
         let current = sta.netlist().cell(cell).lib_cell;
         let target = match to {
@@ -434,14 +492,23 @@ impl Session {
             "down" => lib
                 .downsized(current)
                 .ok_or_else(|| usage(format!("`{cell_name}` has no weaker drive")))?,
-            name => lib
-                .find(name)
-                .ok_or_else(|| usage(format!("unknown library cell `{name}`")))?,
+            name => lib.find(name).ok_or_else(|| {
+                usage(format!(
+                    "unknown library cell `{name}`{}",
+                    suggest::nearest_note(name, lib.iter().map(|(_, c)| c.name.as_str()))
+                ))
+            })?,
         };
         Ok((cell, current, target))
     }
 
-    fn resize(&mut self, cell_name: &str, to: &str, commit: bool) -> Result<String, MgbaError> {
+    fn resize(
+        &mut self,
+        cell_name: &str,
+        to: &str,
+        commit: bool,
+        full: bool,
+    ) -> Result<String, MgbaError> {
         let loaded = self.require_loaded()?;
         let sta = &mut loaded.sta;
         let (cell, current, target) = Self::resolve_resize(sta, cell_name, to)?;
@@ -468,10 +535,27 @@ impl Session {
                 })?;
         }
         let touched = sta.stats.cells_propagated - touched_before;
+        let mut recal = None;
         if commit {
+            // Fold this commit's invalidation cone into the accumulated
+            // dirty set before anything clears `last_touched`.
+            let cone = loaded.sta.last_touched().to_vec();
+            loaded.dirty.extend(cone);
+            loaded.dirty.sort_unstable_by_key(|c| c.index());
+            loaded.dirty.dedup();
             // Record the resolved target (not `up`/`down`) so recovery
             // replays the exact same library cell.
             loaded.resizes.push((cell_name.to_owned(), to_name.clone()));
+            if loaded.calibrated.is_some() {
+                // A calibrated session refits on every commit so queries
+                // keep answering with post-edit mGBA accuracy: warm and
+                // incremental by default, cold on the `full` escape
+                // hatch.
+                recal = Some(Self::recalibrate_loaded(loaded, None, full)?);
+            }
+        }
+        if let Some(o) = &recal {
+            self.note_recalibration(o);
         }
         let mut w = JsonWriter::new();
         w.begin_obj();
@@ -497,7 +581,224 @@ impl Session {
         w.f64(tns_after - tns_before);
         w.key("cells_propagated");
         w.u64(touched);
+        if let Some(o) = &recal {
+            w.key("recalibrate");
+            Self::write_recal(&mut w, o);
+        }
         w.end_obj();
+        Ok(w.finish())
+    }
+
+    /// Re-fits the session's weights after committed edits. Warm path:
+    /// patch only the dirty fit-matrix rows and warm-start the solver
+    /// from the cached `x*`. Cold path (`full`, or no cache — e.g. right
+    /// after crash recovery): a fresh [`run_mgba_cached`] with path
+    /// re-selection.
+    fn recalibrate_loaded(
+        loaded: &mut Loaded,
+        solver_arg: Option<&str>,
+        full: bool,
+    ) -> Result<RecalOutcome, MgbaError> {
+        let solver = match solver_arg {
+            Some(name) => parse_solver(name)?,
+            None => loaded.solver.unwrap_or(Solver::ScgRs),
+        };
+        let config = MgbaConfig::default();
+        let outcome = if let (false, Some(cache)) = (full, loaded.cache.as_mut()) {
+            let dirty = std::mem::take(&mut loaded.dirty);
+            let re = recalibrate_warm(&mut loaded.sta, &config, solver, cache, &dirty);
+            loaded.calibrated = Some(solver.paper_name().to_owned());
+            loaded.solver = Some(solver);
+            RecalOutcome {
+                mode: "warm",
+                solver_name: solver.paper_name().to_owned(),
+                fallback_name: re.fallback.name(),
+                dirty_rows: re.dirty_rows as u64,
+                total_rows: re.total_rows as u64,
+                iterations: re.iterations as u64,
+                converged: re.converged,
+                mse_before: re.mse_before,
+                mse_after: re.mse_after,
+                wns: loaded.sta.wns(),
+                tns: loaded.sta.tns(),
+                degraded: re.fallback.is_degraded(),
+            }
+        } else {
+            let (report, cache) = run_mgba_cached(&mut loaded.sta, &config, solver);
+            loaded.calibrated = Some(report.solver_name.clone());
+            loaded.solver = Some(solver);
+            loaded.cache = cache;
+            loaded.dirty.clear();
+            RecalOutcome {
+                mode: "cold",
+                solver_name: report.solver_name,
+                fallback_name: report.fallback.name(),
+                dirty_rows: report.num_paths as u64,
+                total_rows: report.num_paths as u64,
+                iterations: report.iterations as u64,
+                converged: report.converged,
+                mse_before: report.mse_before,
+                mse_after: report.mse_after,
+                wns: loaded.sta.wns(),
+                tns: loaded.sta.tns(),
+                degraded: report.fallback.is_degraded(),
+            }
+        };
+        Ok(outcome)
+    }
+
+    /// Updates session-level warm/cold counters and the degraded flag
+    /// after a recalibration.
+    fn note_recalibration(&mut self, o: &RecalOutcome) {
+        if o.mode == "warm" {
+            self.recalib_warm += 1;
+        } else {
+            self.recalib_cold += 1;
+        }
+        self.degraded = o.degraded;
+    }
+
+    fn write_recal(w: &mut JsonWriter, o: &RecalOutcome) {
+        w.begin_obj();
+        w.key("mode");
+        w.str(o.mode);
+        w.key("solver");
+        w.str(&o.solver_name);
+        w.key("fallback_stage");
+        w.str(o.fallback_name);
+        w.key("dirty_rows");
+        w.u64(o.dirty_rows);
+        w.key("total_rows");
+        w.u64(o.total_rows);
+        w.key("iterations");
+        w.u64(o.iterations);
+        w.key("converged");
+        w.bool(o.converged);
+        w.key("mse_before");
+        w.f64(o.mse_before);
+        w.key("mse_after");
+        w.f64(o.mse_after);
+        w.key("wns");
+        w.f64(o.wns);
+        w.key("tns");
+        w.f64(o.tns);
+        w.end_obj();
+    }
+
+    fn recalibrate(&mut self, solver: Option<&str>, full: bool) -> Result<String, MgbaError> {
+        let loaded = self.require_loaded()?;
+        if loaded.calibrated.is_none() {
+            return Err(usage("nothing calibrated yet (send `calibrate` first)"));
+        }
+        let o = Self::recalibrate_loaded(loaded, solver, full)?;
+        self.note_recalibration(&o);
+        let mut w = JsonWriter::new();
+        Self::write_recal(&mut w, &o);
+        Ok(w.finish())
+    }
+
+    /// Evaluates N candidate resizes in one request: each candidate is
+    /// trial-applied, measured, and rolled back. Per-candidate slack
+    /// sweeps fan out over the calibrated path set with the batch
+    /// retimers ([`gba_path_timing_batch`] / [`pba_timing_batch`]), so
+    /// the response is bit-identical at any thread count. Invalid
+    /// candidates (unknown names, no such drive) become per-candidate
+    /// `error` entries instead of failing the whole batch.
+    fn whatif_batch(
+        &mut self,
+        resizes: &[(String, String)],
+        pba: bool,
+    ) -> Result<String, MgbaError> {
+        let loaded = self.require_loaded()?;
+        let par = parallel::global();
+        // Split borrows: candidates mutate the engine (resize, measure,
+        // roll back) while the monitored path set stays borrowed from
+        // the calibration cache.
+        let Loaded { sta, cache, .. } = loaded;
+        let monitored: Option<&[Path]> = cache.as_ref().map(|c| c.paths.as_slice());
+        let wns0 = sta.wns();
+        let tns0 = sta.tns();
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("count");
+        w.u64(resizes.len() as u64);
+        w.key("wns_base");
+        w.f64(wns0);
+        w.key("tns_base");
+        w.f64(tns0);
+        w.key("results");
+        w.begin_arr();
+        for (cell_name, to) in resizes {
+            w.begin_obj();
+            w.key("cell");
+            w.str(cell_name);
+            w.key("to");
+            w.str(to);
+            let resolved =
+                Self::resolve_resize(sta, cell_name, to).and_then(|(cell, current, target)| {
+                    if current == target {
+                        Err(usage(format!("`{cell_name}` is already that size")))
+                    } else {
+                        Ok((cell, current, target))
+                    }
+                });
+            let (cell, current, target) = match resolved {
+                Ok(t) => t,
+                Err(e) => {
+                    w.key("error");
+                    w.str(&e.to_string());
+                    w.end_obj();
+                    continue;
+                }
+            };
+            if let Err(e) = sta.resize_cell(cell, target) {
+                // Structural rejection happens before any mutation, so
+                // the engine is untouched and the batch can continue.
+                w.key("error");
+                w.str(&e.to_string());
+                w.end_obj();
+                continue;
+            }
+            w.key("from");
+            w.str(&sta.netlist().library().cell(current).name);
+            w.key("resolved_to");
+            w.str(&sta.netlist().library().cell(target).name);
+            let wns1 = sta.wns();
+            let tns1 = sta.tns();
+            w.key("wns");
+            w.f64(wns1);
+            w.key("delta_wns");
+            w.f64(wns1 - wns0);
+            w.key("tns");
+            w.f64(tns1);
+            w.key("delta_tns");
+            w.f64(tns1 - tns0);
+            if let Some(paths) = monitored {
+                let worst = gba_path_timing_batch(sta, paths, par)
+                    .iter()
+                    .map(|t| t.slack)
+                    .fold(f64::INFINITY, f64::min);
+                w.key("path_wns");
+                w.f64(worst);
+                if pba {
+                    let worst = pba_timing_batch(sta, paths, par)
+                        .iter()
+                        .map(|t| t.slack)
+                        .fold(f64::INFINITY, f64::min);
+                    w.key("path_pba_wns");
+                    w.f64(worst);
+                }
+            }
+            sta.resize_cell(cell, current)
+                .map_err(|e| MgbaError::Solver {
+                    solver: "whatif_batch".into(),
+                    message: format!("rollback of `{cell_name}` failed: {e}"),
+                })?;
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        self.whatif_batch_sizes.record(resizes.len() as u64);
         Ok(w.finish())
     }
 
@@ -585,11 +886,16 @@ impl Session {
         let dense = mgba::apply_weights(sta.netlist(), &pairs)?;
         sta.set_weights(&dense);
         let applied = pairs.len();
+        // A restored session carries weights but no calibration cache:
+        // the first post-restore recalibration runs cold.
         let loaded = Loaded {
             spec: spec.to_owned(),
             period,
             sta,
             calibrated,
+            solver: None,
+            cache: None,
+            dirty: Vec::new(),
             resizes: Vec::new(),
         };
         let mut w = JsonWriter::new();
@@ -657,11 +963,17 @@ impl Session {
             let dense = mgba::apply_weights(sta.netlist(), &snap.weights)?;
             sta.set_weights(&dense);
         }
+        // The calibration cache is deliberately NOT checkpointed (it is
+        // large and derivable): a recovered session serves the replayed
+        // weights, and its next recalibration falls back to cold.
         Ok(Loaded {
             spec: snap.spec.clone(),
             period: snap.period,
             sta,
             calibrated: snap.calibrated.clone(),
+            solver: None,
+            cache: None,
+            dirty: Vec::new(),
             resizes: snap.resizes.clone(),
         })
     }
@@ -740,6 +1052,16 @@ impl Session {
             "1 while serving fault-recovered state without calibration",
             if self.degraded { 1.0 } else { 0.0 },
         );
+        p.counter(
+            "mgba_server_recalibrate_warm_total",
+            "incremental warm-start recalibrations (dirty rows patched)",
+            self.recalib_warm,
+        );
+        p.counter(
+            "mgba_server_recalibrate_cold_total",
+            "full cold recalibrations (`full:true` or warm cache unavailable)",
+            self.recalib_cold,
+        );
         if let Some(l) = &self.loaded {
             p.gauge("mgba_engine_wns", "worst negative slack, ps", l.sta.wns());
             p.gauge("mgba_engine_tns", "total negative slack, ps", l.sta.tns());
@@ -777,6 +1099,18 @@ impl Session {
                 h.sum_us as f64,
             );
         }
+        let b = &self.whatif_batch_sizes;
+        p.histogram_family(
+            "mgba_server_whatif_batch_size",
+            "candidates per whatif_batch request",
+        );
+        p.histogram_series(
+            "mgba_server_whatif_batch_size",
+            None,
+            &b.buckets(),
+            b.count,
+            b.sum_us as f64,
+        );
         let mut text = p.finish();
         // The obs registry rides along when profiling is enabled.
         text.push_str(&obs::prom::encode(&obs::metrics::snapshot()));
@@ -1079,6 +1413,171 @@ mod tests {
             wns_after_commit.to_bits(),
             "recovery must replay the committed resize"
         );
+    }
+
+    /// Loads a design, calibrates with CGNR, and returns the worst
+    /// path's cell names (resize candidates).
+    fn calibrated_session(design: &str) -> (Session, Vec<String>) {
+        let mut s = Session::new();
+        handle(&mut s, &format!(r#"{{"cmd":"load","design":"{design}"}}"#)).unwrap();
+        handle(&mut s, r#"{"cmd":"calibrate","solver":"cgnr"}"#).unwrap();
+        let p = obj(&handle(&mut s, r#"{"cmd":"path"}"#).unwrap());
+        let cells = match p.get("cells").unwrap() {
+            Value::Arr(a) => a.iter().map(|v| v.as_str().unwrap().to_owned()).collect(),
+            other => panic!("{other:?}"),
+        };
+        (s, cells)
+    }
+
+    /// First cell from `cells` that accepts an upsize, found by probing
+    /// with rolled-back what-ifs.
+    fn resizable_cell(s: &mut Session, cells: &[String]) -> String {
+        cells
+            .iter()
+            .find(|name| {
+                let req = format!(r#"{{"cmd":"whatif_resize","cell":"{name}","to":"up"}}"#);
+                handle(s, &req).is_ok()
+            })
+            .expect("a resizable cell on the worst path")
+            .clone()
+    }
+
+    #[test]
+    fn commit_on_calibrated_session_recalibrates_warm() {
+        let (mut s, cells) = calibrated_session("small:11");
+        let victim = resizable_cell(&mut s, &cells);
+        let req = format!(r#"{{"cmd":"commit","cell":"{victim}","to":"up"}}"#);
+        let r = obj(&handle(&mut s, &req).unwrap());
+        assert_eq!(r.get("committed"), Some(&Value::Bool(true)));
+        let recal = r.get("recalibrate").expect("calibrated commit refits");
+        assert_eq!(recal.get("mode").and_then(Value::as_str), Some("warm"));
+        let dirty = recal.get("dirty_rows").and_then(Value::as_u64).unwrap();
+        let total = recal.get("total_rows").and_then(Value::as_u64).unwrap();
+        assert!(dirty > 0, "a worst-path gate is on fitted rows");
+        assert!(dirty <= total);
+        // The response's post-refit WNS is what queries now serve.
+        let wns_recal = recal.get("wns").and_then(Value::as_f64).unwrap();
+        assert_eq!(wns_of(&mut s).to_bits(), wns_recal.to_bits());
+
+        // Parity with a cold fit (satellite): a fresh session that
+        // commits the same resize FIRST and then calibrates cold lands
+        // on the same corrected timing within tolerance — the warm path
+        // changes the route to the optimum, not the optimum.
+        let mut cold = Session::new();
+        handle(&mut cold, r#"{"cmd":"load","design":"small:11"}"#).unwrap();
+        handle(&mut cold, &req).unwrap();
+        handle(&mut cold, r#"{"cmd":"calibrate","solver":"cgnr"}"#).unwrap();
+        let wns_cold = wns_of(&mut cold);
+        let tol = wns_cold.abs() * 0.01 + 1.0;
+        assert!(
+            (wns_recal - wns_cold).abs() <= tol,
+            "warm {wns_recal} vs cold {wns_cold}"
+        );
+    }
+
+    #[test]
+    fn recalibrate_command_modes_and_counters() {
+        let (mut s, cells) = calibrated_session("small:11");
+        let victim = resizable_cell(&mut s, &cells);
+        let commit = format!(r#"{{"cmd":"commit","cell":"{victim}","to":"up"}}"#);
+        handle(&mut s, &commit).unwrap(); // warm #1 (auto)
+                                          // Standalone warm recalibrate with nothing dirty: zero rows
+                                          // patched, solution already optimal.
+        let r = obj(&handle(&mut s, r#"{"cmd":"recalibrate"}"#).unwrap());
+        assert_eq!(r.get("mode").and_then(Value::as_str), Some("warm"));
+        assert_eq!(r.get("dirty_rows").and_then(Value::as_u64), Some(0));
+        // The escape hatch forces a cold re-select + re-fit.
+        let r = obj(&handle(&mut s, r#"{"cmd":"recalibrate","full":true}"#).unwrap());
+        assert_eq!(r.get("mode").and_then(Value::as_str), Some("cold"));
+        let dirty = r.get("dirty_rows").and_then(Value::as_u64).unwrap();
+        assert_eq!(Some(dirty), r.get("total_rows").and_then(Value::as_u64));
+
+        // Counters surface through the Prometheus exposition.
+        let m = obj(&handle(&mut s, r#"{"cmd":"metrics"}"#).unwrap());
+        let text = m.get("exposition").and_then(Value::as_str).unwrap();
+        obs::prom::validate(text).expect("conformant exposition");
+        assert!(
+            text.contains("mgba_server_recalibrate_warm_total 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mgba_server_recalibrate_cold_total 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn recalibrate_before_calibrate_is_a_usage_error() {
+        let mut s = Session::new();
+        handle(&mut s, r#"{"cmd":"load","design":"small:7"}"#).unwrap();
+        let e = handle(&mut s, r#"{"cmd":"recalibrate"}"#).unwrap_err();
+        assert!(matches!(e, MgbaError::Usage(_)), "{e}");
+    }
+
+    #[test]
+    fn whatif_batch_reports_candidates_and_isolates_errors() {
+        let (mut s, cells) = calibrated_session("small:7");
+        let victim = resizable_cell(&mut s, &cells);
+        let wns0 = wns_of(&mut s);
+        // A near-miss name exercises the nearest-match diagnostics.
+        let near_miss = format!("{victim}x");
+        let req = format!(
+            r#"{{"cmd":"whatif_batch","resizes":[{{"cell":"{victim}","to":"up"}},{{"cell":"{near_miss}","to":"up"}},{{"cell":"{victim}","to":"NO_SUCH_LIB"}}],"pba":true}}"#
+        );
+        let r = obj(&handle(&mut s, &req).unwrap());
+        assert_eq!(r.get("count").and_then(Value::as_u64), Some(3));
+        let results = match r.get("results").unwrap() {
+            Value::Arr(a) => a,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(results.len(), 3);
+        // Candidate 0: measured and rolled back.
+        let c0 = &results[0];
+        assert!(c0.get("error").is_none());
+        let wns1 = c0.get("wns").and_then(Value::as_f64).unwrap();
+        let d = c0.get("delta_wns").and_then(Value::as_f64).unwrap();
+        assert!((wns1 - wns0 - d).abs() < 1e-9);
+        // Calibrated session: batch-retimed path metrics ride along.
+        let path_wns = c0.get("path_wns").and_then(Value::as_f64).unwrap();
+        let path_pba = c0.get("path_pba_wns").and_then(Value::as_f64).unwrap();
+        assert!(path_wns.is_finite() && path_pba.is_finite());
+        // Candidate 1: unknown cell, with a suggestion naming the real
+        // cell; candidate 2: unknown library cell.
+        let e1 = results[1].get("error").and_then(Value::as_str).unwrap();
+        assert!(e1.contains(&format!("unknown cell `{near_miss}`")), "{e1}");
+        assert!(e1.contains("nearest:"), "{e1}");
+        assert!(e1.contains(victim.as_str()), "{e1}");
+        let e2 = results[2].get("error").and_then(Value::as_str).unwrap();
+        assert!(e2.contains("unknown library cell `NO_SUCH_LIB`"), "{e2}");
+        // Every candidate was rolled back: timing is unchanged.
+        assert_eq!(wns_of(&mut s).to_bits(), wns0.to_bits());
+        // The batch-size histogram surfaces through `metrics`.
+        let m = obj(&handle(&mut s, r#"{"cmd":"metrics"}"#).unwrap());
+        let text = m.get("exposition").and_then(Value::as_str).unwrap();
+        obs::prom::validate(text).expect("conformant exposition");
+        assert!(
+            text.contains("mgba_server_whatif_batch_size_count 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn whatif_batch_is_bit_identical_across_thread_counts() {
+        // All engine kernels, batch retimers, and solvers are
+        // bit-identical for every thread width, so the full response
+        // bytes must not depend on the pool size.
+        let run = |threads: usize| {
+            parallel::set_global_threads(threads);
+            let (mut s, cells) = calibrated_session("small:11");
+            let victim = resizable_cell(&mut s, &cells);
+            let req = format!(
+                r#"{{"cmd":"whatif_batch","resizes":[{{"cell":"{victim}","to":"up"}},{{"cell":"{victim}","to":"down"}}],"pba":true}}"#
+            );
+            let resp = handle(&mut s, &req).unwrap();
+            parallel::set_global_threads(0);
+            resp
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

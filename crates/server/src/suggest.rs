@@ -1,0 +1,108 @@
+//! "Did you mean" suggestions for unknown-name errors.
+//!
+//! Resize commands arrive with hand-typed cell and library-cell names;
+//! a bare `unknown cell` error sends the user back to dumping the whole
+//! netlist. Following the netlist parser's diagnostics style, the error
+//! instead carries the closest known names by edit distance.
+
+/// Levenshtein distance between `a` and `b`, abandoned early when it
+/// provably exceeds `cap` (returns `None`). The early-out keeps the scan
+/// over a large netlist cheap: most names differ wildly in length and
+/// never reach the DP loop.
+pub fn edit_distance_capped(a: &str, b: &str, cap: usize) -> Option<usize> {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if a.len().abs_diff(b.len()) > cap {
+        return None;
+    }
+    // One-row DP; row[j] = distance between a[..i] and b[..j].
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0]; // row[i][0] before overwrite
+        row[0] = i + 1;
+        let mut best = row[0];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev + usize::from(ca != cb);
+            prev = row[j + 1];
+            row[j + 1] = sub.min(prev + 1).min(row[j] + 1);
+            best = best.min(row[j + 1]);
+        }
+        if best > cap {
+            return None;
+        }
+    }
+    let d = row[b.len()];
+    (d <= cap).then_some(d)
+}
+
+/// The `k` known names closest to `query` by edit distance, nearest
+/// first. Ties break lexicographically so the suggestion list — and any
+/// error message embedding it — is byte-stable across runs. Names
+/// further than `max(2, query.len()/2)` edits away are never suggested
+/// (a suggestion that rewrites most of the name is noise, not help).
+pub fn nearest<'a>(query: &str, names: impl Iterator<Item = &'a str>, k: usize) -> Vec<String> {
+    let cap = (query.len() / 2).max(2);
+    let mut scored: Vec<(usize, &str)> = names
+        .filter_map(|n| edit_distance_capped(query, n, cap).map(|d| (d, n)))
+        .collect();
+    scored.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(b.1)));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, n)| n.to_owned()).collect()
+}
+
+/// Renders the ` (nearest: a, b, c)` suffix for an unknown-name error,
+/// or the empty string when nothing is close enough to suggest.
+pub fn nearest_note<'a>(query: &str, names: impl Iterator<Item = &'a str>) -> String {
+    let close = nearest(query, names, 3);
+    if close.is_empty() {
+        String::new()
+    } else {
+        format!(" (nearest: {})", close.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance_capped("abc", "abc", 0), Some(0));
+        assert_eq!(edit_distance_capped("abc", "abd", 2), Some(1));
+        assert_eq!(edit_distance_capped("abc", "ab", 2), Some(1));
+        assert_eq!(edit_distance_capped("abc", "xabc", 2), Some(1));
+        assert_eq!(edit_distance_capped("kitten", "sitting", 6), Some(3));
+        assert_eq!(edit_distance_capped("", "abc", 3), Some(3));
+    }
+
+    #[test]
+    fn cap_prunes_far_names() {
+        assert_eq!(edit_distance_capped("abc", "xyzzy", 1), None);
+        // Length difference alone exceeds the cap.
+        assert_eq!(edit_distance_capped("a", "abcdefgh", 3), None);
+        // Exactly at the cap is still reported.
+        assert_eq!(edit_distance_capped("abc", "abd", 1), Some(1));
+    }
+
+    #[test]
+    fn nearest_ranks_and_breaks_ties_by_name() {
+        let names = ["g_1_9", "g_1_0", "g_2_99", "clk_buf_3", "g_1_99"];
+        let got = nearest("g_1_99x", names.iter().copied(), 3);
+        assert_eq!(got[0], "g_1_99", "exact-but-one match ranks first");
+        // Remaining candidates at equal distance come lexicographically.
+        assert_eq!(got.len(), 3);
+        let mut tail = got[1..].to_vec();
+        let mut sorted = tail.clone();
+        sorted.sort();
+        tail.sort();
+        assert_eq!(tail, sorted);
+    }
+
+    #[test]
+    fn note_is_empty_when_nothing_is_close() {
+        assert_eq!(nearest_note("zzz", ["alpha", "beta"].into_iter()), "");
+        let note = nearest_note("g_1_9", ["g_1_0", "g_1_9x"].into_iter());
+        assert!(note.starts_with(" (nearest: "), "{note}");
+        assert!(note.contains("g_1_9x"));
+    }
+}

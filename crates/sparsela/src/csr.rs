@@ -188,6 +188,69 @@ impl CsrMatrix {
         }
     }
 
+    /// Overwrites the stored values of row `i` in place. The sparsity
+    /// pattern is fixed at construction: the caller supplies exactly one
+    /// value per stored entry, in stored (column) order. This is the
+    /// dirty-row fast path of incremental refits — coefficients move but
+    /// the path→gate structure does not, so no rebuild is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `values.len()` differs from the
+    /// row's stored entry count.
+    pub fn set_row_values(&mut self, i: usize, values: &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        assert_eq!(
+            values.len(),
+            hi - lo,
+            "set_row_values: row {i} stores {} entries",
+            hi - lo
+        );
+        self.values[lo..hi].copy_from_slice(values);
+    }
+
+    /// Patches a transpose (a matrix produced by [`Self::transpose`])
+    /// after original row `row` changed values: each `(cols[k],
+    /// values[k])` pair is the new content of that row, in stored order,
+    /// and overwrites the mirrored entry inside transpose row `cols[k]`.
+    ///
+    /// Within a transpose row the entries are sorted by original row
+    /// (the counting sort preserves ascending row order), so each mirror
+    /// is found by binary search; duplicate columns within the original
+    /// row map to consecutive mirrored entries in their original order.
+    /// After patching, the transpose is bit-identical to re-transposing
+    /// the patched original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols`/`values` disagree in length or any `(row, col)`
+    /// entry is not stored in the transpose — i.e. the caller changed
+    /// the sparsity pattern, which this fast path forbids.
+    pub fn patch_transposed_row(&mut self, row: usize, cols: &[u32], values: &[f64]) {
+        assert_eq!(
+            cols.len(),
+            values.len(),
+            "patch_transposed_row: cols/values length mismatch"
+        );
+        let r = row as u32;
+        for (k, (&c, &v)) in cols.iter().zip(values).enumerate() {
+            // Duplicate columns in a row are legal (additive under
+            // matvec); the k-th duplicate mirrors to the k-th stored
+            // occurrence of `row` in transpose row `c`.
+            let dup = cols[..k].iter().filter(|&&p| p == c).count();
+            let lo = self.row_ptr[c as usize];
+            let hi = self.row_ptr[c as usize + 1];
+            let first = self.col_idx[lo..hi].partition_point(|&x| x < r);
+            let idx = lo + first + dup;
+            assert!(
+                idx < hi && self.col_idx[idx] == r,
+                "patch_transposed_row: entry ({row}, {c}) not stored"
+            );
+            self.values[idx] = v;
+        }
+    }
+
     /// Builds the submatrix of the given rows (in the given order),
     /// together with nothing else — column count is preserved.
     pub fn select_rows(&self, rows: &[usize]) -> CsrMatrix {
@@ -461,6 +524,68 @@ mod tests {
         for (s, p) in scatter.iter().zip(&par) {
             assert!((s - p).abs() < 1e-9, "{s} vs {p}");
         }
+    }
+
+    #[test]
+    fn set_row_values_overwrites_in_place() {
+        let mut a = small();
+        a.set_row_values(2, &[7.0, 8.0, 9.0]);
+        assert_eq!(a.row(2), (&[0u32, 1, 2][..], &[7.0, 8.0, 9.0][..]));
+        // Other rows untouched.
+        assert_eq!(a.row(0).1, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_row_values: row 1 stores 1 entries")]
+    fn set_row_values_rejects_pattern_changes() {
+        let mut a = small();
+        a.set_row_values(1, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn patched_transpose_is_bit_identical_to_fresh_transpose() {
+        let a = large(600, 40);
+        let mut patched = a.clone();
+        let mut at = a.transpose();
+        // Rewrite a scattered set of rows, patching the transpose after
+        // each, exactly like an incremental refit does.
+        for &r in &[0usize, 17, 17, 313, 599] {
+            let new_vals: Vec<f64> = a
+                .row(r)
+                .1
+                .iter()
+                .enumerate()
+                .map(|(k, v)| v * 1.5 + k as f64)
+                .collect();
+            patched.set_row_values(r, &new_vals);
+            let cols = patched.row(r).0.to_vec();
+            at.patch_transposed_row(r, &cols, &new_vals);
+        }
+        assert_eq!(at, patched.transpose());
+    }
+
+    #[test]
+    fn patched_transpose_handles_duplicate_columns() {
+        // Duplicate columns within a row mirror to consecutive transpose
+        // entries; patching must keep their original order.
+        let mut b = CsrBuilder::new(3);
+        b.push_row(&[(1, 1.0), (1, 2.0), (0, 3.0)]);
+        b.push_row(&[(1, 4.0)]);
+        let mut a = b.build();
+        let mut at = a.transpose();
+        a.set_row_values(0, &[10.0, 20.0, 30.0]);
+        at.patch_transposed_row(0, a.row(0).0, &[10.0, 20.0, 30.0]);
+        assert_eq!(at, a.transpose());
+        assert_eq!(at.row(1), (&[0u32, 0, 1][..], &[10.0, 20.0, 4.0][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not stored")]
+    fn patch_transposed_row_rejects_new_entries() {
+        let a = small();
+        let mut at = a.transpose();
+        // Row 1 of `small` has no column-0 entry.
+        at.patch_transposed_row(1, &[0], &[1.0]);
     }
 
     #[test]

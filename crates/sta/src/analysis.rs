@@ -60,6 +60,11 @@ pub struct Sta {
     arrival_early: Vec<f64>,
     required_late: Vec<f64>,
 
+    /// Cells re-evaluated by the forward pass of the most recent
+    /// incremental update (empty after a full update). See
+    /// [`Sta::last_touched`].
+    last_touched: Vec<CellId>,
+
     /// Update effort counters.
     pub stats: UpdateStats,
 }
@@ -95,6 +100,7 @@ impl Sta {
             arrival_late: vec![f64::NEG_INFINITY; n],
             arrival_early: vec![f64::INFINITY; n],
             required_late: vec![f64::INFINITY; n],
+            last_touched: Vec::new(),
             stats: UpdateStats::default(),
         };
         sta.full_update();
@@ -218,6 +224,24 @@ impl Sta {
     /// The chain of clock cells (source, buffers) feeding a flip-flop.
     pub fn clock_path(&self, ff: CellId) -> &[CellId] {
         &self.clock_path[ff.index()]
+    }
+
+    /// Every cell re-evaluated by the forward pass of the most recent
+    /// incremental update ([`Sta::resize_cell`]), sorted by cell index
+    /// and duplicate-free.
+    ///
+    /// Incremental propagation re-evaluates exactly the cells whose
+    /// cached timing quantities (delay, arrivals, clock arrivals) may
+    /// have moved; any cell *not* in this set kept its values to within
+    /// the propagation tolerance. Clients use this as the invalidation
+    /// set for caches derived from per-cell timing (e.g. the mGBA
+    /// fit-matrix rows). The set is replaced by the next incremental
+    /// update and cleared by a full update ([`Sta::full_update`],
+    /// [`Sta::set_weights`], [`Sta::clear_weights`]), after which *all*
+    /// cells must be considered touched — an empty result here is
+    /// meaningful only immediately after an incremental update.
+    pub fn last_touched(&self) -> &[CellId] {
+        &self.last_touched
     }
 
     // ------------------------------------------------------------------
@@ -347,6 +371,7 @@ impl Sta {
         self.weights.copy_from_slice(weights);
         self.propagate_arrivals_full();
         self.propagate_required_full();
+        self.last_touched.clear();
         self.stats.full_updates += 1;
     }
 
@@ -355,6 +380,7 @@ impl Sta {
         self.weights.fill(0.0);
         self.propagate_arrivals_full();
         self.propagate_required_full();
+        self.last_touched.clear();
         self.stats.full_updates += 1;
     }
 
@@ -642,6 +668,7 @@ impl Sta {
         self.compute_clock_paths();
         self.propagate_arrivals_full();
         self.propagate_required_full();
+        self.last_touched.clear();
         self.stats.full_updates += 1;
         obs::counter_add("sta.update.full", 1);
     }
@@ -736,6 +763,15 @@ impl Sta {
             "sta.update.cells_propagated",
             self.stats.cells_propagated - cells_before,
         );
+        // Publish the forward-pass invalidation set (see
+        // `Sta::last_touched`). The backward pass only rewrites required
+        // times, which no per-cell cache consumer reads. A cell can be
+        // popped more than once (a data-fanout edge can re-queue a
+        // flip-flop that already propagated with the clock cone), so
+        // canonicalize to a sorted, duplicate-free set.
+        touched.sort_unstable_by_key(|c| c.index());
+        touched.dedup();
+        self.last_touched = touched;
     }
 }
 
@@ -981,6 +1017,63 @@ mod tests {
             "incremental work {touched} should not dwarf the design ({design_size})"
         );
         assert_eq!(sta.stats.incremental_updates, 1);
+    }
+
+    #[test]
+    fn last_touched_covers_the_resize_cone_and_clears_on_full_update() {
+        let mut sta = engine(55, 1000.0);
+        assert!(
+            sta.last_touched().is_empty(),
+            "no incremental update has run yet"
+        );
+        let (victim, _) = sta
+            .netlist()
+            .cells()
+            .find(|(_, c)| {
+                c.role == CellRole::Combinational
+                    && sta.netlist().library().upsized(c.lib_cell).is_some()
+            })
+            .expect("resizable gate exists");
+        let up = sta
+            .netlist()
+            .library()
+            .upsized(sta.netlist().cell(victim).lib_cell)
+            .unwrap();
+
+        // Reference engine over the mutated netlist: any cell whose
+        // weight-independent timing quantities moved must be in the set.
+        let mut reference = Sta::new(
+            sta.netlist().clone(),
+            sta.sdc().clone(),
+            sta.derates().clone(),
+        )
+        .unwrap();
+        reference.resize_cell(victim, up).unwrap();
+        reference.full_update();
+
+        sta.resize_cell(victim, up).unwrap();
+        let touched = sta.last_touched().to_vec();
+        assert!(touched.contains(&victim), "the seed itself is touched");
+        // Canonical form: sorted by cell index, duplicate-free.
+        let idx: Vec<usize> = touched.iter().map(|c| c.index()).collect();
+        for w in idx.windows(2) {
+            assert!(w[0] < w[1], "touched not canonical: {idx:?}");
+        }
+        let same = |a: f64, b: f64| !changed(a, b);
+        for (id, _) in sta.netlist().cells() {
+            if touched.contains(&id) {
+                continue;
+            }
+            assert!(
+                same(sta.gate_delay(id), reference.gate_delay(id))
+                    && same(sta.clock_arrival_late(id), reference.clock_arrival_late(id)),
+                "untouched cell {id} must have kept its cached values"
+            );
+        }
+
+        // Weight installation invalidates the set (full repropagation).
+        sta.set_weights(&vec![0.0; sta.netlist().num_cells()]);
+        assert!(sta.last_touched().is_empty());
     }
 
     #[test]
