@@ -19,9 +19,14 @@
 //!   warm-started solve) recalibration timed against a cold full re-run.
 //!   The per-leg timings ride along as `wall_`-prefixed QoR keys, which
 //!   the comparator exempts from the drift gate; CI pins the speedup
-//!   floor with `--require-min warm_vs_cold:wall_speedup:1.0`.
+//!   floor with `--require-min warm_vs_cold:wall_speedup:1.0`;
+//! - `server_saturation`: concurrent pipelined read clients over TCP,
+//!   writer-lane funnel vs read-worker pool. The throughputs ride along
+//!   as `read_qps_`-prefixed QoR keys (also drift-gate-exempt); CI pins
+//!   `--require-min server_saturation:read_qps_scaling:1.0`.
 
 use bench::harness::{commit_sha, run_scenario, write_report, ScenarioResult};
+use bench::saturation::{self, SaturationSpec};
 use mgba::prelude::*;
 use server::{serve_stream, ServerConfig};
 use std::time::Instant;
@@ -62,6 +67,7 @@ fn stream_responses(script: &str) -> f64 {
     let config = ServerConfig {
         queue_depth: script.lines().count() + 1,
         default_deadline_ms: None,
+        read_workers: 0,
     };
     let out = serve_stream(&config, script.as_bytes(), Vec::<u8>::new()).expect("stream transport");
     let text = String::from_utf8(out).expect("utf8 responses");
@@ -176,6 +182,21 @@ fn warm_vs_cold() -> ScenarioResult {
     })
 }
 
+fn server_saturation() -> ScenarioResult {
+    run_scenario("server_saturation", || {
+        let spec = SaturationSpec::default();
+        let sat = saturation::run(&spec);
+        vec![
+            ("clients".into(), spec.clients as f64),
+            ("reads_per_client".into(), spec.reads_per_client as f64),
+            ("read_workers".into(), spec.read_workers as f64),
+            ("read_qps_single".into(), sat.read_qps_single),
+            ("read_qps_multi".into(), sat.read_qps_multi),
+            ("read_qps_scaling".into(), sat.read_qps_scaling),
+        ]
+    })
+}
+
 fn main() {
     let mut out_path = "BENCH_PR.json".to_owned();
     let mut args = std::env::args().skip(1);
@@ -196,6 +217,7 @@ fn main() {
         server_query_mix(),
         whatif_burst(),
         warm_vs_cold(),
+        server_saturation(),
     ];
     for s in &scenarios {
         println!(

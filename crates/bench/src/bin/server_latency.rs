@@ -1,25 +1,31 @@
 //! Records a machine-local snapshot of mgba-server throughput and
 //! per-command latency to `results/server_latency.json`.
 //!
-//! Two passes over the same workload (load → calibrate → a query/what-if
-//! mix), so the numbers separate protocol cost from transport cost:
+//! Three passes over the same workload (load → calibrate → a
+//! query/what-if mix), so the numbers separate protocol cost from
+//! transport cost from concurrency headroom:
 //!
 //! - **stream**: the in-process stdio engine (`serve_stream`) — parse +
 //!   dispatch + execute, no sockets;
-//! - **tcp**: a real localhost server with a pipelining client — adds
-//!   loopback, connection threads, and the bounded admission queue.
+//! - **tcp**: a real localhost server driven through the typed
+//!   [`server::client::Client`] — adds loopback, connection threads,
+//!   and the bounded admission queue;
+//! - **saturation**: [`bench::saturation`] — concurrent pipelined read
+//!   clients against the writer-lane funnel vs the read-worker pool,
+//!   yielding the `read_qps_scaling` figure the CI bench gate pins.
 //!
-//! Both passes size the queue to hold the entire pipelined script: this
-//! measures service latency, not backpressure (the rejection path has
-//! its own integration tests).
+//! The stream/tcp passes size the queue to hold the entire pipelined
+//! script: they measure service latency, not backpressure (the
+//! rejection path has its own integration tests).
 //!
 //! Per-command p50/p99 come from the server's own `stats` command (the
 //! same log₂ histograms `--profile=json` reports), spliced verbatim
 //! into the snapshot.
 
-use server::{serve_stream, Server, ServerConfig};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use bench::saturation::{self, SaturationSpec};
+use server::client::{Client, ClientConfig};
+use server::proto::Command;
+use server::{json, serve_stream, Server, ServerConfig};
 use std::time::Instant;
 
 /// The steady-state query mix, `reps` rounds after one load+calibrate.
@@ -49,17 +55,14 @@ fn workload(design: &str, reps: usize) -> String {
     script
 }
 
-/// Pulls the `"commands":{...}` object out of a `stats` response line.
+/// Pulls the per-session `result.commands` object out of a `stats`
+/// response line.
 fn commands_json(stats_line: &str) -> String {
-    let start = stats_line.find("\"commands\":").map(|i| i + 11);
-    let Some(start) = start else {
-        return "{}".into();
-    };
-    // The commands object runs to the closing brace of the result
-    // object: strip the trailing `}}` of `"result":{...}}`.
-    let tail = &stats_line[start..];
-    let end = tail.len().saturating_sub(2);
-    tail[..end].to_owned()
+    json::parse(stats_line)
+        .ok()
+        .and_then(|v| v.get("result").and_then(|r| r.get("commands")).cloned())
+        .map(|c| json::render(&c))
+        .unwrap_or_else(|| "{}".into())
 }
 
 struct Pass {
@@ -85,6 +88,7 @@ fn bench_config(script: &str) -> ServerConfig {
     ServerConfig {
         queue_depth: script.lines().count() + 1,
         default_deadline_ms: None,
+        read_workers: 0,
     }
 }
 
@@ -106,28 +110,26 @@ fn run_stream(script: &str) -> Pass {
 
 fn run_tcp(script: &str) -> Pass {
     let srv = Server::bind("127.0.0.1:0", bench_config(script)).expect("bind");
-    let addr = srv.local_addr().expect("addr");
+    let addr = srv.local_addr().expect("addr").to_string();
     let handle = std::thread::spawn(move || srv.run().expect("run"));
     let requests = script.lines().count();
 
     let t = Instant::now();
-    let stream = TcpStream::connect(addr).expect("connect");
-    let mut w = stream.try_clone().expect("clone");
-    w.write_all(script.as_bytes()).expect("send");
-    w.flush().expect("flush");
-    let responses: Vec<String> = BufReader::new(stream)
-        .lines()
-        .take(requests)
-        .map(|l| l.expect("response"))
+    let mut client = Client::connect(&addr, ClientConfig::default()).expect("connect");
+    // The script is pre-rendered (same bytes as the stream pass), so it
+    // rides the raw pipelining escape hatch of the typed client.
+    for line in script.lines() {
+        client.send_raw(line).expect("send");
+    }
+    let responses: Vec<String> = (0..requests)
+        .map(|_| client.recv_raw().expect("response"))
         .collect();
     let elapsed_ms = 1e3 * t.elapsed().as_secs_f64();
 
     let stats_line = responses.last().expect("stats response").clone();
-    let bye = TcpStream::connect(addr).expect("connect for shutdown");
-    let mut bw = bye.try_clone().expect("clone");
-    writeln!(bw, "{{\"cmd\":\"shutdown\"}}").expect("send shutdown");
-    bw.flush().expect("flush shutdown");
-    let _ = BufReader::new(bye).lines().next();
+    let mut bye = Client::connect(&addr, ClientConfig::default()).expect("connect for shutdown");
+    let resp = bye.call(&Command::Shutdown).expect("shutdown round trip");
+    assert!(resp.ok, "shutdown failed: {}", resp.raw);
     handle.join().expect("clean server exit");
 
     Pass {
@@ -136,15 +138,6 @@ fn run_tcp(script: &str) -> Pass {
         elapsed_ms,
         commands: commands_json(&stats_line),
     }
-}
-
-/// One strict request/response round trip.
-fn ask(w: &mut TcpStream, r: &mut impl BufRead, req: &str) -> String {
-    writeln!(w, "{req}").expect("send");
-    w.flush().expect("flush");
-    let mut line = String::new();
-    r.read_line(&mut line).expect("response");
-    line
 }
 
 /// Evaluates the same `n` resize candidates twice against a calibrated
@@ -156,56 +149,52 @@ fn run_batch_comparison(design: &str, n: usize) -> (f64, f64) {
     let config = ServerConfig {
         queue_depth: n + 8,
         default_deadline_ms: None,
+        read_workers: 0,
     };
     let srv = Server::bind("127.0.0.1:0", config).expect("bind");
-    let addr = srv.local_addr().expect("addr");
+    let addr = srv.local_addr().expect("addr").to_string();
     let handle = std::thread::spawn(move || srv.run().expect("run"));
 
-    let stream = TcpStream::connect(addr).expect("connect");
-    stream.set_nodelay(true).expect("nodelay");
-    let mut w = stream.try_clone().expect("clone");
-    let mut r = BufReader::new(stream);
-    ask(
-        &mut w,
-        &mut r,
-        &format!("{{\"cmd\":\"load\",\"design\":\"{design}\"}}"),
-    );
-    ask(
-        &mut w,
-        &mut r,
-        "{\"cmd\":\"calibrate\",\"solver\":\"scgrs\"}",
-    );
+    let mut client = Client::connect(&addr, ClientConfig::default()).expect("connect");
+    let loaded = client
+        .call(&Command::Load {
+            spec: design.into(),
+            period: None,
+        })
+        .expect("load");
+    assert!(loaded.ok, "load failed: {}", loaded.raw);
+    let calibrated = client
+        .call(&Command::Calibrate {
+            solver: Some("scgrs".into()),
+        })
+        .expect("calibrate");
+    assert!(calibrated.ok, "calibrate failed: {}", calibrated.raw);
 
     let cells: Vec<String> = (0..n).map(|i| format!("g_1_{}_0", i % 4)).collect();
     let t = Instant::now();
     for c in &cells {
-        let resp = ask(
-            &mut w,
-            &mut r,
-            &format!("{{\"cmd\":\"whatif_resize\",\"cell\":\"{c}\",\"to\":\"up\"}}"),
-        );
-        assert!(!resp.contains("\"error\""), "sequential what-if: {resp}");
+        let resp = client
+            .call(&Command::WhatIfResize {
+                cell: c.clone(),
+                to: "up".into(),
+            })
+            .expect("whatif round trip");
+        assert!(resp.ok, "sequential what-if: {}", resp.raw);
     }
     let sequential_ms = 1e3 * t.elapsed().as_secs_f64();
 
-    let candidates: Vec<String> = cells
-        .iter()
-        .map(|c| format!("{{\"cell\":\"{c}\",\"to\":\"up\"}}"))
-        .collect();
-    let batch_req = format!(
-        "{{\"cmd\":\"whatif_batch\",\"resizes\":[{}]}}",
-        candidates.join(",")
-    );
     let t = Instant::now();
-    let resp = ask(&mut w, &mut r, &batch_req);
+    let resp = client
+        .call(&Command::WhatIfBatch {
+            resizes: cells.iter().map(|c| (c.clone(), "up".to_owned())).collect(),
+            pba: false,
+        })
+        .expect("batch round trip");
     let batch_ms = 1e3 * t.elapsed().as_secs_f64();
-    assert!(!resp.contains("\"error\""), "batch what-if: {resp}");
+    assert!(resp.ok, "batch what-if: {}", resp.raw);
 
-    let bye = TcpStream::connect(addr).expect("connect for shutdown");
-    let mut bw = bye.try_clone().expect("clone");
-    writeln!(bw, "{{\"cmd\":\"shutdown\"}}").expect("send shutdown");
-    bw.flush().expect("flush shutdown");
-    let _ = BufReader::new(bye).lines().next();
+    let bye = client.call(&Command::Shutdown).expect("shutdown");
+    assert!(bye.ok, "shutdown failed: {}", bye.raw);
     handle.join().expect("clean server exit");
 
     (sequential_ms, batch_ms)
@@ -266,7 +255,47 @@ fn main() {
     );
     json.push_str(&format!(
         "  \"whatif_batch\": {{\"candidates\": {batch_n}, \"sequential_ms\": {sequential_ms:.3}, \
-         \"batch_ms\": {batch_ms:.3}, \"speedup\": {speedup:.2}}}\n"
+         \"batch_ms\": {batch_ms:.3}, \"speedup\": {speedup:.2}}},\n"
+    ));
+
+    let spec = SaturationSpec::default();
+    // The ≥1.0x floor is structural (published reads execute inline,
+    // skipping the lane handoff), but one measurement can still lose to
+    // scheduler noise on a loaded host — re-measure before declaring
+    // the fast path broken.
+    let mut sat = saturation::run(&spec);
+    for _ in 0..2 {
+        if sat.read_qps_scaling >= 1.0 {
+            break;
+        }
+        eprintln!(
+            "saturation scaling {:.2}x below floor; re-measuring",
+            sat.read_qps_scaling
+        );
+        sat = saturation::run(&spec);
+    }
+    println!(
+        "saturate {:>5} clients: funnel {:>8.1} q/s, pool({}) {:>8.1} q/s  ({:>5.2}x)",
+        spec.clients,
+        sat.read_qps_single,
+        spec.read_workers,
+        sat.read_qps_multi,
+        sat.read_qps_scaling
+    );
+    assert!(
+        sat.read_qps_scaling >= 1.0,
+        "read pool ({:.1} q/s) must not lose to the writer-lane funnel ({:.1} q/s)",
+        sat.read_qps_multi,
+        sat.read_qps_single
+    );
+    json.push_str(&format!(
+        "  \"saturation\": {{\"clients\": {}, \"read_workers\": {}, \
+         \"read_qps_single\": {:.1}, \"read_qps_multi\": {:.1}, \"read_qps_scaling\": {:.3}}}\n",
+        spec.clients,
+        spec.read_workers,
+        sat.read_qps_single,
+        sat.read_qps_multi,
+        sat.read_qps_scaling
     ));
     json.push_str("}\n");
 

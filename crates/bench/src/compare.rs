@@ -195,12 +195,13 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, th: &Thresholds) -
             }
         }
         for (key, base_val) in &base.qor {
-            // `wall_`-prefixed QoR keys are wall-clock-derived machine
-            // facts a scenario wants in its report (per-leg timings, the
-            // warm-vs-cold speedup). They are too noisy for the drift
+            // `wall_`- and `read_qps_`-prefixed QoR keys are
+            // wall-clock-derived machine facts a scenario wants in its
+            // report (per-leg timings, the warm-vs-cold speedup, the
+            // saturation throughputs). They are too noisy for the drift
             // gate; CI pins them with explicit `--require-min` floors
             // instead.
-            if key.starts_with("wall_") {
+            if key.starts_with("wall_") || key.starts_with("read_qps_") {
                 continue;
             }
             let Some((_, cur_val)) = cur.qor.iter().find(|(k, _)| k == key) else {
@@ -430,6 +431,26 @@ mod tests {
         let violations = compare(&base, &cur, &Thresholds::default());
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].metric, "iterations_warm");
+    }
+
+    #[test]
+    fn read_qps_prefixed_qor_keys_escape_the_drift_gate() {
+        // Saturation throughputs are machine facts: a big swing between
+        // runners must not trip the drift gate — the floor on the
+        // scaling ratio is enforced via `--require-min` instead.
+        let base = report(vec![scenario(
+            "server_saturation",
+            50.0,
+            80_000,
+            &[("read_qps_scaling", 2.0), ("clients", 4.0)],
+        )]);
+        let mut cur = base.clone();
+        cur.scenarios[0].qor[0].1 = 9.0;
+        assert!(compare(&base, &cur, &Thresholds::default()).is_empty());
+        cur.scenarios[0].qor[1].1 = 8.0;
+        let violations = compare(&base, &cur, &Thresholds::default());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "clients");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 pub mod compare;
 pub mod harness;
+pub mod saturation;
 
 use netlist::DesignSpec;
 use sta::{DerateSet, Sdc, Sta};

@@ -1,0 +1,161 @@
+//! Read-throughput saturation runner: proves the server's read/write
+//! snapshot split scales read-query throughput with the read-worker
+//! count.
+//!
+//! One trial spins up a TCP server, loads a design into one session,
+//! and then hammers it with `clients` concurrent pipelined connections
+//! issuing read-only queries (`wns`/`tns`/`slack`). The measurement is
+//! repeated with the read pool disabled (`read_workers = 0`, every read
+//! funnels through the session's writer lane) and enabled; the ratio of
+//! the two throughputs is the `read_qps_scaling` figure the CI bench
+//! gate pins with `--require-min server_saturation:read_qps_scaling:1.0`.
+//!
+//! Even on a single-core host the split mode must not lose: a pooled
+//! read whose write ticket is already published executes *inline* on
+//! the connection's reader thread — strictly fewer cross-thread
+//! handoffs than the lane funnel — so the ratio's floor is structural,
+//! not a parallelism bet. Each mode reports its best-of-`trials`
+//! throughput to shave scheduler noise.
+
+use server::client::{Client, ClientConfig};
+use server::proto::Command;
+use server::{Server, ServerConfig};
+use std::time::Instant;
+
+/// How many requests each client keeps in flight per pipeline window.
+const WINDOW: usize = 32;
+
+/// Tunables for one saturation measurement.
+#[derive(Debug, Clone)]
+pub struct SaturationSpec {
+    /// Design loaded into the measured session (e.g. `small:5`).
+    pub design: String,
+    /// Concurrent pipelined client connections.
+    pub clients: usize,
+    /// Read requests issued by each client per trial.
+    pub reads_per_client: usize,
+    /// Read-pool size of the "multi" mode (the "single" mode always
+    /// runs at 0 — the writer-lane funnel).
+    pub read_workers: usize,
+    /// Trials per mode; each mode reports its best throughput.
+    pub trials: usize,
+}
+
+impl Default for SaturationSpec {
+    fn default() -> Self {
+        Self {
+            design: "small:5".into(),
+            clients: 4,
+            reads_per_client: 150,
+            read_workers: 4,
+            trials: 3,
+        }
+    }
+}
+
+/// Throughputs of the two modes plus their ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationResult {
+    /// Best read throughput with every read funneled through the
+    /// writer lane (`read_workers = 0`), queries per second.
+    pub read_qps_single: f64,
+    /// Best read throughput with the read pool enabled.
+    pub read_qps_multi: f64,
+    /// `read_qps_multi / read_qps_single` — the scaling figure the CI
+    /// gate pins at ≥ 1.0.
+    pub read_qps_scaling: f64,
+}
+
+fn client_config(session: &str) -> ClientConfig {
+    ClientConfig {
+        session: session.into(),
+        ..ClientConfig::default()
+    }
+}
+
+/// The rotating read mix: cheap summaries plus a worst-endpoints scan.
+fn read_command(i: usize) -> Command {
+    match i % 3 {
+        0 => Command::Wns,
+        1 => Command::Tns,
+        _ => Command::Slack {
+            endpoint: None,
+            top: 10,
+        },
+    }
+}
+
+/// One trial: returns read queries per second over the measured span.
+fn trial_qps(spec: &SaturationSpec, read_workers: usize) -> f64 {
+    let srv = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            queue_depth: WINDOW * spec.clients + 8,
+            default_deadline_ms: None,
+            read_workers,
+        },
+    )
+    .expect("bind");
+    let addr = srv.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || srv.run().expect("serve"));
+
+    let mut setup = Client::connect(&addr, client_config("bench")).expect("connect");
+    let loaded = setup
+        .call(&Command::Load {
+            spec: spec.design.clone(),
+            period: None,
+        })
+        .expect("load round trip");
+    assert!(loaded.ok, "load failed: {}", loaded.raw);
+
+    let t = Instant::now();
+    let workers: Vec<_> = (0..spec.clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let reads = spec.reads_per_client;
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, client_config("bench")).expect("connect");
+                let mut done = 0usize;
+                while done < reads {
+                    let burst = WINDOW.min(reads - done);
+                    for i in 0..burst {
+                        c.send(&read_command(done + i), None).expect("send");
+                    }
+                    for _ in 0..burst {
+                        let resp = c.recv().expect("recv");
+                        assert!(resp.ok, "read failed: {}", resp.raw);
+                    }
+                    done += burst;
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+
+    let bye = setup.call(&Command::Shutdown).expect("shutdown");
+    assert!(bye.ok, "shutdown failed: {}", bye.raw);
+    server.join().expect("clean server exit");
+
+    (spec.clients * spec.reads_per_client) as f64 / elapsed.max(1e-9)
+}
+
+fn best_qps(spec: &SaturationSpec, read_workers: usize) -> f64 {
+    (0..spec.trials.max(1))
+        .map(|_| trial_qps(spec, read_workers))
+        .fold(0.0, f64::max)
+}
+
+/// Runs both modes and returns their best throughputs and the scaling
+/// ratio.
+pub fn run(spec: &SaturationSpec) -> SaturationResult {
+    let read_qps_single = best_qps(spec, 0);
+    let read_qps_multi = best_qps(spec, spec.read_workers);
+    SaturationResult {
+        read_qps_single,
+        read_qps_multi,
+        read_qps_scaling: read_qps_multi / read_qps_single.max(1e-9),
+    }
+}

@@ -11,8 +11,10 @@
 //! mgba-sta corners   <FILE> --period PS
 //! mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
 //! mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
+//!                    [--read-workers N]
 //! mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N]
-//!                    [--backoff-ms MS] [REQUEST...]
+//!                    [--backoff-ms MS] [--session NAME] [--proto 1|2]
+//!                    [REQUEST...]
 //! ```
 //!
 //! Every subcommand additionally accepts the global options:
@@ -87,12 +89,19 @@ usage:
   mgba-sta corners   <FILE> --period PS
   mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
   mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
+                     [--read-workers N]   (N read-pool threads serve
+                     read-only queries from lock-free session snapshots;
+                     0 = funnel everything through the writer lane)
   mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N] [--backoff-ms MS]
-                     [REQUEST...]   (reads stdin when no REQUEST;
+                     [--session NAME] [--proto 1|2] [REQUEST...]
+                     (reads stdin when no REQUEST;
                      a bare word like `wns` or `metrics` means {\"cmd\":\"...\"};
                      a bare `metrics` prints the raw Prometheus exposition;
-                     --timeout-ms bounds socket reads/writes, default 30000,
-                     0 disables; connect retries back off exponentially)
+                     --session addresses a named server session (default
+                     `default`); --proto 1 speaks the legacy sessionless
+                     protocol; --timeout-ms bounds socket reads/writes,
+                     default 30000, 0 disables; connect retries back off
+                     exponentially)
 
 global options:
   --threads N       worker threads for PBA retiming / fitting kernels
@@ -466,10 +475,18 @@ fn cmd_serve(args: &mut Args) -> Result<(), MgbaError> {
         ),
         None => None,
     };
+    let read_workers: usize = args.option("--read-workers")?.map_or(Ok(0), |n| {
+        n.parse().map_err(|_| {
+            MgbaError::Usage(format!(
+                "bad --read-workers `{n}` (want a non-negative integer)"
+            ))
+        })
+    })?;
     args.finish()?;
     let config = server::ServerConfig {
         queue_depth,
         default_deadline_ms,
+        read_workers,
     };
     if stdio {
         if listen.is_some() {
@@ -499,80 +516,64 @@ fn desugar_request(line: &str) -> String {
     }
 }
 
-/// Maps a socket error onto the wire-appropriate typed error: an
+/// Maps a typed-client I/O error onto the wire-appropriate error: an
 /// expired read/write timeout becomes [`MgbaError::Timeout`] (nonzero
 /// exit, distinguishable from connection refusal); everything else
-/// stays an I/O error.
-fn io_or_timeout(addr: &str, timeout_ms: u64, e: std::io::Error) -> MgbaError {
+/// passes through.
+fn io_or_timeout(addr: &str, timeout_ms: u64, e: MgbaError) -> MgbaError {
     use std::io::ErrorKind;
-    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
-        MgbaError::timeout(format!("waiting for {addr}"), timeout_ms)
-    } else {
-        MgbaError::io(addr, e)
+    match &e {
+        MgbaError::Io { source, .. }
+            if matches!(source.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+        {
+            MgbaError::timeout(format!("waiting for {addr}"), timeout_ms)
+        }
+        _ => e,
     }
 }
 
-/// Connects with up to `retries` additional attempts under exponential
-/// backoff — a daemon that is still binding its socket (or briefly
-/// drowning in a restart) answers on a later attempt instead of failing
-/// the whole batch.
-fn connect_with_retry(
-    addr: &str,
-    timeout_ms: u64,
-    retries: u32,
-    backoff_ms: u64,
-) -> Result<std::net::TcpStream, MgbaError> {
-    use std::net::{TcpStream, ToSocketAddrs as _};
-    use std::time::Duration;
-
-    let connect_once = || -> std::io::Result<TcpStream> {
-        if timeout_ms == 0 {
-            return TcpStream::connect(addr);
-        }
-        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
-        })?;
-        TcpStream::connect_timeout(&sock, Duration::from_millis(timeout_ms))
-    };
-    let mut delay = Duration::from_millis(backoff_ms.max(1));
-    let mut attempt = 0;
-    loop {
-        match connect_once() {
-            Ok(stream) => {
-                // Small JSON-line writes: without NODELAY every strict
-                // request/response exchange stalls on delayed ACKs.
-                let _ = stream.set_nodelay(true);
-                return Ok(stream);
-            }
-            Err(e) if attempt < retries => {
-                attempt += 1;
-                eprintln!(
-                    "connect to {addr} failed ({e}); retry {attempt}/{retries} in {} ms",
-                    delay.as_millis()
-                );
-                std::thread::sleep(delay);
-                delay *= 2;
-            }
-            Err(e) => return Err(io_or_timeout(addr, timeout_ms, e)),
-        }
+/// Stamps protocol v2 session addressing onto a request line: a JSON
+/// object that names neither `proto` nor `session` gains both. Lines
+/// that are not JSON objects (the server answers those with a parse
+/// error) and lines that address explicitly pass through untouched.
+fn address_request(line: &str, proto: u64, session: &str) -> String {
+    if proto < 2 {
+        return line.to_owned();
     }
+    let Ok(server::json::Value::Obj(mut m)) = server::json::parse(line) else {
+        return line.to_owned();
+    };
+    if m.contains_key("proto") || m.contains_key("session") {
+        return line.to_owned();
+    }
+    m.insert("proto".to_owned(), server::json::Value::Num(proto as f64));
+    m.insert(
+        "session".to_owned(),
+        server::json::Value::Str(session.to_owned()),
+    );
+    server::json::render(&server::json::Value::Obj(m))
 }
 
 /// Batch client for a running `serve` daemon: sends each REQUEST line
 /// (or, with none given, every non-blank stdin line), then prints the
-/// servers responses in order, one JSON object per line. Requests may
+/// server's responses in order, one JSON object per line. Requests may
 /// be bare command words ([`desugar_request`]); a bare `metrics`
 /// request prints its Prometheus exposition as raw text instead of the
 /// JSON envelope, so `mgba-sta query --connect HOST metrics` pipes
 /// straight into Prometheus tooling.
+///
+/// Speaks protocol v2 through [`server::client::Client`]: every request
+/// that does not address a session explicitly is stamped with
+/// `--session` (default `default`); `--proto 1` reverts to the legacy
+/// sessionless grammar (the server answers those `deprecated:true`).
 ///
 /// The socket carries read/write timeouts (`--timeout-ms`, default
 /// 30 000; 0 disables) so a wedged daemon surfaces as a typed timeout
 /// error with a nonzero exit instead of a hang; the initial connect
 /// retries with exponential backoff (`--retries`, `--backoff-ms`).
 fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
-    use std::io::{BufRead as _, BufReader, BufWriter};
-    use std::time::Duration;
+    use server::client::{Client, ClientConfig};
+    use std::io::BufRead as _;
 
     let connect: String = args.required_option("--connect")?;
     let timeout_ms: u64 = args.option("--timeout-ms")?.map_or(Ok(30_000), |t| {
@@ -587,6 +588,16 @@ fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
         b.parse()
             .map_err(|_| MgbaError::Usage(format!("bad --backoff-ms `{b}` (want milliseconds)")))
     })?;
+    let session: String = args
+        .option("--session")?
+        .unwrap_or_else(|| server::proto::DEFAULT_SESSION.to_owned());
+    server::proto::validate_session_name(&session)?;
+    let proto: u64 = args.option("--proto")?.map_or(Ok(2), |p| {
+        p.parse()
+            .ok()
+            .filter(|v| (1..=2).contains(v))
+            .ok_or_else(|| MgbaError::Usage(format!("bad --proto `{p}` (want 1 or 2)")))
+    })?;
     let mut raw_requests = Vec::new();
     while let Ok(r) = args.positional("request") {
         raw_requests.push(r);
@@ -600,30 +611,31 @@ fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
             }
         }
     }
-    let requests: Vec<String> = raw_requests.iter().map(|r| desugar_request(r)).collect();
-    let stream = connect_with_retry(&connect, timeout_ms, retries, backoff_ms)?;
-    let timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
-    stream
-        .set_read_timeout(timeout)
-        .and_then(|()| stream.set_write_timeout(timeout))
-        .map_err(|e| MgbaError::io(&connect, e))?;
-    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| MgbaError::io(&connect, e))?);
-    let reader = BufReader::new(stream);
+    let requests: Vec<String> = raw_requests
+        .iter()
+        .map(|r| address_request(&desugar_request(r), proto, &session))
+        .collect();
+    let mut client = Client::connect(
+        &connect,
+        ClientConfig {
+            timeout_ms,
+            connect_retries: retries,
+            backoff_ms,
+            proto,
+            session,
+        },
+    )
+    .map_err(|e| io_or_timeout(&connect, timeout_ms, e))?;
+    // Pipelined: all requests go out, then exactly one response line
+    // comes back per request, in admission order.
     for request in &requests {
-        writer
-            .write_all(request.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
+        client
+            .send_raw(request)
             .map_err(|e| io_or_timeout(&connect, timeout_ms, e))?;
     }
-    writer
-        .flush()
-        .map_err(|e| io_or_timeout(&connect, timeout_ms, e))?;
-    // The protocol answers every request line with exactly one response
-    // line, so read back precisely as many as were sent.
-    let mut lines = reader.lines();
     for raw in &raw_requests {
-        match lines.next() {
-            Some(Ok(response)) => {
+        match client.recv_raw() {
+            Ok(response) => {
                 if raw.trim() == "metrics" {
                     if let Some(exposition) = extract_exposition(&response) {
                         emit(&exposition)?;
@@ -633,12 +645,14 @@ fn cmd_query(args: &mut Args) -> Result<(), MgbaError> {
                 emit(&response)?;
                 emit("\n")?;
             }
-            Some(Err(e)) => return Err(io_or_timeout(&connect, timeout_ms, e)),
-            None => {
+            Err(MgbaError::Io { source, .. })
+                if source.kind() == std::io::ErrorKind::UnexpectedEof =>
+            {
                 return Err(MgbaError::Usage(
                     "server closed the connection before answering".into(),
                 ))
             }
+            Err(e) => return Err(io_or_timeout(&connect, timeout_ms, e)),
         }
     }
     Ok(())

@@ -128,6 +128,29 @@ impl PromWriter {
         self.sample(name, &[], value);
     }
 
+    /// Opens a gauge family (`# HELP`/`# TYPE` lines). Follow with one
+    /// [`sample_labels`](Self::sample_labels) per label set.
+    pub fn gauge_family(&mut self, name: &str, help: &str) {
+        self.header(name, help, "gauge");
+    }
+
+    /// Opens a counter family. Follow with
+    /// [`sample_labels`](Self::sample_labels); `name` must already carry
+    /// the `_total` suffix.
+    pub fn counter_family(&mut self, name: &str, help: &str) {
+        self.header(name, help, "counter");
+    }
+
+    /// Emits one labeled sample under an already-open family (e.g. a
+    /// `{session="a"}` gauge series).
+    pub fn sample_labels(&mut self, name: &str, label_set: &[(&str, &str)], value: f64) {
+        let labels: Vec<(&str, String)> = label_set
+            .iter()
+            .map(|(k, v)| (*k, (*v).to_owned()))
+            .collect();
+        self.sample(name, &labels, value);
+    }
+
     /// Opens a histogram family (`# HELP`/`# TYPE` lines). Follow with
     /// one [`histogram_series`](Self::histogram_series) per label value.
     pub fn histogram_family(&mut self, name: &str, help: &str) {
@@ -145,10 +168,24 @@ impl PromWriter {
         count: u64,
         sum: f64,
     ) {
-        let base: Vec<(&str, String)> = match label {
-            Some((k, v)) => vec![(k, v.to_owned())],
-            None => Vec::new(),
-        };
+        let labels: Vec<(&str, &str)> = label.into_iter().collect();
+        self.histogram_series_labels(name, &labels, buckets, count, sum);
+    }
+
+    /// [`histogram_series`](Self::histogram_series) with an arbitrary
+    /// label set (e.g. `{session="a",cmd="wns"}`), in the given order.
+    pub fn histogram_series_labels(
+        &mut self,
+        name: &str,
+        label_set: &[(&str, &str)],
+        buckets: &[(f64, u64)],
+        count: u64,
+        sum: f64,
+    ) {
+        let base: Vec<(&str, String)> = label_set
+            .iter()
+            .map(|(k, v)| (*k, (*v).to_owned()))
+            .collect();
         let bucket_name = format!("{name}_bucket");
         let mut cumulative = 0u64;
         for &(le, c) in buckets {
@@ -413,6 +450,22 @@ mod tests {
         assert_eq!(text.matches("# TYPE lat histogram").count(), 1);
         assert!(text.contains("lat_bucket{cmd=\"ping\",le=\"1.0\"} 1.0"));
         assert!(text.contains("lat_count{cmd=\"wns\"} 2.0"));
+    }
+
+    #[test]
+    fn labeled_gauge_and_counter_families() {
+        let mut w = PromWriter::new();
+        w.gauge_family("g", "per-session gauge");
+        w.sample_labels("g", &[("session", "a")], 1.5);
+        w.sample_labels("g", &[("session", "b")], -2.0);
+        w.counter_family("c_total", "per-session counter");
+        w.sample_labels("c_total", &[("session", "a")], 7.0);
+        let text = w.finish();
+        validate(&text).expect("conformant");
+        assert_eq!(text.matches("# TYPE g gauge").count(), 1);
+        assert!(text.contains("g{session=\"a\"} 1.5"));
+        assert!(text.contains("g{session=\"b\"} -2.0"));
+        assert!(text.contains("c_total{session=\"a\"} 7.0"));
     }
 
     #[test]

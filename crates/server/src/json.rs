@@ -96,6 +96,48 @@ pub fn parse(text: &str) -> Result<Value, String> {
     Ok(v)
 }
 
+/// Renders a [`Value`] back to compact JSON (object keys in sorted map
+/// order, same float dialect as [`obs::json::JsonWriter`]). Used by the
+/// CLI `query` client to re-emit a user-typed request line after
+/// injecting protocol-v2 addressing fields.
+pub fn render(v: &Value) -> String {
+    let mut w = obs::json::JsonWriter::new();
+    render_into(v, &mut w);
+    w.finish()
+}
+
+fn render_into(v: &Value, w: &mut obs::json::JsonWriter) {
+    match v {
+        Value::Null => w.null(),
+        Value::Bool(b) => w.bool(*b),
+        Value::Num(n) => {
+            // Integral numbers render without a fractional part so a
+            // round-tripped `"id":1` stays `1`, not `1.0`.
+            if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 {
+                w.u64(*n as u64);
+            } else {
+                w.f64(*n);
+            }
+        }
+        Value::Str(s) => w.str(s),
+        Value::Arr(items) => {
+            w.begin_arr();
+            for item in items {
+                render_into(item, w);
+            }
+            w.end_arr();
+        }
+        Value::Obj(map) => {
+            w.begin_obj();
+            for (k, val) in map {
+                w.key(k);
+                render_into(val, w);
+            }
+            w.end_obj();
+        }
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -337,6 +379,22 @@ mod tests {
             Value::Arr(a) => assert_eq!(a.len(), 2),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn render_round_trips_requests() {
+        for doc in [
+            r#"{"cmd":"ping","id":1}"#,
+            r#"{"cmd":"slack","deadline_ms":250,"top":3}"#,
+            r#"{"flags":[true,null,"a\nb"],"period":9.5}"#,
+        ] {
+            let v = parse(doc).unwrap();
+            let rendered = render(&v);
+            assert_eq!(parse(&rendered).unwrap(), v, "{doc} -> {rendered}");
+        }
+        // Keys come back in sorted order and integers stay integers.
+        let v = parse(r#"{"id":7,"cmd":"ping"}"#).unwrap();
+        assert_eq!(render(&v), r#"{"cmd":"ping","id":7}"#);
     }
 
     #[test]

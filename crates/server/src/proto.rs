@@ -1,19 +1,29 @@
-//! Wire protocol: JSON-lines requests and responses.
+//! Wire protocol: JSON-lines requests and responses, versions 1 and 2.
 //!
 //! One request per line, one response per line. Every request is an
 //! object with a `cmd` string, an optional numeric `id` (echoed back),
-//! and an optional `deadline_ms` admission deadline. Responses are
-//! `{"id":…,"ok":true,"result":{…}}` on success and
-//! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}` on failure.
+//! and an optional `deadline_ms` admission deadline. Protocol v2
+//! requests additionally carry `"proto":2` and an optional `"session"`
+//! name (default `"default"`); v1 requests (no `proto` field) route to
+//! the `"default"` session and their responses carry
+//! `"deprecated":true`, while v2 responses echo `"session"`. The
+//! `hello` command negotiates the protocol version and lists live
+//! sessions. The full grammar lives in `DESIGN.md` §13.
 //!
-//! Error kinds for [`mgba::MgbaError`] variants are `"parse"`,
+//! Responses are `{"id":…,"ok":true,…,"result":{…}}` on success and
+//! `{"id":…,"ok":false,…,"error":{"kind":…,"code":…,"message":…}}` on
+//! failure. `code` is the canonical v2 error enum; `kind` is its v1
+//! alias and always holds the same value.
+//!
+//! Error codes for [`mgba::MgbaError`] variants are `"parse"`,
 //! `"config"`, `"solver"`, `"io"`, `"usage"`, `"timeout"`, and
 //! `"internal"` (a request handler panicked; the session was restored
 //! from its last good state); the server layer adds `"overload"`
 //! (bounded queue full), `"deadline"` (admission deadline expired while
-//! queued), and `"shutdown"` (received while draining). Malformed JSON
-//! and unknown commands surface as `"usage"` — they are routed through
-//! [`MgbaError::Usage`] like any bad CLI invocation.
+//! queued), and `"shutdown"` (received while draining). Malformed JSON,
+//! unknown commands, and bad `proto`/`session` fields surface as
+//! `"usage"` — they are routed through [`MgbaError::Usage`] like any
+//! bad CLI invocation.
 //!
 //! Success envelopes carry a `"degraded":true` field **only** while the
 //! session is serving from a fault-recovered state without calibration
@@ -29,11 +39,72 @@ use obs::json::JsonWriter;
 /// the same way the `sleep` cap does.
 pub const MAX_WHATIF_BATCH: usize = 256;
 
+/// Lowest protocol version the server speaks (legacy sessionless).
+pub const PROTO_MIN: u64 = 1;
+
+/// Highest protocol version the server speaks (session addressing).
+pub const PROTO_MAX: u64 = 2;
+
+/// The session that v1 (sessionless) requests route to, and the v2
+/// default when `session` is omitted.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Longest accepted session name.
+pub const MAX_SESSION_NAME: usize = 64;
+
+/// How a response envelope is addressed — decided at parse time, echoed
+/// on every reply (success, error, or server-level reject) so clients
+/// can route concurrently multiplexed responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvMeta {
+    /// Client-chosen correlation id, echoed back (or `null`).
+    pub id: Option<u64>,
+    /// Negotiated addressing: 1 stamps `"deprecated":true`, 2 echoes
+    /// `"session"`, 0 means the line was too malformed to tell (neither
+    /// key is emitted).
+    pub proto: u64,
+    /// Target session, when addressing is known.
+    pub session: Option<String>,
+}
+
+impl EnvMeta {
+    /// Addressing for a line too malformed to classify.
+    pub fn unknown(id: Option<u64>) -> Self {
+        Self {
+            id,
+            proto: 0,
+            session: None,
+        }
+    }
+
+    /// v1 (sessionless, deprecated) addressing.
+    pub fn v1(id: Option<u64>) -> Self {
+        Self {
+            id,
+            proto: 1,
+            session: Some(DEFAULT_SESSION.to_owned()),
+        }
+    }
+
+    /// v2 addressing for `session`.
+    pub fn v2(id: Option<u64>, session: impl Into<String>) -> Self {
+        Self {
+            id,
+            proto: 2,
+            session: Some(session.into()),
+        }
+    }
+}
+
 /// One admission-controlled request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed into the response.
     pub id: Option<u64>,
+    /// Protocol version the client spoke (1 or 2 after parsing).
+    pub proto: u64,
+    /// Target session name (always resolved; `"default"` for v1).
+    pub session: String,
     /// The decoded command.
     pub cmd: Command,
     /// Admission deadline: if the request waits in the queue longer
@@ -41,9 +112,56 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
 }
 
+impl Request {
+    /// Envelope addressing for this request's responses.
+    pub fn meta(&self) -> EnvMeta {
+        EnvMeta {
+            id: self.id,
+            proto: self.proto,
+            session: Some(self.session.clone()),
+        }
+    }
+}
+
+/// Checks a client-chosen session name: 1–[`MAX_SESSION_NAME`] chars
+/// from `[A-Za-z0-9._-]`.
+///
+/// # Errors
+///
+/// Returns [`MgbaError::Usage`] describing the violation.
+pub fn validate_session_name(name: &str) -> Result<(), MgbaError> {
+    if name.is_empty() {
+        return Err(usage("`session` must not be empty"));
+    }
+    if name.len() > MAX_SESSION_NAME {
+        return Err(usage(format!(
+            "`session` is {} chars (max {MAX_SESSION_NAME})",
+            name.len()
+        )));
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(usage(format!(
+            "`session` contains `{c}` (allowed: letters, digits, `.`, `_`, `-`)"
+        )));
+    }
+    Ok(())
+}
+
 /// Every operation the daemon serves.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
+    /// Protocol negotiation: reports the server's supported version
+    /// range, the version granted to this client (min of the client's
+    /// `max_proto` and [`PROTO_MAX`]), and the live session names.
+    /// Answered inline at admission — it never queues behind a lane.
+    Hello {
+        /// Highest protocol version the client speaks (default
+        /// [`PROTO_MAX`]).
+        max_proto: Option<u64>,
+    },
     /// Liveness probe.
     Ping,
     /// Load a design (generator spec or netlist file) and build the
@@ -161,6 +279,7 @@ impl Command {
     /// Stable command name (used for spans, metrics, and `stats`).
     pub fn name(&self) -> &'static str {
         match self {
+            Command::Hello { .. } => "hello",
             Command::Ping => "ping",
             Command::Load { .. } => "load",
             Command::Calibrate { .. } => "calibrate",
@@ -180,6 +299,21 @@ impl Command {
             Command::Sleep { .. } => "sleep",
             Command::Shutdown => "shutdown",
         }
+    }
+
+    /// True for commands that only read the published snapshot (never
+    /// mutate session state) and are eligible for the lock-free read
+    /// pool when one is configured. Everything else funnels through the
+    /// session's writer lane.
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            Command::Ping
+                | Command::Slack { .. }
+                | Command::Wns
+                | Command::Tns
+                | Command::PathQuery { .. }
+        )
     }
 }
 
@@ -226,27 +360,79 @@ fn opt_bool(v: &Value, key: &str) -> Result<bool, MgbaError> {
     }
 }
 
-/// Parses one request line. On failure the request `id` is still
-/// recovered when the line was an object with a numeric `id`, so the
-/// error response can be correlated.
+/// Parses one request line, including the v2 addressing fields. On
+/// failure as much addressing as was recoverable (id, proto, session)
+/// comes back in the [`EnvMeta`] so the error response can still be
+/// correlated and routed.
 ///
 /// # Errors
 ///
-/// Returns `(recovered id, MgbaError)` for malformed JSON, a missing or
-/// unknown `cmd`, or bad argument types.
-pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, MgbaError)> {
-    let v = json::parse(line).map_err(|e| (None, usage(format!("malformed request: {e}"))))?;
+/// Returns `(recovered addressing, MgbaError)` for malformed JSON, bad
+/// `proto`/`session` fields, a missing or unknown `cmd`, or bad
+/// argument types.
+pub fn parse_request(line: &str) -> Result<Request, (EnvMeta, MgbaError)> {
+    let v = json::parse(line).map_err(|e| {
+        (
+            EnvMeta::unknown(None),
+            usage(format!("malformed request: {e}")),
+        )
+    })?;
     let id = v.get("id").and_then(Value::as_u64);
-    parse_request_value(&v, id).map_err(|e| (id, e))
+    if !matches!(v, Value::Obj(_)) {
+        return Err((EnvMeta::unknown(id), usage("request must be a JSON object")));
+    }
+    // Addressing first: proto (absent ⇒ 1), then session (v2 only).
+    let proto = match opt_u64(&v, "proto") {
+        Ok(p) => p.unwrap_or(PROTO_MIN),
+        Err(e) => return Err((EnvMeta::unknown(id), e)),
+    };
+    if !(PROTO_MIN..=PROTO_MAX).contains(&proto) {
+        return Err((
+            EnvMeta::unknown(id),
+            usage(format!(
+                "unsupported `proto` {proto} (server speaks {PROTO_MIN}..={PROTO_MAX})"
+            )),
+        ));
+    }
+    let session = match opt_str(&v, "session") {
+        Ok(s) => s,
+        Err(e) => return Err((EnvMeta::unknown(id), e)),
+    };
+    let session = match (proto, session) {
+        (1, Some(_)) => {
+            return Err((
+                EnvMeta::v1(id),
+                usage("`session` requires `\"proto\":2` (v1 requests are sessionless)"),
+            ))
+        }
+        (_, Some(name)) => {
+            if let Err(e) = validate_session_name(&name) {
+                return Err((EnvMeta::unknown(id), e));
+            }
+            name
+        }
+        (_, None) => DEFAULT_SESSION.to_owned(),
+    };
+    let meta = EnvMeta {
+        id,
+        proto,
+        session: Some(session.clone()),
+    };
+    parse_request_value(&v, id, proto, session).map_err(|e| (meta, e))
 }
 
-fn parse_request_value(v: &Value, id: Option<u64>) -> Result<Request, MgbaError> {
-    if !matches!(v, Value::Obj(_)) {
-        return Err(usage("request must be a JSON object"));
-    }
+fn parse_request_value(
+    v: &Value,
+    id: Option<u64>,
+    proto: u64,
+    session: String,
+) -> Result<Request, MgbaError> {
     let cmd_name = req_str(v, "cmd")?;
     let deadline_ms = opt_u64(v, "deadline_ms")?;
     let cmd = match cmd_name.as_str() {
+        "hello" => Command::Hello {
+            max_proto: opt_u64(v, "max_proto")?,
+        },
         "ping" => Command::Ping,
         "load" => {
             let spec = opt_str(v, "design")?
@@ -333,6 +519,8 @@ fn parse_request_value(v: &Value, id: Option<u64>) -> Result<Request, MgbaError>
     };
     Ok(Request {
         id,
+        proto,
+        session,
         cmd,
         deadline_ms,
     })
@@ -359,16 +547,33 @@ fn id_field(w: &mut JsonWriter, id: Option<u64>) {
     }
 }
 
+/// Emits the addressing keys that follow `ok`: `"deprecated":true` for
+/// v1, `"session":…` for v2, neither when addressing is unknown.
+fn addressing_fields(w: &mut JsonWriter, meta: &EnvMeta) {
+    match meta.proto {
+        1 => {
+            w.key("deprecated");
+            w.bool(true);
+        }
+        2 => {
+            w.key("session");
+            w.str(meta.session.as_deref().unwrap_or(DEFAULT_SESSION));
+        }
+        _ => {}
+    }
+}
+
 /// Renders a success envelope around a pre-rendered `result` object.
 ///
 /// `degraded` adds `"degraded":true` — only when set, so healthy
 /// response bytes are identical to builds that predate the field.
-pub fn ok_envelope(id: Option<u64>, degraded: bool, result_json: &str) -> String {
+pub fn ok_envelope(meta: &EnvMeta, degraded: bool, result_json: &str) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    id_field(&mut w, id);
+    id_field(&mut w, meta.id);
     w.key("ok");
     w.bool(true);
+    addressing_fields(&mut w, meta);
     if degraded {
         w.key("degraded");
         w.bool(true);
@@ -379,17 +584,21 @@ pub fn ok_envelope(id: Option<u64>, degraded: bool, result_json: &str) -> String
     w.finish()
 }
 
-/// Renders an error envelope with an explicit kind.
-pub fn error_envelope(id: Option<u64>, kind: &str, message: &str) -> String {
+/// Renders an error envelope with an explicit code. `kind` (the v1
+/// name) and `code` (the v2 name) always carry the same value.
+pub fn error_envelope(meta: &EnvMeta, code: &str, message: &str) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    id_field(&mut w, id);
+    id_field(&mut w, meta.id);
     w.key("ok");
     w.bool(false);
+    addressing_fields(&mut w, meta);
     w.key("error");
     w.begin_obj();
     w.key("kind");
-    w.str(kind);
+    w.str(code);
+    w.key("code");
+    w.str(code);
     w.key("message");
     w.str(message);
     w.end_obj();
@@ -398,8 +607,144 @@ pub fn error_envelope(id: Option<u64>, kind: &str, message: &str) -> String {
 }
 
 /// Renders the error envelope for an [`MgbaError`].
-pub fn mgba_error_envelope(id: Option<u64>, e: &MgbaError) -> String {
-    error_envelope(id, error_kind(e), &e.to_string())
+pub fn mgba_error_envelope(meta: &EnvMeta, e: &MgbaError) -> String {
+    error_envelope(meta, error_kind(e), &e.to_string())
+}
+
+/// Serializes one request line — the inverse of [`parse_request`], used
+/// by the typed client (`crate::client`) and the bench harness so no
+/// caller hand-assembles JSON. `proto` 1 emits a legacy sessionless
+/// line; `proto` 2 emits `"proto":2` plus `"session"` when given.
+pub fn render_request(
+    id: Option<u64>,
+    proto: u64,
+    session: Option<&str>,
+    cmd: &Command,
+    deadline_ms: Option<u64>,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    if let Some(i) = id {
+        w.key("id");
+        w.u64(i);
+    }
+    if proto >= 2 {
+        w.key("proto");
+        w.u64(proto);
+        if let Some(s) = session {
+            w.key("session");
+            w.str(s);
+        }
+    }
+    w.key("cmd");
+    w.str(cmd.name());
+    if let Some(d) = deadline_ms {
+        w.key("deadline_ms");
+        w.u64(d);
+    }
+    match cmd {
+        Command::Hello { max_proto } => {
+            if let Some(p) = max_proto {
+                w.key("max_proto");
+                w.u64(*p);
+            }
+        }
+        Command::Ping
+        | Command::Wns
+        | Command::Tns
+        | Command::Stats
+        | Command::Metrics
+        | Command::Shutdown => {}
+        Command::Load { spec, period } => {
+            w.key("design");
+            w.str(spec);
+            if let Some(p) = period {
+                w.key("period");
+                w.f64(*p);
+            }
+        }
+        Command::Calibrate { solver } => {
+            if let Some(s) = solver {
+                w.key("solver");
+                w.str(s);
+            }
+        }
+        Command::Slack { endpoint, top } => {
+            if let Some(e) = endpoint {
+                w.key("endpoint");
+                w.str(e);
+            }
+            w.key("top");
+            w.u64(*top as u64);
+        }
+        Command::PathQuery { endpoint, pba } => {
+            if let Some(e) = endpoint {
+                w.key("endpoint");
+                w.str(e);
+            }
+            if *pba {
+                w.key("pba");
+                w.bool(true);
+            }
+        }
+        Command::WhatIfResize { cell, to } => {
+            w.key("cell");
+            w.str(cell);
+            w.key("to");
+            w.str(to);
+        }
+        Command::Commit { cell, to, full } => {
+            w.key("cell");
+            w.str(cell);
+            w.key("to");
+            w.str(to);
+            if *full {
+                w.key("full");
+                w.bool(true);
+            }
+        }
+        Command::Recalibrate { solver, full } => {
+            if let Some(s) = solver {
+                w.key("solver");
+                w.str(s);
+            }
+            if *full {
+                w.key("full");
+                w.bool(true);
+            }
+        }
+        Command::WhatIfBatch { resizes, pba } => {
+            w.key("resizes");
+            w.begin_arr();
+            for (cell, to) in resizes {
+                w.begin_obj();
+                w.key("cell");
+                w.str(cell);
+                w.key("to");
+                w.str(to);
+                w.end_obj();
+            }
+            w.end_arr();
+            if *pba {
+                w.key("pba");
+                w.bool(true);
+            }
+        }
+        Command::Snapshot { file } | Command::Restore { file } => {
+            w.key("file");
+            w.str(file);
+        }
+        Command::Failpoint { spec } => {
+            w.key("spec");
+            w.str(spec);
+        }
+        Command::Sleep { ms } => {
+            w.key("ms");
+            w.u64(*ms);
+        }
+    }
+    w.end_obj();
+    w.finish()
 }
 
 #[cfg(test)]
@@ -409,6 +754,8 @@ mod tests {
     #[test]
     fn parses_every_command() {
         let cases: &[(&str, &str)] = &[
+            (r#"{"cmd":"hello"}"#, "hello"),
+            (r#"{"cmd":"hello","max_proto":2}"#, "hello"),
             (r#"{"cmd":"ping"}"#, "ping"),
             (r#"{"cmd":"load","design":"small:7","period":900}"#, "load"),
             (r#"{"cmd":"load","file":"d.nl"}"#, "load"),
@@ -457,11 +804,106 @@ mod tests {
         let r = parse_request(r#"{"id":42,"cmd":"ping","deadline_ms":5}"#).unwrap();
         assert_eq!(r.id, Some(42));
         assert_eq!(r.deadline_ms, Some(5));
+        assert_eq!(r.proto, 1);
+        assert_eq!(r.session, DEFAULT_SESSION);
 
-        // Unknown command: the id still comes back for correlation.
-        let (id, e) = parse_request(r#"{"id":7,"cmd":"nope"}"#).unwrap_err();
-        assert_eq!(id, Some(7));
+        // Unknown command: the addressing still comes back for
+        // correlation and routing.
+        let (meta, e) = parse_request(r#"{"id":7,"cmd":"nope"}"#).unwrap_err();
+        assert_eq!(meta.id, Some(7));
+        assert_eq!(meta.proto, 1);
         assert!(matches!(e, MgbaError::Usage(_)));
+    }
+
+    #[test]
+    fn proto_and_session_addressing() {
+        // v2 with an explicit session.
+        let r = parse_request(r#"{"id":1,"proto":2,"session":"opt-a","cmd":"wns"}"#).unwrap();
+        assert_eq!(r.proto, 2);
+        assert_eq!(r.session, "opt-a");
+        assert_eq!(r.meta(), EnvMeta::v2(Some(1), "opt-a"));
+        // v2 without a session defaults to "default".
+        let r = parse_request(r#"{"proto":2,"cmd":"ping"}"#).unwrap();
+        assert_eq!(r.session, DEFAULT_SESSION);
+        // v1 must not name a session.
+        let (meta, e) = parse_request(r#"{"id":3,"session":"a","cmd":"ping"}"#).unwrap_err();
+        assert_eq!(meta, EnvMeta::v1(Some(3)));
+        assert!(e.to_string().contains("proto"), "{e}");
+        // Unsupported version.
+        let (meta, e) = parse_request(r#"{"proto":3,"cmd":"ping"}"#).unwrap_err();
+        assert_eq!(meta.proto, 0);
+        assert!(e.to_string().contains("unsupported"), "{e}");
+        // Bad session names.
+        for bad in [
+            r#"{"proto":2,"session":"","cmd":"ping"}"#,
+            r#"{"proto":2,"session":"a b","cmd":"ping"}"#,
+            r#"{"proto":2,"session":"a/b","cmd":"ping"}"#,
+        ] {
+            let (_, e) = parse_request(bad).unwrap_err();
+            assert!(matches!(e, MgbaError::Usage(_)), "`{bad}`: {e}");
+        }
+        let long = "x".repeat(MAX_SESSION_NAME + 1);
+        let (_, e) = parse_request(&format!(r#"{{"proto":2,"session":"{long}","cmd":"ping"}}"#))
+            .unwrap_err();
+        assert!(e.to_string().contains("max 64"), "{e}");
+        assert!(validate_session_name(&"y".repeat(MAX_SESSION_NAME)).is_ok());
+    }
+
+    #[test]
+    fn render_request_round_trips() {
+        let cases: Vec<(Option<u64>, u64, Option<&str>, Command)> = vec![
+            (Some(1), 2, Some("opt-a"), Command::Ping),
+            (None, 1, None, Command::Wns),
+            (Some(2), 2, None, Command::Hello { max_proto: Some(2) }),
+            (
+                Some(3),
+                2,
+                Some("s1"),
+                Command::Load {
+                    spec: "small:7".into(),
+                    period: Some(900.0),
+                },
+            ),
+            (
+                Some(4),
+                2,
+                Some("s1"),
+                Command::Slack {
+                    endpoint: None,
+                    top: 10,
+                },
+            ),
+            (
+                Some(5),
+                2,
+                Some("s1"),
+                Command::WhatIfBatch {
+                    resizes: vec![("g1".into(), "up".into()), ("g2".into(), "down".into())],
+                    pba: true,
+                },
+            ),
+            (
+                Some(6),
+                1,
+                None,
+                Command::Commit {
+                    cell: "g1".into(),
+                    to: "up".into(),
+                    full: true,
+                },
+            ),
+        ];
+        for (id, proto, session, cmd) in cases {
+            let line = render_request(id, proto, session, &cmd, Some(250));
+            let r = parse_request(&line).unwrap_or_else(|(_, e)| panic!("{line}: {e}"));
+            assert_eq!(r.id, id, "{line}");
+            assert_eq!(r.proto, proto, "{line}");
+            assert_eq!(r.cmd, cmd, "{line}");
+            assert_eq!(r.deadline_ms, Some(250), "{line}");
+            if let Some(s) = session {
+                assert_eq!(r.session, s, "{line}");
+            }
+        }
     }
 
     #[test]
@@ -481,26 +923,40 @@ mod tests {
 
     #[test]
     fn envelopes_are_well_formed() {
+        // v1 envelopes flag deprecation on every reply.
         assert_eq!(
-            ok_envelope(Some(1), false, r#"{"pong":true}"#),
-            r#"{"id":1,"ok":true,"result":{"pong":true}}"#
+            ok_envelope(&EnvMeta::v1(Some(1)), false, r#"{"pong":true}"#),
+            r#"{"id":1,"ok":true,"deprecated":true,"result":{"pong":true}}"#
         );
         // Degraded mode is an explicit extra field; healthy envelopes
         // must not carry it at all (byte-identity across runs).
         assert_eq!(
-            ok_envelope(Some(1), true, r#"{"pong":true}"#),
-            r#"{"id":1,"ok":true,"degraded":true,"result":{"pong":true}}"#
+            ok_envelope(&EnvMeta::v1(Some(1)), true, r#"{"pong":true}"#),
+            r#"{"id":1,"ok":true,"deprecated":true,"degraded":true,"result":{"pong":true}}"#
+        );
+        // v2 envelopes echo the session instead.
+        assert_eq!(
+            ok_envelope(&EnvMeta::v2(Some(1), "opt-a"), false, r#"{"pong":true}"#),
+            r#"{"id":1,"ok":true,"session":"opt-a","result":{"pong":true}}"#
+        );
+        // Errors carry both the legacy `kind` and the canonical `code`.
+        assert_eq!(
+            error_envelope(&EnvMeta::unknown(None), "overload", "queue full"),
+            r#"{"id":null,"ok":false,"error":{"kind":"overload","code":"overload","message":"queue full"}}"#
         );
         assert_eq!(
-            error_envelope(None, "overload", "queue full"),
-            r#"{"id":null,"ok":false,"error":{"kind":"overload","message":"queue full"}}"#
+            error_envelope(&EnvMeta::v2(Some(9), "s"), "deadline", "expired"),
+            r#"{"id":9,"ok":false,"session":"s","error":{"kind":"deadline","code":"deadline","message":"expired"}}"#
         );
         let e = MgbaError::Usage("bad".into());
-        assert!(mgba_error_envelope(Some(2), &e).contains(r#""kind":"usage""#));
+        let env = mgba_error_envelope(&EnvMeta::v1(Some(2)), &e);
+        assert!(env.contains(r#""kind":"usage""#), "{env}");
+        assert!(env.contains(r#""code":"usage""#), "{env}");
+        assert!(env.contains(r#""deprecated":true"#), "{env}");
         let e = MgbaError::timeout("connect", 250);
-        assert!(mgba_error_envelope(None, &e).contains(r#""kind":"timeout""#));
+        assert!(mgba_error_envelope(&EnvMeta::unknown(None), &e).contains(r#""code":"timeout""#));
         let e = MgbaError::Internal("handler panicked".into());
-        assert!(mgba_error_envelope(None, &e).contains(r#""kind":"internal""#));
+        assert!(mgba_error_envelope(&EnvMeta::unknown(None), &e).contains(r#""code":"internal""#));
     }
 
     #[test]

@@ -1,0 +1,1240 @@
+//! The session registry: named concurrent sessions with a read/write
+//! split.
+//!
+//! # Sharding model
+//!
+//! Every session (protocol v2 `session` field; v1 requests map to
+//! `"default"`) owns exactly one **writer lane** — a thread that holds
+//! the session's [`Session`] state and executes mutating commands
+//! strictly in admission order. After every successful state-changing
+//! command the lane clones the immutable post-command engine into a
+//! [`ReadSnapshot`] behind an [`Arc`] and publishes it on the session's
+//! [`SessionHandle`].
+//!
+//! Read-only queries (`ping`/`slack`/`wns`/`tns`/`path`) never touch the
+//! lane when the read pool is enabled: they execute against the
+//! published snapshot, either inline on the connection's reader thread
+//! (when the snapshot is already current) or on one of N shared read
+//! workers. With `read_workers = 0` (the default) every command funnels
+//! through the writer lane — byte-for-byte the legacy single-worker
+//! behavior.
+//!
+//! # Determinism: write tickets
+//!
+//! Responses within a session must be identical no matter how many read
+//! workers serve them. The mechanism is a *write ticket*: every lane job
+//! gets the next ticket number at admission, and the lane bumps the
+//! session's `published` watermark after every job (success, error, or
+//! deadline reject alike). A read admitted after W writes captures
+//! ticket W and waits until `published >= W` before executing, so it
+//! always observes exactly the state produced by every write admitted
+//! before it — admission order, reconstructed without serializing reads
+//! behind each other.
+//!
+//! Tickets are committed only when the lane queue accepts the job; a
+//! full-queue rejection rolls the ticket back so readers never wait on
+//! work that was never admitted.
+
+use crate::proto::{self, Command, EnvMeta};
+use crate::session::{self, ServerInfo, Session};
+use crate::stats::{CommandStats, LatencyHist};
+use mgba::MgbaError;
+use obs::json::JsonWriter;
+use sta::Sta;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Hard cap on concurrently resident sessions: each one costs a lane
+/// thread plus a resident engine clone, so runaway session creation is
+/// a usage error, not an OOM.
+pub const MAX_SESSIONS: usize = 64;
+
+/// How often an idle lane re-checks the shutdown flag.
+const LANE_POLL: Duration = Duration::from_millis(25);
+
+/// How long a lane keeps draining after shutdown before exiting. Covers
+/// the race where an admission passed the shutting-down check just
+/// before the flag was set.
+const DRAIN_GRACE: Duration = Duration::from_millis(50);
+
+/// Counters shared between connection readers, lanes, read workers, and
+/// the accept loop.
+pub(crate) struct Shared {
+    pub shutting_down: AtomicBool,
+    pub served: AtomicU64,
+    pub rejected_overload: AtomicU64,
+    pub rejected_deadline: AtomicU64,
+    pub panicked: AtomicU64,
+    /// Reads admitted to the pool but not yet picked up; bounded by
+    /// [`Shared::read_backlog_cap`].
+    pub pending_reads: AtomicUsize,
+    pub queue_depth: usize,
+    pub read_workers: usize,
+}
+
+impl Shared {
+    pub fn new(queue_depth: usize, read_workers: usize) -> Self {
+        Self {
+            shutting_down: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            pending_reads: AtomicUsize::new(0),
+            queue_depth,
+            read_workers,
+        }
+    }
+
+    /// Max pool-queued reads before admission answers `overload`. Reads
+    /// are cheap and lock-free, so the backlog runs deeper than the
+    /// per-session write queue.
+    pub fn read_backlog_cap(&self) -> usize {
+        self.queue_depth.saturating_mul(8).max(64)
+    }
+
+    pub fn info(&self) -> ServerInfo {
+        ServerInfo {
+            queue_depth: self.queue_depth,
+            read_workers: self.read_workers,
+            served: self.served.load(Ordering::SeqCst),
+            rejected_overload: self.rejected_overload.load(Ordering::SeqCst),
+            rejected_deadline: self.rejected_deadline.load(Ordering::SeqCst),
+            panics: self.panicked.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// The immutable post-command state a session publishes for lock-free
+/// reads: an engine clone plus the envelope/gauge flags the read path
+/// needs.
+pub struct ReadSnapshot {
+    /// Cloned timing engine; queries against it are byte-identical to
+    /// queries against the live lane engine it was cloned from.
+    pub sta: Sta,
+    /// The session's degraded flag at publish time.
+    pub degraded: bool,
+    /// Whether mGBA weights were fitted at publish time.
+    pub calibrated: bool,
+}
+
+/// One admitted writer-lane job.
+pub(crate) struct LaneJob {
+    pub meta: EnvMeta,
+    pub cmd: Command,
+    pub deadline_ms: Option<u64>,
+    /// This job's write ticket; the lane publishes it when done.
+    pub ticket: u64,
+    pub reply: mpsc::Sender<String>,
+    pub enqueued: Instant,
+}
+
+/// One read query waiting for (or already holding) its snapshot.
+pub(crate) struct ReadJob {
+    pub meta: EnvMeta,
+    pub cmd: Command,
+    pub deadline_ms: Option<u64>,
+    /// The write ticket this read must observe before executing.
+    pub ticket: u64,
+    pub handle: Arc<SessionHandle>,
+    pub reply: mpsc::Sender<String>,
+    pub enqueued: Instant,
+}
+
+/// The always-shared face of one session: ticket counters, the
+/// published snapshot, and latency accounting. The mutable engine state
+/// lives on the lane thread ([`Session`]); this handle is what readers,
+/// admission, and the metrics renderers touch.
+pub struct SessionHandle {
+    name: String,
+    /// Highest committed write ticket (assigned at admission).
+    tickets: AtomicU64,
+    /// Serializes ticket assignment + queue admission so ticket order
+    /// equals queue order.
+    admit: Mutex<()>,
+    /// Highest ticket whose lane job has completed.
+    published: Mutex<u64>,
+    published_cv: Condvar,
+    snapshot: RwLock<Option<Arc<ReadSnapshot>>>,
+    /// Per-session per-command latency histograms (lane and read workers
+    /// both record here).
+    pub(crate) latency: Mutex<CommandStats>,
+    /// Histogram of `whatif_batch` candidate counts (unit: candidates).
+    pub(crate) whatif_sizes: Mutex<LatencyHist>,
+}
+
+impl SessionHandle {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            tickets: AtomicU64::new(0),
+            admit: Mutex::new(()),
+            published: Mutex::new(0),
+            published_cv: Condvar::new(),
+            snapshot: RwLock::new(None),
+            latency: Mutex::new(CommandStats::default()),
+            whatif_sizes: Mutex::new(LatencyHist::default()),
+        }
+    }
+
+    /// The session's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ticket a read admitted right now must wait for.
+    pub(crate) fn current_ticket(&self) -> u64 {
+        self.tickets.load(Ordering::SeqCst)
+    }
+
+    /// Admits one job to the writer lane with the next ticket. The
+    /// ticket is committed only when the queue accepts the job — on
+    /// `Full` it rolls back, so readers never wait on a rejected write.
+    // The Err variant hands the whole rejected job back: the caller
+    // must recover its reply channel to answer the overload envelope.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn admit_lane(
+        &self,
+        lane_tx: &SyncSender<LaneJob>,
+        meta: EnvMeta,
+        cmd: Command,
+        deadline_ms: Option<u64>,
+        reply: mpsc::Sender<String>,
+    ) -> Result<(), TrySendError<LaneJob>> {
+        let _gate = self.admit.lock().unwrap();
+        let ticket = self.tickets.load(Ordering::SeqCst) + 1;
+        lane_tx.try_send(LaneJob {
+            meta,
+            cmd,
+            deadline_ms,
+            ticket,
+            reply,
+            enqueued: Instant::now(),
+        })?;
+        self.tickets.store(ticket, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Marks `ticket` (and everything before it) complete and wakes
+    /// waiting readers.
+    pub(crate) fn publish(&self, ticket: u64) {
+        let mut p = self.published.lock().unwrap();
+        if ticket > *p {
+            *p = ticket;
+        }
+        self.published_cv.notify_all();
+        drop(p);
+    }
+
+    /// True when every write admitted before `ticket` has completed —
+    /// the inline fast path executes immediately when this holds at
+    /// admission.
+    pub(crate) fn is_published(&self, ticket: u64) -> bool {
+        *self.published.lock().unwrap() >= ticket
+    }
+
+    /// Blocks until `ticket` is published. Returns `false` when
+    /// `deadline` (as `(enqueued, limit_ms)`) expires first.
+    pub(crate) fn wait_published(&self, ticket: u64, deadline: Option<(Instant, u64)>) -> bool {
+        let mut p = self.published.lock().unwrap();
+        loop {
+            if *p >= ticket {
+                return true;
+            }
+            match deadline {
+                Some((enqueued, limit_ms)) => {
+                    let limit = Duration::from_millis(limit_ms);
+                    let waited = enqueued.elapsed();
+                    if waited >= limit {
+                        return false;
+                    }
+                    let (guard, _timeout) =
+                        self.published_cv.wait_timeout(p, limit - waited).unwrap();
+                    p = guard;
+                }
+                None => p = self.published_cv.wait(p).unwrap(),
+            }
+        }
+    }
+
+    fn install_snapshot(&self, snap: Option<ReadSnapshot>) {
+        *self.snapshot.write().unwrap() = snap.map(Arc::new);
+    }
+
+    /// The currently published snapshot (`None` before the first
+    /// successful `load`).
+    pub fn snapshot(&self) -> Option<Arc<ReadSnapshot>> {
+        self.snapshot.read().unwrap().clone()
+    }
+}
+
+/// One registry row: the shared handle plus the lane's admission queue.
+#[derive(Clone)]
+pub(crate) struct SessionEntry {
+    pub handle: Arc<SessionHandle>,
+    pub lane_tx: SyncSender<LaneJob>,
+}
+
+/// Why an admission could not resolve a session.
+pub(crate) enum AdmitRejection {
+    /// Server is draining; answer with a `shutdown` envelope.
+    Draining,
+    /// [`MAX_SESSIONS`] resident sessions already exist.
+    TooManySessions,
+}
+
+/// The multi-session registry: client-chosen names → lazily created
+/// sessions, each with its own writer lane.
+pub struct Registry {
+    sessions: Mutex<BTreeMap<String, SessionEntry>>,
+    lanes: Mutex<Vec<JoinHandle<()>>>,
+    closed: AtomicBool,
+    queue_depth: usize,
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Registry {
+    /// Creates an empty registry; sessions spawn on first address.
+    pub(crate) fn new(queue_depth: usize, shared: Arc<Shared>) -> Arc<Self> {
+        Arc::new(Self {
+            sessions: Mutex::new(BTreeMap::new()),
+            lanes: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+            queue_depth,
+            shared,
+        })
+    }
+
+    /// Resolves `name` to its session, creating it (and spawning its
+    /// writer lane) on first use.
+    pub(crate) fn session(self: &Arc<Self>, name: &str) -> Result<SessionEntry, AdmitRejection> {
+        let mut map = self.sessions.lock().unwrap();
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(AdmitRejection::Draining);
+        }
+        if let Some(entry) = map.get(name) {
+            return Ok(entry.clone());
+        }
+        if map.len() >= MAX_SESSIONS {
+            return Err(AdmitRejection::TooManySessions);
+        }
+        let handle = Arc::new(SessionHandle::new(name));
+        let (lane_tx, lane_rx) = mpsc::sync_channel::<LaneJob>(self.queue_depth);
+        let lane = {
+            let handle = Arc::clone(&handle);
+            let registry = Arc::clone(self);
+            thread::Builder::new()
+                .name(format!("mgba-lane-{name}"))
+                .spawn(move || lane_loop(lane_rx, handle, registry))
+                .expect("spawn writer lane")
+        };
+        self.lanes.lock().unwrap().push(lane);
+        let entry = SessionEntry { handle, lane_tx };
+        map.insert(name.to_owned(), entry.clone());
+        obs::counter_add("server.sessions.created", 1);
+        Ok(entry)
+    }
+
+    /// Resident session names, sorted.
+    pub fn session_names(&self) -> Vec<String> {
+        self.sessions.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// `(name, handle)` rows in name order — the metrics/stats renderers
+    /// iterate these for cross-session views.
+    pub(crate) fn handles(&self) -> Vec<(String, Arc<SessionHandle>)> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, e)| (n.clone(), Arc::clone(&e.handle)))
+            .collect()
+    }
+
+    /// Closes the registry: no further sessions resolve, every lane's
+    /// sender drops (lanes drain and exit), and the lane join handles
+    /// are returned for the caller to join *after* releasing all locks.
+    ///
+    /// Also raises the shared shutdown flag so a lane whose sender is
+    /// still cloned somewhere (a connection mid-admission) exits via
+    /// its poll path instead of waiting for `Disconnected` forever.
+    pub(crate) fn close(&self) -> Vec<JoinHandle<()>> {
+        let mut map = self.sessions.lock().unwrap();
+        self.closed.store(true, Ordering::SeqCst);
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        map.clear();
+        drop(map);
+        std::mem::take(&mut *self.lanes.lock().unwrap())
+    }
+}
+
+/// True for commands that change session state and therefore require a
+/// fresh snapshot publish on success.
+fn is_state_changing(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Load { .. }
+            | Command::Calibrate { .. }
+            | Command::Commit { .. }
+            | Command::Recalibrate { .. }
+            | Command::Restore { .. }
+    )
+}
+
+/// The writer-lane loop: owns the session state, executes jobs in
+/// ticket order, publishes snapshots, drains on shutdown.
+pub(crate) fn lane_loop(
+    rx: Receiver<LaneJob>,
+    handle: Arc<SessionHandle>,
+    registry: Arc<Registry>,
+) {
+    let shared = Arc::clone(&registry.shared);
+    let mut session = Session::new();
+    loop {
+        match rx.recv_timeout(LANE_POLL) {
+            Ok(job) => {
+                if process_lane(job, &mut session, &handle, &registry, &shared) {
+                    shared.shutting_down.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            // Registry closed and the queue is empty: done.
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+    // Drain-then-exit: serve everything admitted before (or racing with)
+    // the shutdown flag. Every admitted ticket MUST still publish, or
+    // readers waiting on it would hang until their deadline.
+    while let Ok(job) = rx.recv_timeout(DRAIN_GRACE) {
+        process_lane(job, &mut session, &handle, &registry, &shared);
+    }
+}
+
+/// Executes one lane job; returns `true` on a served `shutdown`.
+fn process_lane(
+    job: LaneJob,
+    session: &mut Session,
+    handle: &SessionHandle,
+    registry: &Registry,
+    shared: &Shared,
+) -> bool {
+    let LaneJob {
+        meta,
+        cmd,
+        deadline_ms,
+        ticket,
+        reply,
+        enqueued,
+    } = job;
+    if let Some(limit) = deadline_ms {
+        if enqueued.elapsed() > Duration::from_millis(limit) {
+            shared.rejected_deadline.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add("server.rejected.deadline", 1);
+            let _ = reply.send(proto::error_envelope(
+                &meta,
+                "deadline",
+                &format!("deadline of {limit} ms expired while queued"),
+            ));
+            // A rejected ticket still publishes: reads behind it must
+            // not wait forever on work that will never run.
+            handle.publish(ticket);
+            return false;
+        }
+    }
+    let name = cmd.name();
+    let start = Instant::now();
+    // Crash isolation: a panic in one request must not take the daemon
+    // (and every other session) down. The lane catches the unwind,
+    // restores its session from the last good checkpoint, and answers
+    // with a typed "internal" error. AssertUnwindSafe is justified
+    // because the possibly half-mutated session state is discarded
+    // wholesale by `recover()` — nothing broken is ever observed.
+    let caught = {
+        let _span = obs::span(name);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match &cmd {
+                // Registry-wide views are rendered here, where every
+                // session's handle is reachable; the chaos hook still
+                // fires for them exactly as `Session::handle` would.
+                Command::Stats | Command::Metrics => {
+                    if let Some(fault) = faultinject::fire("server.handle") {
+                        return Err(MgbaError::Internal(format!(
+                            "failpoint `server.handle`: injected {fault:?}"
+                        )));
+                    }
+                    Ok(match &cmd {
+                        Command::Stats => render_stats(session, handle, registry, shared),
+                        _ => render_metrics(session, handle, registry, shared),
+                    })
+                }
+                _ => session.handle(&cmd),
+            }
+        }))
+    };
+    let (result, panicked) = match caught {
+        Ok(result) => (result, false),
+        Err(payload) => {
+            shared.panicked.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add("server.requests.panicked", 1);
+            let msg = panic_message(payload.as_ref());
+            session.recover();
+            (
+                Err(MgbaError::Internal(format!(
+                    "request `{name}` panicked: {msg}; session restored from last good state"
+                ))),
+                true,
+            )
+        }
+    };
+    let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    handle.latency.lock().unwrap().record(name, us);
+    if result.is_ok() {
+        if let Command::WhatIfBatch { resizes, .. } = &cmd {
+            handle
+                .whatif_sizes
+                .lock()
+                .unwrap()
+                .record(resizes.len() as u64);
+        }
+    }
+    obs::observe(&format!("server.latency_us.{name}"), us as f64);
+    obs::counter_add(&format!("server.requests.{name}"), 1);
+    shared.served.fetch_add(1, Ordering::SeqCst);
+    let shutdown = matches!(cmd, Command::Shutdown) && result.is_ok();
+    let envelope = match &result {
+        Ok(json) => proto::ok_envelope(&meta, session.is_degraded(), json),
+        Err(e) => proto::mgba_error_envelope(&meta, e),
+    };
+    let _ = reply.send(envelope);
+    // Publish AFTER the state settles: a successful state change (or a
+    // panic-recovery, which also rewrites state) refreshes the read
+    // snapshot first, then the ticket watermark releases any readers
+    // admitted behind this write.
+    if (result.is_ok() && is_state_changing(&cmd)) || panicked {
+        handle.install_snapshot(session.read_snapshot());
+    }
+    handle.publish(ticket);
+    shutdown
+}
+
+/// Executes one read-only command against a published snapshot. Shares
+/// the session handlers with the lane path, so responses are
+/// byte-identical across funnel and split modes.
+fn execute_read(snapshot: Option<&ReadSnapshot>, cmd: &Command) -> Result<String, MgbaError> {
+    // Same chaos hook as the lane path: reads are fault-injectable too.
+    if let Some(fault) = faultinject::fire("server.handle") {
+        return Err(MgbaError::Internal(format!(
+            "failpoint `server.handle`: injected {fault:?}"
+        )));
+    }
+    if matches!(cmd, Command::Ping) {
+        return Ok(session::ping_result());
+    }
+    let snap =
+        snapshot.ok_or_else(|| MgbaError::Usage("no design loaded (send `load` first)".into()))?;
+    match cmd {
+        Command::Slack { endpoint, top } => {
+            session::read_slack(&snap.sta, endpoint.as_deref(), *top)
+        }
+        Command::Wns => Ok(session::read_summary(&snap.sta, true)),
+        Command::Tns => Ok(session::read_summary(&snap.sta, false)),
+        Command::PathQuery { endpoint, pba } => {
+            session::read_path(&snap.sta, endpoint.as_deref(), *pba)
+        }
+        other => Err(MgbaError::Internal(format!(
+            "`{}` is not a read command",
+            other.name()
+        ))),
+    }
+}
+
+/// Serves one read job end to end: wait for its ticket, execute against
+/// the snapshot, record latency, reply. Runs on a read worker or — for
+/// the already-published fast path — directly on the connection's
+/// reader thread (zero cross-thread handoffs).
+pub(crate) fn serve_read(job: ReadJob, shared: &Shared) {
+    let ReadJob {
+        meta,
+        cmd,
+        deadline_ms,
+        ticket,
+        handle,
+        reply,
+        enqueued,
+    } = job;
+    let deadline = deadline_ms.map(|limit| (enqueued, limit));
+    let expired = match deadline {
+        Some((at, limit)) => at.elapsed() > Duration::from_millis(limit),
+        None => false,
+    };
+    if expired || !handle.wait_published(ticket, deadline) {
+        let limit = deadline_ms.unwrap_or(0);
+        shared.rejected_deadline.fetch_add(1, Ordering::SeqCst);
+        obs::counter_add("server.rejected.deadline", 1);
+        let _ = reply.send(proto::error_envelope(
+            &meta,
+            "deadline",
+            &format!("deadline of {limit} ms expired while queued"),
+        ));
+        return;
+    }
+    let snap = handle.snapshot();
+    let name = cmd.name();
+    let start = Instant::now();
+    // Crash isolation, read flavor: the snapshot is immutable and the
+    // session state lives on the lane, so a panicking read corrupts
+    // nothing — no recovery needed, just a typed error.
+    let caught = {
+        let _span = obs::span(name);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_read(snap.as_deref(), &cmd)
+        }))
+    };
+    let result = match caught {
+        Ok(result) => result,
+        Err(payload) => {
+            shared.panicked.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add("server.requests.panicked", 1);
+            let msg = panic_message(payload.as_ref());
+            Err(MgbaError::Internal(format!(
+                "request `{name}` panicked: {msg}; read was isolated from session state"
+            )))
+        }
+    };
+    let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    handle.latency.lock().unwrap().record(name, us);
+    obs::observe(&format!("server.latency_us.{name}"), us as f64);
+    obs::counter_add(&format!("server.requests.{name}"), 1);
+    shared.served.fetch_add(1, Ordering::SeqCst);
+    let degraded = snap.as_deref().map(|s| s.degraded).unwrap_or(false);
+    let envelope = match &result {
+        Ok(json) => proto::ok_envelope(&meta, degraded, json),
+        Err(e) => proto::mgba_error_envelope(&meta, e),
+    };
+    let _ = reply.send(envelope);
+}
+
+/// Renders the `hello` result: negotiated protocol plus the resident
+/// session list.
+pub(crate) fn render_hello(registry: &Registry, max_proto: Option<u64>) -> String {
+    let granted = max_proto
+        .unwrap_or(proto::PROTO_MAX)
+        .clamp(proto::PROTO_MIN, proto::PROTO_MAX);
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("server");
+    w.str("mgba-server");
+    w.key("proto");
+    w.u64(granted);
+    w.key("proto_min");
+    w.u64(proto::PROTO_MIN);
+    w.key("proto_max");
+    w.u64(proto::PROTO_MAX);
+    w.key("sessions");
+    w.begin_arr();
+    for name in registry.session_names() {
+        w.str(&name);
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders the `stats` result for the session that received the
+/// command: server-wide counters, this session's engine view and
+/// per-command latencies, plus the merged all-sessions latency view.
+pub(crate) fn render_stats(
+    session: &Session,
+    handle: &SessionHandle,
+    registry: &Registry,
+    shared: &Shared,
+) -> String {
+    let info = shared.info();
+    let rows = registry.handles();
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("server");
+    w.begin_obj();
+    w.key("queue_depth");
+    w.u64(info.queue_depth as u64);
+    w.key("read_workers");
+    w.u64(info.read_workers as u64);
+    w.key("sessions");
+    w.u64(rows.len() as u64);
+    w.key("served");
+    w.u64(info.served);
+    w.key("rejected_overload");
+    w.u64(info.rejected_overload);
+    w.key("rejected_deadline");
+    w.u64(info.rejected_deadline);
+    w.key("panics");
+    w.u64(info.panics);
+    w.key("degraded");
+    w.bool(session.is_degraded());
+    w.key("threads");
+    w.u64(parallel::global().threads() as u64);
+    w.end_obj();
+    w.key("session");
+    w.str(handle.name());
+    w.key("engine");
+    session.write_engine_json(&mut w);
+    w.key("commands");
+    handle.latency.lock().unwrap().write_json(&mut w);
+    w.key("commands_all");
+    let mut merged = CommandStats::default();
+    for (_, h) in &rows {
+        merged.merge_from(&h.latency.lock().unwrap());
+    }
+    merged.write_json(&mut w);
+    w.end_obj();
+    w.finish()
+}
+
+/// Renders the full Prometheus exposition: server counters, per-session
+/// engine gauges (`{session="…"}` labels), the merged per-command
+/// latency family (keeping the original
+/// `mgba_server_command_latency_us{cmd}` series names valid), a
+/// per-session latency family, and whatever the `obs` registry holds
+/// (empty unless `--profile` is on). Like `stats`, the output is
+/// non-deterministic (latencies), so it is excluded from the
+/// byte-identity protocol tests.
+fn exposition(
+    session: &Session,
+    handle: &SessionHandle,
+    registry: &Registry,
+    shared: &Shared,
+) -> String {
+    use obs::prom::PromWriter;
+    let info = shared.info();
+    let rows = registry.handles();
+    let mut p = PromWriter::new();
+    p.gauge(
+        "mgba_server_queue_depth",
+        "configured bounded-queue depth",
+        info.queue_depth as f64,
+    );
+    p.gauge(
+        "mgba_server_read_workers",
+        "configured read-pool size (0 = writer-lane funnel)",
+        info.read_workers as f64,
+    );
+    p.gauge(
+        "mgba_server_sessions",
+        "resident sessions",
+        rows.len() as f64,
+    );
+    p.gauge(
+        "mgba_server_threads",
+        "worker pool size",
+        parallel::global().threads() as f64,
+    );
+    p.counter(
+        "mgba_server_served_total",
+        "requests executed to completion",
+        info.served,
+    );
+    p.counter(
+        "mgba_server_rejected_overload_total",
+        "requests rejected with a full queue",
+        info.rejected_overload,
+    );
+    p.counter(
+        "mgba_server_rejected_deadline_total",
+        "requests whose admission deadline expired while queued",
+        info.rejected_deadline,
+    );
+    p.counter(
+        "mgba_server_panics_total",
+        "request handlers that panicked and were crash-isolated",
+        info.panics,
+    );
+    // Per-session degraded flags: live for the session serving this
+    // request, published-snapshot state for the others.
+    p.gauge_family(
+        "mgba_session_degraded",
+        "1 while serving fault-recovered state without calibration",
+    );
+    for (name, h) in &rows {
+        let degraded = if name == handle.name() {
+            session.is_degraded()
+        } else {
+            h.snapshot().map(|s| s.degraded).unwrap_or(false)
+        };
+        p.sample_labels(
+            "mgba_session_degraded",
+            &[("session", name)],
+            if degraded { 1.0 } else { 0.0 },
+        );
+    }
+    // Recalibration counters describe the lane serving this request
+    // (other lanes' counts live in their own lane state).
+    let (warm, cold) = session.recalib_counts();
+    p.counter(
+        "mgba_server_recalibrate_warm_total",
+        "incremental warm-start recalibrations (dirty rows patched)",
+        warm,
+    );
+    p.counter(
+        "mgba_server_recalibrate_cold_total",
+        "full cold recalibrations (`full:true` or warm cache unavailable)",
+        cold,
+    );
+    // Engine gauges, one labeled sample per loaded session.
+    let gauges: Vec<(String, session::EngineGauges)> = rows
+        .iter()
+        .filter_map(|(name, h)| {
+            let g = if name == handle.name() {
+                session.engine_gauges()
+            } else {
+                h.snapshot().map(|s| session::snapshot_engine_gauges(&s))
+            };
+            g.map(|g| (name.clone(), g))
+        })
+        .collect();
+    if !gauges.is_empty() {
+        p.gauge_family("mgba_engine_wns", "worst negative slack, ps");
+        for (name, g) in &gauges {
+            p.sample_labels("mgba_engine_wns", &[("session", name)], g.wns);
+        }
+        p.gauge_family("mgba_engine_tns", "total negative slack, ps");
+        for (name, g) in &gauges {
+            p.sample_labels("mgba_engine_tns", &[("session", name)], g.tns);
+        }
+        p.gauge_family("mgba_engine_calibrated", "1 when mGBA weights are fitted");
+        for (name, g) in &gauges {
+            p.sample_labels(
+                "mgba_engine_calibrated",
+                &[("session", name)],
+                if g.calibrated { 1.0 } else { 0.0 },
+            );
+        }
+        p.counter_family("mgba_engine_full_updates_total", "full timing propagations");
+        for (name, g) in &gauges {
+            p.sample_labels(
+                "mgba_engine_full_updates_total",
+                &[("session", name)],
+                g.full_updates as f64,
+            );
+        }
+        p.counter_family(
+            "mgba_engine_incremental_updates_total",
+            "incremental timing propagations",
+        );
+        for (name, g) in &gauges {
+            p.sample_labels(
+                "mgba_engine_incremental_updates_total",
+                &[("session", name)],
+                g.incremental_updates as f64,
+            );
+        }
+        p.counter_family(
+            "mgba_engine_cells_propagated_total",
+            "cells touched by timing propagation",
+        );
+        for (name, g) in &gauges {
+            p.sample_labels(
+                "mgba_engine_cells_propagated_total",
+                &[("session", name)],
+                g.cells_propagated as f64,
+            );
+        }
+    }
+    // Merged latency view under the original family name, so dashboards
+    // scraping `mgba_server_command_latency_us{cmd}` keep working.
+    let mut merged = CommandStats::default();
+    for (_, h) in &rows {
+        merged.merge_from(&h.latency.lock().unwrap());
+    }
+    p.histogram_family(
+        "mgba_server_command_latency_us",
+        "per-command request latency across all sessions, microseconds",
+    );
+    for (name, h) in merged.iter() {
+        p.histogram_series(
+            "mgba_server_command_latency_us",
+            Some(("cmd", name)),
+            &h.buckets(),
+            h.count,
+            h.sum_us as f64,
+        );
+    }
+    // Per-session breakdown under its own family.
+    p.histogram_family(
+        "mgba_server_session_command_latency_us",
+        "per-session per-command request latency, microseconds",
+    );
+    for (sname, h) in &rows {
+        let stats = h.latency.lock().unwrap().clone();
+        for (cmd, hist) in stats.iter() {
+            p.histogram_series_labels(
+                "mgba_server_session_command_latency_us",
+                &[("session", sname), ("cmd", cmd)],
+                &hist.buckets(),
+                hist.count,
+                hist.sum_us as f64,
+            );
+        }
+    }
+    let mut batch = LatencyHist::default();
+    for (_, h) in &rows {
+        batch.merge_from(&h.whatif_sizes.lock().unwrap());
+    }
+    p.histogram_family(
+        "mgba_server_whatif_batch_size",
+        "candidates per whatif_batch request",
+    );
+    p.histogram_series(
+        "mgba_server_whatif_batch_size",
+        None,
+        &batch.buckets(),
+        batch.count,
+        batch.sum_us as f64,
+    );
+    let mut text = p.finish();
+    // The obs registry rides along when profiling is enabled.
+    text.push_str(&obs::prom::encode(&obs::metrics::snapshot()));
+    text
+}
+
+/// Renders the `metrics` result (exposition wrapped in JSON).
+pub(crate) fn render_metrics(
+    session: &Session,
+    handle: &SessionHandle,
+    registry: &Registry,
+    shared: &Shared,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("content_type");
+    w.str(obs::prom::CONTENT_TYPE);
+    w.key("exposition");
+    w.str(&exposition(session, handle, registry, shared));
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn registry_with(names: &[&str]) -> (Arc<Registry>, Vec<SessionEntry>) {
+        let shared = Arc::new(Shared::new(8, 2));
+        let registry = Registry::new(8, shared);
+        let entries = names
+            .iter()
+            .map(|n| registry.session(n).map_err(|_| ()).unwrap())
+            .collect();
+        (registry, entries)
+    }
+
+    fn close(registry: &Registry) {
+        for lane in registry.close() {
+            let _ = lane.join();
+        }
+    }
+
+    #[test]
+    fn sessions_are_created_lazily_and_capped() {
+        let shared = Arc::new(Shared::new(4, 0));
+        let registry = Registry::new(4, shared);
+        assert!(registry.session_names().is_empty());
+        for i in 0..MAX_SESSIONS {
+            assert!(registry.session(&format!("s{i}")).is_ok());
+        }
+        assert!(matches!(
+            registry.session("one-too-many"),
+            Err(AdmitRejection::TooManySessions)
+        ));
+        // Existing sessions still resolve at the cap.
+        assert!(registry.session("s0").is_ok());
+        assert_eq!(registry.session_names().len(), MAX_SESSIONS);
+        close(&registry);
+        assert!(matches!(
+            registry.session("post-close"),
+            Err(AdmitRejection::Draining)
+        ));
+    }
+
+    #[test]
+    fn tickets_commit_only_on_successful_admission() {
+        let (registry, entries) = registry_with(&["t"]);
+        let entry = &entries[0];
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let meta = EnvMeta::v2(Some(1), "t");
+        entry
+            .handle
+            .admit_lane(&entry.lane_tx, meta, Command::Ping, None, reply_tx)
+            .unwrap();
+        assert_eq!(entry.handle.current_ticket(), 1);
+        // The lane publishes the ticket once the job completes.
+        let resp = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(resp.contains("\"pong\":true"), "{resp}");
+        assert!(entry.handle.wait_published(1, Some((Instant::now(), 1000))));
+        close(&registry);
+    }
+
+    #[test]
+    fn full_lane_queue_rolls_the_ticket_back() {
+        let shared = Arc::new(Shared::new(1, 0));
+        let registry = Registry::new(1, Arc::clone(&shared));
+        let entry = registry.session("q").map_err(|_| ()).unwrap();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        // A sleep occupies the lane; the queue (depth 1) then fills.
+        entry
+            .handle
+            .admit_lane(
+                &entry.lane_tx,
+                EnvMeta::v2(Some(1), "q"),
+                Command::Sleep { ms: 150 },
+                None,
+                reply_tx.clone(),
+            )
+            .unwrap();
+        let mut overflowed = false;
+        let mut admitted = 1u64;
+        for i in 0..8 {
+            let r = entry.handle.admit_lane(
+                &entry.lane_tx,
+                EnvMeta::v2(Some(2 + i), "q"),
+                Command::Ping,
+                None,
+                reply_tx.clone(),
+            );
+            match r {
+                Ok(()) => admitted += 1,
+                Err(TrySendError::Full(_)) => {
+                    overflowed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(overflowed, "depth-1 queue must overflow");
+        // The rejected job must NOT have consumed a ticket: the counter
+        // equals the number of accepted admissions.
+        assert_eq!(entry.handle.current_ticket(), admitted);
+        drop(reply_tx);
+        for _ in 0..admitted {
+            let _ = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        close(&registry);
+    }
+
+    #[test]
+    fn snapshot_publishes_after_load_and_reads_match_lane_bytes() {
+        let (registry, entries) = registry_with(&["r"]);
+        let entry = &entries[0];
+        assert!(entry.handle.snapshot().is_none());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        entry
+            .handle
+            .admit_lane(
+                &entry.lane_tx,
+                EnvMeta::v2(Some(1), "r"),
+                Command::Load {
+                    spec: "small:7".into(),
+                    period: None,
+                },
+                None,
+                reply_tx.clone(),
+            )
+            .unwrap();
+        entry
+            .handle
+            .admit_lane(
+                &entry.lane_tx,
+                EnvMeta::v2(Some(2), "r"),
+                Command::Wns,
+                None,
+                reply_tx.clone(),
+            )
+            .unwrap();
+        let load_resp = reply_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(load_resp.contains("\"ok\":true"), "{load_resp}");
+        let lane_wns = reply_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        // Snapshot is published; a read against it produces the same
+        // result bytes the lane just served.
+        assert!(entry.handle.wait_published(2, Some((Instant::now(), 5000))));
+        let snap = entry.handle.snapshot().expect("published after load");
+        let read = execute_read(Some(&snap), &Command::Wns).unwrap();
+        let expected = proto::ok_envelope(&EnvMeta::v2(Some(2), "r"), false, &read);
+        assert_eq!(lane_wns, expected);
+        close(&registry);
+    }
+
+    #[test]
+    fn serve_read_before_load_is_a_usage_error() {
+        let (registry, entries) = registry_with(&["e"]);
+        let entry = &entries[0];
+        let (reply_tx, reply_rx) = mpsc::channel();
+        serve_read(
+            ReadJob {
+                meta: EnvMeta::v2(Some(5), "e"),
+                cmd: Command::Wns,
+                deadline_ms: None,
+                ticket: 0,
+                handle: Arc::clone(&entry.handle),
+                reply: reply_tx,
+                enqueued: Instant::now(),
+            },
+            &registry.shared,
+        );
+        let resp = reply_rx.recv().unwrap();
+        assert!(resp.contains("\"code\":\"usage\""), "{resp}");
+        assert!(resp.contains("no design loaded"), "{resp}");
+        close(&registry);
+    }
+
+    #[test]
+    fn serve_read_rejects_on_unpublished_ticket_deadline() {
+        let (registry, entries) = registry_with(&["d"]);
+        let entry = &entries[0];
+        let (reply_tx, reply_rx) = mpsc::channel();
+        // Ticket 7 never publishes: the read must give up at its
+        // deadline instead of hanging.
+        serve_read(
+            ReadJob {
+                meta: EnvMeta::v2(Some(9), "d"),
+                cmd: Command::Ping,
+                deadline_ms: Some(20),
+                ticket: 7,
+                handle: Arc::clone(&entry.handle),
+                reply: reply_tx,
+                enqueued: Instant::now(),
+            },
+            &registry.shared,
+        );
+        let resp = reply_rx.recv().unwrap();
+        assert!(resp.contains("\"code\":\"deadline\""), "{resp}");
+        assert_eq!(registry.shared.rejected_deadline.load(Ordering::SeqCst), 1);
+        close(&registry);
+    }
+
+    #[test]
+    fn hello_reports_protocol_window_and_sessions() {
+        let (registry, _entries) = registry_with(&["b", "a"]);
+        let r = parse(&render_hello(&registry, None)).unwrap();
+        assert_eq!(r.get("proto").and_then(Value::as_u64), Some(2));
+        assert_eq!(r.get("proto_min").and_then(Value::as_u64), Some(1));
+        assert_eq!(r.get("proto_max").and_then(Value::as_u64), Some(2));
+        match r.get("sessions").unwrap() {
+            Value::Arr(a) => {
+                let names: Vec<&str> = a.iter().filter_map(Value::as_str).collect();
+                assert_eq!(names, vec!["a", "b"], "sorted session list");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Negotiation clamps into the supported window.
+        let r = parse(&render_hello(&registry, Some(1))).unwrap();
+        assert_eq!(r.get("proto").and_then(Value::as_u64), Some(1));
+        let r = parse(&render_hello(&registry, Some(99))).unwrap();
+        assert_eq!(r.get("proto").and_then(Value::as_u64), Some(2));
+        close(&registry);
+    }
+
+    #[test]
+    fn stats_and_metrics_render_per_session_and_merged_views() {
+        let (registry, entries) = registry_with(&["alpha", "beta"]);
+        let alpha = &entries[0];
+        let beta = &entries[1];
+        alpha.handle.latency.lock().unwrap().record("ping", 12);
+        beta.handle.latency.lock().unwrap().record("wns", 4);
+        beta.handle.latency.lock().unwrap().record("wns", 70_000);
+        beta.handle.whatif_sizes.lock().unwrap().record(3);
+        let mut session = Session::new();
+        session
+            .handle(&Command::Load {
+                spec: "small:7".into(),
+                period: None,
+            })
+            .unwrap();
+
+        let st = parse(&render_stats(
+            &session,
+            &alpha.handle,
+            &registry,
+            &registry.shared,
+        ))
+        .unwrap();
+        let server = st.get("server").unwrap();
+        assert_eq!(server.get("sessions").and_then(Value::as_u64), Some(2));
+        assert_eq!(server.get("read_workers").and_then(Value::as_u64), Some(2));
+        assert_eq!(st.get("session").and_then(Value::as_str), Some("alpha"));
+        // Own-session commands vs the merged view.
+        let own = st.get("commands").unwrap();
+        assert!(own.get("ping").is_some());
+        assert!(own.get("wns").is_none());
+        let all = st.get("commands_all").unwrap();
+        assert!(all.get("ping").is_some());
+        assert_eq!(
+            all.get("wns")
+                .and_then(|w| w.get("count"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        // The stats-serving session's engine view is live.
+        assert!(st.get("engine").unwrap().get("design").is_some());
+
+        let m = parse(&render_metrics(
+            &session,
+            &alpha.handle,
+            &registry,
+            &registry.shared,
+        ))
+        .unwrap();
+        let text = m.get("exposition").and_then(Value::as_str).unwrap();
+        obs::prom::validate(text).expect("conformant exposition");
+        assert!(text.contains("mgba_server_sessions 2.0"), "{text}");
+        assert!(text.contains("mgba_server_read_workers 2.0"), "{text}");
+        // Original series names stay valid (merged across sessions)...
+        assert!(
+            text.contains("mgba_server_command_latency_us_count{cmd=\"wns\"} 2"),
+            "{text}"
+        );
+        // ...and the per-session family breaks them down.
+        assert!(
+            text.contains(
+                "mgba_server_session_command_latency_us_count{session=\"beta\",cmd=\"wns\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("mgba_session_degraded{session=\"alpha\"} 0"),
+            "{text}"
+        );
+        // Engine gauges are labeled with the serving session's name
+        // (alpha is live-loaded; beta has no snapshot and no sample).
+        assert!(
+            text.contains("mgba_engine_wns{session=\"alpha\"}"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("mgba_engine_wns{session=\"beta\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mgba_server_whatif_batch_size_count 1"),
+            "{text}"
+        );
+        close(&registry);
+    }
+}

@@ -1,68 +1,82 @@
-//! The daemon: bounded admission queue, single worker thread, TCP and
-//! stdio front-ends.
+//! The daemon: bounded admission, per-session writer lanes, an optional
+//! shared read pool, TCP and stdio front-ends.
 //!
 //! # Threading model
 //!
-//! Exactly **one worker thread** owns the [`Session`] and executes
-//! requests strictly in admission order. That single decision buys the
-//! protocol's determinism guarantee for free: responses depend only on
-//! the request sequence, never on connection interleaving or the
-//! `--threads` setting (the engine's parallel kernels are themselves
-//! bit-identical across thread counts).
+//! The server hosts many named sessions (see [`crate::registry`]). Each
+//! session's mutating commands funnel through its own **writer lane** —
+//! one thread that owns the session state and executes jobs strictly in
+//! admission order. Read-only queries are served lock-free from the
+//! session's published [`registry::ReadSnapshot`] by a pool of
+//! `read_workers` threads (or inline on the connection's reader thread
+//! when the snapshot is already current). With `read_workers = 0` — the
+//! default — every command funnels through the lane, which is exactly
+//! the original single-worker behavior.
+//!
+//! Determinism survives the concurrency: write tickets order every read
+//! after the writes admitted before it, so responses per session depend
+//! only on that session's request sequence, never on connection
+//! interleaving, the `--threads` setting, or the read-pool size (the
+//! engine's parallel kernels are themselves bit-identical across thread
+//! counts).
 //!
 //! Each TCP connection gets a reader thread (parse + admit) and a
-//! writer thread (serialize responses); replies travel over a
-//! per-connection channel so the worker never blocks on a slow client.
+//! writer thread that emits responses **in admission order**: admission
+//! enqueues a per-request reply slot, and the writer drains slots
+//! first-in-first-out no matter which thread produced each reply.
 //!
 //! # Backpressure
 //!
-//! Admission goes through a bounded [`mpsc::sync_channel`]. When the queue is
-//! full the reader does **not** block — it immediately answers with an
-//! `"overload"` error envelope. A saturated server therefore stays
-//! responsive: clients always get an answer, just sometimes "try later".
+//! Lane admission goes through a bounded [`mpsc::sync_channel`]. When
+//! the queue is full the reader does **not** block — it immediately
+//! answers with an `"overload"` error envelope. Pool reads have their
+//! own (deeper) backlog cap. A saturated server therefore stays
+//! responsive: clients always get an answer, just sometimes "try
+//! later".
 //!
 //! # Deadlines
 //!
 //! `deadline_ms` (per request, or `--deadline-ms` server default) is
-//! checked when the worker *dequeues* the request: work that already
-//! missed its deadline while queued is rejected with a `"deadline"`
-//! envelope instead of being executed. Deadlines are admission control,
-//! not preemption — a request that starts executing runs to completion.
+//! checked when a lane *dequeues* the request (and when a read worker
+//! picks a read up, or would have to wait past it for a write ticket):
+//! work that already missed its deadline while queued is rejected with
+//! a `"deadline"` envelope instead of being executed. Deadlines are
+//! admission control, not preemption — a request that starts executing
+//! runs to completion.
 //!
 //! # Shutdown
 //!
-//! `shutdown` answers `{"draining":true}`, then the worker drains every
-//! request admitted before it and exits; late arrivals get a
-//! `"shutdown"` envelope. On TCP the accept loop notices the flag within
-//! one poll interval and `run` returns.
+//! `shutdown` answers `{"draining":true}`, then every lane drains the
+//! requests admitted before it and exits; late arrivals get a
+//! `"shutdown"` envelope. On TCP the accept loop notices the flag
+//! within one poll interval and `run` returns.
 
-use crate::proto::{self, Command, Request};
-use crate::session::{ServerInfo, Session};
+use crate::proto::{self, Command};
+use crate::registry::{self, AdmitRejection, ReadJob, Registry, Shared};
 use mgba::MgbaError;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
-use std::thread;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// How often the accept loop re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
-/// How long the worker keeps draining after shutdown before closing the
-/// queue. Covers the race where a reader passed the shutting-down check
-/// just before the flag was set.
-const DRAIN_GRACE: Duration = Duration::from_millis(50);
-
 /// Tunables for a server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Bounded request-queue depth; admissions beyond this are rejected
-    /// with an `"overload"` envelope.
+    /// Bounded per-session request-queue depth; admissions beyond this
+    /// are rejected with an `"overload"` envelope.
     pub queue_depth: usize,
     /// Default per-request deadline applied when a request carries none.
     pub default_deadline_ms: Option<u64>,
+    /// Read-pool size. `0` (the default) disables the pool and funnels
+    /// every command — reads included — through the writer lane,
+    /// reproducing the original single-worker execution exactly.
+    pub read_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,235 +84,219 @@ impl Default for ServerConfig {
         Self {
             queue_depth: 64,
             default_deadline_ms: None,
+            read_workers: 0,
         }
     }
 }
 
-/// Counters shared between readers, worker, and accept loop.
-struct Shared {
-    shutting_down: AtomicBool,
-    served: AtomicU64,
-    rejected_overload: AtomicU64,
-    rejected_deadline: AtomicU64,
-    panicked: AtomicU64,
-    queue_depth: usize,
-}
-
-impl Shared {
-    fn new(queue_depth: usize) -> Self {
-        Self {
-            shutting_down: AtomicBool::new(false),
-            served: AtomicU64::new(0),
-            rejected_overload: AtomicU64::new(0),
-            rejected_deadline: AtomicU64::new(0),
-            panicked: AtomicU64::new(0),
-            queue_depth,
-        }
-    }
-
-    fn info(&self) -> ServerInfo {
-        ServerInfo {
-            queue_depth: self.queue_depth,
-            served: self.served.load(Ordering::SeqCst),
-            rejected_overload: self.rejected_overload.load(Ordering::SeqCst),
-            rejected_deadline: self.rejected_deadline.load(Ordering::SeqCst),
-            panics: self.panicked.load(Ordering::SeqCst),
-        }
-    }
-}
-
-/// Best-effort text of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    payload
-        .downcast_ref::<&str>()
-        .map(|s| (*s).to_owned())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "non-string panic payload".into())
-}
-
-/// What the worker should do with an admitted line.
-enum Work {
-    /// A well-formed request to execute.
-    Exec(Request),
-    /// A line that failed to parse. It still flows through the queue so
-    /// its error envelope is emitted **in admission order** — answering
-    /// from the reader thread would let the error race ahead of earlier
-    /// requests' responses and break stream determinism.
-    Malformed { id: Option<u64>, error: MgbaError },
-}
-
-/// One admitted request waiting for the worker.
-struct Job {
-    work: Work,
-    reply: mpsc::Sender<String>,
-    enqueued: Instant,
-}
-
-/// Executes one job on the worker thread; returns `true` on a served
-/// `shutdown`.
-fn process(job: Job, session: &mut Session, shared: &Shared) -> bool {
-    let request = match job.work {
-        Work::Exec(request) => request,
-        Work::Malformed { id, error } => {
-            obs::counter_add("server.requests.malformed", 1);
-            shared.served.fetch_add(1, Ordering::SeqCst);
-            let _ = job.reply.send(proto::mgba_error_envelope(id, &error));
-            return false;
-        }
-    };
-    let Request {
-        id,
-        cmd,
-        deadline_ms,
-    } = request;
-    if let Some(limit) = deadline_ms {
-        let waited = job.enqueued.elapsed();
-        if waited > Duration::from_millis(limit) {
-            shared.rejected_deadline.fetch_add(1, Ordering::SeqCst);
-            obs::counter_add("server.rejected.deadline", 1);
-            let _ = job.reply.send(proto::error_envelope(
-                id,
-                "deadline",
-                &format!("deadline of {limit} ms expired while queued"),
-            ));
-            return false;
-        }
-    }
-    let name = cmd.name();
-    let info = shared.info();
-    let start = Instant::now();
-    // Crash isolation: a panic in one request must not take the daemon
-    // (and every other client) down. The worker catches the unwind,
-    // restores the session from its last good checkpoint, and answers
-    // with a typed "internal" error. AssertUnwindSafe is justified
-    // because the possibly half-mutated session state is discarded
-    // wholesale by `recover()` — nothing broken is ever observed.
-    let caught = {
-        let _span = obs::span(name);
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.handle(&cmd, &info)))
-    };
-    let result = match caught {
-        Ok(result) => result,
-        Err(payload) => {
-            shared.panicked.fetch_add(1, Ordering::SeqCst);
-            obs::counter_add("server.requests.panicked", 1);
-            let msg = panic_message(payload.as_ref());
-            session.recover();
-            Err(MgbaError::Internal(format!(
-                "request `{name}` panicked: {msg}; session restored from last good state"
-            )))
-        }
-    };
-    let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    session.latency.record(name, us);
-    obs::observe(&format!("server.latency_us.{name}"), us as f64);
-    obs::counter_add(&format!("server.requests.{name}"), 1);
-    shared.served.fetch_add(1, Ordering::SeqCst);
-    let shutdown = matches!(cmd, Command::Shutdown) && result.is_ok();
-    let envelope = match &result {
-        Ok(json) => proto::ok_envelope(id, session.is_degraded(), json),
-        Err(e) => proto::mgba_error_envelope(id, e),
-    };
-    let _ = job.reply.send(envelope);
-    shutdown
-}
-
-/// The worker loop: owns the session, executes jobs in admission order,
-/// drains on shutdown.
-fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
-    let mut session = Session::new();
-    while let Ok(job) = rx.recv() {
-        if process(job, &mut session, &shared) {
-            shared.shutting_down.store(true, Ordering::SeqCst);
-            break;
-        }
-    }
-    // Drain-then-exit: serve everything admitted before (or racing with)
-    // the shutdown flag, then close the queue so late readers see
-    // `Disconnected` and answer with a "shutdown" envelope themselves.
-    while let Ok(job) = rx.recv_timeout(DRAIN_GRACE) {
-        process(job, &mut session, &shared);
-    }
-}
-
-/// Reads request lines, admits them to the bounded queue, and answers
-/// rejects inline. Shared by TCP connections and stdio mode.
-fn serve_lines(
-    reader: impl BufRead,
-    reply_tx: mpsc::Sender<String>,
-    tx: SyncSender<Job>,
-    shared: &Shared,
+/// Everything admission needs, cloned per connection: the session
+/// registry, shared counters, and the read-pool sender (when enabled).
+#[derive(Clone)]
+struct Gate {
+    registry: Arc<Registry>,
+    shared: Arc<Shared>,
+    pool_tx: Option<mpsc::Sender<ReadJob>>,
     default_deadline_ms: Option<u64>,
-) {
+}
+
+/// Spawns the shared read pool: N workers draining one queue. Returns
+/// `(None, [])` when the pool is disabled.
+fn spawn_read_pool(shared: &Arc<Shared>) -> (Option<mpsc::Sender<ReadJob>>, Vec<JoinHandle<()>>) {
+    if shared.read_workers == 0 {
+        return (None, Vec::new());
+    }
+    let (tx, rx) = mpsc::channel::<ReadJob>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = (0..shared.read_workers)
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(shared);
+            thread::Builder::new()
+                .name(format!("mgba-read-{i}"))
+                .spawn(move || loop {
+                    // Take the next job with the lock released before
+                    // serving, so workers pick up in parallel.
+                    let job = rx.lock().unwrap().recv();
+                    let Ok(job) = job else { break };
+                    shared.pending_reads.fetch_sub(1, Ordering::SeqCst);
+                    registry::serve_read(job, &shared);
+                })
+                .expect("spawn read worker")
+        })
+        .collect();
+    (Some(tx), workers)
+}
+
+/// Reads request lines, admits them, and answers what never reaches a
+/// lane (handshakes, rejects, malformed input) inline. Shared by TCP
+/// connections and stdio mode.
+///
+/// Response ordering: every line — served or rejected — enqueues one
+/// reply slot on `slot_tx` *before* it is acted on, and the stream's
+/// writer drains slots in that order. Responses therefore come back in
+/// admission order even when reads execute on pool threads.
+fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, gate: &Gate) {
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
+        let parsed = proto::parse_request(&line);
+        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        if slot_tx.send(reply_rx).is_err() {
+            // Writer gone: the peer disconnected mid-stream.
+            break;
+        }
         // Malformed input is answered, never dropped — and the
-        // connection keeps serving. The error rides the queue like any
-        // request so responses stay in admission order.
-        let (id, is_shutdown, work) = match proto::parse_request(&line) {
-            Ok(mut request) => {
-                if request.deadline_ms.is_none() {
-                    request.deadline_ms = default_deadline_ms;
-                }
-                let is_shutdown = matches!(request.cmd, Command::Shutdown);
-                (request.id, is_shutdown, Work::Exec(request))
+        // connection keeps serving. Its slot is already queued, so the
+        // error still lands in admission order.
+        let mut request = match parsed {
+            Ok(request) => request,
+            Err((meta, error)) => {
+                obs::counter_add("server.requests.malformed", 1);
+                gate.shared.served.fetch_add(1, Ordering::SeqCst);
+                let _ = reply_tx.send(proto::mgba_error_envelope(&meta, &error));
+                continue;
             }
-            Err((id, error)) => (id, false, Work::Malformed { id, error }),
         };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            let _ = reply_tx.send(proto::error_envelope(id, "shutdown", "server is draining"));
+        if request.deadline_ms.is_none() {
+            request.deadline_ms = gate.default_deadline_ms;
+        }
+        let meta = request.meta();
+        if gate.shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = reply_tx.send(proto::error_envelope(
+                &meta,
+                "shutdown",
+                "server is draining",
+            ));
             continue;
         }
-        let job = Job {
-            work,
-            reply: reply_tx.clone(),
-            enqueued: Instant::now(),
+        // `hello` is the handshake: answered at admission, it needs no
+        // session state and creates no session.
+        if let Command::Hello { max_proto } = &request.cmd {
+            gate.shared.served.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add("server.requests.hello", 1);
+            let result = registry::render_hello(&gate.registry, *max_proto);
+            let _ = reply_tx.send(proto::ok_envelope(&meta, false, &result));
+            continue;
+        }
+        let entry = match gate.registry.session(&request.session) {
+            Ok(entry) => entry,
+            Err(AdmitRejection::Draining) => {
+                let _ = reply_tx.send(proto::error_envelope(
+                    &meta,
+                    "shutdown",
+                    "server is draining",
+                ));
+                continue;
+            }
+            Err(AdmitRejection::TooManySessions) => {
+                let _ = reply_tx.send(proto::error_envelope(
+                    &meta,
+                    "usage",
+                    &format!(
+                        "too many sessions ({} resident); reuse an existing session name",
+                        registry::MAX_SESSIONS
+                    ),
+                ));
+                continue;
+            }
         };
-        match tx.try_send(job) {
+        // Read split: with the pool enabled, read-only queries never
+        // touch the writer lane.
+        if let (Some(pool_tx), true) = (gate.pool_tx.as_ref(), request.cmd.is_read()) {
+            let ticket = entry.handle.current_ticket();
+            let job = ReadJob {
+                meta,
+                cmd: request.cmd,
+                deadline_ms: request.deadline_ms,
+                ticket,
+                handle: Arc::clone(&entry.handle),
+                reply: reply_tx,
+                enqueued: Instant::now(),
+            };
+            if job.handle.is_published(ticket) {
+                // Fast path: every prior write is already published, so
+                // the snapshot is current — execute right here, zero
+                // cross-thread handoffs.
+                registry::serve_read(job, &gate.shared);
+            } else if gate.shared.pending_reads.load(Ordering::SeqCst)
+                >= gate.shared.read_backlog_cap()
+            {
+                gate.shared.rejected_overload.fetch_add(1, Ordering::SeqCst);
+                obs::counter_add("server.rejected.overload", 1);
+                let _ = job.reply.send(proto::error_envelope(
+                    &job.meta,
+                    "overload",
+                    &format!(
+                        "read backlog full ({} deep); retry later",
+                        gate.shared.read_backlog_cap()
+                    ),
+                ));
+            } else {
+                gate.shared.pending_reads.fetch_add(1, Ordering::SeqCst);
+                if let Err(mpsc::SendError(job)) = pool_tx.send(job) {
+                    gate.shared.pending_reads.fetch_sub(1, Ordering::SeqCst);
+                    let _ = job.reply.send(proto::error_envelope(
+                        &job.meta,
+                        "shutdown",
+                        "server is draining",
+                    ));
+                }
+            }
+            continue;
+        }
+        let is_shutdown = matches!(request.cmd, Command::Shutdown);
+        match entry.handle.admit_lane(
+            &entry.lane_tx,
+            meta,
+            request.cmd,
+            request.deadline_ms,
+            reply_tx,
+        ) {
             Ok(()) => {
                 if is_shutdown {
                     // Stop reading: this connection asked us to exit.
                     break;
                 }
             }
-            Err(TrySendError::Full(_)) => {
-                shared.rejected_overload.fetch_add(1, Ordering::SeqCst);
+            Err(TrySendError::Full(job)) => {
+                gate.shared.rejected_overload.fetch_add(1, Ordering::SeqCst);
                 obs::counter_add("server.rejected.overload", 1);
-                let _ = reply_tx.send(proto::error_envelope(
-                    id,
+                let _ = job.reply.send(proto::error_envelope(
+                    &job.meta,
                     "overload",
                     &format!(
                         "request queue full ({} deep); retry later",
-                        shared.queue_depth
+                        gate.shared.queue_depth
                     ),
                 ));
             }
-            Err(TrySendError::Disconnected(_)) => {
-                let _ = reply_tx.send(proto::error_envelope(id, "shutdown", "server is draining"));
+            Err(TrySendError::Disconnected(job)) => {
+                let _ = job.reply.send(proto::error_envelope(
+                    &job.meta,
+                    "shutdown",
+                    "server is draining",
+                ));
                 break;
             }
         }
     }
 }
 
-/// One TCP connection: a reader (this thread) plus a writer thread fed
-/// by the per-connection reply channel.
-fn connection(
-    stream: TcpStream,
-    tx: SyncSender<Job>,
-    shared: Arc<Shared>,
-    default_deadline_ms: Option<u64>,
-) {
+/// One TCP connection: a reader (this thread) plus a writer thread that
+/// drains reply slots in admission order.
+fn connection(stream: TcpStream, gate: Gate) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let (slot_tx, slot_rx) = mpsc::channel::<Receiver<String>>();
     let writer = thread::spawn(move || {
         let mut w = BufWriter::new(write_half);
-        for line in reply_rx {
+        for slot in slot_rx {
+            // A dropped reply sender (job discarded at teardown) just
+            // skips the slot; admitted-and-served replies always arrive.
+            let Ok(line) = slot.recv() else { continue };
             if w.write_all(line.as_bytes()).is_err()
                 || w.write_all(b"\n").is_err()
                 || w.flush().is_err()
@@ -307,15 +305,10 @@ fn connection(
             }
         }
     });
-    serve_lines(
-        BufReader::new(stream),
-        reply_tx,
-        tx,
-        &shared,
-        default_deadline_ms,
-    );
-    // Reader done; the writer exits once every queued job's reply clone
-    // is dropped (i.e. all admitted requests have been answered).
+    serve_lines(BufReader::new(stream), &slot_tx, &gate);
+    drop(slot_tx);
+    // Reader done; the writer exits once every admitted request's reply
+    // has been drained.
     let _ = writer.join();
 }
 
@@ -347,7 +340,7 @@ impl Server {
             .map_err(|e| MgbaError::io("listener", e))
     }
 
-    /// Serves connections until a `shutdown` request drains the queue.
+    /// Serves connections until a `shutdown` request drains the lanes.
     ///
     /// # Errors
     ///
@@ -358,11 +351,17 @@ impl Server {
         self.listener
             .set_nonblocking(true)
             .map_err(|e| MgbaError::io("listener", e))?;
-        let shared = Arc::new(Shared::new(self.config.queue_depth));
-        let (tx, rx) = mpsc::sync_channel::<Job>(self.config.queue_depth);
-        let worker = {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || worker_loop(rx, shared))
+        let shared = Arc::new(Shared::new(
+            self.config.queue_depth,
+            self.config.read_workers,
+        ));
+        let registry = Registry::new(self.config.queue_depth, Arc::clone(&shared));
+        let (pool_tx, _pool) = spawn_read_pool(&shared);
+        let gate = Gate {
+            registry: Arc::clone(&registry),
+            shared: Arc::clone(&shared),
+            pool_tx,
+            default_deadline_ms: self.config.default_deadline_ms,
         };
         while !shared.shutting_down.load(Ordering::SeqCst) {
             match self.listener.accept() {
@@ -373,10 +372,8 @@ impl Server {
                     // is the product here — trade the batching away.
                     let _ = stream.set_nodelay(true);
                     obs::counter_add("server.connections", 1);
-                    let tx = tx.clone();
-                    let shared = Arc::clone(&shared);
-                    let deadline = self.config.default_deadline_ms;
-                    thread::spawn(move || connection(stream, tx, shared, deadline));
+                    let gate = gate.clone();
+                    thread::spawn(move || connection(stream, gate));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     thread::sleep(ACCEPT_POLL);
@@ -387,8 +384,13 @@ impl Server {
                 }
             }
         }
-        drop(tx);
-        let _ = worker.join();
+        drop(gate);
+        for lane in registry.close() {
+            let _ = lane.join();
+        }
+        // Read workers exit once the last Gate clone drops; a lingering
+        // connection thread may briefly hold one, so they are not joined
+        // here — `run` returning feeds process exit in the CLI.
         Ok(())
     }
 }
@@ -398,7 +400,8 @@ impl Server {
 /// come back in admission order on the returned writer.
 ///
 /// Exits when the input ends or a `shutdown` request is served; either
-/// way the queue drains before the writer is returned.
+/// way every lane (and the read pool, when enabled) drains before the
+/// writer is returned.
 ///
 /// # Errors
 ///
@@ -410,16 +413,20 @@ where
     R: BufRead,
     W: Write + Send + 'static,
 {
-    let shared = Arc::new(Shared::new(config.queue_depth));
-    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
-    let worker = {
-        let shared = Arc::clone(&shared);
-        thread::spawn(move || worker_loop(rx, shared))
+    let shared = Arc::new(Shared::new(config.queue_depth, config.read_workers));
+    let registry = Registry::new(config.queue_depth, Arc::clone(&shared));
+    let (pool_tx, pool) = spawn_read_pool(&shared);
+    let gate = Gate {
+        registry: Arc::clone(&registry),
+        shared: Arc::clone(&shared),
+        pool_tx,
+        default_deadline_ms: config.default_deadline_ms,
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let (slot_tx, slot_rx) = mpsc::channel::<Receiver<String>>();
     let writer_thread = thread::spawn(move || {
         let mut w = writer;
-        for line in reply_rx {
+        for slot in slot_rx {
+            let Ok(line) = slot.recv() else { continue };
             if w.write_all(line.as_bytes()).is_err()
                 || w.write_all(b"\n").is_err()
                 || w.flush().is_err()
@@ -429,8 +436,18 @@ where
         }
         w
     });
-    serve_lines(reader, reply_tx, tx, &shared, config.default_deadline_ms);
-    let _ = worker.join();
+    serve_lines(reader, &slot_tx, &gate);
+    // Teardown order matters: close lanes first (they publish the last
+    // replies), then drop the pool sender so read workers exit, then
+    // close the slot stream so the writer drains and returns.
+    for lane in registry.close() {
+        let _ = lane.join();
+    }
+    drop(gate);
+    for worker in pool {
+        let _ = worker.join();
+    }
+    drop(slot_tx);
     let writer = writer_thread
         .join()
         .unwrap_or_else(|_| panic!("writer thread panicked"));
@@ -461,16 +478,35 @@ mod tests {
             .collect()
     }
 
+    fn split_config(read_workers: usize) -> ServerConfig {
+        ServerConfig {
+            queue_depth: 64,
+            default_deadline_ms: None,
+            read_workers,
+        }
+    }
+
     #[test]
     fn stream_serves_in_order_and_drains_on_eof() {
         let script = "{\"id\":1,\"cmd\":\"ping\"}\n{\"id\":2,\"cmd\":\"ping\"}\n";
         let lines = run_session(&ServerConfig::default(), script);
+        // v1 requests keep working, flagged as deprecated.
         assert_eq!(
             lines,
             vec![
-                "{\"id\":1,\"ok\":true,\"result\":{\"pong\":true}}",
-                "{\"id\":2,\"ok\":true,\"result\":{\"pong\":true}}",
+                "{\"id\":1,\"ok\":true,\"deprecated\":true,\"result\":{\"pong\":true}}",
+                "{\"id\":2,\"ok\":true,\"deprecated\":true,\"result\":{\"pong\":true}}",
             ]
+        );
+    }
+
+    #[test]
+    fn v2_requests_carry_their_session_in_the_envelope() {
+        let script = "{\"id\":1,\"proto\":2,\"session\":\"opt-a\",\"cmd\":\"ping\"}\n";
+        let lines = run_session(&ServerConfig::default(), script);
+        assert_eq!(
+            lines,
+            vec!["{\"id\":1,\"ok\":true,\"session\":\"opt-a\",\"result\":{\"pong\":true}}"]
         );
     }
 
@@ -481,6 +517,7 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"ok\":false"));
         assert!(lines[0].contains("\"kind\":\"usage\""));
+        assert!(lines[0].contains("\"code\":\"usage\""));
         assert!(lines[1].contains("\"id\":7"));
         assert!(lines[1].contains("\"pong\":true"));
     }
@@ -495,9 +532,81 @@ mod tests {
     }
 
     #[test]
+    fn hello_negotiates_proto_and_lists_sessions() {
+        let script = concat!(
+            r#"{"id":1,"cmd":"hello"}"#,
+            "\n",
+            r#"{"id":2,"proto":2,"session":"opt-a","cmd":"ping"}"#,
+            "\n",
+            r#"{"id":3,"proto":2,"session":"default","cmd":"hello","max_proto":1}"#,
+            "\n",
+        );
+        let lines = run_session(&ServerConfig::default(), script);
+        assert_eq!(lines.len(), 3);
+        // Before any addressed request: no sessions yet.
+        assert!(lines[0].contains("\"proto\":2"), "{}", lines[0]);
+        assert!(lines[0].contains("\"sessions\":[]"), "{}", lines[0]);
+        // hello creates no session; the addressed ping created one.
+        assert!(lines[2].contains("\"proto\":1"), "{}", lines[2]);
+        assert!(
+            lines[2].contains("\"sessions\":[\"opt-a\"]"),
+            "{}",
+            lines[2]
+        );
+    }
+
+    #[test]
+    fn sessions_are_isolated_state_shards() {
+        let script = concat!(
+            r#"{"id":1,"proto":2,"session":"x","cmd":"load","design":"small:3"}"#,
+            "\n",
+            r#"{"id":2,"proto":2,"session":"y","cmd":"wns"}"#,
+            "\n",
+            r#"{"id":3,"proto":2,"session":"x","cmd":"wns"}"#,
+            "\n",
+        );
+        let lines = run_session(&ServerConfig::default(), script);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        // Session y never loaded a design.
+        assert!(lines[1].contains("\"code\":\"usage\""), "{}", lines[1]);
+        assert!(lines[1].contains("no design loaded"), "{}", lines[1]);
+        assert!(lines[2].contains("\"wns\":"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn split_mode_is_byte_identical_to_funnel_mode() {
+        // Interleaved reads and writes across two sessions: the split
+        // path (reads on pool threads) must produce exactly the bytes
+        // the funnel path produces, in the same order.
+        let script = concat!(
+            r#"{"id":1,"proto":2,"session":"a","cmd":"load","design":"small:5"}"#,
+            "\n",
+            r#"{"id":2,"proto":2,"session":"a","cmd":"wns"}"#,
+            "\n",
+            r#"{"id":3,"proto":2,"session":"b","cmd":"load","design":"small:3"}"#,
+            "\n",
+            r#"{"id":4,"proto":2,"session":"a","cmd":"calibrate","solver":"cgnr"}"#,
+            "\n",
+            r#"{"id":5,"proto":2,"session":"a","cmd":"wns"}"#,
+            "\n",
+            r#"{"id":6,"proto":2,"session":"b","cmd":"slack","top":3}"#,
+            "\n",
+            r#"{"id":7,"proto":2,"session":"a","cmd":"tns"}"#,
+            "\n",
+            r#"{"id":8,"proto":2,"session":"b","cmd":"ping"}"#,
+            "\n",
+        );
+        let funnel = run_session(&split_config(0), script);
+        let split = run_session(&split_config(4), script);
+        assert_eq!(funnel.len(), 8);
+        assert_eq!(funnel, split);
+    }
+
+    #[test]
     fn metrics_command_lands_in_stats_latency_set() {
-        // `metrics` is itself a command: the worker loop records its
-        // latency like any other, so the following `stats` reports it.
+        // `metrics` is itself a command: the lane records its latency
+        // like any other, so the following `stats` reports it.
         let script = "{\"id\":1,\"cmd\":\"metrics\"}\n{\"id\":2,\"cmd\":\"stats\"}\n";
         let lines = run_session(&ServerConfig::default(), script);
         assert_eq!(lines.len(), 2);
@@ -508,11 +617,16 @@ mod tests {
             "stats must include the metrics command: {}",
             lines[1]
         );
+        assert!(
+            lines[1].contains("\"session\":\"default\""),
+            "stats names its session: {}",
+            lines[1]
+        );
     }
 
     #[test]
     fn expired_deadline_is_rejected_at_dequeue() {
-        // sleep(30) occupies the worker while the deadline_ms:1 ping
+        // sleep(30) occupies the lane while the deadline_ms:1 ping
         // waits in the queue past its deadline.
         let script = "{\"id\":1,\"cmd\":\"sleep\",\"ms\":30}\n\
                       {\"id\":2,\"cmd\":\"ping\",\"deadline_ms\":1}\n\
@@ -526,6 +640,21 @@ mod tests {
             lines[1]
         );
         assert!(lines[2].contains("\"pong\":true"));
+    }
+
+    #[test]
+    fn read_behind_slow_write_honors_its_deadline_in_split_mode() {
+        // The read is admitted behind a 60 ms write, so its ticket
+        // cannot publish inside the 1 ms deadline: the pool must reject
+        // it instead of waiting out the write.
+        let script = "{\"id\":1,\"cmd\":\"sleep\",\"ms\":60}\n\
+                      {\"id\":2,\"cmd\":\"wns\",\"deadline_ms\":1}\n\
+                      {\"id\":3,\"cmd\":\"ping\"}\n";
+        let lines = run_session(&split_config(2), script);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"slept_ms\":60"), "{}", lines[0]);
+        assert!(lines[1].contains("\"kind\":\"deadline\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"pong\":true"), "{}", lines[2]);
     }
 
     #[cfg(feature = "failpoints")]
@@ -628,6 +757,7 @@ mod tests {
         let config = ServerConfig {
             queue_depth: 64,
             default_deadline_ms: Some(1),
+            read_workers: 0,
         };
         let script = "{\"id\":1,\"cmd\":\"sleep\",\"ms\":30}\n{\"id\":2,\"cmd\":\"ping\"}\n";
         let lines = run_session(&config, script);

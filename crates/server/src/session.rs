@@ -1,6 +1,8 @@
 //! One resident timing session: a loaded design + engine + fitted
-//! weights, executing protocol commands sequentially on the worker
-//! thread.
+//! weights, executing mutating protocol commands sequentially on its
+//! writer-lane thread while read queries are served either inline
+//! (funnel mode) or from published [`ReadSnapshot`]s (read/write split —
+//! see [`crate::registry`]).
 //!
 //! The session is where the paper's economics pay off: the expensive
 //! steps (netlist load, full STA build, weight fitting) happen once per
@@ -18,7 +20,7 @@
 //! lives in the `stats` command and the `obs` profile instead.
 
 use crate::proto::Command;
-use crate::stats::{CommandStats, LatencyHist};
+use crate::registry::ReadSnapshot;
 use crate::suggest;
 use mgba::{recalibrate_warm, run_mgba_cached, CalibrationCache, MgbaConfig, MgbaError, Solver};
 use netlist::{CellId, LibCellId};
@@ -28,12 +30,15 @@ use sta::{
 };
 use std::fmt::Write as _;
 
-/// Server-level counters handed to [`Session::handle`] so the `stats`
-/// command can report them alongside engine and latency data.
+/// Server-level counters assembled by the admission layer and handed to
+/// the registry-level `stats`/`metrics` renderers.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerInfo {
     /// Configured bounded-queue depth.
     pub queue_depth: usize,
+    /// Configured read-pool size (0 = all requests funnel through the
+    /// writer lane).
+    pub read_workers: usize,
     /// Requests executed to completion.
     pub served: u64,
     /// Requests rejected because the queue was full.
@@ -104,8 +109,10 @@ struct MemSnapshot {
     weights: Vec<(String, f64)>,
 }
 
-/// The daemon's per-process state: at most one loaded design, plus
-/// always-on latency accounting.
+/// One session's writer-lane state: at most one loaded design plus the
+/// crash-recovery checkpoint. Latency accounting lives on the session's
+/// [`crate::registry::SessionHandle`] so read workers can record into it
+/// without touching the lane.
 #[derive(Default)]
 pub struct Session {
     loaded: Option<Loaded>,
@@ -120,11 +127,32 @@ pub struct Session {
     /// Cold (full re-select + re-fit) recalibrations served — explicit
     /// `full:true`, or the warm cache was unavailable.
     recalib_cold: u64,
-    /// Histogram of `whatif_batch` candidate counts (log₂ buckets; the
-    /// recorded unit is candidates, not microseconds).
-    whatif_batch_sizes: LatencyHist,
-    /// Per-command latency histograms (recorded by the worker loop).
-    pub latency: CommandStats,
+}
+
+/// Engine-level gauge values for one session, consumed by the
+/// registry-level Prometheus renderer. Built either from the live lane
+/// state ([`Session::engine_gauges`]) or from a published
+/// [`ReadSnapshot`] ([`snapshot_engine_gauges`]).
+pub(crate) struct EngineGauges {
+    pub wns: f64,
+    pub tns: f64,
+    pub calibrated: bool,
+    pub full_updates: u64,
+    pub incremental_updates: u64,
+    pub cells_propagated: u64,
+}
+
+/// Engine gauges read out of a published snapshot (for sessions other
+/// than the one serving the `metrics` request).
+pub(crate) fn snapshot_engine_gauges(snap: &ReadSnapshot) -> EngineGauges {
+    EngineGauges {
+        wns: snap.sta.wns(),
+        tns: snap.sta.tns(),
+        calibrated: snap.calibrated,
+        full_updates: snap.sta.stats.full_updates,
+        incremental_updates: snap.sta.stats.incremental_updates,
+        cells_propagated: snap.sta.stats.cells_propagated,
+    }
 }
 
 fn usage(msg: impl Into<String>) -> MgbaError {
@@ -156,6 +184,130 @@ fn worst_endpoints(sta: &Sta, top: usize) -> Vec<(CellId, f64)> {
     v
 }
 
+// ---------------------------------------------------------------------
+// Read handlers.
+//
+// Free functions over `&Sta` so the same code serves both paths of the
+// read/write split: the writer lane (live engine, funnel mode) and the
+// read pool (published `ReadSnapshot`). Byte-identity across the two
+// paths falls out of sharing one implementation.
+// ---------------------------------------------------------------------
+
+/// `ping` result object.
+pub(crate) fn ping_result() -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("pong");
+    w.bool(true);
+    w.end_obj();
+    w.finish()
+}
+
+/// `slack` result: one endpoint's slack, or the `top` worst endpoints.
+pub(crate) fn read_slack(
+    sta: &Sta,
+    endpoint: Option<&str>,
+    top: usize,
+) -> Result<String, MgbaError> {
+    let mut w = JsonWriter::new();
+    match endpoint {
+        Some(name) => {
+            let cell = sta
+                .netlist()
+                .find_cell(name)
+                .ok_or_else(|| usage(format!("unknown cell `{name}`")))?;
+            if !sta.netlist().endpoints().contains(&cell) {
+                return Err(usage(format!("cell `{name}` is not a timing endpoint")));
+            }
+            w.begin_obj();
+            w.key("endpoint");
+            w.str(name);
+            w.key("slack");
+            w.f64(sta.setup_slack(cell));
+            w.end_obj();
+        }
+        None => {
+            let worst = worst_endpoints(sta, top);
+            w.begin_obj();
+            w.key("wns");
+            w.f64(sta.wns());
+            w.key("endpoints");
+            w.begin_arr();
+            for (cell, slack) in &worst {
+                w.begin_obj();
+                w.key("endpoint");
+                w.str(&sta.netlist().cell(*cell).name);
+                w.key("slack");
+                w.f64(*slack);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+    }
+    Ok(w.finish())
+}
+
+/// `wns`/`tns` result: the summary figure plus the violation count.
+pub(crate) fn read_summary(sta: &Sta, wns: bool) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    if wns {
+        w.key("wns");
+        w.f64(sta.wns());
+    } else {
+        w.key("tns");
+        w.f64(sta.tns());
+    }
+    w.key("violating");
+    w.u64(sta.violating_endpoints().len() as u64);
+    w.end_obj();
+    w.finish()
+}
+
+/// `path` result: the worst path to `endpoint` (or the global worst),
+/// optionally PBA-retimed.
+pub(crate) fn read_path(sta: &Sta, endpoint: Option<&str>, pba: bool) -> Result<String, MgbaError> {
+    let cell = match endpoint {
+        Some(name) => sta
+            .netlist()
+            .find_cell(name)
+            .ok_or_else(|| usage(format!("unknown cell `{name}`")))?,
+        None => {
+            worst_endpoints(sta, 1)
+                .first()
+                .ok_or_else(|| usage("design has no constrained endpoints"))?
+                .0
+        }
+    };
+    let paths = worst_paths_to_endpoint(sta, cell, 1);
+    let path = paths
+        .first()
+        .ok_or_else(|| usage("no data path reaches that endpoint"))?;
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("endpoint");
+    w.str(&sta.netlist().cell(path.endpoint).name);
+    w.key("slack");
+    w.f64(path.gba_slack);
+    w.key("arrival");
+    w.f64(path.gba_arrival);
+    w.key("gates");
+    w.u64(path.num_gates() as u64);
+    if pba {
+        w.key("pba_slack");
+        w.f64(pba_timing(sta, path).slack);
+    }
+    w.key("cells");
+    w.begin_arr();
+    for c in &path.cells {
+        w.str(&sta.netlist().cell(*c).name);
+    }
+    w.end_arr();
+    w.end_obj();
+    Ok(w.finish())
+}
+
 impl Session {
     /// Creates an empty session (no design loaded).
     pub fn new() -> Self {
@@ -175,13 +327,66 @@ impl Session {
         self.degraded
     }
 
+    /// `(warm, cold)` recalibration counts served by this lane.
+    pub(crate) fn recalib_counts(&self) -> (u64, u64) {
+        (self.recalib_warm, self.recalib_cold)
+    }
+
+    /// Clones the immutable post-command state into a snapshot the read
+    /// pool can serve lock-free. `None` while no design is loaded (reads
+    /// then answer the same `no design loaded` usage error the lane
+    /// would).
+    pub(crate) fn read_snapshot(&self) -> Option<ReadSnapshot> {
+        self.loaded.as_ref().map(|l| ReadSnapshot {
+            sta: l.sta.clone(),
+            degraded: self.degraded,
+            calibrated: l.calibrated.is_some(),
+        })
+    }
+
+    /// Live engine gauges for the session this lane owns (`None` until a
+    /// design is loaded).
+    pub(crate) fn engine_gauges(&self) -> Option<EngineGauges> {
+        self.loaded.as_ref().map(|l| EngineGauges {
+            wns: l.sta.wns(),
+            tns: l.sta.tns(),
+            calibrated: l.calibrated.is_some(),
+            full_updates: l.sta.stats.full_updates,
+            incremental_updates: l.sta.stats.incremental_updates,
+            cells_propagated: l.sta.stats.cells_propagated,
+        })
+    }
+
+    /// Writes the `stats` command's `engine` value (object or null).
+    pub(crate) fn write_engine_json(&self, w: &mut JsonWriter) {
+        match &self.loaded {
+            Some(l) => {
+                w.begin_obj();
+                w.key("design");
+                w.str(l.sta.netlist().name());
+                w.key("period");
+                w.f64(l.period);
+                w.key("calibrated");
+                w.bool(l.calibrated.is_some());
+                w.key("full_updates");
+                w.u64(l.sta.stats.full_updates);
+                w.key("incremental_updates");
+                w.u64(l.sta.stats.incremental_updates);
+                w.key("cells_propagated");
+                w.u64(l.sta.stats.cells_propagated);
+                w.end_obj();
+            }
+            None => w.null(),
+        }
+    }
+
     /// Executes one command and renders its `result` object.
     ///
     /// # Errors
     ///
     /// Returns the command's [`MgbaError`]; the caller wraps it into a
     /// structured error response. The session survives every error.
-    pub fn handle(&mut self, cmd: &Command, server: &ServerInfo) -> Result<String, MgbaError> {
+    pub fn handle(&mut self, cmd: &Command) -> Result<String, MgbaError> {
         // Chaos hook for the crash-isolation layer: `panic` here unwinds
         // exactly like a handler bug would (the worker catches it and
         // restores the last good state); `error`/`nan` surface as a
@@ -193,7 +398,7 @@ impl Session {
                 "failpoint `server.handle`: injected {fault:?}"
             )));
         }
-        let result = self.dispatch(cmd, server);
+        let result = self.dispatch(cmd);
         if result.is_ok()
             && matches!(
                 cmd,
@@ -212,30 +417,39 @@ impl Session {
         result
     }
 
-    fn dispatch(&mut self, cmd: &Command, server: &ServerInfo) -> Result<String, MgbaError> {
+    fn dispatch(&mut self, cmd: &Command) -> Result<String, MgbaError> {
         match cmd {
-            Command::Ping => {
-                let mut w = JsonWriter::new();
-                w.begin_obj();
-                w.key("pong");
-                w.bool(true);
-                w.end_obj();
-                Ok(w.finish())
-            }
+            Command::Ping => Ok(ping_result()),
             Command::Load { spec, period } => self.load(spec, *period),
             Command::Calibrate { solver } => self.calibrate(solver.as_deref()),
-            Command::Slack { endpoint, top } => self.slack(endpoint.as_deref(), *top),
-            Command::Wns => self.summary(true),
-            Command::Tns => self.summary(false),
-            Command::PathQuery { endpoint, pba } => self.path(endpoint.as_deref(), *pba),
+            Command::Slack { endpoint, top } => {
+                let loaded = self.require_loaded()?;
+                read_slack(&loaded.sta, endpoint.as_deref(), *top)
+            }
+            Command::Wns => {
+                let loaded = self.require_loaded()?;
+                Ok(read_summary(&loaded.sta, true))
+            }
+            Command::Tns => {
+                let loaded = self.require_loaded()?;
+                Ok(read_summary(&loaded.sta, false))
+            }
+            Command::PathQuery { endpoint, pba } => {
+                let loaded = self.require_loaded()?;
+                read_path(&loaded.sta, endpoint.as_deref(), *pba)
+            }
             Command::WhatIfResize { cell, to } => self.resize(cell, to, false, false),
             Command::WhatIfBatch { resizes, pba } => self.whatif_batch(resizes, *pba),
             Command::Commit { cell, to, full } => self.resize(cell, to, true, *full),
             Command::Recalibrate { solver, full } => self.recalibrate(solver.as_deref(), *full),
             Command::Snapshot { file } => self.snapshot(file),
             Command::Restore { file } => self.restore(file),
-            Command::Stats => self.stats(server),
-            Command::Metrics => Ok(self.metrics(server)),
+            // Stats, metrics, and hello need registry-wide state (every
+            // session's handle, merged latency views); the server layer
+            // intercepts them before dispatch ever sees them.
+            Command::Stats | Command::Metrics | Command::Hello { .. } => Err(MgbaError::Internal(
+                "command is handled at the server layer".into(),
+            )),
             Command::Failpoint { spec } => {
                 let applied = faultinject::arm_spec(spec).map_err(MgbaError::Usage)?;
                 let mut w = JsonWriter::new();
@@ -360,109 +574,6 @@ impl Session {
         w.f64(loaded.sta.tns());
         w.end_obj();
         self.degraded = degraded;
-        Ok(w.finish())
-    }
-
-    fn slack(&mut self, endpoint: Option<&str>, top: usize) -> Result<String, MgbaError> {
-        let loaded = self.require_loaded()?;
-        let sta = &loaded.sta;
-        let mut w = JsonWriter::new();
-        match endpoint {
-            Some(name) => {
-                let cell = sta
-                    .netlist()
-                    .find_cell(name)
-                    .ok_or_else(|| usage(format!("unknown cell `{name}`")))?;
-                if !sta.netlist().endpoints().contains(&cell) {
-                    return Err(usage(format!("cell `{name}` is not a timing endpoint")));
-                }
-                w.begin_obj();
-                w.key("endpoint");
-                w.str(name);
-                w.key("slack");
-                w.f64(sta.setup_slack(cell));
-                w.end_obj();
-            }
-            None => {
-                let worst = worst_endpoints(sta, top);
-                w.begin_obj();
-                w.key("wns");
-                w.f64(sta.wns());
-                w.key("endpoints");
-                w.begin_arr();
-                for (cell, slack) in &worst {
-                    w.begin_obj();
-                    w.key("endpoint");
-                    w.str(&sta.netlist().cell(*cell).name);
-                    w.key("slack");
-                    w.f64(*slack);
-                    w.end_obj();
-                }
-                w.end_arr();
-                w.end_obj();
-            }
-        }
-        Ok(w.finish())
-    }
-
-    fn summary(&mut self, wns: bool) -> Result<String, MgbaError> {
-        let loaded = self.require_loaded()?;
-        let sta = &loaded.sta;
-        let mut w = JsonWriter::new();
-        w.begin_obj();
-        if wns {
-            w.key("wns");
-            w.f64(sta.wns());
-        } else {
-            w.key("tns");
-            w.f64(sta.tns());
-        }
-        w.key("violating");
-        w.u64(sta.violating_endpoints().len() as u64);
-        w.end_obj();
-        Ok(w.finish())
-    }
-
-    fn path(&mut self, endpoint: Option<&str>, pba: bool) -> Result<String, MgbaError> {
-        let loaded = self.require_loaded()?;
-        let sta = &loaded.sta;
-        let cell = match endpoint {
-            Some(name) => sta
-                .netlist()
-                .find_cell(name)
-                .ok_or_else(|| usage(format!("unknown cell `{name}`")))?,
-            None => {
-                worst_endpoints(sta, 1)
-                    .first()
-                    .ok_or_else(|| usage("design has no constrained endpoints"))?
-                    .0
-            }
-        };
-        let paths = worst_paths_to_endpoint(sta, cell, 1);
-        let path = paths
-            .first()
-            .ok_or_else(|| usage("no data path reaches that endpoint"))?;
-        let mut w = JsonWriter::new();
-        w.begin_obj();
-        w.key("endpoint");
-        w.str(&sta.netlist().cell(path.endpoint).name);
-        w.key("slack");
-        w.f64(path.gba_slack);
-        w.key("arrival");
-        w.f64(path.gba_arrival);
-        w.key("gates");
-        w.u64(path.num_gates() as u64);
-        if pba {
-            w.key("pba_slack");
-            w.f64(pba_timing(sta, path).slack);
-        }
-        w.key("cells");
-        w.begin_arr();
-        for c in &path.cells {
-            w.str(&sta.netlist().cell(*c).name);
-        }
-        w.end_arr();
-        w.end_obj();
         Ok(w.finish())
     }
 
@@ -742,11 +853,22 @@ impl Session {
                         Ok((cell, current, target))
                     }
                 });
+            // Per-candidate errors use the same `{code, message}` shape
+            // as top-level protocol errors (satellite: one structured
+            // error enum across every command).
+            let write_error = |w: &mut JsonWriter, e: &MgbaError| {
+                w.key("error");
+                w.begin_obj();
+                w.key("code");
+                w.str(crate::proto::error_kind(e));
+                w.key("message");
+                w.str(&e.to_string());
+                w.end_obj();
+            };
             let (cell, current, target) = match resolved {
                 Ok(t) => t,
                 Err(e) => {
-                    w.key("error");
-                    w.str(&e.to_string());
+                    write_error(&mut w, &e);
                     w.end_obj();
                     continue;
                 }
@@ -754,8 +876,7 @@ impl Session {
             if let Err(e) = sta.resize_cell(cell, target) {
                 // Structural rejection happens before any mutation, so
                 // the engine is untouched and the batch can continue.
-                w.key("error");
-                w.str(&e.to_string());
+                write_error(&mut w, &MgbaError::from(e));
                 w.end_obj();
                 continue;
             }
@@ -798,7 +919,6 @@ impl Session {
         }
         w.end_arr();
         w.end_obj();
-        self.whatif_batch_sizes.record(resizes.len() as u64);
         Ok(w.finish())
     }
 
@@ -1007,172 +1127,6 @@ impl Session {
             }
         }
     }
-
-    /// Renders the full Prometheus exposition: server counters, engine
-    /// gauges, the always-on per-command latency histograms (one
-    /// `{cmd="…"}` series each), and whatever the `obs` registry holds
-    /// (empty unless `--profile` is on). Like `stats`, the output is
-    /// non-deterministic (latencies), so it is excluded from the
-    /// byte-identity protocol tests.
-    fn exposition(&self, server: &ServerInfo) -> String {
-        use obs::prom::PromWriter;
-        let mut p = PromWriter::new();
-        p.gauge(
-            "mgba_server_queue_depth",
-            "configured bounded-queue depth",
-            server.queue_depth as f64,
-        );
-        p.gauge(
-            "mgba_server_threads",
-            "worker pool size",
-            parallel::global().threads() as f64,
-        );
-        p.counter(
-            "mgba_server_served_total",
-            "requests executed to completion",
-            server.served,
-        );
-        p.counter(
-            "mgba_server_rejected_overload_total",
-            "requests rejected with a full queue",
-            server.rejected_overload,
-        );
-        p.counter(
-            "mgba_server_rejected_deadline_total",
-            "requests whose admission deadline expired while queued",
-            server.rejected_deadline,
-        );
-        p.counter(
-            "mgba_server_panics_total",
-            "request handlers that panicked and were crash-isolated",
-            server.panics,
-        );
-        p.gauge(
-            "mgba_session_degraded",
-            "1 while serving fault-recovered state without calibration",
-            if self.degraded { 1.0 } else { 0.0 },
-        );
-        p.counter(
-            "mgba_server_recalibrate_warm_total",
-            "incremental warm-start recalibrations (dirty rows patched)",
-            self.recalib_warm,
-        );
-        p.counter(
-            "mgba_server_recalibrate_cold_total",
-            "full cold recalibrations (`full:true` or warm cache unavailable)",
-            self.recalib_cold,
-        );
-        if let Some(l) = &self.loaded {
-            p.gauge("mgba_engine_wns", "worst negative slack, ps", l.sta.wns());
-            p.gauge("mgba_engine_tns", "total negative slack, ps", l.sta.tns());
-            p.gauge(
-                "mgba_engine_calibrated",
-                "1 when mGBA weights are fitted",
-                if l.calibrated.is_some() { 1.0 } else { 0.0 },
-            );
-            p.counter(
-                "mgba_engine_full_updates_total",
-                "full timing propagations",
-                l.sta.stats.full_updates,
-            );
-            p.counter(
-                "mgba_engine_incremental_updates_total",
-                "incremental timing propagations",
-                l.sta.stats.incremental_updates,
-            );
-            p.counter(
-                "mgba_engine_cells_propagated_total",
-                "cells touched by timing propagation",
-                l.sta.stats.cells_propagated,
-            );
-        }
-        p.histogram_family(
-            "mgba_server_command_latency_us",
-            "per-command request latency, microseconds",
-        );
-        for (name, h) in self.latency.iter() {
-            p.histogram_series(
-                "mgba_server_command_latency_us",
-                Some(("cmd", name)),
-                &h.buckets(),
-                h.count,
-                h.sum_us as f64,
-            );
-        }
-        let b = &self.whatif_batch_sizes;
-        p.histogram_family(
-            "mgba_server_whatif_batch_size",
-            "candidates per whatif_batch request",
-        );
-        p.histogram_series(
-            "mgba_server_whatif_batch_size",
-            None,
-            &b.buckets(),
-            b.count,
-            b.sum_us as f64,
-        );
-        let mut text = p.finish();
-        // The obs registry rides along when profiling is enabled.
-        text.push_str(&obs::prom::encode(&obs::metrics::snapshot()));
-        text
-    }
-
-    fn metrics(&self, server: &ServerInfo) -> String {
-        let mut w = JsonWriter::new();
-        w.begin_obj();
-        w.key("content_type");
-        w.str(obs::prom::CONTENT_TYPE);
-        w.key("exposition");
-        w.str(&self.exposition(server));
-        w.end_obj();
-        w.finish()
-    }
-
-    fn stats(&mut self, server: &ServerInfo) -> Result<String, MgbaError> {
-        let mut w = JsonWriter::new();
-        w.begin_obj();
-        w.key("server");
-        w.begin_obj();
-        w.key("queue_depth");
-        w.u64(server.queue_depth as u64);
-        w.key("served");
-        w.u64(server.served);
-        w.key("rejected_overload");
-        w.u64(server.rejected_overload);
-        w.key("rejected_deadline");
-        w.u64(server.rejected_deadline);
-        w.key("panics");
-        w.u64(server.panics);
-        w.key("degraded");
-        w.bool(self.degraded);
-        w.key("threads");
-        w.u64(parallel::global().threads() as u64);
-        w.end_obj();
-        w.key("engine");
-        match &self.loaded {
-            Some(l) => {
-                w.begin_obj();
-                w.key("design");
-                w.str(l.sta.netlist().name());
-                w.key("period");
-                w.f64(l.period);
-                w.key("calibrated");
-                w.bool(l.calibrated.is_some());
-                w.key("full_updates");
-                w.u64(l.sta.stats.full_updates);
-                w.key("incremental_updates");
-                w.u64(l.sta.stats.incremental_updates);
-                w.key("cells_propagated");
-                w.u64(l.sta.stats.cells_propagated);
-                w.end_obj();
-            }
-            None => w.null(),
-        }
-        w.key("commands");
-        self.latency.write_json(&mut w);
-        w.end_obj();
-        Ok(w.finish())
-    }
 }
 
 #[cfg(test)]
@@ -1184,7 +1138,7 @@ mod tests {
         let req = crate::proto::parse_request(line)
             .map_err(|(_, e)| e)
             .unwrap();
-        s.handle(&req.cmd, &ServerInfo::default())
+        s.handle(&req.cmd)
     }
 
     fn obj(json: &str) -> Value {
@@ -1329,14 +1283,7 @@ mod tests {
                 let wns_a = r.get("wns_after").and_then(Value::as_f64).unwrap();
                 assert!((wns_a - wns_b - d).abs() < 1e-9);
                 // Incremental, not full, update served the commit.
-                let st = obj(&handle(&mut s, r#"{"cmd":"stats"}"#).unwrap());
-                let eng = st.get("engine").unwrap();
-                assert!(
-                    eng.get("incremental_updates")
-                        .and_then(Value::as_u64)
-                        .unwrap()
-                        > 0
-                );
+                assert!(s.engine_gauges().unwrap().incremental_updates > 0);
                 return;
             }
         }
@@ -1492,18 +1439,8 @@ mod tests {
         let dirty = r.get("dirty_rows").and_then(Value::as_u64).unwrap();
         assert_eq!(Some(dirty), r.get("total_rows").and_then(Value::as_u64));
 
-        // Counters surface through the Prometheus exposition.
-        let m = obj(&handle(&mut s, r#"{"cmd":"metrics"}"#).unwrap());
-        let text = m.get("exposition").and_then(Value::as_str).unwrap();
-        obs::prom::validate(text).expect("conformant exposition");
-        assert!(
-            text.contains("mgba_server_recalibrate_warm_total 2"),
-            "{text}"
-        );
-        assert!(
-            text.contains("mgba_server_recalibrate_cold_total 1"),
-            "{text}"
-        );
+        // Counters feed the registry-level Prometheus renderer.
+        assert_eq!(s.recalib_counts(), (2, 1));
     }
 
     #[test]
@@ -1542,23 +1479,20 @@ mod tests {
         let path_pba = c0.get("path_pba_wns").and_then(Value::as_f64).unwrap();
         assert!(path_wns.is_finite() && path_pba.is_finite());
         // Candidate 1: unknown cell, with a suggestion naming the real
-        // cell; candidate 2: unknown library cell.
-        let e1 = results[1].get("error").and_then(Value::as_str).unwrap();
-        assert!(e1.contains(&format!("unknown cell `{near_miss}`")), "{e1}");
-        assert!(e1.contains("nearest:"), "{e1}");
-        assert!(e1.contains(victim.as_str()), "{e1}");
-        let e2 = results[2].get("error").and_then(Value::as_str).unwrap();
-        assert!(e2.contains("unknown library cell `NO_SUCH_LIB`"), "{e2}");
+        // cell; candidate 2: unknown library cell. Per-candidate errors
+        // are structured `{code, message}` objects (protocol v2 shape).
+        let e1 = results[1].get("error").expect("candidate 1 errors");
+        assert_eq!(e1.get("code").and_then(Value::as_str), Some("usage"));
+        let m1 = e1.get("message").and_then(Value::as_str).unwrap();
+        assert!(m1.contains(&format!("unknown cell `{near_miss}`")), "{m1}");
+        assert!(m1.contains("nearest:"), "{m1}");
+        assert!(m1.contains(victim.as_str()), "{m1}");
+        let e2 = results[2].get("error").expect("candidate 2 errors");
+        assert_eq!(e2.get("code").and_then(Value::as_str), Some("usage"));
+        let m2 = e2.get("message").and_then(Value::as_str).unwrap();
+        assert!(m2.contains("unknown library cell `NO_SUCH_LIB`"), "{m2}");
         // Every candidate was rolled back: timing is unchanged.
         assert_eq!(wns_of(&mut s).to_bits(), wns0.to_bits());
-        // The batch-size histogram surfaces through `metrics`.
-        let m = obj(&handle(&mut s, r#"{"cmd":"metrics"}"#).unwrap());
-        let text = m.get("exposition").and_then(Value::as_str).unwrap();
-        obs::prom::validate(text).expect("conformant exposition");
-        assert!(
-            text.contains("mgba_server_whatif_batch_size_count 1"),
-            "{text}"
-        );
     }
 
     #[test]
@@ -1581,46 +1515,32 @@ mod tests {
     }
 
     #[test]
-    fn stats_reports_latency_and_engine() {
+    fn stats_and_metrics_are_server_layer_commands() {
+        // The lane-level dispatcher refuses registry-wide commands; the
+        // server intercepts them first (see `registry::render_stats`).
         let mut s = Session::new();
-        s.latency.record("ping", 12);
-        let st = obj(&handle(&mut s, r#"{"cmd":"stats"}"#).unwrap());
-        assert_eq!(st.get("engine"), Some(&Value::Null));
-        let cmds = st.get("commands").unwrap();
-        assert!(cmds.get("ping").is_some());
+        for cmd in [r#"{"cmd":"stats"}"#, r#"{"cmd":"metrics"}"#] {
+            let e = handle(&mut s, cmd).unwrap_err();
+            assert!(matches!(e, MgbaError::Internal(_)), "{cmd}: {e}");
+        }
     }
 
     #[test]
-    fn metrics_exposition_is_conformant() {
+    fn read_snapshot_tracks_loaded_state() {
         let mut s = Session::new();
+        assert!(s.read_snapshot().is_none());
         handle(&mut s, r#"{"cmd":"load","design":"small:7"}"#).unwrap();
-        s.latency.record("load", 950);
-        s.latency.record("wns", 4);
-        s.latency.record("wns", 70_000);
-        let info = ServerInfo {
-            queue_depth: 16,
-            served: 3,
-            rejected_overload: 1,
-            rejected_deadline: 0,
-            panics: 2,
-        };
-        let req = crate::proto::parse_request(r#"{"cmd":"metrics"}"#)
-            .map_err(|(_, e)| e)
-            .unwrap();
-        let r = obj(&s.handle(&req.cmd, &info).unwrap());
+        let snap = s.read_snapshot().expect("loaded session snapshots");
+        assert!(!snap.degraded);
+        assert!(!snap.calibrated);
+        // The snapshot is an independent clone serving identical bytes.
+        let live = wns_of(&mut s);
+        assert_eq!(snap.sta.wns().to_bits(), live.to_bits());
         assert_eq!(
-            r.get("content_type").and_then(Value::as_str),
-            Some(obs::prom::CONTENT_TYPE)
+            read_summary(&snap.sta, true),
+            handle(&mut s, r#"{"cmd":"wns"}"#).unwrap()
         );
-        let text = r.get("exposition").and_then(Value::as_str).unwrap();
-        obs::prom::validate(text).expect("conformant exposition");
-        assert!(text.contains("mgba_server_served_total 3"));
-        assert!(text.contains("mgba_server_rejected_overload_total 1"));
-        assert!(text.contains("mgba_server_panics_total 2"));
-        assert!(text.contains("mgba_session_degraded 0"));
-        assert!(text.contains("# TYPE mgba_server_command_latency_us histogram"));
-        assert!(text.contains("mgba_server_command_latency_us_count{cmd=\"wns\"} 2"));
-        assert!(text.contains("mgba_server_command_latency_us_bucket{cmd=\"wns\",le=\"+Inf\"} 2"));
-        assert!(text.contains("# TYPE mgba_engine_wns gauge"));
+        handle(&mut s, r#"{"cmd":"calibrate","solver":"cgnr"}"#).unwrap();
+        assert!(s.read_snapshot().unwrap().calibrated);
     }
 }

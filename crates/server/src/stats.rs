@@ -74,6 +74,17 @@ impl LatencyHist {
         }
     }
 
+    /// Folds another histogram into this one (bucket-wise sum). Used to
+    /// build the merged all-sessions view from per-session histograms.
+    pub fn merge_from(&mut self, other: &LatencyHist) {
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
     /// Estimated `q`-quantile in µs (upper bucket bound, clamped to the
     /// observed max). `None` when empty.
     pub fn quantile_us(&self, q: f64) -> Option<u64> {
@@ -117,6 +128,15 @@ impl CommandStats {
     /// Total requests recorded across all commands.
     pub fn total(&self) -> u64 {
         self.by_command.values().map(|h| h.count).sum()
+    }
+
+    /// Folds another registry into this one, command by command — the
+    /// merged all-sessions view keeps the process-global Prometheus
+    /// series alive while each session tracks its own latencies.
+    pub fn merge_from(&mut self, other: &CommandStats) {
+        for (name, h) in other.iter() {
+            self.by_command.entry(name).or_default().merge_from(h);
+        }
     }
 
     /// Emits the `{"command": {count,p50_us,p99_us,max_us,mean_us}}`
@@ -188,6 +208,31 @@ mod tests {
         let mut o = LatencyHist::default();
         o.record(u64::MAX);
         assert_eq!(o.buckets(), vec![(f64::INFINITY, 1)]);
+    }
+
+    #[test]
+    fn merge_sums_counts_buckets_and_max() {
+        let mut a = LatencyHist::default();
+        a.record(3);
+        a.record(100);
+        let mut b = LatencyHist::default();
+        b.record(7);
+        b.record(90_000);
+        a.merge_from(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum_us, 3 + 100 + 7 + 90_000);
+        assert_eq!(a.max_us, 90_000);
+        assert_eq!(a.buckets().iter().map(|(_, c)| c).sum::<u64>(), 4);
+
+        let mut s1 = CommandStats::default();
+        s1.record("ping", 5);
+        let mut s2 = CommandStats::default();
+        s2.record("ping", 9);
+        s2.record("wns", 11);
+        s1.merge_from(&s2);
+        assert_eq!(s1.total(), 3);
+        assert_eq!(s1.get("ping").unwrap().count, 2);
+        assert_eq!(s1.get("wns").unwrap().count, 1);
     }
 
     #[test]

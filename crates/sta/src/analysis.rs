@@ -31,6 +31,11 @@ pub struct UpdateStats {
 const EPS: f64 = 1e-9;
 
 /// Graph-based static timing analysis over an owned netlist.
+///
+/// `Clone` supports read/write-split serving: a writer clones the
+/// fully-propagated engine into an immutable snapshot that read-only
+/// queries share without locking.
+#[derive(Clone)]
 pub struct Sta {
     netlist: Netlist,
     sdc: Sdc,

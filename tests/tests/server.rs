@@ -5,7 +5,12 @@
 //!
 //! - the full command flow (load → calibrate → query → what-if → commit
 //!   → snapshot → restore → stats → shutdown) works over TCP;
-//! - responses are byte-identical under `--threads 1` and `--threads 4`;
+//! - responses are byte-identical under `--threads 1` and `--threads 4`,
+//!   with the read pool off (`read_workers 0`) and on (`4`);
+//! - protocol v2: sessions shard state, every v2 envelope names its
+//!   session, and concurrent clients get admission-ordered replies;
+//! - protocol v1 requests still work sessionless, pinned byte-for-byte
+//!   with the `"deprecated":true` envelope key;
 //! - malformed requests get structured error envelopes and the server
 //!   keeps serving;
 //! - overload is an explicit rejection, not a hang: every request is
@@ -13,6 +18,8 @@
 //! - expired deadlines are rejected at dequeue;
 //! - `shutdown` drains and the server process (thread) exits cleanly.
 
+use server::client::{Client, ClientConfig};
+use server::proto::Command;
 use server::{serve_stream, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -96,47 +103,64 @@ fn full_command_flow_over_tcp() {
 }
 
 #[test]
-fn responses_are_bit_identical_across_thread_counts() {
-    // The worker serializes execution and responses carry no wall-clock
-    // fields, so the entire response stream must be byte-identical no
-    // matter how many threads the engine's parallel kernels use.
+fn responses_are_bit_identical_across_thread_counts_and_read_modes() {
+    // Sessions serialize execution per writer lane, responses drain
+    // through admission-ordered reply slots, and no envelope carries a
+    // wall-clock field — so the entire response stream must be
+    // byte-identical no matter how many threads the engine's parallel
+    // kernels use AND no matter whether reads funnel through the lane
+    // (`read_workers 0`) or run on the snapshot pool (`read_workers 4`).
+    // The script mixes v1 sessionless lines with v2 session-addressed
+    // lines across two sessions to pin the sharded path too.
     let script = concat!(
         r#"{"id":1,"cmd":"load","design":"small:7"}"#,
         "\n",
         r#"{"id":2,"cmd":"calibrate","solver":"scgrs"}"#,
         "\n",
-        r#"{"id":3,"cmd":"slack","top":10}"#,
+        r#"{"id":3,"proto":2,"session":"alpha","cmd":"load","design":"small:5"}"#,
         "\n",
-        r#"{"id":4,"cmd":"path","pba":true}"#,
+        r#"{"id":4,"cmd":"slack","top":10}"#,
         "\n",
-        r#"{"id":5,"cmd":"whatif_resize","cell":"g_1_0_0","to":"up"}"#,
+        r#"{"id":5,"cmd":"path","pba":true}"#,
         "\n",
-        r#"{"id":6,"cmd":"wns"}"#,
+        r#"{"id":6,"proto":2,"session":"alpha","cmd":"wns"}"#,
         "\n",
-        r#"{"id":7,"cmd":"tns"}"#,
+        r#"{"id":7,"cmd":"whatif_resize","cell":"g_1_0_0","to":"up"}"#,
+        "\n",
+        r#"{"id":8,"cmd":"wns"}"#,
+        "\n",
+        r#"{"id":9,"proto":2,"session":"alpha","cmd":"tns"}"#,
+        "\n",
+        r#"{"id":10,"cmd":"tns"}"#,
         "\n",
         "this line is not json\n",
-        r#"{"id":8,"cmd":"shutdown"}"#,
+        r#"{"id":11,"cmd":"shutdown"}"#,
         "\n",
     );
-    let run_with = |threads: usize| -> Vec<u8> {
+    let run_with = |threads: usize, read_workers: usize| -> String {
         parallel::set_global_threads(threads);
-        serve_stream(
-            &ServerConfig::default(),
+        let out = serve_stream(
+            &ServerConfig {
+                read_workers,
+                ..ServerConfig::default()
+            },
             script.as_bytes(),
             Vec::<u8>::new(),
         )
-        .expect("stream run")
+        .expect("stream run");
+        String::from_utf8(out).expect("utf8 responses")
     };
-    let serial = run_with(1);
-    let parallel_run = run_with(4);
+    let reference = run_with(1, 0);
+    assert!(!reference.is_empty());
+    for (threads, read_workers) in [(1, 4), (4, 0), (4, 4)] {
+        assert_eq!(
+            run_with(threads, read_workers),
+            reference,
+            "threads={threads} read_workers={read_workers} must reproduce \
+             the threads=1 read_workers=0 response bytes"
+        );
+    }
     parallel::set_global_threads(1);
-    assert!(!serial.is_empty());
-    assert_eq!(
-        String::from_utf8(serial).unwrap(),
-        String::from_utf8(parallel_run).unwrap(),
-        "threads=1 and threads=4 must produce identical response bytes"
-    );
 }
 
 #[test]
@@ -180,6 +204,7 @@ fn overload_is_an_explicit_rejection_not_a_hang() {
     let (addr, handle) = start(ServerConfig {
         queue_depth: 1,
         default_deadline_ms: None,
+        read_workers: 0,
     });
     let mut requests = vec![r#"{"id":0,"cmd":"sleep","ms":300}"#.to_owned()];
     for i in 1..=8 {
@@ -229,6 +254,172 @@ fn expired_deadlines_are_rejected_at_dequeue() {
         "generous deadline passes: {}",
         responses[2]
     );
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn v1_requests_pin_the_deprecated_envelope_bytes() {
+    // Compatibility contract: a sessionless v1 request routes to the
+    // `default` session and its envelope is byte-for-byte the v1 shape
+    // plus the `deprecated` flag — nothing else moved.
+    let (addr, handle) = start(ServerConfig::default());
+    let responses = transact(
+        addr,
+        &[
+            r#"{"id":1,"cmd":"ping"}"#,
+            r#"{"id":2,"cmd":"wns"}"#,
+            r#"{"id":3,"cmd":"shutdown"}"#,
+        ],
+    );
+    assert_eq!(
+        responses[0],
+        r#"{"id":1,"ok":true,"deprecated":true,"result":{"pong":true}}"#
+    );
+    // Error envelopes carry the flag too, before the error object.
+    assert!(
+        responses[1].starts_with(r#"{"id":2,"ok":false,"deprecated":true,"error":{"#),
+        "{}",
+        responses[1]
+    );
+    assert!(responses[1].contains("no design loaded"));
+    assert!(responses[2].contains("\"deprecated\":true"));
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn sessions_shard_state_and_v1_routes_to_default() {
+    let (addr, handle) = start(ServerConfig {
+        read_workers: 2,
+        ..ServerConfig::default()
+    });
+    let connect = |session: &str| {
+        Client::connect(
+            &addr.to_string(),
+            ClientConfig {
+                session: session.into(),
+                ..ClientConfig::default()
+            },
+        )
+        .expect("connect")
+    };
+
+    // Two v2 sessions load different designs; a third stays empty.
+    let mut a = connect("opt-a");
+    let mut b = connect("opt-b");
+    let mut empty = connect("spectator");
+    for (c, design) in [(&mut a, "small:3"), (&mut b, "small:7")] {
+        let resp = c
+            .call(&Command::Load {
+                spec: design.into(),
+                period: None,
+            })
+            .expect("load");
+        assert!(resp.ok, "{}", resp.raw);
+    }
+    let wns = |c: &mut Client| {
+        let resp = c.call(&Command::Wns).expect("wns");
+        assert!(resp.ok, "{}", resp.raw);
+        (
+            resp.session.clone().expect("v2 envelope names its session"),
+            resp.raw.clone(),
+        )
+    };
+    let (sess_a, wns_a) = wns(&mut a);
+    let (sess_b, wns_b) = wns(&mut b);
+    assert_eq!(sess_a, "opt-a");
+    assert_eq!(sess_b, "opt-b");
+    assert_ne!(
+        wns_a.replace("opt-a", ""),
+        wns_b.replace("opt-b", ""),
+        "different designs must yield different timing"
+    );
+    // The untouched session sees none of it.
+    let resp = empty.call(&Command::Wns).expect("wns");
+    assert!(!resp.ok, "{}", resp.raw);
+    assert_eq!(resp.error.as_ref().expect("error").code, "usage");
+
+    // A v1 sessionless line lands in `default`, whose state is then
+    // visible to a v2 client addressing `default` explicitly.
+    let one = transact(addr, &[r#"{"id":1,"cmd":"load","design":"small:5"}"#]);
+    assert!(ok(&one[0]), "{}", one[0]);
+    let mut default = connect("default");
+    let resp = default.call(&Command::Wns).expect("wns");
+    assert!(
+        resp.ok,
+        "v1 load must be visible in `default`: {}",
+        resp.raw
+    );
+    assert_eq!(resp.session.as_deref(), Some("default"));
+
+    let bye = default.call(&Command::Shutdown).expect("shutdown");
+    assert!(bye.ok, "{}", bye.raw);
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn concurrent_clients_get_admission_ordered_replies_per_session() {
+    // N clients hammer one shared session with a mixed read/write
+    // pipeline while the read pool is live. Each connection must get
+    // exactly its own responses, in the order it sent the requests —
+    // reads answered by pool workers may complete out of order
+    // internally, but the reply slots re-serialize them.
+    let (addr, handle) = start(ServerConfig {
+        read_workers: 4,
+        ..ServerConfig::default()
+    });
+    let config = || ClientConfig {
+        session: "shared".into(),
+        ..ClientConfig::default()
+    };
+    let mut setup = Client::connect(&addr.to_string(), config()).expect("connect");
+    let loaded = setup
+        .call(&Command::Load {
+            spec: "small:5".into(),
+            period: None,
+        })
+        .expect("load");
+    assert!(loaded.ok, "{}", loaded.raw);
+
+    let clients: Vec<_> = (0..4)
+        .map(|k| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, config()).expect("connect");
+                let mut sent = Vec::new();
+                for round in 0..25 {
+                    let cmd = match round % 4 {
+                        0 => Command::Wns,
+                        1 => Command::Tns,
+                        2 => Command::WhatIfResize {
+                            cell: format!("g_1_{}_0", (k + round) % 4),
+                            to: "up".into(),
+                        },
+                        _ => Command::Slack {
+                            endpoint: None,
+                            top: 5,
+                        },
+                    };
+                    sent.push(c.send(&cmd, None).expect("send"));
+                }
+                for expected in sent {
+                    let resp = c.recv().expect("recv");
+                    assert!(resp.ok, "{}", resp.raw);
+                    assert_eq!(
+                        resp.id,
+                        Some(expected),
+                        "responses must come back in admission order"
+                    );
+                    assert_eq!(resp.session.as_deref(), Some("shared"));
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    let bye = setup.call(&Command::Shutdown).expect("shutdown");
+    assert!(bye.ok, "{}", bye.raw);
     handle.join().expect("clean exit");
 }
 
