@@ -20,6 +20,9 @@
 //!   The per-leg timings ride along as `wall_`-prefixed QoR keys, which
 //!   the comparator exempts from the drift gate; CI pins the speedup
 //!   floor with `--require-min warm_vs_cold:wall_speedup:1.0`;
+//! - `edif_import`: export the calibrate design to EDIF and re-import
+//!   it (strict importer, collected-issues lint included) five times, so
+//!   ingestion wall time sits in the regression gate;
 //! - `server_saturation`: concurrent pipelined read clients over TCP,
 //!   writer-lane funnel vs read-worker pool. The throughputs ride along
 //!   as `read_qps_`-prefixed QoR keys (also drift-gate-exempt); CI pins
@@ -68,6 +71,7 @@ fn stream_responses(script: &str) -> f64 {
         queue_depth: script.lines().count() + 1,
         default_deadline_ms: None,
         read_workers: 0,
+        session_ttl_secs: None,
     };
     let out = serve_stream(&config, script.as_bytes(), Vec::<u8>::new()).expect("stream transport");
     let text = String::from_utf8(out).expect("utf8 responses");
@@ -182,6 +186,33 @@ fn warm_vs_cold() -> ScenarioResult {
     })
 }
 
+fn edif_import() -> ScenarioResult {
+    run_scenario("edif_import", || {
+        // Ingestion wall time: export the calibrate design to EDIF, then
+        // run the strict importer (which includes the full one-pass lint)
+        // several times so the scenario measures parsing/elaboration, not
+        // the one-off export.
+        let netlist = parse_design(CALIBRATE_DESIGN).expect("known design");
+        let text = ingest::write_edif(&netlist);
+        let mut back = None;
+        for _ in 0..5 {
+            let (n, _sources) = ingest::import_edif(&text).expect("round trip imports");
+            back = Some(n);
+        }
+        let back = back.expect("imported netlist");
+        assert_eq!(back.num_cells(), netlist.num_cells(), "cell count survives");
+        assert_eq!(back.num_nets(), netlist.num_nets(), "net count survives");
+        let report = netlist::lint_netlist(&back);
+        vec![
+            ("edif_bytes".into(), text.len() as f64),
+            ("cells".into(), back.num_cells() as f64),
+            ("nets".into(), back.num_nets() as f64),
+            ("lint_errors".into(), report.num_errors() as f64),
+            ("lint_warnings".into(), report.num_warnings() as f64),
+        ]
+    })
+}
+
 fn server_saturation() -> ScenarioResult {
     run_scenario("server_saturation", || {
         let spec = SaturationSpec::default();
@@ -217,6 +248,7 @@ fn main() {
         server_query_mix(),
         whatif_burst(),
         warm_vs_cold(),
+        edif_import(),
         server_saturation(),
     ];
     for s in &scenarios {

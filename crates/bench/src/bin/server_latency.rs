@@ -89,6 +89,7 @@ fn bench_config(script: &str) -> ServerConfig {
         queue_depth: script.lines().count() + 1,
         default_deadline_ms: None,
         read_workers: 0,
+        session_ttl_secs: None,
     }
 }
 
@@ -150,6 +151,7 @@ fn run_batch_comparison(design: &str, n: usize) -> (f64, f64) {
         queue_depth: n + 8,
         default_deadline_ms: None,
         read_workers: 0,
+        session_ttl_secs: None,
     };
     let srv = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = srv.local_addr().expect("addr").to_string();

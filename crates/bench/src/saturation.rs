@@ -93,6 +93,7 @@ fn trial_qps(spec: &SaturationSpec, read_workers: usize) -> f64 {
             queue_depth: WINDOW * spec.clients + 8,
             default_deadline_ms: None,
             read_workers,
+            session_ttl_secs: None,
         },
     )
     .expect("bind");

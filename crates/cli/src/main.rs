@@ -1,7 +1,9 @@
 //! `mgba-sta` — command-line front end for the mGBA framework.
 //!
 //! ```text
-//! mgba-sta generate  <D1..D10|small:SEED> [--format text|verilog] [--out FILE]
+//! mgba-sta generate  <D1..D10|small:SEED> [--format text|verilog|edif] [--out FILE]
+//! mgba-sta import    --edif FILE [--format text|verilog] [--out FILE]
+//! mgba-sta lint      <FILE> [--json]
 //! mgba-sta stats     <FILE>
 //! mgba-sta report    <FILE> --period PS [--top N]
 //! mgba-sta fit       <FILE> --period PS [--solver ...] [--out WEIGHTS]
@@ -11,7 +13,7 @@
 //! mgba-sta corners   <FILE> --period PS
 //! mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
 //! mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
-//!                    [--read-workers N]
+//!                    [--read-workers N] [--session-ttl-secs S]
 //! mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N]
 //!                    [--backoff-ms MS] [--session NAME] [--proto 1|2]
 //!                    [REQUEST...]
@@ -36,8 +38,11 @@
 //!   `serve` each request's handler appears as its own span. The same
 //!   bit-identity guarantee applies.
 //!
-//! Netlist files may be in the native text format (`.nl`) or the
-//! structural-Verilog subset (`.v`), auto-detected by content.
+//! Netlist files may be in the native text format (`.nl`), the
+//! structural-Verilog subset (`.v`), or EDIF 2.0.0 (`.edif`),
+//! auto-detected by content; `import` converts EDIF to the other
+//! formats and `lint` runs the collected-issues validator on any of
+//! them.
 
 use mgba::prelude::*;
 use optim::{run_flow, FlowConfig};
@@ -78,7 +83,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  mgba-sta generate  <D1..D10|small:SEED> [--format text|verilog] [--out FILE]
+  mgba-sta generate  <D1..D10|small:SEED> [--format text|verilog|edif] [--out FILE]
+  mgba-sta import    --edif FILE [--format text|verilog] [--out FILE]
+                     (strict EDIF 2.0.0 import; every collected issue is
+                     printed to stderr, any error-severity issue fails)
+  mgba-sta lint      <FILE> [--json]   (collected-issues netlist validator
+                     over native text, Verilog, or EDIF, auto-detected;
+                     exits nonzero when error-severity issues are found)
   mgba-sta stats     <FILE>
   mgba-sta report    <FILE> --period PS [--top N] [--weights WEIGHTS]
   mgba-sta fit       <FILE> --period PS [--solver gd|scg|scgrs|cgnr] [--out WEIGHTS]
@@ -89,9 +100,11 @@ usage:
   mgba-sta corners   <FILE> --period PS
   mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
   mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
-                     [--read-workers N]   (N read-pool threads serve
-                     read-only queries from lock-free session snapshots;
-                     0 = funnel everything through the writer lane)
+                     [--read-workers N] [--session-ttl-secs S]
+                     (N read-pool threads serve read-only queries from
+                     lock-free session snapshots; 0 = funnel everything
+                     through the writer lane. Sessions idle longer than S
+                     seconds are evicted lazily; 0/unset = never)
   mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N] [--backoff-ms MS]
                      [--session NAME] [--proto 1|2] [REQUEST...]
                      (reads stdin when no REQUEST;
@@ -149,6 +162,8 @@ fn run(argv: &[String]) -> Result<(), MgbaError> {
         let _span = obs::span(&command);
         match command.as_str() {
             "generate" => cmd_generate(&mut args),
+            "import" => cmd_import(&mut args),
+            "lint" => cmd_lint(&mut args),
             "stats" => cmd_stats(&mut args),
             "report" => cmd_report(&mut args),
             "fit" => cmd_fit(&mut args),
@@ -210,6 +225,7 @@ fn cmd_generate(args: &mut Args) -> Result<(), MgbaError> {
     let text = match format.as_str() {
         "text" => netlist::write_netlist(&netlist),
         "verilog" => netlist::write_verilog(&netlist),
+        "edif" => ingest::write_edif(&netlist),
         other => return Err(MgbaError::Usage(format!("unknown format `{other}`"))),
     };
     match out {
@@ -225,6 +241,124 @@ fn cmd_generate(args: &mut Args) -> Result<(), MgbaError> {
         None => emit(&text)?,
     }
     Ok(())
+}
+
+/// Strict EDIF 2.0.0 front door: runs the collected-issues load, prints
+/// the whole report to stderr (warnings included), and converts the
+/// design to the requested output format only when no error-severity
+/// issue was found — so one run shows every defect instead of the first.
+fn cmd_import(args: &mut Args) -> Result<(), MgbaError> {
+    let file: String = args.required_option("--edif")?;
+    let format = args.option("--format")?.unwrap_or_else(|| "text".into());
+    let out = args.option("--out")?;
+    args.finish()?;
+    let text = std::fs::read_to_string(&file).map_err(|e| MgbaError::io(&file, e))?;
+    let imported = ingest::lint_edif(&text);
+    if !imported.report.issues.is_empty() {
+        eprint!("{}", imported.report.render_text());
+    }
+    let netlist = match imported.netlist {
+        Some(n) if imported.report.num_errors() == 0 => n,
+        _ => {
+            return Err(MgbaError::Lint {
+                path: file.into(),
+                errors: imported.report.num_errors().max(1),
+                warnings: imported.report.num_warnings(),
+            })
+        }
+    };
+    let rendered = match format.as_str() {
+        "text" => netlist::write_netlist(&netlist),
+        "verilog" => netlist::write_verilog(&netlist),
+        other => return Err(MgbaError::Usage(format!("unknown format `{other}`"))),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, rendered).map_err(|e| MgbaError::io(&path, e))?;
+            eprintln!(
+                "imported {} ({} cells, {} nets) -> {}",
+                file,
+                netlist.num_cells(),
+                netlist.num_nets(),
+                path
+            );
+        }
+        None => emit(&rendered)?,
+    }
+    Ok(())
+}
+
+/// Collected-issues validator over any supported netlist format
+/// (auto-detected by content, like every other subcommand). Prints the
+/// full report — text by default, a JSON object with `--json` — and
+/// exits nonzero when error-severity issues are present.
+fn cmd_lint(args: &mut Args) -> Result<(), MgbaError> {
+    let file = args.positional("netlist file")?;
+    let json = args.flag("--json");
+    args.finish()?;
+    let text = std::fs::read_to_string(&file).map_err(|e| MgbaError::io(&file, e))?;
+    let head = text.trim_start();
+    let report = if head.starts_with("(edif") || head.starts_with("(EDIF") {
+        ingest::lint_edif(&text).report
+    } else if head.starts_with("module") {
+        // The Verilog reader is fail-fast; fold its first error into the
+        // same report shape so callers see one output format.
+        match netlist::parse_verilog(&text) {
+            Ok(n) => netlist::lint_netlist(&n),
+            Err(e) => {
+                let mut r = netlist::LintReport::new();
+                r.error(netlist::lint::codes::MALFORMED, None, e.to_string());
+                r
+            }
+        }
+    } else {
+        netlist::lint_netlist_text(&text).1
+    };
+    if json {
+        emit(&render_lint_json(&file, &report))?;
+        emit("\n")?;
+    } else {
+        emit(&report.render_text())?;
+    }
+    if report.num_errors() > 0 {
+        return Err(MgbaError::Lint {
+            path: file.into(),
+            errors: report.num_errors(),
+            warnings: report.num_warnings(),
+        });
+    }
+    Ok(())
+}
+
+/// Machine-readable `lint --json` payload: the same fields the server's
+/// `lint` command answers with, so tooling can share a decoder.
+fn render_lint_json(file: &str, report: &netlist::LintReport) -> String {
+    use server::json::Value;
+    use std::collections::BTreeMap;
+    let issues = report
+        .issues
+        .iter()
+        .map(|i| {
+            let mut m = BTreeMap::new();
+            m.insert("severity".to_owned(), Value::Str(i.severity.label().into()));
+            m.insert("code".to_owned(), Value::Str(i.code.into()));
+            m.insert("message".to_owned(), Value::Str(i.message.clone()));
+            if let Some(s) = i.span {
+                m.insert("line".to_owned(), Value::Num(f64::from(s.line)));
+                m.insert("col".to_owned(), Value::Num(f64::from(s.col)));
+            }
+            Value::Obj(m)
+        })
+        .collect();
+    let mut top = BTreeMap::new();
+    top.insert("file".to_owned(), Value::Str(file.to_owned()));
+    top.insert("errors".to_owned(), Value::Num(report.num_errors() as f64));
+    top.insert(
+        "warnings".to_owned(),
+        Value::Num(report.num_warnings() as f64),
+    );
+    top.insert("issues".to_owned(), Value::Arr(issues));
+    server::json::render(&Value::Obj(top))
 }
 
 fn cmd_stats(args: &mut Args) -> Result<(), MgbaError> {
@@ -482,11 +616,20 @@ fn cmd_serve(args: &mut Args) -> Result<(), MgbaError> {
             ))
         })
     })?;
+    let session_ttl_secs: Option<u64> = match args.option("--session-ttl-secs")? {
+        Some(s) => Some(s.parse().map_err(|_| {
+            MgbaError::Usage(format!(
+                "bad --session-ttl-secs `{s}` (want a non-negative integer; 0 disables eviction)"
+            ))
+        })?),
+        None => None,
+    };
     args.finish()?;
     let config = server::ServerConfig {
         queue_depth,
         default_deadline_ms,
         read_workers,
+        session_ttl_secs,
     };
     if stdio {
         if listen.is_some() {

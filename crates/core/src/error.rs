@@ -8,6 +8,7 @@
 //! match on the broad category and still drill down.
 
 use crate::weights_io::WeightsError;
+use ingest::EdifError;
 use netlist::{BuildError, ParseLibertyError, ParseNetlistError, ParseVerilogError};
 use std::error::Error;
 use std::fmt;
@@ -26,6 +27,8 @@ pub enum ParseError {
     Build(BuildError),
     /// Weights sidecar file.
     Weights(WeightsError),
+    /// EDIF 2.0.0 document.
+    Edif(EdifError),
 }
 
 impl fmt::Display for ParseError {
@@ -36,6 +39,7 @@ impl fmt::Display for ParseError {
             ParseError::Liberty(e) => write!(f, "liberty: {e}"),
             ParseError::Build(e) => write!(f, "netlist build: {e}"),
             ParseError::Weights(e) => write!(f, "weights: {e}"),
+            ParseError::Edif(e) => write!(f, "edif: {e}"),
         }
     }
 }
@@ -48,6 +52,7 @@ impl ParseError {
             ParseError::Liberty(e) => e,
             ParseError::Build(e) => e,
             ParseError::Weights(e) => e,
+            ParseError::Edif(e) => e,
         }
     }
 }
@@ -87,6 +92,16 @@ pub enum MgbaError {
         what: String,
         /// The budget that was exceeded, in milliseconds.
         ms: u64,
+    },
+    /// A netlist failed the collected-issues lint with error-severity
+    /// findings (the full report has already been shown to the user).
+    Lint {
+        /// The linted file or design name.
+        path: PathBuf,
+        /// Error-severity findings.
+        errors: usize,
+        /// Warning-severity findings.
+        warnings: usize,
     },
     /// An unexpected internal failure that was contained (e.g. a request
     /// handler panic caught at the server boundary).
@@ -137,6 +152,15 @@ impl fmt::Display for MgbaError {
             MgbaError::Timeout { what, ms } => {
                 write!(f, "timed out after {ms} ms: {what}")
             }
+            MgbaError::Lint {
+                path,
+                errors,
+                warnings,
+            } => write!(
+                f,
+                "{}: lint failed with {errors} error(s), {warnings} warning(s)",
+                path.display()
+            ),
             MgbaError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -151,6 +175,7 @@ impl Error for MgbaError {
             | MgbaError::Solver { .. }
             | MgbaError::Usage(_)
             | MgbaError::Timeout { .. }
+            | MgbaError::Lint { .. }
             | MgbaError::Internal(_) => None,
         }
     }
@@ -177,6 +202,12 @@ impl From<ParseLibertyError> for MgbaError {
 impl From<BuildError> for MgbaError {
     fn from(e: BuildError) -> Self {
         MgbaError::Parse(ParseError::Build(e))
+    }
+}
+
+impl From<EdifError> for MgbaError {
+    fn from(e: EdifError) -> Self {
+        MgbaError::Parse(ParseError::Edif(e))
     }
 }
 

@@ -34,8 +34,8 @@ pub fn parse_design(spec: &str) -> Result<Netlist, MgbaError> {
         })
 }
 
-/// Reads and parses a netlist file (native text or structural Verilog,
-/// auto-detected by content).
+/// Reads and parses a netlist file (native text, structural Verilog, or
+/// EDIF 2.0.0, auto-detected by content).
 ///
 /// # Errors
 ///
@@ -49,8 +49,12 @@ pub fn load_netlist_file(path: &str) -> Result<Netlist, MgbaError> {
         )));
     }
     let text = std::fs::read_to_string(path).map_err(|e| MgbaError::io(path, e))?;
-    if text.trim_start().starts_with("module") {
+    let head = text.trim_start();
+    if head.starts_with("module") {
         Ok(netlist::parse_verilog(&text)?)
+    } else if head.starts_with("(edif") || head.starts_with("(EDIF") {
+        let (netlist, _sources) = ingest::import_edif(&text)?;
+        Ok(netlist)
     } else {
         Ok(netlist::parse_netlist(&text)?)
     }

@@ -1,0 +1,1396 @@
+//! EDIF 2.0.0 netlist import/export (subset).
+//!
+//! The front door for designs that arrive in the industry interchange
+//! format instead of the in-tree text/Verilog dialects. The importer
+//! resolves libraries, cells, and views, flattens hierarchy onto the
+//! flat [`netlist::Netlist`] model, and keeps a line/column
+//! [`SrcSpan`] on every constructed object so the collected-issues
+//! linter can point findings back into the file.
+//!
+//! # Grammar subset
+//!
+//! - `(edif NAME (edifversion 2 0 0) ... libraries ... (design ...))`
+//! - Libraries: `(library NAME ...)` and `(external NAME ...)`, each a
+//!   sequence of `(cell ...)` forms. A cell whose view has a
+//!   `(contents ...)` is hierarchical; a cell without contents is a
+//!   leaf and must name a characterized cell in [`Library::standard`].
+//! - Names are either identifier atoms or `(rename ID "original")`;
+//!   references (`cellref`, `instanceref`, `portref`) always use the
+//!   identifier.
+//! - Placement rides on `(property loc (string "x,y"))`, the same
+//!   convention as the Verilog `(* loc = "x,y" *)` attribute.
+//! - Unknown keywords are skipped, so vendor extensions (`status`,
+//!   `comment`, `technology`, ...) do not break the reader.
+//!
+//! # Flattening rules
+//!
+//! Hierarchical instances are elaborated recursively. Child objects
+//! get `parent/`-prefixed names; a child net that joins one of the
+//! child's ports is merged into the parent net bound to that port. A
+//! child net shorting two ports of its own cell (a feed-through that
+//! would merge two parent nets) is reported as unsupported, and
+//! recursive instantiation is rejected.
+//!
+//! # Determinism
+//!
+//! [`write_edif`] emits each net's `joined` list driver-first with
+//! sinks in the netlist's sink order, and the importer replays every
+//! connection in source order (instances are created unwired, then
+//! wired net by net). Relative cell order is also preserved (input
+//! ports, then instances, then output ports), so a generated design
+//! round-trips to bit-identical calibrated WNS/TNS.
+
+use crate::sexpr::{parse_sexpr, Sexpr};
+use netlist::lint::codes;
+use netlist::{
+    lint_netlist_spanned, CellRole, Function, Library, LintReport, Netlist, NetlistBuilder,
+    PinIndex, Point, SourceMap, SrcSpan,
+};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+// ----------------------------------------------------------------------
+// Public API
+// ----------------------------------------------------------------------
+
+/// Result of the lenient (collected-issues) EDIF load path.
+#[derive(Debug)]
+pub struct EdifImport {
+    /// The reconstructed flat netlist. `None` only when the document
+    /// was too broken to elaborate at all (unreadable S-expression,
+    /// no `(design ...)` form); structural defects still produce a
+    /// netlist so downstream tooling can inspect it.
+    pub netlist: Option<Netlist>,
+    /// Source positions of the constructed cells and nets.
+    pub sources: SourceMap,
+    /// Every issue found, parse and structural, in one pass.
+    pub report: LintReport,
+}
+
+/// A fail-fast EDIF import error: the first error-severity lint issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdifError {
+    /// Where in the source, when known.
+    pub span: Option<SrcSpan>,
+    /// Stable issue code from [`netlist::lint::codes`].
+    pub code: &'static str,
+    /// Human description.
+    pub message: String,
+}
+
+impl fmt::Display for EdifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "{s}: [{}] {}", self.code, self.message),
+            None => write!(f, "[{}] {}", self.code, self.message),
+        }
+    }
+}
+
+impl Error for EdifError {}
+
+/// Loads an EDIF document leniently, accumulating every defect —
+/// duplicate names, unresolved cell references, undriven or
+/// multiply-driven nets, dangling ports, combinational cycles,
+/// non-finite attributes — into one [`LintReport`] instead of stopping
+/// at the first.
+pub fn lint_edif(text: &str) -> EdifImport {
+    let mut report = LintReport::new();
+    let root = match parse_sexpr(text) {
+        Ok(root) => root,
+        Err(e) => {
+            report.error(codes::MALFORMED, Some(e.span), e.message);
+            return EdifImport {
+                netlist: None,
+                sources: SourceMap::new(),
+                report,
+            };
+        }
+    };
+    let flat = match flatten_document(&root, &mut report) {
+        Some(flat) => flat,
+        None => {
+            return EdifImport {
+                netlist: None,
+                sources: SourceMap::new(),
+                report,
+            }
+        }
+    };
+    let (netlist, sources) = elaborate(&flat, &mut report);
+    report.merge(lint_netlist_spanned(&netlist, &sources));
+    EdifImport {
+        netlist: Some(netlist),
+        sources,
+        report,
+    }
+}
+
+/// Strictly imports an EDIF document: runs the same collected-issues
+/// pass as [`lint_edif`], then surfaces the first error-severity issue
+/// as an [`EdifError`]. Warnings (e.g. dangling ports) do not fail the
+/// import.
+///
+/// # Errors
+///
+/// The first error-severity [`netlist::LintIssue`], converted to an
+/// [`EdifError`] with its span and stable code.
+pub fn import_edif(text: &str) -> Result<(Netlist, SourceMap), EdifError> {
+    let imported = lint_edif(text);
+    if let Some(first) = imported.report.first_error() {
+        return Err(EdifError {
+            span: first.span,
+            code: first.code,
+            message: first.message.clone(),
+        });
+    }
+    let netlist = imported.netlist.ok_or_else(|| EdifError {
+        span: None,
+        code: codes::MALFORMED,
+        message: "document produced no netlist".to_owned(),
+    })?;
+    Ok((netlist, imported.sources))
+}
+
+// ----------------------------------------------------------------------
+// Writer
+// ----------------------------------------------------------------------
+
+fn is_edif_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic())
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Maps arbitrary netlist names onto EDIF identifiers, emitting
+/// `(rename rN "original")` declarations when the name itself is not a
+/// legal identifier (hierarchical `a/b` names, for example).
+struct Namer {
+    idents: HashMap<String, String>,
+    taken: HashSet<String>,
+    next: usize,
+}
+
+impl Namer {
+    fn new() -> Self {
+        Self {
+            idents: HashMap::new(),
+            taken: HashSet::new(),
+            next: 0,
+        }
+    }
+
+    fn ident(&mut self, name: &str) -> String {
+        if let Some(id) = self.idents.get(name) {
+            return id.clone();
+        }
+        let id = if is_edif_ident(name) && !self.taken.contains(name) {
+            name.to_owned()
+        } else {
+            loop {
+                let candidate = format!("r{}", self.next);
+                self.next += 1;
+                if !self.taken.contains(&candidate) {
+                    break candidate;
+                }
+            }
+        };
+        self.taken.insert(id.clone());
+        self.idents.insert(name.to_owned(), id.clone());
+        id
+    }
+
+    /// The declaration form: the identifier itself, or a rename
+    /// carrying the original name.
+    fn declare(&mut self, name: &str) -> String {
+        let id = self.ident(name);
+        if id == name {
+            id
+        } else {
+            format!("(rename {id} \"{name}\")")
+        }
+    }
+}
+
+/// Serializes `netlist` as an EDIF 2.0.0 document in the dialect
+/// [`import_edif`] reads. Each net's `joined` list is written
+/// driver-first with sinks in sink order, so re-importing reproduces
+/// the exact connection order (and therefore bit-identical timing).
+pub fn write_edif(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let mut names = Namer::new();
+    let lib = netlist.library();
+
+    // Leaf cells actually instantiated, in library id order.
+    let is_port = |role: CellRole| {
+        matches!(
+            role,
+            CellRole::Input | CellRole::Output | CellRole::ClockSource
+        )
+    };
+    let mut used: HashSet<usize> = HashSet::new();
+    for (_, cell) in netlist.cells() {
+        if !is_port(cell.role) {
+            used.insert(cell.lib_cell.index());
+        }
+    }
+
+    let design = names.declare(netlist.name());
+    let _ = writeln!(out, "(edif {design}");
+    out.push_str("  (edifversion 2 0 0)\n");
+    out.push_str("  (ediflevel 0)\n");
+    out.push_str("  (keywordmap (keywordlevel 0))\n");
+
+    let _ = writeln!(out, "  (external {}", lib.name());
+    out.push_str("    (ediflevel 0)\n    (technology (numberdefinition))\n");
+    for (id, lc) in lib.iter() {
+        if !used.contains(&id.index()) {
+            continue;
+        }
+        let _ = writeln!(out, "    (cell {}", lc.name);
+        out.push_str("      (celltype generic)\n");
+        out.push_str("      (view netlist\n        (viewtype netlist)\n        (interface\n");
+        for pin in lc.function.input_pin_names() {
+            let _ = writeln!(out, "          (port {pin} (direction input))");
+        }
+        if lc.function.has_output() {
+            let _ = writeln!(
+                out,
+                "          (port {} (direction output))",
+                lc.function.output_pin_name()
+            );
+        }
+        out.push_str("        )))\n");
+    }
+    out.push_str("  )\n");
+
+    out.push_str("  (library work\n");
+    out.push_str("    (ediflevel 0)\n    (technology (numberdefinition))\n");
+    let _ = writeln!(out, "    (cell {design}");
+    out.push_str("      (celltype generic)\n");
+    out.push_str("      (view netlist\n        (viewtype netlist)\n");
+
+    // Interface: ports in cell id order, so relative port order (and
+    // with it endpoint order) survives the round trip.
+    out.push_str("        (interface\n");
+    for (_, cell) in netlist.cells() {
+        let dir = match cell.role {
+            CellRole::Input | CellRole::ClockSource => "input",
+            CellRole::Output => "output",
+            _ => continue,
+        };
+        let _ = writeln!(
+            out,
+            "          (port {} (direction {dir}) (property loc (string \"{},{}\")))",
+            names.declare(&cell.name),
+            cell.loc.x,
+            cell.loc.y
+        );
+    }
+    out.push_str("        )\n");
+
+    out.push_str("        (contents\n");
+    for (_, cell) in netlist.cells() {
+        if is_port(cell.role) {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "          (instance {} (viewref netlist (cellref {} (libraryref {}))) \
+             (property loc (string \"{},{}\")))",
+            names.declare(&cell.name),
+            lib.cell(cell.lib_cell).name,
+            lib.name(),
+            cell.loc.x,
+            cell.loc.y
+        );
+    }
+    // Nets in name order: net ids shift across an import (ports are
+    // created before instances), so id order is not canonical, but the
+    // name set is — sorting makes export → import → export a fixpoint.
+    // Net *form* order is irrelevant to elaboration; only the ref order
+    // inside each `joined` matters, and that is preserved exactly.
+    let mut net_forms: Vec<(&str, Vec<String>)> = Vec::new();
+    for (_, net) in netlist.nets() {
+        let mut refs: Vec<String> = Vec::new();
+        if let Some(driver) = net.driver {
+            let d = netlist.cell(driver);
+            match d.role {
+                CellRole::Input | CellRole::ClockSource => {
+                    refs.push(format!("(portref {})", names.ident(&d.name)));
+                }
+                _ => {
+                    let pin = netlist
+                        .library()
+                        .cell(d.lib_cell)
+                        .function
+                        .output_pin_name();
+                    refs.push(format!(
+                        "(portref {pin} (instanceref {}))",
+                        names.ident(&d.name)
+                    ));
+                }
+            }
+        }
+        for &(sink, pin) in &net.sinks {
+            let s = netlist.cell(sink);
+            match s.role {
+                CellRole::Output => refs.push(format!("(portref {})", names.ident(&s.name))),
+                _ => {
+                    let f = netlist.library().cell(s.lib_cell).function;
+                    let pin_name = f.input_pin_names()[pin.index()];
+                    refs.push(format!(
+                        "(portref {pin_name} (instanceref {}))",
+                        names.ident(&s.name)
+                    ));
+                }
+            }
+        }
+        net_forms.push((&net.name, refs));
+    }
+    net_forms.sort_by_key(|(name, _)| *name);
+    for (name, refs) in net_forms {
+        let _ = writeln!(
+            out,
+            "          (net {} (joined {}))",
+            names.declare(name),
+            refs.join(" ")
+        );
+    }
+    out.push_str("        )))\n");
+    out.push_str("  )\n");
+    let top = names.ident(netlist.name());
+    let _ = writeln!(out, "  (design {top} (cellref {top} (libraryref work))))");
+    out
+}
+
+// ----------------------------------------------------------------------
+// Reader: document model
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortDir {
+    Input,
+    Output,
+}
+
+#[derive(Debug)]
+struct PortDef {
+    ident: String,
+    name: String,
+    dir: PortDir,
+    loc: Point,
+    span: SrcSpan,
+}
+
+struct CellDef<'a> {
+    name: String,
+    ports: Vec<PortDef>,
+    contents: Option<&'a Sexpr>,
+}
+
+struct Document<'a> {
+    /// Library ident → (cell ident → definition), searched in source
+    /// order when a `cellref` omits its `libraryref`.
+    libs: Vec<(String, HashMap<String, CellDef<'a>>)>,
+}
+
+impl<'a> Document<'a> {
+    fn resolve(&self, lib: Option<&str>, cell: &str) -> Option<&CellDef<'a>> {
+        match lib {
+            Some(lib) => self
+                .libs
+                .iter()
+                .find(|(name, _)| name == lib)
+                .and_then(|(_, cells)| cells.get(cell)),
+            None => self.libs.iter().find_map(|(_, cells)| cells.get(cell)),
+        }
+    }
+}
+
+/// `name` or `(rename ident "name")` → (identifier, display name, span).
+fn name_of(node: &Sexpr) -> Option<(String, String, SrcSpan)> {
+    if let Some(atom) = node.as_atom() {
+        return Some((atom.to_owned(), atom.to_owned(), node.span()));
+    }
+    if node.keyword().as_deref() == Some("rename") {
+        let ident = node.args().first()?.as_atom()?;
+        let display = node.args().get(1).and_then(Sexpr::as_str).unwrap_or(ident);
+        return Some((ident.to_owned(), display.to_owned(), node.span()));
+    }
+    None
+}
+
+/// Reads a `(property loc (string "x,y"))` placement off `form`.
+/// Unparseable coordinates report [`codes::MALFORMED`]; parseable but
+/// non-finite ones report [`codes::NON_FINITE_ATTR`]; both fall back to
+/// the origin so elaboration can continue.
+fn loc_of(form: &Sexpr, report: &mut LintReport) -> Point {
+    for prop in form.children("property") {
+        if prop.args().first().and_then(Sexpr::as_atom) != Some("loc") {
+            continue;
+        }
+        let Some(text) = prop
+            .child("string")
+            .and_then(|s| s.args().first())
+            .and_then(Sexpr::as_str)
+        else {
+            report.error(
+                codes::MALFORMED,
+                Some(prop.span()),
+                "loc property without a string value",
+            );
+            return Point::ORIGIN;
+        };
+        let parsed = text
+            .split_once(',')
+            .map(|(x, y)| (x.trim().parse::<f64>().ok(), y.trim().parse::<f64>().ok()));
+        return match parsed {
+            Some((Some(x), Some(y))) if x.is_finite() && y.is_finite() => Point::new(x, y),
+            Some((Some(x), Some(y))) => {
+                report.error(
+                    codes::NON_FINITE_ATTR,
+                    Some(prop.span()),
+                    format!("non-finite placement `{text}` ({x}, {y})"),
+                );
+                Point::ORIGIN
+            }
+            _ => {
+                report.error(
+                    codes::MALFORMED,
+                    Some(prop.span()),
+                    format!("bad loc property `{text}`"),
+                );
+                Point::ORIGIN
+            }
+        };
+    }
+    Point::ORIGIN
+}
+
+fn parse_cell<'a>(form: &'a Sexpr, report: &mut LintReport) -> Option<(String, CellDef<'a>)> {
+    let (ident, name, span) = match form.args().first().and_then(name_of) {
+        Some(n) => n,
+        None => {
+            report.error(codes::MALFORMED, Some(form.span()), "cell without a name");
+            return None;
+        }
+    };
+    let _ = span;
+    let view = form.child("view");
+    let interface = view.and_then(|v| v.child("interface"));
+    let mut ports = Vec::new();
+    let mut port_by_ident = HashMap::new();
+    if let Some(interface) = interface {
+        for port in interface.children("port") {
+            let Some((pid, pname, pspan)) = port.args().first().and_then(name_of) else {
+                report.error(codes::MALFORMED, Some(port.span()), "port without a name");
+                continue;
+            };
+            let dir = match port
+                .child("direction")
+                .and_then(|d| d.args().first())
+                .and_then(Sexpr::as_atom)
+                .map(str::to_ascii_lowercase)
+                .as_deref()
+            {
+                Some("input") | None => PortDir::Input,
+                Some("output") => PortDir::Output,
+                Some(other) => {
+                    report.error(
+                        codes::MALFORMED,
+                        Some(port.span()),
+                        format!("unsupported port direction `{other}` on `{pname}`"),
+                    );
+                    PortDir::Input
+                }
+            };
+            let loc = loc_of(port, report);
+            if port_by_ident.contains_key(&pid) {
+                report.error(
+                    codes::DUPLICATE_CELL,
+                    Some(pspan),
+                    format!("duplicate port `{pname}`"),
+                );
+                continue;
+            }
+            port_by_ident.insert(pid.clone(), ports.len());
+            ports.push(PortDef {
+                ident: pid,
+                name: pname,
+                dir,
+                loc,
+                span: pspan,
+            });
+        }
+    }
+    Some((
+        ident,
+        CellDef {
+            name,
+            ports,
+            contents: view.and_then(|v| v.child("contents")),
+        },
+    ))
+}
+
+// ----------------------------------------------------------------------
+// Reader: flattening
+// ----------------------------------------------------------------------
+
+#[derive(Debug)]
+struct FlatPort {
+    name: String,
+    dir: PortDir,
+    loc: Point,
+    span: SrcSpan,
+}
+
+#[derive(Debug)]
+struct FlatInst {
+    name: String,
+    cell_type: String,
+    loc: Point,
+    span: SrcSpan,
+}
+
+#[derive(Debug, Clone)]
+enum RefKind {
+    /// A top-level port (index into `Flat::ports`).
+    TopPort(usize),
+    /// A pin on a leaf instance (index into `Flat::insts`).
+    Pin { inst: usize, pin: String },
+}
+
+#[derive(Debug)]
+struct FlatNet {
+    name: String,
+    span: SrcSpan,
+    refs: Vec<(RefKind, SrcSpan)>,
+}
+
+#[derive(Default)]
+struct Flat {
+    name: String,
+    ports: Vec<FlatPort>,
+    insts: Vec<FlatInst>,
+    nets: Vec<FlatNet>,
+}
+
+fn flatten_document(root: &Sexpr, report: &mut LintReport) -> Option<Flat> {
+    if root.keyword().as_deref() != Some("edif") {
+        report.error(
+            codes::MALFORMED,
+            Some(root.span()),
+            "not an EDIF document (expected `(edif ...)`)",
+        );
+        return None;
+    }
+    let mut doc = Document { libs: Vec::new() };
+    for lib in root
+        .args()
+        .iter()
+        .filter(|c| matches!(c.keyword().as_deref(), Some("library") | Some("external")))
+    {
+        let Some((lib_ident, _, _)) = lib.args().first().and_then(name_of) else {
+            report.error(codes::MALFORMED, Some(lib.span()), "library without a name");
+            continue;
+        };
+        let mut cells = HashMap::new();
+        for cell in lib.children("cell") {
+            if let Some((ident, def)) = parse_cell(cell, report) {
+                cells.insert(ident, def);
+            }
+        }
+        doc.libs.push((lib_ident, cells));
+    }
+
+    let Some(design) = root.child("design") else {
+        report.error(
+            codes::MALFORMED,
+            Some(root.span()),
+            "missing `(design ...)` form",
+        );
+        return None;
+    };
+    let Some((cell_ident, lib_ident)) = cellref_of(design) else {
+        report.error(
+            codes::MALFORMED,
+            Some(design.span()),
+            "design without a `(cellref ...)`",
+        );
+        return None;
+    };
+    let Some(top) = doc.resolve(lib_ident.as_deref(), &cell_ident) else {
+        report.error(
+            codes::UNRESOLVED_REF,
+            Some(design.span()),
+            format!("design references unknown cell `{cell_ident}`"),
+        );
+        return None;
+    };
+
+    let mut flat = Flat {
+        name: top.name.clone(),
+        ..Flat::default()
+    };
+    let mut stack = Vec::new();
+    flatten_cell(&doc, top, "", None, &mut stack, &mut flat, report);
+    Some(flat)
+}
+
+/// The `(cellref CELL (libraryref LIB))` under `form`, if present.
+fn cellref_of(form: &Sexpr) -> Option<(String, Option<String>)> {
+    let cellref = form
+        .child("cellref")
+        .or_else(|| form.child("viewref").and_then(|v| v.child("cellref")))?;
+    let cell = cellref.args().first()?.as_atom()?.to_owned();
+    let lib = cellref
+        .child("libraryref")
+        .and_then(|l| l.args().first())
+        .and_then(Sexpr::as_atom)
+        .map(str::to_owned);
+    Some((cell, lib))
+}
+
+enum Local<'a> {
+    Leaf(usize),
+    Hier {
+        def: &'a CellDef<'a>,
+        name: String,
+        bindings: HashMap<String, usize>,
+    },
+}
+
+/// Recursively flattens `def` into `flat`. `bindings` maps this cell's
+/// port identifiers onto already-created flat nets (None at top level,
+/// where ports become real [`FlatPort`]s instead).
+#[allow(clippy::too_many_arguments)]
+fn flatten_cell<'a>(
+    doc: &'a Document<'a>,
+    def: &'a CellDef<'a>,
+    prefix: &str,
+    bindings: Option<&HashMap<String, usize>>,
+    stack: &mut Vec<String>,
+    flat: &mut Flat,
+    report: &mut LintReport,
+) {
+    if stack.iter().any(|c| c == &def.name) {
+        report.error(
+            codes::MALFORMED,
+            None,
+            format!("recursive instantiation of cell `{}`", def.name),
+        );
+        return;
+    }
+    stack.push(def.name.clone());
+
+    // Top-level ports become real ports; child ports resolve through
+    // the caller's bindings.
+    let mut top_port_of: HashMap<&str, usize> = HashMap::new();
+    if bindings.is_none() {
+        for port in &def.ports {
+            top_port_of.insert(&port.ident, flat.ports.len());
+            flat.ports.push(FlatPort {
+                name: port.name.clone(),
+                dir: port.dir,
+                loc: port.loc,
+                span: port.span,
+            });
+        }
+    }
+
+    let contents: &[Sexpr] = def.contents.map(Sexpr::args).unwrap_or(&[]);
+
+    // Pass 1: instances, in source order. Leaf instances materialize
+    // immediately; hierarchical ones collect port bindings first and
+    // recurse after the nets are known.
+    let mut locals: HashMap<String, Local<'a>> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for inst in contents
+        .iter()
+        .filter(|c| c.keyword().as_deref() == Some("instance"))
+    {
+        let Some((ident, name, span)) = inst.args().first().and_then(name_of) else {
+            report.error(
+                codes::MALFORMED,
+                Some(inst.span()),
+                "instance without a name",
+            );
+            continue;
+        };
+        if locals.contains_key(&ident) {
+            report.error(
+                codes::DUPLICATE_CELL,
+                Some(span),
+                format!("duplicate instance `{prefix}{name}`"),
+            );
+            continue;
+        }
+        let Some((cell_ident, lib_ident)) = cellref_of(inst) else {
+            report.error(
+                codes::UNRESOLVED_REF,
+                Some(span),
+                format!("instance `{prefix}{name}` has no cell reference"),
+            );
+            continue;
+        };
+        let loc = loc_of(inst, report);
+        let local = match doc.resolve(lib_ident.as_deref(), &cell_ident) {
+            Some(child) if child.contents.is_some() => Local::Hier {
+                def: child,
+                name: format!("{prefix}{name}"),
+                bindings: HashMap::new(),
+            },
+            resolved => {
+                // A declared leaf keeps its (possibly renamed) display
+                // name; an undeclared reference falls through to the
+                // characterized-library lookup, which reports NL003.
+                let cell_type = resolved
+                    .map(|c| c.name.clone())
+                    .unwrap_or_else(|| cell_ident.clone());
+                flat.insts.push(FlatInst {
+                    name: format!("{prefix}{name}"),
+                    cell_type,
+                    loc,
+                    span,
+                });
+                Local::Leaf(flat.insts.len() - 1)
+            }
+        };
+        locals.insert(ident.clone(), local);
+        order.push(ident);
+    }
+
+    // Pass 2: nets, in source order. Joined refs are replayed verbatim
+    // so connection order (and with it load-sum order) is preserved.
+    let mut net_idents: HashSet<String> = HashSet::new();
+    for net in contents
+        .iter()
+        .filter(|c| c.keyword().as_deref() == Some("net"))
+    {
+        let Some((ident, name, span)) = net.args().first().and_then(name_of) else {
+            report.error(codes::MALFORMED, Some(net.span()), "net without a name");
+            continue;
+        };
+        if !net_idents.insert(ident) {
+            report.error(
+                codes::DUPLICATE_NET,
+                Some(span),
+                format!("duplicate net `{prefix}{name}`"),
+            );
+            continue;
+        }
+        let mut refs: Vec<(RefKind, SrcSpan)> = Vec::new();
+        let mut bound: Option<usize> = None;
+        let mut hier_bindings: Vec<(String, String)> = Vec::new(); // (inst ident, port ident)
+        let joined = net.child("joined");
+        for r in joined.map(Sexpr::args).unwrap_or(&[]) {
+            if r.keyword().as_deref() != Some("portref") {
+                continue;
+            }
+            let Some(pin) = r.args().first().and_then(Sexpr::as_atom) else {
+                report.error(codes::MALFORMED, Some(r.span()), "portref without a name");
+                continue;
+            };
+            match r
+                .child("instanceref")
+                .and_then(|i| i.args().first())
+                .and_then(Sexpr::as_atom)
+            {
+                None => {
+                    // A port of this cell.
+                    if let Some(&idx) = top_port_of.get(pin) {
+                        refs.push((RefKind::TopPort(idx), r.span()));
+                    } else if let Some(bindings) = bindings {
+                        // An unbound child port (the parent never
+                        // connected it) simply dangles.
+                        if let Some(&parent) = bindings.get(pin) {
+                            match bound {
+                                None => bound = Some(parent),
+                                Some(prev) if prev != parent => {
+                                    report.error(
+                                        codes::MALFORMED,
+                                        Some(r.span()),
+                                        format!(
+                                            "net `{prefix}{name}` shorts two ports of cell \
+                                             `{}` (feed-through is not supported)",
+                                            def.name
+                                        ),
+                                    );
+                                }
+                                Some(_) => {}
+                            }
+                        }
+                    } else {
+                        report.error(
+                            codes::UNRESOLVED_REF,
+                            Some(r.span()),
+                            format!("net `{prefix}{name}` references unknown port `{pin}`"),
+                        );
+                    }
+                }
+                Some(inst_ident) => {
+                    match locals.get(inst_ident) {
+                        Some(Local::Leaf(idx)) => refs.push((
+                            RefKind::Pin {
+                                inst: *idx,
+                                pin: pin.to_owned(),
+                            },
+                            r.span(),
+                        )),
+                        Some(Local::Hier { .. }) => {
+                            hier_bindings.push((inst_ident.to_owned(), pin.to_owned()));
+                        }
+                        None => {
+                            report.error(
+                            codes::UNRESOLVED_REF,
+                            Some(r.span()),
+                            format!("net `{prefix}{name}` references unknown instance `{inst_ident}`"),
+                        );
+                        }
+                    }
+                }
+            }
+        }
+        let target = match bound {
+            Some(parent) => {
+                flat.nets[parent].refs.extend(refs);
+                parent
+            }
+            None => {
+                flat.nets.push(FlatNet {
+                    name: format!("{prefix}{name}"),
+                    span,
+                    refs,
+                });
+                flat.nets.len() - 1
+            }
+        };
+        for (inst_ident, port_ident) in hier_bindings {
+            if let Some(Local::Hier { bindings, .. }) = locals.get_mut(&inst_ident) {
+                bindings.insert(port_ident, target);
+            }
+        }
+    }
+
+    // Pass 3: recurse into hierarchical children, in source order.
+    for ident in &order {
+        if let Some(Local::Hier {
+            def: child,
+            name,
+            bindings,
+        }) = locals.get(ident)
+        {
+            let child_prefix = format!("{name}/");
+            // Clone: the recursion needs &mut locals-free access.
+            let bindings = bindings.clone();
+            flatten_cell(
+                doc,
+                child,
+                &child_prefix,
+                Some(&bindings),
+                stack,
+                flat,
+                report,
+            );
+        }
+    }
+
+    stack.pop();
+}
+
+// ----------------------------------------------------------------------
+// Reader: elaboration onto the netlist model
+// ----------------------------------------------------------------------
+
+/// Builds the flat netlist, accumulating defects instead of failing:
+/// unresolved cells are skipped, undriven nets are left unwired, and
+/// every decision is recorded as a [`LintIssue`] so the strict path can
+/// surface the first error.
+fn elaborate(flat: &Flat, report: &mut LintReport) -> (Netlist, SourceMap) {
+    let library = Library::standard();
+
+    // Per-instance function, where the cell type resolves.
+    let funcs: Vec<Option<Function>> = flat
+        .insts
+        .iter()
+        .map(|i| {
+            library
+                .find(&i.cell_type)
+                .map(|id| library.cell(id).function)
+        })
+        .collect();
+
+    // Clock classification: nets on DFF CK pins, closed backward
+    // through clock buffers (same rule as the Verilog reader).
+    let mut is_clock = vec![false; flat.nets.len()];
+    let mut clkbuf_pins: Vec<(usize, Option<usize>, Option<usize>)> = Vec::new(); // (inst, a_net, y_net)
+    for (idx, func) in funcs.iter().enumerate() {
+        if *func == Some(Function::ClkBuf) {
+            clkbuf_pins.push((idx, None, None));
+        }
+    }
+    let mut port_net: Vec<Option<usize>> = vec![None; flat.ports.len()];
+    for (ni, net) in flat.nets.iter().enumerate() {
+        for (kind, _) in &net.refs {
+            match kind {
+                RefKind::Pin { inst, pin } => {
+                    if funcs[*inst] == Some(Function::Dff) && pin == "CK" {
+                        is_clock[ni] = true;
+                    }
+                    if let Some(entry) = clkbuf_pins.iter_mut().find(|(i, _, _)| i == inst) {
+                        if pin == "A" {
+                            entry.1 = Some(ni);
+                        } else if pin == "Y" {
+                            entry.2 = Some(ni);
+                        }
+                    }
+                }
+                RefKind::TopPort(p) => port_net[*p] = Some(ni),
+            }
+        }
+    }
+    loop {
+        let mut grew = false;
+        for &(_, a, y) in &clkbuf_pins {
+            if let (Some(a), Some(y)) = (a, y) {
+                if is_clock[y] && !is_clock[a] {
+                    is_clock[a] = true;
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    let mut b = NetlistBuilder::new(flat.name.clone(), library.clone());
+    let mut sources = SourceMap::new();
+    let mut taken_names: HashSet<String> = HashSet::new();
+
+    // Input and clock ports, in interface order.
+    let mut port_ids: Vec<Option<netlist::NetId>> = vec![None; flat.ports.len()];
+    for (idx, port) in flat.ports.iter().enumerate() {
+        if port.dir != PortDir::Input {
+            continue;
+        }
+        if !taken_names.insert(port.name.clone()) {
+            report.error(
+                codes::DUPLICATE_CELL,
+                Some(port.span),
+                format!("duplicate cell `{}`", port.name),
+            );
+            continue;
+        }
+        let clock = port_net[idx].map(|n| is_clock[n]).unwrap_or(false);
+        let net = if clock {
+            b.add_clock_port(&port.name, port.loc)
+        } else {
+            b.add_input(&port.name, port.loc)
+        };
+        port_ids[idx] = Some(net);
+        sources.cells.insert(port.name.clone(), port.span);
+    }
+
+    // Leaf instances, unwired, in source order.
+    let mut cell_ids: Vec<Option<netlist::CellId>> = vec![None; flat.insts.len()];
+    for (idx, inst) in flat.insts.iter().enumerate() {
+        let made = match funcs[idx] {
+            None => {
+                report.error(
+                    codes::UNRESOLVED_REF,
+                    Some(inst.span),
+                    format!(
+                        "instance `{}` references unknown library cell `{}`",
+                        inst.name, inst.cell_type
+                    ),
+                );
+                continue;
+            }
+            Some(Function::Dff) => b.add_flip_flop_unwired(&inst.name, &inst.cell_type, inst.loc),
+            Some(f) if f.is_combinational() => {
+                b.add_gate_unwired(&inst.name, &inst.cell_type, inst.loc)
+            }
+            Some(other) => {
+                report.error(
+                    codes::UNRESOLVED_REF,
+                    Some(inst.span),
+                    format!(
+                        "instance `{}`: cell type `{}` ({other}) cannot be instantiated",
+                        inst.name, inst.cell_type
+                    ),
+                );
+                continue;
+            }
+        };
+        match made {
+            Ok(id) => {
+                cell_ids[idx] = Some(id);
+                sources.cells.insert(inst.name.clone(), inst.span);
+            }
+            Err(netlist::BuildError::DuplicateName(name)) => {
+                report.error(
+                    codes::DUPLICATE_CELL,
+                    Some(inst.span),
+                    format!("duplicate cell `{name}`"),
+                );
+            }
+            Err(e) => {
+                report.error(codes::UNRESOLVED_REF, Some(inst.span), e.to_string());
+            }
+        }
+    }
+
+    // Nets: resolve each flat net's driver, then replay the sinks in
+    // joined order. Output-port feeds are collected and created last,
+    // preserving the model's port-after-logic creation order.
+    let mut out_feed: Vec<Option<netlist::NetId>> = vec![None; flat.ports.len()];
+    let mut wired: HashSet<(netlist::CellId, u8)> = HashSet::new();
+    let mut net_spans: Vec<(netlist::NetId, SrcSpan)> = Vec::new();
+    for net in &flat.nets {
+        // A ref drives the net if it is an input port or an output pin.
+        let is_driver = |kind: &RefKind| match kind {
+            RefKind::TopPort(p) => flat.ports[*p].dir == PortDir::Input,
+            RefKind::Pin { inst, pin } => {
+                funcs[*inst].map(|f| f.output_pin_name() == pin) == Some(true)
+            }
+        };
+        let drivers: Vec<usize> = net
+            .refs
+            .iter()
+            .enumerate()
+            .filter(|(_, (kind, _))| is_driver(kind))
+            .map(|(i, _)| i)
+            .collect();
+        if drivers.len() > 1 {
+            report.error(
+                codes::MULTIPLY_DRIVEN_NET,
+                Some(net.span),
+                format!("net `{}` is driven by {} outputs", net.name, drivers.len()),
+            );
+        }
+        let net_id = drivers.first().and_then(|&i| match &net.refs[i].0 {
+            RefKind::TopPort(p) => port_ids[*p],
+            RefKind::Pin { inst, .. } => cell_ids[*inst].map(|c| b.cell_output(c)),
+        });
+        let Some(net_id) = net_id else {
+            let sinks = net.refs.iter().filter(|(k, _)| !is_driver(k)).count();
+            if sinks > 0 {
+                report.error(
+                    codes::UNDRIVEN_NET,
+                    Some(net.span),
+                    format!("net `{}` has {sinks} sink(s) but no driver", net.name),
+                );
+            }
+            continue;
+        };
+        net_spans.push((net_id, net.span));
+        for (pos, (kind, span)) in net.refs.iter().enumerate() {
+            if Some(&pos) == drivers.first() {
+                continue;
+            }
+            match kind {
+                RefKind::TopPort(p) => {
+                    if flat.ports[*p].dir != PortDir::Output {
+                        continue; // extra driver, already reported
+                    }
+                    if out_feed[*p].is_some() {
+                        report.error(
+                            codes::MULTIPLY_DRIVEN_NET,
+                            Some(*span),
+                            format!(
+                                "output port `{}` is fed by more than one net",
+                                flat.ports[*p].name
+                            ),
+                        );
+                        continue;
+                    }
+                    out_feed[*p] = Some(net_id);
+                }
+                RefKind::Pin { inst, pin } => {
+                    let (Some(cell), Some(func)) = (cell_ids[*inst], funcs[*inst]) else {
+                        continue; // instance was skipped and reported
+                    };
+                    if func.output_pin_name() == pin {
+                        continue; // extra driver, already reported
+                    }
+                    let Some(pin_idx) = func.input_pin_names().iter().position(|p| p == pin) else {
+                        report.error(
+                            codes::UNRESOLVED_REF,
+                            Some(*span),
+                            format!(
+                                "cell type `{}` has no pin `{pin}`",
+                                flat.insts[*inst].cell_type
+                            ),
+                        );
+                        continue;
+                    };
+                    if !wired.insert((cell, pin_idx as u8)) {
+                        report.error(
+                            codes::MULTIPLY_DRIVEN_NET,
+                            Some(*span),
+                            format!(
+                                "instance `{}` pin `{pin}` is connected to more than one net",
+                                flat.insts[*inst].name
+                            ),
+                        );
+                        continue;
+                    }
+                    b.connect_input_pin(cell, PinIndex(pin_idx as u8), net_id);
+                }
+            }
+        }
+    }
+
+    // Output ports last, in interface order.
+    for (idx, port) in flat.ports.iter().enumerate() {
+        if port.dir != PortDir::Output {
+            continue;
+        }
+        let Some(feed) = out_feed[idx] else {
+            report.warning(
+                codes::DANGLING_PORT,
+                Some(port.span),
+                format!("output port `{}` is not driven", port.name),
+            );
+            continue;
+        };
+        match b.add_output(&port.name, port.loc, feed) {
+            Ok(_) => {
+                sources.cells.insert(port.name.clone(), port.span);
+            }
+            Err(e) => {
+                report.error(codes::DUPLICATE_CELL, Some(port.span), e.to_string());
+            }
+        }
+    }
+
+    let netlist = b.build_unchecked();
+    for (id, span) in net_spans {
+        sources.nets.insert(netlist.net(id).name.clone(), span);
+    }
+    (netlist, sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GeneratorConfig;
+
+    #[test]
+    fn round_trips_generated_design_structurally() {
+        let original = GeneratorConfig::small(601).generate();
+        let text = write_edif(&original);
+        let (imported, sources) = import_edif(&text).expect("round trip");
+        assert_eq!(imported.num_cells(), original.num_cells());
+        assert_eq!(imported.num_nets(), original.num_nets());
+        assert_eq!(imported.total_area(), original.total_area());
+        for (id, cell) in original.cells() {
+            let p = imported.find_cell(&cell.name).expect("cell survives");
+            assert_eq!(imported.cell(p).loc, original.cell(id).loc, "{}", cell.name);
+            assert_eq!(
+                imported.cell(p).role,
+                original.cell(id).role,
+                "{}",
+                cell.name
+            );
+        }
+        // Every imported cell has a source location.
+        for (_, cell) in imported.cells() {
+            assert!(sources.cells.contains_key(&cell.name), "{}", cell.name);
+        }
+        imported.validate().expect("valid");
+    }
+
+    #[test]
+    fn round_trip_preserves_sink_order() {
+        let original = GeneratorConfig::small(77).generate();
+        let text = write_edif(&original);
+        let (imported, _) = import_edif(&text).unwrap();
+        for (_, net) in original.nets() {
+            let other = imported.find_net(&net.name).expect("net survives by name");
+            let a: Vec<(String, u8)> = net
+                .sinks
+                .iter()
+                .map(|&(c, p)| (original.cell(c).name.clone(), p.0))
+                .collect();
+            let b: Vec<(String, u8)> = imported
+                .net(other)
+                .sinks
+                .iter()
+                .map(|&(c, p)| (imported.cell(c).name.clone(), p.0))
+                .collect();
+            assert_eq!(a, b, "net {}", net.name);
+        }
+    }
+
+    const HIER: &str = r#"(edif top
+  (edifversion 2 0 0)
+  (external std45
+    (cell INV_X1 (celltype generic)
+      (view netlist (viewtype netlist)
+        (interface (port A (direction input)) (port Y (direction output)))))
+    (cell DFF_X1 (celltype generic)
+      (view netlist (viewtype netlist)
+        (interface (port D (direction input)) (port CK (direction input))
+                   (port Q (direction output))))))
+  (library work
+    (cell pair (celltype generic)
+      (view netlist (viewtype netlist)
+        (interface (port i (direction input)) (port o (direction output)))
+        (contents
+          (instance g0 (viewref netlist (cellref INV_X1 (libraryref std45))))
+          (instance g1 (viewref netlist (cellref INV_X1 (libraryref std45))))
+          (net ni (joined (portref i) (portref A (instanceref g0))))
+          (net nm (joined (portref Y (instanceref g0)) (portref A (instanceref g1))))
+          (net no (joined (portref Y (instanceref g1)) (portref o))))))
+    (cell top (celltype generic)
+      (view netlist (viewtype netlist)
+        (interface (port clk (direction input)) (port d (direction input))
+                   (port y (direction output)))
+        (contents
+          (instance ff (viewref netlist (cellref DFF_X1 (libraryref std45))))
+          (instance p0 (viewref netlist (cellref pair (libraryref work))))
+          (net nd (joined (portref d) (portref D (instanceref ff))))
+          (net nc (joined (portref clk) (portref CK (instanceref ff))))
+          (net nq (joined (portref Q (instanceref ff)) (portref i (instanceref p0))))
+          (net ny (joined (portref o (instanceref p0)) (portref y)))))))
+  (design top (cellref top (libraryref work))))"#;
+
+    #[test]
+    fn flattens_hierarchy_with_prefixed_names() {
+        let (n, _) = import_edif(HIER).expect("hierarchical import");
+        assert!(n.find_cell("ff").is_some());
+        assert!(n.find_cell("p0/g0").is_some());
+        assert!(n.find_cell("p0/g1").is_some());
+        assert_eq!(
+            n.cell(n.find_cell("clk").unwrap()).role,
+            CellRole::ClockSource
+        );
+        assert_eq!(n.cell(n.find_cell("d").unwrap()).role, CellRole::Input);
+        // ff.Q feeds p0/g0.A through the child's bound port net.
+        let ff = n.find_cell("ff").unwrap();
+        let q = n.cell(ff).output.unwrap();
+        assert!(n
+            .net(q)
+            .sinks
+            .iter()
+            .any(|&(c, _)| n.cell(c).name == "p0/g0"));
+        n.validate().expect("flat design is valid");
+    }
+
+    #[test]
+    fn rename_forms_carry_original_names() {
+        let text = HIER
+            .replace("(instance ff ", "(instance (rename r9 \"my ff!\") ")
+            .replace("(instanceref ff)", "(instanceref r9)");
+        let (n, sources) = import_edif(&text).expect("renamed import");
+        assert!(n.find_cell("my ff!").is_some());
+        assert!(sources.cells.contains_key("my ff!"));
+    }
+
+    #[test]
+    fn lint_collects_multiple_defect_classes_with_spans() {
+        let text = r#"(edif bad
+  (edifversion 2 0 0)
+  (external std45
+    (cell INV_X1 (celltype generic)
+      (view netlist (viewtype netlist)
+        (interface (port A (direction input)) (port Y (direction output))))))
+  (library work
+    (cell bad (celltype generic)
+      (view netlist (viewtype netlist)
+        (interface (port a (direction input)) (port y (direction output)))
+        (contents
+          (instance u0 (viewref netlist (cellref INV_X1 (libraryref std45)))
+            (property loc (string "NaN,4")))
+          (instance u0 (viewref netlist (cellref INV_X1 (libraryref std45))))
+          (instance ghost (viewref netlist (cellref MYSTERY_X9 (libraryref std45))))
+          (instance c0 (viewref netlist (cellref INV_X1 (libraryref std45))))
+          (instance c1 (viewref netlist (cellref INV_X1 (libraryref std45))))
+          (net undriven (joined (portref A (instanceref u0))))
+          (net loop0 (joined (portref Y (instanceref c0)) (portref A (instanceref c1))))
+          (net loop1 (joined (portref Y (instanceref c1)) (portref A (instanceref c0))))
+          (net ny (joined (portref a) (portref y)))))))
+  (design bad (cellref bad (libraryref work))))"#;
+        let imported = lint_edif(text);
+        let report = &imported.report;
+        let has = |code: &str| report.issues.iter().any(|i| i.code == code);
+        assert!(has(codes::NON_FINITE_ATTR), "{}", report.render_text());
+        assert!(has(codes::DUPLICATE_CELL), "{}", report.render_text());
+        assert!(has(codes::UNRESOLVED_REF), "{}", report.render_text());
+        assert!(has(codes::UNDRIVEN_NET), "{}", report.render_text());
+        assert!(has(codes::COMBINATIONAL_CYCLE), "{}", report.render_text());
+        // Parse-side findings carry spans pointing into the document.
+        for issue in report
+            .issues
+            .iter()
+            .filter(|i| i.code == codes::DUPLICATE_CELL)
+        {
+            let span = issue.span.expect("span");
+            assert!(span.line > 1 && span.col > 1, "{issue}");
+        }
+        // The netlist still elaborates for inspection.
+        assert!(imported.netlist.is_some());
+        // Strict import surfaces the first error.
+        let err = import_edif(text).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        assert!(err.span.is_some());
+    }
+
+    #[test]
+    fn unknown_keywords_are_skipped() {
+        let text = HIER.replace(
+            "(edifversion 2 0 0)",
+            "(edifversion 2 0 0) (status (written (timestamp 2026 8 8))) (comment \"x\")",
+        );
+        import_edif(&text).expect("vendor extensions ignored");
+    }
+
+    #[test]
+    fn rejects_non_edif_documents() {
+        for doc in [
+            "(verilog m)",
+            "(edif t)",
+            "(edif t (design x (cellref nope)))",
+        ] {
+            let imported = lint_edif(doc);
+            assert!(imported.report.num_errors() >= 1, "{doc}");
+            assert!(imported.netlist.is_none(), "{doc}");
+            assert!(import_edif(doc).is_err(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn recursive_instantiation_is_rejected() {
+        let text = r#"(edif t
+  (library work
+    (cell a (view netlist (viewtype netlist)
+      (interface (port p (direction input)))
+      (contents (instance inner (viewref netlist (cellref a (libraryref work))))))))
+  (design t (cellref a (libraryref work))))"#;
+        let imported = lint_edif(text);
+        assert!(
+            imported
+                .report
+                .issues
+                .iter()
+                .any(|i| i.message.contains("recursive")),
+            "{}",
+            imported.report.render_text()
+        );
+    }
+
+    #[test]
+    fn writer_renames_non_identifier_names() {
+        let (n, _) = import_edif(HIER).unwrap();
+        let text = write_edif(&n);
+        assert!(text.contains("(rename "), "hierarchical names need renames");
+        let (again, _) = import_edif(&text).expect("re-export round trips");
+        assert!(again.find_cell("p0/g0").is_some());
+    }
+}

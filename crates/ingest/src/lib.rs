@@ -1,0 +1,32 @@
+//! Standard-format netlist ingestion — the front door for designs that
+//! did not come out of the in-tree generator.
+//!
+//! Two halves:
+//!
+//! - [`sexpr`]: a zero-dependency S-expression tokenizer/parser with
+//!   1-based line/column spans on every atom and list (the same strict,
+//!   no-external-deps discipline as the server's JSON parser);
+//! - [`edif`]: an EDIF 2.0.0 netlist importer/exporter sitting on it —
+//!   library/cell/view resolution, hierarchy flattening onto the
+//!   [`netlist`] model, and source locations retained on every
+//!   constructed object so the collected-issues linter
+//!   ([`netlist::lint`]) can point findings back into the file.
+//!
+//! The strict loader ([`import_edif`]) and the collected-issues path
+//! ([`lint_edif`]) share one elaboration pass: a strict import is
+//! "lint, then surface the first error-severity issue".
+//!
+//! ```
+//! use netlist::GeneratorConfig;
+//!
+//! let design = GeneratorConfig::small(7).generate();
+//! let text = ingest::write_edif(&design);
+//! let (imported, _sources) = ingest::import_edif(&text).expect("round trip");
+//! assert_eq!(imported.num_cells(), design.num_cells());
+//! ```
+
+pub mod edif;
+pub mod sexpr;
+
+pub use edif::{import_edif, lint_edif, write_edif, EdifError, EdifImport};
+pub use sexpr::{parse_sexpr, Sexpr, SexprError};

@@ -1,0 +1,338 @@
+//! S-expression reader with source spans.
+//!
+//! The subset EDIF 2.0.0 is written in: lists, bare atoms (identifiers
+//! and numbers), and double-quoted strings. Every node carries the
+//! 1-based line/column where it started, so downstream diagnostics can
+//! point at the offending token instead of the whole file.
+//!
+//! Zero external dependencies, same discipline as the server's strict
+//! JSON parser: malformed input is a typed error with a location, never
+//! a panic.
+
+use netlist::SrcSpan;
+use std::error::Error;
+use std::fmt;
+
+/// One parsed node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sexpr {
+    /// Bare atom (identifier, keyword, or number).
+    Atom {
+        /// The token text, verbatim.
+        text: String,
+        /// Where the token started.
+        span: SrcSpan,
+    },
+    /// Double-quoted string (quotes stripped, no escape processing —
+    /// EDIF strings carry none we need).
+    Str {
+        /// The string contents.
+        text: String,
+        /// Where the opening quote sat.
+        span: SrcSpan,
+    },
+    /// Parenthesized list.
+    List {
+        /// Child nodes in source order.
+        items: Vec<Sexpr>,
+        /// Where the opening parenthesis sat.
+        span: SrcSpan,
+    },
+}
+
+impl Sexpr {
+    /// The node's source position.
+    pub fn span(&self) -> SrcSpan {
+        match self {
+            Sexpr::Atom { span, .. } | Sexpr::Str { span, .. } | Sexpr::List { span, .. } => *span,
+        }
+    }
+
+    /// Atom text, if this is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexpr::Atom { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string literal.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Sexpr::Str { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    /// Child list, if this is a list.
+    pub fn as_list(&self) -> Option<&[Sexpr]> {
+        match self {
+            Sexpr::List { items, .. } => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The list's leading keyword, lower-cased (EDIF keywords are
+    /// case-insensitive). `None` for non-lists and empty lists.
+    pub fn keyword(&self) -> Option<String> {
+        self.as_list()?
+            .first()?
+            .as_atom()
+            .map(|s| s.to_ascii_lowercase())
+    }
+
+    /// Children of a list after the keyword.
+    pub fn args(&self) -> &[Sexpr] {
+        match self.as_list() {
+            Some(items) if !items.is_empty() => &items[1..],
+            _ => &[],
+        }
+    }
+
+    /// First child list whose keyword is `kw`.
+    pub fn child(&self, kw: &str) -> Option<&Sexpr> {
+        self.args()
+            .iter()
+            .find(|c| c.keyword().as_deref() == Some(kw))
+    }
+
+    /// All child lists whose keyword is `kw`, in source order.
+    pub fn children<'a>(&'a self, kw: &'a str) -> impl Iterator<Item = &'a Sexpr> + 'a {
+        self.args()
+            .iter()
+            .filter(move |c| c.keyword().as_deref() == Some(kw))
+    }
+}
+
+/// A lexical or structural S-expression error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SexprError {
+    /// Where the problem was detected.
+    pub span: SrcSpan,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SexprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl Error for SexprError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+#[derive(Debug)]
+enum Tok {
+    Open(SrcSpan),
+    Close(SrcSpan),
+    Atom(String, SrcSpan),
+    Str(String, SrcSpan),
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn here(&self) -> SrcSpan {
+        SrcSpan::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn next_tok(&mut self) -> Result<Option<Tok>, SexprError> {
+        loop {
+            let Some(&b) = self.src.get(self.pos) else {
+                return Ok(None);
+            };
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let span = self.here();
+            return match b {
+                b'(' => {
+                    self.bump();
+                    Ok(Some(Tok::Open(span)))
+                }
+                b')' => {
+                    self.bump();
+                    Ok(Some(Tok::Close(span)))
+                }
+                b'"' => {
+                    self.bump();
+                    let start = self.pos;
+                    while let Some(&c) = self.src.get(self.pos) {
+                        if c == b'"' {
+                            let text =
+                                String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                            self.bump();
+                            return Ok(Some(Tok::Str(text, span)));
+                        }
+                        if c == b'\n' {
+                            return Err(SexprError {
+                                span,
+                                message: "unterminated string literal".into(),
+                            });
+                        }
+                        self.bump();
+                    }
+                    Err(SexprError {
+                        span,
+                        message: "unterminated string literal".into(),
+                    })
+                }
+                _ => {
+                    let start = self.pos;
+                    while let Some(&c) = self.src.get(self.pos) {
+                        if c.is_ascii_whitespace() || c == b'(' || c == b')' || c == b'"' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    Ok(Some(Tok::Atom(text, span)))
+                }
+            };
+        }
+    }
+}
+
+/// Parses one top-level S-expression (trailing whitespace allowed,
+/// trailing tokens rejected).
+///
+/// # Errors
+///
+/// Returns a [`SexprError`] with a line/column span for unbalanced
+/// parentheses, unterminated strings, or content outside the document.
+pub fn parse_sexpr(src: &str) -> Result<Sexpr, SexprError> {
+    let mut lex = Lexer::new(src);
+    let mut stack: Vec<(Vec<Sexpr>, SrcSpan)> = Vec::new();
+    let mut top: Option<Sexpr> = None;
+
+    while let Some(tok) = lex.next_tok()? {
+        if top.is_some() {
+            let span = match &tok {
+                Tok::Open(s) | Tok::Close(s) => *s,
+                Tok::Atom(_, s) | Tok::Str(_, s) => *s,
+            };
+            return Err(SexprError {
+                span,
+                message: "content after the top-level expression".into(),
+            });
+        }
+        let node = match tok {
+            Tok::Open(span) => {
+                stack.push((Vec::new(), span));
+                continue;
+            }
+            Tok::Close(span) => match stack.pop() {
+                Some((items, open)) => Sexpr::List { items, span: open },
+                None => {
+                    return Err(SexprError {
+                        span,
+                        message: "unbalanced `)`".into(),
+                    })
+                }
+            },
+            Tok::Atom(text, span) => Sexpr::Atom { text, span },
+            Tok::Str(text, span) => Sexpr::Str { text, span },
+        };
+        match stack.last_mut() {
+            Some((items, _)) => items.push(node),
+            None => top = Some(node),
+        }
+    }
+    if let Some((_, open)) = stack.last() {
+        return Err(SexprError {
+            span: *open,
+            message: "unclosed `(`".into(),
+        });
+    }
+    top.ok_or_else(|| SexprError {
+        span: SrcSpan::new(1, 1),
+        message: "empty document".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_lists_with_spans() {
+        let doc = "(edif top\n  (edifversion 2 0 0)\n  (library work))";
+        let root = parse_sexpr(doc).unwrap();
+        assert_eq!(root.keyword().as_deref(), Some("edif"));
+        assert_eq!(root.span(), SrcSpan::new(1, 1));
+        let ver = root.child("edifversion").unwrap();
+        assert_eq!(ver.span(), SrcSpan::new(2, 3));
+        assert_eq!(ver.args().len(), 3);
+        let lib = root.child("library").unwrap();
+        assert_eq!(lib.span(), SrcSpan::new(3, 3));
+        assert_eq!(lib.args()[0].as_atom(), Some("work"));
+    }
+
+    #[test]
+    fn strings_keep_contents_and_position() {
+        let root = parse_sexpr("(property loc (string \"12.5,40\"))").unwrap();
+        let s = root.child("string").unwrap();
+        assert_eq!(s.args()[0].as_str(), Some("12.5,40"));
+        assert_eq!(s.args()[0].span(), SrcSpan::new(1, 23));
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        for (doc, needle) in [
+            ("(a (b)", "unclosed"),
+            ("(a))", "content after"),
+            (")", "unbalanced"),
+            ("(s \"no end", "unterminated"),
+            ("", "empty"),
+            ("(a \"line\nbreak\")", "unterminated"),
+        ] {
+            let err = parse_sexpr(doc).unwrap_err();
+            assert!(err.message.contains(needle), "{doc:?}: {err}");
+            assert!(err.span.line >= 1 && err.span.col >= 1);
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly() {
+        let doc = "(edif t (library w (cell c (view v (interface (port p (direction input)))))))";
+        for i in 0..doc.len() {
+            if let Err(e) = parse_sexpr(&doc[..i]) {
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let root = parse_sexpr("(EDIF t (EdifVersion 2 0 0))").unwrap();
+        assert_eq!(root.keyword().as_deref(), Some("edif"));
+        assert!(root.child("edifversion").is_some());
+    }
+}

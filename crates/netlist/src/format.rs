@@ -20,6 +20,7 @@
 use crate::cell::{Cell, CellRole};
 use crate::ids::{CellId, NetId, PinIndex};
 use crate::library::Library;
+use crate::lint::{codes, lint_netlist_spanned, LintReport, SourceMap, SrcSpan};
 use crate::netlist::{Net, Netlist};
 use crate::point::Point;
 use std::collections::HashMap;
@@ -129,86 +130,166 @@ pub fn write_netlist(netlist: &Netlist) -> String {
     out
 }
 
-/// Parses the text format back into a [`Netlist`].
-///
-/// # Errors
-///
-/// Returns [`ParseNetlistError`] on malformed lines, unknown library cells,
-/// libraries other than `std45`, or if the reconstructed netlist fails
-/// [`Netlist::validate`].
-pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
-    let malformed = |line: usize, reason: &str| ParseNetlistError::Malformed {
-        line,
-        reason: reason.to_owned(),
-    };
+/// Best-effort single pass over the text format: parses every line it
+/// can, accumulating one [`LintIssue`](crate::lint::LintIssue) per
+/// defect instead of stopping. Both the strict loader
+/// ([`parse_netlist`]) and the collected-issues linter
+/// ([`lint_netlist_text`]) sit on this one scanner, so the two paths
+/// can never disagree on what a defect is.
+struct Scan {
+    design_name: String,
+    library: Library,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    cell_names: HashMap<String, CellId>,
+    net_names: HashMap<String, NetId>,
+    report: LintReport,
+    sources: SourceMap,
+    /// First non-`std45` library name seen (maps back to
+    /// [`ParseNetlistError::UnsupportedLibrary`] in the strict loader).
+    unsupported: Option<String>,
+}
 
-    let library = Library::standard();
-    let mut design_name = String::new();
-    let mut cells: Vec<Cell> = Vec::new();
-    let mut nets: Vec<Net> = Vec::new();
-    let mut cell_names: HashMap<String, CellId> = HashMap::new();
-    let mut net_names: HashMap<String, NetId> = HashMap::new();
+/// 1-based span of `token` within `raw` (column 1 when absent).
+fn span_of(raw: &str, lineno: usize, token: &str) -> SrcSpan {
+    let col = raw.find(token).map(|i| i + 1).unwrap_or(1);
+    SrcSpan::new(lineno as u32, col as u32)
+}
+
+fn scan_netlist(text: &str) -> Scan {
+    let mut scan = Scan {
+        design_name: String::new(),
+        library: Library::standard(),
+        cells: Vec::new(),
+        nets: Vec::new(),
+        cell_names: HashMap::new(),
+        net_names: HashMap::new(),
+        report: LintReport::new(),
+        sources: SourceMap::new(),
+        unsupported: None,
+    };
     let mut saw_end = false;
 
-    for (i, raw) in text.lines().enumerate() {
+    'lines: for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let at_start = SrcSpan::new(lineno as u32, 1);
         if saw_end {
-            return Err(malformed(lineno, "content after `end`"));
+            scan.report
+                .error(codes::MALFORMED, Some(at_start), "content after `end`");
+            continue;
         }
         let mut toks = line.split_whitespace();
         match toks.next() {
-            Some("design") => {
-                design_name = toks
-                    .next()
-                    .ok_or_else(|| malformed(lineno, "missing design name"))?
-                    .to_owned();
-            }
+            Some("design") => match toks.next() {
+                Some(name) => scan.design_name = name.to_owned(),
+                None => scan
+                    .report
+                    .error(codes::MALFORMED, Some(at_start), "missing design name"),
+            },
             Some("library") => {
-                let name = toks
-                    .next()
-                    .ok_or_else(|| malformed(lineno, "missing library name"))?;
-                if name != library.name() {
-                    return Err(ParseNetlistError::UnsupportedLibrary(name.to_owned()));
+                let Some(name) = toks.next() else {
+                    scan.report
+                        .error(codes::MALFORMED, Some(at_start), "missing library name");
+                    continue;
+                };
+                if name != scan.library.name() {
+                    scan.report.error(
+                        codes::UNSUPPORTED_LIBRARY,
+                        Some(span_of(raw, lineno, name)),
+                        format!("unsupported library `{name}` (only std45 can be re-read)"),
+                    );
+                    if scan.unsupported.is_none() {
+                        scan.unsupported = Some(name.to_owned());
+                    }
                 }
             }
             Some("cell") => {
-                let name = toks
-                    .next()
-                    .ok_or_else(|| malformed(lineno, "missing cell name"))?;
-                let lib_name = toks
-                    .next()
-                    .ok_or_else(|| malformed(lineno, "missing library cell"))?;
-                let role_tok = toks
-                    .next()
-                    .ok_or_else(|| malformed(lineno, "missing role"))?;
+                let Some(name) = toks.next() else {
+                    scan.report
+                        .error(codes::MALFORMED, Some(at_start), "missing cell name");
+                    continue;
+                };
+                let Some(lib_name) = toks.next() else {
+                    scan.report
+                        .error(codes::MALFORMED, Some(at_start), "missing library cell");
+                    continue;
+                };
+                let Some(role_tok) = toks.next() else {
+                    scan.report
+                        .error(codes::MALFORMED, Some(at_start), "missing role");
+                    continue;
+                };
                 // Non-finite coordinates would silently poison every
                 // downstream wire length and slack, so reject them here.
-                let x: f64 = toks
-                    .next()
+                let x_tok = toks.next();
+                let Some(x) = x_tok
                     .and_then(|t| t.parse().ok())
                     .filter(|v: &f64| v.is_finite())
-                    .ok_or_else(|| malformed(lineno, "bad x coordinate"))?;
-                let y: f64 = toks
-                    .next()
+                else {
+                    let code = if x_tok.map(|t| t.parse::<f64>().is_ok()).unwrap_or(false) {
+                        codes::NON_FINITE_ATTR
+                    } else {
+                        codes::MALFORMED
+                    };
+                    scan.report.error(
+                        code,
+                        Some(span_of(raw, lineno, x_tok.unwrap_or(""))),
+                        "bad x coordinate",
+                    );
+                    continue;
+                };
+                let y_tok = toks.next();
+                let Some(y) = y_tok
                     .and_then(|t| t.parse().ok())
                     .filter(|v: &f64| v.is_finite())
-                    .ok_or_else(|| malformed(lineno, "bad y coordinate"))?;
-                let lib_cell = library.find(lib_name).ok_or_else(|| {
-                    malformed(lineno, &format!("unknown library cell `{lib_name}`"))
-                })?;
-                let role = parse_role(role_tok)
-                    .ok_or_else(|| malformed(lineno, &format!("unknown role `{role_tok}`")))?;
-                if cell_names.contains_key(name) {
-                    return Err(malformed(lineno, &format!("duplicate cell `{name}`")));
+                else {
+                    let code = if y_tok.map(|t| t.parse::<f64>().is_ok()).unwrap_or(false) {
+                        codes::NON_FINITE_ATTR
+                    } else {
+                        codes::MALFORMED
+                    };
+                    scan.report.error(
+                        code,
+                        Some(span_of(raw, lineno, y_tok.unwrap_or(""))),
+                        "bad y coordinate",
+                    );
+                    continue;
+                };
+                let Some(lib_cell) = scan.library.find(lib_name) else {
+                    scan.report.error(
+                        codes::UNRESOLVED_REF,
+                        Some(span_of(raw, lineno, lib_name)),
+                        format!("unknown library cell `{lib_name}`"),
+                    );
+                    continue;
+                };
+                let Some(role) = parse_role(role_tok) else {
+                    scan.report.error(
+                        codes::MALFORMED,
+                        Some(span_of(raw, lineno, role_tok)),
+                        format!("unknown role `{role_tok}`"),
+                    );
+                    continue;
+                };
+                if scan.cell_names.contains_key(name) {
+                    scan.report.error(
+                        codes::DUPLICATE_CELL,
+                        Some(span_of(raw, lineno, name)),
+                        format!("duplicate cell `{name}`"),
+                    );
+                    continue;
                 }
-                let function = library.cell(lib_cell).function;
-                let id = CellId::new(cells.len());
-                cell_names.insert(name.to_owned(), id);
-                cells.push(Cell::new(
+                let function = scan.library.cell(lib_cell).function;
+                let id = CellId::new(scan.cells.len());
+                scan.cell_names.insert(name.to_owned(), id);
+                scan.sources
+                    .cells
+                    .insert(name.to_owned(), span_of(raw, lineno, name));
+                scan.cells.push(Cell::new(
                     name.to_owned(),
                     lib_cell,
                     function,
@@ -217,55 +298,98 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
                 ));
             }
             Some("net") => {
-                let name = toks
-                    .next()
-                    .ok_or_else(|| malformed(lineno, "missing net name"))?;
-                let driver_tok = toks
-                    .next()
-                    .and_then(|t| t.strip_prefix("driver="))
-                    .ok_or_else(|| malformed(lineno, "missing driver="))?;
-                let sinks_tok = toks
-                    .next()
-                    .and_then(|t| t.strip_prefix("sinks="))
-                    .ok_or_else(|| malformed(lineno, "missing sinks="))?;
+                let Some(name) = toks.next() else {
+                    scan.report
+                        .error(codes::MALFORMED, Some(at_start), "missing net name");
+                    continue;
+                };
+                let Some(driver_tok) = toks.next().and_then(|t| t.strip_prefix("driver=")) else {
+                    scan.report
+                        .error(codes::MALFORMED, Some(at_start), "missing driver=");
+                    continue;
+                };
+                let Some(sinks_tok) = toks.next().and_then(|t| t.strip_prefix("sinks=")) else {
+                    scan.report
+                        .error(codes::MALFORMED, Some(at_start), "missing sinks=");
+                    continue;
+                };
                 let driver = if driver_tok == "-" {
                     None
                 } else {
-                    Some(*cell_names.get(driver_tok).ok_or_else(|| {
-                        malformed(lineno, &format!("unknown driver `{driver_tok}`"))
-                    })?)
+                    match scan.cell_names.get(driver_tok) {
+                        Some(&d) => Some(d),
+                        None => {
+                            scan.report.error(
+                                codes::UNRESOLVED_REF,
+                                Some(span_of(raw, lineno, driver_tok)),
+                                format!("unknown driver `{driver_tok}`"),
+                            );
+                            continue;
+                        }
+                    }
                 };
                 let mut sinks = Vec::new();
                 if !sinks_tok.is_empty() {
                     for s in sinks_tok.split(',') {
-                        let (cname, pin) = s.split_once(':').ok_or_else(|| {
-                            malformed(lineno, &format!("bad sink `{s}` (want cell:pin)"))
-                        })?;
-                        let cid = *cell_names
-                            .get(cname)
-                            .ok_or_else(|| malformed(lineno, &format!("unknown sink `{cname}`")))?;
-                        let pin: u8 = pin
-                            .parse()
-                            .map_err(|_| malformed(lineno, &format!("bad pin in `{s}`")))?;
+                        let Some((cname, pin)) = s.split_once(':') else {
+                            scan.report.error(
+                                codes::MALFORMED,
+                                Some(span_of(raw, lineno, s)),
+                                format!("bad sink `{s}` (want cell:pin)"),
+                            );
+                            continue 'lines;
+                        };
+                        let Some(&cid) = scan.cell_names.get(cname) else {
+                            scan.report.error(
+                                codes::UNRESOLVED_REF,
+                                Some(span_of(raw, lineno, cname)),
+                                format!("unknown sink `{cname}`"),
+                            );
+                            continue 'lines;
+                        };
+                        let Ok(pin) = pin.parse::<u8>() else {
+                            scan.report.error(
+                                codes::MALFORMED,
+                                Some(span_of(raw, lineno, s)),
+                                format!("bad pin in `{s}`"),
+                            );
+                            continue 'lines;
+                        };
                         sinks.push((cid, PinIndex(pin)));
                     }
                 }
-                let net_id = NetId::new(nets.len());
-                if net_names.contains_key(name) {
-                    return Err(malformed(lineno, &format!("duplicate net `{name}`")));
+                if scan.net_names.contains_key(name) {
+                    scan.report.error(
+                        codes::DUPLICATE_NET,
+                        Some(span_of(raw, lineno, name)),
+                        format!("duplicate net `{name}`"),
+                    );
+                    continue;
                 }
-                net_names.insert(name.to_owned(), net_id);
+                // Pin ranges, before any wiring mutates cell state.
+                for &(c, p) in &sinks {
+                    if scan.cells[c.index()].inputs.get(p.index()).is_none() {
+                        scan.report.error(
+                            codes::UNCONNECTED_PIN,
+                            Some(at_start),
+                            format!("pin {p} out of range on sink"),
+                        );
+                        continue 'lines;
+                    }
+                }
+                let net_id = NetId::new(scan.nets.len());
+                scan.net_names.insert(name.to_owned(), net_id);
+                scan.sources
+                    .nets
+                    .insert(name.to_owned(), span_of(raw, lineno, name));
                 // Wire the referenced pins.
                 if let Some(d) = driver {
-                    cells[d.index()].output = Some(net_id);
+                    scan.cells[d.index()].output = Some(net_id);
                 }
                 for &(c, p) in &sinks {
-                    let slot = cells[c.index()].inputs.get_mut(p.index()).ok_or_else(|| {
-                        malformed(lineno, &format!("pin {p} out of range on sink"))
-                    })?;
-                    *slot = Some(net_id);
+                    scan.cells[c.index()].inputs[p.index()] = Some(net_id);
                 }
-                nets.push(Net {
+                scan.nets.push(Net {
                     name: name.to_owned(),
                     driver,
                     sinks,
@@ -273,17 +397,72 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
             }
             Some("end") => saw_end = true,
             Some(other) => {
-                return Err(malformed(lineno, &format!("unknown directive `{other}`")));
+                scan.report.error(
+                    codes::MALFORMED,
+                    Some(span_of(raw, lineno, other)),
+                    format!("unknown directive `{other}`"),
+                );
             }
             None => unreachable!("blank lines are skipped"),
         }
     }
+    scan
+}
 
-    let netlist = Netlist::from_parts(design_name, library, cells, nets, cell_names, net_names);
+impl Scan {
+    fn into_netlist(self) -> (Netlist, LintReport, SourceMap) {
+        let netlist = Netlist::from_parts(
+            self.design_name,
+            self.library,
+            self.cells,
+            self.nets,
+            self.cell_names,
+            self.net_names,
+        );
+        (netlist, self.report, self.sources)
+    }
+}
+
+/// Parses the text format back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on malformed lines, unknown library cells,
+/// libraries other than `std45`, or if the reconstructed netlist fails
+/// [`Netlist::validate`]. The error is the first error-severity issue the
+/// collected-issues scanner ([`lint_netlist_text`]) reports.
+pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let scan = scan_netlist(text);
+    if let Some(first) = scan.report.first_error() {
+        if first.code == codes::UNSUPPORTED_LIBRARY {
+            return Err(ParseNetlistError::UnsupportedLibrary(
+                scan.unsupported.clone().unwrap_or_default(),
+            ));
+        }
+        return Err(ParseNetlistError::Malformed {
+            line: first.span.map(|s| s.line as usize).unwrap_or(0),
+            reason: first.message.clone(),
+        });
+    }
+    let (netlist, _, _) = scan.into_netlist();
     netlist
         .validate()
         .map_err(|e| ParseNetlistError::Invalid(e.to_string()))?;
     Ok(netlist)
+}
+
+/// Lints the text format: one pass collecting *every* parse-level issue
+/// (duplicates, unresolved references, bad attributes — with line/col
+/// spans) plus every structural issue on the partially-reconstructed
+/// netlist (undriven/multiply-driven nets, dangling ports,
+/// combinational cycles, clocking). Returns the best-effort netlist
+/// alongside the report; the netlist is only safe to time when
+/// `report.num_errors() == 0`.
+pub fn lint_netlist_text(text: &str) -> (Netlist, LintReport) {
+    let scan = scan_netlist(text);
+    let (netlist, mut report, sources) = scan.into_netlist();
+    report.merge(lint_netlist_spanned(&netlist, &sources));
+    (netlist, report)
 }
 
 #[cfg(test)]
@@ -357,5 +536,55 @@ mod tests {
         let text = "design x\nlibrary std45\ncell ff DFF_X1 seq 0 0\nend\n";
         let err = parse_netlist(text).unwrap_err();
         assert!(matches!(err, ParseNetlistError::Invalid(_)));
+    }
+
+    #[test]
+    fn lint_collects_every_defect_in_one_pass() {
+        use crate::lint::codes;
+        // Five distinct defect classes in a single document: a duplicate
+        // cell, an unknown driver reference, an undriven net with sinks,
+        // a combinational cycle, and a non-finite coordinate.
+        let text = "design broken\n\
+                    library std45\n\
+                    cell a INV_X1 comb 0 0\n\
+                    cell b INV_X1 comb 1 0\n\
+                    cell a INV_X1 comb 2 0\n\
+                    cell c INV_X1 comb NaN 0\n\
+                    cell d INV_X1 comb 3 0\n\
+                    cell e INV_X1 comb 4 0\n\
+                    net loop_de driver=d sinks=e:0\n\
+                    net loop_ed driver=e sinks=d:0\n\
+                    net ghost driver=phantom sinks=a:0\n\
+                    net floating driver=- sinks=b:0\n\
+                    end\n";
+        let (_, report) = lint_netlist_text(text);
+        let has = |code: &str| report.issues.iter().any(|i| i.code == code);
+        assert!(has(codes::DUPLICATE_CELL), "{}", report.render_text());
+        assert!(has(codes::UNRESOLVED_REF), "{}", report.render_text());
+        assert!(has(codes::UNDRIVEN_NET), "{}", report.render_text());
+        assert!(has(codes::COMBINATIONAL_CYCLE), "{}", report.render_text());
+        assert!(has(codes::NON_FINITE_ATTR), "{}", report.render_text());
+        // Every parse-level issue carries its source line.
+        let dup = report
+            .issues
+            .iter()
+            .find(|i| i.code == codes::DUPLICATE_CELL)
+            .unwrap();
+        assert_eq!(dup.span.unwrap().line, 5);
+        assert!(dup.span.unwrap().col > 1, "span points at the name token");
+        // Strict parse surfaces the first of these errors, same message.
+        let err = parse_netlist(text).unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate cell `a`"),
+            "strict loader shares the scanner: {err}"
+        );
+    }
+
+    #[test]
+    fn lint_is_clean_on_valid_designs() {
+        let text = write_netlist(&GeneratorConfig::small(3).generate());
+        let (netlist, report) = lint_netlist_text(&text);
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert!(netlist.num_cells() > 0);
     }
 }

@@ -42,17 +42,21 @@ pub mod generate;
 pub mod ids;
 pub mod liberty;
 pub mod library;
+pub mod lint;
 pub mod netlist;
 pub mod point;
 pub mod stats;
 pub mod verilog;
 
 pub use cell::{Cell, CellRole};
-pub use format::{parse_netlist, write_netlist, ParseNetlistError};
+pub use format::{lint_netlist_text, parse_netlist, write_netlist, ParseNetlistError};
 pub use generate::{DesignSpec, GeneratorConfig};
 pub use ids::{CellId, LibCellId, NetId, PinIndex};
 pub use liberty::{parse_liberty, write_liberty, ParseLibertyError};
 pub use library::{DriveStrength, Function, LibCell, Library};
+pub use lint::{
+    lint_netlist, lint_netlist_spanned, LintIssue, LintReport, Severity, SourceMap, SrcSpan,
+};
 pub use netlist::{BuildError, Net, Netlist, NetlistBuilder};
 pub use point::Point;
 pub use stats::DesignStats;

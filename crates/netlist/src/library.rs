@@ -105,6 +105,32 @@ impl Function {
         }
     }
 
+    /// Data-input pin names in pin-index order, using the library's
+    /// interchange convention (`A`/`B`/`C` for gates, `D`/`CK` for
+    /// flip-flops). Shared by every text importer/exporter — structural
+    /// Verilog and EDIF — so the formats agree on pin naming.
+    pub fn input_pin_names(self) -> &'static [&'static str] {
+        match self {
+            Function::Dff => &["D", "CK"],
+            Function::Buf | Function::Inv | Function::ClkBuf | Function::Output => &["A"],
+            Function::Nand2 | Function::Nor2 | Function::And2 | Function::Or2 | Function::Xor2 => {
+                &["A", "B"]
+            }
+            Function::Mux2 | Function::Aoi21 => &["A", "B", "C"],
+            Function::Input => &[],
+        }
+    }
+
+    /// Output pin name in the interchange convention (`Q` for
+    /// flip-flops, `Y` otherwise).
+    pub fn output_pin_name(self) -> &'static str {
+        if self == Function::Dff {
+            "Q"
+        } else {
+            "Y"
+        }
+    }
+
     /// All functions that have characterized library cells.
     pub fn all_characterized() -> &'static [Function] {
         &[

@@ -1,0 +1,524 @@
+//! Collected-issues netlist lint.
+//!
+//! Every structural check the strict loaders enforce fail-fast is also
+//! available here as an *accumulating* pass: one [`LintReport`] listing
+//! every problem found — duplicate names, undriven / multiply-driven
+//! nets, dangling ports, unconnected pins, combinational cycles,
+//! unresolved cell references, non-finite attribute values — each as a
+//! typed [`LintIssue`] with a severity, a stable code, and (when the
+//! netlist came from a text source) a line/column [`SrcSpan`].
+//!
+//! The parsers (`format`, `verilog`, and the EDIF importer in
+//! `crates/ingest`) emit their diagnostics through this module, so the
+//! fail-fast errors and the collected report are one implementation:
+//! a strict parse is "lint, then surface the first error-severity
+//! issue".
+//!
+//! # Issue catalog
+//!
+//! | code    | check                       | severity |
+//! |---------|-----------------------------|----------|
+//! | `NL001` | duplicate cell name         | error    |
+//! | `NL002` | duplicate net name          | error    |
+//! | `NL003` | unresolved cell reference   | error    |
+//! | `NL004` | undriven net with sinks     | error    |
+//! | `NL005` | multiply-driven net         | error    |
+//! | `NL006` | dangling port               | warning  |
+//! | `NL007` | unconnected input pin       | error    |
+//! | `NL008` | combinational cycle         | error    |
+//! | `NL009` | unclocked flip-flop         | error    |
+//! | `NL010` | non-finite attribute value  | error    |
+//! | `NL011` | malformed syntax            | error    |
+//! | `NL012` | unsupported library         | error    |
+
+use crate::cell::CellRole;
+use crate::ids::PinIndex;
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable lint issue codes (see the module-level catalog).
+pub mod codes {
+    /// Duplicate cell name.
+    pub const DUPLICATE_CELL: &str = "NL001";
+    /// Duplicate net name.
+    pub const DUPLICATE_NET: &str = "NL002";
+    /// Reference to a cell, net, or library cell that does not exist.
+    pub const UNRESOLVED_REF: &str = "NL003";
+    /// A net with sinks but no driver.
+    pub const UNDRIVEN_NET: &str = "NL004";
+    /// More than one output pin claims to drive one net.
+    pub const MULTIPLY_DRIVEN_NET: &str = "NL005";
+    /// A port cell wired to nothing.
+    pub const DANGLING_PORT: &str = "NL006";
+    /// A gate input pin with no net, or a pin/net cross-reference
+    /// mismatch.
+    pub const UNCONNECTED_PIN: &str = "NL007";
+    /// A cycle in the combinational timing graph.
+    pub const COMBINATIONAL_CYCLE: &str = "NL008";
+    /// A flip-flop whose CK pin does not trace to a clock source.
+    pub const UNCLOCKED_FF: &str = "NL009";
+    /// A numeric attribute (placement coordinate, characterization
+    /// value) that is NaN or infinite.
+    pub const NON_FINITE_ATTR: &str = "NL010";
+    /// Syntactically malformed source.
+    pub const MALFORMED: &str = "NL011";
+    /// The source references a library this build cannot re-read.
+    pub const UNSUPPORTED_LIBRARY: &str = "NL012";
+}
+
+/// How bad an issue is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but analyzable (e.g. a dangling port).
+    Warning,
+    /// The netlist cannot be timed as written.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label (`"warning"` / `"error"`), stable for wire
+    /// formats and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A 1-based line/column position in the source text an object came
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SrcSpan {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl SrcSpan {
+    /// Builds a span from 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Self { line, col }
+    }
+}
+
+impl fmt::Display for SrcSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintIssue {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable code from [`codes`].
+    pub code: &'static str,
+    /// Human description naming the offending object.
+    pub message: String,
+    /// Source position, when the object came from a text source.
+    pub span: Option<SrcSpan>,
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "{s}: {} [{}] {}", self.severity, self.code, self.message),
+            None => write!(f, "{} [{}] {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// Accumulated findings of one lint pass, in discovery order (source
+/// order for parse issues, then id order for structural issues), so a
+/// report over the same input is byte-stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// The findings.
+    pub issues: Vec<LintIssue>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an error-severity issue.
+    pub fn error(&mut self, code: &'static str, span: Option<SrcSpan>, message: impl Into<String>) {
+        self.issues.push(LintIssue {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            span,
+        });
+    }
+
+    /// Appends a warning-severity issue.
+    pub fn warning(
+        &mut self,
+        code: &'static str,
+        span: Option<SrcSpan>,
+        message: impl Into<String>,
+    ) {
+        self.issues.push(LintIssue {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            span,
+        });
+    }
+
+    /// Number of error-severity issues.
+    pub fn num_errors(&self) -> usize {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity issues.
+    pub fn num_warnings(&self) -> usize {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True when no issue of any severity was found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// The first error-severity issue, if any — what a fail-fast loader
+    /// surfaces.
+    pub fn first_error(&self) -> Option<&LintIssue> {
+        self.issues.iter().find(|i| i.severity == Severity::Error)
+    }
+
+    /// Appends every issue of `other`.
+    pub fn merge(&mut self, other: LintReport) {
+        self.issues.extend(other.issues);
+    }
+
+    /// Multi-line human rendering: one issue per line, then a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for issue in &self.issues {
+            out.push_str(&issue.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.num_errors(),
+            self.num_warnings()
+        ));
+        out
+    }
+}
+
+/// Source positions for named objects, kept by importers so structural
+/// findings on the built netlist can point back into the source text.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    /// Cell name → defining span.
+    pub cells: HashMap<String, SrcSpan>,
+    /// Net name → defining span.
+    pub nets: HashMap<String, SrcSpan>,
+}
+
+impl SourceMap {
+    /// An empty map (structural issues carry no span).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell(&self, name: &str) -> Option<SrcSpan> {
+        self.cells.get(name).copied()
+    }
+
+    fn net(&self, name: &str) -> Option<SrcSpan> {
+        self.nets.get(name).copied()
+    }
+}
+
+/// Runs every structural check on a built netlist, accumulating all
+/// findings instead of stopping at the first (contrast
+/// [`Netlist::validate`], which is this pass surfaced fail-fast).
+pub fn lint_netlist(netlist: &Netlist) -> LintReport {
+    lint_netlist_spanned(netlist, &SourceMap::new())
+}
+
+/// [`lint_netlist`] with a [`SourceMap`] attaching line/col spans to the
+/// findings (importers keep one while elaborating).
+pub fn lint_netlist_spanned(netlist: &Netlist, sources: &SourceMap) -> LintReport {
+    let mut report = LintReport::new();
+
+    // Per-cell pin checks: every declared input wired, cross-references
+    // consistent, coordinates finite.
+    for (id, cell) in netlist.cells() {
+        let span = sources.cell(&cell.name);
+        if !cell.loc.x.is_finite() || !cell.loc.y.is_finite() {
+            report.error(
+                codes::NON_FINITE_ATTR,
+                span,
+                format!(
+                    "cell `{}` has a non-finite placement ({}, {})",
+                    cell.name, cell.loc.x, cell.loc.y
+                ),
+            );
+        }
+        for (pin, net) in cell.inputs.iter().enumerate() {
+            let Some(net) = net else {
+                report.error(
+                    codes::UNCONNECTED_PIN,
+                    span,
+                    format!("cell `{}` input pin {pin} is unconnected", cell.name),
+                );
+                continue;
+            };
+            let listed = netlist
+                .net(*net)
+                .sinks
+                .iter()
+                .any(|&(c, p)| c == id && p.index() == pin);
+            if !listed {
+                report.error(
+                    codes::UNCONNECTED_PIN,
+                    span,
+                    format!(
+                        "cell `{}` pin {pin} reads net `{}`, which does not list it as a sink",
+                        cell.name,
+                        netlist.net(*net).name
+                    ),
+                );
+            }
+        }
+        let lib = netlist.library().cell(cell.lib_cell);
+        if lib.function.has_output() && cell.output.is_none() && !cell.inputs.is_empty() {
+            report.error(
+                codes::UNCONNECTED_PIN,
+                span,
+                format!("cell `{}` drives no net (dead logic)", cell.name),
+            );
+        }
+    }
+
+    // Per-net checks: drivers present, unique, and cross-referenced.
+    let mut outputs_on_net: HashMap<crate::ids::NetId, Vec<&str>> = HashMap::new();
+    for (_, cell) in netlist.cells() {
+        if let Some(out) = cell.output {
+            outputs_on_net.entry(out).or_default().push(&cell.name);
+        }
+    }
+    for (id, net) in netlist.nets() {
+        let span = sources.net(&net.name);
+        let drivers = outputs_on_net.get(&id).map(Vec::as_slice).unwrap_or(&[]);
+        if drivers.len() > 1 {
+            report.error(
+                codes::MULTIPLY_DRIVEN_NET,
+                span,
+                format!(
+                    "net `{}` is driven by {} outputs ({})",
+                    net.name,
+                    drivers.len(),
+                    drivers.join(", ")
+                ),
+            );
+        }
+        match net.driver {
+            None if !net.sinks.is_empty() => {
+                report.error(
+                    codes::UNDRIVEN_NET,
+                    span,
+                    format!(
+                        "net `{}` has {} sink(s) but no driver",
+                        net.name,
+                        net.sinks.len()
+                    ),
+                );
+            }
+            Some(d) if netlist.cell(d).output != Some(id) => {
+                report.error(
+                    codes::MULTIPLY_DRIVEN_NET,
+                    span,
+                    format!(
+                        "net `{}` names driver `{}`, whose output pin drives a different net",
+                        net.name,
+                        netlist.cell(d).name
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Port connectivity: an input port whose net goes nowhere, or an
+    // output port reading nothing, is dangling.
+    for (_, cell) in netlist.cells() {
+        let span = sources.cell(&cell.name);
+        match cell.role {
+            CellRole::Input | CellRole::ClockSource => {
+                let unused = cell
+                    .output
+                    .map(|n| netlist.net(n).sinks.is_empty())
+                    .unwrap_or(true);
+                if unused {
+                    report.warning(
+                        codes::DANGLING_PORT,
+                        span,
+                        format!("input port `{}` drives nothing", cell.name),
+                    );
+                }
+            }
+            CellRole::Output if cell.inputs.first().copied().flatten().is_none() => {
+                report.warning(
+                    codes::DANGLING_PORT,
+                    span,
+                    format!("output port `{}` is not driven", cell.name),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Combinational cycles: same Kahn pass `Netlist::topo_order` runs,
+    // but reporting every blocked cell instead of the first.
+    for id in netlist.cycle_members() {
+        let cell = netlist.cell(id);
+        report.error(
+            codes::COMBINATIONAL_CYCLE,
+            sources.cell(&cell.name),
+            format!("combinational cycle through cell `{}`", cell.name),
+        );
+    }
+
+    // Clocking: every flip-flop's CK pin traces to a clock source.
+    for (_, cell) in netlist.cells() {
+        if cell.role != CellRole::Sequential {
+            continue;
+        }
+        if !ck_traces_to_clock(netlist, cell) {
+            report.error(
+                codes::UNCLOCKED_FF,
+                sources.cell(&cell.name),
+                format!(
+                    "flip-flop `{}` CK pin does not trace to a clock source",
+                    cell.name
+                ),
+            );
+        }
+    }
+
+    report
+}
+
+fn ck_traces_to_clock(netlist: &Netlist, cell: &crate::cell::Cell) -> bool {
+    let mut cur = cell.inputs.get(PinIndex::FF_CK.index()).copied().flatten();
+    let mut hops = 0usize;
+    loop {
+        let Some(net) = cur else { return false };
+        let Some(driver) = netlist.net(net).driver else {
+            return false;
+        };
+        let d = netlist.cell(driver);
+        match d.role {
+            CellRole::ClockSource => return true,
+            CellRole::ClockBuffer => cur = d.inputs.first().copied().flatten(),
+            _ => return false,
+        }
+        hops += 1;
+        if hops > netlist.num_cells() {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GeneratorConfig;
+    use crate::library::Library;
+    use crate::netlist::NetlistBuilder;
+    use crate::point::Point;
+
+    #[test]
+    fn generated_designs_lint_clean() {
+        for seed in [1, 7, 33] {
+            let n = GeneratorConfig::small(seed).generate();
+            let report = lint_netlist(&n);
+            assert!(report.is_clean(), "seed {seed}: {}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn dangling_input_port_is_a_warning() {
+        let mut b = NetlistBuilder::new("t", Library::standard());
+        let clk = b.add_clock_port("clk", Point::ORIGIN);
+        let d = b.add_input("d0", Point::ORIGIN);
+        let unused = b.add_input("nc", Point::ORIGIN);
+        let _ = unused;
+        let ff = b
+            .add_flip_flop("ff0", "DFF_X1", Point::new(5.0, 0.0), clk)
+            .unwrap();
+        b.connect_flip_flop_d_net(ff, d);
+        let q = b.cell_output(ff);
+        b.add_output("y", Point::new(10.0, 0.0), q).unwrap();
+        let n = b.build().unwrap();
+        let report = lint_netlist(&n);
+        assert_eq!(report.num_errors(), 0, "{}", report.render_text());
+        assert_eq!(report.num_warnings(), 1);
+        assert_eq!(report.issues[0].code, codes::DANGLING_PORT);
+        assert!(report.issues[0].message.contains("nc"));
+    }
+
+    #[test]
+    fn unconnected_pin_and_unclocked_ff_accumulate_together() {
+        // build_unchecked lets both defects coexist; lint reports all.
+        let mut b = NetlistBuilder::new("t", Library::standard());
+        let clk = b.add_clock_port("clk", Point::ORIGIN);
+        let _ = clk;
+        let g = b.add_gate_unwired("u0", "INV_X1", Point::ORIGIN).unwrap();
+        let _ = g; // input pin 0 left unconnected
+        let n = b.build_unchecked();
+        let report = lint_netlist(&n);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| i.code == codes::UNCONNECTED_PIN && i.message.contains("u0")));
+        // The clock port drives nothing → dangling warning too.
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| i.code == codes::DANGLING_PORT && i.message.contains("clk")));
+        assert!(report.num_errors() >= 1);
+    }
+
+    #[test]
+    fn report_renders_spans_and_summary() {
+        let mut r = LintReport::new();
+        r.error(
+            codes::DUPLICATE_CELL,
+            Some(SrcSpan::new(4, 6)),
+            "duplicate cell `a`",
+        );
+        r.warning(codes::DANGLING_PORT, None, "input port `nc` drives nothing");
+        let text = r.render_text();
+        assert!(
+            text.contains("4:6: error [NL001] duplicate cell `a`"),
+            "{text}"
+        );
+        assert!(text.contains("warning [NL006]"), "{text}");
+        assert!(text.ends_with("1 error(s), 1 warning(s)\n"), "{text}");
+        assert_eq!(r.first_error().unwrap().code, codes::DUPLICATE_CELL);
+    }
+}

@@ -294,6 +294,28 @@ impl Netlist {
     /// Returns [`BuildError::CombinationalCycle`] naming a cell on the cycle
     /// if the dependency relation is cyclic.
     pub fn topo_order(&self) -> Result<Vec<CellId>, BuildError> {
+        let (order, stuck) = self.kahn();
+        if let Some(&first) = stuck.first() {
+            return Err(BuildError::CombinationalCycle(
+                self.cells[first.index()].name.clone(),
+            ));
+        }
+        Ok(order)
+    }
+
+    /// Cells left with positive indegree after the Kahn pass — the
+    /// members (and downstream dependents) of combinational cycles, in
+    /// id order. Empty when the timing graph is acyclic. This is the
+    /// same pass [`Self::topo_order`] runs; the lint engine
+    /// ([`crate::lint`]) consumes the full set where the fail-fast path
+    /// names only the first.
+    pub fn cycle_members(&self) -> Vec<CellId> {
+        self.kahn().1
+    }
+
+    /// One Kahn pass over the timing dependency graph: returns the topo
+    /// order of schedulable cells and the ids still blocked at the end.
+    fn kahn(&self) -> (Vec<CellId>, Vec<CellId>) {
         let n = self.cells.len();
         let mut indegree = vec![0u32; n];
         let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -323,15 +345,11 @@ impl Netlist {
                 }
             }
         }
-        if order.len() != n {
-            let stuck = (0..n)
-                .find(|&i| indegree[i] > 0)
-                .expect("cycle implies a node with positive indegree");
-            return Err(BuildError::CombinationalCycle(
-                self.cells[stuck].name.clone(),
-            ));
-        }
-        Ok(order)
+        let stuck = (0..n)
+            .filter(|&i| indegree[i] > 0)
+            .map(CellId::new)
+            .collect();
+        (order, stuck)
     }
 
     /// Swaps the library cell implementing `cell` (gate sizing).
@@ -756,6 +774,35 @@ impl NetlistBuilder {
         let id = self.add_cell(name, lib, CellRole::Sequential, loc)?;
         self.connect(clk, id, PinIndex::FF_CK);
         Ok(id)
+    }
+
+    /// Adds a flip-flop with both `D` and `CK` pins left open, to be
+    /// wired later with [`NetlistBuilder::connect_input_pin`] (used by
+    /// netlist readers that replay connections in source order, where a
+    /// flip-flop may appear before its clock driver).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown/duplicate names or if `lib_cell` is not
+    /// a flip-flop.
+    pub fn add_flip_flop_unwired(
+        &mut self,
+        name: &str,
+        lib_cell: &str,
+        loc: Point,
+    ) -> Result<CellId, BuildError> {
+        let lib = self
+            .inner
+            .library
+            .find(lib_cell)
+            .ok_or_else(|| BuildError::UnknownLibCell(lib_cell.to_owned()))?;
+        if self.inner.library.cell(lib).function != Function::Dff {
+            return Err(BuildError::WrongFunction {
+                lib_cell: lib_cell.to_owned(),
+                expected: "a flip-flop",
+            });
+        }
+        self.add_cell(name, lib, CellRole::Sequential, loc)
     }
 
     /// Connects `driver`'s output net to the `D` pin of flip-flop `ff`.

@@ -73,26 +73,15 @@ impl fmt::Display for ParseVerilogError {
 
 impl Error for ParseVerilogError {}
 
-/// Data-input pin names for a function, in pin-index order.
+/// Data-input pin names for a function, in pin-index order (the shared
+/// interchange convention lives on [`Function`]).
 fn input_pin_names(function: Function) -> &'static [&'static str] {
-    match function {
-        Function::Dff => &["D", "CK"],
-        Function::Buf | Function::Inv | Function::ClkBuf | Function::Output => &["A"],
-        Function::Nand2 | Function::Nor2 | Function::And2 | Function::Or2 | Function::Xor2 => {
-            &["A", "B"]
-        }
-        Function::Mux2 | Function::Aoi21 => &["A", "B", "C"],
-        Function::Input => &[],
-    }
+    function.input_pin_names()
 }
 
 /// Output pin name for a function.
 fn output_pin_name(function: Function) -> &'static str {
-    if function == Function::Dff {
-        "Q"
-    } else {
-        "Y"
-    }
+    function.output_pin_name()
 }
 
 // ----------------------------------------------------------------------

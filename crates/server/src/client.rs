@@ -415,6 +415,7 @@ mod tests {
             queue_depth: 64,
             default_deadline_ms: None,
             read_workers: 2,
+            session_ttl_secs: None,
         });
         let mut c = Client::connect(&addr, ClientConfig::default()).unwrap();
         let ids: Vec<u64> = (0..16)

@@ -251,6 +251,16 @@ pub enum Command {
         /// Snapshot file path.
         file: String,
     },
+    /// Collected-issues lint of the loaded design: every structural
+    /// defect (undriven/multiply-driven nets, dangling ports,
+    /// combinational cycles, non-finite attributes, …) in one report.
+    /// Read-only: served from the published snapshot, byte-identical
+    /// across `--threads` and `--read-workers` settings.
+    Lint,
+    /// Evict one named session: its writer lane drains and exits, its
+    /// engine memory is released, and the name becomes free for a fresh
+    /// session. Answered at admission (like `hello`).
+    CloseSession,
     /// Server and engine statistics (non-deterministic: latencies).
     Stats,
     /// Prometheus text exposition of server counters, per-command
@@ -293,6 +303,8 @@ impl Command {
             Command::Recalibrate { .. } => "recalibrate",
             Command::Snapshot { .. } => "snapshot",
             Command::Restore { .. } => "restore",
+            Command::Lint => "lint",
+            Command::CloseSession => "close_session",
             Command::Stats => "stats",
             Command::Metrics => "metrics",
             Command::Failpoint { .. } => "failpoint",
@@ -313,6 +325,7 @@ impl Command {
                 | Command::Wns
                 | Command::Tns
                 | Command::PathQuery { .. }
+                | Command::Lint
         )
     }
 }
@@ -506,6 +519,8 @@ fn parse_request_value(
         "restore" => Command::Restore {
             file: req_str(v, "file")?,
         },
+        "lint" => Command::Lint,
+        "close_session" => Command::CloseSession,
         "stats" => Command::Stats,
         "metrics" => Command::Metrics,
         "failpoint" => Command::Failpoint {
@@ -534,6 +549,7 @@ pub fn error_kind(e: &MgbaError) -> &'static str {
         MgbaError::Solver { .. } => "solver",
         MgbaError::Io { .. } => "io",
         MgbaError::Usage(_) => "usage",
+        MgbaError::Lint { .. } => "lint",
         MgbaError::Timeout { .. } => "timeout",
         MgbaError::Internal(_) => "internal",
     }
@@ -652,6 +668,8 @@ pub fn render_request(
         Command::Ping
         | Command::Wns
         | Command::Tns
+        | Command::Lint
+        | Command::CloseSession
         | Command::Stats
         | Command::Metrics
         | Command::Shutdown => {}
@@ -784,6 +802,8 @@ mod tests {
             ),
             (r#"{"cmd":"snapshot","file":"s.mgba"}"#, "snapshot"),
             (r#"{"cmd":"restore","file":"s.mgba"}"#, "restore"),
+            (r#"{"cmd":"lint"}"#, "lint"),
+            (r#"{"cmd":"close_session"}"#, "close_session"),
             (r#"{"cmd":"stats"}"#, "stats"),
             (r#"{"cmd":"metrics"}"#, "metrics"),
             (
@@ -854,6 +874,8 @@ mod tests {
         let cases: Vec<(Option<u64>, u64, Option<&str>, Command)> = vec![
             (Some(1), 2, Some("opt-a"), Command::Ping),
             (None, 1, None, Command::Wns),
+            (Some(9), 2, Some("opt-a"), Command::Lint),
+            (Some(10), 2, Some("opt-a"), Command::CloseSession),
             (Some(2), 2, None, Command::Hello { max_proto: Some(2) }),
             (
                 Some(3),

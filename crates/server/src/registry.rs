@@ -69,6 +69,8 @@ pub(crate) struct Shared {
     pub rejected_overload: AtomicU64,
     pub rejected_deadline: AtomicU64,
     pub panicked: AtomicU64,
+    /// Sessions removed by TTL expiry or an explicit `close_session`.
+    pub evicted: AtomicU64,
     /// Reads admitted to the pool but not yet picked up; bounded by
     /// [`Shared::read_backlog_cap`].
     pub pending_reads: AtomicUsize,
@@ -84,6 +86,7 @@ impl Shared {
             rejected_overload: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             pending_reads: AtomicUsize::new(0),
             queue_depth,
             read_workers,
@@ -174,6 +177,8 @@ pub struct SessionHandle {
     pub(crate) latency: Mutex<CommandStats>,
     /// Histogram of `whatif_batch` candidate counts (unit: candidates).
     pub(crate) whatif_sizes: Mutex<LatencyHist>,
+    /// When the session was last addressed — the TTL eviction clock.
+    last_active: Mutex<Instant>,
 }
 
 impl SessionHandle {
@@ -187,7 +192,19 @@ impl SessionHandle {
             snapshot: RwLock::new(None),
             latency: Mutex::new(CommandStats::default()),
             whatif_sizes: Mutex::new(LatencyHist::default()),
+            last_active: Mutex::new(Instant::now()),
         }
+    }
+
+    /// Resets the TTL eviction clock (called on every admission that
+    /// addresses this session).
+    fn touch(&self) {
+        *self.last_active.lock().unwrap() = Instant::now();
+    }
+
+    /// How long since the session was last addressed.
+    fn idle_for(&self) -> Duration {
+        self.last_active.lock().unwrap().elapsed()
     }
 
     /// The session's registry name.
@@ -303,29 +320,53 @@ pub struct Registry {
     lanes: Mutex<Vec<JoinHandle<()>>>,
     closed: AtomicBool,
     queue_depth: usize,
+    /// Evict sessions idle longer than this (`None` = never). Checked
+    /// lazily on every admission, so an all-idle server holds its
+    /// sessions until the next request arrives — no sweeper thread.
+    session_ttl: Option<Duration>,
     pub(crate) shared: Arc<Shared>,
 }
 
 impl Registry {
     /// Creates an empty registry; sessions spawn on first address.
-    pub(crate) fn new(queue_depth: usize, shared: Arc<Shared>) -> Arc<Self> {
+    pub(crate) fn new(
+        queue_depth: usize,
+        shared: Arc<Shared>,
+        session_ttl: Option<Duration>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             sessions: Mutex::new(BTreeMap::new()),
             lanes: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
             queue_depth,
+            session_ttl,
             shared,
         })
     }
 
     /// Resolves `name` to its session, creating it (and spawning its
-    /// writer lane) on first use.
+    /// writer lane) on first use. Lazily evicts sessions whose idle time
+    /// exceeds the configured TTL — dropping a session's queue sender
+    /// makes its lane drain and exit, and readers holding the old
+    /// handle's `Arc` finish safely against the published snapshot.
     pub(crate) fn session(self: &Arc<Self>, name: &str) -> Result<SessionEntry, AdmitRejection> {
         let mut map = self.sessions.lock().unwrap();
         if self.closed.load(Ordering::SeqCst) {
             return Err(AdmitRejection::Draining);
         }
+        if let Some(ttl) = self.session_ttl {
+            let before = map.len();
+            map.retain(|n, e| n == name || e.handle.idle_for() <= ttl);
+            let evicted = before - map.len();
+            if evicted > 0 {
+                self.shared
+                    .evicted
+                    .fetch_add(evicted as u64, Ordering::SeqCst);
+                obs::counter_add("server.sessions.evicted", evicted as u64);
+            }
+        }
         if let Some(entry) = map.get(name) {
+            entry.handle.touch();
             return Ok(entry.clone());
         }
         if map.len() >= MAX_SESSIONS {
@@ -346,6 +387,19 @@ impl Registry {
         map.insert(name.to_owned(), entry.clone());
         obs::counter_add("server.sessions.created", 1);
         Ok(entry)
+    }
+
+    /// Removes one session by name (`close_session`): its entry leaves
+    /// the map, the dropped queue sender makes its lane drain admitted
+    /// work and exit, and the name is immediately free for a fresh
+    /// session. Returns whether a session by that name was resident.
+    pub(crate) fn remove(&self, name: &str) -> bool {
+        let removed = self.sessions.lock().unwrap().remove(name).is_some();
+        if removed {
+            self.shared.evicted.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add("server.sessions.evicted", 1);
+        }
+        removed
     }
 
     /// Resident session names, sorted.
@@ -559,6 +613,7 @@ fn execute_read(snapshot: Option<&ReadSnapshot>, cmd: &Command) -> Result<String
         Command::PathQuery { endpoint, pba } => {
             session::read_path(&snap.sta, endpoint.as_deref(), *pba)
         }
+        Command::Lint => Ok(session::read_lint(&snap.sta)),
         other => Err(MgbaError::Internal(format!(
             "`{}` is not a read command",
             other.name()
@@ -766,6 +821,28 @@ fn exposition(
         "request handlers that panicked and were crash-isolated",
         info.panics,
     );
+    p.counter(
+        "mgba_server_sessions_evicted_total",
+        "sessions removed by TTL expiry or close_session",
+        shared.evicted.load(Ordering::SeqCst),
+    );
+    // Lint issue counts by severity, accumulated over every `lint`
+    // command this process served (all sessions).
+    let (lint_errors, lint_warnings) = session::lint_totals();
+    p.counter_family(
+        "mgba_lint_issues_total",
+        "issues found by `lint` commands, by severity",
+    );
+    p.sample_labels(
+        "mgba_lint_issues_total",
+        &[("severity", "error")],
+        lint_errors as f64,
+    );
+    p.sample_labels(
+        "mgba_lint_issues_total",
+        &[("severity", "warning")],
+        lint_warnings as f64,
+    );
     // Per-session degraded flags: live for the session serving this
     // request, published-snapshot state for the others.
     p.gauge_family(
@@ -938,7 +1015,7 @@ mod tests {
 
     fn registry_with(names: &[&str]) -> (Arc<Registry>, Vec<SessionEntry>) {
         let shared = Arc::new(Shared::new(8, 2));
-        let registry = Registry::new(8, shared);
+        let registry = Registry::new(8, shared, None);
         let entries = names
             .iter()
             .map(|n| registry.session(n).map_err(|_| ()).unwrap())
@@ -955,7 +1032,7 @@ mod tests {
     #[test]
     fn sessions_are_created_lazily_and_capped() {
         let shared = Arc::new(Shared::new(4, 0));
-        let registry = Registry::new(4, shared);
+        let registry = Registry::new(4, shared, None);
         assert!(registry.session_names().is_empty());
         for i in 0..MAX_SESSIONS {
             assert!(registry.session(&format!("s{i}")).is_ok());
@@ -995,7 +1072,7 @@ mod tests {
     #[test]
     fn full_lane_queue_rolls_the_ticket_back() {
         let shared = Arc::new(Shared::new(1, 0));
-        let registry = Registry::new(1, Arc::clone(&shared));
+        let registry = Registry::new(1, Arc::clone(&shared), None);
         let entry = registry.session("q").map_err(|_| ()).unwrap();
         let (reply_tx, reply_rx) = mpsc::channel();
         // A sleep occupies the lane; the queue (depth 1) then fills.

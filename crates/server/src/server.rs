@@ -65,6 +65,11 @@ use std::time::{Duration, Instant};
 /// How often the accept loop re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
+/// How often an idle read worker re-checks the shutdown flag, so the
+/// pool can be joined even while a lingering connection thread still
+/// holds a clone of its queue sender.
+const POOL_POLL: Duration = Duration::from_millis(50);
+
 /// Tunables for a server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -77,6 +82,12 @@ pub struct ServerConfig {
     /// every command — reads included — through the writer lane,
     /// reproducing the original single-worker execution exactly.
     pub read_workers: usize,
+    /// Evict sessions idle longer than this many seconds (`None` or
+    /// `Some(0)` = never). Eviction is lazy — checked when the next
+    /// admission resolves a session — and releases the lane thread and
+    /// resident engine clone; clients can also evict explicitly with
+    /// the `close_session` command.
+    pub session_ttl_secs: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -85,7 +96,17 @@ impl Default for ServerConfig {
             queue_depth: 64,
             default_deadline_ms: None,
             read_workers: 0,
+            session_ttl_secs: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// The effective TTL (`Some(0)` means disabled, like `None`).
+    fn session_ttl(&self) -> Option<Duration> {
+        self.session_ttl_secs
+            .filter(|s| *s > 0)
+            .map(Duration::from_secs)
     }
 }
 
@@ -113,13 +134,33 @@ fn spawn_read_pool(shared: &Arc<Shared>) -> (Option<mpsc::Sender<ReadJob>>, Vec<
             let shared = Arc::clone(shared);
             thread::Builder::new()
                 .name(format!("mgba-read-{i}"))
-                .spawn(move || loop {
-                    // Take the next job with the lock released before
-                    // serving, so workers pick up in parallel.
-                    let job = rx.lock().unwrap().recv();
-                    let Ok(job) = job else { break };
-                    shared.pending_reads.fetch_sub(1, Ordering::SeqCst);
-                    registry::serve_read(job, &shared);
+                .spawn(move || {
+                    loop {
+                        // Take the next job with the lock released before
+                        // serving, so workers pick up in parallel. The
+                        // timeout keeps the worker joinable at shutdown
+                        // even while a sender clone is still alive.
+                        let job = rx.lock().unwrap().recv_timeout(POOL_POLL);
+                        match job {
+                            Ok(job) => {
+                                shared.pending_reads.fetch_sub(1, Ordering::SeqCst);
+                                registry::serve_read(job, &shared);
+                            }
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                if shared.shutting_down.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    // Drain reads admitted before the flag flipped: every
+                    // lane publishes its tickets before exiting, so these
+                    // answer instead of vanishing.
+                    while let Ok(job) = rx.lock().unwrap().try_recv() {
+                        shared.pending_reads.fetch_sub(1, Ordering::SeqCst);
+                        registry::serve_read(job, &shared);
+                    }
                 })
                 .expect("spawn read worker")
         })
@@ -178,6 +219,21 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
             obs::counter_add("server.requests.hello", 1);
             let result = registry::render_hello(&gate.registry, *max_proto);
             let _ = reply_tx.send(proto::ok_envelope(&meta, false, &result));
+            continue;
+        }
+        // `close_session` operates on the registry map, not on session
+        // state, so it too answers at admission — and never creates the
+        // session it is asked to close.
+        if matches!(request.cmd, Command::CloseSession) {
+            gate.shared.served.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add("server.requests.close_session", 1);
+            let closed = gate.registry.remove(&request.session);
+            let mut w = obs::json::JsonWriter::new();
+            w.begin_obj();
+            w.key("closed");
+            w.bool(closed);
+            w.end_obj();
+            let _ = reply_tx.send(proto::ok_envelope(&meta, false, &w.finish()));
             continue;
         }
         let entry = match gate.registry.session(&request.session) {
@@ -355,8 +411,12 @@ impl Server {
             self.config.queue_depth,
             self.config.read_workers,
         ));
-        let registry = Registry::new(self.config.queue_depth, Arc::clone(&shared));
-        let (pool_tx, _pool) = spawn_read_pool(&shared);
+        let registry = Registry::new(
+            self.config.queue_depth,
+            Arc::clone(&shared),
+            self.config.session_ttl(),
+        );
+        let (pool_tx, pool) = spawn_read_pool(&shared);
         let gate = Gate {
             registry: Arc::clone(&registry),
             shared: Arc::clone(&shared),
@@ -388,9 +448,12 @@ impl Server {
         for lane in registry.close() {
             let _ = lane.join();
         }
-        // Read workers exit once the last Gate clone drops; a lingering
-        // connection thread may briefly hold one, so they are not joined
-        // here — `run` returning feeds process exit in the CLI.
+        // Read workers poll the shutdown flag, so they are joinable even
+        // while a lingering connection thread still holds a queue-sender
+        // clone — no leaked threads behind `run`'s return.
+        for worker in pool {
+            let _ = worker.join();
+        }
         Ok(())
     }
 }
@@ -414,7 +477,11 @@ where
     W: Write + Send + 'static,
 {
     let shared = Arc::new(Shared::new(config.queue_depth, config.read_workers));
-    let registry = Registry::new(config.queue_depth, Arc::clone(&shared));
+    let registry = Registry::new(
+        config.queue_depth,
+        Arc::clone(&shared),
+        config.session_ttl(),
+    );
     let (pool_tx, pool) = spawn_read_pool(&shared);
     let gate = Gate {
         registry: Arc::clone(&registry),
@@ -483,6 +550,7 @@ mod tests {
             queue_depth: 64,
             default_deadline_ms: None,
             read_workers,
+            session_ttl_secs: None,
         }
     }
 
@@ -758,6 +826,7 @@ mod tests {
             queue_depth: 64,
             default_deadline_ms: Some(1),
             read_workers: 0,
+            session_ttl_secs: None,
         };
         let script = "{\"id\":1,\"cmd\":\"sleep\",\"ms\":30}\n{\"id\":2,\"cmd\":\"ping\"}\n";
         let lines = run_session(&config, script);

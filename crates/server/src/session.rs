@@ -29,6 +29,7 @@ use sta::{
     gba_path_timing_batch, paths::worst_paths_to_endpoint, pba_timing, pba_timing_batch, Path, Sta,
 };
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Server-level counters assembled by the admission layer and handed to
 /// the registry-level `stats`/`metrics` renderers.
@@ -248,6 +249,61 @@ pub(crate) fn read_slack(
     Ok(w.finish())
 }
 
+/// Process-wide lint issue counters, split by severity. They feed the
+/// `mgba_lint_issues_total{severity}` Prometheus family, so they are
+/// monotonic across every session and server instance in the process —
+/// the response payload itself stays free of cross-request state.
+static LINT_ERRORS: AtomicU64 = AtomicU64::new(0);
+static LINT_WARNINGS: AtomicU64 = AtomicU64::new(0);
+
+/// `(errors, warnings)` found by every `lint` command served so far.
+pub(crate) fn lint_totals() -> (u64, u64) {
+    (
+        LINT_ERRORS.load(Ordering::SeqCst),
+        LINT_WARNINGS.load(Ordering::SeqCst),
+    )
+}
+
+/// `lint` result: the collected-issues report over the loaded design.
+/// The report is a pure function of the netlist (no wall-clock fields,
+/// no ordering dependence on the serving thread), so responses are
+/// byte-identical across `--threads` and `--read-workers` settings and
+/// across the funnel/split execution paths.
+pub(crate) fn read_lint(sta: &Sta) -> String {
+    let report = netlist::lint_netlist(sta.netlist());
+    LINT_ERRORS.fetch_add(report.num_errors() as u64, Ordering::SeqCst);
+    LINT_WARNINGS.fetch_add(report.num_warnings() as u64, Ordering::SeqCst);
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("design");
+    w.str(sta.netlist().name());
+    w.key("errors");
+    w.u64(report.num_errors() as u64);
+    w.key("warnings");
+    w.u64(report.num_warnings() as u64);
+    w.key("issues");
+    w.begin_arr();
+    for issue in &report.issues {
+        w.begin_obj();
+        w.key("severity");
+        w.str(issue.severity.label());
+        w.key("code");
+        w.str(issue.code);
+        w.key("message");
+        w.str(&issue.message);
+        if let Some(span) = issue.span {
+            w.key("line");
+            w.u64(u64::from(span.line));
+            w.key("col");
+            w.u64(u64::from(span.col));
+        }
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 /// `wns`/`tns` result: the summary figure plus the violation count.
 pub(crate) fn read_summary(sta: &Sta, wns: bool) -> String {
     let mut w = JsonWriter::new();
@@ -438,18 +494,25 @@ impl Session {
                 let loaded = self.require_loaded()?;
                 read_path(&loaded.sta, endpoint.as_deref(), *pba)
             }
+            Command::Lint => {
+                let loaded = self.require_loaded()?;
+                Ok(read_lint(&loaded.sta))
+            }
             Command::WhatIfResize { cell, to } => self.resize(cell, to, false, false),
             Command::WhatIfBatch { resizes, pba } => self.whatif_batch(resizes, *pba),
             Command::Commit { cell, to, full } => self.resize(cell, to, true, *full),
             Command::Recalibrate { solver, full } => self.recalibrate(solver.as_deref(), *full),
             Command::Snapshot { file } => self.snapshot(file),
             Command::Restore { file } => self.restore(file),
-            // Stats, metrics, and hello need registry-wide state (every
-            // session's handle, merged latency views); the server layer
+            // Stats, metrics, hello, and close_session need
+            // registry-wide state (every session's handle, merged
+            // latency views, the session map itself); the server layer
             // intercepts them before dispatch ever sees them.
-            Command::Stats | Command::Metrics | Command::Hello { .. } => Err(MgbaError::Internal(
-                "command is handled at the server layer".into(),
-            )),
+            Command::Stats | Command::Metrics | Command::Hello { .. } | Command::CloseSession => {
+                Err(MgbaError::Internal(
+                    "command is handled at the server layer".into(),
+                ))
+            }
             Command::Failpoint { spec } => {
                 let applied = faultinject::arm_spec(spec).map_err(MgbaError::Usage)?;
                 let mut w = JsonWriter::new();

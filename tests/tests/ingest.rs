@@ -1,0 +1,144 @@
+//! EDIF front-door integration: export → import → identical timing,
+//! and the collected-issues lint on deliberately broken documents.
+
+use ingest::{import_edif, lint_edif, write_edif};
+use mgba::{run_mgba, MgbaConfig, Solver};
+use netlist::lint::codes;
+use netlist::GeneratorConfig;
+use sta::{DerateSet, Sdc, Sta};
+
+/// The acceptance bar for the importer: a design written to EDIF and
+/// read back must produce *bit-identical* calibrated WNS/TNS. The
+/// importer replays every connection in source order precisely so the
+/// float summation order (net loads, endpoint slack sums) is unchanged.
+#[test]
+fn edif_round_trip_is_bit_identical_on_calibrated_timing() {
+    for seed in [601, 602, 603] {
+        let original = GeneratorConfig::small(seed).generate();
+        let text = write_edif(&original);
+        let (imported, _) = import_edif(&text).expect("round trip imports");
+        imported.validate().expect("round trip is valid");
+
+        let period = 900.0;
+        let mut sta_a = Sta::new(
+            original.clone(),
+            Sdc::with_period(period),
+            DerateSet::standard(),
+        )
+        .unwrap();
+        let mut sta_b = Sta::new(
+            imported.clone(),
+            Sdc::with_period(period),
+            DerateSet::standard(),
+        )
+        .unwrap();
+        assert_eq!(
+            sta_a.wns().to_bits(),
+            sta_b.wns().to_bits(),
+            "seed {seed}: GBA WNS must be bit-identical"
+        );
+        assert_eq!(
+            sta_a.tns().to_bits(),
+            sta_b.tns().to_bits(),
+            "seed {seed}: GBA TNS must be bit-identical"
+        );
+
+        let ra = run_mgba(&mut sta_a, &MgbaConfig::default(), Solver::ScgRs);
+        let rb = run_mgba(&mut sta_b, &MgbaConfig::default(), Solver::ScgRs);
+        assert_eq!(ra.num_paths, rb.num_paths, "seed {seed}");
+        assert_eq!(
+            ra.mse_after.to_bits(),
+            rb.mse_after.to_bits(),
+            "seed {seed}: calibrated fit must be bit-identical"
+        );
+        assert_eq!(
+            sta_a.wns().to_bits(),
+            sta_b.wns().to_bits(),
+            "seed {seed}: calibrated WNS must be bit-identical"
+        );
+        assert_eq!(
+            sta_a.tns().to_bits(),
+            sta_b.tns().to_bits(),
+            "seed {seed}: calibrated TNS must be bit-identical"
+        );
+    }
+}
+
+/// Re-exporting an imported design reproduces the same document —
+/// the exporter is deterministic and the importer lossless.
+#[test]
+fn edif_write_import_write_is_a_fixpoint() {
+    let original = GeneratorConfig::small(604).generate();
+    let first = write_edif(&original);
+    let (imported, _) = import_edif(&first).unwrap();
+    let second = write_edif(&imported);
+    assert_eq!(first, second);
+}
+
+/// A document with four distinct defect classes produces one report
+/// listing all of them, each with a line/column location.
+#[test]
+fn lint_reports_every_defect_class_with_locations() {
+    let text = r#"(edif broken
+  (edifversion 2 0 0)
+  (external std45
+    (cell INV_X1 (celltype generic)
+      (view netlist (viewtype netlist)
+        (interface (port A (direction input)) (port Y (direction output))))))
+  (library work
+    (cell broken (celltype generic)
+      (view netlist (viewtype netlist)
+        (interface (port a (direction input)) (port y (direction output)))
+        (contents
+          (instance u0 (viewref netlist (cellref INV_X1 (libraryref std45)))
+            (property loc (string "inf,3")))
+          (instance u0 (viewref netlist (cellref INV_X1 (libraryref std45))))
+          (instance w0 (viewref netlist (cellref WEIRD_X3 (libraryref std45))))
+          (instance c0 (viewref netlist (cellref INV_X1 (libraryref std45))))
+          (instance c1 (viewref netlist (cellref INV_X1 (libraryref std45))))
+          (net na (joined (portref a) (portref A (instanceref u0))))
+          (net nu (joined (portref A (instanceref w0))))
+          (net l0 (joined (portref Y (instanceref c0)) (portref A (instanceref c1))))
+          (net l1 (joined (portref Y (instanceref c1)) (portref A (instanceref c0))))
+          (net ny (joined (portref Y (instanceref u0)) (portref y)))))))
+  (design broken (cellref broken (libraryref work))))"#;
+    let imported = lint_edif(text);
+    let report = &imported.report;
+    for code in [
+        codes::NON_FINITE_ATTR,
+        codes::DUPLICATE_CELL,
+        codes::UNRESOLVED_REF,
+        codes::COMBINATIONAL_CYCLE,
+    ] {
+        let issue = report
+            .issues
+            .iter()
+            .find(|i| i.code == code)
+            .unwrap_or_else(|| panic!("missing {code}:\n{}", report.render_text()));
+        assert!(issue.span.is_some(), "{code} carries a location: {issue}");
+    }
+    assert!(report.num_errors() >= 4, "{}", report.render_text());
+    // One pass, one report: the text rendering is stable and complete.
+    let rendered = report.render_text();
+    assert!(rendered.contains("error ["), "{rendered}");
+    assert!(
+        rendered.lines().count() == report.issues.len() + 1,
+        "{rendered}"
+    );
+}
+
+/// Truncation sweep: chopping the document anywhere either still
+/// imports (impossible here) or fails with a located, non-empty error
+/// — never a panic.
+#[test]
+fn edif_truncation_never_panics() {
+    let design = GeneratorConfig::small(605).generate();
+    let text = write_edif(&design);
+    let step = text.len() / 97 + 1;
+    for cut in (0..text.len()).step_by(step) {
+        match import_edif(&text[..cut]) {
+            Ok(_) => {}
+            Err(e) => assert!(!e.to_string().is_empty(), "cut {cut}"),
+        }
+    }
+}

@@ -144,6 +144,79 @@ fn every_truncation_of_a_liberty_library_errors_cleanly() {
 }
 
 #[test]
+fn every_truncation_of_an_edif_document_errors_cleanly() {
+    let text = ingest::write_edif(&GeneratorConfig::small(3).generate());
+    assert!(ingest::import_edif(&text).is_ok(), "fixture must be valid");
+    // Byte-prefix sweep at a fixed stride plus every list-closing paren:
+    // each cut must yield a typed error with a stable code, never a panic
+    // and never a silently wrong netlist.
+    let cuts: Vec<usize> = text
+        .char_indices()
+        .filter(|&(i, c)| i % 5 == 0 || c == ')')
+        .map(|(i, _)| i)
+        .collect();
+    for cut in cuts {
+        if let Err(e) = ingest::import_edif(&text[..cut]) {
+            assert!(!e.to_string().is_empty(), "error must describe itself");
+            assert!(!e.code.is_empty(), "error must carry a lint code");
+        }
+    }
+    // A cut strictly inside the document body is an unambiguous error.
+    let mid = (text.len() / 2..text.len())
+        .find(|&i| text.is_char_boundary(i))
+        .unwrap();
+    assert!(ingest::import_edif(&text[..mid]).is_err());
+}
+
+#[test]
+fn edif_garbage_windows_are_collected_issues_not_panics() {
+    // Stamp garbage over a sliding window of the document. Every mutant
+    // must run the whole collected-issues pass without panicking; when
+    // the lenient pass reports errors the strict import must also fail.
+    let text = ingest::write_edif(&GeneratorConfig::small(4).generate());
+    let garbage = [
+        "]]]@#$",
+        "(((((((",
+        "\"unterminated",
+        "1e999999 ",
+        ")) ((banana",
+    ];
+    for (slot, junk) in garbage.iter().enumerate() {
+        let at = (slot + 1) * text.len() / (garbage.len() + 2);
+        let start = (at..text.len())
+            .find(|&i| text.is_char_boundary(i))
+            .unwrap();
+        let end = ((start + junk.len()).min(text.len())..=text.len())
+            .find(|&i| text.is_char_boundary(i))
+            .unwrap();
+        let mutant = format!("{}{}{}", &text[..start], junk, &text[end..]);
+        let imported = ingest::lint_edif(&mutant);
+        if imported.report.num_errors() > 0 {
+            assert!(ingest::import_edif(&mutant).is_err());
+        }
+        for issue in &imported.report.issues {
+            assert!(!issue.message.is_empty());
+        }
+    }
+}
+
+#[test]
+fn truncated_edif_through_the_shared_loader_keeps_its_location() {
+    // The CLI and server load EDIF through the same sniffing loader as
+    // native netlists; a truncated document must surface as a typed
+    // parse error that still names the source position.
+    let dir = std::env::temp_dir().join(format!("mgba_edif_errors_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("truncated.edf");
+    let text = ingest::write_edif(&GeneratorConfig::small(5).generate());
+    std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+    let err = mgba::load_netlist_file(path.to_str().unwrap()).unwrap_err();
+    assert!(matches!(err, MgbaError::Parse(_)), "{err:?}");
+    assert!(err.to_string().contains("edif"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn liberty_bad_attribute_value_is_rejected() {
     let text = write_liberty(&Library::standard());
     // Corrupt one numeric attribute value in an otherwise valid document.

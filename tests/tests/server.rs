@@ -133,8 +133,12 @@ fn responses_are_bit_identical_across_thread_counts_and_read_modes() {
         "\n",
         r#"{"id":10,"cmd":"tns"}"#,
         "\n",
+        r#"{"id":11,"cmd":"lint"}"#,
+        "\n",
+        r#"{"id":12,"proto":2,"session":"alpha","cmd":"lint"}"#,
+        "\n",
         "this line is not json\n",
-        r#"{"id":11,"cmd":"shutdown"}"#,
+        r#"{"id":13,"cmd":"shutdown"}"#,
         "\n",
     );
     let run_with = |threads: usize, read_workers: usize| -> String {
@@ -205,6 +209,7 @@ fn overload_is_an_explicit_rejection_not_a_hang() {
         queue_depth: 1,
         default_deadline_ms: None,
         read_workers: 0,
+        session_ttl_secs: None,
     });
     let mut requests = vec![r#"{"id":0,"cmd":"sleep","ms":300}"#.to_owned()];
     for i in 1..=8 {
@@ -420,6 +425,89 @@ fn concurrent_clients_get_admission_ordered_replies_per_session() {
 
     let bye = setup.call(&Command::Shutdown).expect("shutdown");
     assert!(bye.ok, "{}", bye.raw);
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn lint_is_read_only_and_close_session_evicts_state() {
+    // `lint` is a read command: it is served from the published
+    // snapshot, never mutates the design, and reports the collected
+    // issues for the loaded netlist. `close_session` drops the session
+    // from the registry; the next request on the same name starts from
+    // a blank session.
+    let (addr, handle) = start(ServerConfig {
+        read_workers: 2,
+        ..ServerConfig::default()
+    });
+    let responses = transact(
+        addr,
+        &[
+            r#"{"id":1,"proto":2,"session":"tmp","cmd":"load","design":"small:5"}"#,
+            r#"{"id":2,"proto":2,"session":"tmp","cmd":"lint"}"#,
+            r#"{"id":3,"proto":2,"session":"tmp","cmd":"wns"}"#,
+            r#"{"id":4,"proto":2,"session":"tmp","cmd":"close_session"}"#,
+            r#"{"id":5,"proto":2,"session":"tmp","cmd":"close_session"}"#,
+            r#"{"id":6,"proto":2,"session":"tmp","cmd":"wns"}"#,
+            r#"{"id":7,"proto":2,"session":"tmp","cmd":"shutdown"}"#,
+        ],
+    );
+    assert!(ok(&responses[0]), "{}", responses[0]);
+    // The lint report names the design and carries the issue counters.
+    assert!(ok(&responses[1]), "{}", responses[1]);
+    assert!(responses[1].contains("\"errors\":"), "{}", responses[1]);
+    assert!(responses[1].contains("\"issues\":"), "{}", responses[1]);
+    // Lint did not disturb the loaded state.
+    assert!(ok(&responses[2]), "{}", responses[2]);
+    // First close drops the session, the second finds nothing resident.
+    assert!(responses[3].contains("\"closed\":true"), "{}", responses[3]);
+    assert!(
+        responses[4].contains("\"closed\":false"),
+        "{}",
+        responses[4]
+    );
+    // The name is reusable but starts blank: no design loaded.
+    assert!(
+        responses[5].contains("no design loaded"),
+        "{}",
+        responses[5]
+    );
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn idle_sessions_are_evicted_after_the_ttl() {
+    // With a 1-second TTL, a session left idle past the deadline is
+    // lazily evicted when any other session is touched; its name then
+    // resolves to a fresh, blank session.
+    let (addr, handle) = start(ServerConfig {
+        session_ttl_secs: Some(1),
+        ..ServerConfig::default()
+    });
+    let loaded = transact(
+        addr,
+        &[r#"{"id":1,"proto":2,"session":"idle","cmd":"load","design":"small:3"}"#],
+    );
+    assert!(ok(&loaded[0]), "{}", loaded[0]);
+    std::thread::sleep(std::time::Duration::from_millis(1300));
+    // Touching another session sweeps the expired one…
+    let other = transact(
+        addr,
+        &[r#"{"id":2,"proto":2,"session":"busy","cmd":"ping"}"#],
+    );
+    assert!(ok(&other[0]), "{}", other[0]);
+    // …so the idle session's design is gone.
+    let responses = transact(
+        addr,
+        &[
+            r#"{"id":3,"proto":2,"session":"idle","cmd":"wns"}"#,
+            r#"{"id":4,"proto":2,"session":"idle","cmd":"shutdown"}"#,
+        ],
+    );
+    assert!(
+        responses[0].contains("no design loaded"),
+        "evicted session must come back blank: {}",
+        responses[0]
+    );
     handle.join().expect("clean exit");
 }
 
