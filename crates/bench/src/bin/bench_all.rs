@@ -69,9 +69,7 @@ fn calibrate_scenario(name: &str, solver: Solver) -> ScenarioResult {
 fn stream_responses(script: &str) -> f64 {
     let config = ServerConfig {
         queue_depth: script.lines().count() + 1,
-        default_deadline_ms: None,
-        read_workers: 0,
-        session_ttl_secs: None,
+        ..ServerConfig::default()
     };
     let out = serve_stream(&config, script.as_bytes(), Vec::<u8>::new()).expect("stream transport");
     let text = String::from_utf8(out).expect("utf8 responses");

@@ -87,9 +87,7 @@ impl Pass {
 fn bench_config(script: &str) -> ServerConfig {
     ServerConfig {
         queue_depth: script.lines().count() + 1,
-        default_deadline_ms: None,
-        read_workers: 0,
-        session_ttl_secs: None,
+        ..ServerConfig::default()
     }
 }
 
@@ -149,9 +147,7 @@ fn run_tcp(script: &str) -> Pass {
 fn run_batch_comparison(design: &str, n: usize) -> (f64, f64) {
     let config = ServerConfig {
         queue_depth: n + 8,
-        default_deadline_ms: None,
-        read_workers: 0,
-        session_ttl_secs: None,
+        ..ServerConfig::default()
     };
     let srv = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = srv.local_addr().expect("addr").to_string();

@@ -91,9 +91,8 @@ fn trial_qps(spec: &SaturationSpec, read_workers: usize) -> f64 {
         "127.0.0.1:0",
         ServerConfig {
             queue_depth: WINDOW * spec.clients + 8,
-            default_deadline_ms: None,
             read_workers,
-            session_ttl_secs: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");

@@ -13,7 +13,7 @@
 //! mgba-sta corners   <FILE> --period PS
 //! mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
 //! mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
-//!                    [--read-workers N] [--session-ttl-secs S]
+//!                    [--read-workers N] [--session-ttl-secs S] [--slow-ms MS]
 //! mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N]
 //!                    [--backoff-ms MS] [--session NAME] [--proto 1|2]
 //!                    [REQUEST...]
@@ -35,8 +35,14 @@
 //! - `--trace FILE` records every span as a Chrome `trace_event` and
 //!   writes the timeline JSON to FILE on success — load it in
 //!   `chrome://tracing` or Perfetto. Independent of `--profile`; under
-//!   `serve` each request's handler appears as its own span. The same
-//!   bit-identity guarantee applies.
+//!   `serve` each request's handler appears as its own span, and each
+//!   request stage (queue wait, execute, reply write, …) as a complete
+//!   event. The same bit-identity guarantee applies.
+//! - `--log FILE` records the structured event log (`obs::events`) —
+//!   typed lifecycle events with severity, monotonic sequence numbers,
+//!   and session/request attribution — and writes it to FILE as JSON
+//!   lines on success. Off by default with the same zero-overhead,
+//!   bit-identity guarantee as the other instrumentation.
 //!
 //! Netlist files may be in the native text format (`.nl`), the
 //! structural-Verilog subset (`.v`), or EDIF 2.0.0 (`.edif`),
@@ -100,11 +106,13 @@ usage:
   mgba-sta corners   <FILE> --period PS
   mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
   mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
-                     [--read-workers N] [--session-ttl-secs S]
+                     [--read-workers N] [--session-ttl-secs S] [--slow-ms MS]
                      (N read-pool threads serve read-only queries from
                      lock-free session snapshots; 0 = funnel everything
                      through the writer lane. Sessions idle longer than S
-                     seconds are evicted lazily; 0/unset = never)
+                     seconds are evicted lazily; 0/unset = never.
+                     --slow-ms records lane commands executing >= MS ms
+                     in the per-session ring served by `slowlog`)
   mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N] [--backoff-ms MS]
                      [--session NAME] [--proto 1|2] [REQUEST...]
                      (reads stdin when no REQUEST;
@@ -122,7 +130,8 @@ global options:
                     results are identical for every value)
   --profile         print a span/metrics/solver-telemetry report to stderr
   --profile=json    write the report to results/profile_<command>.json
-  --trace FILE      write a Chrome trace_event timeline (chrome://tracing)";
+  --trace FILE      write a Chrome trace_event timeline (chrome://tracing)
+  --log FILE        write the structured event log as JSON lines";
 
 /// Where the `--profile` report goes.
 #[derive(Clone, Copy, PartialEq)]
@@ -156,7 +165,18 @@ fn run(argv: &[String]) -> Result<(), MgbaError> {
     if trace_path.is_some() {
         obs::set_trace_enabled(true);
     }
+    let log_path = args.option("--log")?;
+    if log_path.is_some() {
+        obs::set_log_enabled(true);
+    }
     let command = args.positional("command")?;
+    obs::events::emit(
+        obs::events::Severity::Info,
+        "cli.start",
+        None,
+        None,
+        &[("command", command.clone())],
+    );
     let result = {
         // Root span: the whole subcommand, named after it.
         let _span = obs::span(&command);
@@ -177,10 +197,24 @@ fn run(argv: &[String]) -> Result<(), MgbaError> {
             other => Err(MgbaError::Usage(format!("unknown command `{other}`"))),
         }
     };
+    obs::events::emit(
+        obs::events::Severity::Info,
+        "cli.finish",
+        None,
+        None,
+        &[
+            ("command", command.clone()),
+            ("ok", result.is_ok().to_string()),
+        ],
+    );
     if result.is_ok() {
         if let Some(path) = &trace_path {
             obs::set_trace_enabled(false);
             write_trace(path)?;
+        }
+        if let Some(path) = &log_path {
+            obs::set_log_enabled(false);
+            write_events(path)?;
         }
         if let Some(format) = profile {
             obs::set_enabled(false);
@@ -196,6 +230,16 @@ fn write_trace(path: &str) -> Result<(), MgbaError> {
     match obs::trace::dropped_events() {
         0 => eprintln!("wrote trace {path}"),
         n => eprintln!("wrote trace {path} ({n} events dropped past cap)"),
+    }
+    Ok(())
+}
+
+/// Writes the structured event log as JSON lines (`--log FILE`).
+fn write_events(path: &str) -> Result<(), MgbaError> {
+    std::fs::write(path, obs::events::export_jsonl()).map_err(|e| MgbaError::io(path, e))?;
+    match obs::events::evicted_events() {
+        0 => eprintln!("wrote event log {path}"),
+        n => eprintln!("wrote event log {path} ({n} events evicted past cap)"),
     }
     Ok(())
 }
@@ -624,12 +668,21 @@ fn cmd_serve(args: &mut Args) -> Result<(), MgbaError> {
         })?),
         None => None,
     };
+    let slow_ms: Option<u64> = match args.option("--slow-ms")? {
+        Some(s) => Some(s.parse().map_err(|_| {
+            MgbaError::Usage(format!(
+                "bad --slow-ms `{s}` (want milliseconds; 0 records every lane command)"
+            ))
+        })?),
+        None => None,
+    };
     args.finish()?;
     let config = server::ServerConfig {
         queue_depth,
         default_deadline_ms,
         read_workers,
         session_ttl_secs,
+        slow_ms,
     };
     if stdio {
         if listen.is_some() {

@@ -1,0 +1,282 @@
+//! Bounded structured event log: a process-wide ring buffer of typed
+//! JSON events with severity, a monotonic sequence number, and optional
+//! session/request attribution.
+//!
+//! Spans answer "where did the time go", metrics answer "how much" —
+//! this store answers "what happened, in order": a design was loaded, a
+//! calibration fell back a solver stage, a session was rebuilt after a
+//! panic. The CLI writes the log to `--log FILE` as JSON lines; the
+//! server keeps it resident for post-mortem inspection.
+//!
+//! Like every other `obs` store the log is **off by default**
+//! ([`set_log_enabled`]) and recording only reads the values it is
+//! handed, so enabling it never changes a computed result. The ring is
+//! capped at [`MAX_EVENTS`]; overflow evicts the oldest event and is
+//! counted, never silent.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Ring capacity: old events are evicted (and counted) past this.
+pub const MAX_EVENTS: usize = 4096;
+
+/// Event severity, ordered from chattiest to most urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Routine lifecycle notes (command started, snapshot written).
+    Info,
+    /// Something degraded but recoverable (solver fell back, retry).
+    Warn,
+    /// Something failed (request errored, session rebuilt after panic).
+    Error,
+}
+
+impl Severity {
+    /// The lowercase wire spelling (`"info"` / `"warn"` / `"error"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number, starting at 1; never reused within
+    /// one enable window, so gaps after eviction are visible.
+    pub seq: u64,
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable dotted event kind (`"server.session.rebuilt"`).
+    pub kind: String,
+    /// Session the event belongs to, when attributable.
+    pub session: Option<String>,
+    /// Admission-order request id, when the event came from a request.
+    pub request_id: Option<u64>,
+    /// Free-form `key=value` detail pairs, in insertion order.
+    pub fields: Vec<(String, String)>,
+}
+
+struct Store {
+    next_seq: u64,
+    events: VecDeque<Event>,
+    evicted: u64,
+}
+
+/// Fast-path switch; mirrors the `Some`/`None` state of [`STORE`].
+static LOG_ENABLED: AtomicBool = AtomicBool::new(false);
+static STORE: Mutex<Option<Store>> = Mutex::new(None);
+
+/// Whether the event log is currently recording.
+#[inline]
+pub fn log_enabled() -> bool {
+    LOG_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the event log on or off. Enabling starts sequence numbering at
+/// 1 when the ring is empty; re-enabling keeps the existing sequence so
+/// one process has one ordering.
+pub fn set_log_enabled(on: bool) {
+    let mut store = STORE.lock().unwrap_or_else(|p| p.into_inner());
+    if on && store.is_none() {
+        *store = Some(Store {
+            next_seq: 1,
+            events: VecDeque::new(),
+            evicted: 0,
+        });
+    }
+    LOG_ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Records one event. No-op when the log is disabled. `fields` are
+/// `(key, value)` detail pairs kept in the order given.
+pub fn emit(
+    severity: Severity,
+    kind: &str,
+    session: Option<&str>,
+    request_id: Option<u64>,
+    fields: &[(&str, String)],
+) {
+    if !log_enabled() {
+        return;
+    }
+    let mut store = STORE.lock().unwrap_or_else(|p| p.into_inner());
+    let Some(store) = store.as_mut() else { return };
+    let seq = store.next_seq;
+    store.next_seq += 1;
+    if store.events.len() >= MAX_EVENTS {
+        store.events.pop_front();
+        store.evicted += 1;
+    }
+    store.events.push_back(Event {
+        seq,
+        severity,
+        kind: kind.to_owned(),
+        session: session.map(str::to_owned),
+        request_id,
+        fields: fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+    });
+}
+
+/// Snapshot of the resident ring, oldest first.
+pub fn snapshot() -> Vec<Event> {
+    STORE
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .as_ref()
+        .map(|s| s.events.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// Events evicted from the ring because [`MAX_EVENTS`] was hit.
+pub fn evicted_events() -> u64 {
+    STORE
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .as_ref()
+        .map_or(0, |s| s.evicted)
+}
+
+fn write_event(w: &mut crate::json::JsonWriter, e: &Event) {
+    w.begin_obj();
+    w.key("seq");
+    w.u64(e.seq);
+    w.key("severity");
+    w.str(e.severity.as_str());
+    w.key("kind");
+    w.str(&e.kind);
+    if let Some(session) = &e.session {
+        w.key("session");
+        w.str(session);
+    }
+    if let Some(rid) = e.request_id {
+        w.key("request_id");
+        w.u64(rid);
+    }
+    for (k, v) in &e.fields {
+        w.key(k);
+        w.str(v);
+    }
+    w.end_obj();
+}
+
+/// Renders the resident ring as JSON lines (one event object per line,
+/// oldest first) — the `--log FILE` format. Empty string when nothing
+/// was recorded.
+pub fn export_jsonl() -> String {
+    let events = snapshot();
+    let mut out = String::new();
+    for e in &events {
+        let mut w = crate::json::JsonWriter::new();
+        write_event(&mut w, e);
+        out.push_str(&w.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// Clears the ring and restarts sequence numbering. Does not change the
+/// enabled flag.
+pub(crate) fn reset() {
+    let mut store = STORE.lock().unwrap_or_else(|p| p.into_inner());
+    if LOG_ENABLED.load(Ordering::SeqCst) {
+        *store = Some(Store {
+            next_seq: 1,
+            events: VecDeque::new(),
+            evicted: 0,
+        });
+    } else {
+        *store = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = testlock::hold();
+        emit(Severity::Info, "quiet", None, None, &[]);
+        assert!(snapshot().is_empty());
+        assert_eq!(export_jsonl(), "");
+    }
+
+    #[test]
+    fn events_carry_attribution_and_monotonic_seq() {
+        let _l = testlock::hold();
+        set_log_enabled(true);
+        emit(Severity::Info, "cli.start", None, None, &[]);
+        emit(
+            Severity::Warn,
+            "solver.fallback",
+            Some("opt-a"),
+            Some(7),
+            &[("stage", "cgnr".into())],
+        );
+        set_log_enabled(false);
+        let events = snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[1].seq, 2);
+        assert_eq!(events[1].severity, Severity::Warn);
+        assert_eq!(events[1].session.as_deref(), Some("opt-a"));
+        assert_eq!(events[1].request_id, Some(7));
+        let jsonl = export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"seq":1,"severity":"info","kind":"cli.start"}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"seq":2,"severity":"warn","kind":"solver.fallback","session":"opt-a","request_id":7,"stage":"cgnr"}"#
+        );
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let _l = testlock::hold();
+        set_log_enabled(true);
+        for i in 0..(MAX_EVENTS + 3) {
+            emit(Severity::Info, "tick", None, Some(i as u64), &[]);
+        }
+        set_log_enabled(false);
+        let events = snapshot();
+        assert_eq!(events.len(), MAX_EVENTS);
+        assert_eq!(evicted_events(), 3);
+        // Oldest three evicted: the ring starts at seq 4.
+        assert_eq!(events[0].seq, 4);
+        assert_eq!(events.last().unwrap().seq, (MAX_EVENTS + 3) as u64);
+    }
+
+    #[test]
+    fn reset_restarts_sequencing() {
+        let _l = testlock::hold();
+        set_log_enabled(true);
+        emit(Severity::Error, "boom", None, None, &[]);
+        crate::reset();
+        emit(Severity::Info, "fresh", None, None, &[]);
+        set_log_enabled(false);
+        let events = snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 1, "reset restarts the sequence");
+        assert_eq!(events[0].kind, "fresh");
+    }
+
+    #[test]
+    fn severity_orders_and_spells() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Error.as_str(), "error");
+    }
+}

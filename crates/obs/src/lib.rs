@@ -53,6 +53,7 @@
 //! obs::reset();
 //! ```
 
+pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod prom;
@@ -63,6 +64,7 @@ pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub use events::{log_enabled, set_log_enabled};
 pub use metrics::{counter_add, gauge_set, observe, MetricsSnapshot};
 pub use report::ProfileReport;
 pub use span::{span, SpanGuard, SpanSnapshot};
@@ -84,13 +86,14 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::SeqCst);
 }
 
-/// Clears every collected span, metric, solver trace, and trace event.
-/// Does not change the enabled flags.
+/// Clears every collected span, metric, solver trace, trace event, and
+/// logged event. Does not change the enabled flags.
 pub fn reset() {
     span::reset();
     metrics::reset();
     telemetry::reset();
     trace::reset();
+    events::reset();
 }
 
 #[cfg(test)]
@@ -106,6 +109,7 @@ pub(crate) mod testlock {
         let guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
         crate::set_enabled(false);
         crate::set_trace_enabled(false);
+        crate::set_log_enabled(false);
         crate::reset();
         guard
     }

@@ -36,6 +36,10 @@ pub enum Phase {
     Begin,
     /// Duration end (`"E"`).
     End,
+    /// Complete (`"X"`): a self-contained duration event carrying its
+    /// own `dur`. Used for retroactive measurements (e.g. a queue wait
+    /// only known at dequeue) that cannot be bracketed by `B`/`E`.
+    Complete,
 }
 
 impl Phase {
@@ -43,6 +47,7 @@ impl Phase {
         match self {
             Phase::Begin => "B",
             Phase::End => "E",
+            Phase::Complete => "X",
         }
     }
 }
@@ -57,6 +62,8 @@ pub struct TraceEvent {
     pub phase: Phase,
     /// Microseconds since the trace epoch.
     pub ts_us: f64,
+    /// Duration in microseconds (`X` events only).
+    pub dur_us: Option<f64>,
     /// Small stable per-thread id (assigned in first-record order).
     pub tid: u64,
 }
@@ -121,6 +128,7 @@ fn record(phase: Phase, name: Option<&str>) {
         name: name.map(str::to_owned),
         phase,
         ts_us,
+        dur_us: None,
         tid: thread_tid(),
     });
 }
@@ -139,6 +147,32 @@ pub fn emit_begin(name: &str) {
 /// within one enable window (the store ignores it once cleared).
 pub fn emit_end(name: &str) {
     record(Phase::End, Some(name));
+}
+
+/// Records an `X` (complete) event that *started* at `start` and ran
+/// for `dur`. The start may predate the trace epoch (e.g. a request
+/// enqueued before `--trace` flipped on); its timestamp is then clamped
+/// to the epoch. No-op when collection is disabled.
+pub fn emit_complete(name: &str, start: Instant, dur: std::time::Duration) {
+    if !trace_enabled() {
+        return;
+    }
+    let mut store = STORE.lock().unwrap_or_else(|p| p.into_inner());
+    let Some(store) = store.as_mut() else { return };
+    if store.events.len() >= MAX_TRACE_EVENTS {
+        store.dropped += 1;
+        return;
+    }
+    let ts_us = start
+        .checked_duration_since(store.epoch)
+        .map_or(0.0, |d| d.as_nanos() as f64 / 1e3);
+    store.events.push(TraceEvent {
+        name: Some(name.to_owned()),
+        phase: Phase::Complete,
+        ts_us,
+        dur_us: Some(dur.as_nanos() as f64 / 1e3),
+        tid: thread_tid(),
+    });
 }
 
 /// Snapshot of every collected event, in record order.
@@ -181,6 +215,10 @@ pub fn export_json() -> String {
         w.str(e.phase.as_str());
         w.key("ts");
         w.f64(e.ts_us);
+        if let Some(dur) = e.dur_us {
+            w.key("dur");
+            w.f64(dur);
+        }
         w.key("pid");
         w.u64(1);
         w.key("tid");
@@ -284,6 +322,27 @@ mod tests {
             *prev = e.ts_us;
         }
         assert_eq!(last.len(), 2, "two worker tids");
+    }
+
+    #[test]
+    fn complete_events_carry_duration_and_clamp_to_epoch() {
+        let _l = testlock::hold();
+        // A start captured before the epoch exists must clamp to ts=0.
+        let early = Instant::now();
+        set_trace_enabled(true);
+        emit_complete("stage", early, std::time::Duration::from_micros(250));
+        let later = Instant::now();
+        emit_complete("stage2", later, std::time::Duration::from_micros(10));
+        set_trace_enabled(false);
+        let events = snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, Phase::Complete);
+        assert_eq!(events[0].ts_us, 0.0, "pre-epoch start clamps to zero");
+        assert_eq!(events[0].dur_us, Some(250.0));
+        assert!(events[1].ts_us >= 0.0);
+        let json = export_json();
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""dur":250.0"#));
     }
 
     #[test]

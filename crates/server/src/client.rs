@@ -412,10 +412,8 @@ mod tests {
     #[test]
     fn pipelined_sends_return_responses_in_order() {
         let (addr, server) = spawn_server(ServerConfig {
-            queue_depth: 64,
-            default_deadline_ms: None,
             read_workers: 2,
-            session_ttl_secs: None,
+            ..ServerConfig::default()
         });
         let mut c = Client::connect(&addr, ClientConfig::default()).unwrap();
         let ids: Vec<u64> = (0..16)

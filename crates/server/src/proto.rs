@@ -65,6 +65,13 @@ pub struct EnvMeta {
     pub proto: u64,
     /// Target session, when addressing is known.
     pub session: Option<String>,
+    /// Deterministic admission-order request id, assigned per session
+    /// when the request is admitted (write lane or read path). Echoed
+    /// as `"request_id"` on v2 envelopes only — the v1 envelope shape
+    /// is frozen. `None` for requests that were never admitted
+    /// (malformed lines, overload rejections, admission-answered
+    /// commands like `hello`).
+    pub request_id: Option<u64>,
 }
 
 impl EnvMeta {
@@ -74,6 +81,7 @@ impl EnvMeta {
             id,
             proto: 0,
             session: None,
+            request_id: None,
         }
     }
 
@@ -83,6 +91,7 @@ impl EnvMeta {
             id,
             proto: 1,
             session: Some(DEFAULT_SESSION.to_owned()),
+            request_id: None,
         }
     }
 
@@ -92,7 +101,16 @@ impl EnvMeta {
             id,
             proto: 2,
             session: Some(session.into()),
+            request_id: None,
         }
+    }
+
+    /// The same addressing with `request_id` stamped in (builder-style,
+    /// used at admission and by tests constructing expected envelopes).
+    #[must_use]
+    pub fn with_request_id(mut self, request_id: u64) -> Self {
+        self.request_id = Some(request_id);
+        self
     }
 }
 
@@ -119,6 +137,7 @@ impl Request {
             id: self.id,
             proto: self.proto,
             session: Some(self.session.clone()),
+            request_id: None,
         }
     }
 }
@@ -257,6 +276,17 @@ pub enum Command {
     /// Read-only: served from the published snapshot, byte-identical
     /// across `--threads` and `--read-workers` settings.
     Lint,
+    /// The session's slow-query ring: write-lane commands whose
+    /// execution met the server's `--slow-ms` threshold, oldest first,
+    /// identified by `request_id` and command name (no timing fields,
+    /// so responses stay byte-identical across thread/read-worker
+    /// settings). Read-only: served from the published snapshot.
+    Slowlog,
+    /// The session's calibration-drift history ring: one record per
+    /// calibrate/recalibrate (fit-accuracy stats, WNS/TNS, weight
+    /// sparsity, fallback stage, commits since the previous fit),
+    /// oldest first. Read-only: served from the published snapshot.
+    History,
     /// Evict one named session: its writer lane drains and exits, its
     /// engine memory is released, and the name becomes free for a fresh
     /// session. Answered at admission (like `hello`).
@@ -304,6 +334,8 @@ impl Command {
             Command::Snapshot { .. } => "snapshot",
             Command::Restore { .. } => "restore",
             Command::Lint => "lint",
+            Command::Slowlog => "slowlog",
+            Command::History => "history",
             Command::CloseSession => "close_session",
             Command::Stats => "stats",
             Command::Metrics => "metrics",
@@ -326,6 +358,8 @@ impl Command {
                 | Command::Tns
                 | Command::PathQuery { .. }
                 | Command::Lint
+                | Command::Slowlog
+                | Command::History
         )
     }
 }
@@ -430,6 +464,7 @@ pub fn parse_request(line: &str) -> Result<Request, (EnvMeta, MgbaError)> {
         id,
         proto,
         session: Some(session.clone()),
+        request_id: None,
     };
     parse_request_value(&v, id, proto, session).map_err(|e| (meta, e))
 }
@@ -520,6 +555,8 @@ fn parse_request_value(
             file: req_str(v, "file")?,
         },
         "lint" => Command::Lint,
+        "slowlog" => Command::Slowlog,
+        "history" => Command::History,
         "close_session" => Command::CloseSession,
         "stats" => Command::Stats,
         "metrics" => Command::Metrics,
@@ -563,6 +600,17 @@ fn id_field(w: &mut JsonWriter, id: Option<u64>) {
     }
 }
 
+/// Emits `"request_id"` after the addressing keys — v2 envelopes only
+/// (the v1 shape is frozen), and only when admission assigned one.
+fn request_id_field(w: &mut JsonWriter, meta: &EnvMeta) {
+    if meta.proto == 2 {
+        if let Some(rid) = meta.request_id {
+            w.key("request_id");
+            w.u64(rid);
+        }
+    }
+}
+
 /// Emits the addressing keys that follow `ok`: `"deprecated":true` for
 /// v1, `"session":…` for v2, neither when addressing is unknown.
 fn addressing_fields(w: &mut JsonWriter, meta: &EnvMeta) {
@@ -590,6 +638,7 @@ pub fn ok_envelope(meta: &EnvMeta, degraded: bool, result_json: &str) -> String 
     w.key("ok");
     w.bool(true);
     addressing_fields(&mut w, meta);
+    request_id_field(&mut w, meta);
     if degraded {
         w.key("degraded");
         w.bool(true);
@@ -609,6 +658,7 @@ pub fn error_envelope(meta: &EnvMeta, code: &str, message: &str) -> String {
     w.key("ok");
     w.bool(false);
     addressing_fields(&mut w, meta);
+    request_id_field(&mut w, meta);
     w.key("error");
     w.begin_obj();
     w.key("kind");
@@ -669,6 +719,8 @@ pub fn render_request(
         | Command::Wns
         | Command::Tns
         | Command::Lint
+        | Command::Slowlog
+        | Command::History
         | Command::CloseSession
         | Command::Stats
         | Command::Metrics
@@ -803,6 +855,8 @@ mod tests {
             (r#"{"cmd":"snapshot","file":"s.mgba"}"#, "snapshot"),
             (r#"{"cmd":"restore","file":"s.mgba"}"#, "restore"),
             (r#"{"cmd":"lint"}"#, "lint"),
+            (r#"{"cmd":"slowlog"}"#, "slowlog"),
+            (r#"{"cmd":"history"}"#, "history"),
             (r#"{"cmd":"close_session"}"#, "close_session"),
             (r#"{"cmd":"stats"}"#, "stats"),
             (r#"{"cmd":"metrics"}"#, "metrics"),
@@ -876,6 +930,8 @@ mod tests {
             (None, 1, None, Command::Wns),
             (Some(9), 2, Some("opt-a"), Command::Lint),
             (Some(10), 2, Some("opt-a"), Command::CloseSession),
+            (Some(11), 2, Some("opt-a"), Command::Slowlog),
+            (Some(12), 2, Some("opt-a"), Command::History),
             (Some(2), 2, None, Command::Hello { max_proto: Some(2) }),
             (
                 Some(3),
@@ -961,6 +1017,25 @@ mod tests {
             ok_envelope(&EnvMeta::v2(Some(1), "opt-a"), false, r#"{"pong":true}"#),
             r#"{"id":1,"ok":true,"session":"opt-a","result":{"pong":true}}"#
         );
+        // Admitted v2 requests also echo their admission-order id.
+        assert_eq!(
+            ok_envelope(
+                &EnvMeta::v2(Some(1), "opt-a").with_request_id(7),
+                false,
+                r#"{"pong":true}"#
+            ),
+            r#"{"id":1,"ok":true,"session":"opt-a","request_id":7,"result":{"pong":true}}"#
+        );
+        // The v1 envelope shape is frozen: a request id assigned at
+        // admission is never emitted on a deprecated envelope.
+        assert_eq!(
+            ok_envelope(
+                &EnvMeta::v1(Some(1)).with_request_id(7),
+                false,
+                r#"{"pong":true}"#
+            ),
+            r#"{"id":1,"ok":true,"deprecated":true,"result":{"pong":true}}"#
+        );
         // Errors carry both the legacy `kind` and the canonical `code`.
         assert_eq!(
             error_envelope(&EnvMeta::unknown(None), "overload", "queue full"),
@@ -969,6 +1044,14 @@ mod tests {
         assert_eq!(
             error_envelope(&EnvMeta::v2(Some(9), "s"), "deadline", "expired"),
             r#"{"id":9,"ok":false,"session":"s","error":{"kind":"deadline","code":"deadline","message":"expired"}}"#
+        );
+        assert_eq!(
+            error_envelope(
+                &EnvMeta::v2(Some(9), "s").with_request_id(3),
+                "deadline",
+                "expired"
+            ),
+            r#"{"id":9,"ok":false,"session":"s","request_id":3,"error":{"kind":"deadline","code":"deadline","message":"expired"}}"#
         );
         let e = MgbaError::Usage("bad".into());
         let env = mgba_error_envelope(&EnvMeta::v1(Some(2)), &e);

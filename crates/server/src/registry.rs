@@ -112,6 +112,16 @@ impl Shared {
     }
 }
 
+/// Crate version reported by `mgba_build_info` and `stats`.
+const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Commit id baked in at compile time via the `MGBA_BUILD_COMMIT` env
+/// var (CI sets it); `"unknown"` for plain local builds.
+const BUILD_COMMIT: &str = match option_env!("MGBA_BUILD_COMMIT") {
+    Some(c) => c,
+    None => "unknown",
+};
+
 /// Best-effort text of a caught panic payload.
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
@@ -132,6 +142,17 @@ pub struct ReadSnapshot {
     pub degraded: bool,
     /// Whether mGBA weights were fitted at publish time.
     pub calibrated: bool,
+    /// Calibration-drift ring clone at publish time (`history`).
+    pub(crate) history: Vec<session::CalibrationRecord>,
+    /// Records evicted from the history ring before this snapshot.
+    pub(crate) history_evicted: u64,
+    /// Slow-query ring clone at publish time (`slowlog`).
+    pub(crate) slowlog: Vec<session::SlowEntry>,
+    /// Entries evicted from the slow-query ring before this snapshot.
+    pub(crate) slow_dropped: u64,
+    /// When this snapshot was installed — read by the `snapshot_age`
+    /// stage histogram (how stale the served state was at execution).
+    pub(crate) installed_at: Instant,
 }
 
 /// One admitted writer-lane job.
@@ -175,10 +196,26 @@ pub struct SessionHandle {
     /// Per-session per-command latency histograms (lane and read workers
     /// both record here).
     pub(crate) latency: Mutex<CommandStats>,
+    /// Per-session per-stage duration histograms (`queue_wait`,
+    /// `ticket_wait`, `snapshot_age`, `execute`, `reply_write`) feeding
+    /// `mgba_server_stage_us{session,stage}`.
+    pub(crate) stage_latency: Mutex<CommandStats>,
     /// Histogram of `whatif_batch` candidate counts (unit: candidates).
     pub(crate) whatif_sizes: Mutex<LatencyHist>,
     /// When the session was last addressed — the TTL eviction clock.
     last_active: Mutex<Instant>,
+    /// Admission-order request-id source (shared by lane and read
+    /// admissions; see [`SessionHandle::admit_lane`] /
+    /// [`SessionHandle::next_request_id`]).
+    request_seq: AtomicU64,
+    /// Lane jobs admitted but not yet dequeued — the
+    /// `mgba_server_write_queue_depth` gauge.
+    pending_lane: AtomicUsize,
+    /// Crash-isolated rebuilds of this session's state
+    /// (`mgba_server_session_rebuilds_total`). Latency/stage histograms
+    /// deliberately survive rebuilds — they live here, not on the lane
+    /// state — so this counter is the only stats discontinuity marker.
+    rebuilds: AtomicU64,
 }
 
 impl SessionHandle {
@@ -191,9 +228,38 @@ impl SessionHandle {
             published_cv: Condvar::new(),
             snapshot: RwLock::new(None),
             latency: Mutex::new(CommandStats::default()),
+            stage_latency: Mutex::new(CommandStats::default()),
             whatif_sizes: Mutex::new(LatencyHist::default()),
             last_active: Mutex::new(Instant::now()),
+            request_seq: AtomicU64::new(0),
+            pending_lane: AtomicUsize::new(0),
+            rebuilds: AtomicU64::new(0),
         }
+    }
+
+    /// Records one request-stage duration into the per-session stage
+    /// histograms (microseconds).
+    pub(crate) fn record_stage(&self, stage: &'static str, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.stage_latency.lock().unwrap().record(stage, us);
+    }
+
+    /// Assigns the next admission-order request id to a read admission.
+    /// Takes the same `admit` gate as [`SessionHandle::admit_lane`] so
+    /// read and write ids interleave exactly in admission order.
+    pub(crate) fn next_request_id(&self) -> u64 {
+        let _gate = self.admit.lock().unwrap();
+        self.request_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Crash-isolated rebuilds of this session's lane state.
+    pub(crate) fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::SeqCst)
+    }
+
+    /// Lane jobs admitted but not yet dequeued.
+    pub(crate) fn write_queue_depth(&self) -> usize {
+        self.pending_lane.load(Ordering::SeqCst)
     }
 
     /// Resets the TTL eviction clock (called on every admission that
@@ -233,6 +299,9 @@ impl SessionHandle {
     ) -> Result<(), TrySendError<LaneJob>> {
         let _gate = self.admit.lock().unwrap();
         let ticket = self.tickets.load(Ordering::SeqCst) + 1;
+        let request_id = self.request_seq.load(Ordering::SeqCst) + 1;
+        let mut meta = meta;
+        meta.request_id = Some(request_id);
         lane_tx.try_send(LaneJob {
             meta,
             cmd,
@@ -241,7 +310,12 @@ impl SessionHandle {
             reply,
             enqueued: Instant::now(),
         })?;
+        // Committed only on acceptance: a full-queue rejection rolls
+        // both the ticket and the request id back, keeping admission
+        // numbering identical across runs that hit transient overload.
         self.tickets.store(ticket, Ordering::SeqCst);
+        self.request_seq.store(request_id, Ordering::SeqCst);
+        self.pending_lane.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 
@@ -317,6 +391,14 @@ pub(crate) enum AdmitRejection {
 /// sessions, each with its own writer lane.
 pub struct Registry {
     sessions: Mutex<BTreeMap<String, SessionEntry>>,
+    /// Mirror of `sessions` holding only the handles, for the
+    /// metrics/stats renderers. Unlike `sessions` it is *not* cleared by
+    /// [`Registry::close`], so a `metrics` or `stats` request draining
+    /// through a lane after shutdown still reports every resident
+    /// session instead of an empty server. Kept in sync on insert,
+    /// `close_session`, and TTL eviction — always mutated under the
+    /// `sessions` lock to keep the two maps consistent.
+    roster: Mutex<BTreeMap<String, Arc<SessionHandle>>>,
     lanes: Mutex<Vec<JoinHandle<()>>>,
     closed: AtomicBool,
     queue_depth: usize,
@@ -324,6 +406,10 @@ pub struct Registry {
     /// lazily on every admission, so an all-idle server holds its
     /// sessions until the next request arrives — no sweeper thread.
     session_ttl: Option<Duration>,
+    /// Slow-query threshold (`--slow-ms`): lane commands whose execution
+    /// takes at least this long are recorded to the session's slow-query
+    /// ring. `None` (the default) disables recording entirely.
+    slow_ms: Option<u64>,
     pub(crate) shared: Arc<Shared>,
 }
 
@@ -333,13 +419,16 @@ impl Registry {
         queue_depth: usize,
         shared: Arc<Shared>,
         session_ttl: Option<Duration>,
+        slow_ms: Option<u64>,
     ) -> Arc<Self> {
         Arc::new(Self {
             sessions: Mutex::new(BTreeMap::new()),
+            roster: Mutex::new(BTreeMap::new()),
             lanes: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
             queue_depth,
             session_ttl,
+            slow_ms,
             shared,
         })
     }
@@ -357,6 +446,10 @@ impl Registry {
         if let Some(ttl) = self.session_ttl {
             let before = map.len();
             map.retain(|n, e| n == name || e.handle.idle_for() <= ttl);
+            self.roster
+                .lock()
+                .unwrap()
+                .retain(|n, _| map.contains_key(n));
             let evicted = before - map.len();
             if evicted > 0 {
                 self.shared
@@ -385,7 +478,18 @@ impl Registry {
         self.lanes.lock().unwrap().push(lane);
         let entry = SessionEntry { handle, lane_tx };
         map.insert(name.to_owned(), entry.clone());
+        self.roster
+            .lock()
+            .unwrap()
+            .insert(name.to_owned(), Arc::clone(&entry.handle));
         obs::counter_add("server.sessions.created", 1);
+        obs::events::emit(
+            obs::events::Severity::Info,
+            "server.session.created",
+            Some(name),
+            None,
+            &[],
+        );
         Ok(entry)
     }
 
@@ -394,7 +498,10 @@ impl Registry {
     /// work and exit, and the name is immediately free for a fresh
     /// session. Returns whether a session by that name was resident.
     pub(crate) fn remove(&self, name: &str) -> bool {
-        let removed = self.sessions.lock().unwrap().remove(name).is_some();
+        let mut map = self.sessions.lock().unwrap();
+        let removed = map.remove(name).is_some();
+        self.roster.lock().unwrap().remove(name);
+        drop(map);
         if removed {
             self.shared.evicted.fetch_add(1, Ordering::SeqCst);
             obs::counter_add("server.sessions.evicted", 1);
@@ -410,11 +517,11 @@ impl Registry {
     /// `(name, handle)` rows in name order — the metrics/stats renderers
     /// iterate these for cross-session views.
     pub(crate) fn handles(&self) -> Vec<(String, Arc<SessionHandle>)> {
-        self.sessions
+        self.roster
             .lock()
             .unwrap()
             .iter()
-            .map(|(n, e)| (n.clone(), Arc::clone(&e.handle)))
+            .map(|(n, h)| (n.clone(), Arc::clone(h)))
             .collect()
     }
 
@@ -425,6 +532,10 @@ impl Registry {
     /// Also raises the shared shutdown flag so a lane whose sender is
     /// still cloned somewhere (a connection mid-admission) exits via
     /// its poll path instead of waiting for `Disconnected` forever.
+    ///
+    /// The handle roster is deliberately left intact: `metrics`/`stats`
+    /// requests already admitted and draining through a lane still
+    /// render every session's rows instead of an empty server.
     pub(crate) fn close(&self) -> Vec<JoinHandle<()>> {
         let mut map = self.sessions.lock().unwrap();
         self.closed.store(true, Ordering::SeqCst);
@@ -498,6 +609,7 @@ fn process_lane(
         reply,
         enqueued,
     } = job;
+    handle.pending_lane.fetch_sub(1, Ordering::SeqCst);
     if let Some(limit) = deadline_ms {
         if enqueued.elapsed() > Duration::from_millis(limit) {
             shared.rejected_deadline.fetch_add(1, Ordering::SeqCst);
@@ -514,6 +626,12 @@ fn process_lane(
         }
     }
     let name = cmd.name();
+    // Stage 1: how long the job sat in the lane queue before dequeue.
+    let queue_wait = enqueued.elapsed();
+    handle.record_stage("queue_wait", queue_wait);
+    if obs::trace_enabled() {
+        obs::trace::emit_complete(&format!("{name}/queue_wait"), enqueued, queue_wait);
+    }
     let start = Instant::now();
     // Crash isolation: a panic in one request must not take the daemon
     // (and every other session) down. The lane catches the unwind,
@@ -550,6 +668,14 @@ fn process_lane(
             obs::counter_add("server.requests.panicked", 1);
             let msg = panic_message(payload.as_ref());
             session.recover();
+            handle.rebuilds.fetch_add(1, Ordering::SeqCst);
+            obs::events::emit(
+                obs::events::Severity::Error,
+                "server.session.rebuilt",
+                Some(handle.name()),
+                meta.request_id,
+                &[("cmd", name.to_owned())],
+            );
             (
                 Err(MgbaError::Internal(format!(
                     "request `{name}` panicked: {msg}; session restored from last good state"
@@ -558,8 +684,32 @@ fn process_lane(
             )
         }
     };
-    let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let exec = start.elapsed();
+    let us = exec.as_micros().min(u128::from(u64::MAX)) as u64;
     handle.latency.lock().unwrap().record(name, us);
+    handle.record_stage("execute", exec);
+    if obs::trace_enabled() {
+        obs::trace::emit_complete(&format!("{name}/execute"), start, exec);
+    }
+    // Slow-query ring: lane (non-read) commands only — pool reads
+    // complete out of admission order, so recording them would make
+    // `slowlog` bytes depend on `--read-workers`. The threshold decides
+    // membership by wall clock, but entries carry no timing, keeping
+    // the rendered bytes deterministic (always, with `--slow-ms 0`).
+    let mut recorded_slow = false;
+    if let Some(limit) = registry.slow_ms.filter(|_| !panicked && !cmd.is_read()) {
+        if exec >= Duration::from_millis(limit) {
+            session.note_slow(meta.request_id, name);
+            recorded_slow = true;
+            obs::events::emit(
+                obs::events::Severity::Warn,
+                "server.slow_query",
+                Some(handle.name()),
+                meta.request_id,
+                &[("cmd", name.to_owned())],
+            );
+        }
+    }
     if result.is_ok() {
         if let Command::WhatIfBatch { resizes, .. } = &cmd {
             handle
@@ -579,10 +729,11 @@ fn process_lane(
     };
     let _ = reply.send(envelope);
     // Publish AFTER the state settles: a successful state change (or a
-    // panic-recovery, which also rewrites state) refreshes the read
-    // snapshot first, then the ticket watermark releases any readers
-    // admitted behind this write.
-    if (result.is_ok() && is_state_changing(&cmd)) || panicked {
+    // panic-recovery, which also rewrites state, or a slow-query ring
+    // append that split-mode `slowlog` reads must observe) refreshes
+    // the read snapshot first, then the ticket watermark releases any
+    // readers admitted behind this write.
+    if (result.is_ok() && is_state_changing(&cmd)) || panicked || recorded_slow {
         handle.install_snapshot(session.read_snapshot());
     }
     handle.publish(ticket);
@@ -614,6 +765,8 @@ fn execute_read(snapshot: Option<&ReadSnapshot>, cmd: &Command) -> Result<String
             session::read_path(&snap.sta, endpoint.as_deref(), *pba)
         }
         Command::Lint => Ok(session::read_lint(&snap.sta)),
+        Command::Slowlog => Ok(session::render_slowlog(&snap.slowlog, snap.slow_dropped)),
+        Command::History => Ok(session::render_history(&snap.history, snap.history_evicted)),
         other => Err(MgbaError::Internal(format!(
             "`{}` is not a read command",
             other.name()
@@ -640,6 +793,10 @@ pub(crate) fn serve_read(job: ReadJob, shared: &Shared) {
         Some((at, limit)) => at.elapsed() > Duration::from_millis(limit),
         None => false,
     };
+    let name = cmd.name();
+    // Stage 2: how long the read waited for its write ticket to
+    // publish (≈0 on the inline fast path).
+    let wait_start = Instant::now();
     if expired || !handle.wait_published(ticket, deadline) {
         let limit = deadline_ms.unwrap_or(0);
         shared.rejected_deadline.fetch_add(1, Ordering::SeqCst);
@@ -651,8 +808,16 @@ pub(crate) fn serve_read(job: ReadJob, shared: &Shared) {
         ));
         return;
     }
+    let ticket_wait = wait_start.elapsed();
+    handle.record_stage("ticket_wait", ticket_wait);
+    if obs::trace_enabled() {
+        obs::trace::emit_complete(&format!("{name}/ticket_wait"), wait_start, ticket_wait);
+    }
     let snap = handle.snapshot();
-    let name = cmd.name();
+    // Stage 3: how stale the served snapshot was at execution time.
+    if let Some(s) = snap.as_deref() {
+        handle.record_stage("snapshot_age", s.installed_at.elapsed());
+    }
     let start = Instant::now();
     // Crash isolation, read flavor: the snapshot is immutable and the
     // session state lives on the lane, so a panicking read corrupts
@@ -674,8 +839,13 @@ pub(crate) fn serve_read(job: ReadJob, shared: &Shared) {
             )))
         }
     };
-    let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let exec = start.elapsed();
+    let us = exec.as_micros().min(u128::from(u64::MAX)) as u64;
     handle.latency.lock().unwrap().record(name, us);
+    handle.record_stage("execute", exec);
+    if obs::trace_enabled() {
+        obs::trace::emit_complete(&format!("{name}/execute"), start, exec);
+    }
     obs::observe(&format!("server.latency_us.{name}"), us as f64);
     obs::counter_add(&format!("server.requests.{name}"), 1);
     shared.served.fetch_add(1, Ordering::SeqCst);
@@ -746,9 +916,19 @@ pub(crate) fn render_stats(
     w.bool(session.is_degraded());
     w.key("threads");
     w.u64(parallel::global().threads() as u64);
+    w.key("version");
+    w.str(BUILD_VERSION);
+    w.key("commit");
+    w.str(BUILD_COMMIT);
+    w.key("read_backlog");
+    w.u64(shared.pending_reads.load(Ordering::SeqCst) as u64);
     w.end_obj();
     w.key("session");
     w.str(handle.name());
+    w.key("write_queue_depth");
+    w.u64(handle.write_queue_depth() as u64);
+    w.key("rebuilds");
+    w.u64(handle.rebuilds());
     w.key("engine");
     session.write_engine_json(&mut w);
     w.key("commands");
@@ -801,6 +981,41 @@ fn exposition(
         "worker pool size",
         parallel::global().threads() as f64,
     );
+    // Info-style build gauge: the value is always 1, the labels carry
+    // the metadata.
+    p.gauge_family("mgba_build_info", "build metadata; the value is always 1");
+    p.sample_labels(
+        "mgba_build_info",
+        &[("version", BUILD_VERSION), ("commit", BUILD_COMMIT)],
+        1.0,
+    );
+    p.gauge(
+        "mgba_server_read_backlog",
+        "reads admitted to the pool but not yet picked up",
+        shared.pending_reads.load(Ordering::SeqCst) as f64,
+    );
+    p.gauge_family(
+        "mgba_server_write_queue_depth",
+        "lane jobs admitted but not yet dequeued, per session",
+    );
+    for (name, h) in &rows {
+        p.sample_labels(
+            "mgba_server_write_queue_depth",
+            &[("session", name)],
+            h.write_queue_depth() as f64,
+        );
+    }
+    p.counter_family(
+        "mgba_server_session_rebuilds_total",
+        "crash-isolated session state rebuilds (latency histograms survive them)",
+    );
+    for (name, h) in &rows {
+        p.sample_labels(
+            "mgba_server_session_rebuilds_total",
+            &[("session", name)],
+            h.rebuilds() as f64,
+        );
+    }
     p.counter(
         "mgba_server_served_total",
         "requests executed to completion",
@@ -934,6 +1149,84 @@ fn exposition(
             );
         }
     }
+    // Calibration-drift telemetry: one labeled sample per session that
+    // has at least one drift record, describing the most recent fit.
+    let drift: Vec<(String, session::CalibrationRecord, usize)> = rows
+        .iter()
+        .filter_map(|(name, h)| {
+            let (record, len) = if name == handle.name() {
+                (session.latest_history().cloned(), session.history_len())
+            } else {
+                match h.snapshot() {
+                    Some(s) => (s.history.last().cloned(), s.history.len()),
+                    None => (None, 0),
+                }
+            };
+            record.map(|r| (name.clone(), r, len))
+        })
+        .collect();
+    if !drift.is_empty() {
+        p.gauge_family(
+            "mgba_calibration_drift_mse",
+            "mean squared mGBA-vs-PBA slack error after the latest fit, ps^2",
+        );
+        for (name, r, _) in &drift {
+            p.sample_labels(
+                "mgba_calibration_drift_mse",
+                &[("session", name)],
+                r.mse_after,
+            );
+        }
+        p.gauge_family(
+            "mgba_calibration_drift_rms_ps",
+            "root-mean-squared mGBA-vs-PBA slack error after the latest fit, ps",
+        );
+        for (name, r, _) in &drift {
+            p.sample_labels(
+                "mgba_calibration_drift_rms_ps",
+                &[("session", name)],
+                r.mse_after.max(0.0).sqrt(),
+            );
+        }
+        p.gauge_family(
+            "mgba_calibration_drift_weight_sparsity_pct",
+            "share of gates fitted to exactly zero weight, percent",
+        );
+        for (name, r, _) in &drift {
+            let pct = if r.weights_total == 0 {
+                0.0
+            } else {
+                100.0 * (r.weights_total - r.weights_nonzero) as f64 / r.weights_total as f64
+            };
+            p.sample_labels(
+                "mgba_calibration_drift_weight_sparsity_pct",
+                &[("session", name)],
+                pct,
+            );
+        }
+        p.gauge_family(
+            "mgba_calibration_drift_commits_since_fit",
+            "commits the latest fit absorbed since the previous fit",
+        );
+        for (name, r, _) in &drift {
+            p.sample_labels(
+                "mgba_calibration_drift_commits_since_fit",
+                &[("session", name)],
+                r.commits_since_fit as f64,
+            );
+        }
+        p.gauge_family(
+            "mgba_calibration_drift_records",
+            "drift records resident in the per-session history ring",
+        );
+        for (name, _, len) in &drift {
+            p.sample_labels(
+                "mgba_calibration_drift_records",
+                &[("session", name)],
+                *len as f64,
+            );
+        }
+    }
     // Merged latency view under the original family name, so dashboards
     // scraping `mgba_server_command_latency_us{cmd}` keep working.
     let mut merged = CommandStats::default();
@@ -964,6 +1257,24 @@ fn exposition(
             p.histogram_series_labels(
                 "mgba_server_session_command_latency_us",
                 &[("session", sname), ("cmd", cmd)],
+                &hist.buckets(),
+                hist.count,
+                hist.sum_us as f64,
+            );
+        }
+    }
+    // Per-session request-stage durations (queue wait, ticket wait,
+    // snapshot age at execution, execute, reply write).
+    p.histogram_family(
+        "mgba_server_stage_us",
+        "per-session request-stage durations, microseconds",
+    );
+    for (sname, h) in &rows {
+        let stats = h.stage_latency.lock().unwrap().clone();
+        for (stage, hist) in stats.iter() {
+            p.histogram_series_labels(
+                "mgba_server_stage_us",
+                &[("session", sname), ("stage", stage)],
                 &hist.buckets(),
                 hist.count,
                 hist.sum_us as f64,
@@ -1015,7 +1326,7 @@ mod tests {
 
     fn registry_with(names: &[&str]) -> (Arc<Registry>, Vec<SessionEntry>) {
         let shared = Arc::new(Shared::new(8, 2));
-        let registry = Registry::new(8, shared, None);
+        let registry = Registry::new(8, shared, None, None);
         let entries = names
             .iter()
             .map(|n| registry.session(n).map_err(|_| ()).unwrap())
@@ -1032,7 +1343,7 @@ mod tests {
     #[test]
     fn sessions_are_created_lazily_and_capped() {
         let shared = Arc::new(Shared::new(4, 0));
-        let registry = Registry::new(4, shared, None);
+        let registry = Registry::new(4, shared, None, None);
         assert!(registry.session_names().is_empty());
         for i in 0..MAX_SESSIONS {
             assert!(registry.session(&format!("s{i}")).is_ok());
@@ -1072,7 +1383,7 @@ mod tests {
     #[test]
     fn full_lane_queue_rolls_the_ticket_back() {
         let shared = Arc::new(Shared::new(1, 0));
-        let registry = Registry::new(1, Arc::clone(&shared), None);
+        let registry = Registry::new(1, Arc::clone(&shared), None, None);
         let entry = registry.session("q").map_err(|_| ()).unwrap();
         let (reply_tx, reply_rx) = mpsc::channel();
         // A sleep occupies the lane; the queue (depth 1) then fills.
@@ -1106,9 +1417,10 @@ mod tests {
             }
         }
         assert!(overflowed, "depth-1 queue must overflow");
-        // The rejected job must NOT have consumed a ticket: the counter
-        // equals the number of accepted admissions.
+        // The rejected job must NOT have consumed a ticket or a request
+        // id: both counters equal the number of accepted admissions.
         assert_eq!(entry.handle.current_ticket(), admitted);
+        assert_eq!(entry.handle.next_request_id(), admitted + 1);
         drop(reply_tx);
         for _ in 0..admitted {
             let _ = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -1153,7 +1465,9 @@ mod tests {
         assert!(entry.handle.wait_published(2, Some((Instant::now(), 5000))));
         let snap = entry.handle.snapshot().expect("published after load");
         let read = execute_read(Some(&snap), &Command::Wns).unwrap();
-        let expected = proto::ok_envelope(&EnvMeta::v2(Some(2), "r"), false, &read);
+        // The lane stamped the second admission with request_id 2.
+        let expected =
+            proto::ok_envelope(&EnvMeta::v2(Some(2), "r").with_request_id(2), false, &read);
         assert_eq!(lane_wns, expected);
         close(&registry);
     }

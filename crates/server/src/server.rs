@@ -52,7 +52,7 @@
 //! within one poll interval and `run` returns.
 
 use crate::proto::{self, Command};
-use crate::registry::{self, AdmitRejection, ReadJob, Registry, Shared};
+use crate::registry::{self, AdmitRejection, ReadJob, Registry, SessionHandle, Shared};
 use mgba::MgbaError;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -88,6 +88,12 @@ pub struct ServerConfig {
     /// resident engine clone; clients can also evict explicitly with
     /// the `close_session` command.
     pub session_ttl_secs: Option<u64>,
+    /// Slow-query threshold in milliseconds (`--slow-ms`). Lane commands
+    /// whose execution takes at least this long are recorded in the
+    /// per-session slow-query ring served by the `slowlog` command.
+    /// `None` (the default) disables recording; `Some(0)` records every
+    /// non-read lane command, which is the deterministic test mode.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +103,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             read_workers: 0,
             session_ttl_secs: None,
+            slow_ms: None,
         }
     }
 }
@@ -168,15 +175,22 @@ fn spawn_read_pool(shared: &Arc<Shared>) -> (Option<mpsc::Sender<ReadJob>>, Vec<
     (Some(tx), workers)
 }
 
+/// A reply slot: the receiver the stream's writer drains next, plus the
+/// session handle to attribute the reply-write stage to (None for
+/// replies that never reached a session — handshakes, rejects,
+/// malformed input).
+type ReplySlot = (Receiver<String>, Option<Arc<SessionHandle>>);
+
 /// Reads request lines, admits them, and answers what never reaches a
 /// lane (handshakes, rejects, malformed input) inline. Shared by TCP
 /// connections and stdio mode.
 ///
-/// Response ordering: every line — served or rejected — enqueues one
-/// reply slot on `slot_tx` *before* it is acted on, and the stream's
-/// writer drains slots in that order. Responses therefore come back in
-/// admission order even when reads execute on pool threads.
-fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, gate: &Gate) {
+/// Response ordering: every line — served or rejected — enqueues exactly
+/// one reply slot on `slot_tx`, in line order (this loop is sequential),
+/// and the stream's writer drains slots in that order. Responses
+/// therefore come back in admission order even when reads execute on
+/// pool threads.
+fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<ReplySlot>, gate: &Gate) {
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -184,19 +198,19 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
         }
         let parsed = proto::parse_request(&line);
         let (reply_tx, reply_rx) = mpsc::channel::<String>();
-        if slot_tx.send(reply_rx).is_err() {
-            // Writer gone: the peer disconnected mid-stream.
-            break;
-        }
         // Malformed input is answered, never dropped — and the
-        // connection keeps serving. Its slot is already queued, so the
-        // error still lands in admission order.
+        // connection keeps serving. Its slot is queued like any other,
+        // so the error still lands in admission order.
         let mut request = match parsed {
             Ok(request) => request,
             Err((meta, error)) => {
                 obs::counter_add("server.requests.malformed", 1);
                 gate.shared.served.fetch_add(1, Ordering::SeqCst);
                 let _ = reply_tx.send(proto::mgba_error_envelope(&meta, &error));
+                if slot_tx.send((reply_rx, None)).is_err() {
+                    // Writer gone: the peer disconnected mid-stream.
+                    break;
+                }
                 continue;
             }
         };
@@ -210,6 +224,9 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
                 "shutdown",
                 "server is draining",
             ));
+            if slot_tx.send((reply_rx, None)).is_err() {
+                break;
+            }
             continue;
         }
         // `hello` is the handshake: answered at admission, it needs no
@@ -219,6 +236,9 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
             obs::counter_add("server.requests.hello", 1);
             let result = registry::render_hello(&gate.registry, *max_proto);
             let _ = reply_tx.send(proto::ok_envelope(&meta, false, &result));
+            if slot_tx.send((reply_rx, None)).is_err() {
+                break;
+            }
             continue;
         }
         // `close_session` operates on the registry map, not on session
@@ -234,6 +254,9 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
             w.bool(closed);
             w.end_obj();
             let _ = reply_tx.send(proto::ok_envelope(&meta, false, &w.finish()));
+            if slot_tx.send((reply_rx, None)).is_err() {
+                break;
+            }
             continue;
         }
         let entry = match gate.registry.session(&request.session) {
@@ -244,6 +267,9 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
                     "shutdown",
                     "server is draining",
                 ));
+                if slot_tx.send((reply_rx, None)).is_err() {
+                    break;
+                }
                 continue;
             }
             Err(AdmitRejection::TooManySessions) => {
@@ -255,14 +281,23 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
                         registry::MAX_SESSIONS
                     ),
                 ));
+                if slot_tx.send((reply_rx, None)).is_err() {
+                    break;
+                }
                 continue;
             }
         };
+        if slot_tx
+            .send((reply_rx, Some(Arc::clone(&entry.handle))))
+            .is_err()
+        {
+            break;
+        }
         // Read split: with the pool enabled, read-only queries never
         // touch the writer lane.
         if let (Some(pool_tx), true) = (gate.pool_tx.as_ref(), request.cmd.is_read()) {
             let ticket = entry.handle.current_ticket();
-            let job = ReadJob {
+            let mut job = ReadJob {
                 meta,
                 cmd: request.cmd,
                 deadline_ms: request.deadline_ms,
@@ -275,10 +310,13 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
                 // Fast path: every prior write is already published, so
                 // the snapshot is current — execute right here, zero
                 // cross-thread handoffs.
+                job.meta.request_id = Some(entry.handle.next_request_id());
                 registry::serve_read(job, &gate.shared);
             } else if gate.shared.pending_reads.load(Ordering::SeqCst)
                 >= gate.shared.read_backlog_cap()
             {
+                // Rejected before admission: consumes no request id,
+                // mirroring the lane's rollback on a full queue.
                 gate.shared.rejected_overload.fetch_add(1, Ordering::SeqCst);
                 obs::counter_add("server.rejected.overload", 1);
                 let _ = job.reply.send(proto::error_envelope(
@@ -290,9 +328,11 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
                     ),
                 ));
             } else {
+                job.meta.request_id = Some(entry.handle.next_request_id());
                 gate.shared.pending_reads.fetch_add(1, Ordering::SeqCst);
-                if let Err(mpsc::SendError(job)) = pool_tx.send(job) {
+                if let Err(mpsc::SendError(mut job)) = pool_tx.send(job) {
                     gate.shared.pending_reads.fetch_sub(1, Ordering::SeqCst);
+                    job.meta.request_id = None;
                     let _ = job.reply.send(proto::error_envelope(
                         &job.meta,
                         "shutdown",
@@ -316,7 +356,11 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
                     break;
                 }
             }
-            Err(TrySendError::Full(job)) => {
+            Err(TrySendError::Full(mut job)) => {
+                // The admission rolled the request id back; the rejection
+                // envelope must not carry the id the next admitted
+                // request will reuse.
+                job.meta.request_id = None;
                 gate.shared.rejected_overload.fetch_add(1, Ordering::SeqCst);
                 obs::counter_add("server.rejected.overload", 1);
                 let _ = job.reply.send(proto::error_envelope(
@@ -328,7 +372,8 @@ fn serve_lines(reader: impl BufRead, slot_tx: &mpsc::Sender<Receiver<String>>, g
                     ),
                 ));
             }
-            Err(TrySendError::Disconnected(job)) => {
+            Err(TrySendError::Disconnected(mut job)) => {
+                job.meta.request_id = None;
                 let _ = job.reply.send(proto::error_envelope(
                     &job.meta,
                     "shutdown",
@@ -346,18 +391,26 @@ fn connection(stream: TcpStream, gate: Gate) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (slot_tx, slot_rx) = mpsc::channel::<Receiver<String>>();
+    let (slot_tx, slot_rx) = mpsc::channel::<ReplySlot>();
     let writer = thread::spawn(move || {
         let mut w = BufWriter::new(write_half);
-        for slot in slot_rx {
+        for (slot, handle) in slot_rx {
             // A dropped reply sender (job discarded at teardown) just
             // skips the slot; admitted-and-served replies always arrive.
             let Ok(line) = slot.recv() else { continue };
+            let start = Instant::now();
             if w.write_all(line.as_bytes()).is_err()
                 || w.write_all(b"\n").is_err()
                 || w.flush().is_err()
             {
                 break;
+            }
+            if let Some(handle) = &handle {
+                let d = start.elapsed();
+                handle.record_stage("reply_write", d);
+                if obs::trace_enabled() {
+                    obs::trace::emit_complete("reply_write", start, d);
+                }
             }
         }
     });
@@ -415,6 +468,7 @@ impl Server {
             self.config.queue_depth,
             Arc::clone(&shared),
             self.config.session_ttl(),
+            self.config.slow_ms,
         );
         let (pool_tx, pool) = spawn_read_pool(&shared);
         let gate = Gate {
@@ -481,6 +535,7 @@ where
         config.queue_depth,
         Arc::clone(&shared),
         config.session_ttl(),
+        config.slow_ms,
     );
     let (pool_tx, pool) = spawn_read_pool(&shared);
     let gate = Gate {
@@ -489,16 +544,24 @@ where
         pool_tx,
         default_deadline_ms: config.default_deadline_ms,
     };
-    let (slot_tx, slot_rx) = mpsc::channel::<Receiver<String>>();
+    let (slot_tx, slot_rx) = mpsc::channel::<ReplySlot>();
     let writer_thread = thread::spawn(move || {
         let mut w = writer;
-        for slot in slot_rx {
+        for (slot, handle) in slot_rx {
             let Ok(line) = slot.recv() else { continue };
+            let start = Instant::now();
             if w.write_all(line.as_bytes()).is_err()
                 || w.write_all(b"\n").is_err()
                 || w.flush().is_err()
             {
                 break;
+            }
+            if let Some(handle) = &handle {
+                let d = start.elapsed();
+                handle.record_stage("reply_write", d);
+                if obs::trace_enabled() {
+                    obs::trace::emit_complete("reply_write", start, d);
+                }
             }
         }
         w
@@ -547,10 +610,8 @@ mod tests {
 
     fn split_config(read_workers: usize) -> ServerConfig {
         ServerConfig {
-            queue_depth: 64,
-            default_deadline_ms: None,
             read_workers,
-            session_ttl_secs: None,
+            ..ServerConfig::default()
         }
     }
 
@@ -574,7 +635,9 @@ mod tests {
         let lines = run_session(&ServerConfig::default(), script);
         assert_eq!(
             lines,
-            vec!["{\"id\":1,\"ok\":true,\"session\":\"opt-a\",\"result\":{\"pong\":true}}"]
+            vec![
+                "{\"id\":1,\"ok\":true,\"session\":\"opt-a\",\"request_id\":1,\"result\":{\"pong\":true}}"
+            ]
         );
     }
 
@@ -823,10 +886,8 @@ mod tests {
     #[test]
     fn default_deadline_applies_when_request_has_none() {
         let config = ServerConfig {
-            queue_depth: 64,
             default_deadline_ms: Some(1),
-            read_workers: 0,
-            session_ttl_secs: None,
+            ..ServerConfig::default()
         };
         let script = "{\"id\":1,\"cmd\":\"sleep\",\"ms\":30}\n{\"id\":2,\"cmd\":\"ping\"}\n";
         let lines = run_session(&config, script);

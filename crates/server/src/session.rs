@@ -97,6 +97,66 @@ struct RecalOutcome {
     degraded: bool,
 }
 
+/// Slow-query ring capacity per session.
+pub(crate) const SLOWLOG_CAP: usize = 128;
+
+/// Calibration-drift history ring capacity per session.
+pub(crate) const HISTORY_CAP: usize = 64;
+
+/// One slow-query ring entry: a write-lane command whose execution met
+/// the server's `--slow-ms` threshold. Carries **no timing fields** —
+/// membership is decided by the wall clock but the rendered bytes are
+/// pure admission-order facts, so `slowlog` responses stay
+/// byte-identical across `--threads`/`--read-workers` (with
+/// `--slow-ms 0`, which records every lane command, they are identical
+/// across runs too).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SlowEntry {
+    /// Admission-order request id of the slow request (assigned for
+    /// both v1 and v2 requests, echoed only on v2 envelopes).
+    pub request_id: Option<u64>,
+    /// Stable command name ([`Command::name`]).
+    pub cmd: &'static str,
+}
+
+/// One calibration-drift record: the fit-accuracy summary captured
+/// after every calibrate/recalibrate (warm or cold), appended to a
+/// bounded per-session history ring and served by the v2 `history`
+/// command. Only bit-deterministic fit statistics are recorded — no
+/// wall-clock — so `history` responses are byte-identical across
+/// thread/read-worker settings.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CalibrationRecord {
+    /// 1-based fit index within the session (keeps numbering stable
+    /// after ring eviction).
+    pub fit_seq: u64,
+    /// `"warm"` or `"cold"`.
+    pub mode: &'static str,
+    /// Solver that produced the accepted weights.
+    pub solver: String,
+    /// Fallback-ladder stage the fit landed on.
+    pub fallback: &'static str,
+    /// Solver iterations spent.
+    pub iterations: u64,
+    /// Whether the solver converged.
+    pub converged: bool,
+    /// Mean squared `s_mgba − s_pba` over fitted rows before the fit.
+    pub mse_before: f64,
+    /// Mean squared `s_mgba − s_pba` after the fit — the drift figure.
+    pub mse_after: f64,
+    /// Engine WNS after the fit, ps.
+    pub wns: f64,
+    /// Engine TNS after the fit, ps.
+    pub tns: f64,
+    /// Gates carrying a nonzero fitted weight.
+    pub weights_nonzero: u64,
+    /// Total gates (so sparsity is derivable).
+    pub weights_total: u64,
+    /// Commits accumulated since the previous fit (how stale the
+    /// weights were when this fit ran).
+    pub commits_since_fit: u64,
+}
+
 /// Everything needed to rebuild [`Loaded`] from scratch after a caught
 /// panic: the engine itself may be mid-mutation when a handler unwinds,
 /// so recovery never reuses it — it replays this record instead.
@@ -128,6 +188,22 @@ pub struct Session {
     /// Cold (full re-select + re-fit) recalibrations served — explicit
     /// `full:true`, or the warm cache was unavailable.
     recalib_cold: u64,
+    /// Calibration-drift history ring, oldest first (cap
+    /// [`HISTORY_CAP`]). Deliberately outside [`Loaded`]: it survives
+    /// crash-recovery rebuilds, preserving the drift time-series.
+    history: std::collections::VecDeque<CalibrationRecord>,
+    /// Records evicted from the history ring.
+    history_evicted: u64,
+    /// Fits recorded since the session started ([`CalibrationRecord`]
+    /// sequence source).
+    fits_total: u64,
+    /// Commits since the last fit (captured into the next record).
+    commits_since_fit: u64,
+    /// Slow-query ring, oldest first (cap [`SLOWLOG_CAP`]); fed by the
+    /// writer lane when `--slow-ms` is configured.
+    slowlog: std::collections::VecDeque<SlowEntry>,
+    /// Entries evicted from the slow-query ring.
+    slow_dropped: u64,
 }
 
 /// Engine-level gauge values for one session, consumed by the
@@ -304,6 +380,80 @@ pub(crate) fn read_lint(sta: &Sta) -> String {
     w.finish()
 }
 
+/// `slowlog` result: the slow-query ring, oldest first. Shared by the
+/// writer lane (live ring) and the read pool (snapshot clone) so both
+/// paths serve identical bytes.
+pub(crate) fn render_slowlog(entries: &[SlowEntry], dropped: u64) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("count");
+    w.u64(entries.len() as u64);
+    w.key("dropped");
+    w.u64(dropped);
+    w.key("entries");
+    w.begin_arr();
+    for e in entries {
+        w.begin_obj();
+        w.key("request_id");
+        match e.request_id {
+            Some(rid) => w.u64(rid),
+            None => w.null(),
+        }
+        w.key("cmd");
+        w.str(e.cmd);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+/// `history` result: the calibration-drift ring, oldest first. Shared
+/// by the writer lane and the read pool like [`render_slowlog`].
+pub(crate) fn render_history(records: &[CalibrationRecord], evicted: u64) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("count");
+    w.u64(records.len() as u64);
+    w.key("evicted");
+    w.u64(evicted);
+    w.key("records");
+    w.begin_arr();
+    for r in records {
+        w.begin_obj();
+        w.key("fit");
+        w.u64(r.fit_seq);
+        w.key("mode");
+        w.str(r.mode);
+        w.key("solver");
+        w.str(&r.solver);
+        w.key("fallback_stage");
+        w.str(r.fallback);
+        w.key("iterations");
+        w.u64(r.iterations);
+        w.key("converged");
+        w.bool(r.converged);
+        w.key("mse_before");
+        w.f64(r.mse_before);
+        w.key("mse_after");
+        w.f64(r.mse_after);
+        w.key("wns");
+        w.f64(r.wns);
+        w.key("tns");
+        w.f64(r.tns);
+        w.key("weights_nonzero");
+        w.u64(r.weights_nonzero);
+        w.key("weights_total");
+        w.u64(r.weights_total);
+        w.key("commits_since_fit");
+        w.u64(r.commits_since_fit);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 /// `wns`/`tns` result: the summary figure plus the violation count.
 pub(crate) fn read_summary(sta: &Sta, wns: bool) -> String {
     let mut w = JsonWriter::new();
@@ -397,7 +547,60 @@ impl Session {
             sta: l.sta.clone(),
             degraded: self.degraded,
             calibrated: l.calibrated.is_some(),
+            history: self.history.iter().cloned().collect(),
+            history_evicted: self.history_evicted,
+            slowlog: self.slowlog.iter().cloned().collect(),
+            slow_dropped: self.slow_dropped,
+            installed_at: std::time::Instant::now(),
         })
+    }
+
+    /// Appends a slow-query entry (called by the writer lane after a
+    /// non-read command's execution met the `--slow-ms` threshold).
+    pub(crate) fn note_slow(&mut self, request_id: Option<u64>, cmd: &'static str) {
+        if self.slowlog.len() >= SLOWLOG_CAP {
+            self.slowlog.pop_front();
+            self.slow_dropped += 1;
+        }
+        self.slowlog.push_back(SlowEntry { request_id, cmd });
+    }
+
+    /// Appends a calibration-drift record, consuming the accumulated
+    /// commit count.
+    fn push_history(&mut self, mut record: CalibrationRecord) {
+        self.fits_total += 1;
+        record.fit_seq = self.fits_total;
+        record.commits_since_fit = self.commits_since_fit;
+        self.commits_since_fit = 0;
+        if self.history.len() >= HISTORY_CAP {
+            self.history.pop_front();
+            self.history_evicted += 1;
+        }
+        self.history.push_back(record);
+    }
+
+    /// Most recent calibration-drift record, if any fit has run.
+    pub(crate) fn latest_history(&self) -> Option<&CalibrationRecord> {
+        self.history.back()
+    }
+
+    /// Drift records resident in the history ring.
+    pub(crate) fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// `(nonzero, total)` fitted-weight counts over the loaded design.
+    fn weight_counts(&self) -> (u64, u64) {
+        match &self.loaded {
+            Some(l) => {
+                let total = l.sta.netlist().num_cells();
+                let nonzero = (0..total)
+                    .filter(|&i| l.sta.gate_weight(CellId::new(i)) != 0.0)
+                    .count();
+                (nonzero as u64, total as u64)
+            }
+            None => (0, 0),
+        }
     }
 
     /// Live engine gauges for the session this lane owns (`None` until a
@@ -497,6 +700,20 @@ impl Session {
             Command::Lint => {
                 let loaded = self.require_loaded()?;
                 Ok(read_lint(&loaded.sta))
+            }
+            // Funnel-mode service of the two ring queries: render from
+            // the live rings. The split path renders a snapshot clone of
+            // the same rings (see `registry::execute_read`); both paths
+            // require a loaded design so the modes answer identically.
+            Command::Slowlog => {
+                self.require_loaded()?;
+                let entries: Vec<SlowEntry> = self.slowlog.iter().cloned().collect();
+                Ok(render_slowlog(&entries, self.slow_dropped))
+            }
+            Command::History => {
+                self.require_loaded()?;
+                let records: Vec<CalibrationRecord> = self.history.iter().cloned().collect();
+                Ok(render_history(&records, self.history_evicted))
             }
             Command::WhatIfResize { cell, to } => self.resize(cell, to, false, false),
             Command::WhatIfBatch { resizes, pba } => self.whatif_batch(resizes, *pba),
@@ -631,12 +848,30 @@ impl Session {
         w.f64(report.pass_before.ratio());
         w.key("pass_after");
         w.f64(report.pass_after.ratio());
+        let wns = loaded.sta.wns();
+        let tns = loaded.sta.tns();
         w.key("wns");
-        w.f64(loaded.sta.wns());
+        w.f64(wns);
         w.key("tns");
-        w.f64(loaded.sta.tns());
+        w.f64(tns);
         w.end_obj();
         self.degraded = degraded;
+        let (weights_nonzero, weights_total) = self.weight_counts();
+        self.push_history(CalibrationRecord {
+            fit_seq: 0,
+            mode: "cold",
+            solver: report.solver_name.clone(),
+            fallback: report.fallback.name(),
+            iterations: report.iterations as u64,
+            converged: report.converged,
+            mse_before: report.mse_before,
+            mse_after: report.mse_after,
+            wns,
+            tns,
+            weights_nonzero,
+            weights_total,
+            commits_since_fit: 0,
+        });
         Ok(w.finish())
     }
 
@@ -727,6 +962,11 @@ impl Session {
                 // hatch.
                 recal = Some(Self::recalibrate_loaded(loaded, None, full)?);
             }
+        }
+        if commit {
+            // Counted before any drift record captures it, so a
+            // commit-triggered refit reports `commits_since_fit` ≥ 1.
+            self.commits_since_fit += 1;
         }
         if let Some(o) = &recal {
             self.note_recalibration(o);
@@ -822,7 +1062,7 @@ impl Session {
     }
 
     /// Updates session-level warm/cold counters and the degraded flag
-    /// after a recalibration.
+    /// after a recalibration, and appends the drift record.
     fn note_recalibration(&mut self, o: &RecalOutcome) {
         if o.mode == "warm" {
             self.recalib_warm += 1;
@@ -830,6 +1070,22 @@ impl Session {
             self.recalib_cold += 1;
         }
         self.degraded = o.degraded;
+        let (weights_nonzero, weights_total) = self.weight_counts();
+        self.push_history(CalibrationRecord {
+            fit_seq: 0,
+            mode: o.mode,
+            solver: o.solver_name.clone(),
+            fallback: o.fallback_name,
+            iterations: o.iterations,
+            converged: o.converged,
+            mse_before: o.mse_before,
+            mse_after: o.mse_after,
+            wns: o.wns,
+            tns: o.tns,
+            weights_nonzero,
+            weights_total,
+            commits_since_fit: 0,
+        });
     }
 
     fn write_recal(w: &mut JsonWriter, o: &RecalOutcome) {

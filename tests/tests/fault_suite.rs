@@ -217,11 +217,12 @@ fn tcp_chaos_panic_is_isolated_and_calibration_survives() {
             r#"{"id":5,"cmd":"wns"}"#,
             r#"{"id":6,"cmd":"wns"}"#,
             r#"{"id":7,"cmd":"stats"}"#,
-            r#"{"id":8,"cmd":"shutdown"}"#,
+            r#"{"id":8,"cmd":"history"}"#,
+            r#"{"id":9,"cmd":"shutdown"}"#,
         ],
     );
     faultinject::clear();
-    assert_eq!(responses.len(), 8);
+    assert_eq!(responses.len(), 9);
     // Healthy prefix.
     for r in &responses[..4] {
         assert!(r.contains("\"ok\":true"), "{r}");
@@ -240,9 +241,26 @@ fn tcp_chaos_panic_is_isolated_and_calibration_survives() {
     assert!(responses[5].contains("\"ok\":true"), "{}", responses[5]);
     assert!(!responses[5].contains("degraded"), "{}", responses[5]);
     assert_eq!(wns_field(&responses[5]), wns_field(&responses[2]));
-    // The panic is visible in stats.
+    // The panic is visible in stats, and so is the crash-isolated
+    // session rebuild it forced. Stats continuity: the latency counters
+    // live on the session handle, so the wns calls from before the
+    // crash are still counted after the rebuild.
     assert!(responses[6].contains("\"panics\":1"), "{}", responses[6]);
-    assert!(responses[7].contains("\"ok\":true"), "{}", responses[7]);
+    assert!(responses[6].contains("\"rebuilds\":1"), "{}", responses[6]);
+    assert!(
+        responses[6].contains("\"wns\":{\"count\":3"),
+        "latency histograms must survive the rebuild: {}",
+        responses[6]
+    );
+    // The calibration-drift history also survives: the ring lives
+    // outside the crash-replaced engine state.
+    assert!(responses[7].contains("\"count\":1"), "{}", responses[7]);
+    assert!(
+        responses[7].contains("\"mode\":\"cold\""),
+        "{}",
+        responses[7]
+    );
+    assert!(responses[8].contains("\"ok\":true"), "{}", responses[8]);
     handle.join().expect("server thread exits");
 }
 

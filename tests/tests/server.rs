@@ -112,6 +112,19 @@ fn responses_are_bit_identical_across_thread_counts_and_read_modes() {
     // (`read_workers 0`) or run on the snapshot pool (`read_workers 4`).
     // The script mixes v1 sessionless lines with v2 session-addressed
     // lines across two sessions to pin the sharded path too.
+    //
+    // Ordering rule: every state-changing write to a session precedes
+    // that session's reads. Split-mode reads serve the latest published
+    // snapshot at or after their admission floor, so a write issued
+    // after a read to the same session could publish before the pool
+    // executes the read — byte-identity holds only for scripts that
+    // respect this write-then-read discipline per session.
+    //
+    // Observability surfaces are part of the determinism contract: with
+    // slow_ms 0 every lane command lands in the slow-query ring, a
+    // second fit grows the drift history, and both rings (plus the v2
+    // `request_id` stamps) must serialize to the same bytes in funnel
+    // and split mode — no timing fields leak.
     let script = concat!(
         r#"{"id":1,"cmd":"load","design":"small:7"}"#,
         "\n",
@@ -119,26 +132,38 @@ fn responses_are_bit_identical_across_thread_counts_and_read_modes() {
         "\n",
         r#"{"id":3,"proto":2,"session":"alpha","cmd":"load","design":"small:5"}"#,
         "\n",
-        r#"{"id":4,"cmd":"slack","top":10}"#,
+        r#"{"id":4,"cmd":"commit","cell":"g_1_0_0","to":"up"}"#,
         "\n",
-        r#"{"id":5,"cmd":"path","pba":true}"#,
+        r#"{"id":5,"proto":2,"session":"alpha","cmd":"calibrate","solver":"cgnr"}"#,
         "\n",
-        r#"{"id":6,"proto":2,"session":"alpha","cmd":"wns"}"#,
+        r#"{"id":6,"cmd":"whatif_resize","cell":"g_1_1_0","to":"up"}"#,
         "\n",
-        r#"{"id":7,"cmd":"whatif_resize","cell":"g_1_0_0","to":"up"}"#,
+        r#"{"id":7,"cmd":"slack","top":10}"#,
         "\n",
-        r#"{"id":8,"cmd":"wns"}"#,
+        r#"{"id":8,"cmd":"path","pba":true}"#,
         "\n",
-        r#"{"id":9,"proto":2,"session":"alpha","cmd":"tns"}"#,
+        r#"{"id":9,"proto":2,"session":"alpha","cmd":"wns"}"#,
         "\n",
-        r#"{"id":10,"cmd":"tns"}"#,
+        r#"{"id":10,"cmd":"wns"}"#,
         "\n",
-        r#"{"id":11,"cmd":"lint"}"#,
+        r#"{"id":11,"proto":2,"session":"alpha","cmd":"tns"}"#,
         "\n",
-        r#"{"id":12,"proto":2,"session":"alpha","cmd":"lint"}"#,
+        r#"{"id":12,"cmd":"tns"}"#,
+        "\n",
+        r#"{"id":13,"cmd":"lint"}"#,
+        "\n",
+        r#"{"id":14,"proto":2,"session":"alpha","cmd":"lint"}"#,
         "\n",
         "this line is not json\n",
-        r#"{"id":13,"cmd":"shutdown"}"#,
+        r#"{"id":15,"proto":2,"session":"alpha","cmd":"slowlog"}"#,
+        "\n",
+        r#"{"id":16,"proto":2,"session":"alpha","cmd":"history"}"#,
+        "\n",
+        r#"{"id":17,"cmd":"slowlog"}"#,
+        "\n",
+        r#"{"id":18,"cmd":"history"}"#,
+        "\n",
+        r#"{"id":19,"cmd":"shutdown"}"#,
         "\n",
     );
     let run_with = |threads: usize, read_workers: usize| -> String {
@@ -146,6 +171,7 @@ fn responses_are_bit_identical_across_thread_counts_and_read_modes() {
         let out = serve_stream(
             &ServerConfig {
                 read_workers,
+                slow_ms: Some(0),
                 ..ServerConfig::default()
             },
             script.as_bytes(),
@@ -156,6 +182,11 @@ fn responses_are_bit_identical_across_thread_counts_and_read_modes() {
     };
     let reference = run_with(1, 0);
     assert!(!reference.is_empty());
+    // The new surfaces actually answered with content, and v2 envelopes
+    // carry admission-order request ids.
+    assert!(reference.contains("\"entries\":["), "{reference}");
+    assert!(reference.contains("\"records\":["), "{reference}");
+    assert!(reference.contains("\"request_id\":"), "{reference}");
     for (threads, read_workers) in [(1, 4), (4, 0), (4, 4)] {
         assert_eq!(
             run_with(threads, read_workers),
@@ -207,9 +238,7 @@ fn overload_is_an_explicit_rejection_not_a_hang() {
     // explicit overload envelope — and every request must be answered.
     let (addr, handle) = start(ServerConfig {
         queue_depth: 1,
-        default_deadline_ms: None,
-        read_workers: 0,
-        session_ttl_secs: None,
+        ..ServerConfig::default()
     });
     let mut requests = vec![r#"{"id":0,"cmd":"sleep","ms":300}"#.to_owned()];
     for i in 1..=8 {
@@ -509,6 +538,91 @@ fn idle_sessions_are_evicted_after_the_ttl() {
         responses[0]
     );
     handle.join().expect("clean exit");
+}
+
+#[test]
+fn live_exposition_scrapes_and_validates() {
+    // Scrape the full Prometheus exposition from a running server after
+    // a calibrate and two committed resizes, run it through the
+    // conformance checker, and pin the observability families added for
+    // request tracing and calibration-drift telemetry.
+    let script = concat!(
+        r#"{"id":1,"cmd":"load","design":"small:5"}"#,
+        "\n",
+        r#"{"id":2,"cmd":"calibrate","solver":"cgnr"}"#,
+        "\n",
+        r#"{"id":3,"cmd":"commit","cell":"g_1_0_0","to":"up"}"#,
+        "\n",
+        r#"{"id":4,"cmd":"commit","cell":"g_1_1_0","to":"up"}"#,
+        "\n",
+        r#"{"id":5,"cmd":"metrics"}"#,
+        "\n",
+        r#"{"id":6,"cmd":"history"}"#,
+        "\n",
+        r#"{"id":7,"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let out = serve_stream(
+        &ServerConfig {
+            slow_ms: Some(0),
+            ..ServerConfig::default()
+        },
+        script.as_bytes(),
+        Vec::<u8>::new(),
+    )
+    .expect("stream run");
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 7, "{text}");
+    assert!(lines.iter().all(|l| ok(l)), "{text}");
+    let envelope = server::json::parse(lines[4]).expect("metrics envelope parses");
+    let exposition = envelope
+        .get("result")
+        .and_then(|r| r.get("exposition"))
+        .and_then(|e| e.as_str())
+        .expect("metrics result carries the exposition")
+        .to_owned();
+    obs::prom::validate(&exposition).expect("exposition conforms");
+    for family in [
+        "mgba_build_info{version=",
+        "mgba_server_read_backlog",
+        "mgba_server_write_queue_depth{session=\"default\"}",
+        "mgba_server_session_rebuilds_total{session=\"default\"}",
+        "mgba_server_stage_us",
+        "mgba_server_command_latency_us",
+        "mgba_calibration_drift_mse{session=\"default\"}",
+        "mgba_calibration_drift_rms_ps{session=\"default\"}",
+        "mgba_calibration_drift_weight_sparsity_pct",
+        "mgba_calibration_drift_commits_since_fit",
+        "mgba_calibration_drift_records{session=\"default\"}",
+    ] {
+        assert!(
+            exposition.contains(family),
+            "exposition is missing `{family}`:\n{exposition}"
+        );
+    }
+    // Stage histograms carry real samples by the time `metrics` runs:
+    // at minimum the lane's queue-wait and execute stages.
+    for stage in ["stage=\"queue_wait\"", "stage=\"execute\""] {
+        assert!(
+            exposition.contains(stage),
+            "stage histograms missing {stage}:\n{exposition}"
+        );
+    }
+    // One cold calibrate plus two commit-triggered warm refits: three
+    // drift records, the latest having absorbed exactly one commit.
+    assert!(
+        exposition.contains("mgba_calibration_drift_records{session=\"default\"} 3.0"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("mgba_calibration_drift_commits_since_fit{session=\"default\"} 1.0"),
+        "{exposition}"
+    );
+    let history = lines[5];
+    assert!(history.contains("\"count\":3"), "{history}");
+    assert!(history.contains("\"mode\":\"cold\""), "{history}");
+    assert!(history.contains("\"mode\":\"warm\""), "{history}");
 }
 
 #[test]
