@@ -14,6 +14,7 @@
 //! mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
 //! mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
 //!                    [--read-workers N] [--session-ttl-secs S] [--slow-ms MS]
+//!                    [--state-dir DIR] [--checkpoint-every N]
 //! mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N]
 //!                    [--backoff-ms MS] [--session NAME] [--proto 1|2]
 //!                    [REQUEST...]
@@ -107,12 +108,21 @@ usage:
   mgba-sta sdf       <FILE> --period PS [--fit] [--out FILE]
   mgba-sta serve     [--listen ADDR | --stdio] [--queue N] [--deadline-ms MS]
                      [--read-workers N] [--session-ttl-secs S] [--slow-ms MS]
+                     [--state-dir DIR] [--checkpoint-every N]
                      (N read-pool threads serve read-only queries from
                      lock-free session snapshots; 0 = funnel everything
                      through the writer lane. Sessions idle longer than S
                      seconds are evicted lazily; 0/unset = never.
                      --slow-ms records lane commands executing >= MS ms
-                     in the per-session ring served by `slowlog`)
+                     in the per-session ring served by `slowlog`.
+                     --state-dir makes sessions durable: every mutation is
+                     fsynced to a per-session write-ahead log before it is
+                     acknowledged, a checkpoint is cut every N records
+                     [default 32], and a restarted server replays
+                     checkpoint + WAL tail so reads answer byte-identically
+                     after a crash. While it is set, `snapshot`/`restore`
+                     file paths are confined to DIR — absolute paths and
+                     `..` components are rejected)
   mgba-sta query     --connect ADDR [--timeout-ms MS] [--retries N] [--backoff-ms MS]
                      [--session NAME] [--proto 1|2] [REQUEST...]
                      (reads stdin when no REQUEST;
@@ -122,7 +132,10 @@ usage:
                      `default`); --proto 1 speaks the legacy sessionless
                      protocol; --timeout-ms bounds socket reads/writes,
                      default 30000, 0 disables; connect retries back off
-                     exponentially)
+                     exponentially, and the same budget replays in-flight
+                     requests if the connection drops mid-stream — e.g.
+                     across a server restart; see the at-least-once note
+                     in the README)
 
 global options:
   --threads N       worker threads for PBA retiming / fitting kernels
@@ -636,7 +649,9 @@ fn cmd_flow(args: &mut Args) -> Result<(), MgbaError> {
 /// protocol). With `--listen` the server accepts TCP connections until a
 /// `shutdown` request drains the queue; with `--stdio` it serves one
 /// request stream on stdin/stdout and exits on EOF or `shutdown` —
-/// ideal for pipelines and smoke tests.
+/// ideal for pipelines and smoke tests. `--state-dir` turns on the
+/// durability layer (DESIGN.md §16): per-session write-ahead logs,
+/// periodic checkpoints, and crash-safe replay on restart.
 fn cmd_serve(args: &mut Args) -> Result<(), MgbaError> {
     let stdio = args.flag("--stdio");
     let listen = args.option("--listen")?;
@@ -676,6 +691,21 @@ fn cmd_serve(args: &mut Args) -> Result<(), MgbaError> {
         })?),
         None => None,
     };
+    let state_dir: Option<std::path::PathBuf> =
+        args.option("--state-dir")?.map(std::path::PathBuf::from);
+    let checkpoint_every: Option<u64> = match args.option("--checkpoint-every")? {
+        Some(n) => Some(n.parse().ok().filter(|v| *v > 0).ok_or_else(|| {
+            MgbaError::Usage(format!(
+                "bad --checkpoint-every `{n}` (want a positive record count)"
+            ))
+        })?),
+        None => None,
+    };
+    if checkpoint_every.is_some() && state_dir.is_none() {
+        return Err(MgbaError::Usage(
+            "--checkpoint-every requires --state-dir".into(),
+        ));
+    }
     args.finish()?;
     let config = server::ServerConfig {
         queue_depth,
@@ -683,6 +713,9 @@ fn cmd_serve(args: &mut Args) -> Result<(), MgbaError> {
         read_workers,
         session_ttl_secs,
         slow_ms,
+        state_dir,
+        checkpoint_every: checkpoint_every
+            .unwrap_or(server::ServerConfig::default().checkpoint_every),
     };
     if stdio {
         if listen.is_some() {

@@ -24,7 +24,13 @@ pub struct ClientConfig {
     /// Per-I/O timeout (read and write), milliseconds. `0` disables.
     pub timeout_ms: u64,
     /// Extra connect attempts after the first fails (covers a daemon
-    /// that is still binding its port).
+    /// that is still binding its port). The same budget governs
+    /// mid-flight reconnects: a connection reset/refused/EOF while a
+    /// request is outstanding triggers a reconnect (itself retried
+    /// under this policy) and a replay of every unanswered request —
+    /// so a client rides through a server restart. Replay is
+    /// at-least-once: a mutation the server acknowledged to its WAL
+    /// just before dying may be applied again on replay.
     pub connect_retries: u32,
     /// Initial sleep between connect attempts, milliseconds (doubles
     /// after every failed retry).
@@ -157,12 +163,32 @@ impl Response {
     }
 }
 
+/// True for the I/O failures a server restart produces mid-connection:
+/// reset/aborted/refused, a broken pipe, or a clean server-side close.
+/// Timeouts are deliberately excluded — a slow server is not a dead one.
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
 /// A connected protocol client (one TCP stream, line-oriented).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     config: ClientConfig,
     next_id: u64,
+    /// Connect target, kept so mid-flight disconnects can reconnect.
+    addr: String,
+    /// Request lines sent but not yet answered, in send order — resent
+    /// verbatim after a mid-flight reconnect so the caller's pending
+    /// `recv`s still complete.
+    outstanding: std::collections::VecDeque<String>,
 }
 
 impl Client {
@@ -176,6 +202,24 @@ impl Client {
     /// Returns [`MgbaError::Io`] when every connect attempt fails or the
     /// socket rejects its timeout configuration.
     pub fn connect(addr: &str, config: ClientConfig) -> Result<Self, MgbaError> {
+        let (reader, writer) = Self::open_stream(addr, &config)?;
+        Ok(Self {
+            reader,
+            writer,
+            config,
+            next_id: 0,
+            addr: addr.to_owned(),
+            outstanding: std::collections::VecDeque::new(),
+        })
+    }
+
+    /// One full connect cycle under the config's retry/backoff/timeout
+    /// policy (shared by [`Client::connect`] and mid-flight
+    /// reconnects).
+    fn open_stream(
+        addr: &str,
+        config: &ClientConfig,
+    ) -> Result<(BufReader<TcpStream>, TcpStream), MgbaError> {
         use std::net::ToSocketAddrs as _;
         let connect_once = || -> std::io::Result<TcpStream> {
             if config.timeout_ms == 0 {
@@ -203,12 +247,7 @@ impl Client {
                         .map_err(|e| MgbaError::io(addr, e))?;
                     let _ = stream.set_nodelay(true);
                     let writer = stream.try_clone().map_err(|e| MgbaError::io(addr, e))?;
-                    return Ok(Self {
-                        reader: BufReader::new(stream),
-                        writer,
-                        config,
-                        next_id: 0,
-                    });
+                    return Ok((BufReader::new(stream), writer));
                 }
                 Err(e) => last_err = Some(e),
             }
@@ -226,6 +265,23 @@ impl Client {
             last_err
         };
         Err(MgbaError::io(addr, last_err))
+    }
+
+    /// Re-establishes the connection and resends every unanswered
+    /// request line in send order, so pending `recv`s still complete
+    /// (against the restarted server's replies).
+    fn reconnect_and_replay(&mut self) -> Result<(), MgbaError> {
+        let (reader, writer) = Self::open_stream(&self.addr, &self.config)?;
+        self.reader = reader;
+        self.writer = writer;
+        for i in 0..self.outstanding.len() {
+            let line = self.outstanding[i].clone();
+            self.writer
+                .write_all(line.as_bytes())
+                .and_then(|()| self.writer.write_all(b"\n"))
+                .map_err(|e| MgbaError::io("send (replay)", e))?;
+        }
+        Ok(())
     }
 
     /// The session this client addresses.
@@ -255,42 +311,76 @@ impl Client {
     }
 
     /// Writes one raw request line (escape hatch for pre-rendered or
-    /// intentionally malformed requests).
+    /// intentionally malformed requests). A disconnect during the write
+    /// reconnects and replays under the retry policy.
     ///
     /// # Errors
     ///
     /// Returns [`MgbaError::Io`] when the write fails or times out.
     pub fn send_raw(&mut self, line: &str) -> Result<(), MgbaError> {
-        self.writer
+        self.outstanding.push_back(line.to_owned());
+        let wrote = self
+            .writer
             .write_all(line.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .map_err(|e| MgbaError::io("send", e))
+            .and_then(|()| self.writer.write_all(b"\n"));
+        match wrote {
+            Ok(()) => Ok(()),
+            Err(e) if is_disconnect(&e) && self.config.connect_retries > 0 => {
+                // The replay includes the line just queued.
+                self.reconnect_and_replay()
+            }
+            Err(e) => {
+                self.outstanding.pop_back();
+                Err(MgbaError::io("send", e))
+            }
+        }
     }
 
-    /// Reads one raw response line.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MgbaError::Io`] on timeout or a server-closed stream.
-    pub fn recv_raw(&mut self) -> Result<String, MgbaError> {
+    /// Reads one line, mapping a server-closed stream to
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    fn read_line_once(&mut self) -> std::io::Result<String> {
         let mut line = String::new();
-        let n = self
-            .reader
-            .read_line(&mut line)
-            .map_err(|e| MgbaError::io("recv", e))?;
+        let n = self.reader.read_line(&mut line)?;
         if n == 0 {
-            return Err(MgbaError::io(
-                "recv",
-                std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                ),
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
             ));
         }
         while line.ends_with('\n') || line.ends_with('\r') {
             line.pop();
         }
         Ok(line)
+    }
+
+    /// Reads one raw response line. A disconnect while requests are
+    /// outstanding (the server restarted mid-flight) reconnects,
+    /// replays the unanswered requests, and keeps reading — bounded by
+    /// the config's `connect_retries` budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgbaError::Io`] on timeout, a non-retryable disconnect,
+    /// or an exhausted retry budget.
+    pub fn recv_raw(&mut self) -> Result<String, MgbaError> {
+        let mut reconnects = 0u32;
+        loop {
+            match self.read_line_once() {
+                Ok(line) => {
+                    self.outstanding.pop_front();
+                    return Ok(line);
+                }
+                Err(e)
+                    if is_disconnect(&e)
+                        && !self.outstanding.is_empty()
+                        && reconnects < self.config.connect_retries =>
+                {
+                    reconnects += 1;
+                    self.reconnect_and_replay()?;
+                }
+                Err(e) => return Err(MgbaError::io("recv", e)),
+            }
+        }
     }
 
     /// Reads and parses one response envelope.

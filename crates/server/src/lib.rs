@@ -28,6 +28,10 @@
 //!   bench harness.
 //! - [`stats`] — always-on per-command latency histograms behind the
 //!   `stats` command.
+//! - [`wal`] — per-session write-ahead log: checksummed,
+//!   length-prefixed records of acknowledged mutations, torn-tail
+//!   recovery, and post-checkpoint compaction (`--state-dir`
+//!   durability; see `DESIGN.md` §16).
 //!
 //! Protocol reference lives in `DESIGN.md` §13 (v2) and §9 (daemon
 //! architecture); CLI usage in `README.md`.
@@ -40,6 +44,7 @@ pub mod server;
 pub mod session;
 pub mod stats;
 pub mod suggest;
+pub mod wal;
 
 pub use client::{Client, ClientConfig, Response, WireError};
 pub use server::{serve_stdio, serve_stream, Server, ServerConfig};

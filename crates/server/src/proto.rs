@@ -20,15 +20,21 @@
 //! `"internal"` (a request handler panicked; the session was restored
 //! from its last good state); the server layer adds `"overload"`
 //! (bounded queue full), `"deadline"` (admission deadline expired while
-//! queued), and `"shutdown"` (received while draining). Malformed JSON,
-//! unknown commands, and bad `proto`/`session` fields surface as
+//! queued), and `"shutdown"` (received while draining). The durability
+//! layer (`serve --state-dir`, `DESIGN.md` §16) adds `"durability_lost"`
+//! (the session's write-ahead log could not be appended or fsynced, so
+//! the session is read-only until restart) and `"path_escape"`
+//! (`snapshot`/`restore` named a path outside the state dir). Malformed
+//! JSON, unknown commands, and bad `proto`/`session` fields surface as
 //! `"usage"` — they are routed through [`MgbaError::Usage`] like any
 //! bad CLI invocation.
 //!
 //! Success envelopes carry a `"degraded":true` field **only** while the
 //! session is serving from a fault-recovered state without calibration
-//! (raw-GBA answers, safe but pessimistic); healthy responses omit the
-//! key entirely so response bytes are unchanged from pre-fault runs.
+//! (raw-GBA answers, safe but pessimistic) or after its durability was
+//! lost (read-only, in-memory answers ahead of the durable log); healthy
+//! responses omit the key entirely so response bytes are unchanged from
+//! pre-fault runs.
 
 use crate::json::{self, Value};
 use mgba::MgbaError;
@@ -183,6 +189,15 @@ pub enum Command {
     },
     /// Liveness probe.
     Ping,
+    /// Liveness/readiness probe for load balancers: the protocol
+    /// window, whether durability (`--state-dir`) is on, and the
+    /// session's durability facts (`recovered`, `wal_records`,
+    /// `last_checkpoint_seq`, `degraded`). Deliberately carries **no
+    /// timing fields** (no uptime) so responses are byte-identical
+    /// across threads, read modes, and repeated runs — it is pinned in
+    /// the byte-identity matrix. Read-only and served without a loaded
+    /// design.
+    Health,
     /// Load a design (generator spec or netlist file) and build the
     /// timing engine. `period` defaults to the auto-derived tight clock.
     Load {
@@ -321,6 +336,7 @@ impl Command {
         match self {
             Command::Hello { .. } => "hello",
             Command::Ping => "ping",
+            Command::Health => "health",
             Command::Load { .. } => "load",
             Command::Calibrate { .. } => "calibrate",
             Command::Slack { .. } => "slack",
@@ -353,6 +369,7 @@ impl Command {
         matches!(
             self,
             Command::Ping
+                | Command::Health
                 | Command::Slack { .. }
                 | Command::Wns
                 | Command::Tns
@@ -482,6 +499,7 @@ fn parse_request_value(
             max_proto: opt_u64(v, "max_proto")?,
         },
         "ping" => Command::Ping,
+        "health" => Command::Health,
         "load" => {
             let spec = opt_str(v, "design")?
                 .or(opt_str(v, "file")?)
@@ -716,6 +734,7 @@ pub fn render_request(
             }
         }
         Command::Ping
+        | Command::Health
         | Command::Wns
         | Command::Tns
         | Command::Lint
@@ -827,6 +846,7 @@ mod tests {
             (r#"{"cmd":"hello"}"#, "hello"),
             (r#"{"cmd":"hello","max_proto":2}"#, "hello"),
             (r#"{"cmd":"ping"}"#, "ping"),
+            (r#"{"cmd":"health"}"#, "health"),
             (r#"{"cmd":"load","design":"small:7","period":900}"#, "load"),
             (r#"{"cmd":"load","file":"d.nl"}"#, "load"),
             (r#"{"cmd":"calibrate","solver":"cgnr"}"#, "calibrate"),

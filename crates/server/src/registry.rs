@@ -38,10 +38,12 @@
 use crate::proto::{self, Command, EnvMeta};
 use crate::session::{self, ServerInfo, Session};
 use crate::stats::{CommandStats, LatencyHist};
+use crate::wal;
 use mgba::MgbaError;
 use obs::json::JsonWriter;
 use sta::Sta;
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -110,6 +112,61 @@ impl Shared {
             panics: self.panicked.load(Ordering::SeqCst),
         }
     }
+}
+
+/// Durability settings handed down from `serve --state-dir` — present
+/// iff the durability layer is on.
+#[derive(Debug, Clone)]
+pub(crate) struct DurabilityConfig {
+    /// Directory holding one `<session>.wal` + `<session>.ckpt` pair per
+    /// durable session (also the confinement root for client-supplied
+    /// `snapshot`/`restore` paths).
+    pub state_dir: PathBuf,
+    /// Write an on-disk checkpoint (and compact the WAL) after this many
+    /// logged mutations.
+    pub checkpoint_every: u64,
+}
+
+/// Registry-wide WAL telemetry, rendered as the
+/// `mgba_server_wal_*_total` counter families (always present in the
+/// exposition; all-zero while durability is off).
+#[derive(Default)]
+pub(crate) struct WalCounters {
+    /// Bytes appended to session WALs, framing included.
+    pub appended_bytes: AtomicU64,
+    /// Successful WAL data syncs (appends and compactions).
+    pub fsyncs: AtomicU64,
+    /// WAL records replayed into sessions at recovery.
+    pub replayed_records: AtomicU64,
+    /// Torn WAL tails truncated at recovery.
+    pub truncated_tails: AtomicU64,
+    /// On-disk checkpoints written (each followed by a WAL compaction).
+    pub checkpoints: AtomicU64,
+}
+
+/// Lock-free per-session durability facts serving the `health` command
+/// from both execution paths (writer lane and read pool). The lane
+/// stores into these before publishing each ticket, so a read admitted
+/// behind a write observes at least that write's facts — the same
+/// ordering contract the published snapshot gives every other read.
+/// All fields are deterministic (no wall clock), keeping `health`
+/// responses pinned in the byte-identity matrix.
+#[derive(Default)]
+pub(crate) struct DurabilityFacts {
+    /// Whether this registry runs with `--state-dir` at all.
+    pub durable: AtomicBool,
+    /// Whether this session's state was rebuilt from disk (checkpoint
+    /// and/or WAL tail) when its lane started.
+    pub recovered: AtomicBool,
+    /// Mutations logged over the session's lifetime (monotonic across
+    /// restarts; 0 while durability is off).
+    pub wal_records: AtomicU64,
+    /// `wal_records` watermark folded into the newest on-disk
+    /// checkpoint (0 = none yet).
+    pub last_checkpoint_seq: AtomicU64,
+    /// Mirror of [`Session::is_degraded`] as of the latest published
+    /// write ticket.
+    pub degraded: AtomicBool,
 }
 
 /// Crate version reported by `mgba_build_info` and `stats`.
@@ -216,6 +273,9 @@ pub struct SessionHandle {
     /// deliberately survive rebuilds — they live here, not on the lane
     /// state — so this counter is the only stats discontinuity marker.
     rebuilds: AtomicU64,
+    /// Durability facts behind the `health` command (see
+    /// [`DurabilityFacts`]).
+    pub(crate) durability: DurabilityFacts,
 }
 
 impl SessionHandle {
@@ -234,6 +294,7 @@ impl SessionHandle {
             request_seq: AtomicU64::new(0),
             pending_lane: AtomicUsize::new(0),
             rebuilds: AtomicU64::new(0),
+            durability: DurabilityFacts::default(),
         }
     }
 
@@ -410,6 +471,11 @@ pub struct Registry {
     /// takes at least this long are recorded to the session's slow-query
     /// ring. `None` (the default) disables recording entirely.
     slow_ms: Option<u64>,
+    /// Durability settings (`--state-dir`); `None` keeps the registry
+    /// fully in-memory with zero extra work per request.
+    durability: Option<DurabilityConfig>,
+    /// Registry-wide WAL telemetry (see [`WalCounters`]).
+    pub(crate) wal_counters: WalCounters,
     pub(crate) shared: Arc<Shared>,
 }
 
@@ -420,6 +486,7 @@ impl Registry {
         shared: Arc<Shared>,
         session_ttl: Option<Duration>,
         slow_ms: Option<u64>,
+        durability: Option<DurabilityConfig>,
     ) -> Arc<Self> {
         Arc::new(Self {
             sessions: Mutex::new(BTreeMap::new()),
@@ -429,8 +496,62 @@ impl Registry {
             queue_depth,
             session_ttl,
             slow_ms,
+            durability,
+            wal_counters: WalCounters::default(),
             shared,
         })
+    }
+
+    /// Startup recovery: scans the state dir for `<session>.wal` /
+    /// `<session>.ckpt` pairs and resolves each named session, which
+    /// rebuilds its state from disk before the first request is served
+    /// (recovery runs synchronously inside [`Registry::session`]).
+    /// No-op without `--state-dir`. Never panics: corrupt files are
+    /// quarantined and reported per session, not fatal to startup.
+    pub(crate) fn recover(self: &Arc<Self>) {
+        let Some(cfg) = self.durability.clone() else {
+            return;
+        };
+        if let Err(e) = std::fs::create_dir_all(&cfg.state_dir) {
+            obs::events::emit(
+                obs::events::Severity::Error,
+                "server.durability.state_dir_unusable",
+                None,
+                None,
+                &[("error", e.to_string())],
+            );
+            return;
+        }
+        let mut names: Vec<String> = Vec::new();
+        if let Ok(dir) = std::fs::read_dir(&cfg.state_dir) {
+            for entry in dir.flatten() {
+                let path = entry.path();
+                let (Some(stem), Some(ext)) = (
+                    path.file_stem().and_then(|s| s.to_str()),
+                    path.extension().and_then(|s| s.to_str()),
+                ) else {
+                    continue;
+                };
+                if (ext == "wal" || ext == "ckpt")
+                    && proto::validate_session_name(stem).is_ok()
+                    && !names.iter().any(|n| n == stem)
+                {
+                    names.push(stem.to_owned());
+                }
+            }
+        }
+        names.sort();
+        for name in &names {
+            if self.session(name).is_err() {
+                obs::events::emit(
+                    obs::events::Severity::Warn,
+                    "server.durability.recovery_skipped",
+                    Some(name),
+                    None,
+                    &[("reason", "session cap or draining".to_owned())],
+                );
+            }
+        }
     }
 
     /// Resolves `name` to its session, creating it (and spawning its
@@ -466,13 +587,24 @@ impl Registry {
             return Err(AdmitRejection::TooManySessions);
         }
         let handle = Arc::new(SessionHandle::new(name));
+        handle
+            .durability
+            .durable
+            .store(self.durability.is_some(), Ordering::SeqCst);
+        // Durable sessions rebuild from disk *before* the lane starts
+        // (and before this admission returns), so the first request —
+        // read or write — already observes the recovered state.
+        let state = match &self.durability {
+            Some(cfg) => Durability::open(cfg, &handle, &self.wal_counters),
+            None => (Session::new(), None),
+        };
         let (lane_tx, lane_rx) = mpsc::sync_channel::<LaneJob>(self.queue_depth);
         let lane = {
             let handle = Arc::clone(&handle);
             let registry = Arc::clone(self);
             thread::Builder::new()
                 .name(format!("mgba-lane-{name}"))
-                .spawn(move || lane_loop(lane_rx, handle, registry))
+                .spawn(move || lane_loop(lane_rx, handle, registry, state))
                 .expect("spawn writer lane")
         };
         self.lanes.lock().unwrap().push(lane);
@@ -497,10 +629,22 @@ impl Registry {
     /// the map, the dropped queue sender makes its lane drain admitted
     /// work and exit, and the name is immediately free for a fresh
     /// session. Returns whether a session by that name was resident.
+    ///
+    /// With `--state-dir`, `close_session` also discards the session's
+    /// durable files — closing means "forget this state", so the name
+    /// restarts empty. (TTL eviction deliberately does *not* delete
+    /// them: an evicted-for-idleness session recovers from disk when
+    /// next addressed.)
     pub(crate) fn remove(&self, name: &str) -> bool {
         let mut map = self.sessions.lock().unwrap();
         let removed = map.remove(name).is_some();
         self.roster.lock().unwrap().remove(name);
+        if removed {
+            if let Some(cfg) = &self.durability {
+                let _ = std::fs::remove_file(cfg.state_dir.join(format!("{name}.wal")));
+                let _ = std::fs::remove_file(cfg.state_dir.join(format!("{name}.ckpt")));
+            }
+        }
         drop(map);
         if removed {
             self.shared.evicted.fetch_add(1, Ordering::SeqCst);
@@ -559,19 +703,469 @@ fn is_state_changing(cmd: &Command) -> bool {
     )
 }
 
+/// True for logged commands whose execution *reads* the frozen warm
+/// calibration cache (which checkpoints cannot capture). The checkpoint
+/// anchor may only advance past a command when replaying it from a
+/// cache-less rebuilt anchor reproduces the same bytes — which holds
+/// exactly when the command ignores the cache (cold fits regenerate it
+/// bit-for-bit; warm refits after a replayed cold fit then match too).
+fn reads_warm_cache(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Commit { full: false, .. } | Command::Recalibrate { full: false, .. }
+    )
+}
+
+/// Resolves a client-supplied `snapshot`/`restore` file argument under
+/// the state dir. Absolute paths and any non-plain component (`..`,
+/// `.`) are rejected: with `--state-dir` the server's file surface is
+/// exactly that directory.
+fn confine_file(state_dir: &Path, file: &str) -> Result<String, String> {
+    let p = Path::new(file);
+    let escapes = p.is_absolute()
+        || p.components()
+            .any(|c| !matches!(c, std::path::Component::Normal(_)));
+    if escapes {
+        return Err(format!(
+            "path `{file}` escapes the state dir (absolute paths and `..`/`.` components \
+             are rejected while `--state-dir` is set)"
+        ));
+    }
+    Ok(state_dir.join(p).to_string_lossy().into_owned())
+}
+
+/// Rewrites the file argument of `snapshot`/`restore` to its confined
+/// form. `Ok(None)` = the command carries no path (execute as-is).
+fn confine_command(state_dir: &Path, cmd: &Command) -> Result<Option<Command>, String> {
+    match cmd {
+        Command::Snapshot { file } => Ok(Some(Command::Snapshot {
+            file: confine_file(state_dir, file)?,
+        })),
+        Command::Restore { file } => Ok(Some(Command::Restore {
+            file: confine_file(state_dir, file)?,
+        })),
+        _ => Ok(None),
+    }
+}
+
+/// Renames a corrupt durability file to `<name>.corrupt` so restart
+/// diagnostics keep the bytes while the session restarts clean.
+fn quarantine(path: &Path) {
+    if path.exists() {
+        let mut bad = path.as_os_str().to_owned();
+        bad.push(".corrupt");
+        let _ = std::fs::rename(path, PathBuf::from(bad));
+    }
+}
+
+/// The canonical WAL record for a state-changing command: the protocol
+/// v2 request line, re-parsed at replay through the ordinary request
+/// parser. The `id` field carries the record's durable sequence
+/// number — recovery uses it to skip records a newer checkpoint has
+/// already folded (a crash can land between the checkpoint write and
+/// the WAL compaction, leaving folded records in the log).
+fn wal_line(cmd: &Command, seq: u64) -> String {
+    proto::render_request(Some(seq), 2, None, cmd, None)
+}
+
+/// One writer lane's durability state: the open WAL, the in-memory
+/// checkpoint anchor, and the tail of command lines since that anchor.
+///
+/// # Anchor discipline
+///
+/// `anchor` is always a state from which replaying `tail` through the
+/// real command handlers reproduces the live session bit-for-bit. The
+/// warm calibration cache cannot be serialized, so before logging a
+/// command that *ignores* the cache (see [`reads_warm_cache`]) the
+/// anchor is promoted to the previous command's post-state and the tail
+/// restarts — replay then regenerates the cache via the same cold fit.
+/// A client that never cold-fits keeps one anchor forever and the tail
+/// (and WAL) grow unbounded; `DESIGN.md` §16 documents the trade.
+pub(crate) struct Durability {
+    wal: wal::Wal,
+    ckpt_path: PathBuf,
+    state_dir: PathBuf,
+    checkpoint_every: u64,
+    /// Replay base: the durable state preceding `tail[0]`.
+    anchor: session::DurableState,
+    /// Mutations folded into `anchor` (monotonic across restarts).
+    anchor_seq: u64,
+    /// Logged command lines since `anchor` — what the next checkpoint
+    /// compacts the WAL down to.
+    tail: Vec<String>,
+    /// Post-state of the most recently logged mutation (the next
+    /// anchor-promotion candidate).
+    prev_state: session::DurableState,
+    /// Mutations logged over the session's lifetime.
+    seq: u64,
+    /// `seq` watermark stored in the newest on-disk checkpoint.
+    last_checkpoint_seq: u64,
+    /// Mutations since the last on-disk checkpoint.
+    since_checkpoint: u64,
+}
+
+impl Durability {
+    /// Opens (or creates) one session's durable state: parse the
+    /// checkpoint, rebuild its anchor, replay the WAL tail through the
+    /// real command handlers, truncate any torn final record, and leave
+    /// the log positioned for appends. Never panics: corrupt files are
+    /// quarantined (session restarts clean but `degraded`), and I/O
+    /// failures return `None` with the session marked durability-lost.
+    fn open(
+        cfg: &DurabilityConfig,
+        handle: &SessionHandle,
+        counters: &WalCounters,
+    ) -> (Session, Option<Durability>) {
+        let name = handle.name();
+        let wal_path = cfg.state_dir.join(format!("{name}.wal"));
+        let ckpt_path = cfg.state_dir.join(format!("{name}.ckpt"));
+        let _ = std::fs::create_dir_all(&cfg.state_dir);
+        let mut recovered = false;
+        let mut fresh_degraded = false;
+        // 1. Checkpoint → anchor.
+        let (anchor, anchor_seq) = match std::fs::read_to_string(&ckpt_path) {
+            Ok(text) => match session::parse_checkpoint(&text) {
+                Ok((anchor, seq)) => {
+                    recovered = true;
+                    (anchor, seq)
+                }
+                Err(e) => {
+                    quarantine(&ckpt_path);
+                    quarantine(&wal_path);
+                    fresh_degraded = true;
+                    obs::events::emit(
+                        obs::events::Severity::Error,
+                        "server.durability.checkpoint_corrupt",
+                        Some(name),
+                        None,
+                        &[("error", e.to_string())],
+                    );
+                    (Session::new().durable_state(), 0)
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                (Session::new().durable_state(), 0)
+            }
+            Err(e) => return Self::lost_at_open(handle, "checkpoint unreadable", &e),
+        };
+        // 2. Anchor → live session.
+        let mut session = match Session::restore_durable(&anchor) {
+            Ok(s) => s,
+            Err(e) => {
+                // The anchor references state we cannot rebuild (e.g.
+                // its netlist file vanished). Quarantine and restart
+                // clean rather than log against a wrong base.
+                quarantine(&ckpt_path);
+                quarantine(&wal_path);
+                fresh_degraded = true;
+                obs::events::emit(
+                    obs::events::Severity::Error,
+                    "server.durability.checkpoint_unusable",
+                    Some(name),
+                    None,
+                    &[("error", e.to_string())],
+                );
+                Session::new()
+            }
+        };
+        let anchor = if fresh_degraded {
+            session.mark_degraded();
+            Session::new().durable_state()
+        } else {
+            anchor
+        };
+        let anchor_seq = if fresh_degraded { 0 } else { anchor_seq };
+        // 3. Open the WAL (scans, truncates a torn tail in place).
+        let (wal, scan) = match wal::Wal::open(&wal_path) {
+            Ok(x) => x,
+            Err(e) => return Self::lost_at_open(handle, "WAL unopenable", &e),
+        };
+        if let Some(reason) = &scan.truncated {
+            counters.truncated_tails.fetch_add(1, Ordering::SeqCst);
+            obs::events::emit(
+                obs::events::Severity::Warn,
+                "server.durability.wal_tail_truncated",
+                Some(name),
+                None,
+                &[("reason", reason.clone())],
+            );
+        }
+        let mut d = Durability {
+            wal,
+            ckpt_path,
+            state_dir: cfg.state_dir.clone(),
+            checkpoint_every: cfg.checkpoint_every.max(1),
+            prev_state: anchor.clone(),
+            anchor,
+            anchor_seq,
+            tail: Vec::new(),
+            seq: anchor_seq,
+            last_checkpoint_seq: anchor_seq,
+            since_checkpoint: 0,
+        };
+        // 4. Replay the tail through the real handlers. Records carry
+        // their durable seq in the `id` field: those at or below the
+        // checkpoint's anchor are already folded in (a crash between
+        // checkpoint write and WAL compaction leaves them behind) and
+        // are skipped; the rest must be gap-free.
+        recovered |= !scan.records.is_empty();
+        let mut broken: Option<String> = None;
+        for line in &scan.records {
+            let (cmd, rec_seq) = match proto::parse_request(line) {
+                Ok(request) => (request.cmd, request.id),
+                Err((_, e)) => {
+                    broken = Some(format!("unparseable record: {e}"));
+                    break;
+                }
+            };
+            let Some(rec_seq) = rec_seq else {
+                broken = Some("record carries no sequence number".to_owned());
+                break;
+            };
+            if rec_seq <= d.anchor_seq {
+                continue;
+            }
+            if rec_seq != d.seq + 1 {
+                broken = Some(format!(
+                    "sequence gap: expected record {}, found {rec_seq}",
+                    d.seq + 1
+                ));
+                break;
+            }
+            let pre_armed = session.cache_armed();
+            let exec = match confine_command(&d.state_dir, &cmd) {
+                Ok(rewritten) => rewritten,
+                Err(msg) => {
+                    broken = Some(format!("unconfinable record: {msg}"));
+                    break;
+                }
+            };
+            if let Err(e) = session.handle(exec.as_ref().unwrap_or(&cmd)) {
+                broken = Some(format!("record failed to replay: {e}"));
+                break;
+            }
+            counters.replayed_records.fetch_add(1, Ordering::SeqCst);
+            d.fold(pre_armed, &cmd, line.clone(), &session);
+        }
+        if let Some(why) = broken {
+            // The unreplayable suffix describes state we do not have:
+            // drop it (checkpoint the replayed prefix so disk matches
+            // memory) and serve what replayed, flagged degraded.
+            session.mark_degraded();
+            obs::events::emit(
+                obs::events::Severity::Error,
+                "server.durability.wal_replay_stopped",
+                Some(name),
+                None,
+                &[("reason", why)],
+            );
+            if let Err(e) = d.checkpoint(counters) {
+                session.mark_durability_lost();
+                Self::publish_loss(handle, &e);
+                d.publish_facts(handle, &session);
+                handle.install_snapshot(session.read_snapshot());
+                handle.durability.recovered.store(true, Ordering::SeqCst);
+                return (session, None);
+            }
+        }
+        handle
+            .durability
+            .recovered
+            .store(recovered, Ordering::SeqCst);
+        d.publish_facts(handle, &session);
+        // Publish the recovered state for pool reads before the first
+        // ticket exists.
+        handle.install_snapshot(session.read_snapshot());
+        if recovered {
+            obs::events::emit(
+                obs::events::Severity::Info,
+                "server.durability.session_recovered",
+                Some(name),
+                None,
+                &[
+                    ("wal_records", d.seq.to_string()),
+                    ("replayed", scan.records.len().to_string()),
+                ],
+            );
+        }
+        (session, Some(d))
+    }
+
+    /// Open-time I/O failure: durability is unavailable from the first
+    /// request on, so the fresh session starts read-only.
+    fn lost_at_open(
+        handle: &SessionHandle,
+        what: &str,
+        e: &std::io::Error,
+    ) -> (Session, Option<Durability>) {
+        let mut session = Session::new();
+        session.mark_durability_lost();
+        Self::publish_loss(handle, &format!("{what}: {e}"));
+        handle
+            .durability
+            .degraded
+            .store(session.is_degraded(), Ordering::SeqCst);
+        (session, None)
+    }
+
+    /// Emits the durability-loss event and counter.
+    fn publish_loss(handle: &SessionHandle, why: &str) {
+        obs::counter_add("server.durability.lost", 1);
+        obs::events::emit(
+            obs::events::Severity::Error,
+            "server.durability.lost",
+            Some(handle.name()),
+            None,
+            &[("error", why.to_owned())],
+        );
+    }
+
+    /// Folds one logged mutation into the anchor/tail bookkeeping.
+    /// `pre_armed` is [`Session::cache_armed`] captured *before* the
+    /// command executed; `session` is the post-command state.
+    fn fold(&mut self, pre_armed: bool, cmd: &Command, line: String, session: &Session) {
+        if !(pre_armed && reads_warm_cache(cmd)) {
+            self.anchor = self.prev_state.clone();
+            self.anchor_seq = self.seq;
+            self.tail.clear();
+        }
+        self.tail.push(line);
+        self.seq += 1;
+        self.prev_state = session.durable_state();
+    }
+
+    /// Logs one acknowledged mutation: append + fsync the WAL record,
+    /// fold the anchor bookkeeping, and checkpoint/compact when due.
+    /// Any failure (including the `wal.append`/`wal.fsync`/
+    /// `wal.checkpoint` failpoints) is a durability loss — the caller
+    /// marks the session read-only.
+    fn record(
+        &mut self,
+        pre_armed: bool,
+        cmd: &Command,
+        session: &Session,
+        counters: &WalCounters,
+    ) -> Result<(), String> {
+        let line = wal_line(cmd, self.seq + 1);
+        let framed = self
+            .wal
+            .append(&line)
+            .map_err(|e| format!("WAL append failed: {e}"))?;
+        counters.appended_bytes.fetch_add(framed, Ordering::SeqCst);
+        counters.fsyncs.fetch_add(1, Ordering::SeqCst);
+        self.fold(pre_armed, cmd, line, session);
+        self.since_checkpoint += 1;
+        if self.since_checkpoint >= self.checkpoint_every {
+            self.checkpoint(counters)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the current anchor as the on-disk checkpoint (atomic
+    /// rename discipline), then compacts the WAL down to the tail.
+    /// Crash-ordering: the checkpoint lands fully before the WAL
+    /// shrinks, so every instant holds a complete (checkpoint, WAL)
+    /// pair. A crash between the two steps leaves already-folded
+    /// records in the WAL; recovery skips them by their embedded
+    /// sequence numbers (see [`wal_line`]). The compacted log itself
+    /// swaps in with one atomic rename inside [`wal::Wal::rewrite`].
+    fn checkpoint(&mut self, counters: &WalCounters) -> Result<(), String> {
+        if let Some(fault) = faultinject::fire("wal.checkpoint") {
+            return Err(format!("failpoint `wal.checkpoint`: injected {fault:?}"));
+        }
+        let text = session::render_checkpoint(&self.anchor, self.anchor_seq);
+        mgba::atomic_write_text(&self.ckpt_path, &text)
+            .map_err(|e| format!("checkpoint write failed: {e}"))?;
+        self.wal
+            .rewrite(&self.tail)
+            .map_err(|e| format!("WAL compaction failed: {e}"))?;
+        counters.fsyncs.fetch_add(1, Ordering::SeqCst);
+        counters.checkpoints.fetch_add(1, Ordering::SeqCst);
+        self.last_checkpoint_seq = self.anchor_seq;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Stores the current durability facts onto the handle for the
+    /// `health` command.
+    fn publish_facts(&self, handle: &SessionHandle, session: &Session) {
+        let f = &handle.durability;
+        f.wal_records.store(self.seq, Ordering::SeqCst);
+        f.last_checkpoint_seq
+            .store(self.last_checkpoint_seq, Ordering::SeqCst);
+        f.degraded.store(session.is_degraded(), Ordering::SeqCst);
+    }
+}
+
+/// Renders the `health` result: protocol window, durability mode, and
+/// this session's durability facts. Deliberately free of timing fields
+/// (no uptime) so responses are byte-identical across runs, threads,
+/// and read-worker settings — `health` is pinned in the byte-identity
+/// matrix.
+pub(crate) fn render_health(handle: &SessionHandle) -> String {
+    let f = &handle.durability;
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("server");
+    w.str("mgba-server");
+    w.key("proto_min");
+    w.u64(proto::PROTO_MIN);
+    w.key("proto_max");
+    w.u64(proto::PROTO_MAX);
+    w.key("durable");
+    w.bool(f.durable.load(Ordering::SeqCst));
+    w.key("session");
+    w.begin_obj();
+    w.key("name");
+    w.str(handle.name());
+    w.key("recovered");
+    w.bool(f.recovered.load(Ordering::SeqCst));
+    w.key("wal_records");
+    w.u64(f.wal_records.load(Ordering::SeqCst));
+    w.key("last_checkpoint_seq");
+    w.u64(f.last_checkpoint_seq.load(Ordering::SeqCst));
+    w.key("degraded");
+    w.bool(f.degraded.load(Ordering::SeqCst));
+    w.end_obj();
+    w.end_obj();
+    w.finish()
+}
+
+/// The `health` read handler (shared by the lane funnel and the read
+/// pool, including the same chaos hook, so bytes match across modes).
+fn read_health(handle: &SessionHandle) -> Result<String, MgbaError> {
+    if let Some(fault) = faultinject::fire("server.handle") {
+        return Err(MgbaError::Internal(format!(
+            "failpoint `server.handle`: injected {fault:?}"
+        )));
+    }
+    Ok(render_health(handle))
+}
+
 /// The writer-lane loop: owns the session state, executes jobs in
-/// ticket order, publishes snapshots, drains on shutdown.
+/// ticket order, publishes snapshots, drains on shutdown. `state` is
+/// the session (plus its durability lane, with `--state-dir`) that
+/// [`Registry::session`] built — recovered from disk when durable
+/// files existed.
 pub(crate) fn lane_loop(
     rx: Receiver<LaneJob>,
     handle: Arc<SessionHandle>,
     registry: Arc<Registry>,
+    state: (Session, Option<Durability>),
 ) {
     let shared = Arc::clone(&registry.shared);
-    let mut session = Session::new();
+    let (mut session, mut durability) = state;
     loop {
         match rx.recv_timeout(LANE_POLL) {
             Ok(job) => {
-                if process_lane(job, &mut session, &handle, &registry, &shared) {
+                if process_lane(
+                    job,
+                    &mut session,
+                    &mut durability,
+                    &handle,
+                    &registry,
+                    &shared,
+                ) {
                     shared.shutting_down.store(true, Ordering::SeqCst);
                     break;
                 }
@@ -589,7 +1183,14 @@ pub(crate) fn lane_loop(
     // the shutdown flag. Every admitted ticket MUST still publish, or
     // readers waiting on it would hang until their deadline.
     while let Ok(job) = rx.recv_timeout(DRAIN_GRACE) {
-        process_lane(job, &mut session, &handle, &registry, &shared);
+        process_lane(
+            job,
+            &mut session,
+            &mut durability,
+            &handle,
+            &registry,
+            &shared,
+        );
     }
 }
 
@@ -597,6 +1198,7 @@ pub(crate) fn lane_loop(
 fn process_lane(
     job: LaneJob,
     session: &mut Session,
+    durability: &mut Option<Durability>,
     handle: &SessionHandle,
     registry: &Registry,
     shared: &Shared,
@@ -625,6 +1227,40 @@ fn process_lane(
             return false;
         }
     }
+    // Durability gate 1: a session whose WAL failed is read-only — the
+    // in-memory state is ahead of the durable log, so acknowledging
+    // more mutations would widen the gap a restart cannot close.
+    if session.durability_lost() && is_state_changing(&cmd) {
+        obs::counter_add("server.rejected.durability_lost", 1);
+        shared.served.fetch_add(1, Ordering::SeqCst);
+        let _ = reply.send(proto::error_envelope(
+            &meta,
+            "durability_lost",
+            "a WAL write failed; the session is read-only until restart \
+             (reads still serve the in-memory state, flagged degraded)",
+        ));
+        handle.publish(ticket);
+        return false;
+    }
+    // Durability gate 2: with `--state-dir`, client-supplied
+    // `snapshot`/`restore` paths are confined to the state dir. The
+    // WAL logs the *original* relative path; replay re-confines it.
+    let confined = match durability.as_ref() {
+        Some(d) => match confine_command(&d.state_dir, &cmd) {
+            Ok(rewritten) => rewritten,
+            Err(msg) => {
+                shared.served.fetch_add(1, Ordering::SeqCst);
+                obs::counter_add("server.rejected.path_escape", 1);
+                let _ = reply.send(proto::error_envelope(&meta, "path_escape", &msg));
+                handle.publish(ticket);
+                return false;
+            }
+        },
+        None => None,
+    };
+    // Captured before execution: whether this command would *read* the
+    // frozen warm cache (decides the checkpoint-anchor fold below).
+    let pre_armed = session.cache_armed();
     let name = cmd.name();
     // Stage 1: how long the job sat in the lane queue before dequeue.
     let queue_wait = enqueued.elapsed();
@@ -657,7 +1293,11 @@ fn process_lane(
                         _ => render_metrics(session, handle, registry, shared),
                     })
                 }
-                _ => session.handle(&cmd),
+                // `health` serves the handle's durability facts —
+                // reachable here (funnel mode) and on the read pool,
+                // with identical bytes by construction.
+                Command::Health => read_health(handle),
+                _ => session.handle(confined.as_ref().unwrap_or(&cmd)),
             }
         }))
     };
@@ -722,10 +1362,34 @@ fn process_lane(
     obs::observe(&format!("server.latency_us.{name}"), us as f64);
     obs::counter_add(&format!("server.requests.{name}"), 1);
     shared.served.fetch_add(1, Ordering::SeqCst);
+    // Durability: append + fsync the WAL record BEFORE the mutation is
+    // acknowledged. A failed write (real or failpoint-injected) flips
+    // the session read-only: the reply becomes a `durability_lost`
+    // error, but the in-memory state — which already mutated — stays
+    // published for reads, honestly flagged degraded.
+    let mut durability_error: Option<String> = None;
+    if result.is_ok() && !panicked && is_state_changing(&cmd) {
+        if let Some(d) = durability.as_mut() {
+            match d.record(pre_armed, &cmd, session, &registry.wal_counters) {
+                Ok(()) => d.publish_facts(handle, session),
+                Err(why) => {
+                    session.mark_durability_lost();
+                    d.publish_facts(handle, session);
+                    Durability::publish_loss(handle, &why);
+                    *durability = None;
+                    durability_error = Some(format!("{why}; session is read-only until restart"));
+                }
+            }
+        }
+    }
     let shutdown = matches!(cmd, Command::Shutdown) && result.is_ok();
-    let envelope = match &result {
-        Ok(json) => proto::ok_envelope(&meta, session.is_degraded(), json),
-        Err(e) => proto::mgba_error_envelope(&meta, e),
+    let envelope = if let Some(msg) = &durability_error {
+        proto::error_envelope(&meta, "durability_lost", msg)
+    } else {
+        match &result {
+            Ok(json) => proto::ok_envelope(&meta, session.is_degraded(), json),
+            Err(e) => proto::mgba_error_envelope(&meta, e),
+        }
     };
     let _ = reply.send(envelope);
     // Publish AFTER the state settles: a successful state change (or a
@@ -736,6 +1400,11 @@ fn process_lane(
     if (result.is_ok() && is_state_changing(&cmd)) || panicked || recorded_slow {
         handle.install_snapshot(session.read_snapshot());
     }
+    // Keep the lock-free `health` facts in step with this ticket.
+    handle
+        .durability
+        .degraded
+        .store(session.is_degraded(), Ordering::SeqCst);
     handle.publish(ticket);
     shutdown
 }
@@ -824,8 +1493,11 @@ pub(crate) fn serve_read(job: ReadJob, shared: &Shared) {
     // nothing — no recovery needed, just a typed error.
     let caught = {
         let _span = obs::span(name);
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_read(snap.as_deref(), &cmd)
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &cmd {
+            // `health` reads the handle's durability facts, not the
+            // snapshot — it answers before any design is loaded.
+            Command::Health => read_health(&handle),
+            _ => execute_read(snap.as_deref(), &cmd),
         }))
     };
     let result = match caught {
@@ -849,7 +1521,13 @@ pub(crate) fn serve_read(job: ReadJob, shared: &Shared) {
     obs::observe(&format!("server.latency_us.{name}"), us as f64);
     obs::counter_add(&format!("server.requests.{name}"), 1);
     shared.served.fetch_add(1, Ordering::SeqCst);
-    let degraded = snap.as_deref().map(|s| s.degraded).unwrap_or(false);
+    // No snapshot yet (nothing loaded): fall back to the handle's
+    // degraded fact, so a durability-lost session is flagged on the
+    // read path exactly as the lane would flag it.
+    let degraded = snap
+        .as_deref()
+        .map(|s| s.degraded)
+        .unwrap_or_else(|| handle.durability.degraded.load(Ordering::SeqCst));
     let envelope = match &result {
         Ok(json) => proto::ok_envelope(&meta, degraded, json),
         Err(e) => proto::mgba_error_envelope(&meta, e),
@@ -1040,6 +1718,34 @@ fn exposition(
         "mgba_server_sessions_evicted_total",
         "sessions removed by TTL expiry or close_session",
         shared.evicted.load(Ordering::SeqCst),
+    );
+    // Durability telemetry: always rendered (all-zero while
+    // `--state-dir` is off) so dashboards need no conditional scrape.
+    let wal_c = &registry.wal_counters;
+    p.counter(
+        "mgba_server_wal_appended_bytes_total",
+        "bytes appended to session write-ahead logs, framing included",
+        wal_c.appended_bytes.load(Ordering::SeqCst),
+    );
+    p.counter(
+        "mgba_server_wal_fsyncs_total",
+        "successful WAL data syncs (appends and compactions)",
+        wal_c.fsyncs.load(Ordering::SeqCst),
+    );
+    p.counter(
+        "mgba_server_wal_replayed_records_total",
+        "WAL records replayed into sessions at recovery",
+        wal_c.replayed_records.load(Ordering::SeqCst),
+    );
+    p.counter(
+        "mgba_server_wal_truncated_tails_total",
+        "torn WAL tails truncated at recovery",
+        wal_c.truncated_tails.load(Ordering::SeqCst),
+    );
+    p.counter(
+        "mgba_server_wal_checkpoints_total",
+        "on-disk checkpoints written (each compacts its WAL)",
+        wal_c.checkpoints.load(Ordering::SeqCst),
     );
     // Lint issue counts by severity, accumulated over every `lint`
     // command this process served (all sessions).
@@ -1326,7 +2032,7 @@ mod tests {
 
     fn registry_with(names: &[&str]) -> (Arc<Registry>, Vec<SessionEntry>) {
         let shared = Arc::new(Shared::new(8, 2));
-        let registry = Registry::new(8, shared, None, None);
+        let registry = Registry::new(8, shared, None, None, None);
         let entries = names
             .iter()
             .map(|n| registry.session(n).map_err(|_| ()).unwrap())
@@ -1343,7 +2049,7 @@ mod tests {
     #[test]
     fn sessions_are_created_lazily_and_capped() {
         let shared = Arc::new(Shared::new(4, 0));
-        let registry = Registry::new(4, shared, None, None);
+        let registry = Registry::new(4, shared, None, None, None);
         assert!(registry.session_names().is_empty());
         for i in 0..MAX_SESSIONS {
             assert!(registry.session(&format!("s{i}")).is_ok());
@@ -1383,7 +2089,7 @@ mod tests {
     #[test]
     fn full_lane_queue_rolls_the_ticket_back() {
         let shared = Arc::new(Shared::new(1, 0));
-        let registry = Registry::new(1, Arc::clone(&shared), None, None);
+        let registry = Registry::new(1, Arc::clone(&shared), None, None, None);
         let entry = registry.session("q").map_err(|_| ()).unwrap();
         let (reply_tx, reply_rx) = mpsc::channel();
         // A sleep occupies the lane; the queue (depth 1) then fills.

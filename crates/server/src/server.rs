@@ -94,6 +94,14 @@ pub struct ServerConfig {
     /// `None` (the default) disables recording; `Some(0)` records every
     /// non-read lane command, which is the deterministic test mode.
     pub slow_ms: Option<u64>,
+    /// Durable session state (`--state-dir DIR`): every session gets a
+    /// write-ahead log plus periodic checkpoints under `DIR`, and the
+    /// registry replays them on startup. `None` (the default) keeps the
+    /// server fully in-memory with zero per-request overhead.
+    pub state_dir: Option<std::path::PathBuf>,
+    /// With `state_dir` set: write an on-disk checkpoint (and compact
+    /// the WAL) after this many logged mutations per session.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +112,8 @@ impl Default for ServerConfig {
             read_workers: 0,
             session_ttl_secs: None,
             slow_ms: None,
+            state_dir: None,
+            checkpoint_every: 32,
         }
     }
 }
@@ -114,6 +124,16 @@ impl ServerConfig {
         self.session_ttl_secs
             .filter(|s| *s > 0)
             .map(Duration::from_secs)
+    }
+
+    /// The registry-level durability settings (`None` = off).
+    fn durability(&self) -> Option<registry::DurabilityConfig> {
+        self.state_dir
+            .as_ref()
+            .map(|dir| registry::DurabilityConfig {
+                state_dir: dir.clone(),
+                checkpoint_every: self.checkpoint_every.max(1),
+            })
     }
 }
 
@@ -469,7 +489,11 @@ impl Server {
             Arc::clone(&shared),
             self.config.session_ttl(),
             self.config.slow_ms,
+            self.config.durability(),
         );
+        // Crash-safe restart: rebuild every durable session from its
+        // checkpoint + WAL tail before the first connection is accepted.
+        registry.recover();
         let (pool_tx, pool) = spawn_read_pool(&shared);
         let gate = Gate {
             registry: Arc::clone(&registry),
@@ -536,7 +560,9 @@ where
         Arc::clone(&shared),
         config.session_ttl(),
         config.slow_ms,
+        config.durability(),
     );
+    registry.recover();
     let (pool_tx, pool) = spawn_read_pool(&shared);
     let gate = Gate {
         registry: Arc::clone(&registry),

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Crash-recovery drill for the durable session layer (DESIGN.md §16).
+#
+# Runs a scripted commit storm against `mgba-sta serve --state-dir`,
+# kill -9s the server after a handful of randomly chosen acknowledged
+# mutations, restarts it on the same state dir, resumes the remainder
+# of the storm, and byte-compares the final read suite (slack / wns /
+# tns / history) against an uninterrupted reference run. Because every
+# mutation is fsynced to the WAL before it is acknowledged, an ack
+# followed by kill -9 must never lose state.
+#
+# Environment knobs:
+#   BIN    — path to the release binary (default ./target/release/mgba-sta)
+#   PORT   — first listen port; each server instance takes the next one
+#   POINTS — space-separated kill points (mutation counts) to override
+#            the random selection, e.g. POINTS="1 4 8"
+set -euo pipefail
+
+BIN=${BIN:-./target/release/mgba-sta}
+PORT=${PORT:-7610}
+WORK=$(mktemp -d)
+SERVER_PID=
+trap '[ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+MUTATIONS=(
+  '{"id":1,"cmd":"load","design":"small:7"}'
+  '{"id":2,"cmd":"calibrate","solver":"scgrs"}'
+  '{"id":3,"cmd":"commit","cell":"g_1_0_0","to":"up"}'
+  '{"id":4,"cmd":"commit","cell":"g_1_1_0","to":"up"}'
+  '{"id":5,"cmd":"commit","cell":"g_0_0_1","to":"up"}'
+  '{"id":6,"cmd":"recalibrate"}'
+  '{"id":7,"cmd":"commit","cell":"g_1_0_0","to":"down"}'
+  '{"id":8,"cmd":"commit","cell":"g_0_0_2","to":"up"}'
+)
+# The read suite is issued over protocol v1: v1 envelopes carry no
+# admission-order request_id stamp, so a restarted process can answer
+# byte-for-byte identically to the uninterrupted reference.
+READS=(
+  '{"id":90,"cmd":"slack","top":5}'
+  '{"id":91,"cmd":"wns"}'
+  '{"id":92,"cmd":"tns"}'
+  '{"id":93,"cmd":"history"}'
+)
+TOTAL=${#MUTATIONS[@]}
+
+start() { # start <state-dir>; sets SERVER_PID and ADDR
+  PORT=$((PORT + 1))
+  ADDR=127.0.0.1:$PORT
+  "$BIN" serve --listen "$ADDR" --state-dir "$1" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    if "$BIN" query --connect "$ADDR" --timeout-ms 2000 \
+        '{"id":0,"cmd":"ping"}' >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: server did not come up on $ADDR" >&2
+  exit 1
+}
+
+stop() { # graceful shutdown + reap
+  "$BIN" query --connect "$ADDR" --timeout-ms 60000 \
+    '{"id":99,"cmd":"shutdown"}' | grep -q '"draining":true'
+  wait "$SERVER_PID"
+  SERVER_PID=
+}
+
+q() { "$BIN" query --connect "$ADDR" --timeout-ms 60000 "$@"; }
+qv1() { "$BIN" query --connect "$ADDR" --timeout-ms 60000 --proto 1 "$@"; }
+
+must_ok() { # must_ok <file> <label>
+  if grep -q '"ok":false' "$1"; then
+    echo "FAIL: $2:" >&2
+    cat "$1" >&2
+    exit 1
+  fi
+}
+
+# --- Reference: the storm runs to completion uninterrupted. ----------
+start "$WORK/ref"
+q "${MUTATIONS[@]}" > "$WORK/ref_mut.out"
+must_ok "$WORK/ref_mut.out" "reference mutation storm"
+qv1 "${READS[@]}" > "$WORK/ref_reads.out"
+stop
+
+# --- Drill: kill -9 after K acknowledged mutations, restart, resume. -
+if [ -z "${POINTS:-}" ]; then
+  POINTS="1 $TOTAL"
+  for _ in 1 2 3; do
+    POINTS="$POINTS $((RANDOM % (TOTAL - 1) + 1))"
+  done
+fi
+echo "kill points: $POINTS (of $TOTAL mutations)"
+
+for k in $POINTS; do
+  dir=$WORK/kill_$k
+  rm -rf "$dir"
+  start "$dir"
+  q "${MUTATIONS[@]:0:k}" > "$WORK/before_$k.out"
+  must_ok "$WORK/before_$k.out" "storm prefix before kill at $k"
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=
+
+  start "$dir"
+  q '{"id":80,"cmd":"health"}' > "$WORK/health_$k.out"
+  grep -q '"recovered":true' "$WORK/health_$k.out" || {
+    echo "FAIL: restart after kill at $k did not report a recovery:" >&2
+    cat "$WORK/health_$k.out" >&2
+    exit 1
+  }
+  if [ "$k" -lt "$TOTAL" ]; then
+    q "${MUTATIONS[@]:k}" > "$WORK/resume_$k.out"
+    must_ok "$WORK/resume_$k.out" "storm remainder after kill at $k"
+  fi
+  qv1 "${READS[@]}" > "$WORK/reads_$k.out"
+  stop
+
+  if ! diff "$WORK/ref_reads.out" "$WORK/reads_$k.out"; then
+    echo "FAIL: reads diverged from the uninterrupted reference after kill at $k" >&2
+    exit 1
+  fi
+  echo "kill at $k: recovered, resumed, reads byte-identical"
+done
+
+echo "crash-recovery drill passed"

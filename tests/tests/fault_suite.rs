@@ -6,14 +6,17 @@
 //! `--test-threads=1` (the failpoint registry is process-global, and
 //! [`faultinject::scoped`] serializes arming tests through one lock).
 //!
-//! | failpoint       | injected at             | designed degradation          |
-//! |-----------------|-------------------------|-------------------------------|
-//! | `load.netlist`  | netlist file load       | typed internal error          |
-//! | `pba.retime`    | golden path retime      | guards demote to identity     |
-//! | `fit.build`     | fit-matrix construction | identity weights, no error    |
-//! | `solver.iter`   | each solver iteration   | staged fallback down ladder   |
-//! | `weights.write` | weights sidecar write   | old file intact (atomic)      |
-//! | `server.handle` | server request dispatch | crash-isolated, auto-restored |
+//! | failpoint        | injected at             | designed degradation          |
+//! |------------------|-------------------------|-------------------------------|
+//! | `load.netlist`   | netlist file load       | typed internal error          |
+//! | `pba.retime`     | golden path retime      | guards demote to identity     |
+//! | `fit.build`      | fit-matrix construction | identity weights, no error    |
+//! | `solver.iter`    | each solver iteration   | staged fallback down ladder   |
+//! | `weights.write`  | weights sidecar write   | old file intact (atomic)      |
+//! | `server.handle`  | server request dispatch | crash-isolated, auto-restored |
+//! | `wal.append`     | WAL record write        | session read-only, degraded   |
+//! | `wal.fsync`      | WAL record fsync        | session read-only, degraded   |
+//! | `wal.checkpoint` | checkpoint + compaction | session read-only, degraded   |
 #![cfg(feature = "failpoints")]
 
 use mgba::{
@@ -197,6 +200,205 @@ fn transact(addr: SocketAddr, requests: &[&str]) -> Vec<String> {
 fn wns_field(line: &str) -> &str {
     let start = line.find("\"wns\":").expect("wns field") + 6;
     line[start..].split(&[',', '}'][..]).next().unwrap()
+}
+
+fn start_durable(dir: &std::path::Path) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let srv = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            state_dir: Some(dir.to_owned()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = srv.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || srv.run().expect("server run"));
+    (addr, handle)
+}
+
+/// Scratch state dir for the WAL failpoint scenarios.
+fn state_dir(name: &str) -> std::path::PathBuf {
+    let dir = tmp(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("state dir");
+    dir
+}
+
+#[test]
+fn wal_append_fault_degrades_the_session_to_read_only() {
+    // A failed WAL write means the mutation cannot be made durable: the
+    // request is answered `durability_lost`, the in-memory state still
+    // serves reads (flagged degraded), and every later mutation is
+    // refused up front until a restart — at which point the log, which
+    // never acknowledged the lost record, recovers the pre-fault state
+    // and the session is writable again.
+    let _lock = faultinject::exclusive();
+    faultinject::clear();
+    let dir = state_dir("wal_append");
+
+    let (addr, handle) = start_durable(&dir);
+    let responses = transact(
+        addr,
+        &[
+            r#"{"id":1,"cmd":"load","design":"small:23"}"#,
+            r#"{"id":2,"cmd":"wns"}"#,
+            r#"{"id":3,"cmd":"failpoint","spec":"wal.append=error*1"}"#,
+            r#"{"id":4,"cmd":"commit","cell":"g_1_0_0","to":"up"}"#,
+            r#"{"id":5,"cmd":"wns"}"#,
+            r#"{"id":6,"cmd":"commit","cell":"g_1_1_0","to":"up"}"#,
+            r#"{"id":7,"cmd":"health"}"#,
+            r#"{"id":8,"cmd":"shutdown"}"#,
+        ],
+    );
+    faultinject::clear();
+    assert_eq!(responses.len(), 8);
+    for r in &responses[..3] {
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+    // The un-journaled commit is refused with the typed code…
+    assert!(responses[3].contains("\"ok\":false"), "{}", responses[3]);
+    assert!(
+        responses[3].contains("\"code\":\"durability_lost\""),
+        "{}",
+        responses[3]
+    );
+    assert!(responses[3].contains("read-only"), "{}", responses[3]);
+    // …reads still serve (the commit's state was installed), degraded…
+    assert!(responses[4].contains("\"ok\":true"), "{}", responses[4]);
+    assert!(
+        responses[4].contains("\"degraded\":true"),
+        "{}",
+        responses[4]
+    );
+    // …and the loss is sticky for mutations even though the failpoint
+    // only fired once.
+    assert!(
+        responses[5].contains("\"code\":\"durability_lost\""),
+        "{}",
+        responses[5]
+    );
+    assert!(
+        responses[6].contains("\"degraded\":true"),
+        "{}",
+        responses[6]
+    );
+    handle.join().expect("server thread exits");
+
+    // Restart on the same state dir: the torn half-record the failpoint
+    // left behind is truncated away, the durable prefix (the load)
+    // replays, and the session is writable again.
+    let (addr, handle) = start_durable(&dir);
+    let responses = transact(
+        addr,
+        &[
+            r#"{"id":9,"cmd":"wns"}"#,
+            r#"{"id":10,"cmd":"commit","cell":"g_1_0_0","to":"up"}"#,
+            r#"{"id":11,"cmd":"health"}"#,
+            r#"{"id":12,"cmd":"shutdown"}"#,
+        ],
+    );
+    assert!(responses[0].contains("\"ok\":true"), "{}", responses[0]);
+    assert!(
+        !responses[0].contains("\"degraded\":true"),
+        "restart clears the degradation: {}",
+        responses[0]
+    );
+    assert!(
+        responses[1].contains("\"ok\":true"),
+        "mutations work after restart: {}",
+        responses[1]
+    );
+    assert!(
+        responses[2].contains("\"recovered\":true"),
+        "{}",
+        responses[2]
+    );
+    handle.join().expect("server thread exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_fsync_fault_is_a_durability_loss_too() {
+    let _lock = faultinject::exclusive();
+    faultinject::clear();
+    let dir = state_dir("wal_fsync");
+
+    let (addr, handle) = start_durable(&dir);
+    let responses = transact(
+        addr,
+        &[
+            r#"{"id":1,"cmd":"load","design":"small:24"}"#,
+            r#"{"id":2,"cmd":"failpoint","spec":"wal.fsync=error*1"}"#,
+            r#"{"id":3,"cmd":"commit","cell":"g_1_0_0","to":"up"}"#,
+            r#"{"id":4,"cmd":"wns"}"#,
+            r#"{"id":5,"cmd":"shutdown"}"#,
+        ],
+    );
+    faultinject::clear();
+    assert!(
+        responses[2].contains("\"code\":\"durability_lost\""),
+        "{}",
+        responses[2]
+    );
+    assert!(responses[3].contains("\"ok\":true"), "{}", responses[3]);
+    assert!(
+        responses[3].contains("\"degraded\":true"),
+        "{}",
+        responses[3]
+    );
+    handle.join().expect("server thread exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_checkpoint_fault_is_a_durability_loss() {
+    // Checkpointing runs inside the mutation that crossed the cadence;
+    // with checkpoint_every=1 the very first logged mutation trips it.
+    let _lock = faultinject::exclusive();
+    faultinject::clear();
+    let dir = state_dir("wal_checkpoint");
+
+    let srv = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            state_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = srv.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || srv.run().expect("server run"));
+    let responses = transact(
+        addr,
+        &[
+            r#"{"id":1,"cmd":"failpoint","spec":"wal.checkpoint=error*1"}"#,
+            r#"{"id":2,"cmd":"load","design":"small:25"}"#,
+            r#"{"id":3,"cmd":"wns"}"#,
+            r#"{"id":4,"cmd":"health"}"#,
+            r#"{"id":5,"cmd":"shutdown"}"#,
+        ],
+    );
+    faultinject::clear();
+    assert!(
+        responses[1].contains("\"code\":\"durability_lost\""),
+        "{}",
+        responses[1]
+    );
+    // The load's state was installed (degraded), and health agrees.
+    assert!(responses[2].contains("\"ok\":true"), "{}", responses[2]);
+    assert!(
+        responses[2].contains("\"degraded\":true"),
+        "{}",
+        responses[2]
+    );
+    assert!(
+        responses[3].contains("\"degraded\":true"),
+        "{}",
+        responses[3]
+    );
+    handle.join().expect("server thread exits");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -163,7 +163,11 @@ fn responses_are_bit_identical_across_thread_counts_and_read_modes() {
         "\n",
         r#"{"id":18,"cmd":"history"}"#,
         "\n",
-        r#"{"id":19,"cmd":"shutdown"}"#,
+        r#"{"id":19,"cmd":"health"}"#,
+        "\n",
+        r#"{"id":20,"proto":2,"session":"alpha","cmd":"health"}"#,
+        "\n",
+        r#"{"id":21,"cmd":"shutdown"}"#,
         "\n",
     );
     let run_with = |threads: usize, read_workers: usize| -> String {
@@ -187,6 +191,11 @@ fn responses_are_bit_identical_across_thread_counts_and_read_modes() {
     assert!(reference.contains("\"entries\":["), "{reference}");
     assert!(reference.contains("\"records\":["), "{reference}");
     assert!(reference.contains("\"request_id\":"), "{reference}");
+    // `health` is a read command with no timing fields; durability is
+    // off here, so it reports durable:false and a quiet WAL.
+    assert!(reference.contains("\"durable\":false"), "{reference}");
+    assert!(reference.contains("\"recovered\":false"), "{reference}");
+    assert!(reference.contains("\"wal_records\":0"), "{reference}");
     for (threads, read_workers) in [(1, 4), (4, 0), (4, 4)] {
         assert_eq!(
             run_with(threads, read_workers),
